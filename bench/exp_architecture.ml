@@ -1,0 +1,151 @@
+(* F2 — Figure 2: the mediator architecture at work.
+   End-to-end federation bench: register k sources and run the Section 5
+   query; compare the model-based mediator against the structural
+   baseline as the federation grows. The claim whose shape must hold:
+   the model-based mediator touches only the anchored sources, the
+   baseline broadcasts to all k, so the gap grows with k.
+
+   Q5 — Section 5: the four-step query plan, per-step costs and the
+   three ablations (no index / no pushdown / no lub). *)
+
+open Kind
+module M = Mediation.Mediator
+module S5 = Mediation.Section5
+module B = Mediation.Baseline
+
+let federation ~config ~distractors params =
+  let med = Neuro.Sources.standard_mediator ~config params in
+  for i = 1 to distractors do
+    match M.register_source med (Neuro.Sources.distractor params ~index:i) with
+    | Ok () -> ()
+    | Error e -> failwith e
+  done;
+  med
+
+let run_model med =
+  match
+    S5.calcium_binding_query med ~organism:"rat"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+  with
+  | Ok o -> o
+  | Error e -> failwith ("model-based query failed: " ^ e)
+
+let run_baseline med =
+  match
+    B.calcium_binding_query med ~organism:"rat"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+  with
+  | Ok o -> o
+  | Error e -> failwith ("baseline query failed: " ^ e)
+
+let f2 () =
+  Util.header "F2  Figure 2: model-based vs structural mediation as the federation grows";
+  let params = { Neuro.Sources.seed = 5; scale = 40 } in
+  let rows =
+    List.map
+      (fun distractors ->
+        let k = 3 + distractors in
+        let med = federation ~config:M.default_config ~distractors params in
+        let o = run_model med in
+        let ms_model = Util.time_median ~reps:3 (fun () -> ignore (run_model med)) in
+        let b = run_baseline med in
+        let ms_base = Util.time_median ~reps:3 (fun () -> ignore (run_baseline med)) in
+        [
+          Util.fint k;
+          Util.fint (List.length o.S5.sources_contacted);
+          Util.fint o.S5.tuples_moved;
+          Util.fms ms_model;
+          Util.fint (List.length b.B.sources_contacted);
+          Util.fint b.B.tuples_moved;
+          Util.fms ms_base;
+          Printf.sprintf "%.1fx"
+            (float_of_int b.B.tuples_moved /. float_of_int (max 1 o.S5.tuples_moved));
+        ])
+      [ 0; 2; 5; 10; 20 ]
+  in
+  Util.table
+    ~columns:
+      [
+        "sources"; "mbm srcs"; "mbm tuples"; "mbm ms"; "base srcs";
+        "base tuples"; "base ms"; "tuple gap";
+      ]
+    rows;
+  Util.note "shape check: mbm contacts a constant 2 sources; the baseline's";
+  Util.note "tuples and latency grow with every registered source."
+
+let q5 () =
+  Util.header "Q5  Section 5: the four-step query plan and its ablations";
+  let params = { Neuro.Sources.seed = 5; scale = 60 } in
+  let med = federation ~config:M.default_config ~distractors:5 params in
+  let o = run_model med in
+  Util.note "per-step report (full architecture, 8-source federation):";
+  Util.table ~columns:[ "step"; "ms"; "tuples"; "detail" ]
+    (List.map
+       (fun (s : S5.step_report) ->
+         [ s.S5.label; Util.fms s.S5.duration_ms; Util.fint s.S5.tuples; s.S5.note ])
+       o.S5.steps);
+  print_newline ();
+  Util.note "ablations (same query, one ingredient removed at a time):";
+  let variant label config =
+    let med = federation ~config ~distractors:5 params in
+    let o = run_model med in
+    let ms = Util.time_median ~reps:3 (fun () -> ignore (run_model med)) in
+    let tree_nodes =
+      List.fold_left
+        (fun a (_, t) -> a + Mediation.Aggregate.size t)
+        0 o.S5.distributions
+    in
+    [
+      label;
+      Util.fint (List.length o.S5.sources_contacted);
+      Util.fint o.S5.tuples_moved;
+      Util.fint tree_nodes;
+      Util.fms ms;
+    ]
+  in
+  Util.table
+    ~columns:[ "variant"; "sources"; "tuples moved"; "tree nodes"; "ms" ]
+    [
+      variant "full architecture" M.default_config;
+      variant "no semantic index" { M.default_config with M.use_semantic_index = false };
+      variant "no selection pushdown" { M.default_config with M.pushdown = false };
+      variant "no lub (whole-map root)" { M.default_config with M.use_lub = false };
+    ];
+  Util.note "shape check: each ablation is strictly worse on its own axis —";
+  Util.note "index cuts sources, pushdown cuts tuples, lub cuts the tree."
+
+(* registration throughput: how fast can sources join the federation? *)
+let registration () =
+  Util.header "F2b Registration throughput (wrapper -> wire -> mediator)";
+  let params = { Neuro.Sources.seed = 5; scale = 40 } in
+  let rows =
+    List.map
+      (fun scale ->
+        let p = { params with Neuro.Sources.scale } in
+        let src = Neuro.Sources.ncmir p in
+        let doc = Wrapper.Source.export_xml src in
+        let xml_str = Xmlkit.Print.to_string doc in
+        let ms_export =
+          Util.time_median (fun () -> ignore (Wrapper.Source.export_xml src))
+        in
+        let ms_reimport =
+          Util.time_median (fun () ->
+              let med = M.create Neuro.Anatom.full in
+              match
+                M.register_xml med ~format:"gcm-xml" ~source_name:"N2"
+                  (Xmlkit.Parse.parse_exn xml_str)
+              with
+              | Ok () -> ()
+              | Error e -> failwith e)
+        in
+        [
+          Util.fint scale;
+          Util.fint (String.length xml_str);
+          Util.fms ms_export;
+          Util.fms ms_reimport;
+        ])
+      [ 20; 50; 100; 200 ]
+  in
+  Util.table
+    ~columns:[ "scale"; "wire bytes"; "export ms"; "parse+register ms" ]
+    rows

@@ -1,0 +1,207 @@
+(* T1 — Table 1: the GCM <-> F-logic mapping, exercised as a round trip
+   over every core expression plus a throughput figure.
+
+   E2 — Example 2: partial-order integrity constraints over generated
+   relations with injected violations; witnesses must appear iff
+   injected, and the transitivity check's cost grows with |R|^2-ish
+   work.
+
+   E3 — Example 3: cardinality constraints with injected violations. *)
+
+open Kind
+module Molecule = Flogic.Molecule
+module Constraints = Gcm.Constraints
+
+let t = Logic.Term.sym
+
+let t1 () =
+  Util.header "T1  Table 1: GCM core expressions <-> F-logic molecules";
+  let samples =
+    [
+      Gcm.Decl.Instance (t "x", t "c");
+      Gcm.Decl.Subclass (t "c1", t "c2");
+      Gcm.Decl.Method (t "c", "m", t "cm");
+      Gcm.Decl.Method_inst (t "x", "m", t "y");
+      Gcm.Decl.Relation ("r", [ ("a1", t "c1"); ("a2", t "c2") ]);
+      Gcm.Decl.Relation_inst ("r", [ ("a1", t "x1"); ("a2", t "x2") ]);
+    ]
+  in
+  Util.table ~columns:[ "GCM expression"; "F-logic molecule"; "round trip" ]
+    (List.map
+       (fun d ->
+         let m = Gcm.Decl.to_molecule d in
+         [
+           Gcm.Decl.to_string d;
+           Molecule.to_string m;
+           string_of_bool (Gcm.Decl.of_molecule m = Some d);
+         ])
+       samples);
+  let n = 100_000 in
+  let ms =
+    Util.time_median (fun () ->
+        for _ = 1 to n do
+          List.iter
+            (fun d -> ignore (Gcm.Decl.of_molecule (Gcm.Decl.to_molecule d)))
+            samples
+        done)
+  in
+  Util.note "round-trip throughput: %.1f M expressions/s"
+    (float_of_int (n * List.length samples) /. ms /. 1000.0)
+
+(* random preorder data with optional injected violations *)
+let po_workload ~nodes ~seed ~inject =
+  let rng = Random.State.make [| seed |] in
+  let name k = Printf.sprintf "n%d" k in
+  let member =
+    List.init nodes (fun k -> Molecule.fact (Molecule.isa (t (name k)) (t "node")))
+  in
+  (* a valid partial order: reflexive edges + the order on indices
+     restricted to a random subset closed under transitivity *)
+  let refl =
+    List.init nodes (fun k ->
+        Molecule.fact (Molecule.pred "r" [ t (name k); t (name k) ]))
+  in
+  let chains = ref [] in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      if Random.State.int rng 100 < 60 then
+        chains := Molecule.fact (Molecule.pred "r" [ t (name i); t (name j) ]) :: !chains
+    done
+  done;
+  (* close transitively so the clean workload is genuinely consistent *)
+  let pairs =
+    List.filter_map
+      (fun (rl : Molecule.rule) ->
+        match rl.Molecule.heads with
+        | [ Molecule.Pred a ] -> (
+          match a.Logic.Atom.args with
+          | [ x; y ] -> Some (Logic.Term.to_string x, Logic.Term.to_string y)
+          | _ -> None)
+        | _ -> None)
+      !chains
+  in
+  let closed = Domain_map.Closure.tc pairs in
+  let closure_facts =
+    List.map (fun (x, y) -> Molecule.fact (Molecule.pred "r" [ t x; t y ])) closed
+  in
+  let violations =
+    if inject = 0 then []
+    else
+      List.init inject (fun k ->
+          (* break antisymmetry with back edges *)
+          Molecule.fact
+            (Molecule.pred "r" [ t (name ((k + 1) mod nodes)); t (name 0) ]))
+  in
+  member @ refl @ closure_facts @ violations
+
+let e2 () =
+  Util.header "E2  Example 2: partial-order constraints (wrc / wtc / was)";
+  let po = Constraints.partial_order ~cls:"node" ~rel:"r" in
+  let rows =
+    List.concat_map
+      (fun nodes ->
+        List.map
+          (fun inject ->
+            let facts = po_workload ~nodes ~seed:(nodes + inject) ~inject in
+            let db = ref (Datalog.Database.create ()) in
+            let ms =
+              Util.time_median ~reps:3 (fun () ->
+                  db := Flogic.Fl_program.run (Flogic.Fl_program.make (facts @ po)))
+            in
+            let ws = Flogic.Ic.violations !db in
+            let edge_count = Datalog.Database.count !db "r" in
+            [
+              Util.fint nodes;
+              Util.fint edge_count;
+              Util.fint inject;
+              Util.fint (List.length ws);
+              string_of_bool ((ws = []) = (inject = 0));
+              Util.fms ms;
+            ])
+          [ 0; 3 ])
+      [ 10; 20; 40 ]
+  in
+  Util.table
+    ~columns:
+      [ "nodes"; "|r|"; "injected"; "witnesses"; "sound"; "check ms" ]
+    rows;
+  Util.note "shape check: witnesses appear iff violations were injected;";
+  Util.note "cost grows superlinearly in |r| (the wtc join is |r|^2-ish)."
+
+let e3 () =
+  Util.header "E3  Example 3: cardinality constraints on has(neuron, axon)";
+  let sg = Flogic.Signature.declare "has" [ "whole"; "part" ] Flogic.Signature.empty in
+  let card =
+    Constraints.cardinality ~sg ~rel:"has" ~counted:"whole" ~per:[ "part" ]
+      ~exactly:1 ()
+    @ Constraints.cardinality ~sg ~rel:"has" ~counted:"part" ~per:[ "whole" ]
+        ~max_count:2 ()
+  in
+  let workload ~neurons ~inject_shared ~inject_triple ~seed =
+    let rng = Random.State.make [| seed |] in
+    let facts = ref [] in
+    for k = 1 to neurons do
+      let axons = 1 + Random.State.int rng 2 in
+      for a = 1 to axons do
+        facts :=
+          Molecule.fact
+            (Molecule.Rel_val
+               ( "has",
+                 [
+                   ("whole", t (Printf.sprintf "n%d" k));
+                   ("part", t (Printf.sprintf "ax%d_%d" k a));
+                 ] ))
+          :: !facts
+      done
+    done;
+    for k = 1 to inject_shared do
+      facts :=
+        Molecule.fact
+          (Molecule.Rel_val
+             ( "has",
+               [ ("whole", t (Printf.sprintf "n%d_dup" k)); ("part", t (Printf.sprintf "ax%d_1" k)) ] ))
+        :: !facts
+    done;
+    for k = 1 to inject_triple do
+      let n = Printf.sprintf "nt%d" k in
+      for a = 1 to 3 do
+        facts :=
+          Molecule.fact
+            (Molecule.Rel_val
+               ("has", [ ("whole", t n); ("part", t (Printf.sprintf "%s_ax%d" n a)) ]))
+          :: !facts
+      done
+    done;
+    !facts
+  in
+  let rows =
+    List.map
+      (fun (neurons, shared, triple) ->
+        let facts = workload ~neurons ~inject_shared:shared ~inject_triple:triple ~seed:7 in
+        let db = ref (Datalog.Database.create ()) in
+        let ms =
+          Util.time_median ~reps:3 (fun () ->
+              db :=
+                Flogic.Fl_program.run
+                  (Flogic.Fl_program.make ~signature:sg (facts @ card)))
+        in
+        let by = Flogic.Ic.by_constraint !db in
+        let get n = match List.assoc_opt n by with Some k -> k | None -> 0 in
+        [
+          Util.fint neurons;
+          Util.fint shared;
+          Util.fint triple;
+          Util.fint (get "w_card_ne");
+          Util.fint (get "w_card_hi");
+          string_of_bool (get "w_card_ne" >= shared && get "w_card_hi" = triple);
+          Util.fms ms;
+        ])
+      [ (50, 0, 0); (50, 4, 0); (50, 0, 3); (200, 6, 5); (800, 10, 10) ]
+  in
+  Util.table
+    ~columns:
+      [
+        "neurons"; "shared axons"; "3-axon cells"; "w_card_ne"; "w_card_hi";
+        "all caught"; "ms";
+      ]
+    rows

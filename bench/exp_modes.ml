@@ -1,0 +1,51 @@
+(* DM — Section 4's two execution modes for domain-map axioms.
+
+   Each edge C -r-> D can run as an integrity constraint (witnesses in
+   ic when the object base lacks the r-successor: the "data-complete"
+   reading) or as an assertion (virtual placeholder objects f_C_r_D(x)
+   complete the base). This experiment materializes the same federation
+   both ways and reports what each mode produces and costs. *)
+
+open Kind
+module M = Mediation.Mediator
+
+let run () =
+  Util.header "DM  Section 4: domain-map axioms as ICs vs as assertions";
+  let params = { Neuro.Sources.seed = 5; scale = 40 } in
+  let rows =
+    List.map
+      (fun (label, mode) ->
+        let med =
+          Neuro.Sources.standard_mediator
+            ~config:{ M.default_config with M.dl_mode = mode }
+            params
+        in
+        let db = ref (Datalog.Database.create ()) in
+        let ms = Util.time_median ~reps:3 (fun () ->
+            M.invalidate med;
+            db := M.materialize med)
+        in
+        let witnesses = List.length (Flogic.Ic.violations !db) in
+        let placeholders =
+          Datalog.Database.facts !db Flogic.Compile.isa_p
+          |> List.filter (fun (a : Logic.Atom.t) ->
+                 match a.Logic.Atom.args with
+                 | [ x; _ ] -> Dl.Translate.is_placeholder x
+                 | _ -> false)
+          |> List.length
+        in
+        [
+          label;
+          Util.fint (Datalog.Database.cardinal !db);
+          Util.fint witnesses;
+          Util.fint placeholders;
+          Util.fms ms;
+        ])
+      [ ("assertion (default)", Dl.Translate.Assertion); ("integrity constraint", Dl.Translate.Ic) ]
+  in
+  Util.table
+    ~columns:[ "mode"; "facts"; "ic witnesses"; "placeholder memberships"; "ms" ]
+    rows;
+  Util.note "shape check: assertion mode completes the base with virtual";
+  Util.note "placeholders and stays witness-free; IC mode creates no objects";
+  Util.note "but reports every data-incompleteness as an ic witness."

@@ -1,0 +1,104 @@
+(* P1 — Proposition 1: subsumption/satisfiability are undecidable for
+   unrestricted GCM domain maps, but the restricted (EL) fragment is
+   decided in polynomial time and "is often sufficient" (e.g. ANATOM).
+
+   The bench shows (a) the guard refusing out-of-fragment inputs, and
+   (b) polynomial-looking classification cost on growing synthetic
+   TBoxes. *)
+
+open Kind
+module C = Dl.Concept
+module Reason = Dl.Reason
+
+let n = C.name
+
+let guard () =
+  Util.header "P1  Proposition 1: the decidability guard";
+  let cases =
+    [
+      ( "purkinje [= neuron (ANATOM fragment)",
+        Reason.check ~tbox:(Domain_map.Dmap.to_axioms Neuro.Anatom.fig1)
+          (n "purkinje_cell") (n "neuron") );
+      ( "neuron [= purkinje (must fail)",
+        Reason.check ~tbox:(Domain_map.Dmap.to_axioms Neuro.Anatom.fig1)
+          (n "neuron") (n "purkinje_cell") );
+      ( "spiny == neuron AND EXISTS has.spine recognised",
+        Reason.check ~tbox:(Domain_map.Dmap.to_axioms Neuro.Anatom.fig1)
+          (C.conj [ n "neuron"; C.exists "has" (n "spine") ])
+          (n "spiny_neuron") );
+      ( "disjunction refused (outside fragment)",
+        Reason.check ~tbox:[] (n "a") (C.disj [ n "b"; n "c" ]) );
+      ( "value restriction refused (outside fragment)",
+        Reason.check ~tbox:[] (n "a") (C.forall "r" (n "b")) );
+    ]
+  in
+  Util.table ~columns:[ "query"; "verdict" ]
+    (List.map
+       (fun (l, v) ->
+         [
+           l;
+           (match v with
+           | Reason.Subsumed -> "subsumed"
+           | Reason.Not_subsumed -> "not subsumed"
+           | Reason.Outside_fragment f -> "REFUSED: " ^ f);
+         ])
+       cases)
+
+(* synthetic EL TBox: chains + conjunction definitions + role axioms *)
+let synthetic_tbox ~size ~seed =
+  let rng = Random.State.make [| seed |] in
+  let name k = Printf.sprintf "k%d" k in
+  List.concat
+    (List.init size (fun k ->
+         if k = 0 then []
+         else
+           let parent = Random.State.int rng k in
+           let base = [ C.subsumes (n (name k)) (n (name parent)) ] in
+           let extra =
+             if Random.State.int rng 100 < 30 then
+               [
+                 C.subsumes (n (name k))
+                   (C.exists "r" (n (name (Random.State.int rng (max 1 k)))));
+               ]
+             else if Random.State.int rng 100 < 15 && k > 2 then
+               [
+                 C.equiv
+                   (n (Printf.sprintf "def%d" k))
+                   (C.conj
+                      [
+                        n (name (Random.State.int rng k));
+                        C.exists "r" (n (name (Random.State.int rng k)));
+                      ]);
+               ]
+             else []
+           in
+           base @ extra))
+
+let scaling () =
+  print_newline ();
+  Util.note "EL completion cost on synthetic TBoxes (polynomial shape):";
+  let rows =
+    List.map
+      (fun size ->
+        let tbox = synthetic_tbox ~size ~seed:99 in
+        let ms = Util.time_median ~reps:3 (fun () -> ignore (Reason.classify tbox)) in
+        let t = Result.get_ok (Reason.classify tbox) in
+        let names = Reason.concept_names t in
+        let subsumptions =
+          List.fold_left
+            (fun acc a -> acc + List.length (Reason.subsumers t a))
+            0 names
+        in
+        [
+          Util.fint size;
+          Util.fint (List.length tbox);
+          Util.fint subsumptions;
+          Util.fms ms;
+        ])
+      [ 25; 50; 100; 200; 400 ]
+  in
+  Util.table ~columns:[ "concepts"; "axioms"; "subsumptions"; "classify ms" ] rows
+
+let p1 () =
+  guard ();
+  scaling ()

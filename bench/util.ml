@@ -1,0 +1,42 @@
+(* Shared helpers for the benchmark harness: wall-clock timing with
+   repetitions, and aligned table printing. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* median of [reps] runs, milliseconds *)
+let time_median ?(reps = 5) f =
+  let samples =
+    List.init reps (fun _ -> snd (time_once f)) |> List.sort compare
+  in
+  List.nth samples (reps / 2)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fms ms = Printf.sprintf "%.2f" ms
+let fint = string_of_int
+let ffloat f = Printf.sprintf "%.2f" f
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")

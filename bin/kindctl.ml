@@ -1,0 +1,444 @@
+(* kindctl — command-line access to the KIND mediator stack.
+
+   Subcommands:
+     run        evaluate an F-logic program file and answer its queries
+     check      audit an F-logic program for integrity violations
+     translate  run a CM plug-in over an XML document
+     dmap       print/export the ANATOM domain map (text or Graphviz)
+     classify   subsumers of a concept in the ANATOM map
+     demo       the Section 5 walk-through, with ablation switches *)
+
+open Kind
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let pp_answers lits answers =
+  let vars =
+    List.concat_map
+      (fun l ->
+        match l with
+        | Flogic.Molecule.Pos m | Flogic.Molecule.Neg m -> Flogic.Molecule.vars m
+        | _ -> [])
+      lits
+    |> List.filter (fun v -> not (String.length v > 1 && v.[0] = '_'))
+    |> List.sort_uniq String.compare
+  in
+  if answers = [] then print_endline "  no."
+  else
+    List.iter
+      (fun sub ->
+        let bindings =
+          List.filter_map
+            (fun v ->
+              match Logic.Subst.find v sub with
+              | Some t -> Some (Printf.sprintf "%s = %s" v (Logic.Term.to_string t))
+              | None -> None)
+            vars
+        in
+        print_endline
+          ("  " ^ if bindings = [] then "yes." else String.concat ", " bindings))
+      answers
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"F-logic program")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"additional goal to solve, e.g. \"X : spine, X[diameter ->> D]\"")
+  in
+  let engine =
+    Arg.(value & opt string "bottomup" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"bottomup (materialize, default) or topdown (tabled, \
+                 goal-directed; queries only, no aggregates/skolems)")
+  in
+  let solve_topdown t parsed goals =
+    match Flogic.Fl_program.compile t with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok p ->
+      List.iter
+        (fun lits ->
+          Printf.printf "?- %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun l -> Format.asprintf "%a" Flogic.Molecule.pp_lit l)
+                  lits));
+          (* wrap the conjunctive goal in a fresh tabled predicate *)
+          let vars =
+            List.concat_map
+              (fun l ->
+                match l with
+                | Flogic.Molecule.Pos m | Flogic.Molecule.Neg m ->
+                  Flogic.Molecule.vars m
+                | _ -> [])
+              lits
+            |> List.sort_uniq String.compare
+            |> List.filter (fun v -> not (String.length v > 1 && v.[0] = '_'))
+          in
+          let goal_head =
+            Logic.Atom.make "goal_" (List.map Logic.Term.var vars)
+          in
+          let body =
+            List.concat_map
+              (Flogic.Compile.body_literals parsed.Flogic.Fl_parser.signature)
+              lits
+          in
+          match
+            Datalog.Program.add_rule p (Logic.Rule.make goal_head body)
+          with
+          | Error e -> prerr_endline e
+          | Ok p' -> (
+            match
+              Datalog.Topdown.solve p' (Datalog.Database.create ()) goal_head
+            with
+            | exception Datalog.Topdown.Unsupported m ->
+              Printf.printf "  top-down unsupported here (%s); use --engine bottomup\n" m
+            | tuples ->
+              if tuples = [] then print_endline "  no."
+              else
+                List.iter
+                  (fun tup ->
+                    print_endline
+                      ("  "
+                      ^ String.concat ", "
+                          (List.map2
+                             (fun v t ->
+                               Printf.sprintf "%s = %s" v (Logic.Term.to_string t))
+                             vars tup)))
+                  tuples))
+        goals;
+      0
+  in
+  let run file query engine =
+    match Flogic.Fl_parser.parse_program (read_file file) with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok parsed -> (
+      let t =
+        Flogic.Fl_program.make ~signature:parsed.Flogic.Fl_parser.signature
+          parsed.Flogic.Fl_parser.rules
+      in
+      let goals =
+        parsed.Flogic.Fl_parser.queries
+        @
+        match query with
+        | None -> []
+        | Some q -> (
+          match
+            Flogic.Fl_parser.parse_query
+              ~signature:parsed.Flogic.Fl_parser.signature q
+          with
+          | Ok lits -> [ lits ]
+          | Error e ->
+            prerr_endline e;
+            [])
+      in
+      if String.equal engine "topdown" then solve_topdown t parsed goals
+      else
+        match Flogic.Fl_program.compile t with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok _ ->
+          let db = Flogic.Fl_program.run t in
+          Printf.printf "%d facts derived.\n" (Datalog.Database.cardinal db);
+          List.iter
+            (fun lits ->
+              Printf.printf "?- %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun l -> Format.asprintf "%a" Flogic.Molecule.pp_lit l)
+                      lits));
+              pp_answers lits (Flogic.Fl_program.query t db lits))
+            goals;
+          0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"evaluate an F-logic program and answer its queries")
+    Term.(const run $ file $ query $ engine)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"F-logic program")
+  in
+  let run file =
+    match Flogic.Fl_parser.parse_program (read_file file) with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok parsed ->
+      let t =
+        Flogic.Fl_program.make ~signature:parsed.Flogic.Fl_parser.signature
+          parsed.Flogic.Fl_parser.rules
+      in
+      let db = Flogic.Fl_program.run t in
+      let ws = Flogic.Ic.violations db in
+      if ws = [] then begin
+        print_endline "consistent: no integrity-constraint witnesses.";
+        0
+      end
+      else begin
+        Printf.printf "%d violation(s):\n" (List.length ws);
+        List.iter
+          (fun w -> Format.printf "  %a@." Flogic.Ic.pp_witness w)
+          ws;
+        1
+      end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"audit an F-logic program for integrity violations")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"F-logic program")
+  in
+  let fact_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FACT"
+           ~doc:"ground fact to explain, e.g. \"tc(a, c)\" or \"s1 : spine\"")
+  in
+  let run file fact_s =
+    match Flogic.Fl_parser.parse_program (read_file file) with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok parsed -> (
+      let t =
+        Flogic.Fl_program.make ~signature:parsed.Flogic.Fl_parser.signature
+          parsed.Flogic.Fl_parser.rules
+      in
+      match Flogic.Fl_program.compile t with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok p -> (
+        match
+          Flogic.Fl_parser.parse_query
+            ~signature:parsed.Flogic.Fl_parser.signature fact_s
+        with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok lits -> (
+          let atoms =
+            List.concat_map
+              (Flogic.Compile.body_literals parsed.Flogic.Fl_parser.signature)
+              lits
+            |> List.filter_map (function
+                 | Logic.Literal.Pos a -> Some a
+                 | _ -> None)
+          in
+          match atoms with
+          | [ goal ] when Logic.Atom.is_ground goal -> (
+            let facts, rules_only = Datalog.Program.split_facts p in
+            let edb = Datalog.Database.of_facts facts in
+            let db =
+              Datalog.Engine.materialize p (Datalog.Database.create ())
+            in
+            let rules_p =
+              Datalog.Program.make_exn (Datalog.Program.rules rules_only)
+            in
+            match Datalog.Explain.explain rules_p db ~edb goal with
+            | Some proof ->
+              Format.printf "%a@." Datalog.Explain.pp proof;
+              Printf.printf "rests on %d source fact(s)\n"
+                (List.length
+                   (List.sort_uniq compare (Datalog.Explain.leaves proof)));
+              0
+            | None ->
+              Printf.printf "%s does not hold.\n" fact_s;
+              1)
+          | _ ->
+            prerr_endline "explain expects exactly one ground fact";
+            1)))
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"derivation tree (why-provenance) for a fact")
+    Term.(const run $ file $ fact_arg)
+
+(* ------------------------------------------------------------------ *)
+(* translate *)
+
+let translate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document")
+  in
+  let format =
+    Arg.(value & opt string "gcm-xml" & info [ "f"; "format" ] ~docv:"FORMAT"
+           ~doc:"CM dialect: gcm-xml, er-xml, uxf or rdfs")
+  in
+  let run file format =
+    let reg = Cm_plugins.Defaults.registry () in
+    match Cm_plugins.Plugin.translate_string reg ~format (read_file file) with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok tr ->
+      Format.printf "%a" Gcm.Schema.pp tr.Cm_plugins.Plugin.schema;
+      Printf.printf "facts (%d):\n" (List.length tr.Cm_plugins.Plugin.facts);
+      List.iter
+        (fun m -> Format.printf "  %a.@." Flogic.Molecule.pp m)
+        tr.Cm_plugins.Plugin.facts;
+      List.iter
+        (fun (cls, concept, ctx) ->
+          Printf.printf "anchor: %s @ %s%s\n" cls concept
+            (if ctx = [] then "" else " [" ^ String.concat " " ctx ^ "]"))
+        tr.Cm_plugins.Plugin.anchors;
+      0
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"run a CM plug-in over an XML document")
+    Term.(const run $ file $ format)
+
+(* ------------------------------------------------------------------ *)
+(* dmap *)
+
+let which_map =
+  Arg.(value & opt string "full" & info [ "m"; "map" ] ~docv:"MAP"
+         ~doc:"fig1, fig3 (base + registration) or full")
+
+let get_map = function
+  | "fig1" -> (Neuro.Anatom.fig1, [])
+  | "fig3" -> (
+    match
+      Domain_map.Register.register Neuro.Anatom.fig3_base
+        Neuro.Anatom.fig3_registration
+    with
+    | Ok out -> (out.Domain_map.Register.dmap, out.Domain_map.Register.added_concepts)
+    | Error e -> failwith e)
+  | "full" -> (Neuro.Anatom.full, [])
+  | m -> failwith ("unknown map " ^ m ^ " (use fig1, fig3 or full)")
+
+let dmap_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"emit Graphviz") in
+  let run map dot =
+    let dm, highlight = get_map map in
+    if dot then print_string (Domain_map.Dmap.to_dot ~highlight dm)
+    else Format.printf "%a" Domain_map.Dmap.pp dm;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dmap" ~doc:"print or export a domain map")
+    Term.(const run $ which_map $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* classify *)
+
+let classify_cmd =
+  let concept =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CONCEPT")
+  in
+  let run map concept =
+    let dm, _ = get_map map in
+    match Domain_map.Register.classification dm concept with
+    | Ok supers ->
+      Printf.printf "%s is subsumed by: %s\n" concept (String.concat ", " supers);
+      0
+    | Error f ->
+      Printf.printf "outside the decidable fragment: %s\n" f;
+      1
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"named subsumers of a concept (EL completion)")
+    Term.(const run $ which_map $ concept)
+
+(* ------------------------------------------------------------------ *)
+(* query: federated conjunctive queries over the demo federation *)
+
+let query_cmd =
+  let goal =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"GOAL"
+           ~doc:"e.g. \"X : spine, X[diameter ->> D], D > 0.6\"")
+  in
+  let scale =
+    Arg.(value & opt int 50 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
+  in
+  let run goal scale =
+    let med =
+      Neuro.Sources.standard_mediator { Neuro.Sources.seed = 42; scale }
+    in
+    match Mediation.Conjunctive.run_text med goal with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (answers, report) ->
+      Format.printf "%a" Mediation.Conjunctive.pp_report report;
+      (match
+         Flogic.Fl_parser.parse_query
+           ~signature:(Mediation.Mediator.signature med) goal
+       with
+      | Ok lits -> pp_answers lits answers
+      | Error _ -> ());
+      0
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"plan and run a federated conjunctive query over the demo sources")
+    Term.(const run $ goal $ scale)
+
+(* ------------------------------------------------------------------ *)
+(* demo *)
+
+let demo_cmd =
+  let scale =
+    Arg.(value & opt int 50 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let no_index = Arg.(value & flag & info [ "no-index" ] ~doc:"disable the semantic index") in
+  let no_push = Arg.(value & flag & info [ "no-pushdown" ] ~doc:"disable selection pushdown") in
+  let no_lub = Arg.(value & flag & info [ "no-lub" ] ~doc:"use the whole-map root") in
+  let run scale seed no_index no_push no_lub =
+    let config =
+      {
+        Mediation.Mediator.default_config with
+        Mediation.Mediator.use_semantic_index = not no_index;
+        pushdown = not no_push;
+        use_lub = not no_lub;
+      }
+    in
+    let med =
+      Neuro.Sources.standard_mediator ~config { Neuro.Sources.seed; scale }
+    in
+    match
+      Mediation.Section5.calcium_binding_query med ~organism:"rat"
+        ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+    with
+    | Ok o ->
+      Mediation.Section5.pp_outcome Format.std_formatter o;
+      0
+    | Error e ->
+      prerr_endline e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"the Section 5 calcium-binding-protein walk-through")
+    Term.(const run $ scale $ seed $ no_index $ no_push $ no_lub)
+
+let () =
+  let info =
+    Cmd.info "kindctl" ~version:"1.0.0"
+      ~doc:"model-based mediation with domain maps (KIND)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_cmd; check_cmd; explain_cmd; translate_cmd; dmap_cmd;
+            classify_cmd; demo_cmd; query_cmd;
+          ]))

@@ -1,0 +1,120 @@
+(* Quickstart: build a small domain map, wrap two toy sources, register
+   them with a mediator, and ask a cross-source question.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Kind
+module C = Dl.Concept
+module Molecule = Flogic.Molecule
+
+let t = Logic.Term.sym
+let str = Logic.Term.str
+let fl = Logic.Term.float
+
+let () =
+  (* 1. Domain knowledge: a miniature anatomy, as DL axioms
+        (Definition 1). *)
+  let dmap =
+    Domain_map.Dmap.of_axioms
+      [
+        C.subsumes (C.name "neuron") (C.exists "has" (C.name "dendrite"));
+        C.subsumes (C.name "dendrite") (C.exists "has" (C.name "spine"));
+        C.subsumes (C.name "purkinje_cell") (C.name "neuron");
+        C.subsumes (C.name "pyramidal_cell") (C.name "neuron");
+      ]
+  in
+  Format.printf "Domain map:@.%a@." Domain_map.Dmap.pp dmap;
+
+  (* 2. Two wrapped sources from different "worlds". *)
+  let morphology =
+    Wrapper.Source.make ~name:"MORPH"
+      ~schema:
+        (Gcm.Schema.make ~name:"MORPH"
+           ~classes:
+             [
+               Gcm.Schema.class_def "spine_measure"
+                 ~methods:[ ("diameter", "number"); ("cell", "anatomical_term") ];
+             ]
+           ())
+      ~capabilities:
+        [
+          Wrapper.Capability.scan_class "spine_measure";
+          Wrapper.Capability.select_class ~cls:"spine_measure" ~on:[ "cell" ];
+        ]
+      ~anchors:[ ("spine_measure", "spine", []) ]
+      ~data:
+        [
+          Molecule.Isa (t "m1", t "spine_measure");
+          Molecule.Meth_val (t "m1", "diameter", fl 0.42);
+          Molecule.Meth_val (t "m1", "cell", t "purkinje_cell");
+          Molecule.Isa (t "m2", t "spine_measure");
+          Molecule.Meth_val (t "m2", "diameter", fl 0.77);
+          Molecule.Meth_val (t "m2", "cell", t "pyramidal_cell");
+        ]
+      ()
+  in
+  let proteins =
+    Wrapper.Source.make ~name:"PROT"
+      ~schema:
+        (Gcm.Schema.make ~name:"PROT"
+           ~classes:
+             [
+               Gcm.Schema.class_def "localization"
+                 ~methods:
+                   [ ("protein", "string"); ("site", "anatomical_term") ];
+             ]
+           ())
+      ~anchors:[ ("localization", "dendrite", []) ]
+      ~data:
+        [
+          Molecule.Isa (t "l1", t "localization");
+          Molecule.Meth_val (t "l1", "protein", str "calbindin");
+          Molecule.Meth_val (t "l1", "site", t "dendrite");
+        ]
+      ()
+  in
+
+  (* 3. Register both with a mediator. *)
+  let med = Mediation.Mediator.create dmap in
+  List.iter
+    (fun src ->
+      match Mediation.Mediator.register_source med src with
+      | Ok () -> Format.printf "registered %s@." (Wrapper.Source.name src)
+      | Error e -> failwith e)
+    [ morphology; proteins ];
+
+  (* 4. The semantic index knows who can answer what. *)
+  List.iter
+    (fun concept ->
+      Format.printf "sources with data about %s: %s@." concept
+        (String.concat ", "
+           (Mediation.Mediator.select_sources med ~concepts:[ concept ])))
+    [ "spine"; "dendrite" ];
+
+  (* 5. An integrated view across both worlds: measurements and protein
+        sites correlate through the domain map (loose federation,
+        Example 1 of the paper). *)
+  (match
+     Mediation.Mediator.add_ivd_text med
+       {| correlated(M, P) :-
+            M : 'MORPH.spine_measure',
+            L : 'PROT.localization', L[protein ->> P]. |}
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match
+     Mediation.Mediator.query_text med "?- correlated(M, P)."
+   with
+  | Ok answers ->
+    Format.printf "correlated measurement/protein pairs: %d@."
+      (List.length answers)
+  | Error e -> failwith e);
+
+  (* 6. Conceptual-level query: everything that is (or is anchored at)
+        a spine, wherever it came from. *)
+  let spines =
+    Mediation.Mediator.query med
+      [ Molecule.Pos (Molecule.isa (Logic.Term.var "X") (t "spine")) ]
+  in
+  Format.printf "objects lifted to the 'spine' concept: %d@."
+    (List.length spines)

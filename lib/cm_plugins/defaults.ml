@@ -1,0 +1,8 @@
+let registry () =
+  let reg = Plugin.create_registry () in
+  Plugin.register reg Gcm_xml.plugin;
+  Plugin.register reg Er_xml.plugin;
+  Plugin.register reg Uxf.plugin;
+  Plugin.register reg Rdfs.plugin;
+  Plugin.register reg Xsd.plugin;
+  reg

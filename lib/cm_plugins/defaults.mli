@@ -1,0 +1,4 @@
+(** The registry with the five shipped plug-ins pre-registered:
+    [gcm-xml], [er-xml], [uxf], [rdfs], [xsd]. *)
+
+val registry : unit -> Plugin.registry

@@ -1,0 +1,142 @@
+module Xml = Xmlkit.Xml
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let translate doc =
+  match Xml.tag doc with
+  | Some "er" ->
+    let name = Option.value ~default:"er-source" (Xml.attr "name" doc) in
+    let* entities =
+      collect
+        (fun el ->
+          let* ename = Plugin.require_attr el "name" in
+          let* methods =
+            collect
+              (fun a ->
+                let* aname = Plugin.require_attr a "name" in
+                Ok (aname, Option.value ~default:"string" (Xml.attr "domain" a)))
+              (Xml.find_children "attribute" el)
+          in
+          Ok (ename, methods))
+        (Xml.find_children "entity" doc)
+    in
+    let* isa_pairs =
+      collect
+        (fun el ->
+          let* sub = Plugin.require_attr el "sub" in
+          let* super = Plugin.require_attr el "super" in
+          Ok (sub, super))
+        (Xml.find_children "isa" doc)
+    in
+    let supers_of e =
+      List.filter_map (fun (s, p) -> if s = e then Some p else None) isa_pairs
+    in
+    (* isa may introduce entities that have no <entity> element *)
+    let all_entity_names =
+      List.map fst entities
+      @ List.concat_map (fun (s, p) -> [ s; p ]) isa_pairs
+      |> List.sort_uniq String.compare
+    in
+    let classes =
+      List.map
+        (fun e ->
+          let methods =
+            match List.assoc_opt e entities with Some ms -> ms | None -> []
+          in
+          Gcm.Schema.class_def e ~supers:(supers_of e) ~methods)
+        all_entity_names
+    in
+    let* rels =
+      collect
+        (fun el ->
+          let* rname = Plugin.require_attr el "name" in
+          let* roles =
+            collect
+              (fun r ->
+                let* role = Plugin.require_attr r "name" in
+                let* entity = Plugin.require_attr r "entity" in
+                Ok (role, entity, Xml.attr "card" r))
+              (Xml.find_children "role" el)
+          in
+          if roles = [] then Error (Printf.sprintf "relationship %s has no roles" rname)
+          else Ok (rname, roles))
+        (Xml.find_children "relationship" doc)
+    in
+    let relations =
+      List.map (fun (r, roles) -> (r, List.map (fun (a, e, _) -> (a, e)) roles)) rels
+    in
+    let sg =
+      List.fold_left
+        (fun sg (r, avs) -> Flogic.Signature.declare r (List.map fst avs) sg)
+        Flogic.Signature.empty relations
+    in
+    (* Cardinality 1 on a role: each combination of the other roles
+       determines it uniquely (Example 3 style). *)
+    let card_rules =
+      List.concat_map
+        (fun (r, roles) ->
+          List.concat_map
+            (fun (a, _, card) ->
+              match card with
+              | Some "1" ->
+                let others = List.filter_map (fun (b, _, _) -> if b = a then None else Some b) roles in
+                if others = [] then []
+                else
+                  Gcm.Constraints.cardinality ~sg ~rel:r ~counted:a ~per:others
+                    ~exactly:1 ()
+              | _ -> [])
+            roles)
+        rels
+    in
+    let* instance_facts =
+      collect
+        (fun el ->
+          let* entity = Plugin.require_attr el "entity" in
+          let* key = Plugin.require_attr el "key" in
+          let* vals =
+            collect
+              (fun a ->
+                let* aname = Plugin.require_attr a "name" in
+                Ok (Molecule.meth_val (Term.sym key) aname
+                      (Plugin.term_of_text (Xml.text_content a))))
+              (Xml.find_children "attribute-value" el)
+          in
+          Ok (Molecule.isa (Term.sym key) (Term.sym entity) :: vals))
+        (Xml.find_children "entity-instance" doc)
+    in
+    let* rel_facts =
+      collect
+        (fun el ->
+          let* rname = Plugin.require_attr el "name" in
+          let* fields =
+            collect
+              (fun f ->
+                let* role = Plugin.require_attr f "role" in
+                Ok (role, Plugin.ident_of_text (Xml.text_content f)))
+              (Xml.find_children "role-value" el)
+          in
+          Ok (Molecule.Rel_val (rname, fields)))
+        (Xml.find_children "relationship-instance" doc)
+    in
+    let schema = Gcm.Schema.make ~name ~classes ~relations ~rules:card_rules () in
+    let* () = Gcm.Schema.validate schema in
+    Ok
+      {
+        Plugin.schema;
+        facts = List.concat instance_facts @ rel_facts;
+        anchors = [];
+      }
+  | _ -> Error "expected an <er> document"
+
+let plugin = { Plugin.format = "er-xml"; translate }

@@ -1,0 +1,29 @@
+(** ER-diagram plug-in: maps an XML serialisation of (extended)
+    entity-relationship diagrams onto the GCM — entities become
+    classes, ER attributes become methods, relationships with roles
+    become typed relations, and isa constructs become subclass edges.
+
+    {v
+    <er name="LAB">
+      <entity name="neuron">
+        <attribute name="organism" domain="string"/>
+      </entity>
+      <isa sub="purkinje" super="neuron"/>
+      <relationship name="has">
+        <role name="whole" entity="neuron" card="1"/>
+        <role name="part" entity="compartment" card="N"/>
+      </relationship>
+      <entity-instance entity="neuron" key="n1">
+        <attribute-value name="organism">rat</attribute-value>
+      </entity-instance>
+      <relationship-instance name="has">
+        <role-value role="whole">n1</role-value>
+        <role-value role="part">d1</role-value>
+      </relationship-instance>
+    </er>
+    v}
+
+    Cardinality annotations ([card="1"]) become Example-3-style
+    integrity constraints on the relation. *)
+
+val plugin : Plugin.t

@@ -1,0 +1,197 @@
+module Xml = Xmlkit.Xml
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let parse_class el =
+  let* name = Plugin.require_attr el "name" in
+  let supers =
+    match Xml.attr "super" el with
+    | Some s -> String.split_on_char ' ' s |> List.filter (( <> ) "")
+    | None -> []
+  in
+  let* methods =
+    collect
+      (fun m ->
+        let* mname = Plugin.require_attr m "name" in
+        let range = Option.value ~default:"string" (Xml.attr "range" m) in
+        Ok (mname, range))
+      (Xml.find_children "method" el)
+  in
+  Ok (Gcm.Schema.class_def name ~supers ~methods)
+
+let parse_relation el =
+  let* name = Plugin.require_attr el "name" in
+  let* attrs =
+    collect
+      (fun a ->
+        let* aname = Plugin.require_attr a "name" in
+        let cls = Option.value ~default:"thing" (Xml.attr "class" a) in
+        Ok (aname, cls))
+      (Xml.find_children "attr" el)
+  in
+  if attrs = [] then Error (Printf.sprintf "relation %s has no attributes" name)
+  else Ok (name, attrs)
+
+let parse_tuple sg el =
+  let* rel = Plugin.require_attr el "relation" in
+  let* fields =
+    collect
+      (fun f ->
+        let* attr = Plugin.require_attr f "attr" in
+        Ok (attr, Plugin.ident_of_text (Xml.text_content f)))
+      (Xml.find_children "field" el)
+  in
+  ignore sg;
+  Ok (Molecule.Rel_val (rel, fields))
+
+let translate doc =
+  match Xml.tag doc with
+  | Some "gcm" -> (
+    let source = Option.value ~default:"unnamed" (Xml.attr "source" doc) in
+    let* classes = collect parse_class (Xml.find_children "class" doc) in
+    let* relations = collect parse_relation (Xml.find_children "relation" doc) in
+    let* instance_facts =
+      collect
+        (fun el ->
+          let* id = Plugin.require_attr el "id" in
+          let* cls = Plugin.require_attr el "class" in
+          Ok (Molecule.isa (Term.sym id) (Term.sym cls)))
+        (Xml.find_children "instance" doc)
+    in
+    let* value_facts =
+      collect
+        (fun el ->
+          let* obj = Plugin.require_attr el "object" in
+          let* m = Plugin.require_attr el "method" in
+          Ok
+            (Molecule.meth_val (Term.sym obj) m
+               (Plugin.term_of_text (Xml.text_content el))))
+        (Xml.find_children "value" doc)
+    in
+    let sg =
+      List.fold_left
+        (fun sg (r, avs) -> Flogic.Signature.declare r (List.map fst avs) sg)
+        Flogic.Signature.empty relations
+    in
+    let* tuple_facts = collect (parse_tuple sg) (Xml.find_children "tuple" doc) in
+    let* anchors =
+      collect
+        (fun el ->
+          let* cls = Plugin.require_attr el "class" in
+          let* concept = Plugin.require_attr el "concept" in
+          let context =
+            match Xml.attr "context" el with
+            | Some c -> String.split_on_char ' ' c |> List.filter (( <> ) "")
+            | None -> []
+          in
+          Ok (cls, concept, context))
+        (Xml.find_children "anchor" doc)
+    in
+    let* rules =
+      collect
+        (fun el ->
+          match Flogic.Fl_parser.parse_program ~signature:sg (Xml.text_content el) with
+          | Ok parsed -> Ok parsed.Flogic.Fl_parser.rules
+          | Error e -> Error (Printf.sprintf "bad <rule>: %s" e))
+        (Xml.find_children "rule" doc)
+    in
+    let schema =
+      Gcm.Schema.make ~name:source ~classes ~relations
+        ~rules:(List.concat rules) ()
+    in
+    let* () = Gcm.Schema.validate schema in
+    Ok
+      {
+        Plugin.schema;
+        facts = instance_facts @ value_facts @ tuple_facts;
+        anchors;
+      })
+  | _ -> Error "expected a <gcm> document"
+
+let plugin = { Plugin.format = "gcm-xml"; translate }
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let term_text t =
+  match t with
+  | Term.Const (Term.Str s) | Term.Const (Term.Sym s) -> s
+  | t -> Term.to_string t
+
+let export ~source (tr : Plugin.translation) =
+  let schema = tr.Plugin.schema in
+  let class_els =
+    List.map
+      (fun (c : Gcm.Schema.class_def) ->
+        Xml.elt "class"
+          ~attrs:
+            ((("name", c.Gcm.Schema.cname)
+             ::
+             (if c.Gcm.Schema.supers = [] then []
+              else [ ("super", String.concat " " c.Gcm.Schema.supers) ])))
+          (List.map
+             (fun (m, r) -> Xml.elt "method" ~attrs:[ ("name", m); ("range", r) ] [])
+             c.Gcm.Schema.methods))
+      schema.Gcm.Schema.classes
+  in
+  let rel_els =
+    List.map
+      (fun (r, avs) ->
+        Xml.elt "relation" ~attrs:[ ("name", r) ]
+          (List.map
+             (fun (a, c) -> Xml.elt "attr" ~attrs:[ ("name", a); ("class", c) ] [])
+             avs))
+      schema.Gcm.Schema.relations
+  in
+  let fact_els =
+    List.filter_map
+      (fun m ->
+        match m with
+        | Molecule.Isa (x, c) ->
+          Some
+            (Xml.elt "instance"
+               ~attrs:[ ("id", term_text x); ("class", term_text c) ]
+               [])
+        | Molecule.Meth_val (x, meth, v) ->
+          Some
+            (Xml.elt "value"
+               ~attrs:[ ("object", term_text x); ("method", meth) ]
+               [ Xml.text (term_text v) ])
+        | Molecule.Rel_val (r, avs) ->
+          Some
+            (Xml.elt "tuple" ~attrs:[ ("relation", r) ]
+               (List.map
+                  (fun (a, v) ->
+                    Xml.elt "field" ~attrs:[ ("attr", a) ] [ Xml.text (term_text v) ])
+                  avs))
+        | _ -> None)
+      tr.Plugin.facts
+  in
+  let anchor_els =
+    List.map
+      (fun (cls, concept, context) ->
+        Xml.elt "anchor"
+          ~attrs:
+            ([ ("class", cls); ("concept", concept) ]
+            @ if context = [] then [] else [ ("context", String.concat " " context) ])
+          [])
+      tr.Plugin.anchors
+  in
+  let rule_els =
+    List.map
+      (fun r -> Xml.leaf "rule" (Molecule.rule_to_string r))
+      schema.Gcm.Schema.rules
+  in
+  Xml.elt "gcm" ~attrs:[ ("source", source) ]
+    (class_els @ rel_els @ fact_els @ anchor_els @ rule_els)

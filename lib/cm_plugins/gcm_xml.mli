@@ -1,0 +1,28 @@
+(** The native GCM XML dialect: the format wrappers use when they export
+    their conceptual model directly in GCM (no translation needed beyond
+    parsing). Doubles as the reference dialect the other plug-ins are
+    tested against.
+
+    {v
+    <gcm source="SYNAPSE">
+      <class name="spine" super="compartment">
+        <method name="diameter" range="number"/>
+      </class>
+      <relation name="has">
+        <attr name="whole" class="neuron"/>
+        <attr name="part" class="compartment"/>
+      </relation>
+      <instance id="s1" class="spine"/>
+      <value object="s1" method="diameter">0.52</value>
+      <tuple relation="has"><field attr="whole">n1</field>
+                            <field attr="part">d1</field></tuple>
+      <anchor class="spine" concept="spine" context="hippocampus rat"/>
+      <rule>big(S) :- S : spine, S[diameter -&gt;&gt; D], D &gt; 0.5.</rule>
+    </gcm>
+    v} *)
+
+val plugin : Plugin.t
+
+val export : source:string -> Plugin.translation -> Xmlkit.Xml.t
+(** Inverse direction: render a translation back into the dialect
+    (used by wrappers to put their CM "on the wire"). *)

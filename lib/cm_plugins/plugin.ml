@@ -1,0 +1,68 @@
+type translation = {
+  schema : Gcm.Schema.t;
+  facts : Flogic.Molecule.t list;
+  anchors : (string * string * string list) list;
+}
+
+type t = {
+  format : string;
+  translate : Xmlkit.Xml.t -> (translation, string) result;
+}
+
+let empty_translation ~name =
+  { schema = Gcm.Schema.make ~name (); facts = []; anchors = [] }
+
+type registry = (string, t) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 8
+
+let register reg p =
+  if Hashtbl.mem reg p.format then
+    invalid_arg (Printf.sprintf "Plugin.register: %s already registered" p.format)
+  else Hashtbl.add reg p.format p
+
+let find reg format = Hashtbl.find_opt reg format
+
+let formats reg =
+  Hashtbl.fold (fun f _ acc -> f :: acc) reg [] |> List.sort String.compare
+
+let translate reg ~format doc =
+  match find reg format with
+  | None ->
+    Error
+      (Printf.sprintf "no CM plug-in for format %s (have: %s)" format
+         (String.concat ", " (formats reg)))
+  | Some p -> p.translate doc
+
+let translate_string reg ~format src =
+  match Xmlkit.Parse.parse src with
+  | Error e -> Error e
+  | Ok doc -> translate reg ~format doc
+
+let term_of_text s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some i -> Logic.Term.int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Logic.Term.float f
+    | None -> Logic.Term.str s)
+
+let ident_of_text s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some i -> Logic.Term.int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Logic.Term.float f
+    | None -> Logic.Term.sym s)
+
+let require_attr t name =
+  match Xmlkit.Xml.attr name t with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Printf.sprintf "element <%s> is missing required attribute %s"
+         (Option.value ~default:"?" (Xmlkit.Xml.tag t))
+         name)
+

@@ -1,0 +1,58 @@
+(** The CM plug-in mechanism (Section 2).
+
+    "A new CM formalism ... is added to the system by simply plugging
+    a [formalism]-2-GCM translator into the mediator. Essentially such
+    a translator is nothing more than a complex XML query ... Hence, in
+    this architecture the mediator needs only a single GCM engine for
+    handling arbitrary CMs."
+
+    A plug-in maps one XML dialect to the common currency of the
+    mediator: a GCM schema, instance-level facts, and semantic-index
+    anchor hints. Plug-ins ship with the library for the native GCM
+    dialect ({!Gcm_xml}), ER diagrams ({!Er_xml}), UXF-style UML
+    ({!Uxf}) and an RDFS subset ({!Rdfs}); new ones are added with
+    {!register} at runtime, without touching the engine. *)
+
+type translation = {
+  schema : Gcm.Schema.t;
+  facts : Flogic.Molecule.t list;   (** instance-level data *)
+  anchors : (string * string * string list) list;
+      (** (cm_class, concept, context) semantic-index entries *)
+}
+
+type t = {
+  format : string;  (** dialect name, e.g. ["uxf"] *)
+  translate : Xmlkit.Xml.t -> (translation, string) result;
+}
+
+val empty_translation : name:string -> translation
+
+(** {1 Registry} *)
+
+type registry
+
+val create_registry : unit -> registry
+val register : registry -> t -> unit
+(** Raises [Invalid_argument] on duplicate format names. *)
+
+val find : registry -> string -> t option
+val formats : registry -> string list
+
+val translate :
+  registry -> format:string -> Xmlkit.Xml.t -> (translation, string) result
+
+val translate_string :
+  registry -> format:string -> string -> (translation, string) result
+(** Parse the document, then translate. *)
+
+(** {1 Helpers shared by plug-in implementations} *)
+
+val term_of_text : string -> Logic.Term.t
+(** Numeric-looking text becomes [Int]/[Float], anything else [Str].
+    For attribute/method {e values}. *)
+
+val ident_of_text : string -> Logic.Term.t
+(** Like {!term_of_text} but non-numeric text becomes a [Sym]: used for
+    object identifiers (tuple fields, role values, resource refs). *)
+
+val require_attr : Xmlkit.Xml.t -> string -> (string, string) result

@@ -1,0 +1,126 @@
+module Xml = Xmlkit.Xml
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let id el =
+  match Xml.attr "rdf:ID" el with
+  | Some v -> Ok v
+  | None -> Plugin.require_attr el "rdf:about"
+
+let resource el = Xml.attr "rdf:resource" el
+
+let is_literal_range = function
+  | Some ("Literal" | "rdfs:Literal" | "string" | "int" | "float") | None -> true
+  | Some _ -> false
+
+let translate doc =
+  match Xml.tag doc with
+  | Some ("rdf:RDF" | "rdf") ->
+    let name = Option.value ~default:"rdf-source" (Xml.attr "name" doc) in
+    let* class_infos =
+      collect
+        (fun el ->
+          let* cname = id el in
+          let supers =
+            List.filter_map resource (Xml.find_children "rdfs:subClassOf" el)
+          in
+          Ok (cname, supers))
+        (Xml.find_children "rdfs:Class" doc)
+    in
+    let* props =
+      collect
+        (fun el ->
+          let* pname = id el in
+          let domain =
+            List.filter_map resource (Xml.find_children "rdfs:domain" el)
+          in
+          let range =
+            List.filter_map resource (Xml.find_children "rdfs:range" el)
+          in
+          Ok (pname, domain, (match range with r :: _ -> Some r | [] -> None)))
+        (Xml.find_children "rdf:Property" doc)
+    in
+    (* literal-ranged properties become methods of their domain class;
+       class-ranged ones become binary relations. *)
+    let class_names =
+      List.map fst class_infos
+      @ List.concat_map (fun (_, s) -> s) class_infos
+      |> List.sort_uniq String.compare
+    in
+    let methods_of c =
+      List.filter_map
+        (fun (p, domain, range) ->
+          if List.mem c domain && is_literal_range range then
+            Some (p, Option.value ~default:"string" range)
+          else None)
+        props
+    in
+    let classes =
+      List.map
+        (fun c ->
+          let supers =
+            match List.assoc_opt c class_infos with Some s -> s | None -> []
+          in
+          Gcm.Schema.class_def c ~supers ~methods:(methods_of c))
+        class_names
+    in
+    let rel_props =
+      List.filter_map
+        (fun (p, domain, range) ->
+          match range with
+          | Some r when not (is_literal_range (Some r)) ->
+            Some (p, [ ("subject", (match domain with d :: _ -> d | [] -> "thing")); ("object", r) ])
+          | _ -> None)
+        props
+    in
+    let rel_names = List.map fst rel_props in
+    let* desc_facts =
+      collect
+        (fun el ->
+          let* oname = id el in
+          let types =
+            List.filter_map resource (Xml.find_children "rdf:type" el)
+          in
+          let prop_facts =
+            List.concat_map
+              (fun child ->
+                match Xml.tag child with
+                | Some p when p <> "rdf:type" -> (
+                  match resource child with
+                  | Some obj when List.mem p rel_names ->
+                    [
+                      Molecule.Rel_val
+                        (p, [ ("subject", Term.sym oname); ("object", Term.sym obj) ]);
+                    ]
+                  | Some obj ->
+                    [ Molecule.meth_val (Term.sym oname) p (Term.sym obj) ]
+                  | None ->
+                    [
+                      Molecule.meth_val (Term.sym oname) p
+                        (Plugin.term_of_text (Xml.text_content child));
+                    ])
+                | _ -> [])
+              (Xml.child_elements el)
+          in
+          Ok
+            (List.map (fun ty -> Molecule.isa (Term.sym oname) (Term.sym ty)) types
+            @ prop_facts))
+        (Xml.find_children "rdf:Description" doc)
+    in
+    let schema = Gcm.Schema.make ~name ~classes ~relations:rel_props () in
+    let* () = Gcm.Schema.validate schema in
+    Ok { Plugin.schema; facts = List.concat desc_facts; anchors = [] }
+  | _ -> Error "expected an <rdf:RDF> document"
+
+let plugin = { Plugin.format = "rdfs"; translate }

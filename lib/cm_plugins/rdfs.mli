@@ -1,0 +1,28 @@
+(** RDFS plug-in: a subset of RDF Schema sufficient for class
+    hierarchies, typed properties and instance descriptions — the paper
+    notes "RDF or XML Schema, when used with a rule language like
+    F-logic, can be used as a GCM".
+
+    {v
+    <rdf:RDF>
+      <rdfs:Class rdf:ID="Neuron"/>
+      <rdfs:Class rdf:ID="Purkinje">
+        <rdfs:subClassOf rdf:resource="Neuron"/>
+      </rdfs:Class>
+      <rdf:Property rdf:ID="organism">
+        <rdfs:domain rdf:resource="Neuron"/>
+        <rdfs:range rdf:resource="Literal"/>
+      </rdf:Property>
+      <rdf:Description rdf:ID="n1">
+        <rdf:type rdf:resource="Purkinje"/>
+        <organism>rat</organism>
+      </rdf:Description>
+    </rdf:RDF>
+    v}
+
+    Properties whose range is another class become binary relations;
+    literal-ranged properties become methods on their domain class.
+    Property values in descriptions referencing resources use
+    [rdf:resource]; literal values use element text. *)
+
+val plugin : Plugin.t

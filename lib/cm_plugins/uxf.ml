@@ -1,0 +1,144 @@
+module Xml = Xmlkit.Xml
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let normalise_name s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iteri
+    (fun i c ->
+      if c >= 'A' && c <= 'Z' then begin
+        if i > 0 then Buffer.add_char buf '_';
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      end
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* "0..2" -> upper bound 2; "1" -> exactly 1; "*"/"0..*" -> none. *)
+let upper_bound mult =
+  match String.split_on_char '.' mult with
+  | [ one ] -> int_of_string_opt one |> Option.map (fun k -> (`Exactly, k))
+  | [ _; ""; hi ] | [ _; hi ] ->
+    int_of_string_opt hi |> Option.map (fun k -> (`At_most, k))
+  | _ -> None
+
+let translate doc =
+  match Xml.tag doc with
+  | Some "uxf" ->
+    let name = Option.value ~default:"uml-source" (Xml.attr "name" doc) in
+    let* classes =
+      collect
+        (fun el ->
+          let* cname = Plugin.require_attr el "name" in
+          let supers =
+            List.filter_map (Xml.attr "name") (Xml.find_children "superclass" el)
+            |> List.map normalise_name
+          in
+          let* attrs =
+            collect
+              (fun a ->
+                let* aname = Plugin.require_attr a "name" in
+                Ok
+                  ( normalise_name aname,
+                    normalise_name (Option.value ~default:"String" (Xml.attr "type" a)) ))
+              (Xml.find_children "attribute" el @ Xml.find_children "operation" el)
+          in
+          Ok (Gcm.Schema.class_def (normalise_name cname) ~supers ~methods:attrs))
+        (Xml.find_children "class" doc)
+    in
+    let* assocs =
+      collect
+        (fun el ->
+          let* aname = Plugin.require_attr el "name" in
+          let* ends =
+            collect
+              (fun e ->
+                let* role = Plugin.require_attr e "role" in
+                let* cls = Plugin.require_attr e "class" in
+                Ok (role, normalise_name cls, Xml.attr "multiplicity" e))
+              (Xml.find_children "assocEnd" el)
+          in
+          if ends = [] then Error (Printf.sprintf "association %s has no ends" aname)
+          else Ok (normalise_name aname, ends))
+        (Xml.find_children "association" doc)
+    in
+    let relations =
+      List.map (fun (a, ends) -> (a, List.map (fun (r, c, _) -> (r, c)) ends)) assocs
+    in
+    let sg =
+      List.fold_left
+        (fun sg (r, avs) -> Flogic.Signature.declare r (List.map fst avs) sg)
+        Flogic.Signature.empty relations
+    in
+    let mult_rules =
+      List.concat_map
+        (fun (a, ends) ->
+          List.concat_map
+            (fun (role, _, mult) ->
+              match Option.map upper_bound mult |> Option.join with
+              | Some (kind, k) ->
+                let others =
+                  List.filter_map (fun (r, _, _) -> if r = role then None else Some r) ends
+                in
+                if others = [] then []
+                else (
+                  match kind with
+                  | `Exactly ->
+                    Gcm.Constraints.cardinality ~sg ~rel:a ~counted:role
+                      ~per:others ~exactly:k ()
+                  | `At_most ->
+                    Gcm.Constraints.cardinality ~sg ~rel:a ~counted:role
+                      ~per:others ~max_count:k ())
+              | None -> [])
+            ends)
+        assocs
+    in
+    let* object_facts =
+      collect
+        (fun el ->
+          let* oname = Plugin.require_attr el "name" in
+          let* cls = Plugin.require_attr el "class" in
+          let* slots =
+            collect
+              (fun s ->
+                let* sname = Plugin.require_attr s "name" in
+                Ok
+                  (Molecule.meth_val (Term.sym oname) (normalise_name sname)
+                     (Plugin.term_of_text (Xml.text_content s))))
+              (Xml.find_children "slot" el)
+          in
+          Ok (Molecule.isa (Term.sym oname) (Term.sym (normalise_name cls)) :: slots))
+        (Xml.find_children "object" doc)
+    in
+    let* link_facts =
+      collect
+        (fun el ->
+          let* assoc = Plugin.require_attr el "association" in
+          let* ends =
+            collect
+              (fun e ->
+                let* role = Plugin.require_attr e "role" in
+                let* obj = Plugin.require_attr e "object" in
+                Ok (role, Term.sym obj))
+              (Xml.find_children "linkEnd" el)
+          in
+          Ok (Molecule.Rel_val (normalise_name assoc, ends)))
+        (Xml.find_children "link" doc)
+    in
+    let schema = Gcm.Schema.make ~name ~classes ~relations ~rules:mult_rules () in
+    let* () = Gcm.Schema.validate schema in
+    Ok { Plugin.schema; facts = List.concat object_facts @ link_facts; anchors = [] }
+  | _ -> Error "expected a <uxf> document"
+
+let plugin = { Plugin.format = "uxf"; translate }

@@ -1,0 +1,36 @@
+(** UXF-style UML plug-in — the paper's running example of the plug-in
+    mechanism ("a new CM formalism say UXF [SY98] is added to the
+    system by simply plugging an UXF-2-GCM translator into the
+    mediator").
+
+    The dialect follows UXF's class-diagram subset:
+
+    {v
+    <uxf>
+      <class name="Neuron">
+        <superclass name="Cell"/>
+        <attribute name="organism" type="String"/>
+        <operation name="somaSize" type="Real"/>
+      </class>
+      <association name="has">
+        <assocEnd role="whole" class="Neuron" multiplicity="1"/>
+        <assocEnd role="part" class="Compartment" multiplicity="0..2"/>
+      </association>
+      <object name="n1" class="Neuron">
+        <slot name="organism">rat</slot>
+      </object>
+      <link association="has">
+        <linkEnd role="whole" object="n1"/>
+        <linkEnd role="part" object="d1"/>
+      </link>
+    </uxf>
+    v}
+
+    UML class names are case-normalised to GCM convention (lowercase,
+    underscores); multiplicities with a finite upper bound become
+    cardinality integrity constraints. *)
+
+val plugin : Plugin.t
+
+val normalise_name : string -> string
+(** ["SpinyNeuron"] -> ["spiny_neuron"]. *)

@@ -1,0 +1,123 @@
+module Xml = Xmlkit.Xml
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+let norm = Uxf.normalise_name
+
+let simple_type t =
+  (* xs:string -> string, xs:decimal/xs:double/xs:integer -> number *)
+  match t with
+  | "xs:string" | "xs:ID" | "xs:anyURI" -> Some "string"
+  | "xs:decimal" | "xs:double" | "xs:float" | "xs:integer" | "xs:int" ->
+    Some "number"
+  | "xs:boolean" -> Some "boolean"
+  | _ -> None
+
+let find_extension_base el =
+  match Xml.find_child "xs:complexContent" el with
+  | Some cc -> (
+    match Xml.find_child "xs:extension" cc with
+    | Some ext -> Xml.attr "base" ext
+    | None -> None)
+  | None -> (
+    match Xml.find_child "xs:extension" el with
+    | Some ext -> Xml.attr "base" ext
+    | None -> None)
+
+let element_decls el =
+  (* xs:element children anywhere under xs:sequence / xs:all /
+     extension content *)
+  let rec gather t =
+    match Xml.tag t with
+    | Some "xs:element" -> [ t ]
+    | Some _ -> List.concat_map gather (Xml.child_elements t)
+    | None -> []
+  in
+  List.concat_map gather (Xml.child_elements el)
+
+let parse_complex_type el =
+  let* name = Plugin.require_attr el "name" in
+  let supers =
+    match find_extension_base el with Some b -> [ norm b ] | None -> []
+  in
+  let* methods =
+    collect
+      (fun e ->
+        let* ename = Plugin.require_attr e "name" in
+        let range =
+          match Xml.attr "type" e with
+          | Some t -> (
+            match simple_type t with
+            | Some s -> s
+            | None -> norm t (* element typed by another complexType *))
+          | None -> "string"
+        in
+        Ok (norm ename, range))
+      (element_decls el)
+  in
+  Ok (Gcm.Schema.class_def (norm name) ~supers ~methods)
+
+let translate doc =
+  match Xml.tag doc with
+  | Some ("xs:schema" | "xsd:schema" | "schema") ->
+    let name = Option.value ~default:"xsd-source" (Xml.attr "name" doc) in
+    let* classes =
+      collect parse_complex_type (Xml.find_children "xs:complexType" doc)
+    in
+    (* global element declarations: tag -> class *)
+    let* tag_types =
+      collect
+        (fun e ->
+          let* ename = Plugin.require_attr e "name" in
+          let* ty = Plugin.require_attr e "type" in
+          Ok (ename, norm ty))
+        (Xml.find_children "xs:element" doc)
+    in
+    let* instance_facts =
+      match Xml.find_child "data" doc with
+      | None -> Ok []
+      | Some data ->
+        collect
+          (fun inst ->
+            let tag = Option.value ~default:"?" (Xml.tag inst) in
+            let* cls =
+              match List.assoc_opt tag tag_types with
+              | Some c -> Ok c
+              | None ->
+                Error
+                  (Printf.sprintf
+                     "instance element <%s> has no xs:element declaration" tag)
+            in
+            let* id = Plugin.require_attr inst "id" in
+            let values =
+              List.filter_map
+                (fun child ->
+                  match Xml.tag child with
+                  | Some field ->
+                    Some
+                      (Molecule.meth_val (Term.sym id) (norm field)
+                         (Plugin.term_of_text (Xml.text_content child)))
+                  | None -> None)
+                (Xml.child_elements inst)
+            in
+            Ok (Molecule.isa (Term.sym id) (Term.sym cls) :: values))
+          (Xml.child_elements data)
+        |> Result.map List.concat
+    in
+    let schema = Gcm.Schema.make ~name ~classes () in
+    let* () = Gcm.Schema.validate schema in
+    Ok { Plugin.schema; facts = instance_facts; anchors = [] }
+  | _ -> Error "expected an <xs:schema> document"
+
+let plugin = { Plugin.format = "xsd"; translate }

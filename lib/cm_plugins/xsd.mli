@@ -1,0 +1,31 @@
+(** XML Schema plug-in (subset): the paper's first-choice CM syntax —
+    "CMs formalized in XML Schema or RDF Schema come directly in XML
+    syntax".
+
+    Supported subset:
+
+    {v
+    <xs:schema name="LAB">
+      <xs:complexType name="Neuron">
+        <xs:sequence>
+          <xs:element name="organism" type="xs:string"/>
+          <xs:element name="somaSize" type="xs:decimal"/>
+        </xs:sequence>
+      </xs:complexType>
+      <xs:complexType name="Purkinje">
+        <xs:complexContent><xs:extension base="Neuron"/></xs:complexContent>
+      </xs:complexType>
+      <xs:element name="neuron" type="Neuron"/>
+      <data>
+        <neuron id="n1"><organism>rat</organism></neuron>
+      </data>
+    </xs:schema>
+    v}
+
+    complexTypes become classes, [xs:extension] bases become
+    superclasses, simple-typed child elements become methods, and the
+    [<data>] island (our instance-document convention) yields instances
+    keyed by their [id] attribute. Names are case-normalised like the
+    UXF plug-in. *)
+
+val plugin : Plugin.t

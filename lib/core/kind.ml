@@ -1,0 +1,24 @@
+(** KIND — Knowledge-based Integration of Neuroscience Data.
+
+    Umbrella module re-exporting the whole model-based-mediation stack;
+    [open Kind] (or dune-depend on [kind]) gives access to every layer:
+
+    - {!Logic}, {!Datalog} — the deductive engine substrate;
+    - {!Flogic}, {!Gcm} — F-logic / generic conceptual model (Table 1);
+    - {!Dl}, {!Domain_map} — description logic and domain maps;
+    - {!Xmlkit}, {!Cm_plugins} — wire format and the CM plug-in
+      mechanism;
+    - {!Wrapper}, {!Mediation} — sources and the mediator;
+    - {!Neuro} — the Neuroscience scenario of the paper. *)
+
+module Logic = Logic
+module Datalog = Datalog
+module Flogic = Flogic
+module Gcm = Gcm
+module Dl = Dl
+module Domain_map = Domain_map
+module Xmlkit = Xmlkit
+module Cm_plugins = Cm_plugins
+module Wrapper = Wrapper
+module Mediation = Mediation
+module Neuro = Neuro

@@ -1,0 +1,94 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+
+type t = { head : Atom.t; body : Atom.t list }
+
+let no_functions (a : Atom.t) =
+  List.for_all
+    (fun t -> match t with Term.App _ -> false | _ -> true)
+    a.Atom.args
+
+let make head body =
+  if not (List.for_all no_functions (head :: body)) then
+    Error "Cq.make: function symbols are not allowed in conjunctive queries"
+  else
+    let body_vars = List.concat_map Atom.vars body in
+    match
+      List.find_opt (fun v -> not (List.mem v body_vars)) (Atom.vars head)
+    with
+    | Some v -> Error (Printf.sprintf "Cq.make: head variable %s not in body" v)
+    | None -> Ok { head; body }
+
+let make_exn head body =
+  match make head body with Ok q -> q | Error e -> invalid_arg e
+
+let of_rule (r : Logic.Rule.t) =
+  let rec atoms acc = function
+    | [] -> Ok (List.rev acc)
+    | Literal.Pos a :: rest when not (Literal.is_builtin a.Atom.pred) ->
+      atoms (a :: acc) rest
+    | l :: _ ->
+      Error
+        (Printf.sprintf "Cq.of_rule: non-CQ literal %s" (Literal.to_string l))
+  in
+  match atoms [] r.Logic.Rule.body with
+  | Error e -> Error e
+  | Ok body -> make r.Logic.Rule.head body
+
+(* Freezing: variables become reserved constants that cannot clash with
+   user symbols (no user symbol starts with '\xE2' in our tests, but be
+   explicit with a prefix unlikely in data). *)
+let frozen_const v = Term.sym ("\xCF\x87_" ^ v) (* χ_v *)
+
+let freeze q =
+  let sub =
+    List.fold_left
+      (fun s v -> Logic.Subst.bind v (frozen_const v) s)
+      Logic.Subst.empty
+      (List.sort_uniq String.compare
+         (List.concat_map Atom.vars (q.head :: q.body)))
+  in
+  let db = Database.create () in
+  List.iter (fun a -> ignore (Database.add_fact db (Atom.apply sub a))) q.body;
+  (db, Atom.apply sub q.head)
+
+let contained_in q1 q2 =
+  Atom.arity q1.head = Atom.arity q2.head
+  && String.equal q1.head.Atom.pred q2.head.Atom.pred
+  &&
+  let db, frozen_head = freeze q1 in
+  let solutions =
+    Eval.solve_body ~db ~neg:db (List.map (fun a -> Literal.Pos a) q2.body)
+  in
+  List.exists
+    (fun s -> Atom.equal (Atom.apply s q2.head) frozen_head)
+    solutions
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+let minimize q =
+  (* try dropping body atoms one at a time; keep the drop when the
+     smaller query is still contained in the original (the other
+     containment is trivial). *)
+  let rec shrink kept = function
+    | [] -> List.rev kept
+    | a :: rest ->
+      let candidate_body = List.rev_append kept rest in
+      let candidate_ok =
+        match make q.head candidate_body with
+        | Ok candidate -> contained_in candidate q
+        | Error _ -> false
+      in
+      if candidate_ok then shrink kept rest else shrink (a :: kept) rest
+  in
+  { q with body = shrink [] q.body }
+
+let is_minimal q = List.length (minimize q).body = List.length q.body
+
+let pp ppf q =
+  Format.fprintf ppf "%a :- %a" Atom.pp q.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Atom.pp)
+    q.body

@@ -1,0 +1,42 @@
+(** Conjunctive-query theory: containment, equivalence and
+    minimization by the canonical-database (freezing) method.
+
+    The mediator uses these for view maintenance hygiene: detecting
+    that one integrated view subsumes another, minimizing generated
+    view bodies before shipping subqueries, and validating rewritings
+    (the "semantic knowledge as rewrite rules Q1 -> Q2" of the paper's
+    related work [FRV96] is exactly a containment obligation).
+
+    Queries here are positive CQs: a head atom over distinguished
+    variables and a body of positive, function-free atoms. *)
+
+type t = { head : Logic.Atom.t; body : Logic.Atom.t list }
+
+val make : Logic.Atom.t -> Logic.Atom.t list -> (t, string) result
+(** Checks safety (head variables occur in the body) and rejects
+    function symbols. *)
+
+val make_exn : Logic.Atom.t -> Logic.Atom.t list -> t
+
+val of_rule : Logic.Rule.t -> (t, string) result
+(** A rule qualifies when its body is purely positive atoms. *)
+
+val freeze : t -> Database.t * Logic.Atom.t
+(** The canonical database: each variable becomes a fresh constant;
+    returns the frozen body as facts and the frozen head. *)
+
+val contained_in : t -> t -> bool
+(** [contained_in q1 q2] — is every answer of [q1] also an answer of
+    [q2] on every database? Decided by evaluating [q2] over [q1]'s
+    canonical database (NP-complete in general; bodies here are
+    small). *)
+
+val equivalent : t -> t -> bool
+
+val minimize : t -> t
+(** The core: a minimal equivalent subquery (drops redundant atoms).
+    Deterministic for a given atom order. *)
+
+val is_minimal : t -> bool
+
+val pp : Format.formatter -> t -> unit

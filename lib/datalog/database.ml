@@ -1,0 +1,73 @@
+module Atom = Logic.Atom
+
+type t = (string, Relation.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let relation db pred =
+  match Hashtbl.find_opt db pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create () in
+    Hashtbl.add db pred r;
+    r
+
+let relation_opt db pred = Hashtbl.find_opt db pred
+
+let add_tuple db pred tup = Relation.add (relation db pred) tup
+
+let add_fact db (a : Atom.t) = add_tuple db a.Atom.pred a.Atom.args
+
+let remove_fact db (a : Atom.t) =
+  match Hashtbl.find_opt db a.Atom.pred with
+  | Some r -> Relation.remove r a.Atom.args
+  | None -> false
+
+let mem db (a : Atom.t) =
+  match Hashtbl.find_opt db a.Atom.pred with
+  | Some r -> Relation.mem r a.Atom.args
+  | None -> false
+
+let predicates db =
+  Hashtbl.fold (fun p _ acc -> p :: acc) db [] |> List.sort String.compare
+
+let cardinal db = Hashtbl.fold (fun _ r acc -> acc + Relation.cardinal r) db 0
+
+let count db pred =
+  match Hashtbl.find_opt db pred with
+  | Some r -> Relation.cardinal r
+  | None -> 0
+
+let facts db pred =
+  match Hashtbl.find_opt db pred with
+  | Some r -> List.map (Atom.make pred) (Relation.to_list r)
+  | None -> []
+
+let all_facts db =
+  List.concat_map (fun p -> facts db p) (predicates db)
+
+let copy db =
+  let db' = create () in
+  Hashtbl.iter (fun p r -> Hashtbl.replace db' p (Relation.copy r)) db;
+  db'
+
+let merge_into ~dst src =
+  Hashtbl.fold
+    (fun p r acc ->
+      Relation.fold
+        (fun tup acc -> if add_tuple dst p tup then acc + 1 else acc)
+        r acc)
+    src 0
+
+let of_facts fs =
+  let db = create () in
+  List.iter (fun f -> ignore (add_fact db f)) fs;
+  db
+
+let pp ppf db =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun a -> Format.fprintf ppf "%a.@." Atom.pp a)
+        (facts db p))
+    (predicates db)

@@ -1,0 +1,43 @@
+(** A mutable fact base: one {!Relation} per predicate name. *)
+
+type t
+
+val create : unit -> t
+
+val relation : t -> string -> Relation.t
+(** The relation for a predicate, created empty on first access. *)
+
+val relation_opt : t -> string -> Relation.t option
+(** The relation if the predicate has ever been touched. *)
+
+val add_fact : t -> Logic.Atom.t -> bool
+(** Insert a ground atom; [true] if new. Raises [Invalid_argument] on
+    non-ground atoms. *)
+
+val add_tuple : t -> string -> Tuple.t -> bool
+
+val remove_fact : t -> Logic.Atom.t -> bool
+(** Delete a ground fact; [true] if it was present. *)
+
+val mem : t -> Logic.Atom.t -> bool
+val predicates : t -> string list
+val cardinal : t -> int
+(** Total number of facts across all predicates. *)
+
+val count : t -> string -> int
+(** Number of facts of one predicate. *)
+
+val facts : t -> string -> Logic.Atom.t list
+
+val all_facts : t -> Logic.Atom.t list
+
+val copy : t -> t
+(** Snapshot: relations are copied (tuple sets are shared persistently,
+    indexes rebuilt lazily). *)
+
+val merge_into : dst:t -> t -> int
+(** Add every fact of the source database into [dst]; returns the number
+    of facts that were new. *)
+
+val of_facts : Logic.Atom.t list -> t
+val pp : Format.formatter -> t -> unit

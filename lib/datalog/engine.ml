@@ -1,0 +1,243 @@
+module Atom = Logic.Atom
+module Subst = Logic.Subst
+
+type strategy = Naive | Seminaive
+
+type config = {
+  strategy : strategy;
+  max_term_depth : int;
+  max_rounds : int;
+  allow_wellfounded_fallback : bool;
+}
+
+let default_config =
+  {
+    strategy = Seminaive;
+    max_term_depth = 8;
+    max_rounds = 100_000;
+    allow_wellfounded_fallback = true;
+  }
+
+exception Unstratified of string list
+exception Undefined_atoms of int
+
+type report = {
+  stratified : bool;
+  strata : int;
+  rounds : int;
+  derived : int;
+  skolems_suppressed : int;
+  joins : int;
+  tuples_scanned : int;
+}
+
+let empty_report =
+  {
+    stratified = true;
+    strata = 0;
+    rounds = 0;
+    derived = 0;
+    skolems_suppressed = 0;
+    joins = 0;
+    tuples_scanned = 0;
+  }
+
+let run_stratum config stats rules db =
+  match config.strategy with
+  | Seminaive ->
+    let o =
+      Seminaive.run ~stats ~max_term_depth:config.max_term_depth
+        ~max_rounds:config.max_rounds ~neg:db rules db
+    in
+    (o.Seminaive.rounds, o.Seminaive.derived, o.Seminaive.skolems_suppressed)
+  | Naive ->
+    let o =
+      Naive.run ~stats ~max_term_depth:config.max_term_depth
+        ~max_rounds:config.max_rounds ~neg:db rules db
+    in
+    (o.Naive.rounds, o.Naive.derived, o.Naive.skolems_suppressed)
+
+let materialize ?(config = default_config) ?report p edb =
+  let stats = Eval.new_stats () in
+  let facts, p = Program.split_facts p in
+  let db = Database.copy edb in
+  List.iter (fun f -> ignore (Database.add_fact db f)) facts;
+  let fill_report ~stratified ~strata ~rounds ~derived ~skolems =
+    match report with
+    | None -> ()
+    | Some r ->
+      r :=
+        {
+          stratified;
+          strata;
+          rounds;
+          derived;
+          skolems_suppressed = skolems;
+          joins = stats.Eval.joins;
+          tuples_scanned = stats.Eval.tuples_scanned;
+        }
+  in
+  match Stratify.rules_by_stratum p with
+  | Ok strata ->
+    let rounds = ref 0 and derived = ref 0 and skolems = ref 0 in
+    List.iter
+      (fun rules ->
+        if rules <> [] then begin
+          let r, d, s = run_stratum config stats rules db in
+          rounds := !rounds + r;
+          derived := !derived + d;
+          skolems := !skolems + s
+        end)
+      strata;
+    fill_report ~stratified:true ~strata:(List.length strata) ~rounds:!rounds
+      ~derived:!derived ~skolems:!skolems;
+    db
+  | Error cycle ->
+    if not config.allow_wellfounded_fallback then raise (Unstratified cycle);
+    let model =
+      Wellfounded.compute ~stats ~max_term_depth:config.max_term_depth
+        ~max_rounds:config.max_rounds p db
+    in
+    let undef = Database.cardinal model.Wellfounded.undefined in
+    if undef > 0 then raise (Undefined_atoms undef);
+    fill_report ~stratified:false ~strata:1
+      ~rounds:model.Wellfounded.alternations
+      ~derived:(Database.cardinal model.Wellfounded.true_facts
+                - Database.cardinal db)
+      ~skolems:0;
+    model.Wellfounded.true_facts
+
+let extend ?(config = default_config) p db new_facts =
+  let nonmono =
+    List.exists
+      (fun r -> List.exists snd (Logic.Rule.body_predicates r))
+      (Program.rules p)
+  in
+  if nonmono then
+    Error
+      "Engine.extend: the program has negation/aggregation; incremental \
+       addition is not monotone — re-materialize instead"
+  else begin
+    let facts, p = Program.split_facts p in
+    ignore facts;
+    let rules = Program.rules p in
+    let added = ref 0 in
+    let delta0 = Database.create () in
+    List.iter
+      (fun f ->
+        if Database.add_fact db f then begin
+          incr added;
+          ignore (Database.add_fact delta0 f)
+        end)
+      new_facts;
+    let too_deep (a : Atom.t) =
+      List.exists
+        (fun t -> Logic.Term.depth t > config.max_term_depth)
+        a.Atom.args
+    in
+    let rec loop rounds delta =
+      if Database.cardinal delta = 0 then ()
+      else begin
+        if rounds >= config.max_rounds then
+          failwith "Engine.extend: max_rounds exceeded";
+        let next = Database.create () in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun a ->
+                    if (not (too_deep a)) && Database.add_fact db a then begin
+                      incr added;
+                      ignore (Database.add_fact next a)
+                    end)
+                  (Eval.derive ~db ~neg:db ~focus:(i, delta) r))
+              (Eval.positive_positions r))
+          rules;
+        loop (rounds + 1) next
+      end
+    in
+    loop 0 delta0;
+    Ok !added
+  end
+
+let retract ?(config = default_config) p db facts_to_remove =
+  let nonmono =
+    List.exists
+      (fun r -> List.exists snd (Logic.Rule.body_predicates r))
+      (Program.rules p)
+  in
+  if nonmono then
+    Error
+      "Engine.retract: the program has negation/aggregation; DRed here \
+       supports only positive stratified programs — re-materialize instead"
+  else begin
+    ignore config;
+    let _, p = Program.split_facts p in
+    let rules = Program.rules p in
+    (* 1. over-delete: propagate deletion candidates through the rules
+       (body joins still run against the pre-deletion database). *)
+    let deleted = Database.create () in
+    let delta0 = Database.create () in
+    List.iter
+      (fun f ->
+        if Database.mem db f && Database.add_fact deleted f then
+          ignore (Database.add_fact delta0 f))
+      facts_to_remove;
+    let rec overdelete delta =
+      if Database.cardinal delta = 0 then ()
+      else begin
+        let next = Database.create () in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun a ->
+                    if Database.mem db a && not (Database.mem deleted a) then begin
+                      ignore (Database.add_fact deleted a);
+                      ignore (Database.add_fact next a)
+                    end)
+                  (Eval.derive ~db ~neg:db ~focus:(i, delta) r))
+              (Eval.positive_positions r))
+          rules;
+        overdelete next
+      end
+    in
+    overdelete delta0;
+    (* 2. physically remove the over-deleted facts. *)
+    List.iter (fun f -> ignore (Database.remove_fact db f)) (Database.all_facts deleted);
+    (* 3. re-derive: candidates (excluding the explicitly retracted
+       facts) that still have a proof from the remaining database. *)
+    let explicitly_removed = Database.of_facts facts_to_remove in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun a ->
+              if
+                Database.mem deleted a
+                && (not (Database.mem explicitly_removed a))
+                && Database.add_fact db a
+              then changed := true)
+            (Eval.derive ~db ~neg:db r))
+        rules
+    done;
+    let gone =
+      List.filter (fun f -> not (Database.mem db f)) (Database.all_facts deleted)
+    in
+    Ok (List.length gone)
+  end
+
+let query ?stats db lits = Eval.solve_body ?stats ~db ~neg:db lits
+
+let answers db (a : Atom.t) =
+  let ss = query db [ Logic.Literal.Pos a ] in
+  List.map (fun s -> List.map (Subst.apply s) a.Atom.args) ss
+  |> List.sort_uniq Tuple.compare
+
+let holds db a = answers db a <> []
+
+let _ = empty_report

@@ -1,0 +1,88 @@
+(** Engine facade: stratified materialization with a choice of strategy,
+    automatic fallback to the well-founded semantics, and conjunctive
+    querying of materialized databases.
+
+    This is the single deductive engine the mediator architecture calls
+    for ("the mediator needs only a single GCM engine", Section 2). *)
+
+type strategy = Naive | Seminaive
+
+type config = {
+  strategy : strategy;
+  max_term_depth : int;
+      (** skolem guard: derived facts containing terms nested deeper
+          than this are suppressed (domain-map assertions create
+          placeholder objects [f_{C,r,D}(x)]; the bound keeps chained
+          assertions terminating) *)
+  max_rounds : int;
+  allow_wellfounded_fallback : bool;
+      (** when [false], {!materialize} raises {!Unstratified} instead of
+          switching to the alternating fixpoint *)
+}
+
+val default_config : config
+
+exception Unstratified of string list
+exception Undefined_atoms of int
+(** Raised by {!materialize} when the well-founded fallback leaves atoms
+    undefined: a materialized database cannot represent three-valued
+    results — use {!Wellfounded.compute} directly for those programs. *)
+
+type report = {
+  stratified : bool;
+  strata : int;
+  rounds : int;
+  derived : int;
+  skolems_suppressed : int;
+  joins : int;
+  tuples_scanned : int;
+}
+
+val materialize :
+  ?config:config -> ?report:report ref -> Program.t -> Database.t -> Database.t
+(** [materialize p edb] computes the least (or well-founded) model of
+    [p] over [edb] and returns it as a fresh database containing EDB and
+    IDB facts. [edb] is not mutated. Ground facts contained in [p]
+    itself are added first. *)
+
+val extend :
+  ?config:config ->
+  Program.t ->
+  Database.t ->
+  Logic.Atom.t list ->
+  (int, string) result
+(** Incremental maintenance: add new ground facts to an
+    already-materialized database and propagate their consequences
+    semi-naively (only joins touching the delta re-run). Returns the
+    number of new facts (input + derived). Restrictions: the program
+    must be stratified and {e negation-free and aggregate-free in the
+    affected strata} — deletions/additions under negation would need
+    DRed-style over-deletion, which this engine does not implement;
+    [Error] explains when that applies. The database is mutated. *)
+
+val retract :
+  ?config:config ->
+  Program.t ->
+  Database.t ->
+  Logic.Atom.t list ->
+  (int, string) result
+(** Incremental deletion by delete-and-rederive (DRed): over-delete
+    every fact whose known derivations touch the retracted facts, then
+    re-derive the survivors that still have alternative proofs.
+    Returns the number of facts that actually disappeared. The
+    explicitly retracted facts themselves are kept out even if rules
+    could re-derive them. Same restrictions as {!extend} (positive
+    stratified programs). The database is mutated. *)
+
+val query :
+  ?stats:Eval.stats -> Database.t -> Logic.Literal.t list -> Logic.Subst.t list
+(** Solve a conjunctive query (with negation-as-absence, comparisons and
+    aggregates) against a materialized database. *)
+
+val answers : Database.t -> Logic.Atom.t -> Tuple.t list
+(** Instances of an atom pattern in the database, as bound argument
+    tuples. *)
+
+val holds : Database.t -> Logic.Atom.t -> bool
+(** [holds db a] — [a] may contain variables; true iff some instance is
+    in [db]. *)

@@ -1,0 +1,45 @@
+(** Rule-body evaluation: the join machinery shared by naive,
+    semi-naive and well-founded evaluation.
+
+    A body is solved left-to-right after a greedy reorder that always
+    picks an evaluable literal (one whose {!Logic.Literal.needs} are
+    bound). Positive atoms read from [db] — except one optional
+    [focus] literal which reads from a delta database (the semi-naive
+    trick). Negated atoms and aggregate literals read from [neg], which
+    equals [db] for stratified evaluation and is a fixed candidate model
+    during the well-founded alternating fixpoint. *)
+
+type stats = {
+  mutable joins : int;       (** positive-literal extension steps *)
+  mutable tuples_scanned : int;
+}
+
+val new_stats : unit -> stats
+
+val solve_body :
+  ?stats:stats ->
+  db:Database.t ->
+  neg:Database.t ->
+  ?focus:int * Database.t ->
+  Logic.Literal.t list ->
+  Logic.Subst.t list
+(** All substitutions (restricted to body variables) satisfying the
+    body. [focus = (i, delta)] forces the [i]-th literal (0-based, must
+    be positive) to match against [delta] instead of [db]. *)
+
+val derive :
+  ?stats:stats ->
+  db:Database.t ->
+  neg:Database.t ->
+  ?focus:int * Database.t ->
+  Logic.Rule.t ->
+  Logic.Atom.t list
+(** Head instances derivable by one rule. All returned atoms are ground
+    (guaranteed by rule safety). *)
+
+val positive_positions : Logic.Rule.t -> int list
+(** Indexes of the positive literals of a rule's body. *)
+
+val eval_builtin : Logic.Atom.t -> bool
+(** Evaluate a ground structural builtin atom (predicate prefixed
+    [builtin:]); raises [Invalid_argument] on unknown builtins. *)

@@ -1,0 +1,130 @@
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Rule = Logic.Rule
+module Subst = Logic.Subst
+
+type justification =
+  | Extensional
+  | Rule of { rule : Rule.t; premises : t list }
+  | Absent of Atom.t
+  | Computed of string
+
+and t = { fact : Atom.t; how : justification }
+
+module AS = Set.Make (struct
+  type t = Atom.t
+
+  let compare = Atom.compare
+end)
+
+let explain p db ~edb fact =
+  if not (Database.mem db fact) then None
+  else begin
+    let rules = Program.rules p in
+    let memo : (Atom.t, t) Hashtbl.t = Hashtbl.create 64 in
+    (* DFS with an on-path set: the least model guarantees every derived
+       fact has a non-circular proof, so refusing facts already on the
+       path only prunes circular candidates. *)
+    let rec prove path (a : Atom.t) =
+      if Database.mem edb a then Some { fact = a; how = Extensional }
+      else
+        match Hashtbl.find_opt memo a with
+        | Some t -> Some t
+        | None ->
+          if AS.mem a path then None
+          else begin
+            let path = AS.add a path in
+            let rec try_rules k = function
+              | [] -> None
+              | r :: rest -> (
+                let r' = Rule.rename_apart ~suffix:(Printf.sprintf "_e%d" k) r in
+                match Atom.unify r'.Rule.head a with
+                | None -> try_rules (k + 1) rest
+                | Some s0 -> (
+                  let solutions =
+                    Eval.solve_body ~db ~neg:db
+                      (List.map (Literal.apply s0) r'.Rule.body)
+                  in
+                  match try_solutions r' s0 solutions with
+                  | Some proof -> Some proof
+                  | None -> try_rules (k + 1) rest))
+            and try_solutions r' s0 = function
+              | [] -> None
+              | s :: rest -> (
+                let full = Subst.compose s0 s in
+                match premises_of full r'.Rule.body [] with
+                | Some premises ->
+                  Some { fact = a; how = Rule { rule = r'; premises } }
+                | None -> try_solutions r' s0 rest)
+            and premises_of s body acc =
+              match body with
+              | [] -> Some (List.rev acc)
+              | Literal.Pos at :: rest when Literal.is_builtin at.Atom.pred ->
+                premises_of s rest
+                  ({ fact = Atom.apply s at; how = Computed "builtin" } :: acc)
+              | Literal.Pos at :: rest -> (
+                let ground = Atom.apply s at in
+                match prove path ground with
+                | Some sub -> premises_of s rest (sub :: acc)
+                | None -> None)
+              | Literal.Neg at :: rest ->
+                premises_of s rest
+                  ({ fact = Atom.apply s at; how = Absent (Atom.apply s at) } :: acc)
+              | Literal.Cmp (op, t1, t2) :: rest ->
+                let text =
+                  Format.asprintf "%a %a %a" Logic.Term.pp (Subst.apply s t1)
+                    Literal.pp_cmp op Logic.Term.pp (Subst.apply s t2)
+                in
+                premises_of s rest
+                  ({ fact = Atom.make "=test=" []; how = Computed text } :: acc)
+              | Literal.Assign (t1, _) :: rest ->
+                let text =
+                  Format.asprintf "%a is <arith>" Logic.Term.pp (Subst.apply s t1)
+                in
+                premises_of s rest
+                  ({ fact = Atom.make "=assign=" []; how = Computed text } :: acc)
+              | Literal.Agg ag :: rest ->
+                let text =
+                  Format.asprintf "%a = aggregate{...}" Logic.Term.pp
+                    (Subst.apply s ag.Literal.result)
+                in
+                premises_of s rest
+                  ({ fact = Atom.make "=agg=" []; how = Computed text } :: acc)
+            in
+            match try_rules 0 rules with
+            | Some proof ->
+              Hashtbl.replace memo a proof;
+              Some proof
+            | None -> None
+          end
+    in
+    prove AS.empty fact
+  end
+
+let rec depth t =
+  match t.how with
+  | Rule { premises; _ } ->
+    1 + List.fold_left (fun d p -> max d (depth p)) 0 premises
+  | _ -> 1
+
+let rec size t =
+  match t.how with
+  | Rule { premises; _ } -> 1 + List.fold_left (fun s p -> s + size p) 0 premises
+  | _ -> 1
+
+let rec leaves t =
+  match t.how with
+  | Extensional -> [ t.fact ]
+  | Rule { premises; _ } -> List.concat_map leaves premises
+  | Absent _ | Computed _ -> []
+
+let rec pp ppf t =
+  match t.how with
+  | Extensional -> Format.fprintf ppf "@[%a  [source fact]@]" Atom.pp t.fact
+  | Absent a -> Format.fprintf ppf "@[not %a  [absent]@]" Atom.pp a
+  | Computed text -> Format.fprintf ppf "@[%s  [computed]@]" text
+  | Rule { rule; premises } ->
+    Format.fprintf ppf "@[<v 2>%a  [by %s]" Atom.pp t.fact
+      (Atom.to_string rule.Rule.head);
+    List.iter (fun p -> Format.fprintf ppf "@,%a" pp p) premises;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Why-provenance: derivation trees for materialized facts.
+
+    A mediated view answer is only as trustworthy as its derivation —
+    "which laboratory's rows, through which domain-map links, made this
+    protein show up?" [explain] reconstructs one proof tree for a fact
+    by backward-chaining over the already-materialized database: pick a
+    rule whose head matches, bind its body against facts in the model,
+    recurse on derived ones. Negated literals are justified by absence,
+    aggregates/assignments/comparisons by re-evaluation.
+
+    The tree is one witness, not all of them (lowest-index rule and
+    first matching body instantiation — deterministic for a fixed
+    program and database). *)
+
+type justification =
+  | Extensional                       (** an EDB/source fact *)
+  | Rule of { rule : Logic.Rule.t; premises : t list }
+  | Absent of Logic.Atom.t            (** a negated literal's witness *)
+  | Computed of string                (** comparison/assignment/aggregate *)
+
+and t = { fact : Logic.Atom.t; how : justification }
+
+val explain :
+  Program.t -> Database.t -> edb:Database.t -> Logic.Atom.t -> t option
+(** [explain p db ~edb fact] — [None] when [fact] is not in [db].
+    [edb] distinguishes source facts from derived ones (a fact in both
+    is explained as extensional). *)
+
+val depth : t -> int
+val size : t -> int
+
+val leaves : t -> Logic.Atom.t list
+(** The extensional facts the derivation rests on — the provenance
+    set. *)
+
+val pp : Format.formatter -> t -> unit

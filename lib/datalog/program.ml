@@ -1,0 +1,49 @@
+module Rule = Logic.Rule
+
+type t = { rules : Rule.t list }
+
+let make rules =
+  let rec check = function
+    | [] -> Ok { rules }
+    | r :: rest -> (
+      match Rule.check_safety r with
+      | Ok () -> check rest
+      | Error e -> Error e)
+  in
+  check rules
+
+let make_exn rules =
+  match make rules with Ok p -> p | Error e -> invalid_arg e
+
+let empty = { rules = [] }
+let rules p = p.rules
+let append p1 p2 = { rules = p1.rules @ p2.rules }
+
+let add_rule p r =
+  match Rule.check_safety r with
+  | Ok () -> Ok { rules = p.rules @ [ r ] }
+  | Error e -> Error e
+
+let size p = List.length p.rules
+
+let idb_predicates p =
+  List.map Rule.head_pred p.rules |> List.sort_uniq String.compare
+
+let predicates p =
+  List.concat_map
+    (fun r -> Rule.head_pred r :: List.map fst (Rule.body_predicates r))
+    p.rules
+  |> List.sort_uniq String.compare
+
+let split_facts p =
+  let facts, rules =
+    List.partition
+      (fun r -> Rule.is_fact r && Logic.Atom.is_ground r.Rule.head)
+      p.rules
+  in
+  (List.map (fun r -> r.Rule.head) facts, { rules })
+
+let pp ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@.")
+    Rule.pp ppf p.rules

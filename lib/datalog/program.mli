@@ -1,0 +1,30 @@
+(** A Datalog program: a set of (safety-checked) rules. Ground facts may
+    be included as body-less rules; {!split_facts} separates them. *)
+
+type t
+
+val make : Logic.Rule.t list -> (t, string) result
+(** Validates range restriction of every rule ({!Logic.Rule.check_safety})
+    and returns the program, or the first violation. *)
+
+val make_exn : Logic.Rule.t list -> t
+(** Like {!make} but raises [Invalid_argument]. *)
+
+val empty : t
+val rules : t -> Logic.Rule.t list
+val append : t -> t -> t
+val add_rule : t -> Logic.Rule.t -> (t, string) result
+val size : t -> int
+
+val idb_predicates : t -> string list
+(** Predicates defined by at least one rule head (sorted). *)
+
+val predicates : t -> string list
+(** All predicates mentioned in heads or bodies (sorted). *)
+
+val split_facts : t -> Logic.Atom.t list * t
+(** Ground facts (body-less rules with ground heads) and the remaining
+    proper rules. Body-less rules with variables in the head are
+    rejected by {!make} already (unsafe). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+module Term = Logic.Term
+
+type t = {
+  mutable tuples : Tuple.Set.t;
+  indexes : (int, (Term.t, Tuple.t list ref) Hashtbl.t) Hashtbl.t;
+}
+
+let create ?hint:(_ = 16) () =
+  { tuples = Tuple.Set.empty; indexes = Hashtbl.create 4 }
+
+let cardinal r = Tuple.Set.cardinal r.tuples
+let is_empty r = Tuple.Set.is_empty r.tuples
+let mem r tup = Tuple.Set.mem tup r.tuples
+
+let index_insert idx key tup =
+  match Hashtbl.find_opt idx key with
+  | Some bucket -> bucket := tup :: !bucket
+  | None -> Hashtbl.add idx key (ref [ tup ])
+
+let add r tup =
+  if not (Tuple.is_ground tup) then
+    invalid_arg
+      (Format.asprintf "Relation.add: non-ground tuple %a" Tuple.pp tup);
+  if Tuple.Set.mem tup r.tuples then false
+  else begin
+    r.tuples <- Tuple.Set.add tup r.tuples;
+    Hashtbl.iter
+      (fun pos idx ->
+        match List.nth_opt tup pos with
+        | Some key -> index_insert idx key tup
+        | None -> ())
+      r.indexes;
+    true
+  end
+
+let remove r tup =
+  if Tuple.Set.mem tup r.tuples then begin
+    r.tuples <- Tuple.Set.remove tup r.tuples;
+    (* buckets hold stale entries; drop them and rebuild on demand *)
+    Hashtbl.reset r.indexes;
+    true
+  end
+  else false
+
+let iter f r = Tuple.Set.iter f r.tuples
+let fold f r init = Tuple.Set.fold f r.tuples init
+let to_list r = Tuple.Set.elements r.tuples
+let tuples r = r.tuples
+
+let ensure_index r pos =
+  match Hashtbl.find_opt r.indexes pos with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create (max 16 (cardinal r)) in
+    Tuple.Set.iter
+      (fun tup ->
+        match List.nth_opt tup pos with
+        | Some key -> index_insert idx key tup
+        | None -> ())
+      r.tuples;
+    Hashtbl.add r.indexes pos idx;
+    idx
+
+let lookup r ~pos key =
+  let idx = ensure_index r pos in
+  match Hashtbl.find_opt idx key with Some bucket -> !bucket | None -> []
+
+let matches_pattern pattern tup =
+  match Logic.Unify.matches_list ~patterns:pattern tup with
+  | Some _ -> true
+  | None -> false
+
+let select r ~pattern =
+  let ground_pos =
+    List.mapi (fun i t -> (i, t)) pattern
+    |> List.find_opt (fun (_, t) -> Term.is_ground t)
+  in
+  let candidates =
+    match ground_pos with
+    | Some (pos, key) -> lookup r ~pos key
+    | None -> to_list r
+  in
+  List.filter (matches_pattern pattern) candidates
+
+let copy r = { tuples = r.tuples; indexes = Hashtbl.create 4 }
+
+let of_list tups =
+  let r = create () in
+  List.iter (fun tup -> ignore (add r tup)) tups;
+  r
+
+let pp ppf r =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Tuple.pp)
+    (to_list r)

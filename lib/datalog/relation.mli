@@ -1,0 +1,38 @@
+(** A mutable extensional relation: a set of ground tuples of one
+    predicate, with per-argument-position hash indexes built lazily and
+    maintained incrementally. *)
+
+type t
+
+val create : ?hint:int -> unit -> t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val mem : t -> Tuple.t -> bool
+
+val add : t -> Tuple.t -> bool
+(** [add r tup] inserts a ground tuple; returns [true] if it was new.
+    Raises [Invalid_argument] on non-ground tuples. *)
+
+val remove : t -> Tuple.t -> bool
+(** [remove r tup] deletes a tuple; returns [true] if it was present.
+    Indexes are invalidated and rebuilt lazily on the next lookup. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+val tuples : t -> Tuple.Set.t
+
+val lookup : t -> pos:int -> Logic.Term.t -> Tuple.t list
+(** [lookup r ~pos key] returns the tuples whose [pos]-th component
+    equals [key], using (and if needed building) the index on [pos]. *)
+
+val select : t -> pattern:Logic.Term.t list -> Tuple.t list
+(** Tuples matching the pattern (variables are wildcards, repeated
+    variables must match equal components). Uses the most selective
+    ground position as index key when one exists. *)
+
+val copy : t -> t
+val of_list : Tuple.t list -> t
+val pp : Format.formatter -> t -> unit

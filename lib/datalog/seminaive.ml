@@ -1,0 +1,43 @@
+module Atom = Logic.Atom
+
+type outcome = { rounds : int; derived : int; skolems_suppressed : int }
+
+let too_deep max_term_depth (a : Atom.t) =
+  List.exists (fun t -> Logic.Term.depth t > max_term_depth) a.Atom.args
+
+let run ?stats ?(max_term_depth = 8) ?(max_rounds = 100_000) ~neg rules db =
+  let derived = ref 0 in
+  let suppressed = ref 0 in
+  let absorb ~into heads =
+    List.iter
+      (fun a ->
+        if too_deep max_term_depth a then incr suppressed
+        else if Database.add_fact db a then begin
+          incr derived;
+          ignore (Database.add_fact into a)
+        end)
+      heads
+  in
+  (* Round 1: full evaluation to seed the delta. Rules whose bodies read
+     only extensional predicates fire here and never again. *)
+  let delta0 = Database.create () in
+  List.iter (fun r -> absorb ~into:delta0 (Eval.derive ?stats ~db ~neg r)) rules;
+  let rec loop rounds delta =
+    if Database.cardinal delta = 0 then rounds
+    else begin
+      if rounds >= max_rounds then
+        failwith "Seminaive.run: max_rounds exceeded (diverging program?)";
+      let next = Database.create () in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun i ->
+              absorb ~into:next
+                (Eval.derive ?stats ~db ~neg ~focus:(i, delta) r))
+            (Eval.positive_positions r))
+        rules;
+      loop (rounds + 1) next
+    end
+  in
+  let rounds = loop 1 delta0 in
+  { rounds; derived = !derived; skolems_suppressed = !suppressed }

@@ -1,0 +1,91 @@
+module Rule = Logic.Rule
+
+type edge = { from_pred : string; to_pred : string; nonmono : bool }
+
+let dependency_edges p =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun (q, nonmono) ->
+          { from_pred = Rule.head_pred r; to_pred = q; nonmono })
+        (Rule.body_predicates r))
+    (Program.rules p)
+  |> List.sort_uniq Stdlib.compare
+
+type outcome =
+  | Stratified of string list list
+  | Unstratified of string list
+
+module SM = Map.Make (String)
+
+(* Iterative stratum assignment: s(h) >= s(b) for positive deps,
+   s(h) >= s(b) + 1 for nonmonotonic ones. If a stratum exceeds the
+   number of predicates, there is a nonmonotonic cycle. *)
+let stratify p =
+  let preds = Program.predicates p in
+  let n = List.length preds in
+  let edges = dependency_edges p in
+  let strata = ref (List.fold_left (fun m q -> SM.add q 0 m) SM.empty preds) in
+  let changed = ref true in
+  let overflow = ref false in
+  let rounds = ref 0 in
+  while !changed && not !overflow do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun { from_pred; to_pred; nonmono } ->
+        let sb = SM.find to_pred !strata in
+        let needed = if nonmono then sb + 1 else sb in
+        let sh = SM.find from_pred !strata in
+        if sh < needed then begin
+          strata := SM.add from_pred needed !strata;
+          if needed > n then overflow := true;
+          changed := true
+        end)
+      edges
+  done;
+  if !overflow then begin
+    (* Recover a witness cycle: walk nonmono edges among predicates with
+       maximal strata. *)
+    let high =
+      SM.fold (fun q s acc -> if s > n then q :: acc else acc) !strata []
+    in
+    Unstratified (List.sort String.compare high)
+  end
+  else begin
+    let max_stratum = SM.fold (fun _ s acc -> max s acc) !strata 0 in
+    let buckets = Array.make (max_stratum + 1) [] in
+    List.iter
+      (fun q ->
+        let s = SM.find q !strata in
+        buckets.(s) <- q :: buckets.(s))
+      preds;
+    Stratified
+      (Array.to_list buckets
+      |> List.map (List.sort String.compare)
+      |> List.filter (fun b -> b <> []))
+  end
+
+let is_stratified p =
+  match stratify p with Stratified _ -> true | Unstratified _ -> false
+
+let rules_by_stratum p =
+  match stratify p with
+  | Unstratified cycle -> Error cycle
+  | Stratified strata ->
+    let stratum_of =
+      List.concat (List.mapi (fun i qs -> List.map (fun q -> (q, i)) qs) strata)
+      |> List.to_seq |> Hashtbl.of_seq
+    in
+    let nb = List.length strata in
+    let buckets = Array.make (max nb 1) [] in
+    List.iter
+      (fun r ->
+        let s =
+          match Hashtbl.find_opt stratum_of (Rule.head_pred r) with
+          | Some s -> s
+          | None -> 0
+        in
+        buckets.(s) <- r :: buckets.(s))
+      (Program.rules p);
+    Ok (Array.to_list buckets |> List.map List.rev)

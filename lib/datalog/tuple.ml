@@ -1,0 +1,18 @@
+type t = Logic.Term.t list
+
+let is_ground = List.for_all Logic.Term.is_ground
+let compare = Logic.Term.compare_list
+let equal t1 t2 = compare t1 t2 = 0
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Logic.Term.pp)
+    t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,11 @@
+(** Ground tuples: the rows stored in extensional and intensional
+    relations. A tuple is a list of ground terms. *)
+
+type t = Logic.Term.t list
+
+val is_ground : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

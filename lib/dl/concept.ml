@@ -1,0 +1,122 @@
+type t =
+  | Name of string
+  | Top
+  | Bot
+  | And of t list
+  | Or of t list
+  | Exists of string * t
+  | Forall of string * t
+
+type axiom =
+  | Subsumes of t * t
+  | Equiv of t * t
+
+let name n = Name n
+
+let conj cs =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | And inner :: rest -> flatten acc (inner @ rest)
+    | Top :: rest -> flatten acc rest
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  let flat = flatten [] cs in
+  if List.exists (fun c -> c = Bot) flat then Bot
+  else
+    match List.sort_uniq Stdlib.compare flat with
+    | [] -> Top
+    | [ c ] -> c
+    | cs -> And cs
+
+let disj cs =
+  let rec flatten acc = function
+    | [] -> List.rev acc
+    | Or inner :: rest -> flatten acc (inner @ rest)
+    | Bot :: rest -> flatten acc rest
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  let flat = flatten [] cs in
+  if List.exists (fun c -> c = Top) flat then Top
+  else
+    match List.sort_uniq Stdlib.compare flat with
+    | [] -> Bot
+    | [ c ] -> c
+    | cs -> Or cs
+
+let exists r c = Exists (r, c)
+let forall r c = Forall (r, c)
+let subsumes c d = Subsumes (c, d)
+
+let equiv c d = Equiv (c, d)
+
+let compare = Stdlib.compare
+let equal c d = compare c d = 0
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else (Hashtbl.add seen x (); true))
+    xs
+
+let rec names_acc acc = function
+  | Name n -> n :: acc
+  | Top | Bot -> acc
+  | And cs | Or cs -> List.fold_left names_acc acc cs
+  | Exists (_, c) | Forall (_, c) -> names_acc acc c
+
+let names c = dedup (List.rev (names_acc [] c))
+
+let rec roles_acc acc = function
+  | Name _ | Top | Bot -> acc
+  | And cs | Or cs -> List.fold_left roles_acc acc cs
+  | Exists (r, c) | Forall (r, c) -> roles_acc (r :: acc) c
+
+let roles c = dedup (List.rev (roles_acc [] c))
+
+let axiom_names = function
+  | Subsumes (c, d) | Equiv (c, d) -> dedup (names c @ names d)
+
+let axiom_roles = function
+  | Subsumes (c, d) | Equiv (c, d) -> dedup (roles c @ roles d)
+
+let rec offending_feature = function
+  | Name _ | Top | Bot -> None
+  | Or _ -> Some "disjunction (OR node)"
+  | Forall _ -> Some "value restriction (ALL edge)"
+  | And cs -> List.find_map offending_feature cs
+  | Exists (_, c) -> offending_feature c
+
+let is_el c = offending_feature c = None
+
+let rec size = function
+  | Name _ | Top | Bot -> 1
+  | And cs | Or cs -> 1 + List.fold_left (fun s c -> s + size c) 0 cs
+  | Exists (_, c) | Forall (_, c) -> 1 + size c
+
+let rec pp ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Top -> Format.pp_print_string ppf "TOP"
+  | Bot -> Format.pp_print_string ppf "BOT"
+  | And cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+         pp)
+      cs
+  | Or cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " OR ")
+         pp)
+      cs
+  | Exists (r, c) -> Format.fprintf ppf "EXISTS %s.%a" r pp c
+  | Forall (r, c) -> Format.fprintf ppf "ALL %s.%a" r pp c
+
+let pp_axiom ppf = function
+  | Subsumes (c, d) -> Format.fprintf ppf "%a [= %a" pp c pp d
+  | Equiv (c, d) -> Format.fprintf ppf "%a == %a" pp c pp d
+
+let to_string c = Format.asprintf "%a" pp c
+let axiom_to_string a = Format.asprintf "%a" pp_axiom a

@@ -1,0 +1,62 @@
+(** Description-logic concept expressions and axioms (Definition 1 of
+    the paper).
+
+    The domain-map edge forms correspond to:
+    - [C -> D]        ~ [Subsumes (Name C, Name D)]            (isa)
+    - [C -r-> D]      ~ [Subsumes (Name C, Exists (r, D))]     (ex)
+    - [C -ALL:r-> D]  ~ [Subsumes (Name C, Forall (r, D))]     (all)
+    - [AND -> Ci]     ~ [And \[...\]]                          (and)
+    - [OR -> Ci]      ~ [Or \[...\]]                           (or)
+    - [C = D]         ~ [Equiv (Name C, D)]                    (eqv) *)
+
+type t =
+  | Name of string
+  | Top
+  | Bot
+  | And of t list
+  | Or of t list
+  | Exists of string * t  (** [∃r.C] *)
+  | Forall of string * t  (** [∀r.C] *)
+
+type axiom =
+  | Subsumes of t * t  (** [Subsumes (c, d)] is [c ⊑ d] *)
+  | Equiv of t * t
+
+(** {1 Constructors} *)
+
+val name : string -> t
+val conj : t list -> t
+(** Flattens nested [And]s, drops [Top], collapses to [Bot] when any
+    conjunct is [Bot], and returns the single conjunct alone. *)
+
+val disj : t list -> t
+val exists : string -> t -> t
+val forall : string -> t -> t
+val subsumes : t -> t -> axiom
+(** [subsumes c d] = [c ⊑ d]. *)
+
+val equiv : t -> t -> axiom
+
+(** {1 Inspection} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val names : t -> string list
+(** Concept names occurring, deduplicated. *)
+
+val roles : t -> string list
+val axiom_names : axiom -> string list
+val axiom_roles : axiom -> string list
+
+val is_el : t -> bool
+(** The decidable (polynomial) fragment handled by {!Reason}: no [Or],
+    no [Forall]. [Bot] is allowed. *)
+
+val offending_feature : t -> string option
+(** The first feature putting the concept outside the EL fragment. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+val pp_axiom : Format.formatter -> axiom -> unit
+val to_string : t -> string
+val axiom_to_string : axiom -> string

@@ -1,0 +1,285 @@
+(* EL completion (Baader, Brandt, Lutz: "Pushing the EL envelope").
+
+   Normal forms over concept names A, B (including top/bot markers):
+     NF1  A ⊑ B
+     NF2  A1 ⊓ A2 ⊑ B
+     NF3  A ⊑ ∃r.B
+     NF4  ∃r.A ⊑ B
+
+   Completion sets: S(A) ⊆ names (the subsumers of A), R(r) ⊆ pairs.
+   Saturation rules:
+     CR1  A' ∈ S(A), (A' ⊑ B)          ⇒ B ∈ S(A)
+     CR2  A1,A2 ∈ S(A), (A1 ⊓ A2 ⊑ B)  ⇒ B ∈ S(A)
+     CR3  A' ∈ S(A), (A' ⊑ ∃r.B)       ⇒ (A,B) ∈ R(r)
+     CR4  (A,B) ∈ R(r), B' ∈ S(B), (∃r.B' ⊑ A'') ⇒ A'' ∈ S(A)
+     CR5  (A,B) ∈ R(r), bot ∈ S(B)     ⇒ bot ∈ S(A)
+   Then A ⊑ B iff B ∈ S(A) or bot ∈ S(A). *)
+
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+let top = "⊤"
+let bot = "⊥"
+
+type nf =
+  | Sub1 of string * string             (* A ⊑ B *)
+  | Sub2 of string * string * string    (* A1 ⊓ A2 ⊑ B *)
+  | SubEx of string * string * string   (* A ⊑ ∃r.B *)
+  | ExSub of string * string * string   (* ∃r.A ⊑ B *)
+
+type t = {
+  s : SS.t SM.t;            (* completion sets *)
+  input_names : SS.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Normalization *)
+
+type norm_ctx = { mutable k : int; mutable nfs : nf list; mutable names : SS.t }
+
+let fresh_name ctx =
+  ctx.k <- ctx.k + 1;
+  let n = Printf.sprintf "_N%d" ctx.k in
+  (* normalization helpers need completion sets of their own *)
+  ctx.names <- SS.add n ctx.names;
+  n
+
+let add_nf ctx nf = ctx.nfs <- nf :: ctx.nfs
+
+let note_name ctx n = ctx.names <- SS.add n ctx.names
+
+exception Outside of string
+
+(* Reduce a concept to a name, introducing definitions as needed.
+   [polarity] is `Lhs when the concept occurs on the left of ⊑ (we need
+   concept ⊑ name) and `Rhs on the right (name ⊑ concept). For EL both
+   directions are expressible in the normal forms. *)
+let rec name_of ctx polarity c =
+  match c with
+  | Concept.Name n ->
+    note_name ctx n;
+    n
+  | Concept.Top -> top
+  | Concept.Bot -> bot
+  | _ ->
+    (match Concept.offending_feature c with
+    | Some f -> raise (Outside f)
+    | None -> ());
+    let a = fresh_name ctx in
+    (match polarity with
+    | `Lhs -> encode_sub ctx c (Concept.Name a)    (* c ⊑ a *)
+    | `Rhs -> encode_sub ctx (Concept.Name a) c);  (* a ⊑ c *)
+    a
+
+(* Encode lhs ⊑ rhs into normal forms. *)
+and encode_sub ctx lhs rhs =
+  match lhs, rhs with
+  | Concept.Bot, _ -> ()
+  | _, Concept.Top -> ()
+  | Concept.Name a, Concept.Name b -> add_nf ctx (Sub1 (a, b)); note_name ctx a; note_name ctx b
+  | Concept.Name a, Concept.Bot -> add_nf ctx (Sub1 (a, bot)); note_name ctx a
+  | Concept.Top, rhs ->
+    (* ⊤ ⊑ rhs: everything is rhs; encode via marker name for top. *)
+    encode_sub ctx (Concept.Name top) rhs
+  | Concept.And cs, rhs ->
+    let names = List.map (name_of ctx `Lhs) cs in
+    let b = name_of ctx `Rhs rhs in
+    let rec chain = function
+      | [] -> add_nf ctx (Sub1 (top, b))
+      | [ a ] -> add_nf ctx (Sub1 (a, b))
+      | [ a1; a2 ] -> add_nf ctx (Sub2 (a1, a2, b))
+      | a1 :: a2 :: rest ->
+        let m = fresh_name ctx in
+        add_nf ctx (Sub2 (a1, a2, m));
+        chain (m :: rest)
+    in
+    chain names
+  | Concept.Exists (r, c), rhs ->
+    let a = name_of ctx `Lhs c in
+    let b = name_of ctx `Rhs rhs in
+    add_nf ctx (ExSub (r, a, b))
+  | lhs, Concept.And cs -> List.iter (fun c -> encode_sub ctx lhs c) cs
+  | lhs, Concept.Exists (r, c) ->
+    let a = name_of ctx `Lhs lhs in
+    let b = name_of ctx `Rhs c in
+    add_nf ctx (SubEx (a, r, b))
+  | lhs, Concept.Bot ->
+    let a = name_of ctx `Lhs lhs in
+    add_nf ctx (Sub1 (a, bot))
+  | (Concept.Or _ | Concept.Forall _), _ | _, (Concept.Or _ | Concept.Forall _)
+    -> (
+    match
+      ( Concept.offending_feature lhs,
+        Concept.offending_feature rhs )
+    with
+    | Some f, _ | _, Some f -> raise (Outside f)
+    | None, None -> assert false)
+
+let normalize axioms =
+  let ctx = { k = 0; nfs = []; names = SS.empty } in
+  List.iter
+    (fun ax ->
+      match ax with
+      | Concept.Subsumes (c, d) -> encode_sub ctx c d
+      | Concept.Equiv (c, d) ->
+        encode_sub ctx c d;
+        encode_sub ctx d c)
+    axioms;
+  ctx
+
+(* ------------------------------------------------------------------ *)
+(* Saturation *)
+
+(* Worklist saturation: indexes on the normal forms plus a queue of
+   (concept, new-subsumer) events keep each completion-rule application
+   constant-time-ish, so classification stays near-linear in the number
+   of derived subsumptions (the EL polynomial bound with a small
+   constant). *)
+let saturate names nfs =
+  let all_names = SS.add top (SS.add bot names) in
+  let s : (string, SS.t ref) Hashtbl.t = Hashtbl.create 64 in
+  SS.iter (fun a -> Hashtbl.replace s a (ref SS.empty)) all_names;
+  let get_cell a =
+    match Hashtbl.find_opt s a with
+    | Some c -> c
+    | None ->
+      let c = ref SS.empty in
+      Hashtbl.add s a c;
+      c
+  in
+  (* nf indexes *)
+  let sub1_idx : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let sub2_by_left : (string, (string * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let subex_idx : (string, (string * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let exsub_idx : (string * string, string list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let push tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add tbl k (ref [ v ])
+  in
+  List.iter
+    (function
+      | Sub1 (a, b) -> push sub1_idx a b
+      | Sub2 (a1, a2, b) ->
+        push sub2_by_left a1 (a2, b);
+        push sub2_by_left a2 (a1, b)
+      | SubEx (a, role, b) -> push subex_idx a (role, b)
+      | ExSub (role, a, b) -> push exsub_idx (role, a) b)
+    nfs;
+  let idx tbl k = match Hashtbl.find_opt tbl k with Some l -> !l | None -> [] in
+  (* role pairs with both directions indexed *)
+  let pairs_by_src : (string, (string * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let pairs_by_dst : (string, (string * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let pair_seen : (string * string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  (* events: `S (a, b) = b entered S(a); `R (role, x, y) = new pair *)
+  let add_s a b =
+    let cell = get_cell a in
+    if not (SS.mem b !cell) then begin
+      cell := SS.add b !cell;
+      Queue.add (`S (a, b)) queue
+    end
+  in
+  let add_r role x y =
+    if not (Hashtbl.mem pair_seen (role, x, y)) then begin
+      Hashtbl.add pair_seen (role, x, y) ();
+      push pairs_by_src x (role, y);
+      push pairs_by_dst y (role, x);
+      Queue.add (`R (role, x, y)) queue
+    end
+  in
+  SS.iter
+    (fun a ->
+      add_s a a;
+      add_s a top)
+    all_names;
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | `S (a, b) ->
+      (* CR1: b ⊑ c *)
+      List.iter (fun c -> add_s a c) (idx sub1_idx b);
+      (* CR2: b ⊓ b2 ⊑ c with b2 already in S(a) *)
+      List.iter
+        (fun (b2, c) -> if SS.mem b2 !(get_cell a) then add_s a c)
+        (idx sub2_by_left b);
+      (* CR3: b ⊑ ∃r.c *)
+      List.iter (fun (role, c) -> add_r role a c) (idx subex_idx b);
+      (* CR4 upstream: pairs (x, a) with ∃r.b ⊑ c *)
+      List.iter
+        (fun (role, x) ->
+          List.iter (fun c -> add_s x c) (idx exsub_idx (role, b)))
+        (idx pairs_by_dst a);
+      (* CR5: bot propagates to predecessors *)
+      if String.equal b bot then
+        List.iter (fun (_, x) -> add_s x bot) (idx pairs_by_dst a)
+    | `R (role, x, y) ->
+      (* CR4: b' ∈ S(y), ∃role.b' ⊑ c *)
+      SS.iter
+        (fun b' -> List.iter (fun c -> add_s x c) (idx exsub_idx (role, b')))
+        !(get_cell y);
+      (* CR5 *)
+      if SS.mem bot !(get_cell y) then add_s x bot
+  done;
+  Hashtbl.fold (fun a cell acc -> SM.add a !cell acc) s SM.empty
+
+let classify axioms =
+  match normalize axioms with
+  | exception Outside f -> Error f
+  | ctx ->
+    let s = saturate ctx.names ctx.nfs in
+    Ok { s; input_names = ctx.names }
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let completion_set t a =
+  match SM.find_opt a t.s with
+  | Some s -> s
+  | None -> SS.of_list [ a; top ]
+
+let subsumes t c d =
+  let sc = completion_set t c in
+  SS.mem d sc || SS.mem bot sc || String.equal d top
+
+let unsatisfiable t c = SS.mem bot (completion_set t c)
+
+let subsumers t c =
+  completion_set t c |> SS.elements
+  |> List.filter (fun n ->
+         (not (String.equal n top))
+         && (not (String.equal n bot))
+         && not (String.length n > 2 && n.[0] = '_' && n.[1] = 'N'))
+  |> List.sort String.compare
+
+let concept_names t = SS.elements t.input_names |> List.sort String.compare
+
+type verdict = Subsumed | Not_subsumed | Outside_fragment of string
+
+let check ~tbox c d =
+  let qc = "_Qlhs" and qd = "_Qrhs" in
+  let extended =
+    tbox
+    @ [
+        Concept.Equiv (Concept.Name qc, c);
+        Concept.Equiv (Concept.Name qd, d);
+      ]
+  in
+  match classify extended with
+  | Error f -> Outside_fragment f
+  | Ok t -> if subsumes t qc qd then Subsumed else Not_subsumed
+
+let satisfiable ~tbox c =
+  let qc = "_Qsat" in
+  match classify (tbox @ [ Concept.Equiv (Concept.Name qc, c) ]) with
+  | Error f -> Error f
+  | Ok t -> Ok (not (unsatisfiable t qc))

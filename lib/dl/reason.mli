@@ -1,0 +1,44 @@
+(** Terminological reasoning over the decidable domain-map fragment.
+
+    Proposition 1 of the paper: subsumption and satisfiability are
+    undecidable for unrestricted GCM domain maps — but "in a typical
+    mediator system, reasoning about the DM may be required only to a
+    limited extent" and "restricted and decidable fragments like the
+    ANATOM domain map are often sufficient". This module implements
+    that restricted reasoning: the EL fragment (conjunction, existential
+    restriction, Bot), decided in polynomial time by the completion
+    algorithm of Baader et al.; anything outside the fragment is
+    reported as {!Outside_fragment} rather than guessed at. *)
+
+type t
+(** A classified TBox: completion sets computed, ready for O(1)
+    subsumption lookups between named concepts. *)
+
+val classify : Concept.axiom list -> (t, string) result
+(** Normalize and saturate. [Error feature] when an axiom falls outside
+    the EL fragment (disjunction or value restriction). *)
+
+val subsumes : t -> string -> string -> bool
+(** [subsumes tbox c d] — is every instance of named concept [c] an
+    instance of [d] in all models ([c ⊑ d])? *)
+
+val subsumers : t -> string -> string list
+(** All named subsumers of a named concept (sorted), excluding [Top]. *)
+
+val unsatisfiable : t -> string -> bool
+(** [true] iff the named concept is forced empty (subsumed by Bot). *)
+
+val concept_names : t -> string list
+(** Named concepts known to the TBox (input names only, not
+    normalization helpers). *)
+
+type verdict = Subsumed | Not_subsumed | Outside_fragment of string
+
+val check :
+  tbox:Concept.axiom list -> Concept.t -> Concept.t -> verdict
+(** [check ~tbox c d] decides [c ⊑ d] for possibly-complex EL concepts
+    by introducing definition names for [c] and [d] and classifying. *)
+
+val satisfiable : tbox:Concept.axiom list -> Concept.t -> (bool, string) result
+(** [Ok true] — the concept can have instances in some model of the
+    TBox; [Error feature] — outside the decidable fragment. *)

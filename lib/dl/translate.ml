@@ -1,0 +1,306 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+module Ic_mod = Flogic.Ic
+
+type mode = Ic | Assertion
+
+type output = {
+  rules : Molecule.rule list;
+  warnings : string list;
+}
+
+type ctx = {
+  mutable n : int;
+  mutable rules : Molecule.rule list;
+  mutable warnings : string list;
+}
+
+let new_ctx () = { n = 0; rules = []; warnings = [] }
+
+let fresh_int ctx =
+  ctx.n <- ctx.n + 1;
+  ctx.n
+
+let emit ctx r = ctx.rules <- r :: ctx.rules
+let warn ctx msg = ctx.warnings <- msg :: ctx.warnings
+
+let sanitize s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') s
+
+let skolem_name c r d = Printf.sprintf "f_%s_%s_%s" (sanitize c) (sanitize r) (sanitize d)
+
+let is_placeholder = function
+  | Term.App (f, _) -> String.length f > 2 && String.sub f 0 2 = "f_"
+  | _ -> false
+
+let isa_fact c d = Molecule.fact (Molecule.sub (Term.sym c) (Term.sym d))
+
+(* A short printable tag for witness/skolem naming. *)
+let rec tag = function
+  | Concept.Name n -> sanitize n
+  | Concept.Top -> "top"
+  | Concept.Bot -> "bot"
+  | Concept.And cs -> "and_" ^ String.concat "_" (List.map tag cs)
+  | Concept.Or cs -> "or_" ^ String.concat "_" (List.map tag cs)
+  | Concept.Exists (r, c) -> Printf.sprintf "ex_%s_%s" (sanitize r) (tag c)
+  | Concept.Forall (r, c) -> Printf.sprintf "all_%s_%s" (sanitize r) (tag c)
+
+let truncate_tag s = if String.length s > 40 then String.sub s 0 40 else s
+
+(* The "never" predicate: recognition of Bot. No rule ever derives it. *)
+let never_pred = "dl_never"
+
+(* ------------------------------------------------------------------ *)
+(* Recognition: body literals testing membership of [x] in a concept.
+   Handles EL plus disjunction (via an auxiliary predicate, one rule per
+   disjunct); value restrictions cannot be recognised in a positive rule
+   body. *)
+
+let rec recognize ctx x = function
+  | Concept.Name d -> Some [ Molecule.Pos (Molecule.Isa (x, Term.sym d)) ]
+  | Concept.Top -> Some []
+  | Concept.Bot -> Some [ Molecule.Pos (Molecule.pred never_pred [ x ]) ]
+  | Concept.And cs ->
+    List.fold_left
+      (fun acc c ->
+        match acc, recognize ctx x c with
+        | Some lits, Some more -> Some (lits @ more)
+        | _ -> None)
+      (Some []) cs
+  | Concept.Exists (r, c) ->
+    let y = Term.var (Printf.sprintf "Y%d" (fresh_int ctx)) in
+    (match recognize ctx y c with
+    | Some inner -> Some (Molecule.Pos (Molecule.pred r [ x; y ]) :: inner)
+    | None -> None)
+  | Concept.Or cs ->
+    let p = Printf.sprintf "dl_or_%d" (fresh_int ctx) in
+    let ok =
+      List.for_all
+        (fun c ->
+          let v = Term.var "X" in
+          match recognize ctx v c with
+          | Some lits ->
+            emit ctx (Molecule.rule (Molecule.pred p [ v ]) lits);
+            true
+          | None -> false)
+        cs
+    in
+    if ok then Some [ Molecule.Pos (Molecule.pred p [ x ]) ] else None
+  | Concept.Forall _ -> None
+
+(* Recognition packaged as a single auxiliary predicate (needed under
+   negation). Returns the predicate name. *)
+let recognition_pred ctx concept =
+  match concept with
+  | Concept.Name d ->
+    (* direct isa test; no aux needed, signalled by returning None *)
+    `Isa d
+  | _ -> (
+    let p = Printf.sprintf "dl_is_%d" (fresh_int ctx) in
+    let v = Term.var "X" in
+    match recognize ctx v concept with
+    | Some lits ->
+      emit ctx (Molecule.rule (Molecule.pred p [ v ]) lits);
+      `Pred p
+    | None -> `Unsupported)
+
+let neg_membership ctx x concept =
+  match recognition_pred ctx concept with
+  | `Isa d -> Some (Molecule.Neg (Molecule.Isa (x, Term.sym d)))
+  | `Pred p -> Some (Molecule.Neg (Molecule.pred p [ x ]))
+  | `Unsupported -> None
+
+(* sat predicate for C ⊑ ∃r.D: sat(X) :- r(X,Y), Y in D, Y real.
+
+   The "Y real" guard excludes placeholder objects: a skolem created by
+   the assertion rule itself must not count as the witness that turns
+   the assertion off, or the well-founded model oscillates and the
+   placeholder facts come out undefined. Structurally, placeholders are
+   exactly the [f_...] function terms. *)
+let not_placeholder y =
+  Molecule.Pos
+    (Molecule.pred "builtin:not_functor_prefix" [ y; Term.str "f_" ])
+
+let sat_pred ctx r filler =
+  let p = Printf.sprintf "dl_sat_%d" (fresh_int ctx) in
+  let x = Term.var "X" and y = Term.var "Y" in
+  (match recognize ctx y filler with
+  | Some inner ->
+    emit ctx
+      (Molecule.rule (Molecule.pred p [ x ])
+         ((Molecule.Pos (Molecule.pred r [ x; y ]) :: inner)
+         @ [ not_placeholder y ]))
+  | None ->
+    (* Value-restricted filler: accept any r-successor as satisfying
+       (conservative: fewer witnesses / fewer skolems). *)
+    warn ctx
+      (Printf.sprintf
+         "filler of EXISTS %s.%s not recognisable; sat check weakened" r
+         (Concept.to_string filler));
+    emit ctx
+      (Molecule.rule (Molecule.pred p [ x ])
+         [ Molecule.Pos (Molecule.pred r [ x; y ]); not_placeholder y ]));
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Enforcement (assertion mode): make rhs true for the x's satisfying
+   the body. Each component is a separate rule sharing lhs_body. *)
+
+let rec assert_components ctx ~lhs_tag x rhs =
+  match rhs with
+  | Concept.Top -> []
+  | Concept.Name d -> [ ([ Molecule.Isa (x, Term.sym d) ], []) ]
+  | Concept.And cs -> List.concat_map (assert_components ctx ~lhs_tag x) cs
+  | Concept.Bot ->
+    warn ctx "cannot assert BOT; emit an Ic-mode translation instead";
+    []
+  | Concept.Or _ ->
+    warn ctx
+      (Printf.sprintf
+         "disjunction %s is not Horn-assertable; skipped (handled at the \
+          concept level by the domain map)"
+         (Concept.to_string rhs));
+    []
+  | Concept.Exists (r, filler) ->
+    let filler_name, extra_axiom =
+      match filler with
+      | Concept.Name d -> (d, None)
+      | _ ->
+        let aux = Printf.sprintf "dl_aux_%d" (fresh_int ctx) in
+        (aux, Some (Concept.Subsumes (Concept.Name aux, filler)))
+    in
+    (* Recursively give the auxiliary concept its structure. *)
+    (match extra_axiom with
+    | Some (Concept.Subsumes (lhs, rhs')) ->
+      let y = Term.var "X" in
+      let comps = assert_components ctx ~lhs_tag:(tag lhs) y rhs' in
+      List.iter
+        (fun (heads, extra) ->
+          emit ctx
+            (Molecule.rule_multi heads
+               (Molecule.Pos (Molecule.Isa (y, Term.sym (tag lhs))) :: extra)))
+        comps
+    | _ -> ());
+    let sat = sat_pred ctx r filler in
+    let y = Term.var (Printf.sprintf "Y%d" (fresh_int ctx)) in
+    let sk =
+      Term.app (skolem_name lhs_tag r (truncate_tag (tag filler))) [ x ]
+    in
+    [
+      ( [ Molecule.Isa (y, Term.sym filler_name); Molecule.pred r [ x; y ] ],
+        [
+          Molecule.Neg (Molecule.pred sat [ x ]);
+          Molecule.Cmp (Logic.Literal.Eq, y, sk);
+        ] );
+    ]
+  | Concept.Forall (r, filler) ->
+    let filler_name =
+      match filler with
+      | Concept.Name d -> d
+      | _ ->
+        let aux = Printf.sprintf "dl_aux_%d" (fresh_int ctx) in
+        let y = Term.var "X" in
+        let comps = assert_components ctx ~lhs_tag:aux y filler in
+        List.iter
+          (fun (heads, extra) ->
+            emit ctx
+              (Molecule.rule_multi heads
+                 (Molecule.Pos (Molecule.Isa (y, Term.sym aux)) :: extra)))
+          comps;
+        aux
+    in
+    let y = Term.var (Printf.sprintf "Y%d" (fresh_int ctx)) in
+    [
+      ( [ Molecule.Isa (y, Term.sym filler_name) ],
+        [ Molecule.Pos (Molecule.pred r [ x; y ]) ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Integrity-constraint mode: denials with failure witnesses. *)
+
+let rec ic_denials ctx ~lhs_tag ~lhs_body x rhs =
+  match rhs with
+  | Concept.Top -> ()
+  | Concept.Bot ->
+    emit ctx
+      (Ic_mod.denial ~name:("w_" ^ truncate_tag lhs_tag ^ "_bot") ~args:[ x ]
+         lhs_body)
+  | Concept.And cs -> List.iter (ic_denials ctx ~lhs_tag ~lhs_body x) cs
+  | Concept.Name d ->
+    emit ctx
+      (Ic_mod.denial
+         ~name:(Printf.sprintf "w_%s_isa_%s" (truncate_tag lhs_tag) (sanitize d))
+         ~args:[ x ]
+         (lhs_body @ [ Molecule.Neg (Molecule.Isa (x, Term.sym d)) ]))
+  | Concept.Exists (r, filler) ->
+    let sat = sat_pred ctx r filler in
+    emit ctx
+      (Ic_mod.denial
+         ~name:
+           (Printf.sprintf "w_%s_%s_%s" (truncate_tag lhs_tag) (sanitize r)
+              (truncate_tag (tag filler)))
+         ~args:[ x ]
+         (lhs_body @ [ Molecule.Neg (Molecule.pred sat [ x ]) ]))
+  | Concept.Forall (r, filler) -> (
+    let y = Term.var (Printf.sprintf "Y%d" (fresh_int ctx)) in
+    match neg_membership ctx y filler with
+    | Some neg ->
+      emit ctx
+        (Ic_mod.denial
+           ~name:
+             (Printf.sprintf "w_%s_all_%s" (truncate_tag lhs_tag) (sanitize r))
+           ~args:[ x; y ]
+           (lhs_body @ [ Molecule.Pos (Molecule.pred r [ x; y ]) ] @ [ neg ]))
+    | None ->
+      warn ctx
+        (Printf.sprintf "cannot check ALL %s.%s (unrecognisable filler)" r
+           (Concept.to_string filler)))
+  | Concept.Or cs ->
+    let negs =
+      List.map (fun c -> neg_membership ctx x c) cs
+    in
+    if List.for_all Option.is_some negs then
+      emit ctx
+        (Ic_mod.denial
+           ~name:(Printf.sprintf "w_%s_or" (truncate_tag lhs_tag))
+           ~args:[ x ]
+           (lhs_body @ List.filter_map Fun.id negs))
+    else
+      warn ctx
+        (Printf.sprintf "cannot check disjunction %s (unrecognisable disjunct)"
+           (Concept.to_string rhs))
+
+let subsumption ctx ~mode lhs rhs =
+  match lhs, rhs with
+  | Concept.Name c, Concept.Name d ->
+    (* Plain isa edge: schema-level subclass fact in either mode. *)
+    emit ctx (isa_fact c d)
+  | _ -> (
+    let x = Term.var "X" in
+    match recognize ctx x lhs with
+    | None ->
+      warn ctx
+        (Printf.sprintf "left-hand side %s is not recognisable; axiom skipped"
+           (Concept.to_string lhs))
+    | Some lhs_body -> (
+      match mode with
+      | Assertion ->
+        let comps = assert_components ctx ~lhs_tag:(tag lhs) x rhs in
+        List.iter
+          (fun (heads, extra) ->
+            emit ctx (Molecule.rule_multi heads (lhs_body @ extra)))
+          comps
+      | Ic -> ic_denials ctx ~lhs_tag:(tag lhs) ~lhs_body x rhs))
+
+let axiom_ctx ctx ~mode = function
+  | Concept.Subsumes (lhs, rhs) -> subsumption ctx ~mode lhs rhs
+  | Concept.Equiv (lhs, rhs) ->
+    subsumption ctx ~mode lhs rhs;
+    subsumption ctx ~mode rhs lhs
+
+let axioms ~mode axs =
+  let ctx = new_ctx () in
+  List.iter (axiom_ctx ctx ~mode) axs;
+  { rules = List.rev ctx.rules; warnings = List.rev ctx.warnings }
+
+let axiom ~mode ax = axioms ~mode [ ax ]

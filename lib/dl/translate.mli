@@ -1,0 +1,41 @@
+(** Executing description-logic axioms at the mediator (Section 4).
+
+    Each domain-map edge axiom can be run in one of two modes:
+
+    - {b Integrity constraint}: the object base must witness the axiom;
+      otherwise a failure witness is inserted into [ic]. E.g. for
+      [C ⊑ ∃r.D]:
+      {v w_C_r_D(X) : ic :- X : C, not sat(X).
+         sat(X) :- r(X,Y), Y : D. v}
+      This is the "data-complete" reading.
+
+    - {b Assertion}: the axiom holds in the real world even if the
+      object base lacks the target, so a virtual placeholder (skolem)
+      object is created:
+      {v Y : D & r(X,Y) :- X : C, not sat(X), Y = f_C_r_D(X). v}
+
+    Disjunctions are not Horn-expressible as assertions and value
+    restrictions cannot be recognised in rule bodies; such axioms are
+    either translated partially or skipped with a warning — the
+    concept-level domain-map operations ({!Domain_map}) handle them
+    instead. *)
+
+type mode = Ic | Assertion
+
+type output = {
+  rules : Flogic.Molecule.rule list;
+  warnings : string list;  (** axioms (or parts) that were skipped *)
+}
+
+val axiom : mode:mode -> Concept.axiom -> output
+val axioms : mode:mode -> Concept.axiom list -> output
+
+val isa_fact : string -> string -> Flogic.Molecule.rule
+(** [isa_fact c d] — the [Sub] fact for a plain isa edge. *)
+
+val skolem_name : string -> string -> string -> string
+(** [skolem_name c r d] — the name of the placeholder function
+    [f_C_r_D]. *)
+
+val is_placeholder : Logic.Term.t -> bool
+(** Recognise skolem placeholder objects created by assertion mode. *)

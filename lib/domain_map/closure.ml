@@ -1,0 +1,126 @@
+module SS = Set.Make (String)
+
+type pairs = (string * string) list
+
+let adjacency pairs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      match Hashtbl.find_opt tbl a with
+      | Some l -> l := b :: !l
+      | None -> Hashtbl.add tbl a (ref [ b ]))
+    pairs;
+  fun a -> match Hashtbl.find_opt tbl a with Some l -> !l | None -> []
+
+let reachable_set next start =
+  let seen = Hashtbl.create 32 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      List.iter go (next n)
+    end
+  in
+  go start;
+  Hashtbl.fold (fun n () acc -> SS.add n acc) seen SS.empty
+
+let tc pairs =
+  let next = adjacency pairs in
+  let sources =
+    List.fold_left (fun acc (a, _) -> SS.add a acc) SS.empty pairs
+  in
+  SS.fold
+    (fun a acc ->
+      let reach = reachable_set next a in
+      SS.fold
+        (fun b acc -> if String.equal a b then acc else (a, b) :: acc)
+        reach acc)
+    sources []
+  |> List.sort_uniq compare
+
+let links ?(include_possible = false) (l : Dmap.links) =
+  if include_possible then l.Dmap.definite @ l.Dmap.possible else l.Dmap.definite
+
+let isa_tc ?include_possible dm =
+  let isa = links ?include_possible (Dmap.isa_links dm) in
+  let eqv = Dmap.eqv_links dm in
+  let sym = List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) eqv in
+  tc (isa @ sym)
+
+let dc ~isa_tc pairs =
+  let up = adjacency isa_tc in
+  (* down: X isa* Z, R(Z,Y) => R links inherited by specialisations. *)
+  let down_of =
+    let by_src = Hashtbl.create 64 in
+    List.iter
+      (fun (z, x) ->
+        (* z isa* x — record x's specialisation z *)
+        match Hashtbl.find_opt by_src x with
+        | Some l -> l := z :: !l
+        | None -> Hashtbl.add by_src x (ref [ z ]))
+      isa_tc;
+    fun x -> match Hashtbl.find_opt by_src x with Some l -> !l | None -> []
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (z, y) ->
+      (* base link *)
+      acc := (z, y) :: !acc;
+      (* down: specialisations of z inherit the link *)
+      List.iter (fun x -> acc := (x, y) :: !acc) (down_of z);
+      (* up: the target generalises *)
+      List.iter (fun y' -> acc := (z, y') :: !acc) (up y))
+    pairs;
+  List.sort_uniq compare !acc
+
+let dc_down ~isa_tc pairs =
+  let down_of =
+    let by_src = Hashtbl.create 64 in
+    List.iter
+      (fun (z, x) ->
+        match Hashtbl.find_opt by_src x with
+        | Some l -> l := z :: !l
+        | None -> Hashtbl.add by_src x (ref [ z ]))
+      isa_tc;
+    fun x -> match Hashtbl.find_opt by_src x with Some l -> !l | None -> []
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (z, y) ->
+      acc := (z, y) :: !acc;
+      List.iter (fun x -> acc := (x, y) :: !acc) (down_of z))
+    pairs;
+  List.sort_uniq compare !acc
+
+let traversal ?include_possible ?(role = "has") dm =
+  let isa = isa_tc ?include_possible dm in
+  let base = links ?include_possible (Dmap.role_links dm role) in
+  let star_down = dc_down ~isa_tc:isa base in
+  let isa_down = List.map (fun (a, b) -> (b, a)) isa in
+  List.sort_uniq compare (star_down @ isa_down)
+
+let role_dc ?include_possible dm ~role =
+  let base = links ?include_possible (Dmap.role_links dm role) in
+  dc ~isa_tc:(isa_tc ?include_possible dm) base
+
+let has_a_star ?include_possible ?(role = "has") dm =
+  role_dc ?include_possible dm ~role
+
+let reachable pairs start =
+  let next = adjacency pairs in
+  SS.elements (reachable_set next start)
+
+let descendants dm c =
+  let isa = isa_tc dm in
+  c
+  :: List.filter_map (fun (a, b) -> if String.equal b c then Some a else None) isa
+  |> List.sort_uniq String.compare
+
+let ancestors dm c =
+  let isa = isa_tc dm in
+  c
+  :: List.filter_map (fun (a, b) -> if String.equal a c then Some b else None) isa
+  |> List.sort_uniq String.compare
+
+let successors pairs n =
+  List.filter_map (fun (a, b) -> if String.equal a n then Some b else None) pairs
+  |> List.sort_uniq String.compare

@@ -1,0 +1,412 @@
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type node_kind = Concept | And_node | Or_node
+
+type edge_kind =
+  | Isa
+  | Eqv
+  | Ex of string
+  | All of string
+
+type edge = { src : string; dst : string; kind : edge_kind }
+
+module ES = Set.Make (struct
+  type t = edge
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  node_kinds : node_kind SM.t;
+  edge_list : edge list;  (* reverse insertion order *)
+  edge_set : ES.t;        (* same edges, for O(log e) dedup *)
+  anon : int;             (* anonymous node counter *)
+  extra_axioms : Dl.Concept.axiom list;
+      (* axioms with a complex left-hand side: Definition 1's graphical
+         forms have no edge for them, so they are carried alongside the
+         graph and re-emitted by to_axioms *)
+}
+
+let empty =
+  {
+    node_kinds = SM.empty;
+    edge_list = [];
+    edge_set = ES.empty;
+    anon = 0;
+    extra_axioms = [];
+  }
+
+let add_concept dm name =
+  match SM.find_opt name dm.node_kinds with
+  | Some Concept -> dm
+  | Some _ -> invalid_arg (Printf.sprintf "Dmap.add_concept: %s is an anonymous node" name)
+  | None -> { dm with node_kinds = SM.add name Concept dm.node_kinds }
+
+let add_concepts dm names = List.fold_left add_concept dm names
+
+let ensure dm name =
+  if SM.mem name dm.node_kinds then dm
+  else { dm with node_kinds = SM.add name Concept dm.node_kinds }
+
+let add_edge dm e =
+  let dm = ensure (ensure dm e.src) e.dst in
+  if ES.mem e dm.edge_set then dm
+  else
+    { dm with edge_list = e :: dm.edge_list; edge_set = ES.add e dm.edge_set }
+
+let isa dm c d = add_edge dm { src = c; dst = d; kind = Isa }
+let ex dm ~role c d = add_edge dm { src = c; dst = d; kind = Ex role }
+let all_ dm ~role c d = add_edge dm { src = c; dst = d; kind = All role }
+let eqv dm c d = add_edge dm { src = c; dst = d; kind = Eqv }
+
+let fresh_anon dm kind =
+  let id =
+    Printf.sprintf "%s#%d" (if kind = And_node then "AND" else "OR") (dm.anon + 1)
+  in
+  ({ dm with anon = dm.anon + 1; node_kinds = SM.add id kind dm.node_kinds }, id)
+
+let anon_members dm id members =
+  List.fold_left (fun dm m -> add_edge dm { src = id; dst = m; kind = Isa }) dm members
+
+let and_node dm members =
+  let dm, id = fresh_anon dm And_node in
+  (anon_members dm id members, id)
+
+let or_node dm members =
+  let dm, id = fresh_anon dm Or_node in
+  (anon_members dm id members, id)
+
+let mem dm name = SM.mem name dm.node_kinds
+let kind_of dm name = SM.find_opt name dm.node_kinds
+
+let concepts dm =
+  SM.fold (fun n k acc -> if k = Concept then n :: acc else acc) dm.node_kinds []
+  |> List.sort String.compare
+
+let nodes dm = SM.fold (fun n _ acc -> n :: acc) dm.node_kinds [] |> List.sort String.compare
+
+let edges dm = List.rev dm.edge_list
+
+let roles dm =
+  List.filter_map
+    (fun e -> match e.kind with Ex r | All r -> Some r | Isa | Eqv -> None)
+    dm.edge_list
+  |> List.sort_uniq String.compare
+
+let out_edges dm n = List.filter (fun e -> String.equal e.src n) (edges dm)
+let in_edges dm n = List.filter (fun e -> String.equal e.dst n) (edges dm)
+
+let size dm = (SM.cardinal dm.node_kinds, List.length dm.edge_list)
+
+let members dm n =
+  match kind_of dm n with
+  | Some Concept | None -> [ n ]
+  | Some (And_node | Or_node) ->
+    List.filter_map
+      (fun e -> if e.kind = Isa && String.equal e.src n then Some e.dst else None)
+      dm.edge_list
+    |> List.sort String.compare
+
+type links = { definite : (string * string) list; possible : (string * string) list }
+
+(* A resolved concept-level link: a named source related to a named
+   target through a relation (isa or a role), definitely or possibly. *)
+type resolved = {
+  rel : [ `Isa | `Role of string ];
+  target : string;
+  sure : bool;
+}
+
+(* Expand an edge target through anonymous nodes, recursively.
+
+   - [C ->(isa) AND{A, ∃r.B}]: C ⊑ A (definite isa) and C ⊑ ∃r.B
+     (definite role link) — role edges of AND nodes reached through an
+     isa context hoist to the source;
+   - [C -r-> AND{A,B}]: the filler is both, so (C,r,A) and (C,r,B) are
+     definite; nested structure belongs to the filler, not to C;
+   - any step through an OR node demotes links to possible. *)
+let rec resolve dm ~rel ~sure dst =
+  match kind_of dm dst with
+  | Some Concept | None -> [ { rel; target = dst; sure } ]
+  | Some And_node ->
+    List.concat_map
+      (fun e ->
+        if not (String.equal e.src dst) then []
+        else
+          match e.kind, rel with
+          | Isa, _ -> resolve dm ~rel ~sure e.dst
+          | Ex r, `Isa | All r, `Isa ->
+            (* hoisted role edge of a conjunction used as a class *)
+            resolve dm ~rel:(`Role r) ~sure e.dst
+          | (Ex _ | All _), `Role _ ->
+            (* nested filler structure: not a link of the source *)
+            []
+          | Eqv, _ -> resolve dm ~rel ~sure e.dst)
+      (out_edges dm dst)
+  | Some Or_node ->
+    List.concat_map
+      (fun e ->
+        if e.kind = Isa && String.equal e.src dst then
+          resolve dm ~rel ~sure:false e.dst
+        else [])
+      (out_edges dm dst)
+
+let resolved_links dm =
+  List.concat_map
+    (fun e ->
+      match kind_of dm e.src with
+      | Some (And_node | Or_node) -> [] (* handled via resolution *)
+      | _ -> (
+        match e.kind with
+        | Isa -> List.map (fun r -> (e.src, r)) (resolve dm ~rel:`Isa ~sure:true e.dst)
+        | Eqv ->
+          (* downward implication; the named-named reverse direction is
+             added by eqv_links consumers *)
+          List.map (fun r -> (e.src, r)) (resolve dm ~rel:`Isa ~sure:true e.dst)
+        | Ex role | All role ->
+          List.map (fun r -> (e.src, r)) (resolve dm ~rel:(`Role role) ~sure:true e.dst)))
+    (edges dm)
+
+let collect dm pred =
+  let definite = ref [] and possible = ref [] in
+  List.iter
+    (fun (src, r) ->
+      if pred r.rel then
+        if r.sure then definite := (src, r.target) :: !definite
+        else possible := (src, r.target) :: !possible)
+    (resolved_links dm);
+  {
+    definite = List.sort_uniq compare !definite;
+    possible = List.sort_uniq compare !possible;
+  }
+
+let eqv_links dm =
+  List.filter_map
+    (fun e ->
+      if e.kind = Eqv
+         && kind_of dm e.src = Some Concept
+         && kind_of dm e.dst = Some Concept
+      then Some (e.src, e.dst)
+      else None)
+    (edges dm)
+  |> List.sort_uniq compare
+
+let isa_links dm = collect dm (fun r -> r = `Isa)
+
+let role_links dm role = collect dm (fun r -> r = `Role role)
+
+(* ------------------------------------------------------------------ *)
+(* DL interface *)
+
+let rec node_concept dm n =
+  match kind_of dm n with
+  | Some Concept | None -> Dl.Concept.Name n
+  | Some And_node ->
+    let parts =
+      List.filter_map
+        (fun e ->
+          if not (String.equal e.src n) then None
+          else
+            match e.kind with
+            | Isa | Eqv -> Some (node_concept dm e.dst)
+            | Ex r -> Some (Dl.Concept.Exists (r, node_concept dm e.dst))
+            | All r -> Some (Dl.Concept.Forall (r, node_concept dm e.dst)))
+        (out_edges dm n)
+    in
+    Dl.Concept.conj parts
+  | Some Or_node ->
+    Dl.Concept.disj (List.map (node_concept dm) (members dm n))
+
+let to_axioms dm =
+  List.filter_map
+    (fun e ->
+      match kind_of dm e.src with
+      | Some (And_node | Or_node) -> None (* member edges are part of the node *)
+      | _ ->
+        let dst = node_concept dm e.dst in
+        let src = Dl.Concept.Name e.src in
+        (match e.kind with
+        | Isa -> Some (Dl.Concept.Subsumes (src, dst))
+        | Eqv -> Some (Dl.Concept.Equiv (src, dst))
+        | Ex r -> Some (Dl.Concept.Subsumes (src, Dl.Concept.Exists (r, dst)))
+        | All r -> Some (Dl.Concept.Subsumes (src, Dl.Concept.Forall (r, dst)))))
+    (edges dm)
+  @ List.rev dm.extra_axioms
+
+(* Turn a concept expression into a node (possibly anonymous),
+   returning the updated map and node id. *)
+let rec node_of_concept dm c =
+  match c with
+  | Dl.Concept.Name n -> (ensure dm n, n)
+  | Dl.Concept.Top -> (ensure dm "TOP", "TOP")
+  | Dl.Concept.Bot -> (ensure dm "BOT", "BOT")
+  | Dl.Concept.And cs ->
+    let dm, ids =
+      List.fold_left
+        (fun (dm, ids) c ->
+          let dm, id = node_of_concept dm c in
+          (dm, id :: ids))
+        (dm, []) cs
+    in
+    let dm, id = fresh_anon dm And_node in
+    (anon_members dm id (List.rev ids), id)
+  | Dl.Concept.Or cs ->
+    let dm, ids =
+      List.fold_left
+        (fun (dm, ids) c ->
+          let dm, id = node_of_concept dm c in
+          (dm, id :: ids))
+        (dm, []) cs
+    in
+    let dm, id = fresh_anon dm Or_node in
+    (anon_members dm id (List.rev ids), id)
+  | Dl.Concept.Exists (r, filler) ->
+    (* A bare ∃r.C as a node: introduce an anonymous concept standing
+       for it, with an ex edge. Rare (only from nested fillers). *)
+    let dm, target = node_of_concept dm filler in
+    let dm, id = fresh_anon dm And_node in
+    (add_edge dm { src = id; dst = target; kind = Ex r }, id)
+  | Dl.Concept.Forall (r, filler) ->
+    let dm, target = node_of_concept dm filler in
+    let dm, id = fresh_anon dm And_node in
+    (add_edge dm { src = id; dst = target; kind = All r }, id)
+
+(* Attach rhs structure directly to concept [c] ("AND nodes omitted"). *)
+let rec attach dm ~via c rhs =
+  let edge kind dst = add_edge dm { src = c; dst; kind } in
+  match rhs with
+  | Dl.Concept.Name d -> edge via d
+  | Dl.Concept.Top -> dm
+  | Dl.Concept.Bot -> edge via "BOT"
+  | Dl.Concept.And cs when via = Isa ->
+    List.fold_left (fun dm part -> attach dm ~via c part) dm cs
+  | Dl.Concept.Exists (r, filler) when via = Isa ->
+    let dm, target = node_of_concept dm filler in
+    add_edge dm { src = c; dst = target; kind = Ex r }
+  | Dl.Concept.Forall (r, filler) when via = Isa ->
+    let dm, target = node_of_concept dm filler in
+    add_edge dm { src = c; dst = target; kind = All r }
+  | _ ->
+    let dm, target = node_of_concept dm rhs in
+    add_edge dm { src = c; dst = target; kind = via }
+
+let of_axiom dm = function
+  | Dl.Concept.Subsumes (Dl.Concept.Name c, rhs) ->
+    attach (ensure dm c) ~via:Isa c rhs
+  | Dl.Concept.Equiv (Dl.Concept.Name c, rhs) ->
+    attach (ensure dm c) ~via:Eqv c rhs
+  | (Dl.Concept.Subsumes (lhs, _) | Dl.Concept.Equiv (lhs, _)) as ax ->
+    (* Complex left-hand sides have no Definition 1 edge form; keep the
+       axiom alongside the graph (names registered as concepts) so
+       to_axioms and the reasoner still see it. *)
+    let dm =
+      List.fold_left ensure dm (Dl.Concept.axiom_names ax)
+    in
+    ignore lhs;
+    if List.mem ax dm.extra_axioms then dm
+    else { dm with extra_axioms = ax :: dm.extra_axioms }
+
+let of_axioms axs = List.fold_left of_axiom empty axs
+
+let merge dm1 dm2 =
+  (* Re-add dm2's structure into dm1; anonymous ids of dm2 are renamed
+     to avoid clashes. *)
+  let rename =
+    let tbl = Hashtbl.create 8 in
+    fun dm id kind ->
+      match Hashtbl.find_opt tbl id with
+      | Some nid -> (dm, nid)
+      | None ->
+        let dm, nid = fresh_anon dm kind in
+        Hashtbl.add tbl id nid;
+        (dm, nid)
+  in
+  let dm, mapping =
+    SM.fold
+      (fun n k (dm, mapping) ->
+        match k with
+        | Concept -> (add_concept dm n, SM.add n n mapping)
+        | And_node | Or_node ->
+          let dm, nid = rename dm n k in
+          (dm, SM.add n nid mapping))
+      dm2.node_kinds (dm1, SM.empty)
+  in
+  let dm =
+    List.fold_left
+      (fun dm e ->
+        let m n = match SM.find_opt n mapping with Some x -> x | None -> n in
+        add_edge dm { e with src = m e.src; dst = m e.dst })
+      dm (edges dm2)
+  in
+  List.fold_left
+    (fun dm ax ->
+      if List.mem ax dm.extra_axioms then dm
+      else { dm with extra_axioms = ax :: dm.extra_axioms })
+    dm (List.rev dm2.extra_axioms)
+
+let validate dm =
+  let dangling =
+    List.find_opt
+      (fun e -> not (mem dm e.src && mem dm e.dst))
+      (edges dm)
+  in
+  match dangling with
+  | Some e -> Error (Printf.sprintf "dangling edge %s -> %s" e.src e.dst)
+  | None -> (
+    let empty_anon =
+      SM.fold
+        (fun n k acc ->
+          match k with
+          | (And_node | Or_node) when out_edges dm n = [] -> n :: acc
+          | _ -> acc)
+        dm.node_kinds []
+    in
+    match empty_anon with
+    | n :: _ -> Error (Printf.sprintf "anonymous node %s has no members" n)
+    | [] -> Ok ())
+
+let pp_edge ppf e =
+  match e.kind with
+  | Isa -> Format.fprintf ppf "%s -> %s" e.src e.dst
+  | Eqv -> Format.fprintf ppf "%s = %s" e.src e.dst
+  | Ex r -> Format.fprintf ppf "%s -%s-> %s" e.src r e.dst
+  | All r -> Format.fprintf ppf "%s -ALL:%s-> %s" e.src r e.dst
+
+let pp ppf dm =
+  let n, e = size dm in
+  Format.fprintf ppf "domain map: %d nodes, %d edges@." n e;
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_edge e) (edges dm)
+
+let to_dot ?(highlight = []) dm =
+  let buf = Buffer.create 1024 in
+  let quoted n = Printf.sprintf "%S" n in
+  Buffer.add_string buf "digraph domain_map {\n";
+  Buffer.add_string buf "  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n";
+  SM.iter
+    (fun n k ->
+      let attrs =
+        match k with
+        | Concept ->
+          if List.mem n highlight then
+            "shape=box, style=filled, fillcolor=gray25, fontcolor=white"
+          else "shape=box"
+        | And_node -> "shape=diamond, label=\"AND\", width=0.3, height=0.3"
+        | Or_node -> "shape=diamond, label=\"OR\", width=0.3, height=0.3"
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s [%s];\n" (quoted n) attrs))
+    dm.node_kinds;
+  List.iter
+    (fun e ->
+      let attrs =
+        match e.kind with
+        | Isa -> "color=gray, arrowhead=empty"
+        | Eqv -> "label=\"=\", dir=both"
+        | Ex r -> Printf.sprintf "label=%S" r
+        | All r -> Printf.sprintf "label=\"ALL:%s\"" r
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [%s];\n" (quoted e.src) (quoted e.dst) attrs))
+    (edges dm);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

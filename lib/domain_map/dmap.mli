@@ -1,0 +1,103 @@
+(** Domain maps (Definition 1): edge-labeled digraphs whose nodes are
+    concepts (plus anonymous [AND]/[OR] nodes) and whose edge labels are
+    roles. A domain map both {e is} a graph (navigated by the closure
+    operations, the semantic index and the query planner) and {e means}
+    a set of DL axioms (executed at the instance level via
+    {!Dl.Translate}).
+
+    Edge forms and their DL readings:
+    - [C -> D] (unlabeled)      : [C ⊑ D]           (isa)
+    - [C -r-> D]                : [C ⊑ ∃r.D]        (ex)
+    - [C -ALL:r-> D]            : [C ⊑ ∀r.D]        (all)
+    - [AND -> {Ci}]             : [C1 ⊓ ... ⊓ Cn]   (and)
+    - [OR -> {Ci}]              : [C1 ⊔ ... ⊔ Cn]   (or)
+    - [C -=-> D]                : [C ≡ D]           (eqv) *)
+
+type node_kind = Concept | And_node | Or_node
+
+type edge_kind =
+  | Isa
+  | Eqv
+  | Ex of string   (** existential edge labeled with a role *)
+  | All of string  (** universal (ALL:r) edge *)
+
+type edge = { src : string; dst : string; kind : edge_kind }
+
+type t
+
+val empty : t
+
+(** {1 Construction} *)
+
+val add_concept : t -> string -> t
+(** Idempotent. Raises [Invalid_argument] if the name is already an
+    anonymous node. *)
+
+val add_concepts : t -> string list -> t
+
+val isa : t -> string -> string -> t
+(** [isa dm c d] adds the edge [c -> d], creating missing concepts. *)
+
+val ex : t -> role:string -> string -> string -> t
+val all_ : t -> role:string -> string -> string -> t
+val eqv : t -> string -> string -> t
+
+val and_node : t -> string list -> t * string
+(** Create an anonymous AND node with unlabeled edges to the members;
+    returns its generated id. *)
+
+val or_node : t -> string list -> t * string
+
+val add_edge : t -> edge -> t
+
+(** {1 Inspection} *)
+
+val mem : t -> string -> bool
+val kind_of : t -> string -> node_kind option
+val concepts : t -> string list
+(** Named concepts only (no anonymous nodes), sorted. *)
+
+val nodes : t -> string list
+val roles : t -> string list
+val edges : t -> edge list
+val out_edges : t -> string -> edge list
+val in_edges : t -> string -> edge list
+val size : t -> int * int
+(** (node count, edge count). *)
+
+val members : t -> string -> string list
+(** Members of an anonymous node (targets of its unlabeled edges);
+    the node itself for concepts. *)
+
+(** {1 Concept-level relations}
+
+    Anonymous nodes are resolved: an edge into an [AND] node yields a
+    {e definite} link to each member, an edge into an [OR] node yields a
+    {e possible} link to each member. *)
+
+type links = { definite : (string * string) list; possible : (string * string) list }
+
+val isa_links : t -> links
+val role_links : t -> string -> links
+val eqv_links : t -> (string * string) list
+
+(** {1 DL interface} *)
+
+val to_axioms : t -> Dl.Concept.axiom list
+val of_axioms : Dl.Concept.axiom list -> t
+(** Structural reading per Definition 1. Conjunctive right-hand sides
+    attach directly to the subject concept ("when unique, AND nodes are
+    omitted"); nested fillers get anonymous nodes. *)
+
+val merge : t -> t -> t
+val validate : t -> (unit, string) result
+(** Rejects dangling edges and anonymous nodes without members. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_edge : Format.formatter -> edge -> unit
+
+val to_dot : ?highlight:string list -> t -> string
+(** Graphviz rendering in the style of Figures 1 and 3: concepts as
+    boxes, AND/OR nodes as small diamonds, unlabeled gray edges for
+    isa, labeled edges for roles, [=] for eqv; [highlight] names are
+    drawn dark (the figures' "newly registered" nodes). *)

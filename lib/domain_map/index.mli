@@ -1,0 +1,65 @@
+(** The semantic index: anchors from source data into the domain map.
+
+    "As part of registering a source's CM with the mediator, the wrapper
+    creates a semantic index of its data into the domain map" — each
+    exported class (or individual object) is tagged with the concept(s)
+    it instantiates. The index is what lets the mediator {e select
+    relevant sources} during query processing (Section 5, step 2). *)
+
+type anchor = {
+  source : string;    (** registered source name *)
+  cm_class : string;  (** class of CM(S) whose objects are anchored *)
+  concept : string;   (** domain-map concept *)
+  context : string list;
+      (** optional extra "semantic coordinates" (e.g. organism, brain
+          region) used to refine source selection *)
+}
+
+type t
+
+val empty : t
+
+val add :
+  t -> source:string -> cm_class:string -> concept:string ->
+  ?context:string list -> unit -> t
+
+val remove_source : t -> string -> t
+
+val anchors : t -> anchor list
+val sources : t -> string list
+val anchors_of_source : t -> string -> anchor list
+val concepts_of : t -> source:string -> cm_class:string -> string list
+
+val sources_at : Dmap.t -> t -> concept:string -> string list
+(** Sources with data anchored at [concept] or at any isa-descendant of
+    it (data about purkinje cells answers questions about neurons). *)
+
+val sources_for : Dmap.t -> t -> concepts:string list -> string list
+(** Sources relevant to {e any} of the given concepts — the query
+    planner's source-selection primitive. *)
+
+val context_compatible : Dmap.t -> anchor -> string -> bool
+(** Is an anchor's context consistent with a query concept? True when
+    the anchor declares no context, or when some context concept's
+    traversal region (part-of links plus isa descent) covers the query
+    concept. E.g. data anchored "in hippocampus" does not speak to
+    Purkinje cells, which live in the cerebellum. *)
+
+val sources_for_pairs :
+  Dmap.t -> t -> pairs:(string * string) list -> string list
+(** Step 2 of the paper's query plan, pair-aware: a source qualifies
+    for a (neuron, compartment) pair when it has an anchor covering the
+    compartment or the neuron whose context is compatible with the
+    neuron. This is what makes "only NCMIR" come back for
+    (purkinje_cell, spine) even though SYNAPSE also measures spines —
+    in the hippocampus. *)
+
+val classes_at : Dmap.t -> t -> source:string -> concept:string -> string list
+(** Which classes of one source carry data for a concept. *)
+
+val anchored_concepts : t -> source:string -> string list
+
+val coverage : Dmap.t -> t -> concept:string -> (string * string) list
+(** (source, cm_class) pairs covering a concept, via isa descent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+module SS = Set.Make (String)
+
+let ancestor_sets dm cs =
+  List.map (fun c -> SS.of_list (Closure.ancestors dm c)) cs
+
+let common_ancestors dm cs =
+  match ancestor_sets dm cs with
+  | [] -> []
+  | s :: rest -> SS.elements (List.fold_left SS.inter s rest)
+
+let strictly_below dm a b =
+  (* a strictly below b in isa order *)
+  (not (String.equal a b)) && List.mem b (Closure.ancestors dm a)
+
+let lub dm cs =
+  let common = common_ancestors dm cs in
+  List.filter
+    (fun c ->
+      not (List.exists (fun c' -> strictly_below dm c' c) common))
+    common
+
+let cone_size dm c = List.length (Closure.descendants dm c)
+
+let compare_specificity dm a b =
+  let d = compare (cone_size dm a) (cone_size dm b) in
+  if d <> 0 then d else String.compare a b
+
+let lub_unique dm cs =
+  match lub dm cs with
+  | [] -> None
+  | candidates ->
+    Some (List.hd (List.sort (compare_specificity dm) candidates))
+
+let common_descendants dm cs =
+  match List.map (fun c -> SS.of_list (Closure.descendants dm c)) cs with
+  | [] -> []
+  | s :: rest -> SS.elements (List.fold_left SS.inter s rest)
+
+let glb dm cs =
+  let common = common_descendants dm cs in
+  List.filter
+    (fun c ->
+      not (List.exists (fun c' -> strictly_below dm c c') common))
+    common

@@ -1,0 +1,26 @@
+(** Least upper bounds in the isa hierarchy.
+
+    The Section 5 query plan computes "the least upper bound (lub) of
+    locations in the domain map" to pick the root of a protein
+    distribution. In a DAG there may be several minimal common
+    ancestors; {!lub} returns all of them, and {!lub_unique} applies the
+    mediator's tie-break (fewest descendants, then name). *)
+
+val common_ancestors : Dmap.t -> string list -> string list
+(** Concepts that are isa-ancestors (reflexively) of every input;
+    sorted. Empty input yields the empty list. *)
+
+val lub : Dmap.t -> string list -> string list
+(** Minimal elements of {!common_ancestors} w.r.t. isa (no other common
+    ancestor lies strictly below them). *)
+
+val lub_unique : Dmap.t -> string list -> string option
+(** A single representative: the lub candidate with the smallest
+    descendant cone (the tightest "region of correspondence" root),
+    ties broken by name. [None] when the concepts share no ancestor. *)
+
+val glb : Dmap.t -> string list -> string list
+(** Dual: maximal common descendants. *)
+
+val compare_specificity : Dmap.t -> string -> string -> int
+(** Orders concepts by descendant-cone size (more specific first). *)

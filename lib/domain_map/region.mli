@@ -1,0 +1,32 @@
+(** Regions of correspondence (Section 5, steps 2-4).
+
+    The last two operations of the paper's query plan "filter out a
+    segment in the domain map as the region of correspondence between
+    the two information sources": pick a root (the lub of the locations
+    in play) and take its downward closure along [has_a_star]. *)
+
+type t = {
+  root : string;
+  members : string list;  (** concepts reachable from [root], sorted *)
+}
+
+val downward : Dmap.t -> ?role:string -> root:string -> unit -> t
+(** Downward closure from [root] along [has_a_star] (or another role's
+    deductive closure). *)
+
+val of_concepts : Dmap.t -> ?role:string -> string list -> t option
+(** The region rooted at the unique lub of the given concepts ([None]
+    if they share no ancestor). *)
+
+val correspondence :
+  Dmap.t -> Index.t -> ?role:string -> source1:string -> source2:string ->
+  unit -> t option
+(** The region of correspondence between two registered sources: rooted
+    at the lub of all concepts either source anchors data at, restricted
+    to concepts under which at least one of the two sources has data or
+    that lie on the paths between root and those anchors. *)
+
+val restrict : t -> to_:string list -> t
+val mem : t -> string -> bool
+val size : t -> int
+val pp : Format.formatter -> t -> unit

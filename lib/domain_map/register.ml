@@ -1,0 +1,70 @@
+type outcome = {
+  dmap : Dmap.t;
+  added_concepts : string list;
+  warnings : string list;
+}
+
+let el_subset axioms =
+  List.filter
+    (fun ax ->
+      match ax with
+      | Dl.Concept.Subsumes (c, d) | Dl.Concept.Equiv (c, d) ->
+        Dl.Concept.is_el c && Dl.Concept.is_el d)
+    axioms
+
+let register ?(strict = false) ?(guard = true) dm axioms =
+  let known = Dmap.nodes dm in
+  let mentioned =
+    List.concat_map Dl.Concept.axiom_names axioms
+    |> List.sort_uniq String.compare
+  in
+  let defined =
+    List.filter_map
+      (fun ax ->
+        match ax with
+        | Dl.Concept.Subsumes (Dl.Concept.Name c, _)
+        | Dl.Concept.Equiv (Dl.Concept.Name c, _) ->
+          Some c
+        | _ -> None)
+      axioms
+  in
+  let unknown =
+    List.filter
+      (fun n -> (not (List.mem n known)) && not (List.mem n defined))
+      mentioned
+  in
+  let warnings =
+    List.map
+      (fun n -> Printf.sprintf "referenced concept %s is not in the domain map" n)
+      unknown
+  in
+  if strict && unknown <> [] then
+    Error (String.concat "; " warnings)
+  else begin
+    (* Satisfiability guard on the decidable subset of old + new axioms. *)
+    let unsat_new =
+      if not guard then []
+      else
+        let tbox = el_subset (Dmap.to_axioms dm @ axioms) in
+        match Dl.Reason.classify tbox with
+        | Error _ -> [] (* outside fragment even after filtering: skip check *)
+        | Ok t -> List.filter (fun c -> Dl.Reason.unsatisfiable t c) defined
+    in
+    match unsat_new with
+    | c :: _ ->
+      Error (Printf.sprintf "registration makes concept %s unsatisfiable" c)
+    | [] ->
+      let dm' = List.fold_left (fun d ax -> Dmap.merge d (Dmap.of_axioms [ ax ])) dm axioms in
+      let added =
+        List.filter (fun c -> not (List.mem c known)) defined
+        |> List.sort_uniq String.compare
+      in
+      Ok { dmap = dm'; added_concepts = added; warnings }
+  end
+
+let classification dm concept =
+  let tbox = el_subset (Dmap.to_axioms dm) in
+  match Dl.Reason.classify tbox with
+  | Error f -> Error f
+  | Ok t ->
+    Ok (List.filter (fun s -> not (String.equal s concept)) (Dl.Reason.subsumers t concept))

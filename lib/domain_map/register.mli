@@ -1,0 +1,41 @@
+(** Dynamic registration of new knowledge into a domain map (Figure 3).
+
+    A source may refine the mediator's domain map by sending DL axioms
+    for new concepts, e.g.
+
+    {v MyDendrite == Dendrite AND EXISTS exp.Dopamine_R
+       MyNeuron  [= Medium_Spiny_Neuron
+                    AND EXISTS proj.Globus_Pallidus_External
+                    AND ALL has.MyDendrite v}
+
+    Registration validates the axioms first: new-concept names must not
+    collide with anonymous nodes, referenced concepts should exist
+    (warnings otherwise), and — when the axioms stay inside the
+    decidable fragment — satisfiability is checked with {!Dl.Reason} so
+    an inconsistent registration is rejected rather than silently
+    merged. *)
+
+type outcome = {
+  dmap : Dmap.t;
+  added_concepts : string list;
+  warnings : string list;
+}
+
+val register :
+  ?strict:bool ->
+  ?guard:bool ->
+  Dmap.t ->
+  Dl.Concept.axiom list ->
+  (outcome, string) result
+(** [strict] (default false) upgrades unknown-concept warnings to
+    errors. [guard] (default true) runs the EL satisfiability check
+    over the merged TBox before accepting; it costs a whole-map
+    classification (polynomial but map-sized), whereas the structural
+    merge itself is independent of map size — the F3 bench reports
+    both. *)
+
+val classification : Dmap.t -> string -> (string list, string) result
+(** Where a concept sits after registration: its derived named
+    subsumers according to {!Dl.Reason} on the map's axioms, or [Error]
+    outside the decidable fragment (with the axioms restricted to the
+    EL subset as fallback — see implementation notes). *)

@@ -1,0 +1,87 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+
+let dm_isa_p = "dm_isa"
+let dm_role_p = "dm_role"
+let dm_poss_p = "dm_poss"
+let tc_isa_p = "tc_isa"
+let dc_role_p = "dc_role"
+let has_a_star_p = "has_a_star"
+
+let v = Term.var
+let s = Term.sym
+
+let fact p args = Molecule.fact (Molecule.pred p args)
+
+let concept_facts dm =
+  let isa = Dmap.isa_links dm in
+  let isa_facts =
+    List.map (fun (a, b) -> fact dm_isa_p [ s a; s b ]) isa.Dmap.definite
+    (* possible isa (through OR nodes) recorded as possible links of a
+       pseudo-role so they stay queryable *)
+    @ List.map (fun (a, b) -> fact dm_poss_p [ s "isa"; s a; s b ]) isa.Dmap.possible
+  in
+  let eqv_facts =
+    List.concat_map
+      (fun (a, b) ->
+        [ fact dm_isa_p [ s a; s b ]; fact dm_isa_p [ s b; s a ] ])
+      (Dmap.eqv_links dm)
+  in
+  let role_facts =
+    List.concat_map
+      (fun r ->
+        let links = Dmap.role_links dm r in
+        List.map (fun (a, b) -> fact dm_role_p [ s r; s a; s b ]) links.Dmap.definite
+        @ List.map (fun (a, b) -> fact dm_poss_p [ s r; s a; s b ]) links.Dmap.possible)
+      (Dmap.roles dm)
+  in
+  isa_facts @ eqv_facts @ role_facts
+
+let closure_rules ?(quadratic_tc = false) ?(has_role = "has") () =
+  let p = Molecule.pred in
+  let pos m = Molecule.Pos m in
+  let tc_rules =
+    if quadratic_tc then
+      [
+        (* the paper's formulation: tc(X,Y) :- tc(X,Z), tc(Z,Y). *)
+        Molecule.rule (p tc_isa_p [ v "X"; v "Y" ]) [ pos (p dm_isa_p [ v "X"; v "Y" ]) ];
+        Molecule.rule
+          (p tc_isa_p [ v "X"; v "Y" ])
+          [ pos (p tc_isa_p [ v "X"; v "Z" ]); pos (p tc_isa_p [ v "Z"; v "Y" ]) ];
+      ]
+    else
+      [
+        Molecule.rule (p tc_isa_p [ v "X"; v "Y" ]) [ pos (p dm_isa_p [ v "X"; v "Y" ]) ];
+        Molecule.rule
+          (p tc_isa_p [ v "X"; v "Y" ])
+          [ pos (p tc_isa_p [ v "X"; v "Z" ]); pos (p dm_isa_p [ v "Z"; v "Y" ]) ];
+      ]
+  in
+  tc_rules
+  @ [
+      (* dc(R): base, down, up — Section 4. *)
+      Molecule.rule
+        (p dc_role_p [ v "R"; v "X"; v "Y" ])
+        [ pos (p dm_role_p [ v "R"; v "X"; v "Y" ]) ];
+      Molecule.rule
+        (p dc_role_p [ v "R"; v "X"; v "Y" ])
+        [ pos (p tc_isa_p [ v "X"; v "Z" ]); pos (p dm_role_p [ v "R"; v "Z"; v "Y" ]) ];
+      Molecule.rule
+        (p dc_role_p [ v "R"; v "X"; v "Y" ])
+        [ pos (p dm_role_p [ v "R"; v "X"; v "Z" ]); pos (p tc_isa_p [ v "Z"; v "Y" ]) ];
+      Molecule.rule
+        (p has_a_star_p [ v "X"; v "Y" ])
+        [ pos (p dc_role_p [ s has_role; v "X"; v "Y" ]) ];
+    ]
+
+let instance_rules ~mode dm = Dl.Translate.axioms ~mode (Dmap.to_axioms dm)
+
+let program ?(mode = Dl.Translate.Assertion) ?quadratic_tc ?has_role
+    ?(include_instance_rules = true) dm =
+  let base = concept_facts dm @ closure_rules ?quadratic_tc ?has_role () in
+  let inst =
+    if include_instance_rules then instance_rules ~mode dm
+    else { Dl.Translate.rules = []; warnings = [] }
+  in
+  ( Flogic.Fl_program.make (base @ inst.Dl.Translate.rules),
+    inst.Dl.Translate.warnings )

@@ -1,0 +1,46 @@
+(** Executing a domain map on the GCM engine.
+
+    Two layers are emitted:
+
+    - {b concept level}: the map's links as reified facts
+      ([dm_isa(c,d)], [dm_role(r,c,d)], [dm_poss(r,c,d)]) plus the
+      paper's generic closure rules ([tc_isa], [dc_role],
+      [has_a_star]) so that IVDs can navigate the map inside ordinary
+      FL rules (Example 4 joins [has_a_star] with source data);
+    - {b instance level}: the DL axioms translated by {!Dl.Translate}
+      (integrity-constraint or assertion mode) so the object base
+      respects — or is completed to respect — the domain knowledge.
+
+    Predicates:
+    [dm_isa], [dm_role], [dm_poss], [tc_isa], [dc_role],
+    [has_a_star]. *)
+
+val dm_isa_p : string
+val dm_role_p : string
+val dm_poss_p : string
+val tc_isa_p : string
+val dc_role_p : string
+val has_a_star_p : string
+
+val concept_facts : Dmap.t -> Flogic.Molecule.rule list
+(** Reified link facts (definite and possible). *)
+
+val closure_rules : ?quadratic_tc:bool -> ?has_role:string -> unit -> Flogic.Molecule.rule list
+(** The paper's Section 4 rules. [quadratic_tc] uses the paper's
+    doubly-recursive [tc] formulation (kept for the ablation bench);
+    the default right-linear version derives the same relation.
+    [has_role] names the role whose deductive closure feeds
+    [has_a_star] (default ["has"]). *)
+
+val instance_rules : mode:Dl.Translate.mode -> Dmap.t -> Dl.Translate.output
+
+val program :
+  ?mode:Dl.Translate.mode ->
+  ?quadratic_tc:bool ->
+  ?has_role:string ->
+  ?include_instance_rules:bool ->
+  Dmap.t ->
+  Flogic.Fl_program.t * string list
+(** Full FL program of the map (concept facts + closures + optional
+    instance rules, default assertion mode) and the translation
+    warnings. *)

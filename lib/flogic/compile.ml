@@ -1,0 +1,117 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Rule = Logic.Rule
+
+let isa_p = "isa"
+let sub_p = "sub"
+let meth_sig_p = "meth_sig"
+let meth_val_p = "meth_val"
+let class_p = "class"
+let rel_sig_p = "rel_sig"
+let ic_class = "ic"
+
+let declared p = p ^ "_d"
+
+let closed_preds = [ isa_p; sub_p; meth_sig_p; meth_val_p; class_p ]
+
+let reserved = (rel_sig_p :: closed_preds) @ List.map declared closed_preds
+
+exception Compile_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+let fresh_counter = ref 0
+
+let fresh_var () =
+  incr fresh_counter;
+  Term.var (Printf.sprintf "_G%d" !fresh_counter)
+
+(* Positional argument list of a relation instance from named attribute
+   bindings. [exhaustive] demands every attribute be named (heads). *)
+let positional ~exhaustive sg r avs =
+  match Signature.attributes sg r with
+  | None -> err "relation %s is not declared in the signature" r
+  | Some attrs ->
+    List.iter
+      (fun (a, _) ->
+        if not (List.mem a attrs) then
+          err "relation %s has no attribute %s" r a)
+      avs;
+    let dup =
+      let rec first_dup = function
+        | a :: b :: _ when String.equal a b -> Some a
+        | _ :: rest -> first_dup rest
+        | [] -> None
+      in
+      first_dup (List.sort String.compare (List.map fst avs))
+    in
+    (match dup with
+    | Some a -> err "relation %s: attribute %s bound twice" r a
+    | None -> ());
+    List.map
+      (fun a ->
+        match List.assoc_opt a avs with
+        | Some t -> t
+        | None ->
+          if exhaustive then
+            err "relation %s: attribute %s must be bound in a rule head" r a
+          else fresh_var ())
+      attrs
+
+(* In heads the closed predicates are written through their declared
+   counterparts, so the GCM axioms stay in control of closure. *)
+let head_pred_name p =
+  if List.mem p closed_preds then declared p
+  else if List.mem p (List.map declared closed_preds) then p
+  else p
+
+let head_atoms sg = function
+  | Molecule.Isa (x, c) -> [ Atom.make (declared isa_p) [ x; c ] ]
+  | Molecule.Sub (c1, c2) -> [ Atom.make (declared sub_p) [ c1; c2 ] ]
+  | Molecule.Meth_sig (c, m, d) ->
+    [ Atom.make (declared meth_sig_p) [ c; Term.sym m; d ] ]
+  | Molecule.Meth_val (x, m, y) ->
+    [ Atom.make (declared meth_val_p) [ x; Term.sym m; y ] ]
+  | Molecule.Rel_sig (r, avs) ->
+    List.map (fun (a, c) -> Atom.make rel_sig_p [ Term.sym r; Term.sym a; c ]) avs
+  | Molecule.Rel_val (r, avs) ->
+    [ Atom.make r (positional ~exhaustive:true sg r avs) ]
+  | Molecule.Pred a ->
+    if String.equal a.Atom.pred rel_sig_p then
+      err "rel_sig may not be written directly; use a Rel_sig molecule"
+    else [ Atom.make (head_pred_name a.Atom.pred) a.Atom.args ]
+
+let body_atoms sg = function
+  | Molecule.Isa (x, c) -> [ Atom.make isa_p [ x; c ] ]
+  | Molecule.Sub (c1, c2) -> [ Atom.make sub_p [ c1; c2 ] ]
+  | Molecule.Meth_sig (c, m, d) ->
+    [ Atom.make meth_sig_p [ c; Term.sym m; d ] ]
+  | Molecule.Meth_val (x, m, y) ->
+    [ Atom.make meth_val_p [ x; Term.sym m; y ] ]
+  | Molecule.Rel_sig (r, avs) ->
+    List.map (fun (a, c) -> Atom.make rel_sig_p [ Term.sym r; Term.sym a; c ]) avs
+  | Molecule.Rel_val (r, avs) ->
+    [ Atom.make r (positional ~exhaustive:false sg r avs) ]
+  | Molecule.Pred a -> [ a ]
+
+let body_literals sg = function
+  | Molecule.Pos m -> List.map (fun a -> Literal.Pos a) (body_atoms sg m)
+  | Molecule.Neg m -> (
+    match body_atoms sg m with
+    | [ a ] -> [ Literal.Neg a ]
+    | _ ->
+      err "cannot negate multi-atom molecule %s" (Molecule.to_string m))
+  | Molecule.Cmp (op, t1, t2) -> [ Literal.Cmp (op, t1, t2) ]
+  | Molecule.Assign (t, e) -> [ Literal.Assign (t, e) ]
+  | Molecule.Agg { func; target; group_by; result; body } ->
+    let inner = List.concat_map (body_atoms sg) body in
+    [ Literal.Agg { Literal.func; target; group_by; result; body = inner } ]
+
+let rule sg (r : Molecule.rule) =
+  let body = List.concat_map (body_literals sg) r.Molecule.body in
+  List.concat_map
+    (fun head -> List.map (fun h -> Rule.make h body) (head_atoms sg head))
+    r.Molecule.heads
+
+let rules sg rs = List.concat_map (rule sg) rs

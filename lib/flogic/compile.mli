@@ -1,0 +1,50 @@
+(** Compilation of F-logic molecules onto the Datalog engine.
+
+    Reserved predicates of the encoding:
+
+    - [isa_d], [sub_d], [meth_sig_d], [meth_val_d] — {e declared} facts,
+      written by rule heads;
+    - [isa], [sub], [meth_sig], [meth_val], [class] — {e closed}
+      versions derived by the GCM axioms ({!Gcm_axioms}), read by rule
+      bodies;
+    - [rel_sig] — relation typing; relation instances live in a
+      positional predicate named after the relation itself;
+    - [ic] — the distinguished inconsistency class (witnesses are
+      [isa_d(w, ic)] facts).
+
+    The asymmetry (heads write declared predicates, bodies read closed
+    ones) implements Table 1: user rules never have to restate
+    reflexivity/transitivity of [::] or the upward propagation of [:]. *)
+
+val isa_p : string
+val sub_p : string
+val meth_sig_p : string
+val meth_val_p : string
+val class_p : string
+val rel_sig_p : string
+val ic_class : string
+
+val declared : string -> string
+(** [declared "isa" = "isa_d"] etc. *)
+
+val reserved : string list
+(** All reserved predicate names; sources may not export relations with
+    these names. *)
+
+exception Compile_error of string
+
+val head_atoms : Signature.t -> Molecule.t -> Logic.Atom.t list
+(** Datalog atoms written when the molecule appears in a head: declared
+    predicates, positional relation instances ([Rel_val] must bind every
+    attribute), one [rel_sig] atom per attribute for [Rel_sig]. *)
+
+val body_literals : Signature.t -> Molecule.lit -> Logic.Literal.t list
+(** Datalog literals read when the molecule appears in a body: closed
+    predicates; a [Rel_val] with missing attributes gets fresh
+    variables in the unnamed positions. Negation of a multi-atom
+    molecule ([Rel_sig] with several attributes) is rejected. *)
+
+val rule : Signature.t -> Molecule.rule -> Logic.Rule.t list
+(** One Datalog rule per head atom of the (multi-head) F-logic rule. *)
+
+val rules : Signature.t -> Molecule.rule list -> Logic.Rule.t list

@@ -1,0 +1,247 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | COMMA | SEMI | DOT
+  | COLON
+  | ISA_SUB
+  | IF
+  | QUERY
+  | ARROW
+  | DARROW
+  | SARROW
+  | AMP
+  | NOT
+  | IS
+  | AT_RELATION
+  | CMP of Logic.Literal.cmp
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+exception Lex_error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z')
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '%' ->
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip_ws (eol i)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip_ws (eol i)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec close j =
+          if j + 1 >= n then raise (Lex_error ("unterminated comment", i))
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else close (j + 1)
+        in
+        skip_ws (close (i + 2))
+      | _ -> i
+  in
+  let read_while pred i =
+    let rec go j = if j < n && pred src.[j] then go (j + 1) else j in
+    let j = go i in
+    (String.sub src i (j - i), j)
+  in
+  let read_quoted quote i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      if j >= n then raise (Lex_error ("unterminated quoted literal", i))
+      else if src.[j] = quote then j + 1
+      else if src.[j] = '\\' && j + 1 < n then begin
+        (match src.[j + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | c -> Buffer.add_char buf c);
+        go (j + 2)
+      end
+      else begin
+        Buffer.add_char buf src.[j];
+        go (j + 1)
+      end
+    in
+    let j = go i in
+    (Buffer.contents buf, j)
+  in
+  let rec loop i =
+    let i = skip_ws i in
+    if i >= n then emit EOF i
+    else begin
+      let c = src.[i] in
+      let continue_at j = loop j in
+      match c with
+      | '(' -> emit LPAREN i; continue_at (i + 1)
+      | ')' -> emit RPAREN i; continue_at (i + 1)
+      | '[' -> emit LBRACKET i; continue_at (i + 1)
+      | ']' -> emit RBRACKET i; continue_at (i + 1)
+      | '{' -> emit LBRACE i; continue_at (i + 1)
+      | '}' -> emit RBRACE i; continue_at (i + 1)
+      | ',' -> emit COMMA i; continue_at (i + 1)
+      | ';' -> emit SEMI i; continue_at (i + 1)
+      | '&' -> emit AMP i; continue_at (i + 1)
+      | '+' -> emit PLUS i; continue_at (i + 1)
+      | '*' -> emit STAR i; continue_at (i + 1)
+      | '/' -> emit SLASH i; continue_at (i + 1)
+      | '.' -> emit DOT i; continue_at (i + 1)
+      | '@' ->
+        let word, j = read_while is_ident_char (i + 1) in
+        if String.equal word "relation" then begin
+          emit AT_RELATION i;
+          continue_at j
+        end
+        else raise (Lex_error ("unknown directive @" ^ word, i))
+      | ':' ->
+        if i + 1 < n && src.[i + 1] = ':' then begin
+          emit ISA_SUB i;
+          continue_at (i + 2)
+        end
+        else if i + 1 < n && src.[i + 1] = '-' then begin
+          emit IF i;
+          continue_at (i + 2)
+        end
+        else begin
+          emit COLON i;
+          continue_at (i + 1)
+        end
+      | '?' ->
+        if i + 1 < n && src.[i + 1] = '-' then begin
+          emit QUERY i;
+          continue_at (i + 2)
+        end
+        else raise (Lex_error ("expected ?-", i))
+      | '-' ->
+        if i + 2 < n && src.[i + 1] = '>' && src.[i + 2] = '>' then begin
+          emit DARROW i;
+          continue_at (i + 3)
+        end
+        else if i + 1 < n && src.[i + 1] = '>' then begin
+          emit ARROW i;
+          continue_at (i + 2)
+        end
+        else begin
+          emit MINUS i;
+          continue_at (i + 1)
+        end
+      | '=' ->
+        if i + 1 < n && src.[i + 1] = '>' then begin
+          emit SARROW i;
+          continue_at (i + 2)
+        end
+        else if i + 1 < n && src.[i + 1] = '<' then begin
+          emit (CMP Logic.Literal.Le) i;
+          continue_at (i + 2)
+        end
+        else if i + 2 < n && src.[i + 1] = '/' && src.[i + 2] = '=' then begin
+          emit (CMP Logic.Literal.Ne) i;
+          continue_at (i + 3)
+        end
+        else begin
+          emit (CMP Logic.Literal.Eq) i;
+          continue_at (i + 1)
+        end
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin
+          emit (CMP Logic.Literal.Ne) i;
+          continue_at (i + 2)
+        end
+        else raise (Lex_error ("expected !=", i))
+      | '<' -> emit (CMP Logic.Literal.Lt) i; continue_at (i + 1)
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin
+          emit (CMP Logic.Literal.Ge) i;
+          continue_at (i + 2)
+        end
+        else begin
+          emit (CMP Logic.Literal.Gt) i;
+          continue_at (i + 1)
+        end
+      | '\'' ->
+        let s, j = read_quoted '\'' (i + 1) in
+        emit (IDENT s) i;
+        continue_at j
+      | '"' ->
+        let s, j = read_quoted '"' (i + 1) in
+        emit (STRING s) i;
+        continue_at j
+      | c when is_digit c ->
+        let num, j = read_while (fun c -> is_digit c || c = '.') i in
+        (* Trailing '.' is the end-of-statement dot, not a decimal. *)
+        let num, j =
+          if String.length num > 0 && num.[String.length num - 1] = '.' then
+            (String.sub num 0 (String.length num - 1), j - 1)
+          else (num, j)
+        in
+        (if String.contains num '.' then
+           match float_of_string_opt num with
+           | Some f -> emit (FLOAT f) i
+           | None -> raise (Lex_error ("bad number " ^ num, i))
+         else
+           match int_of_string_opt num with
+           | Some k -> emit (INT k) i
+           | None -> raise (Lex_error ("bad number " ^ num, i)));
+        continue_at j
+      | c when is_lower c ->
+        let word, j = read_while is_ident_char i in
+        (match word with
+        | "not" -> emit NOT i
+        | "is" -> emit IS i
+        | _ -> emit (IDENT word) i);
+        continue_at j
+      | c when is_upper c || c = '_' ->
+        let word, j = read_while is_ident_char i in
+        emit (VAR word) i;
+        continue_at j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+    end
+  in
+  loop 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "ident %s" s
+  | VAR s -> Format.fprintf ppf "var %s" s
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | INT i -> Format.fprintf ppf "int %d" i
+  | FLOAT f -> Format.fprintf ppf "float %g" f
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | COMMA -> Format.pp_print_string ppf ","
+  | SEMI -> Format.pp_print_string ppf ";"
+  | DOT -> Format.pp_print_string ppf "."
+  | COLON -> Format.pp_print_string ppf ":"
+  | ISA_SUB -> Format.pp_print_string ppf "::"
+  | IF -> Format.pp_print_string ppf ":-"
+  | QUERY -> Format.pp_print_string ppf "?-"
+  | ARROW -> Format.pp_print_string ppf "->"
+  | DARROW -> Format.pp_print_string ppf "->>"
+  | SARROW -> Format.pp_print_string ppf "=>"
+  | AMP -> Format.pp_print_string ppf "&"
+  | NOT -> Format.pp_print_string ppf "not"
+  | IS -> Format.pp_print_string ppf "is"
+  | AT_RELATION -> Format.pp_print_string ppf "@relation"
+  | CMP op -> Logic.Literal.pp_cmp ppf op
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | STAR -> Format.pp_print_string ppf "*"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | EOF -> Format.pp_print_string ppf "<eof>"

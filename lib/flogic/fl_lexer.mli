@@ -1,0 +1,34 @@
+(** Tokenizer for the F-logic surface syntax (see {!Fl_parser}). *)
+
+type token =
+  | IDENT of string      (** lowercase identifier or quoted 'symbol' *)
+  | VAR of string        (** uppercase or [_] identifier *)
+  | STRING of string     (** double-quoted string literal *)
+  | INT of int
+  | FLOAT of float
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | COMMA | SEMI | DOT
+  | COLON                (** [:] *)
+  | ISA_SUB              (** [::] *)
+  | IF                   (** [:-] *)
+  | QUERY                (** [?-] *)
+  | ARROW                (** [->] *)
+  | DARROW               (** [->>] *)
+  | SARROW               (** [=>] *)
+  | AMP                  (** [&] *)
+  | NOT                  (** [not] *)
+  | IS                   (** [is] *)
+  | AT_RELATION          (** [@relation] *)
+  | CMP of Logic.Literal.cmp
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+exception Lex_error of string * int
+(** message and character offset *)
+
+val tokenize : string -> (token * int) list
+(** All tokens with their start offsets, ending with [EOF]. *)
+
+val pp_token : Format.formatter -> token -> unit

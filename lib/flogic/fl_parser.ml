@@ -1,0 +1,397 @@
+module Term = Logic.Term
+module Literal = Logic.Literal
+open Fl_lexer
+
+type statement =
+  | Relation_decl of string * string list
+  | Rule of Molecule.rule
+  | Query of Molecule.lit list
+
+type parsed = {
+  signature : Signature.t;
+  rules : Molecule.rule list;
+  queries : Molecule.lit list list;
+}
+
+exception Parse_error of string * int
+
+type state = {
+  mutable toks : (token * int) list;
+  mutable sg : Signature.t;
+}
+
+let err st msg =
+  let pos = match st.toks with (_, p) :: _ -> p | [] -> -1 in
+  raise (Parse_error (msg, pos))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then advance st else err st ("expected " ^ what)
+
+let agg_fun_of_name = function
+  | "count" -> Some Literal.Count
+  | "sum" -> Some Literal.Sum
+  | "min" -> Some Literal.Min
+  | "max" -> Some Literal.Max
+  | "avg" -> Some Literal.Avg
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Terms *)
+
+let rec parse_term_st st =
+  match peek st with
+  | VAR x ->
+    advance st;
+    Term.var x
+  | INT i ->
+    advance st;
+    Term.int i
+  | FLOAT f ->
+    advance st;
+    Term.float f
+  | STRING s ->
+    advance st;
+    Term.str s
+  | MINUS ->
+    advance st;
+    (match peek st with
+    | INT i ->
+      advance st;
+      Term.int (-i)
+    | FLOAT f ->
+      advance st;
+      Term.float (-.f)
+    | _ -> err st "expected number after -")
+  | IDENT f -> (
+    advance st;
+    match peek st with
+    | LPAREN ->
+      advance st;
+      let args = parse_term_list st in
+      expect st RPAREN ")";
+      Term.app f args
+    | _ -> Term.sym f)
+  | _ -> err st "expected term"
+
+and parse_term_list st =
+  let t = parse_term_st st in
+  match peek st with
+  | COMMA ->
+    advance st;
+    t :: parse_term_list st
+  | _ -> [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Bracket specs: name (=> | -> | ->>) term; ... *)
+
+type spec = Sig_spec of string * Term.t | Val_spec of string * Term.t
+
+let rec parse_specs st =
+  let name =
+    match peek st with
+    | IDENT a ->
+      advance st;
+      a
+    | _ -> err st "expected attribute/method name in [...]"
+  in
+  let spec =
+    match peek st with
+    | SARROW ->
+      advance st;
+      Sig_spec (name, parse_term_st st)
+    | ARROW | DARROW ->
+      advance st;
+      Val_spec (name, parse_term_st st)
+    | _ -> err st "expected =>, -> or ->> in [...]"
+  in
+  match peek st with
+  | SEMI ->
+    advance st;
+    spec :: parse_specs st
+  | _ -> [ spec ]
+
+(* Molecules produced by a bracket on subject [subj]. *)
+let bracket_molecules st subj =
+  expect st LBRACKET "[";
+  let specs = parse_specs st in
+  expect st RBRACKET "]";
+  let is_relation =
+    match subj with
+    | Term.Const (Term.Sym r) -> Signature.mem st.sg r
+    | _ -> false
+  in
+  if is_relation then begin
+    let r = match subj with Term.Const (Term.Sym r) -> r | _ -> assert false in
+    let sigs = List.filter_map (function Sig_spec (a, t) -> Some (a, t) | _ -> None) specs in
+    let vals = List.filter_map (function Val_spec (a, t) -> Some (a, t) | _ -> None) specs in
+    (if sigs <> [] && vals <> [] then
+       err st "cannot mix => and -> in one relation molecule");
+    if sigs <> [] then [ Molecule.Rel_sig (r, sigs) ]
+    else [ Molecule.Rel_val (r, vals) ]
+  end
+  else
+    List.map
+      (function
+        | Sig_spec (m, t) -> Molecule.Meth_sig (subj, m, t)
+        | Val_spec (m, t) -> Molecule.Meth_val (subj, m, t))
+      specs
+
+(* A molecule group starting from an already-parsed subject term:
+   returns one or more molecules (object sugar expands). *)
+let molecules_after_term st subj =
+  match peek st with
+  | COLON ->
+    advance st;
+    let cls = parse_term_st st in
+    let isa = Molecule.Isa (subj, cls) in
+    if peek st = LBRACKET then isa :: bracket_molecules st subj else [ isa ]
+  | ISA_SUB ->
+    advance st;
+    let sup = parse_term_st st in
+    [ Molecule.Sub (subj, sup) ]
+  | LBRACKET -> bracket_molecules st subj
+  | _ -> (
+    (* Plain predicate atom. *)
+    match subj with
+    | Term.App (p, args) -> [ Molecule.Pred (Logic.Atom.make p args) ]
+    | Term.Const (Term.Sym p) -> [ Molecule.Pred (Logic.Atom.make p []) ]
+    | _ -> err st "expected a molecule")
+
+let parse_molecules st =
+  let subj = parse_term_st st in
+  molecules_after_term st subj
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic expressions *)
+
+let rec parse_expr st =
+  let lhs = parse_expr_factor st in
+  match peek st with
+  | PLUS ->
+    advance st;
+    Literal.Bin (Literal.Add, lhs, parse_expr st)
+  | MINUS ->
+    advance st;
+    Literal.Bin (Literal.Sub, lhs, parse_expr st)
+  | _ -> lhs
+
+and parse_expr_factor st =
+  let lhs = parse_expr_atom st in
+  match peek st with
+  | STAR ->
+    advance st;
+    Literal.Bin (Literal.Mul, lhs, parse_expr_factor st)
+  | SLASH ->
+    advance st;
+    Literal.Bin (Literal.Div, lhs, parse_expr_factor st)
+  | _ -> lhs
+
+and parse_expr_atom st =
+  match peek st with
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN ")";
+    e
+  | _ -> Literal.Leaf (parse_term_st st)
+
+(* ------------------------------------------------------------------ *)
+(* Body literals *)
+
+let parse_agg st result =
+  let fname =
+    match peek st with
+    | IDENT f -> (
+      match agg_fun_of_name f with
+      | Some fn ->
+        advance st;
+        fn
+      | None -> err st "expected aggregate function name")
+    | _ -> err st "expected aggregate function name"
+  in
+  expect st LBRACE "{";
+  let target = parse_term_st st in
+  let group_by =
+    if peek st = LBRACKET then begin
+      advance st;
+      let gs = if peek st = RBRACKET then [] else parse_term_list st in
+      expect st RBRACKET "]";
+      gs
+    end
+    else []
+  in
+  expect st SEMI "; before aggregate body";
+  let rec inner () =
+    let ms = parse_molecules st in
+    match peek st with
+    | COMMA ->
+      advance st;
+      ms @ inner ()
+    | _ -> ms
+  in
+  let body = inner () in
+  expect st RBRACE "}";
+  Molecule.Agg { Molecule.func = fname; target; group_by; result; body }
+
+let rec parse_body st =
+  let lits = parse_lit st in
+  match peek st with
+  | COMMA ->
+    advance st;
+    lits @ parse_body st
+  | _ -> lits
+
+and parse_lit st =
+  match peek st with
+  | NOT ->
+    advance st;
+    let ms = parse_molecules st in
+    List.map (fun m -> Molecule.Neg m) ms
+  | _ -> (
+    let subj = parse_term_st st in
+    match peek st with
+    | IS ->
+      advance st;
+      [ Molecule.Assign (subj, parse_expr st) ]
+    | CMP Literal.Eq
+      when (match peek2 st with
+           | IDENT f -> agg_fun_of_name f <> None
+           | _ -> false) ->
+      advance st;
+      [ parse_agg st subj ]
+    | CMP op ->
+      advance st;
+      (* Right side may be an arithmetic expression. *)
+      let rhs = parse_expr st in
+      (match rhs with
+      | Literal.Leaf t -> [ Molecule.Cmp (op, subj, t) ]
+      | _ ->
+        (* introduce a hidden assignment: subj op expr *)
+        err st "comparison against arithmetic expression: use 'is' first")
+    | PLUS | MINUS | STAR | SLASH ->
+      err st "arithmetic must appear on the right of 'is'"
+    | _ -> List.map (fun m -> Molecule.Pos m) (molecules_after_term st subj))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_heads st =
+  let rec go () =
+    let ms = parse_molecules st in
+    match peek st with
+    | AMP ->
+      advance st;
+      ms @ go ()
+    | _ -> ms
+  in
+  go ()
+
+let parse_statement st =
+  match peek st with
+  | AT_RELATION ->
+    advance st;
+    let name =
+      match peek st with
+      | IDENT r ->
+        advance st;
+        r
+      | _ -> err st "expected relation name after @relation"
+    in
+    expect st LPAREN "(";
+    let rec attrs () =
+      match peek st with
+      | IDENT a ->
+        advance st;
+        if peek st = COMMA then begin
+          advance st;
+          a :: attrs ()
+        end
+        else [ a ]
+      | _ -> err st "expected attribute name"
+    in
+    let attr_list = attrs () in
+    expect st RPAREN ")";
+    expect st DOT ".";
+    st.sg <- Signature.declare name attr_list st.sg;
+    Relation_decl (name, attr_list)
+  | QUERY ->
+    advance st;
+    let body = parse_body st in
+    expect st DOT ".";
+    Query body
+  | _ -> (
+    let heads = parse_heads st in
+    match peek st with
+    | DOT ->
+      advance st;
+      Rule (Molecule.rule_multi heads [])
+    | IF ->
+      advance st;
+      let body = parse_body st in
+      expect st DOT ".";
+      Rule (Molecule.rule_multi heads body)
+    | _ -> err st "expected . or :- after rule head")
+
+let parse_program ?(signature = Signature.empty) src =
+  match
+    let st = { toks = tokenize src; sg = signature } in
+    let rec go acc =
+      if peek st = EOF then List.rev acc else go (parse_statement st :: acc)
+    in
+    let stmts = go [] in
+    let rules =
+      List.filter_map (function Rule r -> Some r | _ -> None) stmts
+    in
+    let queries =
+      List.filter_map (function Query q -> Some q | _ -> None) stmts
+    in
+    { signature = st.sg; rules; queries }
+  with
+  | parsed -> Ok parsed
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | exception Invalid_argument msg -> Error msg
+
+let parse_program_exn ?signature src =
+  match parse_program ?signature src with
+  | Ok p -> p
+  | Error e -> invalid_arg e
+
+let parse_query ?(signature = Signature.empty) src =
+  match
+    let st = { toks = tokenize src; sg = signature } in
+    if peek st = QUERY then advance st;
+    let body = parse_body st in
+    if peek st = DOT then advance st;
+    if peek st <> EOF then err st "trailing input after query";
+    body
+  with
+  | body -> Ok body
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+
+let parse_term src =
+  match
+    let st = { toks = tokenize src; sg = Signature.empty } in
+    let t = parse_term_st st in
+    if peek st <> EOF then err st "trailing input after term";
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)

@@ -1,0 +1,47 @@
+(** Recursive-descent parser for the F-logic surface syntax.
+
+    The concrete syntax follows the paper's notation as closely as ASCII
+    allows:
+
+    {v
+    % comment        // comment        /* comment */
+    @relation has(whole, part).              % signature declaration
+    spine :: ion_regulating_component.       % C1 :: C2
+    s42 : spine.                             % X : C
+    X[diameter ->> D] :- measured(X, D).     % method value rule
+    spine[diameter => number].               % method signature
+    has[whole -> X; part -> Y].              % relation instance (declared rel)
+    w(C,R,X) : ic :- X : C, not r(X,X).      % denial with failure witness
+    N = count{VA [VB]; r(VA,VB)}             % aggregation (in bodies)
+    Y is X * 3 + 1                           % arithmetic
+    D : pd[name -> Y; amount -> A] :- ...    % object molecule (multi-head)
+    ?- X : spine, X[diameter ->> D], D > 0.5.
+    v}
+
+    A bracket molecule [r\[a -> t; ...\]] is read as a relation instance
+    when [r] is a declared relation (via [@relation] or the ambient
+    signature), and as method values on object [r] otherwise. *)
+
+type statement =
+  | Relation_decl of string * string list
+  | Rule of Molecule.rule
+  | Query of Molecule.lit list
+
+type parsed = {
+  signature : Signature.t;  (** ambient signature plus declarations *)
+  rules : Molecule.rule list;
+  queries : Molecule.lit list list;
+}
+
+exception Parse_error of string * int
+
+val parse_program : ?signature:Signature.t -> string -> (parsed, string) result
+
+val parse_program_exn : ?signature:Signature.t -> string -> parsed
+
+val parse_query :
+  ?signature:Signature.t -> string -> (Molecule.lit list, string) result
+(** Parse a single goal, with or without the leading [?-] and trailing
+    dot. *)
+
+val parse_term : string -> (Logic.Term.t, string) result

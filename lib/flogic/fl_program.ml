@@ -1,0 +1,61 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+
+type t = {
+  signature : Signature.t;
+  rules : Molecule.rule list;
+  inheritance : bool;
+}
+
+let make ?(inheritance = false) ?(signature = Signature.empty) rules =
+  { signature; rules; inheritance }
+
+let add_rules t rules = { t with rules = t.rules @ rules }
+let add_facts t facts = add_rules t (List.map Molecule.fact facts)
+
+let merge t1 t2 =
+  {
+    signature = Signature.merge t1.signature t2.signature;
+    rules = t1.rules @ t2.rules;
+    inheritance = t1.inheritance || t2.inheritance;
+  }
+
+let compile t =
+  match Compile.rules t.signature t.rules with
+  | exception Compile.Compile_error e -> Error e
+  | compiled ->
+    let axioms =
+      Gcm_axioms.core
+      @ if t.inheritance then Gcm_axioms.nonmonotonic_inheritance else []
+    in
+    Datalog.Program.make (axioms @ compiled)
+
+let run ?config ?report ?(edb = Datalog.Database.create ()) t =
+  match compile t with
+  | Error e -> invalid_arg ("Fl_program.run: " ^ e)
+  | Ok p -> Datalog.Engine.materialize ?config ?report p edb
+
+let run_wellfounded ?(edb = Datalog.Database.create ()) t =
+  match compile t with
+  | Error e -> invalid_arg ("Fl_program.run_wellfounded: " ^ e)
+  | Ok p ->
+    let facts, p' = Datalog.Program.split_facts p in
+    let edb = Datalog.Database.copy edb in
+    List.iter (fun f -> ignore (Datalog.Database.add_fact edb f)) facts;
+    Datalog.Wellfounded.compute p' edb
+
+let query t db lits =
+  let compiled = List.concat_map (Compile.body_literals t.signature) lits in
+  Datalog.Engine.query db compiled
+
+let holds t db m = query t db [ Molecule.Pos m ] <> []
+
+let instances_of db c =
+  Datalog.Engine.answers db
+    (Atom.make Compile.isa_p [ Term.var "X"; Term.sym c ])
+  |> List.filter_map (function [ x; _ ] -> Some x | _ -> None)
+
+let subclasses_of db c =
+  Datalog.Engine.answers db
+    (Atom.make Compile.sub_p [ Term.var "X"; Term.sym c ])
+  |> List.filter_map (function [ x; _ ] -> Some x | _ -> None)

@@ -1,0 +1,87 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Rule = Logic.Rule
+
+let v = Term.var
+let d = Compile.declared
+
+let r h b = Rule.make h b
+let a p args = Atom.make p args
+let p name args = Literal.pos name args
+
+let default_p = "default_d"
+let strict_sub_p = "strict_sub"
+
+let core =
+  [
+    (* Closure of declared facts. *)
+    r (a Compile.isa_p [ v "X"; v "C" ]) [ p (d Compile.isa_p) [ v "X"; v "C" ] ];
+    r (a Compile.sub_p [ v "C"; v "D" ]) [ p (d Compile.sub_p) [ v "C"; v "D" ] ];
+    r
+      (a Compile.meth_sig_p [ v "C"; v "M"; v "D" ])
+      [ p (d Compile.meth_sig_p) [ v "C"; v "M"; v "D" ] ];
+    r
+      (a Compile.meth_val_p [ v "X"; v "M"; v "Y" ])
+      [ p (d Compile.meth_val_p) [ v "X"; v "M"; v "Y" ] ];
+    r (a Compile.class_p [ v "C" ]) [ p (d Compile.class_p) [ v "C" ] ];
+    (* Classhood of everything mentioned at the schema level. *)
+    r (a Compile.class_p [ v "C" ]) [ p (d Compile.sub_p) [ v "C"; v "D" ] ];
+    r (a Compile.class_p [ v "D" ]) [ p (d Compile.sub_p) [ v "C"; v "D" ] ];
+    r (a Compile.class_p [ v "C" ]) [ p (d Compile.isa_p) [ v "X"; v "C" ] ];
+    r
+      (a Compile.class_p [ v "C" ])
+      [ p (d Compile.meth_sig_p) [ v "C"; v "M"; v "D" ] ];
+    (* Reflexivity and transitivity of :: (Table 1). *)
+    r (a Compile.sub_p [ v "C"; v "C" ]) [ p Compile.class_p [ v "C" ] ];
+    r
+      (a Compile.sub_p [ v "C1"; v "C2" ])
+      [ p Compile.sub_p [ v "C1"; v "C3" ]; p Compile.sub_p [ v "C3"; v "C2" ] ];
+    (* Upward propagation of : along :: (Table 1). *)
+    r
+      (a Compile.isa_p [ v "X"; v "C2" ])
+      [ p Compile.isa_p [ v "X"; v "C1" ]; p Compile.sub_p [ v "C1"; v "C2" ] ];
+    (* Structural inheritance: signatures flow down the hierarchy. *)
+    r
+      (a Compile.meth_sig_p [ v "C1"; v "M"; v "D" ])
+      [
+        p Compile.sub_p [ v "C1"; v "C2" ];
+        p (d Compile.meth_sig_p) [ v "C2"; v "M"; v "D" ];
+      ];
+  ]
+
+let nonmonotonic_inheritance =
+  [
+    (* strict_sub(C1,C2): C1 properly below C2. *)
+    r
+      (a strict_sub_p [ v "C1"; v "C2" ])
+      [
+        p Compile.sub_p [ v "C1"; v "C2" ];
+        Literal.neg Compile.sub_p [ v "C2"; v "C1" ];
+      ];
+    (* A default is overridden at X for (M, C) when a properly more
+       specific class of X also declares a default for M ... *)
+    r
+      (a "overridden" [ v "X"; v "M"; v "C" ])
+      [
+        p Compile.isa_p [ v "X"; v "C1" ];
+        p default_p [ v "C1"; v "M"; v "V1" ];
+        p default_p [ v "C"; v "M"; v "V" ];
+        p strict_sub_p [ v "C1"; v "C" ];
+      ];
+    (* ... or when the instance declares its own value for M. *)
+    r
+      (a "overridden" [ v "X"; v "M"; v "C" ])
+      [
+        p (d Compile.meth_val_p) [ v "X"; v "M"; v "W" ];
+        p default_p [ v "C"; v "M"; v "V" ];
+      ];
+    (* Inherit the most specific unoverridden default. *)
+    r
+      (a Compile.meth_val_p [ v "X"; v "M"; v "V" ])
+      [
+        p Compile.isa_p [ v "X"; v "C" ];
+        p default_p [ v "C"; v "M"; v "V" ];
+        Literal.neg "overridden" [ v "X"; v "M"; v "C" ];
+      ];
+  ]

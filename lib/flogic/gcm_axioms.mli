@@ -1,0 +1,31 @@
+(** The minimal F-logic axiom set of Table 1, plus optional
+    nonmonotonic value inheritance.
+
+    Core axioms (always included by {!Fl_program}):
+    - closure of declarations:
+      [isa/sub/meth_sig/meth_val/class :- *_d];
+    - [C :: C :- C : class] — reflexivity of subclass on known classes;
+    - [C1 :: C2 :- C1 :: C3, C3 :: C2] — transitivity;
+    - [X : C2 :- X : C1, C1 :: C2] — upward propagation of instance-of;
+    - [C\[M => D\]] is inherited by subclasses (structural/signature
+      inheritance);
+    - every endpoint of a declared [::], every class of a declared [:]
+      and every method-signature carrier is a [class].
+
+    Optional ({!nonmonotonic_inheritance}): class-level default method
+    values ([default_d(C, M, V)] facts) propagate to instances along
+    [isa], with more specific classes and instance-level declarations
+    overriding — the mechanism the paper invokes for
+    "MyNeuron ... only projects to Globus Pallidus External"
+    (Section 4). Uses stratified negation. *)
+
+val core : Logic.Rule.t list
+
+val nonmonotonic_inheritance : Logic.Rule.t list
+
+val default_p : string
+(** Predicate for declaring class-level defaults: [default_d(C, M, V)].
+    Used by {!nonmonotonic_inheritance}. *)
+
+val strict_sub_p : string
+(** Derived strict (irreflexive) subclass predicate. *)

@@ -1,0 +1,48 @@
+module Term = Logic.Term
+
+type witness = { name : string; args : Term.t list }
+
+let witness_term ~name ~args =
+  match args with [] -> Term.sym name | _ -> Term.app name args
+
+let denial ~name ~args body =
+  Molecule.rule (Molecule.Isa (witness_term ~name ~args, Term.sym Compile.ic_class)) body
+
+let ic_members db =
+  (* Witnesses are inserted as declared instances of ic; the closed isa
+     predicate includes them, but reading the declared relation keeps
+     this usable on databases materialized without the axioms too. *)
+  let from pred =
+    Datalog.Database.facts db pred
+    |> List.filter_map (fun (a : Logic.Atom.t) ->
+           match a.Logic.Atom.args with
+           | [ w; Term.Const (Term.Sym c) ] when String.equal c Compile.ic_class ->
+             Some w
+           | _ -> None)
+  in
+  from (Compile.declared Compile.isa_p) @ from Compile.isa_p
+  |> List.sort_uniq Term.compare
+
+let violations db =
+  List.map
+    (fun w ->
+      match w with
+      | Term.App (name, args) -> { name; args }
+      | Term.Const (Term.Sym name) -> { name; args = [] }
+      | other -> { name = Term.to_string other; args = [] })
+    (ic_members db)
+
+let consistent db = ic_members db = []
+
+let by_constraint db =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let n = match Hashtbl.find_opt tbl w.name with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl w.name (n + 1))
+    (violations db);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_witness ppf w =
+  Logic.Term.pp ppf (witness_term ~name:w.name ~args:w.args)

@@ -1,0 +1,29 @@
+(** Integrity constraints as denials with failure witnesses.
+
+    Following Section 3 of the paper, an integrity constraint φ is
+    expressed as a denial rule that, on violation, inserts a {e failure
+    witness} object into the distinguished inconsistency class [ic].
+    A witness is a function term [w_name(args)] recording which
+    constraint fired and on what data (Example 2's [wrc], [wtc],
+    [was]). *)
+
+type witness = { name : string; args : Logic.Term.t list }
+
+val denial : name:string -> args:Logic.Term.t list -> Molecule.lit list -> Molecule.rule
+(** [denial ~name ~args body] builds the FL rule
+    [w_name(args) : ic :- body]. *)
+
+val witness_term : name:string -> args:Logic.Term.t list -> Logic.Term.t
+
+val violations : Datalog.Database.t -> witness list
+(** All failure witnesses in a materialized database (instances of the
+    [ic] class whose object is a function term; other [ic] members are
+    reported with empty [args]). *)
+
+val consistent : Datalog.Database.t -> bool
+(** [true] iff the [ic] class is empty. *)
+
+val by_constraint : Datalog.Database.t -> (string * int) list
+(** Violation counts grouped by constraint name, sorted by name. *)
+
+val pp_witness : Format.formatter -> witness -> unit

@@ -1,0 +1,124 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+
+type t =
+  | Isa of Term.t * Term.t
+  | Sub of Term.t * Term.t
+  | Meth_sig of Term.t * string * Term.t
+  | Meth_val of Term.t * string * Term.t
+  | Rel_sig of string * (string * Term.t) list
+  | Rel_val of string * (string * Term.t) list
+  | Pred of Atom.t
+
+type lit =
+  | Pos of t
+  | Neg of t
+  | Cmp of Literal.cmp * Term.t * Term.t
+  | Assign of Term.t * Literal.expr
+  | Agg of agg
+
+and agg = {
+  func : Literal.agg_fun;
+  target : Term.t;
+  group_by : Term.t list;
+  result : Term.t;
+  body : t list;
+}
+
+type rule = { heads : t list; body : lit list }
+
+let isa x c = Isa (x, c)
+let sub c1 c2 = Sub (c1, c2)
+let meth_sig c m d = Meth_sig (c, m, d)
+let meth_val x m y = Meth_val (x, m, y)
+let pred p args = Pred (Atom.make p args)
+let rule head body = { heads = [ head ]; body }
+let rule_multi heads body = { heads; body }
+let fact head = { heads = [ head ]; body = [] }
+
+let obj d c methods =
+  Isa (d, c) :: List.map (fun (m, v) -> Meth_val (d, m, v)) methods
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else (Hashtbl.add seen x (); true))
+    xs
+
+let vars = function
+  | Isa (t1, t2) | Sub (t1, t2) -> dedup (Term.vars t1 @ Term.vars t2)
+  | Meth_sig (t1, _, t2) | Meth_val (t1, _, t2) ->
+    dedup (Term.vars t1 @ Term.vars t2)
+  | Rel_sig (_, avs) | Rel_val (_, avs) ->
+    dedup (List.concat_map (fun (_, t) -> Term.vars t) avs)
+  | Pred a -> Atom.vars a
+
+let pp_attr arrow ppf (a, t) = Format.fprintf ppf "%s %s %a" a arrow Term.pp t
+
+let pp ppf = function
+  | Isa (x, c) -> Format.fprintf ppf "%a : %a" Term.pp x Term.pp c
+  | Sub (c1, c2) -> Format.fprintf ppf "%a :: %a" Term.pp c1 Term.pp c2
+  | Meth_sig (c, m, d) ->
+    Format.fprintf ppf "%a[%s => %a]" Term.pp c m Term.pp d
+  | Meth_val (x, m, y) ->
+    Format.fprintf ppf "%a[%s ->> %a]" Term.pp x m Term.pp y
+  | Rel_sig (r, avs) ->
+    Format.fprintf ppf "%s[%a]" r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (pp_attr "=>"))
+      avs
+  | Rel_val (r, avs) ->
+    Format.fprintf ppf "%s[%a]" r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (pp_attr "->"))
+      avs
+  | Pred a -> Atom.pp ppf a
+
+let pp_lit ppf = function
+  | Pos m -> pp ppf m
+  | Neg m -> Format.fprintf ppf "not %a" pp m
+  | Cmp (op, t1, t2) ->
+    Format.fprintf ppf "%a %a %a" Term.pp t1 Literal.pp_cmp op Term.pp t2
+  | Assign (t, e) ->
+    Format.fprintf ppf "%a is %a" Term.pp t Literal.pp_expr e
+  | Agg { func; target; group_by; result; body } ->
+    let fname =
+      match func with
+      | Literal.Count -> "count"
+      | Literal.Sum -> "sum"
+      | Literal.Min -> "min"
+      | Literal.Max -> "max"
+      | Literal.Avg -> "avg"
+    in
+    Format.fprintf ppf "%a = %s{%a [%a]; %a}" Term.pp result fname Term.pp
+      target
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Term.pp)
+      group_by
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp)
+      body
+
+let pp_heads ppf heads =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+    pp ppf heads
+
+let pp_rule ppf { heads; body } =
+  if body = [] then Format.fprintf ppf "%a." pp_heads heads
+  else
+    Format.fprintf ppf "%a :- %a." pp_heads heads
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_lit)
+      body
+
+let to_string m = Format.asprintf "%a" pp m
+let rule_to_string r = Format.asprintf "%a" pp_rule r

@@ -1,0 +1,67 @@
+(** F-logic molecules: the syntax of Table 1 of the paper.
+
+    The generic conceptual model GCM is incarnated as an F-logic
+    fragment; its core expressions map to molecules as follows:
+
+    - [instance(X,C)]      ~ [X : C]              ({!Isa})
+    - [subclass(C1,C2)]    ~ [C1 :: C2]           ({!Sub})
+    - [method(C,M,CM)]     ~ [C\[M => CM\]]       ({!Meth_sig})
+    - [methodinst(X,M,Y)]  ~ [X\[M ->> Y\]]       ({!Meth_val})
+    - [relation(R,Ai=Ci)]  ~ [R\[A1 => C1;...\]]  ({!Rel_sig})
+    - [relationinst(...)]  ~ [R\[A1 -> X1;...\]]  ({!Rel_val})
+
+    Plain predicate atoms ({!Pred}) carry ordinary Datalog relations
+    (e.g. the positional view [r(X1,...,Xn)] of a relation instance). *)
+
+type t =
+  | Isa of Logic.Term.t * Logic.Term.t      (** [X : C] *)
+  | Sub of Logic.Term.t * Logic.Term.t      (** [C1 :: C2] *)
+  | Meth_sig of Logic.Term.t * string * Logic.Term.t  (** [C\[M => D\]] *)
+  | Meth_val of Logic.Term.t * string * Logic.Term.t  (** [X\[M ->> Y\]] *)
+  | Rel_sig of string * (string * Logic.Term.t) list  (** [R\[A=>C;...\]] *)
+  | Rel_val of string * (string * Logic.Term.t) list  (** [R\[A->X;...\]] *)
+  | Pred of Logic.Atom.t
+
+type lit =
+  | Pos of t
+  | Neg of t
+  | Cmp of Logic.Literal.cmp * Logic.Term.t * Logic.Term.t
+  | Assign of Logic.Term.t * Logic.Literal.expr
+  | Agg of agg
+
+and agg = {
+  func : Logic.Literal.agg_fun;
+  target : Logic.Term.t;
+  group_by : Logic.Term.t list;
+  result : Logic.Term.t;
+  body : t list;  (** inner conjunction of positive molecules *)
+}
+
+type rule = { heads : t list; body : lit list }
+(** A multi-head rule abbreviates one rule per head over the shared
+    body — the F-logic idiom for object molecules such as
+    [D : protein_distribution\[protein_name -> Y; ...\] :- ...] of the
+    paper's Example 4, which asserts the instance-of and each method
+    value simultaneously. *)
+
+(** {1 Constructors} *)
+
+val isa : Logic.Term.t -> Logic.Term.t -> t
+val sub : Logic.Term.t -> Logic.Term.t -> t
+val meth_sig : Logic.Term.t -> string -> Logic.Term.t -> t
+val meth_val : Logic.Term.t -> string -> Logic.Term.t -> t
+val pred : string -> Logic.Term.t list -> t
+val rule : t -> lit list -> rule
+val rule_multi : t list -> lit list -> rule
+val fact : t -> rule
+val obj :
+  Logic.Term.t -> Logic.Term.t -> (string * Logic.Term.t) list -> t list
+(** [obj d c methods] is the head list for an object molecule
+    [d : c\[m1 -> v1; ...\]]. *)
+
+val vars : t -> string list
+val pp : Format.formatter -> t -> unit
+val pp_lit : Format.formatter -> lit -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val to_string : t -> string
+val rule_to_string : rule -> string

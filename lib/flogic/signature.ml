@@ -1,0 +1,48 @@
+module SM = Map.Make (String)
+
+type t = string list SM.t
+
+let empty = SM.empty
+
+let declare r attrs sg =
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg (Printf.sprintf "Signature.declare: duplicate attribute in %s" r);
+  match SM.find_opt r sg with
+  | Some attrs' when attrs' <> attrs ->
+    invalid_arg
+      (Printf.sprintf "Signature.declare: relation %s redeclared with layout (%s) vs (%s)"
+         r (String.concat "," attrs) (String.concat "," attrs'))
+  | Some _ -> sg
+  | None -> SM.add r attrs sg
+
+let attributes sg r = SM.find_opt r sg
+let arity sg r = Option.map List.length (SM.find_opt r sg)
+let mem sg r = SM.mem r sg
+let relations sg = SM.fold (fun r _ acc -> r :: acc) sg [] |> List.rev
+
+let position sg r a =
+  match SM.find_opt r sg with
+  | None -> None
+  | Some attrs ->
+    let rec go k = function
+      | [] -> None
+      | a' :: _ when String.equal a a' -> Some k
+      | _ :: rest -> go (k + 1) rest
+    in
+    go 0 attrs
+
+let merge sg1 sg2 =
+  SM.union
+    (fun r a1 a2 ->
+      if a1 = a2 then Some a1
+      else
+        invalid_arg
+          (Printf.sprintf "Signature.merge: conflicting layouts for %s" r))
+    sg1 sg2
+
+let pp ppf sg =
+  SM.iter
+    (fun r attrs ->
+      Format.fprintf ppf "%s[%s]@." r (String.concat "; " attrs))
+    sg

@@ -1,0 +1,30 @@
+(** Relation signatures: the attribute order of n-ary relations.
+
+    The GCM core expression [relation(R, A1=C1, ..., An=Cn)] both types
+    the relation and fixes the positional layout of its instances
+    ([r(X1,...,Xn) : R\[A1->X1;...\]] in Table 1). The compiler needs
+    that layout to translate attribute-style molecules into positional
+    Datalog atoms. *)
+
+type t
+
+val empty : t
+
+val declare : string -> string list -> t -> t
+(** [declare r attrs sg] records relation [r] with its attribute names
+    in order. Raises [Invalid_argument] on duplicate declaration with a
+    different layout, or on duplicate attribute names. *)
+
+val attributes : t -> string -> string list option
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+val relations : t -> string list
+
+val position : t -> string -> string -> int option
+(** [position sg r a] is the index of attribute [a] in relation [r]. *)
+
+val merge : t -> t -> t
+(** Union of two signatures; raises [Invalid_argument] on conflicting
+    layouts (same relation, different attributes). *)
+
+val pp : Format.formatter -> t -> unit

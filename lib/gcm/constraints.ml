@@ -1,0 +1,151 @@
+module Term = Logic.Term
+module Literal = Logic.Literal
+module Molecule = Flogic.Molecule
+module Signature = Flogic.Signature
+module Ic = Flogic.Ic
+
+let v = Term.var
+let s = Term.sym
+
+let check_attrs ~sg ~rel attrs =
+  match Signature.attributes sg rel with
+  | None -> invalid_arg (Printf.sprintf "Constraints: relation %s not declared" rel)
+  | Some declared ->
+    List.iter
+      (fun a ->
+        if not (List.mem a declared) then
+          invalid_arg
+            (Printf.sprintf "Constraints: relation %s has no attribute %s" rel a))
+      attrs
+
+(* ------------------------------------------------------------------ *)
+(* Example 2: partial orders *)
+
+let partial_order_on ~member ~rel =
+  let r2 x y = Molecule.Pos (Molecule.pred rel [ x; y ]) in
+  [
+    (* (1) reflexivity: wrc(C,R,X) : ic :- X : C, not R(X,X). *)
+    Ic.denial ~name:"wrc" ~args:[ s rel; v "X" ]
+      [ Molecule.Pos (member (v "X")); Molecule.Neg (Molecule.pred rel [ v "X"; v "X" ]) ];
+    (* (2) transitivity: wtc reports missing transitive edges. *)
+    Ic.denial ~name:"wtc" ~args:[ s rel; v "X"; v "Z"; v "Y" ]
+      [
+        Molecule.Pos (member (v "X"));
+        Molecule.Pos (member (v "Y"));
+        Molecule.Pos (member (v "Z"));
+        r2 (v "X") (v "Z");
+        r2 (v "Z") (v "Y");
+        Molecule.Neg (Molecule.pred rel [ v "X"; v "Y" ]);
+      ];
+    (* (3) antisymmetry: was reports 2-cycles. *)
+    Ic.denial ~name:"was" ~args:[ s rel; v "X"; v "Y" ]
+      [
+        Molecule.Pos (member (v "X"));
+        r2 (v "X") (v "Y");
+        r2 (v "Y") (v "X");
+        Molecule.Cmp (Literal.Ne, v "X", v "Y");
+      ];
+  ]
+
+let partial_order ~cls ~rel =
+  partial_order_on ~member:(fun x -> Molecule.Isa (x, s cls)) ~rel
+
+let subclass_partial_order =
+  partial_order_on
+    ~member:(fun x -> Molecule.Pred (Logic.Atom.make Flogic.Compile.class_p [ x ]))
+    ~rel:Flogic.Compile.sub_p
+
+(* ------------------------------------------------------------------ *)
+(* Example 3: cardinality *)
+
+let cardinality ~sg ~rel ~counted ~per ?min_count ?max_count ?exactly () =
+  check_attrs ~sg ~rel (counted :: per);
+  let n = v "N" in
+  let group_vars = List.map (fun a -> v ("G_" ^ a)) per in
+  let bindings =
+    (counted, v "V_counted") :: List.map2 (fun a g -> (a, g)) per group_vars
+  in
+  let agg =
+    Molecule.Agg
+      {
+        Molecule.func = Literal.Count;
+        target = v "V_counted";
+        group_by = group_vars;
+        result = n;
+        body = [ Molecule.Rel_val (rel, bindings) ];
+      }
+  in
+  let witness name bound =
+    Ic.denial ~name
+      ~args:([ s rel; s counted ] @ group_vars @ [ n ])
+      [ agg; bound ]
+  in
+  List.concat
+    [
+      (match exactly with
+      | Some k -> [ witness "w_card_ne" (Molecule.Cmp (Literal.Ne, n, Term.int k)) ]
+      | None -> []);
+      (match max_count with
+      | Some k -> [ witness "w_card_hi" (Molecule.Cmp (Literal.Gt, n, Term.int k)) ]
+      | None -> []);
+      (match min_count with
+      | Some k -> [ witness "w_card_lo" (Molecule.Cmp (Literal.Lt, n, Term.int k)) ]
+      | None -> []);
+    ]
+
+let proj_pred rel attr = Printf.sprintf "proj_%s_%s" rel attr
+
+let projection_rule ~rel ~attr =
+  Molecule.rule
+    (Molecule.pred (proj_pred rel attr) [ v "V" ])
+    [ Molecule.Pos (Molecule.Rel_val (rel, [ (attr, v "V") ])) ]
+
+let total_participation ~sg ~cls ~rel ~attr =
+  check_attrs ~sg ~rel [ attr ];
+  [
+    projection_rule ~rel ~attr;
+    Ic.denial ~name:"w_total"
+      ~args:[ s cls; s rel; s attr; v "X" ]
+      [
+        Molecule.Pos (Molecule.Isa (v "X", s cls));
+        Molecule.Neg (Molecule.pred (proj_pred rel attr) [ v "X" ]);
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Relational constraints *)
+
+let functional_dependency ~sg ~rel ~from ~to_ =
+  check_attrs ~sg ~rel (to_ :: from);
+  let key_bindings = List.map (fun a -> (a, v ("K_" ^ a))) from in
+  let t1 = Molecule.Rel_val (rel, (to_, v "Y") :: key_bindings) in
+  let t2 = Molecule.Rel_val (rel, (to_, v "Y2") :: key_bindings) in
+  [
+    Ic.denial ~name:"w_fd"
+      ~args:[ s rel; s to_; v "Y"; v "Y2" ]
+      [ Molecule.Pos t1; Molecule.Pos t2; Molecule.Cmp (Literal.Ne, v "Y", v "Y2") ];
+  ]
+
+let inclusion ~sg ~from_rel ~from_attr ~to_rel ~to_attr =
+  check_attrs ~sg ~rel:from_rel [ from_attr ];
+  check_attrs ~sg ~rel:to_rel [ to_attr ];
+  [
+    projection_rule ~rel:to_rel ~attr:to_attr;
+    Ic.denial ~name:"w_incl"
+      ~args:[ s from_rel; s from_attr; s to_rel; s to_attr; v "V" ]
+      [
+        Molecule.Pos (Molecule.Rel_val (from_rel, [ (from_attr, v "V") ]));
+        Molecule.Neg (Molecule.pred (proj_pred to_rel to_attr) [ v "V" ]);
+      ];
+  ]
+
+let attribute_typed ~sg ~rel ~attr ~cls =
+  check_attrs ~sg ~rel [ attr ];
+  [
+    Ic.denial ~name:"w_type"
+      ~args:[ s rel; s attr; s cls; v "V" ]
+      [
+        Molecule.Pos (Molecule.Rel_val (rel, [ (attr, v "V") ]));
+        Molecule.Neg (Molecule.Isa (v "V", s cls));
+      ];
+  ]

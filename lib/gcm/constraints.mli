@@ -1,0 +1,87 @@
+(** A library of integrity-constraint generators, reproducing the
+    paper's Examples 2 (inductive properties / partial orders) and 3
+    (cardinality constraints), plus the usual relational constraints the
+    paper lists as GCM requirements (key/functional dependencies,
+    inclusion dependencies, attribute typing).
+
+    Every generator returns denial rules in the style of Section 3:
+    violated constraints insert failure witnesses into the [ic] class;
+    query them with {!Flogic.Ic.violations}. *)
+
+(** {1 Example 2 — partial orders} *)
+
+val partial_order_on :
+  member:(Logic.Term.t -> Flogic.Molecule.t) ->
+  rel:string ->
+  Flogic.Molecule.rule list
+(** The three denials of Example 2 — [wrc] (reflexivity), [wtc]
+    (transitivity), [was] (antisymmetry) — for binary predicate [rel]
+    over the domain described by [member] (e.g.
+    [fun x -> Molecule.Isa (x, Term.sym "node")]). *)
+
+val partial_order : cls:string -> rel:string -> Flogic.Molecule.rule list
+(** [partial_order_on] with membership [X : cls]. *)
+
+val subclass_partial_order : Flogic.Molecule.rule list
+(** The paper's meta instantiation: check that [::] is a partial order
+    on the meta-class [class] ("this example also shows the power of
+    schema reasoning in FL"). *)
+
+(** {1 Example 3 — cardinality constraints} *)
+
+val cardinality :
+  sg:Flogic.Signature.t ->
+  rel:string ->
+  counted:string ->
+  per:string list ->
+  ?min_count:int ->
+  ?max_count:int ->
+  ?exactly:int ->
+  unit ->
+  Flogic.Molecule.rule list
+(** Count distinct values of attribute [counted] grouped by attributes
+    [per]; emit a witness [w_card_lo]/[w_card_hi]/[w_card_ne] when the
+    count of an existing group falls outside the bounds. (Groups with
+    zero tuples never appear; combine with {!total_participation} for
+    lower bounds over a class domain.) Raises [Invalid_argument] on
+    unknown relation or attributes. *)
+
+val total_participation :
+  sg:Flogic.Signature.t ->
+  cls:string ->
+  rel:string ->
+  attr:string ->
+  Flogic.Molecule.rule list
+(** Every instance of [cls] must occur in attribute [attr] of [rel];
+    witnesses are [w_total(cls, rel, attr, X)]. Emits a helper
+    projection rule plus the denial. *)
+
+(** {1 Relational constraints} *)
+
+val functional_dependency :
+  sg:Flogic.Signature.t ->
+  rel:string ->
+  from:string list ->
+  to_:string ->
+  Flogic.Molecule.rule list
+(** Two tuples agreeing on [from] must agree on [to_]; witnesses are
+    [w_fd(rel, to_, Y, Y')]. A key constraint is an FD from the key
+    attributes to each non-key attribute. *)
+
+val inclusion :
+  sg:Flogic.Signature.t ->
+  from_rel:string ->
+  from_attr:string ->
+  to_rel:string ->
+  to_attr:string ->
+  Flogic.Molecule.rule list
+(** Values of [from_rel.from_attr] must appear in [to_rel.to_attr]. *)
+
+val attribute_typed :
+  sg:Flogic.Signature.t ->
+  rel:string ->
+  attr:string ->
+  cls:string ->
+  Flogic.Molecule.rule list
+(** Values of [rel.attr] must be instances of [cls] — executes the
+    typing half of the (REL) declaration. *)

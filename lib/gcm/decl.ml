@@ -1,0 +1,39 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+module Signature = Flogic.Signature
+
+type t =
+  | Instance of Term.t * Term.t
+  | Subclass of Term.t * Term.t
+  | Method of Term.t * string * Term.t
+  | Method_inst of Term.t * string * Term.t
+  | Relation of string * (string * Term.t) list
+  | Relation_inst of string * (string * Term.t) list
+
+let to_molecule = function
+  | Instance (x, c) -> Molecule.Isa (x, c)
+  | Subclass (c1, c2) -> Molecule.Sub (c1, c2)
+  | Method (c, m, d) -> Molecule.Meth_sig (c, m, d)
+  | Method_inst (x, m, y) -> Molecule.Meth_val (x, m, y)
+  | Relation (r, avs) -> Molecule.Rel_sig (r, avs)
+  | Relation_inst (r, avs) -> Molecule.Rel_val (r, avs)
+
+let of_molecule = function
+  | Molecule.Isa (x, c) -> Some (Instance (x, c))
+  | Molecule.Sub (c1, c2) -> Some (Subclass (c1, c2))
+  | Molecule.Meth_sig (c, m, d) -> Some (Method (c, m, d))
+  | Molecule.Meth_val (x, m, y) -> Some (Method_inst (x, m, y))
+  | Molecule.Rel_sig (r, avs) -> Some (Relation (r, avs))
+  | Molecule.Rel_val (r, avs) -> Some (Relation_inst (r, avs))
+  | Molecule.Pred _ -> None
+
+let signature_of decls =
+  List.fold_left
+    (fun sg d ->
+      match d with
+      | Relation (r, avs) -> Signature.declare r (List.map fst avs) sg
+      | _ -> sg)
+    Signature.empty decls
+
+let pp ppf d = Molecule.pp ppf (to_molecule d)
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,30 @@
+(** The GCM core expressions of Section 3 of the paper, and their
+    F-logic incarnation (Table 1).
+
+    - [instance(X, C)] — object X is an instance of class C (INST)
+    - [subclass(C1, C2)] — C1 is a subclass of C2 (SUB)
+    - [method(C, M, CM)] — method M on C yields objects in CM (METH)
+    - [methodinst(X, M, Y)] — concrete method result
+    - [relation(R, A1=C1, ..., An=Cn)] — n-ary typed relation (REL)
+    - [relationinst(R, A1=X1, ..., An=Xn)] — a tuple of R *)
+
+type t =
+  | Instance of Logic.Term.t * Logic.Term.t
+  | Subclass of Logic.Term.t * Logic.Term.t
+  | Method of Logic.Term.t * string * Logic.Term.t
+  | Method_inst of Logic.Term.t * string * Logic.Term.t
+  | Relation of string * (string * Logic.Term.t) list
+  | Relation_inst of string * (string * Logic.Term.t) list
+
+val to_molecule : t -> Flogic.Molecule.t
+(** The FL expression of the declaration, per Table 1. *)
+
+val of_molecule : Flogic.Molecule.t -> t option
+(** Inverse of {!to_molecule}; [None] for plain predicate atoms, which
+    have no GCM core reading. *)
+
+val signature_of : t list -> Flogic.Signature.t
+(** Relation layouts harvested from [Relation] declarations. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

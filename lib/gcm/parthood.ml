@@ -1,0 +1,114 @@
+module Term = Logic.Term
+module Literal = Logic.Literal
+module Molecule = Flogic.Molecule
+module Ic = Flogic.Ic
+
+type kind =
+  | Component_of
+  | Member_of
+  | Portion_of
+  | Stuff_of
+  | Feature_of
+  | Place_in
+
+let kind_name = function
+  | Component_of -> "component-of"
+  | Member_of -> "member-of"
+  | Portion_of -> "portion-of"
+  | Stuff_of -> "stuff-of"
+  | Feature_of -> "feature-of"
+  | Place_in -> "place-in"
+
+let is_transitive = function
+  | Component_of | Portion_of | Feature_of | Place_in -> true
+  | Member_of | Stuff_of -> false
+
+let is_exclusive = function
+  | Component_of -> true
+  | Member_of | Portion_of | Stuff_of | Feature_of | Place_in -> false
+
+let is_homeomeric = function
+  | Portion_of -> true
+  | Component_of | Member_of | Stuff_of | Feature_of | Place_in -> false
+
+let v = Term.var
+
+let star rel = rel ^ "_star"
+
+let rules kind ~rel =
+  let r2 p x y = Molecule.Pos (Molecule.pred p [ x; y ]) in
+  let base =
+    [
+      (* irreflexivity: nothing is a proper part of itself *)
+      Ic.denial
+        ~name:("w_" ^ rel ^ "_irrefl")
+        ~args:[ v "X" ]
+        [ r2 rel (v "X") (v "X") ];
+      (* antisymmetry *)
+      Ic.denial
+        ~name:("w_" ^ rel ^ "_antisym")
+        ~args:[ v "X"; v "Y" ]
+        [
+          r2 rel (v "X") (v "Y");
+          r2 rel (v "Y") (v "X");
+          Molecule.Cmp (Literal.Ne, v "X", v "Y");
+        ];
+    ]
+  in
+  let transitive =
+    if is_transitive kind then
+      [
+        Molecule.rule (Molecule.pred (star rel) [ v "X"; v "Y" ]) [ r2 rel (v "X") (v "Y") ];
+        Molecule.rule
+          (Molecule.pred (star rel) [ v "X"; v "Y" ])
+          [ r2 rel (v "X") (v "Z"); r2 (star rel) (v "Z") (v "Y") ];
+        (* a cycle through the closure also breaks the part order *)
+        Ic.denial
+          ~name:("w_" ^ rel ^ "_cycle")
+          ~args:[ v "X" ]
+          [ r2 (star rel) (v "X") (v "X") ];
+      ]
+    else []
+  in
+  let exclusive =
+    if is_exclusive kind then
+      [
+        (* a component belongs to at most one integral whole *)
+        Ic.denial
+          ~name:("w_" ^ rel ^ "_shared")
+          ~args:[ v "P"; v "W1"; v "W2" ]
+          [
+            r2 rel (v "P") (v "W1");
+            r2 rel (v "P") (v "W2");
+            Molecule.Cmp (Literal.Ne, v "W1", v "W2");
+          ];
+      ]
+    else []
+  in
+  let homeomeric =
+    if is_homeomeric kind then
+      [
+        (* portions are of their whole's kind *)
+        Molecule.rule
+          (Molecule.Isa (v "P", v "C"))
+          [
+            r2 rel (v "P") (v "W");
+            Molecule.Pos (Molecule.Isa (v "W", v "C"));
+          ];
+      ]
+    else []
+  in
+  base @ transitive @ exclusive @ homeomeric
+
+let describe kind =
+  let feats =
+    List.filter_map
+      (fun (b, label) -> if b then Some label else None)
+      [
+        (is_transitive kind, "transitive");
+        (is_exclusive kind, "exclusive");
+        (is_homeomeric kind, "homeomeric");
+      ]
+  in
+  Printf.sprintf "%s (%s)" (kind_name kind)
+    (if feats = [] then "plain" else String.concat ", " feats)

@@ -1,0 +1,51 @@
+(** Whole/part relationships with specific semantics.
+
+    Section 3 of the paper: "Objects can participate in relationships
+    (or associations) which can be further constrained to be
+    aggregations, compositions, or other whole/part relationships with
+    a specific semantics [Ode94]."
+
+    Odell distinguishes six kinds of composition; each carries
+    different inference rules and integrity constraints. This module
+    generates, per declared parthood relation, the FL rules for the
+    kind's semantics:
+
+    - {b Component_of} (wheel/car): transitive, parts are separable,
+      exclusive (a component belongs to at most one integral whole);
+    - {b Member_of} (tree/forest): {e not} transitive; no exclusivity;
+    - {b Portion_of} (slice/pie): transitive, and the portion is of the
+      same kind as the whole (homeomeronomy: the portion inherits the
+      whole's class);
+    - {b Stuff_of} (steel/car): not transitive across kinds, not
+      separable;
+    - {b Feature_of} (paying/shopping): activities — transitive;
+    - {b Place_in} (oasis/desert): transitive, no separability.
+
+    All kinds are irreflexive and antisymmetric (checked via Example 2
+    style denials). The generated predicates are the relation name
+    itself plus [<rel>_star] for the transitive kinds. *)
+
+type kind =
+  | Component_of
+  | Member_of
+  | Portion_of
+  | Stuff_of
+  | Feature_of
+  | Place_in
+
+val kind_name : kind -> string
+
+val is_transitive : kind -> bool
+val is_exclusive : kind -> bool
+(** A part belongs to at most one whole. *)
+
+val is_homeomeric : kind -> bool
+(** The part inherits the whole's class (portions of a pie are pie). *)
+
+val rules : kind -> rel:string -> Flogic.Molecule.rule list
+(** Derivation rules ([<rel>_star] closure when transitive, class
+    inheritance when homeomeric) plus integrity denials (irreflexivity
+    and antisymmetry always; exclusivity when the kind demands it).
+    Witness names are prefixed with the relation name. *)
+
+val describe : kind -> string

@@ -1,0 +1,128 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+module Signature = Flogic.Signature
+
+type class_def = {
+  cname : string;
+  supers : string list;
+  methods : (string * string) list;
+}
+
+type t = {
+  name : string;
+  classes : class_def list;
+  relations : (string * (string * string) list) list;
+  rules : Molecule.rule list;
+}
+
+let make ~name ?(classes = []) ?(relations = []) ?(rules = []) () =
+  { name; classes; relations; rules }
+
+let class_def ?(supers = []) ?(methods = []) cname = { cname; supers; methods }
+
+let find_dup xs =
+  let rec go = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (List.sort String.compare xs)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    match find_dup (List.map (fun c -> c.cname) t.classes) with
+    | Some c -> Error (Printf.sprintf "schema %s: duplicate class %s" t.name c)
+    | None -> Ok ()
+  in
+  let* () =
+    match find_dup (List.map fst t.relations) with
+    | Some r -> Error (Printf.sprintf "schema %s: duplicate relation %s" t.name r)
+    | None -> Ok ()
+  in
+  let* () =
+    match
+      List.find_opt (fun (r, _) -> List.mem r Flogic.Compile.reserved) t.relations
+    with
+    | Some (r, _) ->
+      Error (Printf.sprintf "schema %s: relation name %s is reserved" t.name r)
+    | None -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        match find_dup (List.map fst c.methods) with
+        | Some m ->
+          Error
+            (Printf.sprintf "schema %s: class %s declares method %s twice"
+               t.name c.cname m)
+        | None -> Ok ())
+      (Ok ()) t.classes
+  in
+  List.fold_left
+    (fun acc (r, avs) ->
+      let* () = acc in
+      match find_dup (List.map fst avs) with
+      | Some a ->
+        Error
+          (Printf.sprintf "schema %s: relation %s has duplicate attribute %s"
+             t.name r a)
+      | None -> Ok ())
+    (Ok ()) t.relations
+
+let signature t =
+  List.fold_left
+    (fun sg (r, avs) -> Signature.declare r (List.map fst avs) sg)
+    Signature.empty t.relations
+
+let class_names t = List.map (fun c -> c.cname) t.classes
+let relation_names t = List.map fst t.relations
+
+let declarations t =
+  let class_decls =
+    List.concat_map
+      (fun c ->
+        let self = Term.sym c.cname in
+        List.map (fun s -> Decl.Subclass (self, Term.sym s)) c.supers
+        @ List.map (fun (m, range) -> Decl.Method (self, m, Term.sym range)) c.methods)
+      t.classes
+  in
+  let rel_decls =
+    List.map
+      (fun (r, avs) ->
+        Decl.Relation (r, List.map (fun (a, c) -> (a, Term.sym c)) avs))
+      t.relations
+  in
+  class_decls @ rel_decls
+
+let to_rules t =
+  (* Register every class with the meta-class predicate so classhood
+     does not depend on having supers, methods or instances. *)
+  List.map
+    (fun c -> Molecule.fact (Molecule.pred Flogic.Compile.class_p [ Term.sym c.cname ]))
+    t.classes
+  @ List.map (fun d -> Molecule.fact (Decl.to_molecule d)) (declarations t)
+  @ t.rules
+
+let to_fl_program t =
+  Flogic.Fl_program.make ~signature:(signature t) (to_rules t)
+
+let pp ppf t =
+  Format.fprintf ppf "schema %s:@." t.name;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  class %s" c.cname;
+      if c.supers <> [] then
+        Format.fprintf ppf " :: %s" (String.concat ", " c.supers);
+      List.iter (fun (m, r) -> Format.fprintf ppf "@.    %s => %s" m r) c.methods;
+      Format.fprintf ppf "@.")
+    t.classes;
+  List.iter
+    (fun (r, avs) ->
+      Format.fprintf ppf "  relation %s(%s)@." r
+        (String.concat ", " (List.map (fun (a, c) -> a ^ ":" ^ c) avs)))
+    t.relations;
+  List.iter
+    (fun r -> Format.fprintf ppf "  rule %a@." Molecule.pp_rule r)
+    t.rules

@@ -1,0 +1,54 @@
+(** Conceptual-model schemas: what a wrapped source exports when it
+    registers with the mediator (Section 2: "class schemas, relationship
+    schemas, and semantic rules").
+
+    A schema is declarative data; {!to_rules} turns it into F-logic
+    facts/rules for the mediator's GCM engine. Class and method range
+    names may refer to classes defined elsewhere (e.g. domain-map
+    concepts) — validation only rejects internal inconsistencies. *)
+
+type class_def = {
+  cname : string;
+  supers : string list;          (** direct superclasses *)
+  methods : (string * string) list;  (** method name, range class *)
+}
+
+type t = {
+  name : string;                 (** schema / source name *)
+  classes : class_def list;
+  relations : (string * (string * string) list) list;
+      (** relation name, (attribute, class) list in positional order *)
+  rules : Flogic.Molecule.rule list;  (** semantic rules and constraints *)
+}
+
+val make :
+  name:string ->
+  ?classes:class_def list ->
+  ?relations:(string * (string * string) list) list ->
+  ?rules:Flogic.Molecule.rule list ->
+  unit ->
+  t
+
+val class_def :
+  ?supers:string list -> ?methods:(string * string) list -> string -> class_def
+
+val validate : t -> (unit, string) result
+(** Rejects duplicate class/relation names, duplicate methods within a
+    class, relations clashing with reserved predicate names, and
+    duplicate attributes. *)
+
+val signature : t -> Flogic.Signature.t
+val class_names : t -> string list
+val relation_names : t -> string list
+
+val declarations : t -> Decl.t list
+(** The schema-level GCM declarations: one [Subclass] per super edge,
+    one [Method] per method, one [Relation] per relation, plus a
+    class-membership fact for every class. *)
+
+val to_rules : t -> Flogic.Molecule.rule list
+(** Declarations as facts, followed by the schema's semantic rules. *)
+
+val to_fl_program : t -> Flogic.Fl_program.t
+
+val pp : Format.formatter -> t -> unit

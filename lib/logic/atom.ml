@@ -1,0 +1,54 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+
+let arity a = List.length a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun x ->
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.add seen x ();
+            acc := x :: !acc
+          end)
+        (Term.vars t))
+    a.args;
+  List.rev !acc
+
+let is_ground a = List.for_all Term.is_ground a.args
+
+let apply s a = { a with args = List.map (Subst.apply s) a.args }
+
+let unify ?(init = Subst.empty) a1 a2 =
+  if String.equal a1.pred a2.pred && arity a1 = arity a2 then
+    Unify.unify_list ~init a1.args a2.args
+  else None
+
+let matches ?(init = Subst.empty) ~pattern a =
+  if String.equal pattern.pred a.pred && arity pattern = arity a then
+    Unify.matches_list ~init ~patterns:pattern.args a.args
+  else None
+
+let rename_apart ~suffix a =
+  { a with args = List.map (Unify.rename_apart ~suffix) a.args }
+
+let compare a1 a2 =
+  let c = String.compare a1.pred a2.pred in
+  if c <> 0 then c else Term.compare_list a1.args a2.args
+
+let equal a1 a2 = compare a1 a2 = 0
+
+let pp ppf a =
+  if a.args = [] then Format.pp_print_string ppf a.pred
+  else
+    Format.fprintf ppf "%s(%a)" a.pred
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Term.pp)
+      a.args
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,21 @@
+(** Predicate atoms [p(t1,...,tn)]. *)
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+val is_ground : t -> bool
+val apply : Subst.t -> t -> t
+
+val unify : ?init:Subst.t -> t -> t -> Subst.t option
+(** Unify two atoms: same predicate, same arity, unifiable arguments. *)
+
+val matches : ?init:Subst.t -> pattern:t -> t -> Subst.t option
+(** One-sided matching of [pattern] against a (typically ground) atom. *)
+
+val rename_apart : suffix:string -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

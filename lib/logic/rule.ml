@@ -1,0 +1,131 @@
+type t = { head : Atom.t; body : Literal.t list }
+
+let make head body = { head; body }
+let fact head = { head; body = [] }
+let is_fact r = r.body = []
+let head_pred r = r.head.Atom.pred
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let vars r = dedup (Atom.vars r.head @ List.concat_map Literal.vars r.body)
+
+let apply s r =
+  { head = Atom.apply s r.head; body = List.map (Literal.apply s) r.body }
+
+let rename_apart ~suffix r =
+  {
+    head = Atom.rename_apart ~suffix r.head;
+    body = List.map (Literal.rename_apart ~suffix) r.body;
+  }
+
+module SS = Set.Make (String)
+
+let check_safety r =
+  (* Fixpoint: repeatedly pick up variables bound by literals that are
+     already evaluable; a literal binds once its needs are satisfied. *)
+  let lits = r.body in
+  let all_needed =
+    dedup
+      (Atom.vars r.head
+      @ List.concat_map
+          (fun l ->
+            match l with
+            | Literal.Neg a -> Atom.vars a
+            | Literal.Cmp (_, t1, t2) -> Term.vars t1 @ Term.vars t2
+            | _ -> [])
+          lits)
+  in
+  let rec grow bound =
+    let bound' =
+      List.fold_left
+        (fun acc l ->
+          let fireable =
+            match l with
+            | Literal.Cmp (Literal.Eq, t1, t2) ->
+              (* Equality unifies; it can only ground the other side
+                 once one side is fully bound. *)
+              List.for_all (fun x -> SS.mem x acc) (Term.vars t1)
+              || List.for_all (fun x -> SS.mem x acc) (Term.vars t2)
+            | l -> List.for_all (fun x -> SS.mem x acc) (Literal.needs l)
+          in
+          if fireable then
+            List.fold_left (fun acc x -> SS.add x acc) acc (Literal.binds l)
+          else acc)
+        bound lits
+    in
+    if SS.equal bound bound' then bound else grow bound'
+  in
+  let bound = grow SS.empty in
+  (* Aggregate inner bodies must bind their own target and group_by. *)
+  let agg_ok =
+    List.for_all
+      (fun l ->
+        match l with
+        | Literal.Agg { target; group_by; body; _ } ->
+          let inner =
+            List.fold_left
+              (fun acc a ->
+                List.fold_left (fun acc x -> SS.add x acc) acc (Atom.vars a))
+              SS.empty body
+          in
+          List.for_all
+            (fun x -> SS.mem x inner)
+            (dedup (Term.vars target @ List.concat_map Term.vars group_by))
+        | _ -> true)
+      lits
+  in
+  if not agg_ok then
+    Error
+      (Printf.sprintf
+         "rule %s: aggregate target/group-by variables not bound by inner body"
+         (Atom.to_string r.head))
+  else
+    match List.find_opt (fun x -> not (SS.mem x bound)) all_needed with
+    | Some x ->
+      Error
+        (Printf.sprintf "rule %s: variable %s is not range-restricted"
+           (Atom.to_string r.head) x)
+    | None ->
+      (* Every literal must eventually be evaluable. *)
+      let stuck =
+        List.find_opt
+          (fun l ->
+            not (List.for_all (fun x -> SS.mem x bound) (Literal.needs l)))
+          lits
+      in
+      (match stuck with
+      | Some l ->
+        Error
+          (Printf.sprintf "rule %s: literal %s can never be evaluated"
+             (Atom.to_string r.head) (Literal.to_string l))
+      | None -> Ok ())
+
+let body_predicates r = List.concat_map Literal.predicates r.body
+
+let compare r1 r2 =
+  let c = Atom.compare r1.head r2.head in
+  if c <> 0 then c
+  else Stdlib.compare (List.map Literal.to_string r1.body)
+         (List.map Literal.to_string r2.body)
+
+let equal r1 r2 = compare r1 r2 = 0
+
+let pp ppf r =
+  if r.body = [] then Format.fprintf ppf "%a." Atom.pp r.head
+  else
+    Format.fprintf ppf "%a :- %a." Atom.pp r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Literal.pp)
+      r.body
+
+let to_string r = Format.asprintf "%a" pp r

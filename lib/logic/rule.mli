@@ -1,0 +1,37 @@
+(** Rules [head :- body] and facts (rules with empty bodies).
+
+    Rules are the extension mechanism of the GCM (requirement (RULES) of
+    Section 3). Integrity constraints are ordinary rules whose head
+    predicate is the distinguished inconsistency class — see
+    {!Flogic.Ic}. *)
+
+type t = { head : Atom.t; body : Literal.t list }
+
+val make : Atom.t -> Literal.t list -> t
+val fact : Atom.t -> t
+val is_fact : t -> bool
+
+val head_pred : t -> string
+
+val vars : t -> string list
+
+val apply : Subst.t -> t -> t
+val rename_apart : suffix:string -> t -> t
+
+val check_safety : t -> (unit, string) result
+(** Range restriction: every variable of the head, of each negated
+    literal, of comparison/assignment inputs, and every aggregate
+    group-by variable must be bound by a positive body literal, an
+    equality, an assignment target, or an aggregate result, considering
+    literals in any order that admits such a binding. Aggregate inner
+    bodies are checked separately (target and group-by variables must be
+    bound by the inner conjunction). *)
+
+val body_predicates : t -> (string * bool) list
+(** Predicates of the body with their nonmonotonic flag, for
+    stratification. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,52 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let rec apply s t =
+  match t with
+  | Term.Var x -> ( match M.find_opt x s with Some u -> u | None -> t)
+  | Term.Const _ -> t
+  | Term.App (f, args) -> Term.App (f, List.map (apply s) args)
+
+let singleton x t = M.singleton x t
+
+let bind x t s =
+  match M.find_opt x s with
+  | Some t' when not (Term.equal t t') ->
+    invalid_arg
+      (Printf.sprintf "Subst.bind: %s already bound to %s, cannot rebind to %s"
+         x (Term.to_string t') (Term.to_string t))
+  | Some _ -> s
+  | None ->
+    (* Normalise: substitute the new binding into existing ranges so the
+       substitution stays idempotent. *)
+    let one = M.singleton x t in
+    let s' = M.map (apply one) s in
+    M.add x (apply s' t) s'
+
+let find x s = M.find_opt x s
+let mem x s = M.mem x s
+let domain s = M.fold (fun x _ acc -> x :: acc) s [] |> List.rev
+let bindings s = M.bindings s
+let cardinal s = M.cardinal s
+
+let compose s1 s2 =
+  let pushed = M.map (apply s2) s1 in
+  M.union (fun _ t _ -> Some t) pushed s2
+
+let restrict xs s =
+  let keep = List.fold_left (fun acc x -> M.add x () acc) M.empty xs in
+  M.filter (fun x _ -> M.mem x keep) s
+
+let equal s1 s2 = M.equal Term.equal s1 s2
+
+let pp ppf s =
+  let pp_binding ppf (x, t) = Format.fprintf ppf "%s := %a" x Term.pp t in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_binding)
+    (M.bindings s)

@@ -1,0 +1,38 @@
+(** Substitutions: finite maps from variable names to terms.
+
+    Substitutions produced by {!Unify} are idempotent (no bound variable
+    occurs in any binding's range), and [apply] exploits that — it does
+    not iterate to a fixpoint. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val singleton : string -> Term.t -> t
+
+val bind : string -> Term.t -> t -> t
+(** [bind x t s] extends [s] with [x -> t], normalising existing
+    bindings so the result stays idempotent. Raises [Invalid_argument]
+    if [x] is already bound to a different term. *)
+
+val find : string -> t -> Term.t option
+val mem : string -> t -> bool
+val domain : t -> string list
+val bindings : t -> (string * Term.t) list
+val cardinal : t -> int
+
+val apply : t -> Term.t -> Term.t
+(** Apply the substitution to a term, replacing each bound variable by
+    its binding. *)
+
+val compose : t -> t -> t
+(** [compose s1 s2] is the substitution [fun t -> apply s2 (apply s1 t)]
+    represented as a map: [s1]'s bindings are pushed through [s2], and
+    bindings of [s2] on variables not bound by [s1] are kept. *)
+
+val restrict : string list -> t -> t
+(** Keep only the bindings of the given variables. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+type const =
+  | Sym of string
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type t =
+  | Var of string
+  | Const of const
+  | App of string * t list
+
+let var x = Var x
+let sym s = Const (Sym s)
+let str s = Const (Str s)
+let int i = Const (Int i)
+let float f = Const (Float f)
+let bool b = Const (Bool b)
+
+let app f = function
+  | [] -> invalid_arg "Term.app: empty argument list (use Term.sym)"
+  | args -> App (f, args)
+
+let compare_const c1 c2 =
+  match c1, c2 with
+  | Sym a, Sym b -> String.compare a b
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Int a, Int b -> Int.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Float a, Float b -> Float.compare a b
+  | Float _, _ -> -1
+  | _, Float _ -> 1
+  | Bool a, Bool b -> Bool.compare a b
+
+let equal_const c1 c2 = compare_const c1 c2 = 0
+
+let rec compare t1 t2 =
+  match t1, t2 with
+  | Var a, Var b -> String.compare a b
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Const a, Const b -> compare_const a b
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | App (f, xs), App (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_list xs ys
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash t = Hashtbl.hash t
+
+let rec is_ground = function
+  | Var _ -> false
+  | Const _ -> true
+  | App (_, args) -> List.for_all is_ground args
+
+let vars t =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Var x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        acc := x :: !acc
+      end
+    | Const _ -> ()
+    | App (_, args) -> List.iter go args
+  in
+  go t;
+  List.rev !acc
+
+let rec depth = function
+  | Var _ | Const _ -> 1
+  | App (_, args) -> 1 + List.fold_left (fun m a -> max m (depth a)) 0 args
+
+let rec size = function
+  | Var _ | Const _ -> 1
+  | App (_, args) -> 1 + List.fold_left (fun s a -> s + size a) 0 args
+
+let rec occurs x = function
+  | Var y -> String.equal x y
+  | Const _ -> false
+  | App (_, args) -> List.exists (occurs x) args
+
+let as_const = function Const c -> Some c | Var _ | App _ -> None
+
+let as_sym = function Const (Sym s) -> Some s | _ -> None
+
+let as_int = function Const (Int i) -> Some i | _ -> None
+
+let as_string = function
+  | Const (Sym s) | Const (Str s) -> Some s
+  | _ -> None
+
+let pp_const ppf = function
+  | Sym s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+
+let rec pp ppf = function
+  | Var x -> Format.fprintf ppf "%s" x
+  | Const c -> pp_const ppf c
+  | App (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t

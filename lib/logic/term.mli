@@ -1,0 +1,77 @@
+(** First-order terms: the data values of the whole mediator stack.
+
+    Terms are shared by the Datalog engine, the F-logic layer, the GCM
+    declarations and the domain-map machinery. Variables are identified
+    by name; constants carry a small scalar universe sufficient for the
+    mediation scenarios of the paper (symbols, strings, numbers,
+    booleans). Function application terms ({!App}) are used for skolem
+    placeholder objects such as [f_{C,r,D}(X)] created when a domain-map
+    edge is executed as an assertion (Section 4 of the paper). *)
+
+type const =
+  | Sym of string    (** interned symbol, e.g. [neuron], [has_a] *)
+  | Str of string    (** quoted string data value *)
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type t =
+  | Var of string           (** logic variable, conventionally capitalised *)
+  | Const of const
+  | App of string * t list  (** function term [f(t1,...,tn)], n >= 1 *)
+
+(** {1 Constructors} *)
+
+val var : string -> t
+val sym : string -> t
+val str : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val app : string -> t list -> t
+(** [app f args] builds a function term. Raises [Invalid_argument] when
+    [args] is empty: nullary applications must be {!sym} constants so
+    that term equality stays canonical. *)
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_ground : t -> bool
+(** [is_ground t] is [true] iff [t] contains no variable. *)
+
+val vars : t -> string list
+(** Variables occurring in the term, each listed once, in first-occurrence
+    order. *)
+
+val depth : t -> int
+(** Nesting depth: constants and variables have depth 1, [f(t1..tn)] has
+    depth [1 + max (depth ti)]. Used to bound skolem creation. *)
+
+val size : t -> int
+(** Number of nodes in the term tree. *)
+
+val occurs : string -> t -> bool
+(** [occurs x t] is [true] iff variable [x] occurs in [t]. *)
+
+(** {1 Conversions} *)
+
+val as_const : t -> const option
+val as_sym : t -> string option
+val as_int : t -> int option
+val as_string : t -> string option
+(** [as_string t] extracts the payload of a [Sym] or [Str] constant. *)
+
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+
+val compare_list : t list -> t list -> int
+(** Lexicographic comparison; shorter lists sort first. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_const : Format.formatter -> const -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

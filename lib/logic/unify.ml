@@ -1,0 +1,60 @@
+let rec unify ?(init = Subst.empty) t1 t2 =
+  let t1 = Subst.apply init t1 and t2 = Subst.apply init t2 in
+  match t1, t2 with
+  | t1, t2 when Term.equal t1 t2 -> Some init
+  | Term.Var x, t | t, Term.Var x ->
+    if Term.occurs x t then None else Some (Subst.bind x t init)
+  | Term.App (f, xs), Term.App (g, ys)
+    when String.equal f g && List.length xs = List.length ys ->
+    unify_list ~init xs ys
+  | _ -> None
+
+and unify_list ?(init = Subst.empty) xs ys =
+  match xs, ys with
+  | [], [] -> Some init
+  | x :: xs', y :: ys' -> (
+    match unify ~init x y with
+    | None -> None
+    | Some s -> unify_list ~init:s xs' ys')
+  | _ -> None
+
+let rec matches ?(init = Subst.empty) ~pattern t =
+  match pattern, t with
+  | Term.Var x, _ -> (
+    match Subst.find x init with
+    | Some t' -> if Term.equal t t' then Some init else None
+    | None -> Some (Subst.bind x t init))
+  | Term.Const c1, Term.Const c2 when Term.equal_const c1 c2 -> Some init
+  | Term.App (f, xs), Term.App (g, ys)
+    when String.equal f g && List.length xs = List.length ys ->
+    matches_list ~init ~patterns:xs ys
+  | _ -> None
+
+and matches_list ?(init = Subst.empty) ~patterns ts =
+  match patterns, ts with
+  | [], [] -> Some init
+  | p :: ps, t :: ts' -> (
+    match matches ~init ~pattern:p t with
+    | None -> None
+    | Some s -> matches_list ~init:s ~patterns:ps ts')
+  | _ -> None
+
+let variant t1 t2 =
+  match matches ~pattern:t1 t2, matches ~pattern:t2 t1 with
+  | Some s1, Some s2 ->
+    (* Both matchings must be injective renamings: every binding maps a
+       variable to a distinct variable. *)
+    let renaming s =
+      let bs = Subst.bindings s in
+      List.for_all (fun (_, t) -> match t with Term.Var _ -> true | _ -> false) bs
+      &&
+      let range = List.map snd bs in
+      List.length (List.sort_uniq Term.compare range) = List.length range
+    in
+    renaming s1 && renaming s2
+  | _ -> false
+
+let rec rename_apart ~suffix = function
+  | Term.Var x -> Term.Var (x ^ suffix)
+  | Term.Const _ as t -> t
+  | Term.App (f, args) -> Term.App (f, List.map (rename_apart ~suffix) args)

@@ -1,0 +1,28 @@
+(** Syntactic unification and one-sided matching on {!Term.t}.
+
+    Both run with an occurs check; the substitutions returned are
+    idempotent most general unifiers. *)
+
+val unify : ?init:Subst.t -> Term.t -> Term.t -> Subst.t option
+(** [unify t1 t2] is the mgu of [t1] and [t2] extending [init]
+    (default empty), or [None] if none exists. *)
+
+val unify_list : ?init:Subst.t -> Term.t list -> Term.t list -> Subst.t option
+(** Simultaneous unification of two equal-length term lists; [None] on
+    length mismatch or clash. *)
+
+val matches : ?init:Subst.t -> pattern:Term.t -> Term.t -> Subst.t option
+(** One-sided matching: find [s] with [Subst.apply s pattern = t],
+    binding only variables of [pattern]. The subject term is treated as
+    ground even if it contains variables (they match only themselves). *)
+
+val matches_list :
+  ?init:Subst.t -> patterns:Term.t list -> Term.t list -> Subst.t option
+
+val variant : Term.t -> Term.t -> bool
+(** [variant t1 t2] holds iff the terms are equal up to consistent
+    variable renaming. *)
+
+val rename_apart : suffix:string -> Term.t -> Term.t
+(** Append [suffix] to every variable name, used to keep rule variables
+    disjoint from query variables. *)

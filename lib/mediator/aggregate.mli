@@ -1,0 +1,46 @@
+(** Example 4's [aggregate] operator: "recursively traverses a binary
+    relation R (here: has_a_star) starting from node P, and computes
+    the aggregate of the specified attribute at each level of the
+    relation".
+
+    The traversal follows the domain map's direct [has_a_star] links
+    plus isa descent (data anchored at specializations belongs to the
+    region), visiting each concept once (the map is a DAG but links can
+    converge). *)
+
+type tree = {
+  concept : string;
+  own : float;      (** measure contributed by data anchored right here *)
+  total : float;    (** own + children totals *)
+  children : tree list;
+}
+
+val distribution :
+  Domain_map.Dmap.t ->
+  root:string ->
+  measure:(string -> float list) ->
+  tree
+(** [measure c] returns the data values observed at concept [c] (e.g.
+    amounts of one protein in compartments of kind [c]); they are
+    summed into [own]. *)
+
+val flatten : tree -> (string * float) list
+(** Per-concept totals, preorder. *)
+
+val depth : tree -> int
+val size : tree -> int
+
+val to_term : tree -> Logic.Term.t
+(** [dist(concept, total, children-list-term)] — lets distribution
+    values live inside the mediated object base as method values of the
+    [protein_distribution] class. *)
+
+val prune : tree -> tree
+(** Drop subtrees with [total = 0] (keeps the root). *)
+
+val to_dot : ?title:string -> tree -> string
+(** Graphviz rendering of a distribution (node label = concept with
+    its own/total mass) — the [GLM01] demo drew these for the user
+    interface. *)
+
+val pp : Format.formatter -> tree -> unit

@@ -1,0 +1,404 @@
+module Term = Logic.Term
+module Literal = Logic.Literal
+module Subst = Logic.Subst
+module Unify = Logic.Unify
+module Molecule = Flogic.Molecule
+module Source = Wrapper.Source
+module Store = Wrapper.Store
+module Capability = Wrapper.Capability
+module Index = Domain_map.Index
+module Closure = Domain_map.Closure
+
+exception Unplannable of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Unplannable m)) fmt
+
+type group = {
+  gvar : string;
+  targets : (Source.t * string) list;  (* source handle, unqualified class *)
+  mutable methods : (string * Term.t) list;
+}
+
+(* a relation access 'SRC.rel'[a1 -> T1; ...] *)
+type rel_access = {
+  rsource : Source.t;
+  rel : string;  (* unqualified *)
+  fields : (string * Term.t) list;
+}
+
+type plan_step = {
+  variable : string;
+  targets : (string * string) list;
+  pushed : string list;
+  residual : string list;
+}
+
+type report = {
+  steps : plan_step list;
+  sources_contacted : string list;
+  tuples_moved : int;
+  answers : int;
+}
+
+let dm_predicates = [ "dm_isa"; "tc_isa"; "has_a_star" ]
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let targets_of_class med cname =
+  match Namespace.split cname with
+  | Some (src_name, cls) -> (
+    match Mediator.find_source med src_name with
+    | Some src -> [ (src, cls) ]
+    | None -> fail "query names unknown source %s" src_name)
+  | None ->
+    (* a domain-map concept: resolve through the semantic index *)
+    let cover =
+      Index.coverage (Mediator.dmap med) (Mediator.index med) ~concept:cname
+    in
+    List.filter_map
+      (fun (src_name, ns_class) ->
+        match Mediator.find_source med src_name, Namespace.split ns_class with
+        | Some src, Some (_, cls) -> Some (src, cls)
+        | _ -> None)
+      cover
+
+let analyze med lits =
+  let groups : (string, group) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let rels = ref [] in
+  let comparisons = ref [] in
+  let dm_tests = ref [] in
+  List.iter
+    (fun lit ->
+      match lit with
+      | Molecule.Pos (Molecule.Isa (Term.Var x, Term.Const (Term.Sym c))) ->
+        if Hashtbl.mem groups x then
+          fail "variable %s has two class constraints" x;
+        let g = { gvar = x; targets = targets_of_class med c; methods = [] } in
+        Hashtbl.add groups x g;
+        order := g :: !order
+      | Molecule.Pos (Molecule.Meth_val (Term.Var x, m, t)) -> (
+        match Hashtbl.find_opt groups x with
+        | Some g -> g.methods <- g.methods @ [ (m, t) ]
+        | None ->
+          fail "method access %s[%s ->> _] before a class constraint for %s" x
+            m x)
+      | Molecule.Pos (Molecule.Rel_val (qrel, fields)) -> (
+        match Namespace.split qrel with
+        | Some (src_name, rel) -> (
+          match Mediator.find_source med src_name with
+          | Some rsource -> rels := { rsource; rel; fields } :: !rels
+          | None -> fail "relation access names unknown source %s" src_name)
+        | None -> fail "relation %s must be source-qualified ('SRC.rel')" qrel)
+      | Molecule.Cmp (op, t1, t2) -> comparisons := (op, t1, t2) :: !comparisons
+      | Molecule.Pos (Molecule.Pred a)
+        when List.mem a.Logic.Atom.pred dm_predicates -> (
+        match a.Logic.Atom.args with
+        | [ t1; t2 ] -> dm_tests := (a.Logic.Atom.pred, t1, t2) :: !dm_tests
+        | _ -> fail "%s expects two arguments" a.Logic.Atom.pred)
+      | l ->
+        fail "literal %s is outside the plannable fragment"
+          (Format.asprintf "%a" Molecule.pp_lit l))
+    lits;
+  (List.rev !order, List.rev !rels, List.rev !comparisons, List.rev !dm_tests)
+
+(* Most selective first: more ground method constraints, then fewer
+   targets. Ground terms here are constants written in the query;
+   bind-join adds more at runtime. *)
+let order_groups groups =
+  let score g =
+    let ground =
+      List.length (List.filter (fun (_, t) -> Term.is_ground t) g.methods)
+    in
+    (-ground, List.length g.targets)
+  in
+  List.stable_sort (fun a b -> compare (score a) (score b)) groups
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let fetch_group med cache src cls selections =
+  let key =
+    ( Source.name src,
+      cls,
+      List.map (fun (m, _, t) -> (m, Term.to_string t)) selections )
+  in
+  match Hashtbl.find_opt cache key with
+  | Some objs -> objs
+  | None ->
+    let cfg = Mediator.config med in
+    let caps = Source.capabilities src in
+    let pushable = Capability.pushable_selections caps ~cls in
+    let pushed, residual =
+      if cfg.Mediator.pushdown then
+        List.partition (fun (m, _, _) -> List.mem m pushable) selections
+      else ([], selections)
+    in
+    let fetched =
+      try Source.fetch_instances src ~cls ~selections:pushed
+      with Source.Unsupported _ -> (
+        try Source.fetch_instances src ~cls ~selections:[]
+        with Source.Unsupported _ -> [])
+    in
+    let satisfies (o : Store.obj) (m, op, rhs) =
+      List.exists
+        (fun (m', v) ->
+          String.equal m' m
+          && match Literal.eval_cmp op v rhs with Some true -> true | _ -> false)
+        o.Store.values
+    in
+    let objs =
+      List.filter (fun o -> List.for_all (satisfies o) residual) fetched
+    in
+    Hashtbl.add cache key objs;
+    objs
+
+let extend_with_methods g (o : Store.obj) s0 =
+  List.fold_left
+    (fun ss (m, t) ->
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun (m', v) ->
+              if String.equal m m' then Unify.unify ~init:s (Subst.apply s t) v
+              else None)
+            o.Store.values)
+        ss)
+    [ s0 ] g.methods
+
+let run_group med cache g substs =
+  List.concat_map
+    (fun s ->
+      let selections =
+        List.filter_map
+          (fun (m, t) ->
+            let t' = Subst.apply s t in
+            if Term.is_ground t' then Some (m, Literal.Eq, t') else None)
+          g.methods
+      in
+      List.concat_map
+        (fun (src, cls) ->
+          let objs = fetch_group med cache src cls selections in
+          List.concat_map
+            (fun (o : Store.obj) ->
+              match Unify.unify ~init:s (Subst.apply s (Term.var g.gvar)) o.Store.id with
+              | None -> []
+              | Some s1 -> extend_with_methods g o s1)
+            objs)
+        g.targets)
+    substs
+
+(* Relation access: use the binding pattern induced by the current
+   bindings; fall back to a scan-and-filter when no declared capability
+   admits it. *)
+let run_rel_access med r substs =
+  let sg = Store.signature (Source.store r.rsource) in
+  let attrs =
+    match Flogic.Signature.attributes sg r.rel with
+    | Some attrs -> attrs
+    | None -> fail "source %s has no relation %s" (Source.name r.rsource) r.rel
+  in
+  List.iter
+    (fun (a, _) ->
+      if not (List.mem a attrs) then
+        fail "relation %s has no attribute %s" r.rel a)
+    r.fields;
+  let cfg = Mediator.config med in
+  List.concat_map
+    (fun s ->
+      let bound_fields =
+        List.filter_map
+          (fun (a, t) ->
+            let t' = Subst.apply s t in
+            if Term.is_ground t' then Some (a, t') else None)
+          r.fields
+      in
+      let pattern = if cfg.Mediator.pushdown then bound_fields else [] in
+      let tuples =
+        try Source.fetch_tuples r.rsource ~rel:r.rel ~pattern
+        with Source.Unsupported _ -> (
+          try Source.fetch_tuples r.rsource ~rel:r.rel ~pattern:[]
+          with Source.Unsupported _ ->
+            fail "source %s refuses every access to %s"
+              (Source.name r.rsource) r.rel)
+      in
+      List.filter_map
+        (fun tuple ->
+          (* bind every named field against the tuple *)
+          List.fold_left
+            (fun acc (a, t) ->
+              match acc with
+              | None -> None
+              | Some s -> (
+                let rec pos k = function
+                  | [] -> None
+                  | a' :: _ when String.equal a a' -> Some k
+                  | _ :: rest -> pos (k + 1) rest
+                in
+                match pos 0 attrs with
+                | None -> None
+                | Some k ->
+                  Unify.unify ~init:s (Subst.apply s t) (List.nth tuple k)))
+            (Some s) r.fields)
+        tuples)
+    substs
+
+let dm_pairs med = function
+  | "dm_isa" -> (Domain_map.Dmap.isa_links (Mediator.dmap med)).Domain_map.Dmap.definite
+  | "tc_isa" -> Closure.isa_tc (Mediator.dmap med)
+  | "has_a_star" -> Closure.has_a_star (Mediator.dmap med)
+  | p -> fail "unknown domain-map predicate %s" p
+
+let apply_dm_test med pairs_cache (pred, t1, t2) substs =
+  let pairs =
+    match Hashtbl.find_opt pairs_cache pred with
+    | Some ps -> ps
+    | None ->
+      let ps = dm_pairs med pred in
+      Hashtbl.add pairs_cache pred ps;
+      ps
+  in
+  List.concat_map
+    (fun s ->
+      let a = Subst.apply s t1 and b = Subst.apply s t2 in
+      match Term.as_sym a, Term.as_sym b with
+      | Some x, Some y -> if List.mem (x, y) pairs then [ s ] else []
+      | _ ->
+        (* enumerate matching pairs, binding open sides *)
+        List.filter_map
+          (fun (x, y) ->
+            match Unify.unify ~init:s a (Term.sym x) with
+            | None -> None
+            | Some s' -> Unify.unify ~init:s' (Subst.apply s' b) (Term.sym y))
+          pairs)
+    substs
+
+let apply_comparisons comparisons substs =
+  List.filter
+    (fun s ->
+      List.for_all
+        (fun (op, t1, t2) ->
+          match Literal.eval_cmp op (Subst.apply s t1) (Subst.apply s t2) with
+          | Some b -> b
+          | None -> false)
+        comparisons)
+    substs
+
+let plan_steps med groups =
+  let cfg = Mediator.config med in
+  List.map
+    (fun g ->
+      let ground_methods =
+        List.filter_map
+          (fun (m, t) -> if Term.is_ground t then Some m else None)
+          g.methods
+      in
+      let pushed, residual =
+        List.partition
+          (fun m ->
+            cfg.Mediator.pushdown
+            && List.exists
+                 (fun (src, cls) ->
+                   List.mem m
+                     (Capability.pushable_selections (Source.capabilities src) ~cls))
+                 g.targets)
+          ground_methods
+      in
+      {
+        variable = g.gvar;
+        targets = List.map (fun (src, cls) -> (Source.name src, cls)) g.targets;
+        pushed;
+        residual;
+      })
+    groups
+
+let rel_steps med rels =
+  let cfg = Mediator.config med in
+  List.map
+    (fun r ->
+      let bound = List.map fst r.fields in
+      {
+        variable = "<" ^ r.rel ^ ">";
+        targets = [ (Source.name r.rsource, r.rel) ];
+        pushed = (if cfg.Mediator.pushdown then bound else []);
+        residual = (if cfg.Mediator.pushdown then [] else bound);
+      })
+    rels
+
+let plan med lits =
+  match analyze med lits with
+  | groups, rels, _, _ ->
+    Ok (plan_steps med (order_groups groups) @ rel_steps med rels)
+  | exception Unplannable m -> Error m
+
+let run med lits =
+  match analyze med lits with
+  | exception Unplannable m -> Error m
+  | groups, rels, comparisons, dm_tests -> (
+    List.iter Source.reset_meter (Mediator.sources med);
+    let groups = order_groups groups in
+    let cache = Hashtbl.create 16 in
+    let pairs_cache = Hashtbl.create 4 in
+    match
+      let substs =
+        List.fold_left
+          (fun ss g -> run_group med cache g ss)
+          [ Subst.empty ] groups
+      in
+      let substs =
+        List.fold_left (fun ss r -> run_rel_access med r ss) substs rels
+      in
+      let substs = apply_comparisons comparisons substs in
+      List.fold_left
+        (fun ss test -> apply_dm_test med pairs_cache test ss)
+        substs dm_tests
+    with
+    | exception Unplannable m -> Error m
+    | substs ->
+      let contacted =
+        Hashtbl.fold (fun (s, _, _) _ acc -> s :: acc) cache []
+        @ (if rels = [] then []
+           else
+             List.filter_map
+               (fun r ->
+                 if (Source.served r.rsource).Source.requests > 0 then
+                   Some (Source.name r.rsource)
+                 else None)
+               rels)
+        |> List.sort_uniq String.compare
+      in
+      let tuples =
+        List.fold_left
+          (fun acc s -> acc + (Source.served s).Source.tuples)
+          0 (Mediator.sources med)
+      in
+      Ok
+        ( substs,
+          {
+            steps = plan_steps med groups @ rel_steps med rels;
+            sources_contacted = contacted;
+            tuples_moved = tuples;
+            answers = List.length substs;
+          } ))
+
+let run_text med src =
+  match Flogic.Fl_parser.parse_query ~signature:(Mediator.signature med) src with
+  | Error e -> Error e
+  | Ok lits -> run med lits
+
+let pp_report ppf r =
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "fetch %s from {%s}" st.variable
+        (String.concat ", "
+           (List.map (fun (s, c) -> s ^ "." ^ c) st.targets));
+      if st.pushed <> [] then
+        Format.fprintf ppf " pushing [%s]" (String.concat ", " st.pushed);
+      if st.residual <> [] then
+        Format.fprintf ppf " filtering [%s]" (String.concat ", " st.residual);
+      Format.fprintf ppf "@.")
+    r.steps;
+  Format.fprintf ppf "sources: %s; tuples moved: %d; answers: %d@."
+    (String.concat ", " r.sources_contacted)
+    r.tuples_moved r.answers

@@ -1,0 +1,58 @@
+(** A capability-aware planner for conjunctive queries over the
+    federation — the general mechanism behind the hand-planned Section 5
+    walk-through.
+
+    Supported query literals:
+    - [X : 'SRC.class'] — objects of one source's class;
+    - [X : concept] — objects of {e any} source anchored at the
+      domain-map concept (resolved through the semantic index, so the
+      user need not know which laboratory holds the data);
+    - [X\[m ->> V\]] — method values of a fetched object;
+    - ['SRC.rel'\[a1 -> T1; ...\]] — relation access against the
+      source's declared binding patterns: attributes ground at
+      execution time form the access pattern, refused patterns fall
+      back to a scan (metered, so the ablation shows up in
+      tuples-moved);
+    - comparisons ([D > 0.5], [P = calbindin]);
+    - concept-level domain-map tests: [dm_isa(a, b)], [tc_isa(a, b)],
+      [has_a_star(a, b)].
+
+    The planner groups literals by object variable, orders groups most
+    selective first, executes them as a bind join (constants bound by
+    earlier groups become pushdown selections for later ones, subject
+    to each source's declared capabilities and the mediator's
+    configuration), and evaluates residual comparisons and domain-map
+    tests in memory. Wrapper meters record the shipped tuples. *)
+
+type plan_step = {
+  variable : string;
+  targets : (string * string) list;  (** (source, unqualified class) *)
+  pushed : string list;              (** method selections pushed down *)
+  residual : string list;            (** filtered at the mediator *)
+}
+
+type report = {
+  steps : plan_step list;
+  sources_contacted : string list;
+  tuples_moved : int;
+  answers : int;
+}
+
+exception Unplannable of string
+(** Raised (wrapped in [Error]) for literals outside the supported
+    fragment, with an explanation. *)
+
+val plan :
+  Mediator.t -> Flogic.Molecule.lit list -> (plan_step list, string) result
+(** Plan only (no execution): useful for inspecting pushdown
+    decisions. *)
+
+val run :
+  Mediator.t ->
+  Flogic.Molecule.lit list ->
+  (Logic.Subst.t list * report, string) result
+
+val run_text :
+  Mediator.t -> string -> (Logic.Subst.t list * report, string) result
+
+val pp_report : Format.formatter -> report -> unit

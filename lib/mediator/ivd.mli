@@ -1,0 +1,43 @@
+(** Integrated view definitions as mediated classes.
+
+    Example 4 defines the mediated class [protein_distribution] whose
+    instances carry [protein_name], [animal], [distribution_root] and a
+    recursively aggregated [distribution]. This module computes those
+    instances with the Section 5 machinery and installs them into the
+    mediator's object base, so that the paper's user query
+
+    {v answer(P, D) :- neurotransmission[organism -> 'rat'; ...],
+                       D : protein_distribution[protein_name -> P;
+                                                ion_bound ->> {calcium}; ...]. v}
+
+    runs as an ordinary F-logic query over mediated classes. *)
+
+val class_name : string
+(** ["protein_distribution"]. *)
+
+val schema_rules : Flogic.Molecule.rule list
+(** Class and method-signature declarations for the mediated class. *)
+
+val materialize_distributions :
+  ?spec:Section5.spec ->
+  Mediator.t ->
+  organism:string ->
+  ion:string ->
+  root:string ->
+  (int, string) result
+(** Compute one [protein_distribution] instance per [ion]-binding
+    protein found under [root], install the facts (including per-level
+    [pd_level(D, concept, amount)] rows), and return how many instances
+    were created. *)
+
+val answer_query :
+  ?spec:Section5.spec ->
+  Mediator.t ->
+  organism:string ->
+  transmitting_compartment:string ->
+  ion:string ->
+  (Logic.Subst.t list, string) result
+(** The paper's final query, end to end: run the Section 5 plan,
+    materialize the view, and solve
+    [answer(P, D)] via FL over the mediated object base. Bindings
+    carry [P] (protein) and [D] (the distribution object). *)

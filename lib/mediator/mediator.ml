@@ -1,0 +1,211 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+module Signature = Flogic.Signature
+module Dmap = Domain_map.Dmap
+module Index = Domain_map.Index
+module Source = Wrapper.Source
+
+type config = {
+  dl_mode : Dl.Translate.mode;
+  use_semantic_index : bool;
+  pushdown : bool;
+  use_lub : bool;
+  inheritance : bool;
+}
+
+let default_config =
+  {
+    dl_mode = Dl.Translate.Assertion;
+    use_semantic_index = true;
+    pushdown = true;
+    use_lub = true;
+    inheritance = false;
+  }
+
+type t = {
+  mutable dmap : Dmap.t;
+  mutable index : Index.t;
+  mutable sources : Source.t list;  (* registration order *)
+  mutable ivds : Molecule.rule list;
+  mutable sg : Signature.t;
+  mutable cache : Datalog.Database.t option;
+  mutable warnings : string list;
+  mutable cfg : config;
+  plugins : Cm_plugins.Plugin.registry;
+}
+
+let create ?(config = default_config) dmap =
+  {
+    dmap;
+    index = Index.empty;
+    sources = [];
+    ivds = [];
+    sg = Signature.empty;
+    cache = None;
+    warnings = [];
+    cfg = config;
+    plugins = Cm_plugins.Defaults.registry ();
+  }
+
+let invalidate t = t.cache <- None
+
+let lift_class _t ~source cls = Namespace.qualify ~source cls
+
+let register_source t src =
+  let name = Source.name src in
+  if List.exists (fun s -> String.equal (Source.name s) name) t.sources then
+    Error (Printf.sprintf "source %s is already registered" name)
+  else
+    match Gcm.Schema.validate (Source.schema src) with
+    | Error e -> Error e
+    | Ok () -> (
+      let ns_schema = Namespace.schema ~source:name (Source.schema src) in
+      match
+        try Ok (Signature.merge t.sg (Gcm.Schema.signature ns_schema))
+        with Invalid_argument e -> Error e
+      with
+      | Error e -> Error e
+      | Ok sg ->
+        t.sg <- sg;
+        t.sources <- t.sources @ [ src ];
+        List.iter
+          (fun (cls, concept, context) ->
+            t.index <-
+              Index.add t.index ~source:name
+                ~cm_class:(Namespace.qualify ~source:name cls)
+                ~concept ~context ())
+          (Source.anchors src);
+        invalidate t;
+        Ok ())
+
+let register_xml t ~format ?capabilities ~source_name doc =
+  match Cm_plugins.Plugin.translate t.plugins ~format doc with
+  | Error e -> Error e
+  | Ok tr ->
+    register_source t (Source.of_translation ~name:source_name ?capabilities tr)
+
+let extend_dmap t axioms =
+  match Domain_map.Register.register t.dmap axioms with
+  | Error e -> Error e
+  | Ok out ->
+    t.dmap <- out.Domain_map.Register.dmap;
+    t.warnings <- t.warnings @ out.Domain_map.Register.warnings;
+    invalidate t;
+    Ok ()
+
+let add_ivd t rules =
+  t.ivds <- t.ivds @ rules;
+  invalidate t
+
+let add_ivd_text t src =
+  match Flogic.Fl_parser.parse_program ~signature:t.sg src with
+  | Error e -> Error e
+  | Ok parsed ->
+    t.sg <- parsed.Flogic.Fl_parser.signature;
+    add_ivd t parsed.Flogic.Fl_parser.rules;
+    Ok ()
+
+let dmap t = t.dmap
+let index t = t.index
+let sources t = t.sources
+
+let find_source t name =
+  List.find_opt (fun s -> String.equal (Source.name s) name) t.sources
+
+let config t = t.cfg
+
+let set_config t cfg =
+  if t.cfg <> cfg then begin
+    t.cfg <- cfg;
+    invalidate t
+  end
+
+let signature t = t.sg
+let plugins t = t.plugins
+let translation_warnings t = t.warnings
+
+(* ------------------------------------------------------------------ *)
+(* Lifting source data to the conceptual level *)
+
+let source_facts src =
+  let name = Source.name src in
+  let store = Source.store src in
+  let sg = Wrapper.Store.signature store in
+  let d = Flogic.Compile.declared in
+  Datalog.Database.all_facts (Wrapper.Store.database store)
+  |> List.filter_map (fun (a : Logic.Atom.t) ->
+         match a.Logic.Atom.pred, a.Logic.Atom.args with
+         | p, [ x; c ] when p = d Flogic.Compile.isa_p ->
+           Option.map
+             (fun c -> Molecule.Isa (x, Term.sym (Namespace.qualify ~source:name c)))
+             (Term.as_string c)
+         | p, [ x; m; v ] when p = d Flogic.Compile.meth_val_p ->
+           Option.map (fun m -> Molecule.Meth_val (x, m, v)) (Term.as_string m)
+         | rel, args -> (
+           match Signature.attributes sg rel with
+           | Some attrs when List.length attrs = List.length args ->
+             Some
+               (Molecule.Rel_val
+                  (Namespace.qualify ~source:name rel, List.combine attrs args))
+           | _ -> None))
+
+(* anchor rule: X : concept :- X : 'SRC.cls'. *)
+let anchor_rules t =
+  List.map
+    (fun (a : Index.anchor) ->
+      Molecule.rule
+        (Molecule.Isa (Term.var "X", Term.sym a.Index.concept))
+        [ Molecule.Pos (Molecule.Isa (Term.var "X", Term.sym a.Index.cm_class)) ])
+    (Index.anchors t.index)
+
+let build_program t =
+  let dm_prog, warnings =
+    Domain_map.To_program.program ~mode:t.cfg.dl_mode t.dmap
+  in
+  t.warnings <- t.warnings @ warnings;
+  let schema_rules =
+    List.concat_map
+      (fun src ->
+        Gcm.Schema.to_rules (Namespace.schema ~source:(Source.name src) (Source.schema src)))
+      t.sources
+  in
+  let data = List.concat_map source_facts t.sources in
+  let rules =
+    schema_rules @ anchor_rules t
+    @ List.map Molecule.fact data
+    @ t.ivds
+  in
+  Flogic.Fl_program.merge dm_prog
+    (Flogic.Fl_program.make ~inheritance:t.cfg.inheritance ~signature:t.sg rules)
+
+let materialize t =
+  match t.cache with
+  | Some db -> db
+  | None ->
+    let db = Flogic.Fl_program.run (build_program t) in
+    t.cache <- Some db;
+    db
+
+let query t lits =
+  let db = materialize t in
+  Flogic.Fl_program.query (Flogic.Fl_program.make ~signature:t.sg []) db lits
+
+let query_text t src =
+  match Flogic.Fl_parser.parse_query ~signature:t.sg src with
+  | Error e -> Error e
+  | Ok lits -> Ok (query t lits)
+
+let holds t m = query t [ Molecule.Pos m ] <> []
+
+let violations t = Flogic.Ic.violations (materialize t)
+let consistent t = violations t = []
+
+let select_sources t ~concepts =
+  if t.cfg.use_semantic_index then
+    Index.sources_for t.dmap t.index ~concepts
+  else List.map Source.name t.sources
+
+let select_sources_for_pairs t ~pairs =
+  if t.cfg.use_semantic_index then
+    Index.sources_for_pairs t.dmap t.index ~pairs
+  else List.map Source.name t.sources

@@ -1,0 +1,95 @@
+(** The model-based mediator M (Figure 2).
+
+    Holds the domain map DM(M), the semantic index, the registered
+    wrapped sources with their conceptual models CM(S), and the
+    integrated view definitions; materializes the mediated object base
+    on the single GCM engine and answers FL queries over it.
+
+    Ablation switches in {!config} let the benchmarks turn off the
+    architecture's individual ingredients (semantic index, selection
+    pushdown, lub root selection) to quantify what each contributes —
+    see {!Section5} and {!Baseline}. *)
+
+type config = {
+  dl_mode : Dl.Translate.mode;
+      (** execute domain-map axioms as integrity constraints or as
+          assertions (Section 4) *)
+  use_semantic_index : bool;  (** step-2 source selection *)
+  pushdown : bool;            (** step-1/3 selection pushdown *)
+  use_lub : bool;             (** step-4 lub root vs whole-map root *)
+  inheritance : bool;         (** nonmonotonic default inheritance *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Domain_map.Dmap.t -> t
+
+(** {1 Registration} *)
+
+val register_source : t -> Wrapper.Source.t -> (unit, string) result
+(** Validates and namespaces the source's schema, merges its relation
+    signature, and indexes its anchors. *)
+
+val register_xml :
+  t -> format:string -> ?capabilities:Wrapper.Capability.t list ->
+  source_name:string -> Xmlkit.Xml.t -> (unit, string) result
+(** Wire-format registration: run the CM plug-in for [format], then
+    {!register_source} the result. *)
+
+val extend_dmap : t -> Dl.Concept.axiom list -> (unit, string) result
+(** Figure 3: a source refines the mediator's domain map. *)
+
+val add_ivd : t -> Flogic.Molecule.rule list -> unit
+(** Install integrated-view rules (global-as-view). *)
+
+val add_ivd_text : t -> string -> (unit, string) result
+(** IVD in FL surface syntax, parsed with the mediator's accumulated
+    signature. *)
+
+(** {1 Introspection} *)
+
+val dmap : t -> Domain_map.Dmap.t
+val index : t -> Domain_map.Index.t
+val sources : t -> Wrapper.Source.t list
+val find_source : t -> string -> Wrapper.Source.t option
+val config : t -> config
+val set_config : t -> config -> unit
+val signature : t -> Flogic.Signature.t
+val plugins : t -> Cm_plugins.Plugin.registry
+val translation_warnings : t -> string list
+
+(** {1 The mediated object base} *)
+
+val materialize : t -> Datalog.Database.t
+(** Pull every source's data, lift it through the anchors into the
+    domain map, close it under the GCM axioms, the domain-map rules and
+    the IVDs. Cached; invalidated by registration or configuration
+    changes. *)
+
+val invalidate : t -> unit
+
+val query : t -> Flogic.Molecule.lit list -> Logic.Subst.t list
+val query_text : t -> string -> (Logic.Subst.t list, string) result
+val holds : t -> Flogic.Molecule.t -> bool
+val consistent : t -> bool
+(** No integrity-constraint witnesses in the mediated object base. *)
+
+val violations : t -> Flogic.Ic.witness list
+
+(** {1 Concept-level services} *)
+
+val select_sources : t -> concepts:string list -> string list
+(** Step 2 of the paper's query plan: the sources whose anchored data
+    can speak to the given concepts. With [use_semantic_index = false]
+    every registered source is returned (broadcast). *)
+
+val select_sources_for_pairs :
+  t -> pairs:(string * string) list -> string list
+(** Pair- and context-aware source selection
+    ({!Domain_map.Index.sources_for_pairs}); broadcast when the index
+    is off. *)
+
+val lift_class : t -> source:string -> string -> string
+(** The mediator-level (namespaced) name of a source class. *)

@@ -1,0 +1,91 @@
+module Term = Logic.Term
+module Molecule = Flogic.Molecule
+
+let qualify ~source name = source ^ "." ^ name
+
+let split name =
+  match String.index_opt name '.' with
+  | Some i ->
+    Some (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+  | None -> None
+
+let rename own source name =
+  if List.mem name own then qualify ~source name else name
+
+(* Qualify a term when it is a symbol naming an owned class/relation.
+   Only applied in class/relation positions. *)
+let rename_term own source t =
+  match t with
+  | Term.Const (Term.Sym s) -> Term.sym (rename own source s)
+  | t -> t
+
+let rec rename_molecule own source = function
+  | Molecule.Isa (x, c) -> Molecule.Isa (x, rename_term own source c)
+  | Molecule.Sub (c1, c2) ->
+    Molecule.Sub (rename_term own source c1, rename_term own source c2)
+  | Molecule.Meth_sig (c, m, d) ->
+    Molecule.Meth_sig (rename_term own source c, m, rename_term own source d)
+  | Molecule.Meth_val (x, m, y) -> Molecule.Meth_val (x, m, y)
+  | Molecule.Rel_sig (r, avs) ->
+    Molecule.Rel_sig
+      (rename own source r, List.map (fun (a, c) -> (a, rename_term own source c)) avs)
+  | Molecule.Rel_val (r, avs) -> Molecule.Rel_val (rename own source r, avs)
+  | Molecule.Pred a ->
+    (* rule-defined predicates are owned by the source *)
+    Molecule.Pred
+      (Logic.Atom.make (rename own source a.Logic.Atom.pred) a.Logic.Atom.args)
+
+and rename_lit own source = function
+  | Molecule.Pos m -> Molecule.Pos (rename_molecule own source m)
+  | Molecule.Neg m -> Molecule.Neg (rename_molecule own source m)
+  | Molecule.Cmp _ as l -> l
+  | Molecule.Assign _ as l -> l
+  | Molecule.Agg a ->
+    Molecule.Agg
+      { a with Molecule.body = List.map (rename_molecule own source) a.Molecule.body }
+
+let rule ~source ~own (r : Molecule.rule) =
+  {
+    Molecule.heads = List.map (rename_molecule own source) r.Molecule.heads;
+    body = List.map (rename_lit own source) r.Molecule.body;
+  }
+
+let schema ~source (s : Gcm.Schema.t) =
+  let own =
+    Gcm.Schema.class_names s @ Gcm.Schema.relation_names s
+    @ List.map
+        (fun (r : Flogic.Molecule.rule) ->
+          (* predicates defined by the schema's own rules *)
+          List.filter_map
+            (fun h ->
+              match h with
+              | Molecule.Pred a
+                when not (Logic.Literal.is_builtin a.Logic.Atom.pred) ->
+                Some a.Logic.Atom.pred
+              | _ -> None)
+            r.Molecule.heads
+          |> function
+          | [] -> ""
+          | p :: _ -> p)
+        s.Gcm.Schema.rules
+    |> List.filter (( <> ) "")
+    |> List.sort_uniq String.compare
+  in
+  let q = rename own source in
+  {
+    Gcm.Schema.name = s.Gcm.Schema.name;
+    classes =
+      List.map
+        (fun (c : Gcm.Schema.class_def) ->
+          {
+            Gcm.Schema.cname = q c.Gcm.Schema.cname;
+            supers = List.map q c.Gcm.Schema.supers;
+            methods = c.Gcm.Schema.methods;
+          })
+        s.Gcm.Schema.classes;
+    relations =
+      List.map
+        (fun (r, avs) -> (q r, List.map (fun (a, c) -> (a, q c)) avs))
+        s.Gcm.Schema.relations;
+    rules = List.map (rule ~source ~own) s.Gcm.Schema.rules;
+  }

@@ -1,0 +1,24 @@
+(** Source namespacing.
+
+    At the mediator, the classes, relations and rule-defined predicates
+    of a registered source [S] are qualified as [S.name] — the paper's
+    ['NCMIR'.protein] notation — so that two laboratories can both
+    export a [neuron] class without clashing, while domain-map concepts
+    (unqualified) remain shared. *)
+
+val qualify : source:string -> string -> string
+(** ["NCMIR" "protein" -> "NCMIR.protein"]. *)
+
+val split : string -> (string * string) option
+(** Inverse: ["NCMIR.protein" -> Some ("NCMIR", "protein")]. *)
+
+val schema : source:string -> Gcm.Schema.t -> Gcm.Schema.t
+(** Qualify every class name, relation name, rule predicate and
+    internal reference of the schema. References to names not defined
+    by the schema (domain-map concepts, shared value classes like
+    [string]) are left unqualified. *)
+
+val rule :
+  source:string -> own:string list -> Flogic.Molecule.rule -> Flogic.Molecule.rule
+(** Qualify the names in [own] wherever they occur in class or
+    relation position (and as derived predicate names). *)

@@ -1,0 +1,259 @@
+module Xml = Xmlkit.Xml
+module Term = Logic.Term
+module Literal = Logic.Literal
+
+type selection_msg = string * Literal.cmp * Term.t
+
+type request =
+  | Register of { format : string; document : Xml.t }
+  | Fetch_instances of { cls : string; selections : selection_msg list }
+  | Fetch_tuples of { rel : string; pattern : (string * Term.t) list }
+  | Run_template of { name : string; args : (string * Term.t) list }
+
+type response =
+  | Registered of { source : string }
+  | Objects of Wrapper.Store.obj list
+  | Tuples of Datalog.Tuple.t list
+  | Bindings of (string * Term.t) list list
+  | Failed of string
+
+(* ------------------------------------------------------------------ *)
+(* term codec: terms travel as FL surface syntax (the parser is the
+   decoder we already trust); symbols that are not plain lowercase
+   identifiers are quoted so the text re-parses *)
+
+let plain_ident s =
+  String.length s > 0
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+
+let rec term_to_text t =
+  match t with
+  | Term.Const (Term.Sym s) when not (plain_ident s) ->
+    "'" ^ String.concat "\\'" (String.split_on_char '\'' s) ^ "'"
+  | Term.App (f, args) ->
+    Printf.sprintf "%s(%s)"
+      (if plain_ident f then f else "'" ^ f ^ "'")
+      (String.concat "," (List.map term_to_text args))
+  | t -> Term.to_string t
+
+let term_of_text s =
+  match Flogic.Fl_parser.parse_term s with
+  | Ok t -> Ok t
+  | Error e -> Error e
+
+let cmp_to_text op = Format.asprintf "%a" Literal.pp_cmp op
+
+let cmp_of_text = function
+  | "<" -> Ok Literal.Lt
+  | "=<" -> Ok Literal.Le
+  | ">" -> Ok Literal.Gt
+  | ">=" -> Ok Literal.Ge
+  | "=" -> Ok Literal.Eq
+  | "=/=" -> Ok Literal.Ne
+  | s -> Error ("unknown comparison " ^ s)
+
+let ( let* ) = Result.bind
+
+let collect f xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* request codec *)
+
+let encode_request = function
+  | Register { format; document } ->
+    Xml.elt "register" ~attrs:[ ("format", format) ] [ document ]
+  | Fetch_instances { cls; selections } ->
+    Xml.elt "fetch-instances" ~attrs:[ ("class", cls) ]
+      (List.map
+         (fun (m, op, t) ->
+           Xml.elt "selection"
+             ~attrs:[ ("method", m); ("op", cmp_to_text op) ]
+             [ Xml.text (term_to_text t) ])
+         selections)
+  | Fetch_tuples { rel; pattern } ->
+    Xml.elt "fetch-tuples" ~attrs:[ ("relation", rel) ]
+      (List.map
+         (fun (a, t) ->
+           Xml.elt "bind" ~attrs:[ ("attr", a) ] [ Xml.text (term_to_text t) ])
+         pattern)
+  | Run_template { name; args } ->
+    Xml.elt "run-template" ~attrs:[ ("name", name) ]
+      (List.map
+         (fun (p, t) ->
+           Xml.elt "arg" ~attrs:[ ("param", p) ] [ Xml.text (term_to_text t) ])
+         args)
+
+let decode_request doc =
+  match Xml.tag doc with
+  | Some "register" -> (
+    let* format = Cm_plugins.Plugin.require_attr doc "format" in
+    match Xml.child_elements doc with
+    | [ document ] -> Ok (Register { format; document })
+    | _ -> Error "register expects exactly one embedded CM document")
+  | Some "fetch-instances" ->
+    let* cls = Cm_plugins.Plugin.require_attr doc "class" in
+    let* selections =
+      collect
+        (fun e ->
+          let* m = Cm_plugins.Plugin.require_attr e "method" in
+          let* op_s = Cm_plugins.Plugin.require_attr e "op" in
+          let* op = cmp_of_text op_s in
+          let* t = term_of_text (Xml.text_content e) in
+          Ok (m, op, t))
+        (Xml.find_children "selection" doc)
+    in
+    Ok (Fetch_instances { cls; selections })
+  | Some "fetch-tuples" ->
+    let* rel = Cm_plugins.Plugin.require_attr doc "relation" in
+    let* pattern =
+      collect
+        (fun e ->
+          let* a = Cm_plugins.Plugin.require_attr e "attr" in
+          let* t = term_of_text (Xml.text_content e) in
+          Ok (a, t))
+        (Xml.find_children "bind" doc)
+    in
+    Ok (Fetch_tuples { rel; pattern })
+  | Some "run-template" ->
+    let* name = Cm_plugins.Plugin.require_attr doc "name" in
+    let* args =
+      collect
+        (fun e ->
+          let* p = Cm_plugins.Plugin.require_attr e "param" in
+          let* t = term_of_text (Xml.text_content e) in
+          Ok (p, t))
+        (Xml.find_children "arg" doc)
+    in
+    Ok (Run_template { name; args })
+  | _ -> Error "unknown request message"
+
+(* ------------------------------------------------------------------ *)
+(* response codec *)
+
+let obj_to_xml (o : Wrapper.Store.obj) =
+  Xml.elt "object"
+    ~attrs:[ ("id", term_to_text o.Wrapper.Store.id) ]
+    (List.map
+       (fun (m, v) ->
+         Xml.elt "value" ~attrs:[ ("method", m) ] [ Xml.text (term_to_text v) ])
+       o.Wrapper.Store.values)
+
+let obj_of_xml e =
+  let* id_s = Cm_plugins.Plugin.require_attr e "id" in
+  let* id = term_of_text id_s in
+  let* values =
+    collect
+      (fun ve ->
+        let* m = Cm_plugins.Plugin.require_attr ve "method" in
+        let* v = term_of_text (Xml.text_content ve) in
+        Ok (m, v))
+      (Xml.find_children "value" e)
+  in
+  Ok { Wrapper.Store.id; values }
+
+let encode_response = function
+  | Registered { source } ->
+    Xml.elt "registered" ~attrs:[ ("source", source) ] []
+  | Objects objs -> Xml.elt "objects" (List.map obj_to_xml objs)
+  | Tuples tuples ->
+    Xml.elt "tuples"
+      (List.map
+         (fun tup ->
+           Xml.elt "tuple"
+             (List.map (fun t -> Xml.leaf "field" (term_to_text t)) tup))
+         tuples)
+  | Bindings rows ->
+    Xml.elt "bindings"
+      (List.map
+         (fun row ->
+           Xml.elt "row"
+             (List.map
+                (fun (x, t) ->
+                  Xml.elt "bind" ~attrs:[ ("var", x) ]
+                    [ Xml.text (term_to_text t) ])
+                row))
+         rows)
+  | Failed msg -> Xml.leaf "error" msg
+
+let decode_response doc =
+  match Xml.tag doc with
+  | Some "registered" ->
+    let* source = Cm_plugins.Plugin.require_attr doc "source" in
+    Ok (Registered { source })
+  | Some "objects" ->
+    let* objs = collect obj_of_xml (Xml.find_children "object" doc) in
+    Ok (Objects objs)
+  | Some "tuples" ->
+    let* tuples =
+      collect
+        (fun te ->
+          collect
+            (fun fe -> term_of_text (Xml.text_content fe))
+            (Xml.find_children "field" te))
+        (Xml.find_children "tuple" doc)
+    in
+    Ok (Tuples tuples)
+  | Some "bindings" ->
+    let* rows =
+      collect
+        (fun re ->
+          collect
+            (fun be ->
+              let* x = Cm_plugins.Plugin.require_attr be "var" in
+              let* t = term_of_text (Xml.text_content be) in
+              Ok (x, t))
+            (Xml.find_children "bind" re))
+        (Xml.find_children "row" doc)
+    in
+    Ok (Bindings rows)
+  | Some "error" -> Ok (Failed (Xml.text_content doc))
+  | _ -> Error "unknown response message"
+
+(* ------------------------------------------------------------------ *)
+(* wrapper endpoint *)
+
+type endpoint = Wrapper.Source.t
+
+let endpoint src = src
+
+let execute src = function
+  | Register _ -> Failed "wrappers do not accept register messages"
+  | Fetch_instances { cls; selections } -> (
+    try Objects (Wrapper.Source.fetch_instances src ~cls ~selections)
+    with Wrapper.Source.Unsupported m -> Failed m)
+  | Fetch_tuples { rel; pattern } -> (
+    try Tuples (Wrapper.Source.fetch_tuples src ~rel ~pattern)
+    with Wrapper.Source.Unsupported m -> Failed m)
+  | Run_template { name; args } -> (
+    try
+      let substs = Wrapper.Source.run_template src ~name ~args in
+      Bindings (List.map Logic.Subst.bindings substs)
+    with Wrapper.Source.Unsupported m -> Failed m)
+
+let handle src doc =
+  match decode_request doc with
+  | Error m -> encode_response (Failed m)
+  | Ok req -> encode_response (execute src req)
+
+let call src req =
+  match decode_response (handle src (encode_request req)) with
+  | Ok resp -> resp
+  | Error m -> Failed ("response codec: " ^ m)
+
+let register_remote med ~source_name ?capabilities ~format doc =
+  Mediator.register_xml med ~format ?capabilities ~source_name doc

@@ -1,0 +1,67 @@
+(** The mediator/wrapper wire dialogues.
+
+    "Syntactically all information (queries, CM signatures and data,
+    mediator/wrapper dialogues, etc.) goes over the wire in XML syntax"
+    (Section 2). This module defines the message vocabulary and codecs,
+    plus an in-process {!session} that routes encoded messages to a
+    wrapper endpoint — the shape a networked deployment would have,
+    exercised end-to-end in tests and the F2b bench without sockets.
+
+    Messages:
+    - [register]   — wrapper → mediator: the CM document (any plug-in
+      dialect) plus capability declarations;
+    - [fetch]      — mediator → wrapper: class scan with pushed
+      selections, or relation access with a binding pattern;
+    - [answers]    — wrapper → mediator: objects or tuples;
+    - [error]      — either direction. *)
+
+type selection_msg = string * Logic.Literal.cmp * Logic.Term.t
+
+type request =
+  | Register of { format : string; document : Xmlkit.Xml.t }
+  | Fetch_instances of { cls : string; selections : selection_msg list }
+  | Fetch_tuples of { rel : string; pattern : (string * Logic.Term.t) list }
+  | Run_template of { name : string; args : (string * Logic.Term.t) list }
+
+type response =
+  | Registered of { source : string }
+  | Objects of Wrapper.Store.obj list
+  | Tuples of Datalog.Tuple.t list
+  | Bindings of (string * Logic.Term.t) list list
+  | Failed of string
+
+(** {1 Codecs} *)
+
+val encode_request : request -> Xmlkit.Xml.t
+val decode_request : Xmlkit.Xml.t -> (request, string) result
+val encode_response : response -> Xmlkit.Xml.t
+val decode_response : Xmlkit.Xml.t -> (response, string) result
+
+(** {1 Endpoints} *)
+
+type endpoint
+(** A wrapper-side message handler around one {!Wrapper.Source.t}. *)
+
+val endpoint : Wrapper.Source.t -> endpoint
+
+val handle : endpoint -> Xmlkit.Xml.t -> Xmlkit.Xml.t
+(** Decode a request, execute it against the source, encode the
+    response ([Failed] on any error — the wire never raises). *)
+
+val call : endpoint -> request -> response
+(** [handle] with the codecs applied on both ends: exactly what a
+    remote client observes. *)
+
+(** {1 Mediator-side convenience} *)
+
+val register_remote :
+  Mediator.t ->
+  source_name:string ->
+  ?capabilities:Wrapper.Capability.t list ->
+  format:string ->
+  Xmlkit.Xml.t ->
+  (unit, string) result
+(** Accept a [register] message body: run the plug-in, wrap the result
+    as a source, register it. (Same as {!Mediator.register_xml},
+    re-exported here so the protocol module covers the full dialogue
+    vocabulary.) *)

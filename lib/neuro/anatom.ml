@@ -1,0 +1,133 @@
+module C = Dl.Concept
+module Dmap = Domain_map.Dmap
+
+let n = C.name
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 — Example 1's DL statements, verbatim. *)
+
+let fig1_axioms =
+  [
+    C.subsumes (n "neuron") (C.exists "has" (n "compartment"));
+    C.subsumes (n "axon") (n "compartment");
+    C.subsumes (n "dendrite") (n "compartment");
+    C.subsumes (n "soma") (n "compartment");
+    C.equiv (n "spiny_neuron") (C.conj [ n "neuron"; C.exists "has" (n "spine") ]);
+    C.subsumes (n "purkinje_cell") (n "spiny_neuron");
+    C.subsumes (n "pyramidal_cell") (n "spiny_neuron");
+    C.subsumes (n "dendrite") (C.exists "has" (n "branch"));
+    C.subsumes (n "shaft") (C.conj [ n "branch"; C.exists "has" (n "spine") ]);
+    C.subsumes (n "spine") (C.exists "contains" (n "ion_binding_protein"));
+    C.subsumes (n "spine") (n "ion_regulating_component");
+    C.subsumes (n "ion_activity") (C.exists "subprocess_of" (n "neurotransmission"));
+    C.subsumes (n "ion_binding_protein")
+      (C.conj [ n "protein"; C.exists "controls" (n "ion_activity") ]);
+    C.equiv (n "ion_regulating_component") (C.exists "regulates" (n "ion_activity"));
+  ]
+
+let fig1 = Dmap.of_axioms fig1_axioms
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 (light nodes) *)
+
+let fig3_base_axioms =
+  [
+    C.subsumes (n "neuron") (C.exists "has" (n "compartment"));
+    C.subsumes (n "soma") (n "compartment");
+    C.subsumes (n "axon") (n "compartment");
+    C.subsumes (n "dendrite") (n "compartment");
+    C.subsumes (n "spiny_neuron") (n "neuron");
+    C.subsumes (n "medium_spiny_neuron") (n "spiny_neuron");
+    C.subsumes (n "neostriatum") (C.exists "has" (n "medium_spiny_neuron"));
+    (* expressed neurotransmitters / receptors *)
+    C.subsumes (n "gaba") (n "neurotransmitter");
+    C.subsumes (n "substance_p") (n "neurotransmitter");
+    C.subsumes (n "medium_spiny_neuron") (C.exists "exp" (n "gaba"));
+    C.subsumes (n "medium_spiny_neuron") (C.exists "exp" (n "substance_p"));
+    C.subsumes (n "medium_spiny_neuron") (C.exists "exp" (n "dopamine_r"));
+    (* projection targets: one of four structures (the OR node) *)
+    C.subsumes (n "medium_spiny_neuron")
+      (C.exists "proj"
+         (C.disj
+            [
+              n "substantia_nigra_pr";
+              n "substantia_nigra_pc";
+              n "globus_pallidus_external";
+              n "globus_pallidus_internal";
+            ]));
+  ]
+
+let fig3_base = Dmap.of_axioms fig3_base_axioms
+
+let fig3_registration =
+  [
+    C.equiv (n "my_dendrite")
+      (C.conj [ n "dendrite"; C.exists "exp" (n "dopamine_r") ]);
+    C.subsumes (n "my_neuron")
+      (C.conj
+         [
+           n "medium_spiny_neuron";
+           C.exists "proj" (n "globus_pallidus_external");
+           C.forall "has" (n "my_dendrite");
+         ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 needs parallel fibers and brain regions for the walkthrough
+   query. *)
+
+let parallel_fiber_extension =
+  [
+    C.subsumes (n "parallel_fiber") (n "axon");
+    C.subsumes (n "granule_cell") (n "neuron");
+    C.subsumes (n "granule_cell") (C.exists "has" (n "parallel_fiber"));
+    C.subsumes (n "purkinje_cell") (C.exists "in_region" (n "cerebellum"));
+    C.subsumes (n "cerebellum") (n "brain_region");
+    C.subsumes (n "neostriatum") (n "brain_region");
+    C.subsumes (n "hippocampus") (n "brain_region");
+    C.subsumes (n "cerebellum") (C.exists "has" (n "purkinje_cell"));
+    C.subsumes (n "hippocampus") (C.exists "has" (n "pyramidal_cell"));
+    (* nervous_system root for Example 4's distribution_root *)
+    C.subsumes (n "brain") (n "nervous_system_part");
+    C.subsumes (n "cerebellum") (n "nervous_system_part");
+    C.subsumes (n "brain") (C.exists "has" (n "cerebellum"));
+    C.subsumes (n "brain") (C.exists "has" (n "hippocampus"));
+    C.subsumes (n "brain") (C.exists "has" (n "neostriatum"));
+    C.subsumes (n "purkinje_cell") (C.exists "receives_from" (n "parallel_fiber"));
+  ]
+
+let full =
+  Dmap.merge
+    (Dmap.merge fig1 fig3_base)
+    (Dmap.of_axioms parallel_fiber_extension)
+
+(* ------------------------------------------------------------------ *)
+(* Scalable synthetic anatomy *)
+
+let sprawl ~concepts ~seed =
+  let rng = Random.State.make [| seed |] in
+  let name k = Printf.sprintf "c%d" k in
+  (* isa forest: each concept (except roots) picks a parent among the
+     previous ones, biased toward recent concepts to get deep chains
+     like dendrite->branch->shaft->spine. *)
+  let dm = ref (Dmap.add_concept Dmap.empty (name 0)) in
+  for k = 1 to concepts - 1 do
+    let parent =
+      if Random.State.int rng 100 < 70 && k > 4 then
+        k - 1 - Random.State.int rng (min 4 k)
+      else Random.State.int rng k
+    in
+    dm := Dmap.isa !dm (name k) (name parent);
+    (* has-decomposition: about half the concepts decompose into an
+       earlier sibling region/part. *)
+    if Random.State.int rng 100 < 50 && k > 2 then begin
+      let part = Random.State.int rng k in
+      if part <> k then dm := Dmap.ex !dm ~role:"has" (name k) (name part)
+    end;
+    (* sparse protein / activity side links *)
+    if Random.State.int rng 100 < 15 then
+      dm := Dmap.ex !dm ~role:"contains" (name k) (name (Random.State.int rng concepts mod max 1 k));
+    if Random.State.int rng 100 < 10 then
+      dm := Dmap.ex !dm ~role:"exp" (name k) (name (Random.State.int rng (max 1 k)))
+  done;
+  !dm

@@ -1,0 +1,40 @@
+(** The ANATOM domain map: the paper's Figures 1 and 3, plus a
+    parameterised generator that scales the anatomy to arbitrary size
+    for the benchmark sweeps.
+
+    Substitution note (DESIGN.md): the real ANATOM knowledge base was a
+    hand-curated neuroanatomy ontology; the figures define the fragment
+    the paper actually reasons over, and the generator preserves its
+    shape (an isa backbone with [has]-part decomposition and
+    protein/activity side links) at any size. *)
+
+val fig1 : Domain_map.Dmap.t
+(** Figure 1: the SYNAPSE + NCMIR domain map — dendritic spines,
+    branches, ion-binding proteins, neurotransmission. *)
+
+val fig1_axioms : Dl.Concept.axiom list
+(** The DL statements of Example 1, exactly as printed in the paper. *)
+
+val fig3_base : Domain_map.Dmap.t
+(** Figure 3 {e before} the dark (registered) nodes: medium spiny
+    neurons, their projection targets (an OR node) and expressed
+    neurotransmitters. *)
+
+val fig3_registration : Dl.Concept.axiom list
+(** The MyNeuron / MyDendrite axioms a source sends to the mediator. *)
+
+val sprawl : concepts:int -> seed:int -> Domain_map.Dmap.t
+(** A synthetic anatomy of roughly [concepts] concepts: a random isa
+    tree (branching like the cerebellar fragment), [has]-decomposition
+    edges along the tree, and sparse [contains]/[exp] protein links.
+    Deterministic in [seed]. *)
+
+val parallel_fiber_extension : Dl.Concept.axiom list
+(** Concepts needed by the Section 5 query ("neurons that receive
+    signals from parallel fibers"): parallel fibers, Purkinje cells in
+    the cerebellum, and their synapse relationship. Merged into [fig1]
+    by {!full}. *)
+
+val full : Domain_map.Dmap.t
+(** [fig1] + [fig3_base] + {!parallel_fiber_extension}: the map the
+    end-to-end examples and benches run against. *)

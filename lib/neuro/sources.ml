@@ -1,0 +1,293 @@
+module Term = Logic.Term
+module Schema = Gcm.Schema
+module Source = Wrapper.Source
+module Capability = Wrapper.Capability
+module Molecule = Flogic.Molecule
+
+type params = { seed : int; scale : int }
+
+let default_params = { seed = 42; scale = 50 }
+
+let proteins =
+  [
+    "ryanodine_receptor";
+    "ip3_receptor";
+    "calbindin";
+    "parvalbumin";
+    "calmodulin";
+    "gfap";
+    "actin";
+    "tubulin";
+  ]
+
+let calcium_binders =
+  [ "ryanodine_receptor"; "ip3_receptor"; "calbindin"; "parvalbumin"; "calmodulin" ]
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* SYNAPSE: spine morphometry of hippocampal pyramidal cells *)
+
+let synapse_schema =
+  Schema.make ~name:"SYNAPSE"
+    ~classes:
+      [
+        Schema.class_def "spine_measure"
+          ~methods:
+            [
+              ("diameter", "number");
+              ("volume", "number");
+              ("location", "anatomical_term");
+              ("species", "string");
+              ("age_days", "number");
+            ];
+        Schema.class_def "dendrite_measure"
+          ~methods:
+            [
+              ("segment_length", "number");
+              ("branch_order", "number");
+              ("location", "anatomical_term");
+              ("species", "string");
+            ];
+      ]
+    ()
+
+let synapse { seed; scale } =
+  let rng = Random.State.make [| seed; 1 |] in
+  let data = ref [] in
+  let emit m = data := m :: !data in
+  for k = 1 to scale do
+    let id = Term.sym (Printf.sprintf "syn_spine_%d" k) in
+    emit (Molecule.Isa (id, Term.sym "spine_measure"));
+    emit
+      (Molecule.Meth_val
+         (id, "diameter", Term.float (0.2 +. Random.State.float rng 0.8)));
+    emit
+      (Molecule.Meth_val (id, "volume", Term.float (Random.State.float rng 0.15)));
+    emit
+      (Molecule.Meth_val
+         ( id,
+           "location",
+           Term.sym (pick rng [ "pyramidal_cell"; "dendrite"; "shaft" ]) ));
+    emit
+      (Molecule.Meth_val
+         (id, "species", Term.str (pick rng [ "rat"; "mouse" ])));
+    emit
+      (Molecule.Meth_val (id, "age_days", Term.int (7 + Random.State.int rng 90)))
+  done;
+  for k = 1 to max 1 (scale / 3) do
+    let id = Term.sym (Printf.sprintf "syn_dend_%d" k) in
+    emit (Molecule.Isa (id, Term.sym "dendrite_measure"));
+    emit
+      (Molecule.Meth_val
+         (id, "segment_length", Term.float (5.0 +. Random.State.float rng 80.0)));
+    emit (Molecule.Meth_val (id, "branch_order", Term.int (1 + Random.State.int rng 5)));
+    emit (Molecule.Meth_val (id, "location", Term.sym "dendrite"));
+    emit (Molecule.Meth_val (id, "species", Term.str "rat"))
+  done;
+  Source.make ~name:"SYNAPSE" ~schema:synapse_schema
+    ~capabilities:
+      (Capability.scan_class "spine_measure"
+      :: Capability.scan_class "dendrite_measure"
+      :: Capability.select_class ~cls:"spine_measure" ~on:[ "location"; "species" ]
+      :: [ Capability.select_class ~cls:"dendrite_measure" ~on:[ "location" ] ])
+    ~anchors:
+      [
+        ("spine_measure", "spine", [ "hippocampus" ]);
+        ("dendrite_measure", "dendrite", [ "hippocampus" ]);
+      ]
+    ~data:(List.rev !data) ()
+
+(* ------------------------------------------------------------------ *)
+(* NCMIR: protein localization in Purkinje cells *)
+
+let ncmir_schema =
+  Schema.make ~name:"NCMIR"
+    ~classes:
+      [
+        Schema.class_def "protein_amount"
+          ~methods:
+            [
+              ("protein_name", "string");
+              ("location", "anatomical_term");
+              ("amount", "number");
+              ("organism", "string");
+            ];
+        Schema.class_def "protein"
+          ~methods:[ ("name", "string"); ("ion_bound", "ion") ];
+      ]
+    ()
+
+let ncmir_locations = [ "purkinje_cell"; "dendrite"; "branch"; "spine"; "soma" ]
+
+let ncmir { seed; scale } =
+  let rng = Random.State.make [| seed; 2 |] in
+  let data = ref [] in
+  let emit m = data := m :: !data in
+  (* protein metadata *)
+  List.iteri
+    (fun i p ->
+      let id = Term.sym (Printf.sprintf "ncmir_prot_%d" i) in
+      emit (Molecule.Isa (id, Term.sym "protein"));
+      emit (Molecule.Meth_val (id, "name", Term.sym p));
+      if List.mem p calcium_binders then
+        emit (Molecule.Meth_val (id, "ion_bound", Term.sym "calcium"))
+      else
+        emit (Molecule.Meth_val (id, "ion_bound", Term.sym "none")))
+    proteins;
+  (* amounts: each protein measured at each location, scale/10 replicates *)
+  let reps = max 1 (scale / 10) in
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun loc ->
+          for _ = 1 to reps do
+            incr n;
+            let id = Term.sym (Printf.sprintf "ncmir_amt_%d" !n) in
+            emit (Molecule.Isa (id, Term.sym "protein_amount"));
+            emit (Molecule.Meth_val (id, "protein_name", Term.sym p));
+            emit (Molecule.Meth_val (id, "location", Term.sym loc));
+            emit
+              (Molecule.Meth_val
+                 (id, "amount", Term.float (Random.State.float rng 10.0)));
+            emit (Molecule.Meth_val (id, "organism", Term.str "rat"))
+          done)
+        ncmir_locations)
+    proteins;
+  Source.make ~name:"NCMIR" ~schema:ncmir_schema
+    ~capabilities:
+      [
+        Capability.scan_class "protein_amount";
+        Capability.scan_class "protein";
+        Capability.select_class ~cls:"protein_amount"
+          ~on:[ "location"; "protein_name"; "organism" ];
+        Capability.select_class ~cls:"protein" ~on:[ "ion_bound"; "name" ];
+        Capability.template ~name:"amounts_at"
+          ~params:[ "loc" ]
+          ~body:
+            "X : protein_amount, X[location ->> $loc], X[protein_name ->> P], \
+             X[amount ->> A]";
+      ]
+    ~anchors:
+      (List.map
+         (fun loc -> ("protein_amount", loc, [ "cerebellum" ]))
+         ncmir_locations
+      @ [ ("protein", "protein", []) ])
+    ~data:(List.rev !data) ()
+
+(* ------------------------------------------------------------------ *)
+(* SENSELAB: neurotransmission events (the Section 5 class) *)
+
+let senselab_schema =
+  Schema.make ~name:"SENSELAB"
+    ~classes:
+      [
+        Schema.class_def "neurotransmission"
+          ~methods:
+            [
+              ("organism", "string");
+              ("transmitting_neuron", "anatomical_term");
+              ("transmitting_compartment", "anatomical_term");
+              ("receiving_neuron", "anatomical_term");
+              ("receiving_compartment", "anatomical_term");
+              ("neurotransmitter", "substance");
+            ];
+      ]
+    ()
+
+let senselab { seed; scale } =
+  let rng = Random.State.make [| seed; 3 |] in
+  let data = ref [] in
+  let emit m = data := m :: !data in
+  let row k (org, tn, tc, rn, rc, nt) =
+    let id = Term.sym (Printf.sprintf "sl_nt_%d" k) in
+    emit (Molecule.Isa (id, Term.sym "neurotransmission"));
+    emit (Molecule.Meth_val (id, "organism", Term.str org));
+    emit (Molecule.Meth_val (id, "transmitting_neuron", Term.sym tn));
+    emit (Molecule.Meth_val (id, "transmitting_compartment", Term.sym tc));
+    emit (Molecule.Meth_val (id, "receiving_neuron", Term.sym rn));
+    emit (Molecule.Meth_val (id, "receiving_compartment", Term.sym rc));
+    emit (Molecule.Meth_val (id, "neurotransmitter", Term.sym nt))
+  in
+  (* the rows the Section 5 query must hit: parallel fiber -> Purkinje *)
+  for k = 1 to max 2 (scale / 5) do
+    row k
+      ( "rat",
+        "granule_cell",
+        "parallel_fiber",
+        "purkinje_cell",
+        (if Random.State.bool rng then "spine" else "dendrite"),
+        "glutamate" )
+  done;
+  (* background rows: other circuits and organisms *)
+  let k0 = max 2 (scale / 5) in
+  for k = k0 + 1 to k0 + scale do
+    let circuits =
+      [
+        ("rat", "pyramidal_cell", "axon", "pyramidal_cell", "dendrite", "glutamate");
+        ("mouse", "granule_cell", "parallel_fiber", "purkinje_cell", "spine", "glutamate");
+        ("rat", "medium_spiny_neuron", "axon", "medium_spiny_neuron", "soma", "gaba");
+        ("rat", "purkinje_cell", "axon", "medium_spiny_neuron", "dendrite", "gaba");
+      ]
+    in
+    row k (pick rng circuits)
+  done;
+  Source.make ~name:"SENSELAB" ~schema:senselab_schema
+    ~capabilities:
+      [
+        Capability.scan_class "neurotransmission";
+        Capability.select_class ~cls:"neurotransmission"
+          ~on:[ "organism"; "transmitting_compartment"; "neurotransmitter" ];
+      ]
+    ~anchors:[ ("neurotransmission", "neurotransmission", []) ]
+    ~data:(List.rev !data) ()
+
+(* ------------------------------------------------------------------ *)
+(* Distractor federation members *)
+
+let distractor { seed; scale } ~index =
+  let rng = Random.State.make [| seed; 100 + index |] in
+  let name = Printf.sprintf "GENELAB_%d" index in
+  let schema =
+    Schema.make ~name
+      ~classes:
+        [
+          Schema.class_def "gene_expression"
+            ~methods:
+              [ ("gene", "string"); ("level", "number"); ("tissue", "anatomical_term") ];
+        ]
+      ()
+  in
+  let anchor_concept =
+    pick rng [ "hippocampus"; "neostriatum"; "soma"; "gaba"; "substance_p" ]
+  in
+  let data = ref [] in
+  for k = 1 to scale do
+    let id = Term.sym (Printf.sprintf "%s_row_%d" name k) in
+    data :=
+      Molecule.Meth_val (id, "level", Term.float (Random.State.float rng 100.0))
+      :: Molecule.Meth_val
+           (id, "gene", Term.sym (Printf.sprintf "gene_%d" (Random.State.int rng 500)))
+      :: Molecule.Meth_val (id, "tissue", Term.sym anchor_concept)
+      :: Molecule.Isa (id, Term.sym "gene_expression")
+      :: !data
+  done;
+  Source.make ~name ~schema
+    ~capabilities:
+      [
+        Capability.scan_class "gene_expression";
+        Capability.select_class ~cls:"gene_expression" ~on:[ "tissue"; "gene" ];
+      ]
+    ~anchors:[ ("gene_expression", anchor_concept, []) ]
+    ~data:(List.rev !data) ()
+
+let standard_mediator ?config params =
+  let med = Mediation.Mediator.create ?config Anatom.full in
+  List.iter
+    (fun src ->
+      match Mediation.Mediator.register_source med src with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("standard_mediator: " ^ e))
+    [ synapse params; ncmir params; senselab params ];
+  med

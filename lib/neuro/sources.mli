@@ -1,0 +1,46 @@
+(** The three Neuroscience "worlds" of the paper, as wrapped sources
+    with seeded synthetic data.
+
+    Substitution note (DESIGN.md): the real laboratories' databases are
+    not available; these generators reproduce the {e schemas} the paper
+    prints (Example 1, Example 4, the [neurotransmission] class of
+    Section 5), the anchor structure into ANATOM, and plausible
+    cardinalities. Anatomical location values are symbols equal to
+    domain-map concept names; organisms are strings.
+
+    - {b SYNAPSE}: 3-D reconstructions of dendritic spines of pyramidal
+      cells in the hippocampus — [spine_measure] objects with
+      morphometry methods.
+    - {b NCMIR}: protein localization in Purkinje-cell compartments —
+      [protein_amount] rows plus [protein] metadata (which ion a
+      protein binds).
+    - {b SENSELAB}: neurotransmission events — the Section 5 class with
+      organism / transmitting / receiving fields. *)
+
+type params = {
+  seed : int;
+  scale : int;
+      (** rows per class ≈ [scale] (spine measures, protein rows,
+          transmission events grow linearly in it) *)
+}
+
+val default_params : params
+
+val synapse : params -> Wrapper.Source.t
+val ncmir : params -> Wrapper.Source.t
+val senselab : params -> Wrapper.Source.t
+
+val proteins : string list
+(** The protein universe; the calcium binders are a known subset. *)
+
+val calcium_binders : string list
+
+val distractor : params -> index:int -> Wrapper.Source.t
+(** An unrelated source (e.g. a genomics lab) anchored at concepts
+    disjoint from the Section 5 query: used by the F2 bench to grow the
+    federation without growing the relevant data. *)
+
+val standard_mediator :
+  ?config:Mediation.Mediator.config -> params -> Mediation.Mediator.t
+(** The ANATOM domain map ({!Anatom.full}) with the three sources
+    registered. Raises [Invalid_argument] on registration failure. *)

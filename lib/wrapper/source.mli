@@ -1,0 +1,71 @@
+(** A wrapped source: schema (CM), local store, query capabilities and
+    semantic-index anchors — everything a source sends when registering
+    with the mediator, plus the "logical API" the mediator calls at
+    query time.
+
+    Every fetch is metered: {!served} counts answered requests and
+    shipped tuples, which is what the F2/Q5 benches report as
+    "tuples moved". *)
+
+exception Unsupported of string
+(** Raised when a fetch exceeds the declared query capabilities. *)
+
+type t
+
+val make :
+  name:string ->
+  schema:Gcm.Schema.t ->
+  ?capabilities:Capability.t list ->
+  ?anchors:(string * string * string list) list ->
+  ?data:Flogic.Molecule.t list ->
+  unit ->
+  t
+(** Default capabilities: scan every class and relation of the schema
+    (the paper's minimal browsing capability). *)
+
+val name : t -> string
+val schema : t -> Gcm.Schema.t
+val store : t -> Store.t
+val capabilities : t -> Capability.t list
+val anchors : t -> (string * string * string list) list
+
+val of_translation :
+  name:string ->
+  ?capabilities:Capability.t list ->
+  Cm_plugins.Plugin.translation ->
+  t
+(** Wrap a CM plug-in's output. *)
+
+(** {1 The wrapper's query interface} *)
+
+val fetch_instances :
+  t -> cls:string -> selections:Store.selection list -> Store.obj list
+(** Raises {!Unsupported} when the class cannot be scanned or a
+    selection method is not declared pushable (selections are the
+    wrapper's job only if advertised; the mediator must otherwise scan
+    and filter locally). *)
+
+val fetch_tuples :
+  t -> rel:string -> pattern:(string * Logic.Term.t) list -> Datalog.Tuple.t list
+(** Raises {!Unsupported} when no capability admits the access's
+    binding pattern. *)
+
+val run_template :
+  t -> name:string -> args:(string * Logic.Term.t) list -> Logic.Subst.t list
+(** Execute a declared query template against the local store. The
+    template body is FL surface syntax with [$param] placeholders. *)
+
+(** {1 Metering} *)
+
+type served = { mutable requests : int; mutable tuples : int }
+
+val served : t -> served
+val reset_meter : t -> unit
+
+(** {1 Wire format} *)
+
+val export_xml : t -> Xmlkit.Xml.t
+(** The registration document (schema, data, anchors) in the native
+    GCM dialect. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** A source's local object base: instances, method values and relation
+    tuples, stored on the same engine substrate the mediator uses
+    (a {!Datalog.Database} of declared facts). *)
+
+type t
+
+val create : ?signature:Flogic.Signature.t -> unit -> t
+
+val signature : t -> Flogic.Signature.t
+
+val add_instance : t -> Logic.Term.t -> cls:string -> unit
+val add_value : t -> Logic.Term.t -> meth:string -> Logic.Term.t -> unit
+val add_tuple : t -> rel:string -> (string * Logic.Term.t) list -> unit
+(** Raises [Invalid_argument] for relations missing from the signature
+    or incomplete attribute bindings. *)
+
+val add_fact : t -> Flogic.Molecule.t -> unit
+(** Any ground declaration molecule ([Isa], [Meth_val], [Rel_val],
+    [Pred]). *)
+
+val load : t -> Flogic.Molecule.t list -> unit
+
+(** {1 Local evaluation} *)
+
+type obj = { id : Logic.Term.t; values : (string * Logic.Term.t) list }
+
+type selection = string * Logic.Literal.cmp * Logic.Term.t
+(** (method, comparison, constant). *)
+
+val instances : t -> cls:string -> selections:selection list -> obj list
+(** Objects of a class (declared membership only — the wrapper exports
+    raw data, the mediator's axioms close it upward), with all their
+    method values, filtered by selections. *)
+
+val tuples : t -> rel:string -> pattern:(string * Logic.Term.t) list -> Datalog.Tuple.t list
+(** Tuples of a relation matching the (possibly partial) named-attribute
+    pattern; results in signature attribute order. *)
+
+val object_count : t -> cls:string -> int
+val tuple_count : t -> rel:string -> int
+val classes : t -> string list
+val relations : t -> string list
+
+val database : t -> Datalog.Database.t
+(** The raw declared-fact database (shared, not a copy). *)

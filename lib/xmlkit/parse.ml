@@ -1,0 +1,238 @@
+exception Error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let fail st msg = raise (Error (msg, st.pos))
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let eat st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while
+    match peek st with Some c when is_name_char c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail st "expected name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entities st s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | None -> fail st "unterminated entity"
+      | Some j ->
+        let ent = String.sub s (!i + 1) (j - !i - 1) in
+        (match ent with
+        | "lt" -> Buffer.add_char buf '<'
+        | "gt" -> Buffer.add_char buf '>'
+        | "amp" -> Buffer.add_char buf '&'
+        | "apos" -> Buffer.add_char buf '\''
+        | "quot" -> Buffer.add_char buf '"'
+        | _ when String.length ent > 1 && ent.[0] = '#' -> (
+          let code =
+            if ent.[1] = 'x' || ent.[1] = 'X' then
+              int_of_string_opt ("0x" ^ String.sub ent 2 (String.length ent - 2))
+            else int_of_string_opt (String.sub ent 1 (String.length ent - 1))
+          in
+          match code with
+          | Some c when c < 128 -> Buffer.add_char buf (Char.chr c)
+          | Some c ->
+            (* encode as UTF-8 *)
+            if c < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+            end
+          | None -> fail st ("bad character reference &" ^ ent ^ ";"))
+        | _ -> fail st ("unknown entity &" ^ ent ^ ";"));
+        i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let read_attr_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) ->
+      advance st;
+      q
+    | _ -> fail st "expected quoted attribute value"
+  in
+  let start = st.pos in
+  while (match peek st with Some c when c <> quote -> true | _ -> false) do
+    advance st
+  done;
+  let v = String.sub st.src start (st.pos - start) in
+  (match peek st with
+  | Some c when c = quote -> advance st
+  | _ -> fail st "unterminated attribute value");
+  decode_entities st v
+
+let skip_misc st =
+  (* comments, processing instructions, doctype *)
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      match
+        let rec find i =
+          if i + 3 > String.length st.src then None
+          else if String.sub st.src i 3 = "-->" then Some (i + 3)
+          else find (i + 1)
+        in
+        find (st.pos + 4)
+      with
+      | Some j ->
+        st.pos <- j;
+        go ()
+      | None -> fail st "unterminated comment"
+    end
+    else if looking_at st "<?" || looking_at st "<!DOCTYPE" then begin
+      match String.index_from_opt st.src st.pos '>' with
+      | Some j ->
+        st.pos <- j + 1;
+        go ()
+      | None -> fail st "unterminated declaration"
+    end
+  in
+  go ()
+
+let rec parse_element st =
+  eat st "<";
+  let name = read_name st in
+  let rec read_attrs acc =
+    skip_ws st;
+    match peek st with
+    | Some '>' | Some '/' -> List.rev acc
+    | _ ->
+      let aname = read_name st in
+      skip_ws st;
+      eat st "=";
+      skip_ws st;
+      let v = read_attr_value st in
+      read_attrs ((aname, v) :: acc)
+  in
+  let attrs = read_attrs [] in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    eat st "/>";
+    Xml.Element (name, attrs, [])
+  end
+  else begin
+    eat st ">";
+    let children = parse_content st in
+    eat st "</";
+    let close = read_name st in
+    if not (String.equal close name) then
+      fail st (Printf.sprintf "mismatched closing tag %s for %s" close name);
+    skip_ws st;
+    eat st ">";
+    Xml.Element (name, attrs, children)
+  end
+
+and parse_content st =
+  let children = ref [] in
+  let rec go () =
+    if looking_at st "</" then ()
+    else if looking_at st "<!--" then begin
+      skip_misc st;
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      let start = st.pos + 9 in
+      let rec find i =
+        if i + 3 > String.length st.src then fail st "unterminated CDATA"
+        else if String.sub st.src i 3 = "]]>" then i
+        else find (i + 1)
+      in
+      let stop = find start in
+      children := Xml.Text (String.sub st.src start (stop - start)) :: !children;
+      st.pos <- stop + 3;
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      skip_misc st;
+      go ()
+    end
+    else if looking_at st "<" then begin
+      children := parse_element st :: !children;
+      go ()
+    end
+    else if st.pos >= String.length st.src then fail st "unexpected end of input"
+    else begin
+      let start = st.pos in
+      while (match peek st with Some c when c <> '<' -> true | _ -> false) do
+        advance st
+      done;
+      let txt = decode_entities st (String.sub st.src start (st.pos - start)) in
+      if String.trim txt <> "" then children := Xml.Text txt :: !children;
+      go ()
+    end
+  in
+  go ();
+  List.rev !children
+
+let parse_exn src =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  let root = parse_element st in
+  skip_misc st;
+  if st.pos < String.length src then fail st "trailing content after document";
+  root
+
+let parse src =
+  match parse_exn src with
+  | t -> Ok t
+  | exception Error (msg, pos) ->
+    Error (Printf.sprintf "XML parse error at offset %d: %s" pos msg)
+
+let parse_fragment src =
+  match
+    let st = { src; pos = 0 } in
+    let rec go acc =
+      skip_misc st;
+      if st.pos >= String.length src then List.rev acc
+      else go (parse_element st :: acc)
+    in
+    go []
+  with
+  | ts -> Ok ts
+  | exception Error (msg, pos) ->
+    Error (Printf.sprintf "XML parse error at offset %d: %s" pos msg)

@@ -1,0 +1,16 @@
+(** A small, dependency-free XML parser: elements, attributes, text,
+    comments, CDATA, the five predefined entities and numeric character
+    references. No DTD processing (declarations are skipped) — exactly
+    what the mediator's wire format needs, nothing more. *)
+
+exception Error of string * int
+(** message, character offset *)
+
+val parse : string -> (Xml.t, string) result
+(** Parse a document; whitespace-only text between elements is
+    dropped. *)
+
+val parse_exn : string -> Xml.t
+
+val parse_fragment : string -> (Xml.t list, string) result
+(** Parse a sequence of top-level elements (no single-root rule). *)

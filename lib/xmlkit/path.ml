@@ -1,0 +1,169 @@
+type step = {
+  axis : [ `Child | `Descendant ];
+  name : string option;
+  filters : filter list;
+}
+
+and filter =
+  | Attr_eq of string * string
+  | Attr_present of string
+  | Position of int
+
+type t = { steps : step list; attribute : string option }
+
+exception Bad of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let split_filters seg =
+  (* "book[@id='x'][2]" -> ("book", [filters]) *)
+  match String.index_opt seg '[' with
+  | None -> (seg, [])
+  | Some i ->
+    let name = String.sub seg 0 i in
+    let rest = String.sub seg i (String.length seg - i) in
+    let filters = ref [] in
+    let pos = ref 0 in
+    let n = String.length rest in
+    while !pos < n do
+      if rest.[!pos] <> '[' then raise (Bad "expected [");
+      let close =
+        match String.index_from_opt rest !pos ']' with
+        | Some j -> j
+        | None -> raise (Bad "unclosed filter")
+      in
+      let body = String.sub rest (!pos + 1) (close - !pos - 1) in
+      let f =
+        if String.length body > 0 && body.[0] = '@' then begin
+          match String.index_opt body '=' with
+          | None -> Attr_present (String.sub body 1 (String.length body - 1))
+          | Some eq ->
+            let k = String.sub body 1 (eq - 1) in
+            let v = String.sub body (eq + 1) (String.length body - eq - 1) in
+            let v =
+              let lv = String.length v in
+              if lv >= 2 && (v.[0] = '\'' || v.[0] = '"') then String.sub v 1 (lv - 2)
+              else v
+            in
+            Attr_eq (k, v)
+        end
+        else
+          match int_of_string_opt body with
+          | Some k -> Position k
+          | None -> raise (Bad ("bad filter " ^ body))
+      in
+      filters := f :: !filters;
+      pos := close + 1
+    done;
+    (name, List.rev !filters)
+
+let parse_exn src =
+  if src = "" then raise (Bad "empty path");
+  (* tokenize on '/', treating '//' as descendant marker for the next
+     segment. *)
+  let segs = String.split_on_char '/' src in
+  (* leading '/' produces an empty first segment; '//' produces empty
+     segments in the middle. *)
+  let rec build axis = function
+    | [] -> []
+    | "" :: rest -> build `Descendant rest
+    | seg :: rest ->
+      let name, filters = split_filters seg in
+      let name = if name = "*" then None else Some name in
+      { axis; name; filters } :: build `Child rest
+  in
+  let segs = match segs with "" :: rest -> rest | segs -> segs in
+  let steps = build `Child segs in
+  (* trailing attribute step? *)
+  let rec split_last acc = function
+    | [] -> (List.rev acc, None)
+    | [ { name = Some n; axis = `Child; filters = [] } ]
+      when String.length n > 0 && n.[0] = '@' ->
+      (List.rev acc, Some (String.sub n 1 (String.length n - 1)))
+    | s :: rest -> split_last (s :: acc) rest
+  in
+  let steps, attribute = split_last [] steps in
+  if steps = [] && attribute = None then raise (Bad "empty path");
+  { steps; attribute }
+
+let parse src =
+  match parse_exn src with
+  | t -> Ok t
+  | exception Bad msg -> Error ("path parse error: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let rec descendants_or_self t =
+  t :: List.concat_map descendants_or_self (Xml.child_elements t)
+
+let matches_name name t =
+  match name, Xml.tag t with
+  | None, Some _ -> true
+  | Some n, Some tag -> String.equal n tag
+  | _, None -> false
+
+let apply_filters filters nodes =
+  List.fold_left
+    (fun nodes f ->
+      match f with
+      | Attr_present k -> List.filter (fun t -> Xml.attr k t <> None) nodes
+      | Attr_eq (k, v) ->
+        List.filter (fun t -> Xml.attr k t = Some v) nodes
+      | Position k ->
+        (match List.nth_opt nodes (k - 1) with Some t -> [ t ] | None -> []))
+    nodes filters
+
+let step_from nodes step =
+  let candidates =
+    match step.axis with
+    | `Child -> List.concat_map Xml.child_elements nodes
+    | `Descendant ->
+      List.concat_map descendants_or_self nodes
+      |> List.filter (function Xml.Element _ -> true | _ -> false)
+  in
+  apply_filters step.filters (List.filter (matches_name step.name) candidates)
+
+let select path root =
+  match path.steps with
+  | [] -> [ root ]
+  | first :: rest ->
+    (* The first child-axis step may match the root element itself
+       (document-root semantics). *)
+    let start =
+      match first.axis with
+      | `Child ->
+        apply_filters first.filters
+          (List.filter (matches_name first.name) [ root ])
+      | `Descendant ->
+        apply_filters first.filters
+          (List.filter (matches_name first.name) (descendants_or_self root))
+    in
+    List.fold_left step_from start rest
+
+let select_str s root = select (parse_exn s) root
+
+let select_attrs path root =
+  match path.attribute with
+  | None -> invalid_arg "Path.select_attrs: path has no trailing /@attr"
+  | Some a -> List.filter_map (Xml.attr a) (select path root)
+
+let texts path root = List.map Xml.text_content (select path root)
+
+let pp ppf t =
+  List.iter
+    (fun s ->
+      Format.pp_print_string ppf (match s.axis with `Child -> "/" | `Descendant -> "//");
+      Format.pp_print_string ppf (match s.name with Some n -> n | None -> "*");
+      List.iter
+        (fun f ->
+          match f with
+          | Attr_eq (k, v) -> Format.fprintf ppf "[@%s='%s']" k v
+          | Attr_present k -> Format.fprintf ppf "[@%s]" k
+          | Position k -> Format.fprintf ppf "[%d]" k)
+        s.filters)
+    t.steps;
+  match t.attribute with
+  | Some a -> Format.fprintf ppf "/@%s" a
+  | None -> ()

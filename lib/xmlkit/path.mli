@@ -1,0 +1,47 @@
+(** A small XPath-like selection language over {!Xml.t}:
+
+    {v
+    /a/b          children path from the root
+    //m           descendant-or-self search
+    /a/*/c        wildcard step
+    /a/b[@k='v']  attribute-value filter
+    /a/b[@k]      attribute-presence filter
+    /a/b[2]       positional filter (1-based)
+    /a/b/@k       trailing attribute extraction (select_attrs)
+    v}
+
+    This is the query language the CM plug-ins ("a complex XML query
+    that a source sends once to the mediator", Section 2) are written
+    in. *)
+
+type step = {
+  axis : [ `Child | `Descendant ];
+  name : string option;  (** [None] = wildcard *)
+  filters : filter list;
+}
+
+and filter =
+  | Attr_eq of string * string
+  | Attr_present of string
+  | Position of int
+
+type t = { steps : step list; attribute : string option }
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+val select : t -> Xml.t -> Xml.t list
+(** Matching elements; the root element matches a leading step by name
+    (i.e. [/catalog/book] against a [<catalog>] document selects its
+    [book] children). *)
+
+val select_str : string -> Xml.t -> Xml.t list
+(** [select (parse_exn path)], for literal paths. *)
+
+val select_attrs : t -> Xml.t -> string list
+(** Values of the trailing [/@attr]; requires the path to have one. *)
+
+val texts : t -> Xml.t -> string list
+(** Text content of each selected element. *)
+
+val pp : Format.formatter -> t -> unit

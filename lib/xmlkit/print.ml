@@ -1,0 +1,54 @@
+let escape generic s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when not generic -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape true
+let escape_attr = escape false
+
+let to_string ?(indent = false) t =
+  let buf = Buffer.create 256 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Xml.Text s ->
+      pad depth;
+      Buffer.add_string buf (escape_text s);
+      nl ()
+    | Xml.Element (tag, attrs, children) ->
+      pad depth;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_attr v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then begin
+        Buffer.add_string buf "/>";
+        nl ()
+      end
+      else begin
+        Buffer.add_char buf '>';
+        nl ();
+        List.iter (go (depth + 1)) children;
+        pad depth;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>';
+        nl ()
+      end
+  in
+  go 0 t;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Serialisation of {!Xml.t} trees, inverse of {!Parse}. *)
+
+val to_string : ?indent:bool -> Xml.t -> string
+(** [indent] (default false) pretty-prints with two-space nesting;
+    the compact form round-trips exactly through {!Parse.parse} for
+    trees without whitespace-only text nodes. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string

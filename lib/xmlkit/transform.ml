@@ -1,0 +1,57 @@
+type t = Xml.t -> Xml.t list
+
+let id x = [ x ]
+let none _ = []
+let const outs _ = outs
+
+let select path x = Path.select path x
+let select_str s = select (Path.parse_exn s)
+
+let seq f g x = List.concat_map g (f x)
+let ( >>> ) = seq
+let alt f g x = f x @ g x
+
+let when_tag tag f x =
+  match Xml.tag x with
+  | Some t when String.equal t tag -> f x
+  | _ -> []
+
+let rename tag x =
+  match x with
+  | Xml.Element (_, attrs, children) -> [ Xml.Element (tag, attrs, children) ]
+  | Xml.Text _ -> [ x ]
+
+let wrap tag ?(attrs = []) f x = [ Xml.elt tag ~attrs (f x) ]
+
+let map_children f x =
+  match x with
+  | Xml.Element (tag, attrs, children) ->
+    [ Xml.Element (tag, attrs, List.concat_map f children) ]
+  | Xml.Text _ -> [ x ]
+
+let set_attr k v x =
+  match x with
+  | Xml.Element (tag, attrs, children) ->
+    [ Xml.Element (tag, (k, v) :: List.remove_assoc k attrs, children) ]
+  | Xml.Text _ -> [ x ]
+
+let drop_attr k x =
+  match x with
+  | Xml.Element (tag, attrs, children) ->
+    [ Xml.Element (tag, List.remove_assoc k attrs, children) ]
+  | Xml.Text _ -> [ x ]
+
+let text_of x = [ Xml.Text (Xml.text_content x) ]
+
+let element tag ?(attrs = []) parts x =
+  let computed_attrs =
+    List.filter_map (fun (k, f) -> Option.map (fun v -> (k, v)) (f x)) attrs
+  in
+  [ Xml.elt tag ~attrs:computed_attrs (List.concat_map (fun p -> p x) parts) ]
+
+let apply f x = f x
+
+let apply_one f x =
+  match f x with
+  | [ out ] -> Ok out
+  | outs -> Error (Printf.sprintf "expected 1 output tree, got %d" (List.length outs))

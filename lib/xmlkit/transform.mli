@@ -1,0 +1,66 @@
+(** Tree-transformation combinators: the "complex XML query
+    expressions" a source sends to install a CM plug-in (Section 2).
+    A transform maps one XML tree to a list of output trees; combinators
+    compose them into document-to-document rewritings.
+
+    The shipped plug-ins are hand-written OCaml for efficiency, but
+    {!Transform} is the declarative counterpart: a translator expressed
+    as data, which could itself travel over the wire. *)
+
+type t = Xml.t -> Xml.t list
+
+(** {1 Primitives} *)
+
+val id : t
+val none : t
+val const : Xml.t list -> t
+
+val select : Path.t -> t
+(** All elements the path selects from the input. *)
+
+val select_str : string -> t
+
+(** {1 Composition} *)
+
+val seq : t -> t -> t
+(** [seq f g] — apply [g] to every output of [f], concatenating. *)
+
+val ( >>> ) : t -> t -> t
+val alt : t -> t -> t
+(** Outputs of both transforms. *)
+
+val when_tag : string -> t -> t
+(** Apply only to elements with the given tag (else no output). *)
+
+(** {1 Element builders} *)
+
+val rename : string -> t
+(** Replace the element's tag, keeping attributes and children. *)
+
+val wrap : string -> ?attrs:(string * string) list -> t -> t
+(** Collect the transform's outputs under a fresh element. *)
+
+val map_children : t -> t
+(** Rebuild the element with each child rewritten (children producing
+    no output are dropped; multiple outputs are spliced). *)
+
+val set_attr : string -> string -> t
+val drop_attr : string -> t
+
+val text_of : t
+(** The element's text content as a text node. *)
+
+val element :
+  string ->
+  ?attrs:(string * (Xml.t -> string option)) list ->
+  (Xml.t -> Xml.t list) list ->
+  t
+(** [element tag ~attrs parts] builds one output element per input:
+    attributes are computed from the input (skipped on [None]), the
+    children are the concatenated outputs of [parts]. *)
+
+(** {1 Running} *)
+
+val apply : t -> Xml.t -> Xml.t list
+val apply_one : t -> Xml.t -> (Xml.t, string) result
+(** Expect exactly one output tree. *)

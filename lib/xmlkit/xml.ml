@@ -1,0 +1,52 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+let elt ?(attrs = []) tag children = Element (tag, attrs, children)
+let text s = Text s
+let leaf ?attrs tag s = elt ?attrs tag [ Text s ]
+
+let tag = function Element (t, _, _) -> Some t | Text _ -> None
+let attrs = function Element (_, a, _) -> a | Text _ -> []
+let attr name t = List.assoc_opt name (attrs t)
+let children = function Element (_, _, c) -> c | Text _ -> []
+
+let child_elements t =
+  List.filter (function Element _ -> true | Text _ -> false) (children t)
+
+let find_child tag t =
+  List.find_opt
+    (function Element (n, _, _) -> String.equal n tag | Text _ -> false)
+    (children t)
+
+let find_children tag t =
+  List.filter
+    (function Element (n, _, _) -> String.equal n tag | Text _ -> false)
+    (children t)
+
+let rec text_content = function
+  | Text s -> s
+  | Element (_, _, cs) -> String.concat "" (List.map text_content cs)
+
+let rec equal t1 t2 =
+  match t1, t2 with
+  | Text a, Text b -> String.equal a b
+  | Element (n1, a1, c1), Element (n2, a2, c2) ->
+    String.equal n1 n2
+    && List.sort compare a1 = List.sort compare a2
+    && List.length c1 = List.length c2
+    && List.for_all2 equal c1 c2
+  | _ -> false
+
+let rec pp ppf = function
+  | Text s -> Format.pp_print_string ppf s
+  | Element (tag, attrs, children) ->
+    let pp_attr ppf (k, v) = Format.fprintf ppf " %s=%S" k v in
+    if children = [] then
+      Format.fprintf ppf "<%s%a/>" tag (Format.pp_print_list pp_attr) attrs
+    else
+      Format.fprintf ppf "<%s%a>%a</%s>" tag
+        (Format.pp_print_list pp_attr)
+        attrs
+        (Format.pp_print_list pp)
+        children tag

@@ -1,0 +1,35 @@
+(** The XML transport substrate.
+
+    "Syntactically all information (queries, CM signatures and data,
+    mediator/wrapper dialogues, etc.) goes over the wire in XML syntax"
+    (Section 2). This module is the small tree model; {!Parse} and
+    {!Print} are the wire codecs; {!Path} and {!Transform} are the
+    "XML sublanguage for translating between XML and the mediator's
+    local GCM representation" that the CM plug-ins are written in. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** tag, attributes, children *)
+  | Text of string
+
+(** {1 Constructors} *)
+
+val elt : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+val leaf : ?attrs:(string * string) list -> string -> string -> t
+(** [leaf tag s] = [elt tag [text s]]. *)
+
+(** {1 Accessors} *)
+
+val tag : t -> string option
+val attrs : t -> (string * string) list
+val attr : string -> t -> string option
+val children : t -> t list
+val child_elements : t -> t list
+val find_child : string -> t -> t option
+val find_children : string -> t -> t list
+val text_content : t -> string
+(** Concatenated text of the subtree. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+(* Unit tests for the Example 4 aggregate operator (distribution trees)
+   and supporting pieces that the integration tests exercise only
+   indirectly. *)
+
+open Mediation
+module Dmap = Domain_map.Dmap
+
+let dm =
+  (* root -has-> a -has-> b; c isa a (so c is visited via isa descent) *)
+  Dmap.empty
+  |> fun d -> Dmap.ex d ~role:"has" "root" "a"
+  |> fun d -> Dmap.ex d ~role:"has" "a" "b"
+  |> fun d -> Dmap.isa d "c" "a"
+
+let measure values concept =
+  match List.assoc_opt concept values with Some vs -> vs | None -> []
+
+let test_tree_shape () =
+  let tree =
+    Aggregate.distribution dm ~root:"root"
+      ~measure:(measure [ ("a", [ 1.0; 2.0 ]); ("b", [ 4.0 ]); ("c", [ 8.0 ]) ])
+  in
+  Alcotest.(check string) "root" "root" tree.Aggregate.concept;
+  Alcotest.(check (float 1e-9)) "rollup" 15.0 tree.Aggregate.total;
+  Alcotest.(check (float 1e-9)) "root own" 0.0 tree.Aggregate.own;
+  Alcotest.(check int) "four nodes" 4 (Aggregate.size tree);
+  Alcotest.(check int) "depth" 3 (Aggregate.depth tree)
+
+let test_visit_once () =
+  (* diamond: root has x, root has y, x has z, y has z — z counted once *)
+  let dm =
+    Dmap.empty
+    |> fun d -> Dmap.ex d ~role:"has" "root" "x"
+    |> fun d -> Dmap.ex d ~role:"has" "root" "y"
+    |> fun d -> Dmap.ex d ~role:"has" "x" "z"
+    |> fun d -> Dmap.ex d ~role:"has" "y" "z"
+  in
+  let tree =
+    Aggregate.distribution dm ~root:"root" ~measure:(measure [ ("z", [ 5.0 ]) ])
+  in
+  Alcotest.(check (float 1e-9)) "z once" 5.0 tree.Aggregate.total
+
+let test_flatten_prune_to_term () =
+  let tree =
+    Aggregate.distribution dm ~root:"root"
+      ~measure:(measure [ ("b", [ 4.0 ]) ])
+  in
+  let flat = Aggregate.flatten tree in
+  Alcotest.(check (option (float 1e-9))) "flatten finds b" (Some 4.0)
+    (List.assoc_opt "b" flat);
+  let pruned = Aggregate.prune tree in
+  (* c has no mass; pruned tree keeps only the a-b spine *)
+  Alcotest.(check bool) "c pruned" false
+    (List.mem_assoc "c" (Aggregate.flatten pruned));
+  (* term rendering is a ground dist/cons structure *)
+  let t = Aggregate.to_term tree in
+  Alcotest.(check bool) "ground term" true (Logic.Term.is_ground t);
+  match t with
+  | Logic.Term.App ("dist", [ Logic.Term.Const (Logic.Term.Sym "root"); _; _ ]) -> ()
+  | _ -> Alcotest.fail "unexpected term shape"
+
+let test_empty_measure () =
+  let tree = Aggregate.distribution dm ~root:"root" ~measure:(fun _ -> []) in
+  Alcotest.(check (float 1e-9)) "all zero" 0.0 tree.Aggregate.total;
+  Alcotest.(check int) "prune keeps root" 1 (Aggregate.size (Aggregate.prune tree))
+
+(* property: total = sum of own over random measures *)
+let prop_rollup =
+  QCheck.Test.make ~name:"tree total = sum of owns" ~count:100
+    QCheck.(list_of_size Gen.(int_bound 6) (pair (oneofl [ "a"; "b"; "c"; "root" ]) (list_of_size Gen.(int_bound 3) (float_bound_inclusive 10.0))))
+    (fun values ->
+      let tree =
+        Aggregate.distribution dm ~root:"root"
+          ~measure:(fun c ->
+            List.concat_map (fun (c', vs) -> if c = c' then vs else []) values)
+      in
+      let rec own_sum t =
+        t.Aggregate.own
+        +. List.fold_left (fun a c -> a +. own_sum c) 0.0 t.Aggregate.children
+      in
+      Float.abs (own_sum tree -. tree.Aggregate.total) < 1e-6)
+
+let suites =
+  [
+    ( "aggregate",
+      [
+        Alcotest.test_case "tree shape" `Quick test_tree_shape;
+        Alcotest.test_case "diamond visits once" `Quick test_visit_once;
+        Alcotest.test_case "flatten/prune/to_term" `Quick test_flatten_prune_to_term;
+        Alcotest.test_case "empty measure" `Quick test_empty_measure;
+        QCheck_alcotest.to_alcotest prop_rollup;
+      ] );
+  ]

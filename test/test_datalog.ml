@@ -1,0 +1,504 @@
+(* Tests for the Datalog engine: relations, stratification, naive vs
+   semi-naive evaluation, negation, aggregation, well-founded models. *)
+
+open Logic
+open Datalog
+
+let v = Term.var
+let s = Term.sym
+let i = Term.int
+let atom p args = Atom.make p args
+let rule h b = Rule.make h b
+let fact p args = Rule.fact (atom p args)
+
+let edge x y = fact "edge" [ s x; s y ]
+
+(* tc(X,Y) :- edge(X,Y).  tc(X,Y) :- tc(X,Z), edge(Z,Y). *)
+let tc_rules =
+  [
+    rule (atom "tc" [ v "X"; v "Y" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+    rule
+      (atom "tc" [ v "X"; v "Y" ])
+      [ Literal.pos "tc" [ v "X"; v "Z" ]; Literal.pos "edge" [ v "Z"; v "Y" ] ];
+  ]
+
+let chain_edges n =
+  List.init n (fun k -> edge (Printf.sprintf "n%d" k) (Printf.sprintf "n%d" (k + 1)))
+
+let sorted_answers db p arity =
+  Engine.answers db (atom p (List.init arity (fun k -> v (Printf.sprintf "A%d" k))))
+  |> List.map (fun tup -> String.concat "," (List.map Term.to_string tup))
+  |> List.sort String.compare
+
+(* -------------------------------------------------------------------- *)
+(* Relation / database *)
+
+let test_relation_basics () =
+  let r = Relation.create () in
+  Alcotest.(check bool) "add new" true (Relation.add r [ s "a"; s "b" ]);
+  Alcotest.(check bool) "add dup" false (Relation.add r [ s "a"; s "b" ]);
+  Alcotest.(check int) "cardinal" 1 (Relation.cardinal r);
+  Alcotest.(check bool) "mem" true (Relation.mem r [ s "a"; s "b" ]);
+  Alcotest.check_raises "non-ground rejected"
+    (Invalid_argument "Relation.add: non-ground tuple (X, b)") (fun () ->
+      ignore (Relation.add r [ v "X"; s "b" ]))
+
+let test_relation_lookup_select () =
+  let r = Relation.of_list [ [ s "a"; s "b" ]; [ s "a"; s "c" ]; [ s "d"; s "b" ] ] in
+  Alcotest.(check int) "lookup pos 0" 2 (List.length (Relation.lookup r ~pos:0 (s "a")));
+  Alcotest.(check int) "lookup pos 1" 2 (List.length (Relation.lookup r ~pos:1 (s "b")));
+  Alcotest.(check int) "select bound first" 2
+    (List.length (Relation.select r ~pattern:[ s "a"; v "Y" ]));
+  Alcotest.(check int) "select all" 3
+    (List.length (Relation.select r ~pattern:[ v "X"; v "Y" ]));
+  (* repeated variable: only tuples with equal components *)
+  let rr = Relation.of_list [ [ s "a"; s "a" ]; [ s "a"; s "b" ] ] in
+  Alcotest.(check int) "select diagonal" 1
+    (List.length (Relation.select rr ~pattern:[ v "X"; v "X" ]))
+
+let test_relation_index_after_add () =
+  let r = Relation.create () in
+  ignore (Relation.add r [ s "a"; s "b" ]);
+  (* force index creation *)
+  ignore (Relation.lookup r ~pos:0 (s "a"));
+  ignore (Relation.add r [ s "a"; s "c" ]);
+  Alcotest.(check int) "index maintained incrementally" 2
+    (List.length (Relation.lookup r ~pos:0 (s "a")))
+
+let test_database () =
+  let db = Database.create () in
+  ignore (Database.add_fact db (atom "p" [ s "a" ]));
+  ignore (Database.add_fact db (atom "q" [ s "b"; s "c" ]));
+  Alcotest.(check int) "cardinal" 2 (Database.cardinal db);
+  Alcotest.(check (list string)) "predicates" [ "p"; "q" ] (Database.predicates db);
+  let db2 = Database.copy db in
+  ignore (Database.add_fact db2 (atom "p" [ s "z" ]));
+  Alcotest.(check int) "copy isolated" 1 (Database.count db "p");
+  Alcotest.(check int) "copy extended" 2 (Database.count db2 "p")
+
+(* -------------------------------------------------------------------- *)
+(* Stratification *)
+
+let test_stratify_positive () =
+  let p = Program.make_exn tc_rules in
+  match Stratify.stratify p with
+  | Stratify.Stratified strata ->
+    Alcotest.(check int) "single stratum" 1 (List.length strata)
+  | Stratify.Unstratified _ -> Alcotest.fail "tc is stratified"
+
+let test_stratify_negation () =
+  (* unreach(X) :- node(X), not reach(X) — reach below unreach. *)
+  let rules =
+    tc_rules
+    @ [
+        rule (atom "reach" [ v "X" ]) [ Literal.pos "tc" [ s "root"; v "X" ] ];
+        rule
+          (atom "unreach" [ v "X" ])
+          [ Literal.pos "node" [ v "X" ]; Literal.neg "reach" [ v "X" ] ];
+      ]
+  in
+  let p = Program.make_exn rules in
+  match Stratify.stratify p with
+  | Stratify.Stratified strata ->
+    let stratum_of q =
+      List.mapi (fun k qs -> (k, qs)) strata
+      |> List.find (fun (_, qs) -> List.mem q qs)
+      |> fst
+    in
+    Alcotest.(check bool) "reach below unreach" true
+      (stratum_of "reach" < stratum_of "unreach")
+  | Stratify.Unstratified _ -> Alcotest.fail "program is stratified"
+
+let test_stratify_cycle_detected () =
+  (* p :- not q. q :- not p. *)
+  let rules =
+    [
+      rule (atom "p" [ s "a" ]) [ Literal.pos "u" [ s "a" ]; Literal.neg "q" [ s "a" ] ];
+      rule (atom "q" [ s "a" ]) [ Literal.pos "u" [ s "a" ]; Literal.neg "p" [ s "a" ] ];
+    ]
+  in
+  let p = Program.make_exn rules in
+  match Stratify.stratify p with
+  | Stratify.Unstratified _ -> ()
+  | Stratify.Stratified _ -> Alcotest.fail "negative cycle must be rejected"
+
+let test_stratify_aggregate_edge () =
+  (* count over p feeding p would be unstratified. *)
+  let rules =
+    [
+      rule (atom "p" [ v "N" ])
+        [
+          Literal.count ~target:(v "X") ~group_by:[] ~result:(v "N")
+            [ atom "p" [ v "X" ] ];
+        ];
+    ]
+  in
+  let p = Program.make_exn rules in
+  Alcotest.(check bool) "aggregate self-loop unstratified" false
+    (Stratify.is_stratified p)
+
+(* -------------------------------------------------------------------- *)
+(* Materialization: closure, negation, aggregates *)
+
+let test_tc_chain () =
+  let p = Program.make_exn (tc_rules @ chain_edges 10) in
+  let db = Engine.materialize p (Database.create ()) in
+  (* chain of 11 nodes: 55 tc pairs *)
+  Alcotest.(check int) "tc count" 55 (Database.count db "tc");
+  Alcotest.(check bool) "endpoint reachable" true
+    (Database.mem db (atom "tc" [ s "n0"; s "n10" ]))
+
+let test_naive_equals_seminaive () =
+  let p = Program.make_exn (tc_rules @ chain_edges 15) in
+  let db_n =
+    Engine.materialize
+      ~config:{ Engine.default_config with Engine.strategy = Engine.Naive }
+      p (Database.create ())
+  in
+  let db_s = Engine.materialize p (Database.create ()) in
+  Alcotest.(check (list string))
+    "same model" (sorted_answers db_n "tc" 2) (sorted_answers db_s "tc" 2)
+
+let test_seminaive_cheaper () =
+  let p = Program.make_exn (tc_rules @ chain_edges 30) in
+  let rn = ref Engine.{ stratified = true; strata = 0; rounds = 0; derived = 0;
+                        skolems_suppressed = 0; joins = 0; tuples_scanned = 0 } in
+  let rs = ref !rn in
+  ignore
+    (Engine.materialize
+       ~config:{ Engine.default_config with Engine.strategy = Engine.Naive }
+       ~report:rn p (Database.create ()));
+  ignore (Engine.materialize ~report:rs p (Database.create ()));
+  Alcotest.(check bool)
+    (Printf.sprintf "semi-naive scans fewer tuples (%d < %d)"
+       !rs.Engine.tuples_scanned !rn.Engine.tuples_scanned)
+    true
+    (!rs.Engine.tuples_scanned < !rn.Engine.tuples_scanned)
+
+let test_negation_stratified () =
+  let rules =
+    tc_rules
+    @ [
+        rule (atom "node" [ v "X" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+        rule (atom "node" [ v "Y" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+        rule (atom "reach" [ v "X" ]) [ Literal.pos "tc" [ s "n0"; v "X" ] ];
+        rule
+          (atom "unreach" [ v "X" ])
+          [ Literal.pos "node" [ v "X" ]; Literal.neg "reach" [ v "X" ] ];
+      ]
+    @ chain_edges 3
+    @ [ edge "isolated" "isolated2" ]
+  in
+  let db = Engine.materialize (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "isolated unreachable" true
+    (Database.mem db (atom "unreach" [ s "isolated" ]));
+  Alcotest.(check bool) "n0 not unreachable (not reach(n0) is true though: n0 unreach)" true
+    (Database.mem db (atom "unreach" [ s "n0" ]));
+  Alcotest.(check bool) "n3 reachable" true
+    (not (Database.mem db (atom "unreach" [ s "n3" ])))
+
+let test_aggregate_count_group () =
+  (* per-department headcount *)
+  let rules =
+    [
+      fact "works" [ s "ann"; s "cs" ];
+      fact "works" [ s "bob"; s "cs" ];
+      fact "works" [ s "carla"; s "math" ];
+      rule
+        (atom "headcount" [ v "D"; v "N" ])
+        [
+          Literal.count ~target:(v "P") ~group_by:[ v "D" ] ~result:(v "N")
+            [ atom "works" [ v "P"; v "D" ] ];
+        ];
+    ]
+  in
+  let db = Engine.materialize (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "cs=2" true (Database.mem db (atom "headcount" [ s "cs"; i 2 ]));
+  Alcotest.(check bool) "math=1" true
+    (Database.mem db (atom "headcount" [ s "math"; i 1 ]));
+  Alcotest.(check int) "two groups" 2 (Database.count db "headcount")
+
+let test_aggregate_count_distinct () =
+  (* duplicate derivations must not double-count (set semantics) *)
+  let rules =
+    [
+      fact "e1" [ s "x"; s "a" ];
+      fact "e2" [ s "x"; s "a" ];
+      rule (atom "u" [ v "X"; v "Y" ]) [ Literal.pos "e1" [ v "X"; v "Y" ] ];
+      rule (atom "u" [ v "X"; v "Y" ]) [ Literal.pos "e2" [ v "X"; v "Y" ] ];
+      rule
+        (atom "n" [ v "N" ])
+        [
+          Literal.count ~target:(v "Y") ~group_by:[] ~result:(v "N")
+            [ atom "u" [ s "x"; v "Y" ] ];
+        ];
+    ]
+  in
+  let db = Engine.materialize (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "count distinct" true (Database.mem db (atom "n" [ i 1 ]))
+
+let test_aggregate_sum_min_max_avg () =
+  let rules =
+    [
+      fact "m" [ s "a"; i 10 ];
+      fact "m" [ s "b"; i 20 ];
+      fact "m" [ s "c"; i 30 ];
+      rule (atom "total" [ v "N" ])
+        [
+          Literal.agg Literal.Sum ~target:(v "V") ~group_by:[] ~result:(v "N")
+            [ atom "m" [ v "K"; v "V" ] ];
+        ];
+      rule (atom "lo" [ v "N" ])
+        [
+          Literal.agg Literal.Min ~target:(v "V") ~group_by:[] ~result:(v "N")
+            [ atom "m" [ v "K"; v "V" ] ];
+        ];
+      rule (atom "hi" [ v "N" ])
+        [
+          Literal.agg Literal.Max ~target:(v "V") ~group_by:[] ~result:(v "N")
+            [ atom "m" [ v "K"; v "V" ] ];
+        ];
+      rule (atom "mean" [ v "N" ])
+        [
+          Literal.agg Literal.Avg ~target:(v "V") ~group_by:[] ~result:(v "N")
+            [ atom "m" [ v "K"; v "V" ] ];
+        ];
+    ]
+  in
+  let db = Engine.materialize (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "sum" true (Database.mem db (atom "total" [ Term.float 60.0 ]));
+  Alcotest.(check bool) "min" true (Database.mem db (atom "lo" [ i 10 ]));
+  Alcotest.(check bool) "max" true (Database.mem db (atom "hi" [ i 30 ]));
+  Alcotest.(check bool) "avg" true (Database.mem db (atom "mean" [ Term.float 20.0 ]))
+
+let test_arith_assign () =
+  let rules =
+    [
+      fact "p" [ i 4 ];
+      rule (atom "q" [ v "Y" ])
+        [
+          Literal.pos "p" [ v "X" ];
+          Literal.assign (v "Y")
+            (Literal.Bin (Literal.Mul, Literal.Leaf (v "X"), Literal.Leaf (i 3)));
+        ];
+    ]
+  in
+  let db = Engine.materialize (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "4*3=12" true (Database.mem db (atom "q" [ i 12 ]))
+
+let test_skolem_bound () =
+  (* f-chains: p(f(X)) :- p(X) — must terminate via depth bound. *)
+  let rules =
+    [
+      fact "p" [ s "a" ];
+      rule (atom "p" [ Term.app "f" [ v "X" ] ]) [ Literal.pos "p" [ v "X" ] ];
+    ]
+  in
+  let report = ref Engine.{ stratified = true; strata = 0; rounds = 0; derived = 0;
+                            skolems_suppressed = 0; joins = 0; tuples_scanned = 0 } in
+  let db =
+    Engine.materialize
+      ~config:{ Engine.default_config with Engine.max_term_depth = 4 }
+      ~report (Program.make_exn rules) (Database.create ())
+  in
+  (* a, f(a), f(f(a)), f(f(f(a))) : depths 1..4 *)
+  Alcotest.(check int) "bounded facts" 4 (Database.count db "p");
+  Alcotest.(check bool) "suppression recorded" true
+    (!report.Engine.skolems_suppressed > 0)
+
+(* -------------------------------------------------------------------- *)
+(* Well-founded semantics *)
+
+let test_wellfounded_win_move () =
+  (* win(X) :- move(X,Y), not win(Y).
+     Chain a->b->c: win(b) (b moves to dead-end c), win(a) undefined? No:
+     a->b, b->c, c dead. win(b) true (move to c, c has no move so not win(c)).
+     win(a): move to b, win(b) true, so win(a) false. All total. *)
+  let rules =
+    [
+      fact "move" [ s "a"; s "b" ];
+      fact "move" [ s "b"; s "c" ];
+      rule (atom "win" [ v "X" ])
+        [ Literal.pos "move" [ v "X"; v "Y" ]; Literal.neg "win" [ v "Y" ] ];
+    ]
+  in
+  let m = Wellfounded.compute (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check bool) "win(b)" true
+    (Database.mem m.Wellfounded.true_facts (atom "win" [ s "b" ]));
+  Alcotest.(check bool) "not win(a)" false
+    (Database.mem m.Wellfounded.true_facts (atom "win" [ s "a" ]));
+  Alcotest.(check bool) "total" true (Wellfounded.is_total m)
+
+let test_wellfounded_undefined_cycle () =
+  (* a <-> b two-cycle: win(a), win(b) both undefined. *)
+  let rules =
+    [
+      fact "move" [ s "a"; s "b" ];
+      fact "move" [ s "b"; s "a" ];
+      rule (atom "win" [ v "X" ])
+        [ Literal.pos "move" [ v "X"; v "Y" ]; Literal.neg "win" [ v "Y" ] ];
+    ]
+  in
+  let m = Wellfounded.compute (Program.make_exn rules) (Database.create ()) in
+  Alcotest.(check int) "both undefined" 2
+    (Database.count m.Wellfounded.undefined "win");
+  Alcotest.(check bool) "not total" false (Wellfounded.is_total m)
+
+let test_wellfounded_agrees_with_stratified () =
+  let rules =
+    tc_rules @ chain_edges 5
+    @ [
+        rule (atom "node" [ v "X" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+        rule
+          (atom "sink" [ v "X" ])
+          [ Literal.pos "node" [ v "X" ]; Literal.neg "edge" [ v "X"; v "X" ] ];
+      ]
+  in
+  let p = Program.make_exn rules in
+  let strat = Engine.materialize p (Database.create ()) in
+  let wf = Wellfounded.compute p (Database.create ()) in
+  Alcotest.(check bool) "wf total on stratified" true (Wellfounded.is_total wf);
+  Alcotest.(check int) "same cardinality" (Database.cardinal strat)
+    (Database.cardinal wf.Wellfounded.true_facts)
+
+let test_engine_unstratified_guard () =
+  let rules =
+    [
+      fact "u" [ s "a" ];
+      rule (atom "p" [ v "X" ]) [ Literal.pos "u" [ v "X" ]; Literal.neg "q" [ v "X" ] ];
+      rule (atom "q" [ v "X" ]) [ Literal.pos "u" [ v "X" ]; Literal.neg "p" [ v "X" ] ];
+    ]
+  in
+  let p = Program.make_exn rules in
+  (match
+     Engine.materialize
+       ~config:{ Engine.default_config with Engine.allow_wellfounded_fallback = false }
+       p (Database.create ())
+   with
+  | exception Engine.Unstratified _ -> ()
+  | _ -> Alcotest.fail "expected Unstratified");
+  (* With fallback: p/q over 'a' are undefined -> Undefined_atoms. *)
+  match Engine.materialize p (Database.create ()) with
+  | exception Engine.Undefined_atoms 2 -> ()
+  | exception Engine.Undefined_atoms n -> Alcotest.failf "expected 2 undefined, got %d" n
+  | _ -> Alcotest.fail "expected Undefined_atoms"
+
+(* -------------------------------------------------------------------- *)
+(* Query API *)
+
+let test_query_conjunctive () =
+  let p = Program.make_exn (tc_rules @ chain_edges 4) in
+  let db = Engine.materialize p (Database.create ()) in
+  let ss =
+    Engine.query db
+      [ Literal.pos "tc" [ s "n0"; v "X" ]; Literal.pos "tc" [ v "X"; s "n4" ] ]
+  in
+  (* intermediate nodes n1..n3 *)
+  Alcotest.(check int) "intermediates" 3 (List.length ss)
+
+let test_query_negation_and_cmp () =
+  let db = Database.create () in
+  List.iter (fun k -> ignore (Database.add_fact db (atom "val" [ i k ]))) [ 1; 2; 3; 4 ];
+  ignore (Database.add_fact db (atom "bad" [ i 2 ]));
+  let ss =
+    Engine.query db
+      [
+        Literal.pos "val" [ v "X" ];
+        Literal.neg "bad" [ v "X" ];
+        Literal.cmp Literal.Lt (v "X") (i 4);
+      ]
+  in
+  Alcotest.(check int) "1 and 3" 2 (List.length ss)
+
+(* Property: naive and semi-naive agree on random acyclic tc workloads. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"naive = semi-naive on random graphs" ~count:60
+    QCheck.(pair (int_bound 12) (list_of_size Gen.(int_bound 30) (pair (int_bound 12) (int_bound 12))))
+    (fun (n, pairs) ->
+      let edges =
+        List.map
+          (fun (a, b) ->
+            fact "edge" [ s (Printf.sprintf "v%d" (a mod (n + 1)));
+                          s (Printf.sprintf "v%d" (b mod (n + 1))) ])
+          pairs
+      in
+      let p = Program.make_exn (tc_rules @ edges) in
+      let db_n =
+        Engine.materialize
+          ~config:{ Engine.default_config with Engine.strategy = Engine.Naive }
+          p (Database.create ())
+      in
+      let db_s = Engine.materialize p (Database.create ()) in
+      sorted_answers db_n "tc" 2 = sorted_answers db_s "tc" 2)
+
+(* Property: tc is transitive and contains edge. *)
+let prop_tc_transitive =
+  QCheck.Test.make ~name:"tc is a transitive superset of edge" ~count:40
+    QCheck.(list_of_size Gen.(int_bound 25) (pair (int_bound 8) (int_bound 8)))
+    (fun pairs ->
+      let edges =
+        List.map
+          (fun (a, b) ->
+            fact "edge" [ s (Printf.sprintf "v%d" a); s (Printf.sprintf "v%d" b) ])
+          pairs
+      in
+      let p = Program.make_exn (tc_rules @ edges) in
+      let db = Engine.materialize p (Database.create ()) in
+      let tc = Engine.answers db (atom "tc" [ v "X"; v "Y" ]) in
+      let mem x y = Database.mem db (atom "tc" [ x; y ]) in
+      List.for_all
+        (fun tup ->
+          match tup with
+          | [ x; y ] ->
+            List.for_all
+              (fun tup2 ->
+                match tup2 with
+                | [ y'; z ] -> (not (Term.equal y y')) || mem x z
+                | _ -> false)
+              tc
+          | _ -> false)
+        tc)
+
+let suites =
+  [
+    ( "datalog.storage",
+      [
+        Alcotest.test_case "relation basics" `Quick test_relation_basics;
+        Alcotest.test_case "lookup/select" `Quick test_relation_lookup_select;
+        Alcotest.test_case "incremental index" `Quick test_relation_index_after_add;
+        Alcotest.test_case "database" `Quick test_database;
+      ] );
+    ( "datalog.stratify",
+      [
+        Alcotest.test_case "positive" `Quick test_stratify_positive;
+        Alcotest.test_case "negation strata" `Quick test_stratify_negation;
+        Alcotest.test_case "cycle detected" `Quick test_stratify_cycle_detected;
+        Alcotest.test_case "aggregate edge" `Quick test_stratify_aggregate_edge;
+      ] );
+    ( "datalog.materialize",
+      [
+        Alcotest.test_case "tc chain" `Quick test_tc_chain;
+        Alcotest.test_case "naive = seminaive" `Quick test_naive_equals_seminaive;
+        Alcotest.test_case "seminaive cheaper" `Quick test_seminaive_cheaper;
+        Alcotest.test_case "stratified negation" `Quick test_negation_stratified;
+        Alcotest.test_case "count group-by" `Quick test_aggregate_count_group;
+        Alcotest.test_case "count distinct" `Quick test_aggregate_count_distinct;
+        Alcotest.test_case "sum/min/max/avg" `Quick test_aggregate_sum_min_max_avg;
+        Alcotest.test_case "arith assign" `Quick test_arith_assign;
+        Alcotest.test_case "skolem bound" `Quick test_skolem_bound;
+      ] );
+    ( "datalog.wellfounded",
+      [
+        Alcotest.test_case "win-move total" `Quick test_wellfounded_win_move;
+        Alcotest.test_case "undefined 2-cycle" `Quick test_wellfounded_undefined_cycle;
+        Alcotest.test_case "agrees with stratified" `Quick test_wellfounded_agrees_with_stratified;
+        Alcotest.test_case "engine guard" `Quick test_engine_unstratified_guard;
+      ] );
+    ( "datalog.query",
+      [
+        Alcotest.test_case "conjunctive" `Quick test_query_conjunctive;
+        Alcotest.test_case "negation + cmp" `Quick test_query_negation_and_cmp;
+        QCheck_alcotest.to_alcotest prop_strategies_agree;
+        QCheck_alcotest.to_alcotest prop_tc_transitive;
+      ] );
+  ]

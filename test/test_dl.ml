@@ -1,0 +1,337 @@
+(* Tests for the description-logic library: concepts, EL-completion
+   subsumption (Prop 1 guard), DL->FL translation in both modes. *)
+
+open Dl
+
+let n = Concept.name
+
+(* -------------------------------------------------------------------- *)
+(* Concept smart constructors *)
+
+let test_conj_normalization () =
+  Alcotest.(check string) "flatten" "(a AND b AND c)"
+    (Concept.to_string (Concept.conj [ n "a"; Concept.conj [ n "b"; n "c" ] ]));
+  Alcotest.(check string) "drop top" "a"
+    (Concept.to_string (Concept.conj [ n "a"; Concept.Top ]));
+  Alcotest.(check string) "bot collapses" "BOT"
+    (Concept.to_string (Concept.conj [ n "a"; Concept.Bot ]));
+  Alcotest.(check string) "empty conj is top" "TOP" (Concept.to_string (Concept.conj []));
+  Alcotest.(check string) "dedup" "a" (Concept.to_string (Concept.conj [ n "a"; n "a" ]))
+
+let test_disj_normalization () =
+  Alcotest.(check string) "drop bot" "a"
+    (Concept.to_string (Concept.disj [ n "a"; Concept.Bot ]));
+  Alcotest.(check string) "top collapses" "TOP"
+    (Concept.to_string (Concept.disj [ n "a"; Concept.Top ]))
+
+let test_fragment_guard () =
+  Alcotest.(check bool) "EL ok" true
+    (Concept.is_el (Concept.conj [ n "a"; Concept.exists "r" (n "b") ]));
+  Alcotest.(check (option string)) "Or flagged" (Some "disjunction (OR node)")
+    (Concept.offending_feature (Concept.disj [ n "a"; n "b" ]));
+  Alcotest.(check (option string)) "Forall flagged"
+    (Some "value restriction (ALL edge)")
+    (Concept.offending_feature (Concept.exists "r" (Concept.forall "s" (n "a"))))
+
+let test_names_roles () =
+  let c = Concept.conj [ n "a"; Concept.exists "r" (Concept.exists "s" (n "b")) ] in
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Concept.names c);
+  Alcotest.(check (list string)) "roles" [ "r"; "s" ] (Concept.roles c)
+
+(* -------------------------------------------------------------------- *)
+(* EL completion reasoner *)
+
+let tbox_basic =
+  [
+    Concept.subsumes (n "purkinje") (n "spiny_neuron");
+    Concept.subsumes (n "spiny_neuron") (n "neuron");
+    Concept.subsumes (n "neuron") (Concept.exists "has" (n "compartment"));
+    Concept.equiv (n "spiny2") (Concept.conj [ n "neuron"; Concept.exists "has" (n "spine") ]);
+    Concept.subsumes (n "spine") (n "compartment");
+  ]
+
+let classify_ok tbox =
+  match Reason.classify tbox with
+  | Ok t -> t
+  | Error f -> Alcotest.failf "classification failed: %s" f
+
+let test_reason_hierarchy () =
+  let t = classify_ok tbox_basic in
+  Alcotest.(check bool) "direct" true (Reason.subsumes t "purkinje" "spiny_neuron");
+  Alcotest.(check bool) "transitive" true (Reason.subsumes t "purkinje" "neuron");
+  Alcotest.(check bool) "reflexive" true (Reason.subsumes t "neuron" "neuron");
+  Alcotest.(check bool) "not upward" false (Reason.subsumes t "neuron" "purkinje")
+
+let test_reason_existential () =
+  let t = classify_ok tbox_basic in
+  (* spiny2 == neuron ⊓ ∃has.spine: anything that is a neuron with a
+     spine must be classified under spiny2. *)
+  let tbox2 =
+    tbox_basic
+    @ [
+        Concept.subsumes (n "cell_x") (n "neuron");
+        Concept.subsumes (n "cell_x") (Concept.exists "has" (n "spine"));
+      ]
+  in
+  let t2 = classify_ok tbox2 in
+  Alcotest.(check bool) "defined concept recognised" true
+    (Reason.subsumes t2 "cell_x" "spiny2");
+  Alcotest.(check bool) "no spurious subsumption" false
+    (Reason.subsumes t "purkinje" "spiny2")
+
+let test_reason_filler_monotone () =
+  (* ∃has.purkinje ⊑ ∃has.neuron via CR-rules with a defined concept. *)
+  let tbox =
+    tbox_basic
+    @ [
+        Concept.equiv (n "has_neuron") (Concept.exists "has" (n "neuron"));
+        Concept.subsumes (n "owner") (Concept.exists "has" (n "purkinje"));
+      ]
+  in
+  let t = classify_ok tbox in
+  Alcotest.(check bool) "filler subsumption lifts" true
+    (Reason.subsumes t "owner" "has_neuron")
+
+let test_reason_bot () =
+  let tbox =
+    [
+      Concept.subsumes (n "a") (n "b");
+      Concept.subsumes (Concept.conj [ n "b"; n "c" ]) Concept.Bot;
+      Concept.subsumes (n "d") (Concept.conj [ n "a"; n "c" ]);
+    ]
+  in
+  let t = classify_ok tbox in
+  Alcotest.(check bool) "d unsatisfiable" true (Reason.unsatisfiable t "d");
+  Alcotest.(check bool) "a satisfiable" false (Reason.unsatisfiable t "a");
+  (* bot propagates over roles: anything with an impossible part is
+     impossible. *)
+  let tbox2 = tbox @ [ Concept.subsumes (n "e") (Concept.exists "has" (n "d")) ] in
+  let t2 = classify_ok tbox2 in
+  Alcotest.(check bool) "role propagation of bot" true (Reason.unsatisfiable t2 "e")
+
+let test_reason_outside_fragment () =
+  match Reason.classify [ Concept.subsumes (n "a") (Concept.disj [ n "b"; n "c" ]) ] with
+  | Error f -> Alcotest.(check string) "feature named" "disjunction (OR node)" f
+  | Ok _ -> Alcotest.fail "Or must be rejected"
+
+let test_reason_check_complex () =
+  let tbox = tbox_basic in
+  (match Reason.check ~tbox (Concept.conj [ n "neuron"; Concept.exists "has" (n "spine") ]) (n "spiny2") with
+  | Reason.Subsumed -> ()
+  | _ -> Alcotest.fail "complex lhs check");
+  (match Reason.check ~tbox (n "purkinje") (Concept.exists "has" (n "compartment")) with
+  | Reason.Subsumed -> ()
+  | _ -> Alcotest.fail "complex rhs check");
+  match Reason.check ~tbox (n "a") (Concept.forall "r" (n "b")) with
+  | Reason.Outside_fragment _ -> ()
+  | _ -> Alcotest.fail "forall must be flagged"
+
+let test_reason_satisfiable () =
+  Alcotest.(check (result bool string)) "plain concept satisfiable" (Ok true)
+    (Reason.satisfiable ~tbox:tbox_basic (n "purkinje"));
+  let tbox = [ Concept.subsumes (n "a") Concept.Bot ] in
+  Alcotest.(check (result bool string)) "bot-forced unsat" (Ok false)
+    (Reason.satisfiable ~tbox (n "a"))
+
+(* Property: subsumption on random EL tboxes is reflexive and transitive. *)
+let prop_subsumption_preorder =
+  let gen_tbox =
+    let open QCheck.Gen in
+    let cname = map (Printf.sprintf "k%d") (int_bound 7) in
+    let role = oneofl [ "r"; "s" ] in
+    let concept =
+      sized_size (int_bound 3) @@ fix (fun self depth ->
+        if depth = 0 then map Concept.name cname
+        else
+          frequency
+            [
+              (3, map Concept.name cname);
+              (2, map2 (fun a b -> Concept.conj [ a; b ]) (self (depth - 1)) (self (depth - 1)));
+              (2, map2 Concept.exists role (self (depth - 1)));
+            ])
+    in
+    list_size (int_range 1 10)
+      (map2 (fun c d -> Concept.subsumes c d) concept concept)
+  in
+  QCheck.Test.make ~name:"EL subsumption is a preorder" ~count:60
+    (QCheck.make gen_tbox)
+    (fun tbox ->
+      match Reason.classify tbox with
+      | Error _ -> false
+      | Ok t ->
+        let names = Reason.concept_names t in
+        List.for_all (fun a -> Reason.subsumes t a a) names
+        && List.for_all
+             (fun a ->
+               List.for_all
+                 (fun b ->
+                   List.for_all
+                     (fun c ->
+                       (not (Reason.subsumes t a b && Reason.subsumes t b c))
+                       || Reason.subsumes t a c)
+                     names)
+                 names)
+             names)
+
+(* -------------------------------------------------------------------- *)
+(* Translation *)
+
+let s = Logic.Term.sym
+let v = Logic.Term.var
+
+let run_fl rules facts =
+  Flogic.Fl_program.run
+    (Flogic.Fl_program.make (rules @ List.map Flogic.Molecule.fact facts))
+
+let test_translate_isa_fact () =
+  let out = Translate.axiom ~mode:Translate.Ic (Concept.subsumes (n "a") (n "b")) in
+  Alcotest.(check int) "single fact" 1 (List.length out.Translate.rules);
+  Alcotest.(check (list string)) "no warnings" [] out.Translate.warnings
+
+let test_translate_ex_ic () =
+  (* dendrite ⊑ ∃has.branch as IC: object base must witness a branch. *)
+  let out =
+    Translate.axiom ~mode:Translate.Ic
+      (Concept.subsumes (n "dendrite") (Concept.exists "has" (n "branch")))
+  in
+  let facts_ok =
+    [
+      Flogic.Molecule.isa (s "d1") (s "dendrite");
+      Flogic.Molecule.isa (s "b1") (s "branch");
+      Flogic.Molecule.pred "has" [ s "d1"; s "b1" ];
+    ]
+  in
+  Alcotest.(check bool) "witnessed: consistent" true
+    (Flogic.Ic.consistent (run_fl out.Translate.rules facts_ok));
+  let facts_bad = [ Flogic.Molecule.isa (s "d1") (s "dendrite") ] in
+  let db = run_fl out.Translate.rules facts_bad in
+  Alcotest.(check bool) "unwitnessed: violation" false (Flogic.Ic.consistent db)
+
+let test_translate_ex_assertion () =
+  (* Assertion mode creates the placeholder f_C_r_D(x). *)
+  let out =
+    Translate.axiom ~mode:Translate.Assertion
+      (Concept.subsumes (n "dendrite") (Concept.exists "has" (n "branch")))
+  in
+  let db = run_fl out.Translate.rules [ Flogic.Molecule.isa (s "d1") (s "dendrite") ] in
+  let branches =
+    Flogic.Fl_program.instances_of db "branch"
+  in
+  (match branches with
+  | [ b ] ->
+    Alcotest.(check bool) "placeholder object" true (Translate.is_placeholder b)
+  | _ -> Alcotest.failf "expected 1 branch, got %d" (List.length branches));
+  (* and the role edge exists *)
+  let t = Flogic.Fl_program.make [] in
+  Alcotest.(check int) "has edge" 1
+    (List.length
+       (Flogic.Fl_program.query t db
+          [ Flogic.Molecule.Pos (Flogic.Molecule.pred "has" [ s "d1"; v "Y" ]) ]))
+
+let test_translate_assertion_no_duplicate () =
+  (* If a real witness exists, no placeholder is created. *)
+  let out =
+    Translate.axiom ~mode:Translate.Assertion
+      (Concept.subsumes (n "dendrite") (Concept.exists "has" (n "branch")))
+  in
+  let db =
+    run_fl out.Translate.rules
+      [
+        Flogic.Molecule.isa (s "d1") (s "dendrite");
+        Flogic.Molecule.isa (s "b1") (s "branch");
+        Flogic.Molecule.pred "has" [ s "d1"; s "b1" ];
+      ]
+  in
+  Alcotest.(check int) "only the real branch" 1
+    (List.length (Flogic.Fl_program.instances_of db "branch"))
+
+let test_translate_forall () =
+  (* MyNeuron ⊑ ∀has.MyDendrite — assertion propagates; IC witnesses. *)
+  let ax = Concept.subsumes (n "my_neuron") (Concept.forall "has" (n "my_dendrite")) in
+  let base =
+    [
+      Flogic.Molecule.isa (s "n1") (s "my_neuron");
+      Flogic.Molecule.pred "has" [ s "n1"; s "d1" ];
+    ]
+  in
+  let out_a = Translate.axiom ~mode:Translate.Assertion ax in
+  let db_a = run_fl out_a.Translate.rules base in
+  Alcotest.(check bool) "assertion types successor" true
+    (List.mem (s "d1") (Flogic.Fl_program.instances_of db_a "my_dendrite"));
+  let out_ic = Translate.axiom ~mode:Translate.Ic ax in
+  let db_ic = run_fl out_ic.Translate.rules base in
+  Alcotest.(check bool) "IC flags untyped successor" false
+    (Flogic.Ic.consistent db_ic)
+
+let test_translate_or_ic () =
+  (* C ⊑ D1 ⊔ D2 checkable as IC, not assertable. *)
+  let ax = Concept.subsumes (n "msn") (Concept.disj [ n "gpe"; n "gpi" ]) in
+  let out_ic = Translate.axiom ~mode:Translate.Ic ax in
+  let ok =
+    run_fl out_ic.Translate.rules
+      [ Flogic.Molecule.isa (s "m1") (s "msn"); Flogic.Molecule.isa (s "m1") (s "gpe") ]
+  in
+  Alcotest.(check bool) "disjunct satisfied" true (Flogic.Ic.consistent ok);
+  let bad = run_fl out_ic.Translate.rules [ Flogic.Molecule.isa (s "m1") (s "msn") ] in
+  Alcotest.(check bool) "no disjunct: violation" false (Flogic.Ic.consistent bad);
+  let out_a = Translate.axiom ~mode:Translate.Assertion ax in
+  Alcotest.(check bool) "assertion warns" true (out_a.Translate.warnings <> [])
+
+let test_translate_complex_lhs () =
+  (* ∃has.spine ⊓ neuron ⊑ spiny: recognition of complex LHS. *)
+  let ax =
+    Concept.subsumes
+      (Concept.conj [ n "neuron"; Concept.exists "has" (n "spine") ])
+      (n "spiny")
+  in
+  let out = Translate.axiom ~mode:Translate.Assertion ax in
+  let db =
+    run_fl out.Translate.rules
+      [
+        Flogic.Molecule.isa (s "n1") (s "neuron");
+        Flogic.Molecule.isa (s "sp") (s "spine");
+        Flogic.Molecule.pred "has" [ s "n1"; s "sp" ];
+        Flogic.Molecule.isa (s "n2") (s "neuron");
+      ]
+  in
+  Alcotest.(check bool) "n1 classified" true
+    (List.mem (s "n1") (Flogic.Fl_program.instances_of db "spiny"));
+  Alcotest.(check bool) "n2 not classified" false
+    (List.mem (s "n2") (Flogic.Fl_program.instances_of db "spiny"))
+
+let test_translate_skolem_name () =
+  Alcotest.(check string) "paper naming" "f_dendrite_has_branch"
+    (Translate.skolem_name "dendrite" "has" "branch")
+
+let suites =
+  [
+    ( "dl.concept",
+      [
+        Alcotest.test_case "conj normalization" `Quick test_conj_normalization;
+        Alcotest.test_case "disj normalization" `Quick test_disj_normalization;
+        Alcotest.test_case "fragment guard" `Quick test_fragment_guard;
+        Alcotest.test_case "names/roles" `Quick test_names_roles;
+      ] );
+    ( "dl.reason",
+      [
+        Alcotest.test_case "hierarchy" `Quick test_reason_hierarchy;
+        Alcotest.test_case "existential defs" `Quick test_reason_existential;
+        Alcotest.test_case "filler monotone" `Quick test_reason_filler_monotone;
+        Alcotest.test_case "bot propagation" `Quick test_reason_bot;
+        Alcotest.test_case "outside fragment" `Quick test_reason_outside_fragment;
+        Alcotest.test_case "complex check" `Quick test_reason_check_complex;
+        Alcotest.test_case "satisfiability" `Quick test_reason_satisfiable;
+        QCheck_alcotest.to_alcotest prop_subsumption_preorder;
+      ] );
+    ( "dl.translate",
+      [
+        Alcotest.test_case "isa fact" `Quick test_translate_isa_fact;
+        Alcotest.test_case "ex as IC" `Quick test_translate_ex_ic;
+        Alcotest.test_case "ex as assertion" `Quick test_translate_ex_assertion;
+        Alcotest.test_case "no duplicate skolems" `Quick test_translate_assertion_no_duplicate;
+        Alcotest.test_case "forall both modes" `Quick test_translate_forall;
+        Alcotest.test_case "or as IC only" `Quick test_translate_or_ic;
+        Alcotest.test_case "complex lhs" `Quick test_translate_complex_lhs;
+        Alcotest.test_case "skolem naming" `Quick test_translate_skolem_name;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+(* Last-mile coverage: lexer/parser corners, top-down equality binding,
+   planner ordering, and execution-mode contrast at the mediator. *)
+
+open Logic
+open Flogic
+
+let s = Term.sym
+let v = Term.var
+
+let parse_ok src =
+  match Fl_parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_lexer_corners () =
+  (* block comments, negative numbers, nested function terms, floats
+     followed by the end-of-statement dot *)
+  let p =
+    parse_ok
+      {| /* block
+            comment */
+         p(-3).
+         q(3.5).
+         r(f(g(a), -2.25)).
+         s(X) :- p(X), X < 0. |}
+  in
+  Alcotest.(check int) "four statements" 4 (List.length p.Fl_parser.rules);
+  match (List.nth p.Fl_parser.rules 2).Molecule.heads with
+  | [ Molecule.Pred a ] -> (
+    match a.Atom.args with
+    | [ Term.App ("f", [ Term.App ("g", _); Term.Const (Term.Float f) ]) ] ->
+      Alcotest.(check (float 1e-9)) "negative float" (-2.25) f
+    | _ -> Alcotest.fail "nested term shape")
+  | _ -> Alcotest.fail "pred expected"
+
+let test_parser_sub_of_quoted () =
+  let p = parse_ok {| 'Purkinje Cell' :: 'Spiny Neuron'. |} in
+  match p.Fl_parser.rules with
+  | [ { Molecule.heads = [ Molecule.Sub (a, b) ]; _ } ] ->
+    Alcotest.(check (option string)) "quoted lhs" (Some "Purkinje Cell")
+      (Term.as_sym a);
+    Alcotest.(check (option string)) "quoted rhs" (Some "Spiny Neuron")
+      (Term.as_sym b)
+  | _ -> Alcotest.fail "sub expected"
+
+let test_topdown_eq_binding () =
+  (* equality used as a binder inside a tabled rule *)
+  let prog =
+    Datalog.Program.make_exn
+      ([ Rule.fact (Atom.make "p" [ s "a" ]) ]
+      @ [
+          Rule.make
+            (Atom.make "tagged" [ v "X"; v "T" ])
+            [
+              Literal.pos "p" [ v "X" ];
+              Literal.cmp Literal.Eq (v "T") (Term.app "tag" [ v "X" ]);
+            ];
+        ])
+  in
+  match
+    Datalog.Topdown.solve prog (Datalog.Database.create ())
+      (Atom.make "tagged" [ s "a"; v "T" ])
+  with
+  | [ [ _; Term.App ("tag", [ t ]) ] ] ->
+    Alcotest.(check bool) "skolem-style tag built" true (Term.equal t (s "a"))
+  | other -> Alcotest.failf "unexpected answers (%d)" (List.length other)
+
+let test_planner_orders_selective_first () =
+  (* the group with a ground selection must be planned first *)
+  let med =
+    Neuro.Sources.standard_mediator { Neuro.Sources.seed = 3; scale = 20 }
+  in
+  match
+    Mediation.Conjunctive.plan med
+      [
+        Molecule.Pos (Molecule.Isa (v "A", s "NCMIR.protein_amount"));
+        Molecule.Pos (Molecule.Meth_val (v "A", "location", v "C"));
+        Molecule.Pos (Molecule.Isa (v "N", s "SENSELAB.neurotransmission"));
+        Molecule.Pos
+          (Molecule.Meth_val (v "N", "organism", Term.str "rat"));
+        Molecule.Pos (Molecule.Meth_val (v "N", "receiving_compartment", v "C"));
+      ]
+  with
+  | Ok (first :: _) ->
+    Alcotest.(check string) "selective group first" "N"
+      first.Mediation.Conjunctive.variable
+  | Ok [] -> Alcotest.fail "empty plan"
+  | Error e -> Alcotest.failf "plan failed: %s" e
+
+let test_mediator_modes_contrast () =
+  let params = { Neuro.Sources.seed = 3; scale = 10 } in
+  let med_a =
+    Neuro.Sources.standard_mediator
+      ~config:
+        {
+          Mediation.Mediator.default_config with
+          Mediation.Mediator.dl_mode = Dl.Translate.Assertion;
+        }
+      params
+  in
+  let med_ic =
+    Neuro.Sources.standard_mediator
+      ~config:
+        {
+          Mediation.Mediator.default_config with
+          Mediation.Mediator.dl_mode = Dl.Translate.Ic;
+        }
+      params
+  in
+  Alcotest.(check bool) "assertion mode witness-free" true
+    (Mediation.Mediator.consistent med_a);
+  Alcotest.(check bool) "IC mode reports incompleteness" false
+    (Mediation.Mediator.consistent med_ic);
+  (* and the assertion placeholders actually exist *)
+  let db = Mediation.Mediator.materialize med_a in
+  let placeholders =
+    Datalog.Database.facts db Compile.isa_p
+    |> List.filter (fun (a : Atom.t) ->
+           match a.Atom.args with
+           | [ x; _ ] -> Dl.Translate.is_placeholder x
+           | _ -> false)
+  in
+  Alcotest.(check bool) "placeholders created" true (placeholders <> [])
+
+let suites =
+  [
+    ( "final",
+      [
+        Alcotest.test_case "lexer corners" `Quick test_lexer_corners;
+        Alcotest.test_case "quoted subclass" `Quick test_parser_sub_of_quoted;
+        Alcotest.test_case "topdown eq binding" `Quick test_topdown_eq_binding;
+        Alcotest.test_case "planner ordering" `Quick test_planner_orders_selective_first;
+        Alcotest.test_case "execution modes" `Quick test_mediator_modes_contrast;
+      ] );
+  ]

@@ -1,0 +1,368 @@
+(* Tests for the F-logic layer: compilation (Table 1), GCM axioms,
+   nonmonotonic inheritance, integrity witnesses, surface parser. *)
+
+open Logic
+open Flogic
+
+let v = Term.var
+let s = Term.sym
+
+let run ?(inheritance = false) ?signature rules =
+  Fl_program.run (Fl_program.make ~inheritance ?signature rules)
+
+let prog ?signature rules = Fl_program.make ?signature rules
+
+(* -------------------------------------------------------------------- *)
+(* Compilation *)
+
+let test_compile_head_body_asymmetry () =
+  let sg = Signature.empty in
+  let heads = Compile.head_atoms sg (Molecule.isa (s "x") (s "c")) in
+  Alcotest.(check (list string)) "head writes isa_d" [ "isa_d(x, c)" ]
+    (List.map Atom.to_string heads);
+  let body = Compile.body_literals sg (Molecule.Pos (Molecule.isa (v "X") (s "c"))) in
+  Alcotest.(check (list string)) "body reads isa" [ "isa(X, c)" ]
+    (List.map Literal.to_string body)
+
+let test_compile_rel_val () =
+  let sg = Signature.declare "has" [ "whole"; "part" ] Signature.empty in
+  let atoms =
+    Compile.head_atoms sg (Molecule.Rel_val ("has", [ ("whole", s "n"); ("part", s "a") ]))
+  in
+  Alcotest.(check (list string)) "positional layout" [ "has(n, a)" ]
+    (List.map Atom.to_string atoms);
+  (* order of named attributes must not matter *)
+  let atoms2 =
+    Compile.head_atoms sg (Molecule.Rel_val ("has", [ ("part", s "a"); ("whole", s "n") ]))
+  in
+  Alcotest.(check (list string)) "order independent" [ "has(n, a)" ]
+    (List.map Atom.to_string atoms2)
+
+let test_compile_rel_val_partial_body () =
+  let sg = Signature.declare "has" [ "whole"; "part" ] Signature.empty in
+  match Compile.body_literals sg (Molecule.Pos (Molecule.Rel_val ("has", [ ("part", v "P") ]))) with
+  | [ Literal.Pos a ] ->
+    Alcotest.(check int) "arity padded" 2 (List.length a.Atom.args);
+    (match a.Atom.args with
+    | [ Term.Var _; Term.Var "P" ] -> ()
+    | _ -> Alcotest.failf "unexpected args in %s" (Atom.to_string a))
+  | _ -> Alcotest.fail "expected single positive literal"
+
+let test_compile_rel_errors () =
+  let sg = Signature.declare "has" [ "whole"; "part" ] Signature.empty in
+  let head_err m =
+    match Compile.head_atoms sg m with
+    | exception Compile.Compile_error _ -> ()
+    | _ -> Alcotest.fail "expected Compile_error"
+  in
+  (* head must bind all attributes *)
+  head_err (Molecule.Rel_val ("has", [ ("part", s "a") ]));
+  (* unknown relation *)
+  head_err (Molecule.Rel_val ("nope", [ ("a", s "a") ]));
+  (* unknown attribute *)
+  head_err (Molecule.Rel_val ("has", [ ("whole", s "a"); ("nope", s "b") ]));
+  (* duplicate attribute *)
+  head_err (Molecule.Rel_val ("has", [ ("whole", s "a"); ("whole", s "b") ]));
+  (* negation of multi-atom molecule *)
+  match
+    Compile.body_literals sg
+      (Molecule.Neg (Molecule.Rel_sig ("has", [ ("whole", s "c"); ("part", s "d") ])))
+  with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected Compile_error on negated Rel_sig"
+
+(* -------------------------------------------------------------------- *)
+(* GCM axioms *)
+
+let test_axioms_isa_propagation () =
+  let rules =
+    [
+      Molecule.fact (Molecule.sub (s "purkinje") (s "neuron"));
+      Molecule.fact (Molecule.sub (s "neuron") (s "cell"));
+      Molecule.fact (Molecule.isa (s "p1") (s "purkinje"));
+    ]
+  in
+  let db = run rules in
+  let t = prog rules in
+  Alcotest.(check bool) "transitive sub" true
+    (Fl_program.holds t db (Molecule.sub (s "purkinje") (s "cell")));
+  Alcotest.(check bool) "isa propagates up" true
+    (Fl_program.holds t db (Molecule.isa (s "p1") (s "cell")));
+  Alcotest.(check bool) "reflexive sub" true
+    (Fl_program.holds t db (Molecule.sub (s "neuron") (s "neuron")));
+  Alcotest.(check bool) "no downward isa" false
+    (Fl_program.holds t db (Molecule.isa (s "p1") (s "nonexistent")))
+
+let test_axioms_signature_inheritance () =
+  let rules =
+    [
+      Molecule.fact (Molecule.sub (s "purkinje") (s "neuron"));
+      Molecule.fact (Molecule.meth_sig (s "neuron") "soma_size" (s "number"));
+    ]
+  in
+  let db = run rules in
+  let t = prog rules in
+  Alcotest.(check bool) "signature inherited down" true
+    (Fl_program.holds t db (Molecule.meth_sig (s "purkinje") "soma_size" (s "number")))
+
+let test_axioms_classhood () =
+  let rules = [ Molecule.fact (Molecule.sub (s "a") (s "b")) ] in
+  let db = run rules in
+  let t = prog rules in
+  Alcotest.(check bool) "subclass endpoints are classes" true
+    (Fl_program.holds t db (Molecule.pred Compile.class_p [ s "a" ])
+    && Fl_program.holds t db (Molecule.pred Compile.class_p [ s "b" ]))
+
+let test_multi_head_rule () =
+  (* D : c[m -> V] style: multi-head rule derives both facts. *)
+  let rules =
+    [
+      Molecule.fact (Molecule.pred "obs" [ s "o1"; Term.int 42 ]);
+      Molecule.rule_multi
+        (Molecule.obj (v "X") (s "observation") [ ("value", v "V") ])
+        [ Molecule.Pos (Molecule.pred "obs" [ v "X"; v "V" ]) ];
+    ]
+  in
+  let db = run rules in
+  let t = prog rules in
+  Alcotest.(check bool) "isa head" true
+    (Fl_program.holds t db (Molecule.isa (s "o1") (s "observation")));
+  Alcotest.(check bool) "meth_val head" true
+    (Fl_program.holds t db (Molecule.meth_val (s "o1") "value" (Term.int 42)))
+
+let test_nonmonotonic_inheritance () =
+  (* neuron has default location 'soma'; purkinje overrides with
+     'cerebellum'; an instance-level declaration beats both. *)
+  let default c m value =
+    Molecule.fact (Molecule.pred Gcm_axioms.default_p [ s c; s m; s value ])
+  in
+  let rules =
+    [
+      Molecule.fact (Molecule.sub (s "purkinje") (s "neuron"));
+      Molecule.fact (Molecule.isa (s "n1") (s "neuron"));
+      Molecule.fact (Molecule.isa (s "p1") (s "purkinje"));
+      Molecule.fact (Molecule.isa (s "p2") (s "purkinje"));
+      Molecule.fact (Molecule.meth_val (s "p2") "location" (s "slice9"));
+      default "neuron" "location" "soma";
+      default "purkinje" "location" "cerebellum";
+    ]
+  in
+  let db = run ~inheritance:true rules in
+  let t = prog rules in
+  let loc x = Fl_program.query t db
+      [ Molecule.Pos (Molecule.meth_val (s x) "location" (v "L")) ]
+    |> List.map (fun sub -> Term.to_string (Subst.apply sub (v "L")))
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "base default" [ "soma" ] (loc "n1");
+  Alcotest.(check (list string)) "specific override" [ "cerebellum" ] (loc "p1");
+  Alcotest.(check (list string)) "instance override" [ "slice9" ] (loc "p2")
+
+(* -------------------------------------------------------------------- *)
+(* Integrity witnesses *)
+
+let test_ic_witnesses () =
+  let rules =
+    [
+      Molecule.fact (Molecule.pred "r" [ s "a"; s "b" ]);
+      Molecule.fact (Molecule.pred "r" [ s "b"; s "a" ]);
+      Ic.denial ~name:"w_cycle" ~args:[ v "X"; v "Y" ]
+        [
+          Molecule.Pos (Molecule.pred "r" [ v "X"; v "Y" ]);
+          Molecule.Pos (Molecule.pred "r" [ v "Y"; v "X" ]);
+          Molecule.Cmp (Literal.Lt, v "X", v "Y");
+        ];
+    ]
+  in
+  let db = run rules in
+  Alcotest.(check bool) "inconsistent" false (Ic.consistent db);
+  (match Ic.violations db with
+  | [ w ] ->
+    Alcotest.(check string) "witness name" "w_cycle" w.Ic.name;
+    Alcotest.(check int) "witness args" 2 (List.length w.Ic.args)
+  | ws -> Alcotest.failf "expected 1 witness, got %d" (List.length ws));
+  Alcotest.(check (list (pair string int))) "by_constraint" [ ("w_cycle", 1) ]
+    (Ic.by_constraint db)
+
+let test_ic_clean () =
+  let rules = [ Molecule.fact (Molecule.pred "r" [ s "a"; s "b" ]) ] in
+  let db = run rules in
+  Alcotest.(check bool) "consistent" true (Ic.consistent db)
+
+(* -------------------------------------------------------------------- *)
+(* Parser *)
+
+let parse_ok ?signature src =
+  match Fl_parser.parse_program ?signature src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parser_facts_rules () =
+  let p =
+    parse_ok
+      {|
+      % domain map fragment
+      spine :: ion_regulating_component.
+      s42 : spine.
+      X[diameter ->> D] :- measured(X, D).
+      spine[diameter => number].
+      ?- X : spine.
+      |}
+  in
+  Alcotest.(check int) "rules" 4 (List.length p.Fl_parser.rules);
+  Alcotest.(check int) "queries" 1 (List.length p.Fl_parser.queries);
+  let strs = List.map Molecule.rule_to_string p.Fl_parser.rules in
+  Alcotest.(check bool) "sub parsed" true
+    (List.mem "spine :: ion_regulating_component." strs);
+  Alcotest.(check bool) "meth rule parsed" true
+    (List.mem "X[diameter ->> D] :- measured(X, D)." strs)
+
+let test_parser_relation_decl () =
+  let p =
+    parse_ok
+      {|
+      @relation has(whole, part).
+      has[whole -> neuron1; part -> axon1].
+      ?- has[part -> P].
+      |}
+  in
+  Alcotest.(check bool) "signature declared" true
+    (Signature.mem p.Fl_parser.signature "has");
+  (* the fact must have compiled into a Rel_val, not meth_vals *)
+  match p.Fl_parser.rules with
+  | [ { Molecule.heads = [ Molecule.Rel_val ("has", _) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Rel_val fact"
+
+let test_parser_object_sugar () =
+  let p = parse_ok {| D : pd[name -> N; amount -> A] :- src(D, N, A). |} in
+  match p.Fl_parser.rules with
+  | [ { Molecule.heads; body } ] ->
+    Alcotest.(check int) "three heads" 3 (List.length heads);
+    Alcotest.(check int) "one body molecule" 1 (List.length body)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parser_agg_arith_cmp () =
+  let p =
+    parse_ok
+      {|
+      big(B, N) :- N = count{X [B]; r(X, B)}, N > 2.
+      doubled(Y) :- val(X), Y is X * 2 + 1.
+      small(X) :- val(X), X =< 3, X =/= 2.
+      |}
+  in
+  Alcotest.(check int) "three rules" 3 (List.length p.Fl_parser.rules);
+  match p.Fl_parser.rules with
+  | [ r1; _; r3 ] ->
+    (match r1.Molecule.body with
+    | [ Molecule.Agg a; Molecule.Cmp (Literal.Gt, _, _) ] ->
+      Alcotest.(check int) "group by one var" 1 (List.length a.Molecule.group_by)
+    | _ -> Alcotest.fail "agg rule body shape");
+    (match r3.Molecule.body with
+    | [ _; Molecule.Cmp (Literal.Le, _, _); Molecule.Cmp (Literal.Ne, _, _) ] -> ()
+    | _ -> Alcotest.fail "cmp rule body shape")
+  | _ -> Alcotest.fail "rule count"
+
+let test_parser_quoted_and_strings () =
+  let p = parse_ok {| loc(c1, 'Purkinje Cell'). name(c1, "a b"). |} in
+  match p.Fl_parser.rules with
+  | [ r1; r2 ] ->
+    (match r1.Molecule.heads with
+    | [ Molecule.Pred a ] ->
+      Alcotest.(check string) "quoted symbol" "loc(c1, 'Purkinje Cell')"
+        (Format.asprintf "%s(%s)" a.Atom.pred
+           (String.concat ", "
+              (List.map
+                 (fun t ->
+                   match t with
+                   | Term.Const (Term.Sym x) when String.contains x ' ' ->
+                     "'" ^ x ^ "'"
+                   | t -> Term.to_string t)
+                 a.Atom.args)))
+    | _ -> Alcotest.fail "pred expected");
+    (match r2.Molecule.heads with
+    | [ Molecule.Pred a ] -> (
+      match a.Atom.args with
+      | [ _; Term.Const (Term.Str "a b") ] -> ()
+      | _ -> Alcotest.fail "string arg expected")
+    | _ -> Alcotest.fail "pred expected")
+  | _ -> Alcotest.fail "two facts expected"
+
+let test_parser_errors () =
+  let bad src =
+    match Fl_parser.parse_program src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %s" src
+  in
+  bad "p(X";
+  bad "p(X) :- .";
+  bad "p(X) q(X).";
+  bad "?- not .";
+  bad "@relation r(.";
+  bad "p(X) :- X > .";
+  bad "p(3) :- 3 + 4."
+
+let test_parse_end_to_end () =
+  (* Parse a program, run it, query it. *)
+  let p =
+    parse_ok
+      {|
+      @relation contains(spine, protein).
+      contains[spine -> s1; protein -> ryr].
+      contains[spine -> s2; protein -> ryr].
+      contains[spine -> s2; protein -> ip3r].
+      s1 : spine. s2 : spine.
+      spine :: compartment.
+      rich(S, N) :- S : spine, N = count{P [S]; contains[spine -> S; protein -> P]}, N >= 2.
+      |}
+  in
+  let t = Fl_program.make ~signature:p.Fl_parser.signature p.Fl_parser.rules in
+  let db = Fl_program.run t in
+  Alcotest.(check bool) "s2 rich" true
+    (Fl_program.holds t db (Molecule.pred "rich" [ s "s2"; Term.int 2 ]));
+  Alcotest.(check bool) "s1 not rich" false
+    (Fl_program.holds t db (Molecule.pred "rich" [ s "s1"; Term.int 1 ]));
+  Alcotest.(check bool) "isa propagated" true
+    (Fl_program.holds t db (Molecule.isa (s "s1") (s "compartment")))
+
+let test_parse_term () =
+  (match Fl_parser.parse_term "f(a, X, 3)" with
+  | Ok (Term.App ("f", [ _; Term.Var "X"; _ ])) -> ()
+  | _ -> Alcotest.fail "term parse");
+  match Fl_parser.parse_term "f(a" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let suites =
+  [
+    ( "flogic.compile",
+      [
+        Alcotest.test_case "head/body asymmetry" `Quick test_compile_head_body_asymmetry;
+        Alcotest.test_case "rel_val positional" `Quick test_compile_rel_val;
+        Alcotest.test_case "rel_val partial body" `Quick test_compile_rel_val_partial_body;
+        Alcotest.test_case "compile errors" `Quick test_compile_rel_errors;
+      ] );
+    ( "flogic.axioms",
+      [
+        Alcotest.test_case "isa propagation" `Quick test_axioms_isa_propagation;
+        Alcotest.test_case "signature inheritance" `Quick test_axioms_signature_inheritance;
+        Alcotest.test_case "classhood" `Quick test_axioms_classhood;
+        Alcotest.test_case "multi-head rules" `Quick test_multi_head_rule;
+        Alcotest.test_case "nonmonotonic inheritance" `Quick test_nonmonotonic_inheritance;
+      ] );
+    ( "flogic.ic",
+      [
+        Alcotest.test_case "witnesses" `Quick test_ic_witnesses;
+        Alcotest.test_case "consistent" `Quick test_ic_clean;
+      ] );
+    ( "flogic.parser",
+      [
+        Alcotest.test_case "facts and rules" `Quick test_parser_facts_rules;
+        Alcotest.test_case "relation decls" `Quick test_parser_relation_decl;
+        Alcotest.test_case "object sugar" `Quick test_parser_object_sugar;
+        Alcotest.test_case "agg/arith/cmp" `Quick test_parser_agg_arith_cmp;
+        Alcotest.test_case "quoted/strings" `Quick test_parser_quoted_and_strings;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+        Alcotest.test_case "end to end" `Quick test_parse_end_to_end;
+        Alcotest.test_case "terms" `Quick test_parse_term;
+      ] );
+  ]

@@ -1,0 +1,325 @@
+(* Tests for the GCM layer: Table 1 round-trip, schemas, and the
+   constraint library of Examples 2 and 3. *)
+
+open Logic
+open Flogic
+
+let v = Term.var
+let s = Term.sym
+
+let run_with ?signature rules =
+  Fl_program.run (Fl_program.make ?signature rules)
+
+(* -------------------------------------------------------------------- *)
+(* Decl: Table 1 round trip *)
+
+let sample_decls =
+  [
+    Gcm.Decl.Instance (s "p1", s "purkinje");
+    Gcm.Decl.Subclass (s "purkinje", s "neuron");
+    Gcm.Decl.Method (s "neuron", "soma_size", s "number");
+    Gcm.Decl.Method_inst (s "p1", "soma_size", Term.int 17);
+    Gcm.Decl.Relation ("has", [ ("whole", s "neuron"); ("part", s "compartment") ]);
+    Gcm.Decl.Relation_inst ("has", [ ("whole", s "p1"); ("part", s "a1") ]);
+  ]
+
+let test_decl_roundtrip () =
+  List.iter
+    (fun d ->
+      match Gcm.Decl.of_molecule (Gcm.Decl.to_molecule d) with
+      | Some d' when d = d' -> ()
+      | Some _ -> Alcotest.failf "round trip changed %s" (Gcm.Decl.to_string d)
+      | None -> Alcotest.failf "round trip lost %s" (Gcm.Decl.to_string d))
+    sample_decls
+
+let test_decl_pred_not_core () =
+  Alcotest.(check bool) "Pred has no GCM reading" true
+    (Gcm.Decl.of_molecule (Molecule.pred "p" [ s "a" ]) = None)
+
+let test_decl_signature () =
+  let sg = Gcm.Decl.signature_of sample_decls in
+  Alcotest.(check (option (list string))) "layout harvested"
+    (Some [ "whole"; "part" ])
+    (Signature.attributes sg "has")
+
+(* QCheck: random decls survive the round trip. *)
+let prop_decl_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    let name = oneofl [ "a"; "b"; "c"; "rel1"; "rel2" ] in
+    let term = oneof [ map Term.sym name; map Term.int (int_bound 100) ] in
+    oneof
+      [
+        map2 (fun x c -> Gcm.Decl.Instance (x, c)) term term;
+        map2 (fun x c -> Gcm.Decl.Subclass (x, c)) term term;
+        map3 (fun c m d -> Gcm.Decl.Method (c, m, d)) term name term;
+        map3 (fun x m y -> Gcm.Decl.Method_inst (x, m, y)) term name term;
+        map2
+          (fun r n ->
+            Gcm.Decl.Relation
+              (r, List.init (1 + n) (fun k -> (Printf.sprintf "a%d" k, s "c"))))
+          name (int_bound 3);
+        map2
+          (fun r n ->
+            Gcm.Decl.Relation_inst
+              (r, List.init (1 + n) (fun k -> (Printf.sprintf "a%d" k, Term.int k))))
+          name (int_bound 3);
+      ]
+  in
+  QCheck.Test.make ~name:"GCM decl <-> FL molecule round trip" ~count:300
+    (QCheck.make ~print:Gcm.Decl.to_string gen)
+    (fun d -> Gcm.Decl.of_molecule (Gcm.Decl.to_molecule d) = Some d)
+
+(* -------------------------------------------------------------------- *)
+(* Schema *)
+
+let neuro_schema =
+  Gcm.Schema.make ~name:"SYNAPSE"
+    ~classes:
+      [
+        Gcm.Schema.class_def "neuron" ~methods:[ ("organism", "string") ];
+        Gcm.Schema.class_def "spine" ~supers:[ "compartment" ]
+          ~methods:[ ("diameter", "number") ];
+        Gcm.Schema.class_def "compartment";
+      ]
+    ~relations:[ ("has", [ ("whole", "neuron"); ("part", "compartment") ]) ]
+    ()
+
+let test_schema_validate () =
+  Alcotest.(check bool) "valid schema" true
+    (Gcm.Schema.validate neuro_schema = Ok ());
+  let dup =
+    Gcm.Schema.make ~name:"bad"
+      ~classes:[ Gcm.Schema.class_def "c"; Gcm.Schema.class_def "c" ]
+      ()
+  in
+  (match Gcm.Schema.validate dup with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate class accepted");
+  let reserved =
+    Gcm.Schema.make ~name:"bad" ~relations:[ ("isa", [ ("x", "c") ]) ] ()
+  in
+  match Gcm.Schema.validate reserved with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "reserved relation accepted"
+
+let test_schema_to_program () =
+  let t = Gcm.Schema.to_fl_program neuro_schema in
+  let db = Fl_program.run t in
+  Alcotest.(check bool) "spine subclass registered" true
+    (Fl_program.holds t db (Molecule.sub (s "spine") (s "compartment")));
+  Alcotest.(check bool) "method inherited" true
+    (Fl_program.holds t db (Molecule.meth_sig (s "spine") "diameter" (s "number")));
+  Alcotest.(check bool) "class without edges registered" true
+    (Fl_program.holds t db (Molecule.pred Compile.class_p [ s "compartment" ]))
+
+(* -------------------------------------------------------------------- *)
+(* Example 2: partial order constraints *)
+
+let edge_fact r x y = Molecule.fact (Molecule.pred r [ s x; s y ])
+
+let test_partial_order_clean () =
+  (* r = reflexive-transitive closure of a <= chain: a valid partial order *)
+  let facts =
+    [
+      edge_fact "r" "a" "a"; edge_fact "r" "b" "b"; edge_fact "r" "c" "c";
+      edge_fact "r" "a" "b"; edge_fact "r" "b" "c"; edge_fact "r" "a" "c";
+      Molecule.fact (Molecule.isa (s "a") (s "node"));
+      Molecule.fact (Molecule.isa (s "b") (s "node"));
+      Molecule.fact (Molecule.isa (s "c") (s "node"));
+    ]
+  in
+  let db = run_with (facts @ Gcm.Constraints.partial_order ~cls:"node" ~rel:"r") in
+  Alcotest.(check bool) "valid partial order accepted" true (Ic.consistent db)
+
+let test_partial_order_violations () =
+  let base =
+    [
+      Molecule.fact (Molecule.isa (s "a") (s "node"));
+      Molecule.fact (Molecule.isa (s "b") (s "node"));
+      Molecule.fact (Molecule.isa (s "c") (s "node"));
+    ]
+  in
+  let po = Gcm.Constraints.partial_order ~cls:"node" ~rel:"r" in
+  (* missing reflexivity *)
+  let db1 = run_with (base @ po @ [ edge_fact "r" "a" "b" ]) in
+  Alcotest.(check bool) "wrc fires" true
+    (List.exists (fun w -> w.Ic.name = "wrc") (Ic.violations db1));
+  (* missing transitive edge a->c *)
+  let refl = [ edge_fact "r" "a" "a"; edge_fact "r" "b" "b"; edge_fact "r" "c" "c" ] in
+  let db2 = run_with (base @ po @ refl @ [ edge_fact "r" "a" "b"; edge_fact "r" "b" "c" ]) in
+  Alcotest.(check bool) "wtc fires" true
+    (List.exists (fun w -> w.Ic.name = "wtc") (Ic.violations db2));
+  (* antisymmetry violation *)
+  let db3 =
+    run_with (base @ po @ refl @ [ edge_fact "r" "a" "b"; edge_fact "r" "b" "a" ])
+  in
+  Alcotest.(check bool) "was fires" true
+    (List.exists (fun w -> w.Ic.name = "was") (Ic.violations db3))
+
+let test_subclass_partial_order_meta () =
+  (* The paper's schema-reasoning instantiation: check :: itself. The
+     GCM axioms close :: reflexively/transitively, so a DAG hierarchy
+     is always a partial order... *)
+  let rules =
+    [
+      Molecule.fact (Molecule.sub (s "a") (s "b"));
+      Molecule.fact (Molecule.sub (s "b") (s "c"));
+    ]
+    @ Gcm.Constraints.subclass_partial_order
+  in
+  let db = run_with rules in
+  Alcotest.(check bool) "DAG hierarchy is a partial order" true (Ic.consistent db);
+  (* ...but a subclass cycle breaks antisymmetry. *)
+  let rules_cyc =
+    [
+      Molecule.fact (Molecule.sub (s "a") (s "b"));
+      Molecule.fact (Molecule.sub (s "b") (s "a"));
+    ]
+    @ Gcm.Constraints.subclass_partial_order
+  in
+  let db2 = run_with rules_cyc in
+  Alcotest.(check bool) "cycle detected by was" true
+    (List.exists (fun w -> w.Ic.name = "was") (Ic.violations db2))
+
+(* -------------------------------------------------------------------- *)
+(* Example 3: cardinality *)
+
+let has_sg = Signature.declare "has" [ "whole"; "part" ] Signature.empty
+
+let has_fact w p =
+  Molecule.fact (Molecule.Rel_val ("has", [ ("whole", s w); ("part", s p) ]))
+
+let test_cardinality_example3 () =
+  (* "a neuron can have <= 2 axons and an axon is contained in exactly
+     one neuron" *)
+  let constraints =
+    Gcm.Constraints.cardinality ~sg:has_sg ~rel:"has" ~counted:"whole"
+      ~per:[ "part" ] ~exactly:1 ()
+    @ Gcm.Constraints.cardinality ~sg:has_sg ~rel:"has" ~counted:"part"
+        ~per:[ "whole" ] ~max_count:2 ()
+  in
+  (* valid: n1 has two axons, each axon in one neuron *)
+  let ok = [ has_fact "n1" "ax1"; has_fact "n1" "ax2" ] in
+  let db = run_with ~signature:has_sg (ok @ constraints) in
+  Alcotest.(check bool) "valid config" true (Ic.consistent db);
+  (* violation: axon shared by two neurons *)
+  let shared = [ has_fact "n1" "ax1"; has_fact "n2" "ax1" ] in
+  let db2 = run_with ~signature:has_sg (shared @ constraints) in
+  Alcotest.(check bool) "w_card_ne fires" true
+    (List.exists (fun w -> w.Ic.name = "w_card_ne") (Ic.violations db2));
+  (* violation: neuron with three axons *)
+  let three = [ has_fact "n1" "ax1"; has_fact "n1" "ax2"; has_fact "n1" "ax3" ] in
+  let db3 = run_with ~signature:has_sg (three @ constraints) in
+  Alcotest.(check bool) "w_card_hi fires" true
+    (List.exists (fun w -> w.Ic.name = "w_card_hi") (Ic.violations db3))
+
+let test_cardinality_min () =
+  let constraints =
+    Gcm.Constraints.cardinality ~sg:has_sg ~rel:"has" ~counted:"part"
+      ~per:[ "whole" ] ~min_count:2 ()
+  in
+  let db = run_with ~signature:has_sg (has_fact "n1" "ax1" :: constraints) in
+  Alcotest.(check bool) "w_card_lo fires" true
+    (List.exists (fun w -> w.Ic.name = "w_card_lo") (Ic.violations db))
+
+let test_cardinality_bad_attr () =
+  match
+    Gcm.Constraints.cardinality ~sg:has_sg ~rel:"has" ~counted:"nope" ~per:[] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_total_participation () =
+  let rules =
+    [
+      Molecule.fact (Molecule.isa (s "n1") (s "neuron"));
+      Molecule.fact (Molecule.isa (s "n2") (s "neuron"));
+      has_fact "n1" "ax1";
+    ]
+    @ Gcm.Constraints.total_participation ~sg:has_sg ~cls:"neuron" ~rel:"has"
+        ~attr:"whole"
+  in
+  let db = run_with ~signature:has_sg rules in
+  let ws = Ic.violations db in
+  Alcotest.(check int) "one violation" 1 (List.length ws);
+  match ws with
+  | [ { Ic.name = "w_total"; args } ] ->
+    Alcotest.(check bool) "names n2" true
+      (List.exists (Term.equal (s "n2")) args)
+  | _ -> Alcotest.fail "expected w_total witness"
+
+(* -------------------------------------------------------------------- *)
+(* Relational constraints *)
+
+let test_functional_dependency () =
+  let fd =
+    Gcm.Constraints.functional_dependency ~sg:has_sg ~rel:"has" ~from:[ "part" ]
+      ~to_:"whole"
+  in
+  let ok = [ has_fact "n1" "ax1"; has_fact "n1" "ax2" ] in
+  Alcotest.(check bool) "fd holds" true
+    (Ic.consistent (run_with ~signature:has_sg (ok @ fd)));
+  let bad = [ has_fact "n1" "ax1"; has_fact "n2" "ax1" ] in
+  Alcotest.(check bool) "fd violated" false
+    (Ic.consistent (run_with ~signature:has_sg (bad @ fd)))
+
+let test_inclusion () =
+  let sg = Signature.declare "exp" [ "cell"; "protein" ] has_sg in
+  let incl =
+    Gcm.Constraints.inclusion ~sg ~from_rel:"exp" ~from_attr:"cell"
+      ~to_rel:"has" ~to_attr:"whole"
+  in
+  let exp_fact c p =
+    Molecule.fact (Molecule.Rel_val ("exp", [ ("cell", s c); ("protein", s p) ]))
+  in
+  let db = run_with ~signature:sg ([ has_fact "n1" "ax1"; exp_fact "n1" "ryr" ] @ incl) in
+  Alcotest.(check bool) "inclusion holds" true (Ic.consistent db);
+  let db2 = run_with ~signature:sg ([ has_fact "n1" "ax1"; exp_fact "n9" "ryr" ] @ incl) in
+  Alcotest.(check bool) "inclusion violated" false (Ic.consistent db2)
+
+let test_attribute_typed () =
+  let typed =
+    Gcm.Constraints.attribute_typed ~sg:has_sg ~rel:"has" ~attr:"whole" ~cls:"neuron"
+  in
+  let base = [ has_fact "n1" "ax1"; Molecule.fact (Molecule.isa (s "n1") (s "neuron")) ] in
+  Alcotest.(check bool) "typed ok" true
+    (Ic.consistent (run_with ~signature:has_sg (base @ typed)));
+  let bad = [ has_fact "rock" "ax1" ] in
+  Alcotest.(check bool) "typing violated" false
+    (Ic.consistent (run_with ~signature:has_sg (bad @ typed)))
+
+let suites =
+  [
+    ( "gcm.decl",
+      [
+        Alcotest.test_case "Table 1 round trip" `Quick test_decl_roundtrip;
+        Alcotest.test_case "pred excluded" `Quick test_decl_pred_not_core;
+        Alcotest.test_case "signature harvest" `Quick test_decl_signature;
+        QCheck_alcotest.to_alcotest prop_decl_roundtrip;
+      ] );
+    ( "gcm.schema",
+      [
+        Alcotest.test_case "validate" `Quick test_schema_validate;
+        Alcotest.test_case "to program" `Quick test_schema_to_program;
+      ] );
+    ( "gcm.constraints.example2",
+      [
+        Alcotest.test_case "clean partial order" `Quick test_partial_order_clean;
+        Alcotest.test_case "violations" `Quick test_partial_order_violations;
+        Alcotest.test_case "meta :: check" `Quick test_subclass_partial_order_meta;
+      ] );
+    ( "gcm.constraints.example3",
+      [
+        Alcotest.test_case "neuron/axon cardinalities" `Quick test_cardinality_example3;
+        Alcotest.test_case "min bound" `Quick test_cardinality_min;
+        Alcotest.test_case "bad attribute" `Quick test_cardinality_bad_attr;
+        Alcotest.test_case "total participation" `Quick test_total_participation;
+      ] );
+    ( "gcm.constraints.relational",
+      [
+        Alcotest.test_case "functional dependency" `Quick test_functional_dependency;
+        Alcotest.test_case "inclusion" `Quick test_inclusion;
+        Alcotest.test_case "attribute typing" `Quick test_attribute_typed;
+      ] );
+  ]

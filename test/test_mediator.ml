@@ -1,0 +1,357 @@
+(* Integration tests for the mediator: registration, lifting,
+   namespacing, IVDs, the Section 5 plan with ablations, and the
+   structural baseline. *)
+
+open Mediation
+module Molecule = Flogic.Molecule
+module Source = Wrapper.Source
+
+let s = Logic.Term.sym
+let v = Logic.Term.var
+
+let params = { Neuro.Sources.seed = 7; Neuro.Sources.scale = 30 }
+
+let fresh_mediator ?config () = Neuro.Sources.standard_mediator ?config params
+
+(* -------------------------------------------------------------------- *)
+(* Namespacing *)
+
+let test_namespace () =
+  Alcotest.(check string) "qualify" "NCMIR.protein"
+    (Namespace.qualify ~source:"NCMIR" "protein");
+  Alcotest.(check (option (pair string string))) "split"
+    (Some ("NCMIR", "protein"))
+    (Namespace.split "NCMIR.protein");
+  let schema =
+    Gcm.Schema.make ~name:"LAB"
+      ~classes:
+        [
+          Gcm.Schema.class_def "neuron" ~supers:[ "cell"; "thing" ];
+          Gcm.Schema.class_def "cell";
+        ]
+      ~relations:[ ("has", [ ("whole", "neuron"); ("part", "external_part") ]) ]
+      ()
+  in
+  let ns = Namespace.schema ~source:"LAB" schema in
+  Alcotest.(check (list string)) "classes qualified"
+    [ "LAB.neuron"; "LAB.cell" ]
+    (Gcm.Schema.class_names ns);
+  (match ns.Gcm.Schema.classes with
+  | [ n; _ ] ->
+    Alcotest.(check (list string)) "own super qualified, foreign kept"
+      [ "LAB.cell"; "thing" ] n.Gcm.Schema.supers
+  | _ -> Alcotest.fail "class shape");
+  match ns.Gcm.Schema.relations with
+  | [ (r, avs) ] ->
+    Alcotest.(check string) "relation qualified" "LAB.has" r;
+    Alcotest.(check (list string)) "attr classes"
+      [ "LAB.neuron"; "external_part" ]
+      (List.map snd avs)
+  | _ -> Alcotest.fail "relation shape"
+
+(* -------------------------------------------------------------------- *)
+(* Registration and materialization *)
+
+let test_registration () =
+  let med = fresh_mediator () in
+  Alcotest.(check (list string)) "sources registered"
+    [ "SYNAPSE"; "NCMIR"; "SENSELAB" ]
+    (List.map Source.name (Mediator.sources med));
+  (* duplicate registration rejected *)
+  (match Mediator.register_source med (Neuro.Sources.synapse params) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate registration accepted");
+  (* anchors landed in the index *)
+  Alcotest.(check (list string)) "index sources"
+    [ "NCMIR"; "SENSELAB"; "SYNAPSE" ]
+    (Domain_map.Index.sources (Mediator.index med))
+
+let test_lifting () =
+  let med = fresh_mediator () in
+  (* source data is visible at the conceptual level: SYNAPSE spines are
+     instances of the DM concept 'spine' via the anchor rule, hence of
+     ion_regulating_component via the DM isa edge. *)
+  let members cls =
+    Mediator.query med [ Molecule.Pos (Molecule.isa (v "X") (s cls)) ]
+    |> List.length
+  in
+  Alcotest.(check bool) "namespaced class populated" true
+    (members "SYNAPSE.spine_measure" > 0);
+  Alcotest.(check bool) "anchored into DM concept" true
+    (members "spine" >= members "SYNAPSE.spine_measure");
+  Alcotest.(check bool) "DM isa closes upward" true
+    (members "ion_regulating_component" >= members "SYNAPSE.spine_measure")
+
+let test_query_text () =
+  let med = fresh_mediator () in
+  match
+    Mediator.query_text med
+      "?- X : 'SENSELAB.neurotransmission', X[organism ->> \"rat\"]."
+  with
+  | Ok answers -> Alcotest.(check bool) "rat rows exist" true (answers <> [])
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let test_ivd () =
+  let med = fresh_mediator () in
+  (match
+     Mediator.add_ivd_text med
+       {| calcium_protein(P) :-
+            X : 'NCMIR.protein', X[name ->> P], X[ion_bound ->> calcium]. |}
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "IVD rejected: %s" e);
+  let answers =
+    Mediator.query med [ Molecule.Pos (Molecule.pred "calcium_protein" [ v "P" ]) ]
+  in
+  Alcotest.(check int) "five calcium binders"
+    (List.length Neuro.Sources.calcium_binders)
+    (List.length answers)
+
+let test_extend_dmap () =
+  let med = fresh_mediator () in
+  (match Mediator.extend_dmap med Neuro.Anatom.fig3_registration with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "extension failed: %s" e);
+  Alcotest.(check bool) "my_neuron in map" true
+    (Domain_map.Dmap.mem (Mediator.dmap med) "my_neuron")
+
+let test_register_via_xml () =
+  let med = Mediator.create Neuro.Anatom.full in
+  let doc =
+    {|<gcm source="W">
+        <class name="observation"><method name="value" range="number"/></class>
+        <instance id="o1" class="observation"/>
+        <value object="o1" method="value">3</value>
+        <anchor class="observation" concept="spine"/>
+      </gcm>|}
+  in
+  (match
+     Mediator.register_xml med ~format:"gcm-xml" ~source_name:"WIRE"
+       (Xmlkit.Parse.parse_exn doc)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "xml registration failed: %s" e);
+  Alcotest.(check (list string)) "selected by concept" [ "WIRE" ]
+    (Mediator.select_sources med ~concepts:[ "spine" ])
+
+(* -------------------------------------------------------------------- *)
+(* Source selection *)
+
+let test_source_selection () =
+  let med = fresh_mediator () in
+  (* purkinje_cell + spine: NCMIR has amounts there; SYNAPSE anchors at
+     spine too. SENSELAB anchors only at the neurotransmission concept. *)
+  let chosen = Mediator.select_sources med ~concepts:[ "purkinje_cell"; "spine" ] in
+  Alcotest.(check bool) "NCMIR selected" true (List.mem "NCMIR" chosen);
+  Alcotest.(check bool) "SENSELAB not selected" false (List.mem "SENSELAB" chosen);
+  (* broadcast when the index is off *)
+  Mediator.set_config med
+    { (Mediator.config med) with Mediator.use_semantic_index = false };
+  Alcotest.(check int) "broadcast contacts all" 3
+    (List.length (Mediator.select_sources med ~concepts:[ "purkinje_cell" ]))
+
+(* -------------------------------------------------------------------- *)
+(* Section 5 *)
+
+let run_q5 ?config () =
+  let med = fresh_mediator ?config () in
+  match
+    Section5.calcium_binding_query med ~organism:"rat"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+  with
+  | Ok o -> (med, o)
+  | Error e -> Alcotest.failf "section 5 query failed: %s" e
+
+let test_section5_answers () =
+  let _, o = run_q5 () in
+  (* locations bound by step 1 *)
+  Alcotest.(check bool) "purkinje bound" true
+    (List.mem "purkinje_cell" o.Section5.locations);
+  (* step 2 picks exactly NCMIR ("in our case, only NCMIR is returned") *)
+  Alcotest.(check bool) "NCMIR contacted" true
+    (List.mem "NCMIR" o.Section5.sources_contacted);
+  Alcotest.(check bool) "SYNAPSE not contacted" false
+    (List.mem "SYNAPSE" o.Section5.sources_contacted);
+  (* step 3: exactly the calcium binders *)
+  Alcotest.(check (list string)) "calcium binders"
+    (List.sort String.compare Neuro.Sources.calcium_binders)
+    o.Section5.proteins;
+  (* step 4: a root exists and distributions are non-empty *)
+  Alcotest.(check bool) "root found" true (o.Section5.root <> None);
+  Alcotest.(check int) "one distribution per protein"
+    (List.length o.Section5.proteins)
+    (List.length o.Section5.distributions);
+  List.iter
+    (fun (_, tree) ->
+      Alcotest.(check bool) "distribution has mass" true
+        (tree.Aggregate.total > 0.0))
+    o.Section5.distributions
+
+let test_section5_distribution_consistency () =
+  let _, o = run_q5 () in
+  (* the tree total equals the sum of own masses of its nodes *)
+  List.iter
+    (fun (_, tree) ->
+      let rec own_sum t =
+        t.Aggregate.own +. List.fold_left (fun a c -> a +. own_sum c) 0.0 t.Aggregate.children
+      in
+      Alcotest.(check (float 1e-6)) "rollup" (own_sum tree) tree.Aggregate.total)
+    o.Section5.distributions
+
+let test_section5_ablation_index () =
+  let _, with_index = run_q5 () in
+  let _, without =
+    run_q5
+      ~config:{ Mediator.default_config with Mediator.use_semantic_index = false }
+      ()
+  in
+  Alcotest.(check (list string)) "same proteins"
+    with_index.Section5.proteins without.Section5.proteins;
+  Alcotest.(check bool) "broadcast contacts more sources" true
+    (List.length without.Section5.sources_contacted
+    > List.length with_index.Section5.sources_contacted)
+
+let test_section5_ablation_pushdown () =
+  let _, pushed = run_q5 () in
+  let _, scanned =
+    run_q5 ~config:{ Mediator.default_config with Mediator.pushdown = false } ()
+  in
+  Alcotest.(check (list string)) "same proteins"
+    pushed.Section5.proteins scanned.Section5.proteins;
+  Alcotest.(check bool)
+    (Printf.sprintf "pushdown ships fewer tuples (%d < %d)"
+       pushed.Section5.tuples_moved scanned.Section5.tuples_moved)
+    true
+    (pushed.Section5.tuples_moved < scanned.Section5.tuples_moved)
+
+let test_section5_ablation_lub () =
+  let _, with_lub = run_q5 () in
+  let _, without =
+    run_q5 ~config:{ Mediator.default_config with Mediator.use_lub = false } ()
+  in
+  let tree_size o =
+    List.fold_left (fun a (_, t) -> a + Aggregate.size t) 0 o.Section5.distributions
+  in
+  Alcotest.(check bool) "lub gives a tighter region" true
+    (tree_size with_lub <= tree_size without);
+  (* same total mass regardless of root *)
+  let mass o =
+    List.fold_left (fun a (_, t) -> a +. t.Aggregate.total) 0.0 o.Section5.distributions
+  in
+  Alcotest.(check (float 1e-6)) "mass preserved" (mass with_lub) (mass without)
+
+let test_section5_no_data () =
+  let med = fresh_mediator () in
+  match
+    Section5.calcium_binding_query med ~organism:"axolotl"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure for unknown organism"
+
+let test_example4_distribution () =
+  let med = fresh_mediator () in
+  match
+    Section5.protein_distribution med ~protein:"ryanodine_receptor"
+      ~organism:"rat" ~root:"cerebellum"
+  with
+  | Error e -> Alcotest.failf "example 4 failed: %s" e
+  | Ok tree ->
+    Alcotest.(check string) "rooted at cerebellum" "cerebellum"
+      tree.Aggregate.concept;
+    Alcotest.(check bool) "mass present" true (tree.Aggregate.total > 0.0);
+    (* purkinje data contributes below the root *)
+    let flat = Aggregate.flatten tree in
+    Alcotest.(check bool) "purkinje in distribution" true
+      (List.mem_assoc "purkinje_cell" flat)
+
+(* -------------------------------------------------------------------- *)
+(* Baseline comparison *)
+
+let test_baseline_agrees_and_costs_more () =
+  let med = fresh_mediator () in
+  let model =
+    match
+      Section5.calcium_binding_query med ~organism:"rat"
+        ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "model-based failed: %s" e
+  in
+  let structural =
+    match
+      Baseline.calcium_binding_query med ~organism:"rat"
+        ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "baseline failed: %s" e
+  in
+  Alcotest.(check (list string)) "same proteins"
+    model.Section5.proteins structural.Baseline.proteins;
+  Alcotest.(check bool) "baseline contacts every source" true
+    (List.length structural.Baseline.sources_contacted
+    > List.length model.Section5.sources_contacted);
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline ships more tuples (%d > %d)"
+       structural.Baseline.tuples_moved model.Section5.tuples_moved)
+    true
+    (structural.Baseline.tuples_moved > model.Section5.tuples_moved);
+  (* per-location sums agree with the model-based distribution's own
+     masses at those locations *)
+  match model.Section5.distributions with
+  | (p0, tree) :: _ ->
+    let flat_own =
+      let rec go t acc = List.fold_left (fun acc c -> go c acc) ((t.Aggregate.concept, t.Aggregate.own) :: acc) t.Aggregate.children in
+      go tree []
+    in
+    List.iter
+      (fun (loc, own) ->
+        if own > 0.0 then begin
+          let base_sum =
+            List.fold_left
+              (fun a (p, l, amt) ->
+                if p = p0 && l = loc then a +. amt else a)
+              0.0 structural.Baseline.rows
+          in
+          Alcotest.(check (float 1e-6)) ("agree at " ^ loc) own base_sum
+        end)
+      flat_own
+  | [] -> Alcotest.fail "no distributions"
+
+let test_consistency_check () =
+  let med = fresh_mediator () in
+  (* assertion-mode mediated base should carry no IC witnesses *)
+  Alcotest.(check bool) "mediated base consistent" true (Mediator.consistent med)
+
+let suites =
+  [
+    ( "mediator.namespace",
+      [ Alcotest.test_case "qualification" `Quick test_namespace ] );
+    ( "mediator.registration",
+      [
+        Alcotest.test_case "register sources" `Quick test_registration;
+        Alcotest.test_case "conceptual lifting" `Quick test_lifting;
+        Alcotest.test_case "text queries" `Quick test_query_text;
+        Alcotest.test_case "IVDs" `Quick test_ivd;
+        Alcotest.test_case "extend domain map" `Quick test_extend_dmap;
+        Alcotest.test_case "register via XML" `Quick test_register_via_xml;
+        Alcotest.test_case "consistency" `Quick test_consistency_check;
+      ] );
+    ( "mediator.selection",
+      [ Alcotest.test_case "semantic index" `Quick test_source_selection ] );
+    ( "mediator.section5",
+      [
+        Alcotest.test_case "answers" `Quick test_section5_answers;
+        Alcotest.test_case "distribution rollup" `Quick test_section5_distribution_consistency;
+        Alcotest.test_case "ablation: index" `Quick test_section5_ablation_index;
+        Alcotest.test_case "ablation: pushdown" `Quick test_section5_ablation_pushdown;
+        Alcotest.test_case "ablation: lub" `Quick test_section5_ablation_lub;
+        Alcotest.test_case "no data" `Quick test_section5_no_data;
+        Alcotest.test_case "example 4" `Quick test_example4_distribution;
+      ] );
+    ( "mediator.baseline",
+      [
+        Alcotest.test_case "agreement and cost" `Quick
+          test_baseline_agrees_and_costs_more;
+      ] );
+  ]

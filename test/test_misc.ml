@@ -1,0 +1,176 @@
+(* Odds and ends: the FL well-founded facade, engine reports, DOT
+   export, and a nonmonotonic-knowledge scenario from Section 4 run
+   under the three-valued semantics. *)
+
+open Logic
+open Flogic
+
+let s = Term.sym
+let v = Term.var
+
+let test_fl_wellfounded_total () =
+  let rules =
+    Fl_parser.(parse_program_exn {|
+      move(a, b). move(b, c).
+      win(X) :- move(X, Y), not win(Y).
+    |}).Fl_parser.rules
+  in
+  let m = Fl_program.run_wellfounded (Fl_program.make rules) in
+  Alcotest.(check bool) "total" true (Datalog.Wellfounded.is_total m);
+  Alcotest.(check bool) "win(b)" true
+    (Datalog.Database.mem m.Datalog.Wellfounded.true_facts
+       (Atom.make "win" [ s "b" ]))
+
+let test_fl_wellfounded_three_valued () =
+  (* a draw position: both players can move forever *)
+  let rules =
+    Fl_parser.(parse_program_exn {|
+      move(a, b). move(b, a). move(b, c).
+      win(X) :- move(X, Y), not win(Y).
+    |}).Fl_parser.rules
+  in
+  let m = Fl_program.run_wellfounded (Fl_program.make rules) in
+  (* b can win by moving to the dead end c; a's only move hands b the
+     win, so win(a) is false; both are decided here. *)
+  Alcotest.(check bool) "win(b) true" true
+    (Datalog.Database.mem m.Datalog.Wellfounded.true_facts (Atom.make "win" [ s "b" ]));
+  Alcotest.(check int) "nothing undefined" 0
+    (Datalog.Database.count m.Datalog.Wellfounded.undefined "win");
+  (* the classic undefined case: pure 2-cycle *)
+  let rules2 =
+    Fl_parser.(parse_program_exn {|
+      move(a, b). move(b, a).
+      win(X) :- move(X, Y), not win(Y).
+    |}).Fl_parser.rules
+  in
+  let m2 = Fl_program.run_wellfounded (Fl_program.make rules2) in
+  Alcotest.(check int) "draw is undefined" 2
+    (Datalog.Database.count m2.Datalog.Wellfounded.undefined "win")
+
+let test_engine_report () =
+  let rules =
+    Fl_parser.(parse_program_exn {|
+      e(a, b). e(b, c). e(c, d).
+      t(X, Y) :- e(X, Y).
+      t(X, Y) :- t(X, Z), e(Z, Y).
+    |}).Fl_parser.rules
+  in
+  let report = ref Datalog.Engine.{ stratified = true; strata = 0; rounds = 0;
+                                    derived = 0; skolems_suppressed = 0;
+                                    joins = 0; tuples_scanned = 0 } in
+  let t = Fl_program.make rules in
+  (match Fl_program.compile t with
+  | Ok p ->
+    ignore (Datalog.Engine.materialize ~report p (Datalog.Database.create ()))
+  | Error e -> Alcotest.failf "compile: %s" e);
+  Alcotest.(check bool) "stratified" true !report.Datalog.Engine.stratified;
+  Alcotest.(check bool) "rounds counted" true (!report.Datalog.Engine.rounds > 1);
+  Alcotest.(check bool) "derived counted" true (!report.Datalog.Engine.derived >= 6);
+  Alcotest.(check bool) "joins counted" true (!report.Datalog.Engine.joins > 0)
+
+let test_dot_export () =
+  let dm =
+    Domain_map.Register.register Neuro.Anatom.fig3_base
+      Neuro.Anatom.fig3_registration
+    |> Result.get_ok
+    |> fun o -> o.Domain_map.Register.dmap
+  in
+  let dot = Domain_map.Dmap.to_dot ~highlight:[ "my_neuron"; "my_dendrite" ] dm in
+  List.iter
+    (fun needle ->
+      let contains =
+        let hn = String.length dot and nn = String.length needle in
+        let rec go i = i + nn <= hn && (String.sub dot i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("dot contains " ^ needle) true contains)
+    [
+      "digraph domain_map";
+      "\"my_neuron\" [shape=box, style=filled";
+      "label=\"proj\"";
+      "shape=diamond, label=\"OR\"";
+      "arrowhead=empty";
+      "label=\"ALL:has\"";
+    ]
+
+(* the Section 4 nonmonotonic-inheritance remark, run end to end: with
+   fig3 knowledge, MyNeuron should inherit the MSN "possible
+   projection" defaults but its own definite projection wins. *)
+let test_nonmon_projection_defaults () =
+  let default c m value =
+    Molecule.fact (Molecule.pred Gcm_axioms.default_p [ s c; s m; s value ])
+  in
+  let rules =
+    [
+      Molecule.fact (Molecule.sub (s "my_neuron") (s "medium_spiny_neuron"));
+      Molecule.fact (Molecule.isa (s "cell1") (s "my_neuron"));
+      Molecule.fact (Molecule.isa (s "cell2") (s "medium_spiny_neuron"));
+      default "medium_spiny_neuron" "projects_to" "some_of_four_targets";
+      default "my_neuron" "projects_to" "globus_pallidus_external";
+    ]
+  in
+  let t = Fl_program.make ~inheritance:true rules in
+  let db = Fl_program.run t in
+  let proj x =
+    Fl_program.query t db
+      [ Molecule.Pos (Molecule.meth_val (s x) "projects_to" (v "T")) ]
+    |> List.filter_map (fun sub -> Term.as_sym (Logic.Subst.apply sub (v "T")))
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "specific default wins"
+    [ "globus_pallidus_external" ] (proj "cell1");
+  Alcotest.(check (list string)) "base default for plain MSN"
+    [ "some_of_four_targets" ] (proj "cell2")
+
+(* Section 5 machinery is generic in organism and ion: mouse rows exist
+   in the background circuits, and ion "none" selects the non-binders. *)
+let test_section5_other_parameters () =
+  let med =
+    Neuro.Sources.standard_mediator { Neuro.Sources.seed = 23; scale = 40 }
+  in
+  (match
+     Mediation.Section5.calcium_binding_query med ~organism:"mouse"
+       ~transmitting_compartment:"parallel_fiber" ~ion:"calcium" ()
+   with
+  | Ok o ->
+    Alcotest.(check bool) "mouse rows bind locations" true
+      (o.Mediation.Section5.locations <> [])
+  | Error e -> Alcotest.failf "mouse query failed: %s" e);
+  match
+    Mediation.Section5.calcium_binding_query med ~organism:"rat"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"none" ()
+  with
+  | Ok o ->
+    let non_binders =
+      List.filter
+        (fun p -> not (List.mem p Neuro.Sources.calcium_binders))
+        Neuro.Sources.proteins
+      |> List.sort String.compare
+    in
+    Alcotest.(check (list string)) "ion=none returns the non-binders"
+      non_binders o.Mediation.Section5.proteins
+  | Error e -> Alcotest.failf "ion=none query failed: %s" e
+
+let test_region_restrict_and_glb_edges () =
+  let dm = Neuro.Anatom.fig1 in
+  let r = Domain_map.Region.downward dm ~root:"dendrite" () in
+  let r' = Domain_map.Region.restrict r ~to_:[ "dendrite"; "spine" ] in
+  Alcotest.(check int) "restricted" 2 (Domain_map.Region.size r');
+  Alcotest.(check (list string)) "glb of unrelated" []
+    (Domain_map.Lub.glb dm [ "soma"; "protein" ]);
+  Alcotest.(check (list string)) "glb with self" [ "spine" ]
+    (Domain_map.Lub.glb dm [ "spine"; "spine" ])
+
+let suites =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "fl wellfounded total" `Quick test_fl_wellfounded_total;
+        Alcotest.test_case "fl wellfounded 3-valued" `Quick test_fl_wellfounded_three_valued;
+        Alcotest.test_case "engine report" `Quick test_engine_report;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+        Alcotest.test_case "nonmon projection defaults" `Quick test_nonmon_projection_defaults;
+        Alcotest.test_case "section5 other parameters" `Quick test_section5_other_parameters;
+        Alcotest.test_case "region/glb edges" `Quick test_region_restrict_and_glb_edges;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the Neuroscience scenario: ANATOM content, generator
+   determinism, and the synthetic sources' shape. *)
+
+open Kind.Neuro
+module Dmap = Domain_map.Dmap
+module Closure = Domain_map.Closure
+module Source = Wrapper.Source
+module Store = Wrapper.Store
+
+(* -------------------------------------------------------------------- *)
+(* ANATOM *)
+
+let test_fig1_axiom_count () =
+  (* Example 1 prints 11 DL statement lines; we encode 14 axioms
+     (conjunction on the right of [isa] keeps a single axiom; the
+     multi-class lines split). All must survive the graph reading. *)
+  Alcotest.(check int) "axioms encoded" 14 (List.length Anatom.fig1_axioms);
+  match Dmap.validate Anatom.fig1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fig1 invalid: %s" e
+
+let test_full_map_merges () =
+  (match Dmap.validate Anatom.full with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full map invalid: %s" e);
+  (* fig1 and fig3 worlds are connected in the merged map *)
+  Alcotest.(check bool) "purkinje in full" true (Dmap.mem Anatom.full "purkinje_cell");
+  Alcotest.(check bool) "msn in full" true
+    (Dmap.mem Anatom.full "medium_spiny_neuron");
+  Alcotest.(check bool) "parallel fiber extension present" true
+    (Dmap.mem Anatom.full "parallel_fiber");
+  (* cerebellum region covers purkinje cells but not pyramidal ones *)
+  let region = Closure.reachable (Closure.traversal Anatom.full) "cerebellum" in
+  Alcotest.(check bool) "purkinje under cerebellum" true
+    (List.mem "purkinje_cell" region);
+  Alcotest.(check bool) "pyramidal not under cerebellum" false
+    (List.mem "pyramidal_cell" region)
+
+let test_sprawl_deterministic () =
+  let a = Anatom.sprawl ~concepts:100 ~seed:5 in
+  let b = Anatom.sprawl ~concepts:100 ~seed:5 in
+  let c = Anatom.sprawl ~concepts:100 ~seed:6 in
+  Alcotest.(check bool) "same seed, same map" true
+    (Dmap.edges a = Dmap.edges b);
+  Alcotest.(check bool) "different seed, different map" false
+    (Dmap.edges a = Dmap.edges c);
+  let nodes, edges = Dmap.size a in
+  Alcotest.(check int) "requested concepts" 100 nodes;
+  Alcotest.(check bool) "edges present" true (edges >= 99)
+
+let test_sprawl_valid_and_acyclic () =
+  let dm = Anatom.sprawl ~concepts:200 ~seed:9 in
+  (match Dmap.validate dm with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sprawl invalid: %s" e);
+  (* the isa forest construction cannot create cycles *)
+  let tc = Closure.isa_tc dm in
+  Alcotest.(check bool) "isa acyclic" false
+    (List.exists (fun (a, b) -> a = b) tc)
+
+(* -------------------------------------------------------------------- *)
+(* Sources *)
+
+let params = { Sources.seed = 17; scale = 30 }
+
+let test_sources_deterministic () =
+  let count src =
+    Datalog.Database.cardinal (Store.database (Source.store src))
+  in
+  Alcotest.(check int) "synapse deterministic"
+    (count (Sources.synapse params))
+    (count (Sources.synapse params));
+  Alcotest.(check bool) "seed changes data" true
+    (Datalog.Database.all_facts
+       (Store.database (Source.store (Sources.synapse params)))
+    <> Datalog.Database.all_facts
+         (Store.database (Source.store (Sources.synapse { params with Sources.seed = 18 }))))
+
+let test_senselab_has_query_rows () =
+  (* the Section 5 query needs rat + parallel_fiber rows *)
+  let src = Sources.senselab params in
+  let rows =
+    Source.fetch_instances src ~cls:"neurotransmission"
+      ~selections:
+        [
+          ("organism", Logic.Literal.Eq, Logic.Term.str "rat");
+          ("transmitting_compartment", Logic.Literal.Eq, Logic.Term.sym "parallel_fiber");
+        ]
+  in
+  Alcotest.(check bool) "parallel-fiber rows exist" true (rows <> []);
+  (* receiving fields are DM concepts *)
+  List.iter
+    (fun (o : Store.obj) ->
+      List.iter
+        (fun (m, v) ->
+          if m = "receiving_neuron" || m = "receiving_compartment" then
+            match Logic.Term.as_sym v with
+            | Some c ->
+              Alcotest.(check bool) (c ^ " is a DM concept") true
+                (Dmap.mem Anatom.full c)
+            | None -> Alcotest.fail "receiving field is not a symbol")
+        o.Store.values)
+    rows
+
+let test_ncmir_covers_query_locations () =
+  let src = Sources.ncmir params in
+  List.iter
+    (fun loc ->
+      let rows =
+        Source.fetch_instances src ~cls:"protein_amount"
+          ~selections:[ ("location", Logic.Literal.Eq, Logic.Term.sym loc) ]
+      in
+      Alcotest.(check bool) ("amounts at " ^ loc) true (rows <> []))
+    [ "purkinje_cell"; "spine"; "dendrite" ];
+  (* every calcium binder has metadata *)
+  let binders =
+    Source.fetch_instances src ~cls:"protein"
+      ~selections:[ ("ion_bound", Logic.Literal.Eq, Logic.Term.sym "calcium") ]
+  in
+  Alcotest.(check int) "calcium binders"
+    (List.length Sources.calcium_binders)
+    (List.length binders)
+
+let test_scale_scales () =
+  let small = Sources.ncmir { params with Sources.scale = 20 } in
+  let large = Sources.ncmir { params with Sources.scale = 200 } in
+  let count src = Store.object_count (Source.store src) ~cls:"protein_amount" in
+  Alcotest.(check bool) "scale grows data" true (count large > 2 * count small)
+
+let test_distractor_disjoint () =
+  let d = Sources.distractor params ~index:1 in
+  (* distractor anchors must not cover the Section 5 pair concepts *)
+  let med = Mediation.Mediator.create Anatom.full in
+  (match Mediation.Mediator.register_source med d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register failed: %s" e);
+  Alcotest.(check (list string)) "not selected for the query pairs" []
+    (Mediation.Mediator.select_sources_for_pairs med
+       ~pairs:[ ("purkinje_cell", "spine") ])
+
+let test_schemas_validate () =
+  List.iter
+    (fun src ->
+      match Gcm.Schema.validate (Source.schema src) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s schema invalid: %s" (Source.name src) e)
+    [
+      Sources.synapse params;
+      Sources.ncmir params;
+      Sources.senselab params;
+      Sources.distractor params ~index:3;
+    ]
+
+let suites =
+  [
+    ( "neuro.anatom",
+      [
+        Alcotest.test_case "fig1 axioms" `Quick test_fig1_axiom_count;
+        Alcotest.test_case "full map" `Quick test_full_map_merges;
+        Alcotest.test_case "sprawl determinism" `Quick test_sprawl_deterministic;
+        Alcotest.test_case "sprawl validity" `Quick test_sprawl_valid_and_acyclic;
+      ] );
+    ( "neuro.sources",
+      [
+        Alcotest.test_case "determinism" `Quick test_sources_deterministic;
+        Alcotest.test_case "senselab rows" `Quick test_senselab_has_query_rows;
+        Alcotest.test_case "ncmir coverage" `Quick test_ncmir_covers_query_locations;
+        Alcotest.test_case "scaling" `Quick test_scale_scales;
+        Alcotest.test_case "distractor disjoint" `Quick test_distractor_disjoint;
+        Alcotest.test_case "schemas validate" `Quick test_schemas_validate;
+      ] );
+  ]

@@ -1,0 +1,117 @@
+(* Tests for Odell's six composition kinds ([Ode94], cited in
+   Section 3): per-kind transitivity, exclusivity, homeomeronomy and
+   the shared integrity denials. *)
+
+open Flogic
+module P = Gcm.Parthood
+module Molecule = Flogic.Molecule
+
+let s = Logic.Term.sym
+
+let run rules = Fl_program.run (Fl_program.make rules)
+
+let fact2 r a b = Molecule.fact (Molecule.pred r [ s a; s b ])
+
+let holds db p args =
+  Datalog.Database.mem db (Logic.Atom.make p (List.map s args))
+
+let test_kind_matrix () =
+  let expect kind (t, e, h) =
+    Alcotest.(check bool) (P.kind_name kind ^ " transitive") t (P.is_transitive kind);
+    Alcotest.(check bool) (P.kind_name kind ^ " exclusive") e (P.is_exclusive kind);
+    Alcotest.(check bool) (P.kind_name kind ^ " homeomeric") h (P.is_homeomeric kind)
+  in
+  expect P.Component_of (true, true, false);
+  expect P.Member_of (false, false, false);
+  expect P.Portion_of (true, false, true);
+  expect P.Stuff_of (false, false, false);
+  expect P.Feature_of (true, false, false);
+  expect P.Place_in (true, false, false)
+
+let test_component_of () =
+  let rules = P.rules P.Component_of ~rel:"part" in
+  (* wheel -> axle assembly -> car: closure derived *)
+  let db =
+    run (rules @ [ fact2 "part" "wheel" "assembly"; fact2 "part" "assembly" "car" ])
+  in
+  Alcotest.(check bool) "closure" true (holds db "part_star" [ "wheel"; "car" ]);
+  Alcotest.(check bool) "consistent" true (Ic.consistent db);
+  (* sharing a component violates exclusivity *)
+  let db2 =
+    run (rules @ [ fact2 "part" "wheel" "car1"; fact2 "part" "wheel" "car2" ])
+  in
+  Alcotest.(check bool) "shared component flagged" true
+    (List.exists (fun w -> w.Ic.name = "w_part_shared") (Ic.violations db2));
+  (* cycles flagged through the closure *)
+  let db3 =
+    run (rules @ [ fact2 "part" "a" "b"; fact2 "part" "b" "c"; fact2 "part" "c" "a" ])
+  in
+  Alcotest.(check bool) "cycle flagged" true
+    (List.exists (fun w -> w.Ic.name = "w_part_cycle") (Ic.violations db3))
+
+let test_member_of_not_transitive () =
+  let rules = P.rules P.Member_of ~rel:"member" in
+  let db =
+    run
+      (rules
+      @ [ fact2 "member" "tree" "forest"; fact2 "member" "forest" "reserve" ])
+  in
+  (* no member_star predicate is generated at all *)
+  Alcotest.(check int) "no closure" 0 (Datalog.Database.count db "member_star");
+  (* sharing is fine: a person can be a member of two committees *)
+  let db2 =
+    run (rules @ [ fact2 "member" "ann" "c1"; fact2 "member" "ann" "c2" ])
+  in
+  Alcotest.(check bool) "membership not exclusive" true (Ic.consistent db2)
+
+let test_portion_homeomeric () =
+  let rules = P.rules P.Portion_of ~rel:"portion" in
+  let db =
+    run
+      (rules
+      @ [
+          fact2 "portion" "slice" "pie";
+          Molecule.fact (Molecule.isa (s "pie") (s "dessert"));
+        ])
+  in
+  (* the slice is a dessert too *)
+  Alcotest.(check bool) "portion inherits kind" true
+    (Datalog.Database.mem db
+       (Logic.Atom.make Compile.isa_p [ s "slice"; s "dessert" ]))
+
+let test_irreflexivity_all_kinds () =
+  List.iter
+    (fun kind ->
+      let rules = P.rules kind ~rel:"p" in
+      let db = run (rules @ [ fact2 "p" "x" "x" ]) in
+      Alcotest.(check bool)
+        (P.kind_name kind ^ " flags self-parthood")
+        false (Ic.consistent db))
+    [ P.Component_of; P.Member_of; P.Portion_of; P.Stuff_of; P.Feature_of; P.Place_in ]
+
+let test_antisymmetry () =
+  let rules = P.rules P.Stuff_of ~rel:"stuff" in
+  let db = run (rules @ [ fact2 "stuff" "a" "b"; fact2 "stuff" "b" "a" ]) in
+  Alcotest.(check bool) "2-cycle flagged" true
+    (List.exists (fun w -> w.Ic.name = "w_stuff_antisym") (Ic.violations db))
+
+let test_describe () =
+  Alcotest.(check string) "component" "component-of (transitive, exclusive)"
+    (P.describe P.Component_of);
+  Alcotest.(check string) "member" "member-of (plain)" (P.describe P.Member_of);
+  Alcotest.(check string) "portion" "portion-of (transitive, homeomeric)"
+    (P.describe P.Portion_of)
+
+let suites =
+  [
+    ( "gcm.parthood",
+      [
+        Alcotest.test_case "kind matrix" `Quick test_kind_matrix;
+        Alcotest.test_case "component-of" `Quick test_component_of;
+        Alcotest.test_case "member-of" `Quick test_member_of_not_transitive;
+        Alcotest.test_case "portion-of homeomeric" `Quick test_portion_homeomeric;
+        Alcotest.test_case "irreflexivity" `Quick test_irreflexivity_all_kinds;
+        Alcotest.test_case "antisymmetry" `Quick test_antisymmetry;
+        Alcotest.test_case "describe" `Quick test_describe;
+      ] );
+  ]

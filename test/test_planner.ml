@@ -1,0 +1,230 @@
+(* Tests for the conjunctive-query planner and the materialized
+   protein_distribution view. *)
+
+open Mediation
+module Molecule = Flogic.Molecule
+module Source = Wrapper.Source
+
+let v = Logic.Term.var
+let s = Logic.Term.sym
+
+let params = { Neuro.Sources.seed = 11; Neuro.Sources.scale = 25 }
+
+let med () = Neuro.Sources.standard_mediator params
+
+let run_ok med lits =
+  match Conjunctive.run med lits with
+  | Ok (answers, report) -> (answers, report)
+  | Error e -> Alcotest.failf "planner failed: %s" e
+
+(* -------------------------------------------------------------------- *)
+
+let test_source_qualified () =
+  let m = med () in
+  let answers, report =
+    run_ok m
+      [
+        Molecule.Pos (Molecule.Isa (v "X", s "SENSELAB.neurotransmission"));
+        Molecule.Pos (Molecule.Meth_val (v "X", "organism", Logic.Term.str "rat"));
+      ]
+  in
+  Alcotest.(check bool) "answers exist" true (answers <> []);
+  Alcotest.(check (list string)) "only SENSELAB touched" [ "SENSELAB" ]
+    report.Conjunctive.sources_contacted
+
+let test_concept_level () =
+  (* X : spine — without naming a source; resolved through the index. *)
+  let m = med () in
+  let answers, report =
+    run_ok m [ Molecule.Pos (Molecule.Isa (v "X", s "spine")) ]
+  in
+  Alcotest.(check bool) "spine data found" true (answers <> []);
+  Alcotest.(check bool) "SYNAPSE among the targets" true
+    (List.mem "SYNAPSE" report.Conjunctive.sources_contacted)
+
+let test_bind_join_pushdown () =
+  (* the constant from the first group becomes a pushed selection for
+     the second *)
+  let m = med () in
+  let lits =
+    [
+      Molecule.Pos (Molecule.Isa (v "N", s "SENSELAB.neurotransmission"));
+      Molecule.Pos (Molecule.Meth_val (v "N", "organism", Logic.Term.str "rat"));
+      Molecule.Pos (Molecule.Meth_val (v "N", "receiving_compartment", v "C"));
+      Molecule.Pos (Molecule.Isa (v "A", s "NCMIR.protein_amount"));
+      Molecule.Pos (Molecule.Meth_val (v "A", "location", v "C"));
+      Molecule.Pos (Molecule.Meth_val (v "A", "protein_name", v "P"));
+    ]
+  in
+  let answers, report = run_ok m lits in
+  Alcotest.(check bool) "join produced rows" true (answers <> []);
+  (* turning pushdown off moves more tuples for the same answers *)
+  Mediator.set_config m { (Mediator.config m) with Mediator.pushdown = false };
+  let answers2, report2 = run_ok m lits in
+  Alcotest.(check int) "same answers" (List.length answers) (List.length answers2);
+  Alcotest.(check bool)
+    (Printf.sprintf "pushdown ships fewer tuples (%d <= %d)"
+       report.Conjunctive.tuples_moved report2.Conjunctive.tuples_moved)
+    true
+    (report.Conjunctive.tuples_moved <= report2.Conjunctive.tuples_moved)
+
+let test_comparisons () =
+  let m = med () in
+  let base =
+    [
+      Molecule.Pos (Molecule.Isa (v "X", s "SYNAPSE.spine_measure"));
+      Molecule.Pos (Molecule.Meth_val (v "X", "diameter", v "D"));
+    ]
+  in
+  let all, _ = run_ok m base in
+  let wide, _ =
+    run_ok m (base @ [ Molecule.Cmp (Logic.Literal.Gt, v "D", Logic.Term.float 0.6) ])
+  in
+  Alcotest.(check bool) "filter reduces" true
+    (List.length wide < List.length all && wide <> [])
+
+let test_dm_tests () =
+  let m = med () in
+  (* enumerate DM pairs and also test filtering with one side bound *)
+  let answers, _ =
+    run_ok m
+      [
+        Molecule.Pos
+          (Molecule.Pred (Logic.Atom.make "tc_isa" [ s "purkinje_cell"; v "Up" ]));
+      ]
+  in
+  let ups =
+    List.filter_map
+      (fun sub -> Logic.Term.as_sym (Logic.Subst.apply sub (v "Up")))
+      answers
+  in
+  Alcotest.(check bool) "neuron among ancestors" true (List.mem "neuron" ups);
+  let yes, _ =
+    run_ok m
+      [
+        Molecule.Pos
+          (Molecule.Pred (Logic.Atom.make "has_a_star" [ s "dendrite"; s "branch" ]));
+      ]
+  in
+  Alcotest.(check int) "ground test succeeds" 1 (List.length yes)
+
+let test_unplannable () =
+  let m = med () in
+  (match Conjunctive.run m [ Molecule.Neg (Molecule.Isa (v "X", s "spine")) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negation must be refused");
+  (match
+     Conjunctive.run m [ Molecule.Pos (Molecule.Meth_val (v "X", "m", v "V")) ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "method access without class must be refused");
+  match Conjunctive.run m [ Molecule.Pos (Molecule.Isa (v "X", s "NOPE.cls")) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown source must be refused"
+
+let test_plan_inspection () =
+  let m = med () in
+  match
+    Conjunctive.plan m
+      [
+        Molecule.Pos (Molecule.Isa (v "X", s "NCMIR.protein_amount"));
+        Molecule.Pos (Molecule.Meth_val (v "X", "location", s "spine"));
+      ]
+  with
+  | Ok [ step ] ->
+    Alcotest.(check (list string)) "selection pushed" [ "location" ]
+      step.Conjunctive.pushed
+  | Ok _ -> Alcotest.fail "one step expected"
+  | Error e -> Alcotest.failf "plan failed: %s" e
+
+let test_run_text () =
+  let m = med () in
+  match
+    Conjunctive.run_text m
+      "?- X : 'SYNAPSE.spine_measure', X[diameter ->> D], D > 0.6."
+  with
+  | Ok (answers, _) -> Alcotest.(check bool) "text query works" true (answers <> [])
+  | Error e -> Alcotest.failf "run_text failed: %s" e
+
+(* -------------------------------------------------------------------- *)
+(* Ivd: the materialized protein_distribution class *)
+
+let test_ivd_materialize () =
+  let m = med () in
+  (match
+     Ivd.materialize_distributions m ~organism:"rat" ~ion:"calcium"
+       ~root:"cerebellum"
+   with
+  | Ok n ->
+    Alcotest.(check int) "one instance per calcium binder"
+      (List.length Neuro.Sources.calcium_binders)
+      n
+  | Error e -> Alcotest.failf "materialize failed: %s" e);
+  (* the mediated class is queryable in FL *)
+  let answers =
+    Mediator.query m
+      [
+        Molecule.Pos (Molecule.Isa (v "D", s Ivd.class_name));
+        Molecule.Pos (Molecule.Meth_val (v "D", "protein_name", v "P"));
+      ]
+  in
+  Alcotest.(check int) "instances queryable"
+    (List.length Neuro.Sources.calcium_binders)
+    (List.length answers);
+  (* per-level rows exist and carry mass *)
+  let levels =
+    Mediator.query m
+      [
+        Molecule.Pos
+          (Molecule.Pred (Logic.Atom.make "pd_level" [ v "D"; s "spine"; v "A" ]));
+      ]
+  in
+  Alcotest.(check bool) "spine levels present" true (levels <> [])
+
+let test_ivd_answer_query () =
+  let m = med () in
+  match
+    Ivd.answer_query m ~organism:"rat"
+      ~transmitting_compartment:"parallel_fiber" ~ion:"calcium"
+  with
+  | Ok answers ->
+    let proteins =
+      List.filter_map
+        (fun sub -> Logic.Term.as_sym (Logic.Subst.apply sub (v "P")))
+        answers
+      |> List.sort_uniq String.compare
+    in
+    Alcotest.(check (list string)) "the paper's answer(P, D)"
+      (List.sort String.compare Neuro.Sources.calcium_binders)
+      proteins
+  | Error e -> Alcotest.failf "answer_query failed: %s" e
+
+let test_ivd_no_data () =
+  let m = med () in
+  match
+    Ivd.materialize_distributions m ~organism:"rat" ~ion:"plutonium"
+      ~root:"cerebellum"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown ion must fail"
+
+let suites =
+  [
+    ( "planner.conjunctive",
+      [
+        Alcotest.test_case "source-qualified" `Quick test_source_qualified;
+        Alcotest.test_case "concept-level" `Quick test_concept_level;
+        Alcotest.test_case "bind-join pushdown" `Quick test_bind_join_pushdown;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "domain-map tests" `Quick test_dm_tests;
+        Alcotest.test_case "unplannable fragment" `Quick test_unplannable;
+        Alcotest.test_case "plan inspection" `Quick test_plan_inspection;
+        Alcotest.test_case "text interface" `Quick test_run_text;
+      ] );
+    ( "planner.ivd",
+      [
+        Alcotest.test_case "materialize view" `Quick test_ivd_materialize;
+        Alcotest.test_case "paper's answer(P,D)" `Quick test_ivd_answer_query;
+        Alcotest.test_case "no data" `Quick test_ivd_no_data;
+      ] );
+  ]

@@ -1,0 +1,268 @@
+(* Tests for the CM plug-in mechanism: the four shipped dialects all
+   land in the same GCM, and the registry behaves. *)
+
+open Cm_plugins
+
+let reg = Defaults.registry ()
+
+let translate_ok format src =
+  match Plugin.translate_string reg ~format src with
+  | Ok tr -> tr
+  | Error e -> Alcotest.failf "%s translation failed: %s" format e
+
+let run_translation tr =
+  let schema = tr.Plugin.schema in
+  let t =
+    Flogic.Fl_program.make
+      ~signature:(Gcm.Schema.signature schema)
+      (Gcm.Schema.to_rules schema @ List.map Flogic.Molecule.fact tr.Plugin.facts)
+  in
+  (t, Flogic.Fl_program.run t)
+
+let s = Logic.Term.sym
+
+(* -------------------------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check (list string)) "formats"
+    [ "er-xml"; "gcm-xml"; "rdfs"; "uxf"; "xsd" ]
+    (Plugin.formats reg);
+  (match Plugin.translate_string reg ~format:"nope" "<x/>" with
+  | Error e ->
+    Alcotest.(check bool) "lists alternatives" true
+      (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unknown format accepted");
+  match Plugin.register reg Gcm_xml.plugin with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration accepted"
+
+let gcm_doc =
+  {|<gcm source="SYNAPSE">
+      <class name="spine" super="compartment">
+        <method name="diameter" range="number"/>
+      </class>
+      <class name="compartment"/>
+      <relation name="has">
+        <attr name="whole" class="compartment"/>
+        <attr name="part" class="compartment"/>
+      </relation>
+      <instance id="s1" class="spine"/>
+      <value object="s1" method="diameter">0.52</value>
+      <tuple relation="has"><field attr="whole">d1</field>
+                            <field attr="part">s1</field></tuple>
+      <anchor class="spine" concept="spine" context="hippocampus"/>
+      <rule>wide(S) :- S : spine, S[diameter -&gt;&gt; D], D &gt; 0.5.</rule>
+    </gcm>|}
+
+let test_gcm_xml () =
+  let tr = translate_ok "gcm-xml" gcm_doc in
+  Alcotest.(check (list string)) "classes" [ "spine"; "compartment" ]
+    (Gcm.Schema.class_names tr.Plugin.schema);
+  Alcotest.(check int) "facts" 3 (List.length tr.Plugin.facts);
+  Alcotest.(check (list (triple string string (list string)))) "anchors"
+    [ ("spine", "spine", [ "hippocampus" ]) ]
+    tr.Plugin.anchors;
+  let t, db = run_translation tr in
+  Alcotest.(check bool) "isa closed upward" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.isa (s "s1") (s "compartment")));
+  Alcotest.(check bool) "embedded rule ran" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.pred "wide" [ s "s1" ]))
+
+let test_gcm_xml_export_roundtrip () =
+  let tr = translate_ok "gcm-xml" gcm_doc in
+  let doc = Gcm_xml.export ~source:"SYNAPSE" tr in
+  let tr2 =
+    match Plugin.translate reg ~format:"gcm-xml" doc with
+    | Ok tr2 -> tr2
+    | Error e -> Alcotest.failf "re-import failed: %s" e
+  in
+  Alcotest.(check (list string)) "classes preserved"
+    (Gcm.Schema.class_names tr.Plugin.schema)
+    (Gcm.Schema.class_names tr2.Plugin.schema);
+  Alcotest.(check int) "facts preserved" (List.length tr.Plugin.facts)
+    (List.length tr2.Plugin.facts);
+  Alcotest.(check bool) "anchors preserved" true
+    (tr.Plugin.anchors = tr2.Plugin.anchors)
+
+let test_gcm_xml_errors () =
+  let bad src =
+    match Plugin.translate_string reg ~format:"gcm-xml" src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %s" src
+  in
+  bad "<notgcm/>";
+  bad {|<gcm><class/></gcm>|};
+  bad {|<gcm><relation name="r"/></gcm>|};
+  bad {|<gcm><rule>p(X :-</rule></gcm>|};
+  (* reserved relation name *)
+  bad {|<gcm><relation name="isa"><attr name="x"/></relation></gcm>|}
+
+let er_doc =
+  {|<er name="LAB">
+      <entity name="neuron">
+        <attribute name="organism" domain="string"/>
+      </entity>
+      <entity name="compartment"/>
+      <isa sub="purkinje" super="neuron"/>
+      <relationship name="has">
+        <role name="whole" entity="neuron" card="1"/>
+        <role name="part" entity="compartment"/>
+      </relationship>
+      <entity-instance entity="purkinje" key="p1">
+        <attribute-value name="organism">rat</attribute-value>
+      </entity-instance>
+      <relationship-instance name="has">
+        <role-value role="whole">p1</role-value>
+        <role-value role="part">d1</role-value>
+      </relationship-instance>
+    </er>|}
+
+let test_er_xml () =
+  let tr = translate_ok "er-xml" er_doc in
+  Alcotest.(check bool) "isa entity materialized" true
+    (List.mem "purkinje" (Gcm.Schema.class_names tr.Plugin.schema));
+  let t, db = run_translation tr in
+  Alcotest.(check bool) "subclass edge" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.sub (s "purkinje") (s "neuron")));
+  Alcotest.(check bool) "instance lifted" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.isa (s "p1") (s "neuron")));
+  Alcotest.(check bool) "tuple lifted" true
+    (Flogic.Fl_program.holds t db
+       (Flogic.Molecule.Rel_val ("has", [ ("whole", s "p1"); ("part", s "d1") ])));
+  (* cardinality 1 on whole: p1,d1 fine; adding a second whole for d1
+     must produce a violation *)
+  Alcotest.(check bool) "card ok" true (Flogic.Ic.consistent db);
+  let tr_bad =
+    translate_ok "er-xml"
+      (String.concat ""
+         [
+           String.sub er_doc 0 (String.length er_doc - 5);
+           {|<relationship-instance name="has">
+              <role-value role="whole">p2</role-value>
+              <role-value role="part">d1</role-value>
+            </relationship-instance></er>|};
+         ])
+  in
+  let _, db_bad = run_translation tr_bad in
+  Alcotest.(check bool) "card violation detected" false
+    (Flogic.Ic.consistent db_bad)
+
+let uxf_doc =
+  {|<uxf>
+      <class name="SpinyNeuron">
+        <superclass name="Neuron"/>
+        <attribute name="somaSize" type="Real"/>
+      </class>
+      <class name="Neuron"/>
+      <association name="has">
+        <assocEnd role="whole" class="Neuron" multiplicity="1"/>
+        <assocEnd role="part" class="Compartment" multiplicity="0..2"/>
+      </association>
+      <object name="n1" class="SpinyNeuron">
+        <slot name="somaSize">17.5</slot>
+      </object>
+      <link association="has">
+        <linkEnd role="whole" object="n1"/>
+        <linkEnd role="part" object="d1"/>
+      </link>
+    </uxf>|}
+
+let test_uxf () =
+  Alcotest.(check string) "name normalisation" "spiny_neuron"
+    (Uxf.normalise_name "SpinyNeuron");
+  let tr = translate_ok "uxf" uxf_doc in
+  Alcotest.(check bool) "classes normalised" true
+    (List.mem "spiny_neuron" (Gcm.Schema.class_names tr.Plugin.schema));
+  let t, db = run_translation tr in
+  Alcotest.(check bool) "superclass" true
+    (Flogic.Fl_program.holds t db
+       (Flogic.Molecule.sub (s "spiny_neuron") (s "neuron")));
+  Alcotest.(check bool) "slot value" true
+    (Flogic.Fl_program.holds t db
+       (Flogic.Molecule.meth_val (s "n1") "soma_size" (Logic.Term.float 17.5)));
+  Alcotest.(check bool) "multiplicities hold" true (Flogic.Ic.consistent db)
+
+let rdf_doc =
+  {|<rdf:RDF name="ONTO">
+      <rdfs:Class rdf:ID="Neuron"/>
+      <rdfs:Class rdf:ID="Purkinje">
+        <rdfs:subClassOf rdf:resource="Neuron"/>
+      </rdfs:Class>
+      <rdf:Property rdf:ID="organism">
+        <rdfs:domain rdf:resource="Neuron"/>
+        <rdfs:range rdf:resource="Literal"/>
+      </rdf:Property>
+      <rdf:Property rdf:ID="projects_to">
+        <rdfs:domain rdf:resource="Neuron"/>
+        <rdfs:range rdf:resource="Neuron"/>
+      </rdf:Property>
+      <rdf:Description rdf:ID="n1">
+        <rdf:type rdf:resource="Purkinje"/>
+        <organism>rat</organism>
+        <projects_to rdf:resource="n2"/>
+      </rdf:Description>
+    </rdf:RDF>|}
+
+let test_rdfs () =
+  let tr = translate_ok "rdfs" rdf_doc in
+  let t, db = run_translation tr in
+  Alcotest.(check bool) "subClassOf" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.sub (s "Purkinje") (s "Neuron")));
+  Alcotest.(check bool) "literal property is a method" true
+    (Flogic.Fl_program.holds t db
+       (Flogic.Molecule.meth_val (s "n1") "organism" (Logic.Term.str "rat")));
+  Alcotest.(check bool) "resource property is a relation" true
+    (Flogic.Fl_program.holds t db
+       (Flogic.Molecule.Rel_val
+          ("projects_to", [ ("subject", s "n1"); ("object", s "n2") ])));
+  Alcotest.(check bool) "type closed upward" true
+    (Flogic.Fl_program.holds t db (Flogic.Molecule.isa (s "n1") (s "Neuron")))
+
+(* All dialects describing the same mini-CM agree once in GCM. *)
+let test_dialect_agreement () =
+  let gcm =
+    translate_ok "gcm-xml"
+      {|<gcm source="x">
+          <class name="purkinje" super="neuron"/>
+          <class name="neuron"/>
+          <instance id="n1" class="purkinje"/>
+        </gcm>|}
+  in
+  let er =
+    translate_ok "er-xml"
+      {|<er name="x">
+          <entity name="neuron"/>
+          <isa sub="purkinje" super="neuron"/>
+          <entity-instance entity="purkinje" key="n1"/>
+        </er>|}
+  in
+  let uxf =
+    translate_ok "uxf"
+      {|<uxf>
+          <class name="Purkinje"><superclass name="Neuron"/></class>
+          <class name="Neuron"/>
+          <object name="n1" class="Purkinje"/>
+        </uxf>|}
+  in
+  let holds tr =
+    let t, db = run_translation tr in
+    Flogic.Fl_program.holds t db (Flogic.Molecule.isa (s "n1") (s "neuron"))
+  in
+  Alcotest.(check bool) "gcm" true (holds gcm);
+  Alcotest.(check bool) "er" true (holds er);
+  Alcotest.(check bool) "uxf" true (holds uxf)
+
+let suites =
+  [
+    ( "plugins",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "gcm-xml" `Quick test_gcm_xml;
+        Alcotest.test_case "gcm-xml export roundtrip" `Quick test_gcm_xml_export_roundtrip;
+        Alcotest.test_case "gcm-xml errors" `Quick test_gcm_xml_errors;
+        Alcotest.test_case "er-xml" `Quick test_er_xml;
+        Alcotest.test_case "uxf" `Quick test_uxf;
+        Alcotest.test_case "rdfs" `Quick test_rdfs;
+        Alcotest.test_case "dialect agreement" `Quick test_dialect_agreement;
+      ] );
+  ]

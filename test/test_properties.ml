@@ -1,0 +1,226 @@
+(* Cross-cutting property tests: closure algebra, lub laws, semantic
+   index monotonicity, EL monotonicity, aggregate semantics against a
+   reference implementation. *)
+
+open Domain_map
+
+let gen_dmap =
+  (* isa edges only point from higher to lower indices, so the isa
+     hierarchy is a DAG — the shape Example 2's antisymmetry constraint
+     enforces on real domain maps. Role edges are unconstrained. *)
+  let open QCheck.Gen in
+  let idx = int_bound 9 in
+  let name = Printf.sprintf "c%d" in
+  let edge =
+    oneof
+      [
+        map2 (fun a b -> `Isa (a, b)) idx idx;
+        map2 (fun a b -> `Has (name a, name b)) idx idx;
+      ]
+  in
+  map
+    (fun edges ->
+      List.fold_left
+        (fun dm e ->
+          match e with
+          | `Isa (a, b) when a > b -> Dmap.isa dm (name a) (name b)
+          | `Isa _ -> dm
+          | `Has (a, b) -> Dmap.ex dm ~role:"has" a b)
+        Dmap.empty edges)
+    (list_size (int_range 1 20) edge)
+
+let arb_dmap = QCheck.make ~print:(Format.asprintf "%a" Dmap.pp) gen_dmap
+
+let prop_tc_transitive_superset =
+  QCheck.Test.make ~name:"tc is transitive and contains the base" ~count:80
+    arb_dmap
+    (fun dm ->
+      let base = (Dmap.isa_links dm).Dmap.definite in
+      let tc = Closure.tc base in
+      List.for_all (fun (a, b) -> a = b || List.mem (a, b) tc) base
+      && List.for_all
+           (fun (a, b) ->
+             List.for_all
+               (fun (b', c) -> b <> b' || a = c || List.mem (a, c) tc)
+               tc)
+           tc)
+
+let prop_dc_contains_base_and_down =
+  QCheck.Test.make ~name:"dc ⊇ base ∪ dc_down" ~count:80 arb_dmap
+    (fun dm ->
+      let isa = Closure.isa_tc dm in
+      let base = (Dmap.role_links dm "has").Dmap.definite in
+      let dc = Closure.dc ~isa_tc:isa base in
+      let dc_down = Closure.dc_down ~isa_tc:isa base in
+      List.for_all (fun p -> List.mem p dc) base
+      && List.for_all (fun p -> List.mem p dc) dc_down)
+
+let prop_traversal_region_contains_descendants =
+  QCheck.Test.make ~name:"traversal region contains isa descendants" ~count:60
+    arb_dmap
+    (fun dm ->
+      List.for_all
+        (fun c ->
+          let region = Closure.reachable (Closure.traversal dm) c in
+          List.for_all (fun d -> List.mem d region) (Closure.descendants dm c))
+        (Dmap.concepts dm))
+
+let prop_ancestors_descendants_dual =
+  QCheck.Test.make ~name:"a ∈ ancestors(b) iff b ∈ descendants(a)" ~count:60
+    arb_dmap
+    (fun dm ->
+      let cs = Dmap.concepts dm in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              List.mem a (Closure.ancestors dm b)
+              = List.mem b (Closure.descendants dm a))
+            cs)
+        cs)
+
+let prop_lub_laws =
+  QCheck.Test.make ~name:"lub: symmetric, common, minimal, idempotent" ~count:60
+    arb_dmap
+    (fun dm ->
+      let cs = Dmap.concepts dm in
+      List.for_all
+        (fun a ->
+          (* lub of a singleton is a itself *)
+          Lub.lub dm [ a ] = [ a ]
+          && List.for_all
+               (fun b ->
+                 let l1 = Lub.lub dm [ a; b ] in
+                 let l2 = Lub.lub dm [ b; a ] in
+                 List.sort compare l1 = List.sort compare l2
+                 && List.for_all
+                      (fun u ->
+                        List.mem u (Closure.ancestors dm a)
+                        && List.mem u (Closure.ancestors dm b))
+                      l1)
+               cs)
+        cs)
+
+let prop_index_monotone =
+  QCheck.Test.make ~name:"adding anchors only grows source selections" ~count:60
+    QCheck.(pair arb_dmap (small_list (pair (int_bound 9) (int_bound 9))))
+    (fun (dm, anchor_specs) ->
+      let concepts = Dmap.concepts dm in
+      if concepts = [] then true
+      else begin
+        let concept_of i = List.nth concepts (i mod List.length concepts) in
+        let idx =
+          List.fold_left
+            (fun idx (si, ci) ->
+              Index.add idx
+                ~source:(Printf.sprintf "S%d" (si mod 3))
+                ~cm_class:"c" ~concept:(concept_of ci) ())
+            Index.empty anchor_specs
+        in
+        let idx' =
+          Index.add idx ~source:"EXTRA" ~cm_class:"c"
+            ~concept:(concept_of 0) ()
+        in
+        List.for_all
+          (fun c ->
+            let before = Index.sources_at dm idx ~concept:c in
+            let after = Index.sources_at dm idx' ~concept:c in
+            List.for_all (fun s -> List.mem s after) before)
+          concepts
+      end)
+
+let prop_el_monotone =
+  (* EL is monotone: adding axioms never removes subsumptions. *)
+  let gen_axioms =
+    let open QCheck.Gen in
+    let name = map (Printf.sprintf "k%d") (int_bound 7) in
+    list_size (int_range 1 8)
+      (oneof
+         [
+           map2
+             (fun a b -> Dl.Concept.subsumes (Dl.Concept.name a) (Dl.Concept.name b))
+             name name;
+           map3
+             (fun a r b ->
+               Dl.Concept.subsumes (Dl.Concept.name a)
+                 (Dl.Concept.exists r (Dl.Concept.name b)))
+             name (oneofl [ "r"; "s" ]) name;
+         ])
+  in
+  QCheck.Test.make ~name:"EL classification is monotone" ~count:60
+    (QCheck.pair (QCheck.make gen_axioms) (QCheck.make gen_axioms))
+    (fun (t1, extra) ->
+      match Dl.Reason.classify t1, Dl.Reason.classify (t1 @ extra) with
+      | Ok r1, Ok r2 ->
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> Dl.Reason.subsumes r2 a b)
+              (Dl.Reason.subsumers r1 a))
+          (Dl.Reason.concept_names r1)
+      | _ -> false)
+
+(* Aggregates: engine count/sum agree with a reference fold. *)
+let prop_aggregate_reference =
+  let open Logic in
+  QCheck.Test.make ~name:"engine aggregates match reference" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (int_bound 4) (int_bound 9)))
+    (fun rows ->
+      let facts =
+        List.sort_uniq compare rows
+        |> List.map (fun (g, v) ->
+               Rule.fact
+                 (Atom.make "m"
+                    [ Term.sym (Printf.sprintf "g%d" g); Term.int v ]))
+      in
+      let rules =
+        [
+          Rule.make
+            (Atom.make "cnt" [ Term.var "G"; Term.var "N" ])
+            [
+              Literal.count ~target:(Term.var "V") ~group_by:[ Term.var "G" ]
+                ~result:(Term.var "N")
+                [ Atom.make "m" [ Term.var "G"; Term.var "V" ] ];
+            ];
+          Rule.make
+            (Atom.make "total" [ Term.var "G"; Term.var "N" ])
+            [
+              Literal.agg Literal.Sum ~target:(Term.var "V")
+                ~group_by:[ Term.var "G" ] ~result:(Term.var "N")
+                [ Atom.make "m" [ Term.var "G"; Term.var "V" ] ];
+            ];
+        ]
+      in
+      let db =
+        Datalog.Engine.materialize
+          (Datalog.Program.make_exn (facts @ rules))
+          (Datalog.Database.create ())
+      in
+      let dedup = List.sort_uniq compare rows in
+      let groups = List.sort_uniq compare (List.map fst dedup) in
+      List.for_all
+        (fun g ->
+          let vs = List.filter_map (fun (g', v) -> if g = g' then Some v else None) dedup in
+          let gname = Term.sym (Printf.sprintf "g%d" g) in
+          Datalog.Database.mem db
+            (Atom.make "cnt" [ gname; Term.int (List.length vs) ])
+          && Datalog.Database.mem db
+               (Atom.make "total"
+                  [ gname; Term.float (float_of_int (List.fold_left ( + ) 0 vs)) ]))
+        groups)
+
+let suites =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_tc_transitive_superset;
+          prop_dc_contains_base_and_down;
+          prop_traversal_region_contains_descendants;
+          prop_ancestors_descendants_dual;
+          prop_lub_laws;
+          prop_index_monotone;
+          prop_el_monotone;
+          prop_aggregate_reference;
+        ] );
+  ]

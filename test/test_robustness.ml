@@ -1,0 +1,175 @@
+(* Robustness tests: parser fuzzing (never crash, always Ok/Error),
+   engine failure injection (divergence guards, depth bounds), and
+   wire-format adversarial inputs. *)
+
+open Logic
+open Flogic
+
+(* -------------------------------------------------------------------- *)
+(* Parser fuzzing: random token soup must yield Ok or Error, never an
+   unexpected exception. *)
+
+let token_soup =
+  let open QCheck.Gen in
+  let word =
+    oneofl
+      [
+        "p"; "q"; "X"; "Y"; "spine"; "42"; "3.14"; ":-"; "?-"; "."; ","; "(";
+        ")"; "["; "]"; "{"; "}"; ":"; "::"; "->"; "->>"; "=>"; "not"; "is";
+        "<"; ">"; "="; "=/="; "count"; ";"; "&"; "'quoted atom'"; "\"str\"";
+        "%comment"; "+"; "*";
+      ]
+  in
+  map (String.concat " ") (list_size (int_bound 40) word)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser totality on token soup" ~count:500
+    (QCheck.make ~print:(fun s -> s) token_soup)
+    (fun src ->
+      match Fl_parser.parse_program src with
+      | Ok _ | Error _ -> true)
+
+let char_soup =
+  QCheck.Gen.(map (String.concat "") (list_size (int_bound 60) (map (String.make 1) printable)))
+
+let prop_parser_total_chars =
+  QCheck.Test.make ~name:"parser totality on char soup" ~count:500
+    (QCheck.make ~print:(fun s -> s) char_soup)
+    (fun src ->
+      match Fl_parser.parse_program src with
+      | Ok _ | Error _ -> true)
+
+let prop_xml_parser_total =
+  QCheck.Test.make ~name:"xml parser totality" ~count:500
+    (QCheck.make ~print:(fun s -> s)
+       QCheck.Gen.(
+         map (String.concat "")
+           (list_size (int_bound 40)
+              (oneofl [ "<"; ">"; "/"; "a"; "b"; "="; "\""; " "; "&"; "amp;"; "!"; "-" ]))))
+    (fun src ->
+      match Xmlkit.Parse.parse src with Ok _ | Error _ -> true)
+
+(* Parse-print-parse stability on valid programs. *)
+let prop_fl_reparse =
+  let program =
+    QCheck.Gen.oneofl
+      [
+        "a :: b. x : a.";
+        "p(X) :- X : a, X[m ->> V], V > 3.";
+        "w(X) : ic :- X : c, not r(X, X).";
+        "big(B, N) :- N = count{X [B]; r(X, B)}, N >= 2.";
+        "d(Y) :- v(X), Y is X * 2 + 1.";
+      ]
+  in
+  QCheck.Test.make ~name:"parse-print-parse stability" ~count:50
+    (QCheck.make ~print:(fun s -> s) program)
+    (fun src ->
+      match Fl_parser.parse_program src with
+      | Error _ -> false
+      | Ok p1 -> (
+        let printed =
+          String.concat "\n"
+            (List.map Molecule.rule_to_string p1.Fl_parser.rules)
+        in
+        match Fl_parser.parse_program printed with
+        | Error _ -> false
+        | Ok p2 ->
+          List.map Molecule.rule_to_string p2.Fl_parser.rules
+          = List.map Molecule.rule_to_string p1.Fl_parser.rules))
+
+(* -------------------------------------------------------------------- *)
+(* Engine failure injection *)
+
+let v = Term.var
+let s = Term.sym
+
+let test_max_rounds_guard () =
+  (* a diverging skolem chain with a huge depth bound must hit the
+     rounds guard instead of spinning forever *)
+  let p =
+    Datalog.Program.make_exn
+      [
+        Rule.fact (Atom.make "p" [ s "a" ]);
+        Rule.make
+          (Atom.make "p" [ Term.app "f" [ v "X" ] ])
+          [ Literal.pos "p" [ v "X" ] ];
+      ]
+  in
+  match
+    Datalog.Engine.materialize
+      ~config:
+        {
+          Datalog.Engine.default_config with
+          Datalog.Engine.max_term_depth = 1_000_000;
+          max_rounds = 20;
+        }
+      p (Datalog.Database.create ())
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected rounds guard to fire"
+
+let test_depth_bound_tightness () =
+  (* depth bound k keeps exactly the terms of depth <= k *)
+  let p =
+    Datalog.Program.make_exn
+      [
+        Rule.fact (Atom.make "p" [ s "a" ]);
+        Rule.make
+          (Atom.make "p" [ Term.app "f" [ v "X" ] ])
+          [ Literal.pos "p" [ v "X" ] ];
+      ]
+  in
+  List.iter
+    (fun k ->
+      let db =
+        Datalog.Engine.materialize
+          ~config:{ Datalog.Engine.default_config with Datalog.Engine.max_term_depth = k }
+          p (Datalog.Database.create ())
+      in
+      Alcotest.(check int) (Printf.sprintf "depth %d" k) k
+        (Datalog.Database.count db "p"))
+    [ 1; 3; 6 ]
+
+let test_unsafe_rule_rejected () =
+  (match Datalog.Program.make [ Rule.make (Atom.make "p" [ v "X" ]) [] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound head var accepted");
+  match
+    Datalog.Program.make
+      [ Rule.make (Atom.make "p" [ v "X" ]) [ Literal.cmp Literal.Eq (v "X") (v "Y") ] ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "floating equality accepted"
+
+let contains_substring haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_fl_compile_error_surfaces () =
+  let t =
+    Fl_program.make
+      [ Molecule.rule (Molecule.Rel_val ("nope", [ ("a", s "x") ])) [] ]
+  in
+  match Fl_program.compile t with
+  | Error e ->
+    Alcotest.(check bool) "mentions relation" true (contains_substring e "nope")
+  | Ok _ -> Alcotest.fail "undeclared relation accepted"
+
+let suites =
+  [
+    ( "robustness.parsers",
+      [
+        QCheck_alcotest.to_alcotest prop_parser_total;
+        QCheck_alcotest.to_alcotest prop_parser_total_chars;
+        QCheck_alcotest.to_alcotest prop_xml_parser_total;
+        QCheck_alcotest.to_alcotest prop_fl_reparse;
+      ] );
+    ( "robustness.engine",
+      [
+        Alcotest.test_case "rounds guard" `Quick test_max_rounds_guard;
+        Alcotest.test_case "depth bound tight" `Quick test_depth_bound_tightness;
+        Alcotest.test_case "unsafe rules rejected" `Quick test_unsafe_rule_rejected;
+        Alcotest.test_case "compile errors surface" `Quick test_fl_compile_error_surfaces;
+      ] );
+  ]

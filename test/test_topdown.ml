@@ -1,0 +1,192 @@
+(* Tests for tabled top-down evaluation: agreement with bottom-up
+   materialization, goal-directedness, negation, and the fragment
+   guards. *)
+
+open Logic
+open Datalog
+
+let v = Term.var
+let s = Term.sym
+let atom p args = Atom.make p args
+let rule h b = Rule.make h b
+let fact p args = Rule.fact (atom p args)
+
+let tc_rules =
+  [
+    rule (atom "tc" [ v "X"; v "Y" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+    rule
+      (atom "tc" [ v "X"; v "Y" ])
+      [ Literal.pos "edge" [ v "X"; v "Z" ]; Literal.pos "tc" [ v "Z"; v "Y" ] ];
+  ]
+
+let chain_edges n =
+  List.init n (fun k ->
+      fact "edge" [ s (Printf.sprintf "n%d" k); s (Printf.sprintf "n%d" (k + 1)) ])
+
+(* two disconnected chains: queries about one must not explore the other *)
+let two_islands n =
+  chain_edges n
+  @ List.init n (fun k ->
+        fact "edge" [ s (Printf.sprintf "m%d" k); s (Printf.sprintf "m%d" (k + 1)) ])
+
+let test_agrees_with_bottom_up () =
+  let p = Program.make_exn (tc_rules @ chain_edges 12) in
+  let db = Engine.materialize p (Datalog.Database.create ()) in
+  let bottom_up =
+    Engine.answers db (atom "tc" [ v "X"; v "Y" ]) |> List.sort Tuple.compare
+  in
+  let top_down = Topdown.solve p (Database.create ()) (atom "tc" [ v "X"; v "Y" ]) in
+  Alcotest.(check int) "same count" (List.length bottom_up) (List.length top_down);
+  Alcotest.(check bool) "same content" true (bottom_up = top_down)
+
+let test_bound_goal () =
+  let p = Program.make_exn (tc_rules @ chain_edges 8) in
+  let from_n3 = Topdown.solve p (Database.create ()) (atom "tc" [ s "n3"; v "Y" ]) in
+  Alcotest.(check int) "n4..n8 reachable from n3" 5 (List.length from_n3);
+  let exact = Topdown.solve p (Database.create ()) (atom "tc" [ s "n0"; s "n8" ]) in
+  Alcotest.(check int) "ground goal" 1 (List.length exact);
+  let miss = Topdown.solve p (Database.create ()) (atom "tc" [ s "n8"; s "n0" ]) in
+  Alcotest.(check int) "unreachable" 0 (List.length miss)
+
+let test_goal_directedness () =
+  (* on two islands, a bound goal must not derive answers about the
+     other island: compare tabled answers, not just the result *)
+  let p = Program.make_exn (tc_rules @ two_islands 30) in
+  let stats = Topdown.new_stats () in
+  ignore (Topdown.solve ~stats p (Database.create ()) (atom "tc" [ s "n0"; v "Y" ]));
+  let full_stats = Topdown.new_stats () in
+  ignore
+    (Topdown.solve ~stats:full_stats p (Database.create ())
+       (atom "tc" [ v "X"; v "Y" ]));
+  Alcotest.(check bool)
+    (Printf.sprintf "bound call stores fewer answers (%d < %d)"
+       stats.Topdown.answers full_stats.Topdown.answers)
+    true
+    (stats.Topdown.answers < full_stats.Topdown.answers)
+
+let test_negation () =
+  let rules =
+    tc_rules
+    @ [
+        rule (atom "node" [ v "X" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+        rule (atom "node" [ v "Y" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+        rule
+          (atom "sink" [ v "X" ])
+          [ Literal.pos "node" [ v "X" ]; Literal.neg "has_out" [ v "X" ] ];
+        rule (atom "has_out" [ v "X" ]) [ Literal.pos "edge" [ v "X"; v "Y" ] ];
+      ]
+    @ chain_edges 5
+  in
+  let p = Program.make_exn rules in
+  let sinks = Topdown.solve p (Database.create ()) (atom "sink" [ v "X" ]) in
+  Alcotest.(check int) "one sink" 1 (List.length sinks);
+  Alcotest.(check bool) "n5 is the sink" true (sinks = [ [ s "n5" ] ])
+
+let test_arith_and_builtin () =
+  let rules =
+    [
+      fact "n" [ Term.int 3 ];
+      rule
+        (atom "double" [ v "Y" ])
+        [
+          Literal.pos "n" [ v "X" ];
+          Literal.assign (v "Y")
+            (Literal.Bin (Literal.Mul, Literal.Leaf (v "X"), Literal.Leaf (Term.int 2)));
+        ];
+    ]
+  in
+  let p = Program.make_exn rules in
+  Alcotest.(check bool) "arith in top-down" true
+    (Topdown.solve p (Database.create ()) (atom "double" [ v "Y" ])
+    = [ [ Term.int 6 ] ])
+
+let test_unsupported () =
+  let agg =
+    Program.make_exn
+      [
+        fact "r" [ s "a" ];
+        rule (atom "c" [ v "N" ])
+          [
+            Literal.count ~target:(v "X") ~group_by:[] ~result:(v "N")
+              [ atom "r" [ v "X" ] ];
+          ];
+      ]
+  in
+  (match Topdown.solve agg (Database.create ()) (atom "c" [ v "N" ]) with
+  | exception Topdown.Unsupported _ -> ()
+  | _ -> Alcotest.fail "aggregates must be refused");
+  let skolem =
+    Program.make_exn
+      [
+        fact "p" [ s "a" ];
+        rule (atom "p" [ Term.app "f" [ v "X" ] ]) [ Literal.pos "p" [ v "X" ] ];
+      ]
+  in
+  (match Topdown.solve skolem (Database.create ()) (atom "p" [ v "X" ]) with
+  | exception Topdown.Unsupported _ -> ()
+  | _ -> Alcotest.fail "head function symbols must be refused");
+  let unstrat =
+    Program.make_exn
+      [
+        fact "u" [ s "a" ];
+        rule (atom "p" [ v "X" ]) [ Literal.pos "u" [ v "X" ]; Literal.neg "q" [ v "X" ] ];
+        rule (atom "q" [ v "X" ]) [ Literal.pos "u" [ v "X" ]; Literal.neg "p" [ v "X" ] ];
+      ]
+  in
+  match Topdown.solve unstrat (Database.create ()) (atom "p" [ v "X" ]) with
+  | exception Topdown.Unsupported _ -> ()
+  | _ -> Alcotest.fail "unstratified negation must be refused"
+
+let test_edb_goal () =
+  let p = Program.make_exn (chain_edges 3) in
+  Alcotest.(check int) "extensional goal" 3
+    (List.length (Topdown.solve p (Database.create ()) (atom "edge" [ v "X"; v "Y" ])))
+
+let test_solve_many_shares_tables () =
+  let p = Program.make_exn (tc_rules @ chain_edges 10) in
+  let stats = Topdown.new_stats () in
+  let results =
+    Topdown.solve_many ~stats p (Database.create ())
+      [ atom "tc" [ s "n0"; v "Y" ]; atom "tc" [ s "n0"; s "n5" ] ]
+  in
+  (match results with
+  | [ all; one ] ->
+    Alcotest.(check int) "first goal" 10 (List.length all);
+    Alcotest.(check int) "second goal" 1 (List.length one)
+  | _ -> Alcotest.fail "two results expected");
+  ()
+
+(* Property: top-down and bottom-up agree on random tc graphs with a
+   bound first argument. *)
+let prop_topdown_agrees =
+  QCheck.Test.make ~name:"top-down = bottom-up on bound tc goals" ~count:40
+    QCheck.(list_of_size Gen.(int_bound 25) (pair (int_bound 8) (int_bound 8)))
+    (fun pairs ->
+      let edges =
+        List.map
+          (fun (a, b) ->
+            fact "edge" [ s (Printf.sprintf "v%d" a); s (Printf.sprintf "v%d" b) ])
+          pairs
+      in
+      let p = Program.make_exn (tc_rules @ edges) in
+      let goal = atom "tc" [ s "v0"; v "Y" ] in
+      let db = Engine.materialize p (Datalog.Database.create ()) in
+      let bu = Engine.answers db goal |> List.sort Tuple.compare in
+      let td = Topdown.solve p (Database.create ()) goal in
+      bu = td)
+
+let suites =
+  [
+    ( "datalog.topdown",
+      [
+        Alcotest.test_case "agrees with bottom-up" `Quick test_agrees_with_bottom_up;
+        Alcotest.test_case "bound goals" `Quick test_bound_goal;
+        Alcotest.test_case "goal-directedness" `Quick test_goal_directedness;
+        Alcotest.test_case "stratified negation" `Quick test_negation;
+        Alcotest.test_case "arithmetic" `Quick test_arith_and_builtin;
+        Alcotest.test_case "unsupported fragments" `Quick test_unsupported;
+        Alcotest.test_case "extensional goals" `Quick test_edb_goal;
+        Alcotest.test_case "shared tables" `Quick test_solve_many_shares_tables;
+        QCheck_alcotest.to_alcotest prop_topdown_agrees;
+      ] );
+  ]

@@ -1,0 +1,99 @@
+(* Tests for the XML transformation combinators (the declarative face
+   of CM plug-ins). *)
+
+open Xmlkit
+
+let doc =
+  Parse.parse_exn
+    {|<uxf>
+        <class name="SpinyNeuron"><superclass name="Neuron"/></class>
+        <class name="Neuron"/>
+        <object name="n1" class="SpinyNeuron"/>
+      </uxf>|}
+
+let test_select_seq () =
+  let classes = Transform.(apply (select_str "/uxf/class")) doc in
+  Alcotest.(check int) "two classes" 2 (List.length classes);
+  let supers =
+    Transform.(apply (select_str "/uxf/class" >>> select_str "/class/superclass")) doc
+  in
+  Alcotest.(check int) "one superclass" 1 (List.length supers);
+  Alcotest.(check int) "alt unions" 3
+    (List.length
+       Transform.(
+         apply (alt (select_str "/uxf/class") (select_str "/uxf/object")) doc))
+
+let test_rename_wrap () =
+  let out =
+    Transform.(apply (select_str "/uxf/object" >>> rename "instance")) doc
+  in
+  (match out with
+  | [ Xml.Element ("instance", attrs, _) ] ->
+    Alcotest.(check (option string)) "attrs kept" (Some "n1")
+      (List.assoc_opt "name" attrs)
+  | _ -> Alcotest.fail "rename failed");
+  match Transform.(apply (wrap "gcm" (select_str "/uxf/class"))) doc with
+  | [ Xml.Element ("gcm", _, children) ] ->
+    Alcotest.(check int) "wrapped" 2 (List.length children)
+  | _ -> Alcotest.fail "wrap failed"
+
+(* a miniature uxf-2-gcm translator written as a transform *)
+let uxf2gcm =
+  let open Transform in
+  wrap "gcm"
+    (alt
+       (select_str "/uxf/class"
+       >>> element "class"
+             ~attrs:[ ("name", Xml.attr "name") ]
+             [])
+       (select_str "/uxf/object"
+       >>> element "instance"
+             ~attrs:[ ("id", Xml.attr "name"); ("class", Xml.attr "class") ]
+             []))
+
+let test_mini_translator () =
+  match Transform.apply_one uxf2gcm doc with
+  | Error e -> Alcotest.failf "translator failed: %s" e
+  | Ok gcm ->
+    Alcotest.(check (option string)) "is gcm" (Some "gcm") (Xml.tag gcm);
+    Alcotest.(check int) "two classes" 2 (List.length (Xml.find_children "class" gcm));
+    (match Xml.find_child "instance" gcm with
+    | Some inst ->
+      Alcotest.(check (option string)) "instance id" (Some "n1") (Xml.attr "id" inst)
+    | None -> Alcotest.fail "instance missing");
+    (* and the produced document is a valid plug-in input *)
+    let reg = Cm_plugins.Defaults.registry () in
+    (match Cm_plugins.Plugin.translate reg ~format:"gcm-xml" gcm with
+    | Ok tr ->
+      Alcotest.(check int) "schema classes" 2
+        (List.length (Gcm.Schema.class_names tr.Cm_plugins.Plugin.schema))
+    | Error e -> Alcotest.failf "downstream plug-in rejected: %s" e)
+
+let test_attrs_children_ops () =
+  let x = Xml.elt "a" ~attrs:[ ("k", "1") ] [ Xml.leaf "b" "t1"; Xml.leaf "c" "t2" ] in
+  (match Transform.(apply (set_attr "k" "2")) x with
+  | [ y ] -> Alcotest.(check (option string)) "set" (Some "2") (Xml.attr "k" y)
+  | _ -> Alcotest.fail "set_attr");
+  (match Transform.(apply (drop_attr "k")) x with
+  | [ y ] -> Alcotest.(check (option string)) "dropped" None (Xml.attr "k" y)
+  | _ -> Alcotest.fail "drop_attr");
+  match Transform.(apply (map_children (when_tag "b" id))) x with
+  | [ y ] -> Alcotest.(check int) "c filtered out" 1 (List.length (Xml.children y))
+  | _ -> Alcotest.fail "map_children"
+
+let test_apply_one_arity () =
+  match Transform.(apply_one (select_str "/uxf/class")) doc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "two outputs must be an arity error"
+
+let suites =
+  [
+    ( "xmlkit.transform",
+      [
+        Alcotest.test_case "select/seq" `Quick test_select_seq;
+        Alcotest.test_case "rename/wrap" `Quick test_rename_wrap;
+        Alcotest.test_case "mini uxf-2-gcm" `Quick test_mini_translator;
+        Alcotest.test_case "attr/children ops" `Quick test_attrs_children_ops;
+        Alcotest.test_case "apply_one arity" `Quick test_apply_one_arity;
+      ] );
+  ]

@@ -1,0 +1,157 @@
+(* Tests for the XML substrate: parser, printer, paths. *)
+
+open Xmlkit
+
+let parse_ok src =
+  match Parse.parse src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_basic () =
+  let t = parse_ok {|<a x="1"><b>hi</b><c/></a>|} in
+  Alcotest.(check (option string)) "root tag" (Some "a") (Xml.tag t);
+  Alcotest.(check (option string)) "attr" (Some "1") (Xml.attr "x" t);
+  Alcotest.(check int) "children" 2 (List.length (Xml.child_elements t));
+  Alcotest.(check string) "text" "hi"
+    (Xml.text_content (Option.get (Xml.find_child "b" t)))
+
+let test_parse_entities () =
+  let t = parse_ok {|<a t="&lt;&amp;&gt;">x &#65; &quot;y&quot;</a>|} in
+  Alcotest.(check (option string)) "attr entities" (Some "<&>") (Xml.attr "t" t);
+  Alcotest.(check string) "text entities" "x A \"y\"" (Xml.text_content t)
+
+let test_parse_comments_cdata () =
+  let t = parse_ok {|<a><!-- nope --><![CDATA[<raw>&]]></a>|} in
+  Alcotest.(check string) "cdata preserved" "<raw>&" (Xml.text_content t)
+
+let test_parse_prolog_doctype () =
+  let t = parse_ok {|<?xml version="1.0"?><!DOCTYPE a><a/>|} in
+  Alcotest.(check (option string)) "root" (Some "a") (Xml.tag t)
+
+let test_parse_errors () =
+  let bad src =
+    match Parse.parse src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %s" src
+  in
+  bad "<a>";
+  bad "<a></b>";
+  bad "<a attr></a>";
+  bad "<a/><b/>";
+  bad "<a>&unknown;</a>";
+  bad ""
+
+let test_roundtrip () =
+  let t =
+    Xml.elt "gcm"
+      ~attrs:[ ("source", "SYNAPSE"); ("q", "a\"b<c>") ]
+      [
+        Xml.leaf "rule" "big(S) :- S : spine, D > 0.5.";
+        Xml.elt "class" ~attrs:[ ("name", "spine") ] [];
+        Xml.leaf "note" "5 < 6 && x";
+      ]
+  in
+  let t' = parse_ok (Print.to_string t) in
+  Alcotest.(check bool) "roundtrip equal" true (Xml.equal t t')
+
+let prop_roundtrip =
+  let gen_xml =
+    let open QCheck.Gen in
+    let name = oneofl [ "a"; "b"; "cde"; "x-1" ] in
+    let txt = oneofl [ "hello"; "a&b"; "<tag>"; "x\"y'z"; "1 2 3" ] in
+    sized_size (int_bound 3) @@ fix (fun self n ->
+      if n = 0 then map Xml.text txt
+      else
+        map3
+          (fun tag attrs children -> Xml.elt tag ~attrs children)
+          name
+          (list_size (int_bound 2) (pair name txt))
+          (list_size (int_bound 3) (self (n - 1))))
+  in
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200
+    (QCheck.make ~print:Print.to_string gen_xml)
+    (fun t ->
+      match Xml.tag t with
+      | None -> QCheck.assume_fail () (* top-level text not a document *)
+      | Some _ -> (
+        (* adjacent text nodes merge on reparse: normalise first *)
+        let rec normalise t =
+          match t with
+          | Xml.Text s -> Xml.Text s
+          | Xml.Element (tag, attrs, children) ->
+            let merged =
+              List.fold_left
+                (fun acc c ->
+                  match normalise c, acc with
+                  | Xml.Text s, Xml.Text s' :: rest -> Xml.Text (s' ^ s) :: rest
+                  | c, acc -> c :: acc)
+                [] children
+              |> List.rev
+              |> List.filter (function
+                   | Xml.Text s -> String.trim s <> ""
+                   | _ -> true)
+            in
+            Xml.Element (tag, attrs, merged)
+        in
+        let t = normalise t in
+        match Parse.parse (Print.to_string t) with
+        | Ok t' -> Xml.equal t t'
+        | Error _ -> false))
+
+let sample =
+  parse_ok
+    {|<catalog>
+        <book id="b1" lang="en"><title>Spines</title><year>2001</year></book>
+        <book id="b2"><title>Dendrites</title><year>1999</year></book>
+        <journal id="j1"><title>Brain</title></journal>
+        <shelf><book id="b3" lang="en"><title>Axons</title></book></shelf>
+      </catalog>|}
+
+let test_path_child () =
+  Alcotest.(check int) "two books" 2
+    (List.length (Path.select_str "/catalog/book" sample));
+  Alcotest.(check (list string)) "titles"
+    [ "Spines"; "Dendrites" ]
+    (Path.texts (Path.parse_exn "/catalog/book/title") sample)
+
+let test_path_descendant () =
+  Alcotest.(check int) "descendant books" 3
+    (List.length (Path.select_str "//book" sample));
+  Alcotest.(check int) "wildcard" 3
+    (List.length (Path.select_str "/catalog/*/title" sample))
+
+let test_path_filters () =
+  Alcotest.(check int) "attr filter" 1
+    (List.length (Path.select_str "/catalog/book[@id='b2']" sample));
+  Alcotest.(check int) "attr presence" 1
+    (List.length (Path.select_str "/catalog/book[@lang]" sample));
+  Alcotest.(check int) "position" 1
+    (List.length (Path.select_str "/catalog/book[2]" sample));
+  Alcotest.(check (list string)) "trailing attr" [ "b1"; "b2"; "b3" ]
+    (Path.select_attrs (Path.parse_exn "//book/@id") sample)
+
+let test_path_errors () =
+  match Path.parse "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty path must fail"
+
+let suites =
+  [
+    ( "xmlkit.parse",
+      [
+        Alcotest.test_case "basic" `Quick test_parse_basic;
+        Alcotest.test_case "entities" `Quick test_parse_entities;
+        Alcotest.test_case "comments/cdata" `Quick test_parse_comments_cdata;
+        Alcotest.test_case "prolog/doctype" `Quick test_parse_prolog_doctype;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+    ( "xmlkit.path",
+      [
+        Alcotest.test_case "child steps" `Quick test_path_child;
+        Alcotest.test_case "descendant/wildcard" `Quick test_path_descendant;
+        Alcotest.test_case "filters" `Quick test_path_filters;
+        Alcotest.test_case "errors" `Quick test_path_errors;
+      ] );
+  ]
