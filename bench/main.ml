@@ -24,6 +24,7 @@ let experiments =
     ("a2", "plug-in overhead across dialects", Exp_engine.a2);
     ("a3", "tabling ablation: top-down vs materialization", Exp_engine.a3);
     ("a4", "incremental maintenance vs re-materialization", Exp_engine.a4);
+    ("inc", "delta-driven view maintenance vs full rebuild", Exp_incremental.run);
     ("q5b", "generic federated planner vs materialize-and-query", Exp_planner.q5b);
     ("dm", "Section 4 execution modes: ICs vs assertions", Exp_modes.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

@@ -6,7 +6,9 @@
      translate  run a CM plug-in over an XML document
      dmap       print/export the ANATOM domain map (text or Graphviz)
      classify   subsumers of a concept in the ANATOM map
-     demo       the Section 5 walk-through, with ablation switches *)
+     demo       the Section 5 walk-through, with ablation switches
+     maintain   stream source updates against a live materialization and
+                report incremental-maintenance and result-cache stats *)
 
 open Kind
 open Cmdliner
@@ -430,6 +432,123 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"the Section 5 calcium-binding-protein walk-through")
     Term.(const run $ scale $ seed $ no_index $ no_push $ no_lub)
 
+(* ------------------------------------------------------------------ *)
+(* maintain: a live update stream against the materialized mediator *)
+
+let maintain_cmd =
+  let scale =
+    Arg.(value & opt int 50 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let updates =
+    Arg.(value & opt int 5 & info [ "updates" ] ~docv:"K"
+           ~doc:"number of source updates to stream")
+  in
+  let goal =
+    Arg.(value & opt string "X : spine, X[diameter ->> D], D > 0.6"
+           & info [ "q"; "query" ] ~docv:"GOAL"
+             ~doc:"query run before and after the update stream")
+  in
+  let assertion =
+    Arg.(value & flag & info [ "assertion-mode" ]
+           ~doc:"execute domain-map axioms as assertions (Section 4). The \
+                 skolem rules negate through their own consequences, so \
+                 the program is unstratified and updates fall back to \
+                 full rebuilds; the default (integrity-constraint mode, \
+                 inheritance off) keeps the materialization stratified \
+                 and maintainable")
+  in
+  let run scale seed updates goal assertion =
+    let config =
+      if assertion then Mediation.Mediator.default_config
+      else
+        {
+          Mediation.Mediator.default_config with
+          Mediation.Mediator.dl_mode = Dl.Translate.Ic;
+          inheritance = false;
+        }
+    in
+    let med =
+      Neuro.Sources.standard_mediator ~config { Neuro.Sources.seed; scale }
+    in
+    let ask label =
+      match Mediation.Mediator.query_text med goal with
+      | Error e ->
+        prerr_endline e;
+        false
+      | Ok answers ->
+        Printf.printf "%-32s %d answer(s)\n" label (List.length answers);
+        true
+    in
+    let pp_action = function
+      | Datalog.Maintain.Skipped -> "skipped"
+      | Datalog.Maintain.Propagated -> "propagated"
+      | Datalog.Maintain.Recomputed -> "recomputed"
+    in
+    let pp_report k (r : Datalog.Maintain.report) =
+      Printf.printf
+        "update %-2d +%d/-%d facts in %d round(s); %d/%d strata skipped; \
+         %d predicate(s) touched\n"
+        k r.Datalog.Maintain.added r.Datalog.Maintain.removed
+        r.Datalog.Maintain.rounds r.Datalog.Maintain.skipped
+        r.Datalog.Maintain.strata
+        (List.length r.Datalog.Maintain.touched);
+      List.iter
+        (fun (s : Datalog.Maintain.stratum_report) ->
+          if s.Datalog.Maintain.action <> Datalog.Maintain.Skipped then
+            Printf.printf "  stratum %-3d %-10s +%d -%d\n"
+              s.Datalog.Maintain.stratum
+              (pp_action s.Datalog.Maintain.action)
+              s.Datalog.Maintain.added s.Datalog.Maintain.removed)
+        r.Datalog.Maintain.per_stratum
+    in
+    let spine k =
+      let id = Logic.Term.sym (Printf.sprintf "live_spine_%d" k) in
+      [
+        Flogic.Molecule.Isa (id, Logic.Term.sym "spine_measure");
+        Flogic.Molecule.Meth_val (id, "diameter", Logic.Term.float 0.9);
+        Flogic.Molecule.Meth_val (id, "location", Logic.Term.sym "pyramidal_cell");
+        Flogic.Molecule.Meth_val (id, "species", Logic.Term.str "rat");
+      ]
+    in
+    let push k ~additions ~deletions =
+      match
+        Mediation.Mediator.update_source med ~source:"SYNAPSE" ~additions
+          ~deletions ()
+      with
+      | Error e ->
+        prerr_endline e;
+        false
+      | Ok None ->
+        print_endline "no materialization live; store updated";
+        true
+      | Ok (Some r) ->
+        pp_report k r;
+        true
+    in
+    let ok = ref (ask "initial query (cold):" && ask "repeat query (cached):") in
+    for k = 1 to updates do
+      ok := !ok && push k ~additions:(spine k) ~deletions:[]
+    done;
+    if updates > 0 then
+      (* retract the first streamed observation again: the DRed path *)
+      ok := !ok && push (updates + 1) ~additions:[] ~deletions:(spine 1);
+    ok := !ok && ask "query after updates (cold):" && ask "repeat query (cached):";
+    let s = Mediation.Mediator.cache_stats med in
+    Printf.printf
+      "result cache: %d hit(s), %d miss(es), %d invalidation(s); %d \
+       incremental pass(es), %d full rebuild(s)\n"
+      s.Mediation.Mediator.hits s.Mediation.Mediator.misses
+      s.Mediation.Mediator.invalidated s.Mediation.Mediator.maintained
+      s.Mediation.Mediator.rebuilt;
+    if !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "maintain"
+       ~doc:"stream source updates into a live materialization and report \
+             maintenance + cache statistics")
+    Term.(const run $ scale $ seed $ updates $ goal $ assertion)
+
 let () =
   let info =
     Cmd.info "kindctl" ~version:"1.0.0"
@@ -440,5 +559,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; check_cmd; explain_cmd; translate_cmd; dmap_cmd;
-            classify_cmd; demo_cmd; query_cmd;
+            classify_cmd; demo_cmd; query_cmd; maintain_cmd;
           ]))

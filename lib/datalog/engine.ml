@@ -29,6 +29,8 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  strata_skipped : int;
+  delta_facts : int;
 }
 
 let empty_report =
@@ -40,6 +42,8 @@ let empty_report =
     skolems_suppressed = 0;
     joins = 0;
     tuples_scanned = 0;
+    strata_skipped = 0;
+    delta_facts = 0;
   }
 
 let run_stratum config stats rules db =
@@ -75,6 +79,8 @@ let materialize ?(config = default_config) ?report p edb =
           skolems_suppressed = skolems;
           joins = stats.Eval.joins;
           tuples_scanned = stats.Eval.tuples_scanned;
+          strata_skipped = 0;
+          delta_facts = 0;
         }
   in
   match Stratify.rules_by_stratum p with
@@ -231,6 +237,33 @@ let retract ?(config = default_config) p db facts_to_remove =
     Ok (List.length gone)
   end
 
+let maintain ?(config = default_config) ?report p db delta =
+  match
+    Maintain.of_materialized ~max_term_depth:config.max_term_depth
+      ~max_rounds:config.max_rounds p db
+  with
+  | Error e -> Error e
+  | Ok h -> (
+    match Maintain.apply h delta with
+    | Error e -> Error e
+    | Ok rep ->
+      (match report with
+      | None -> ()
+      | Some r ->
+        r :=
+          {
+            stratified = true;
+            strata = rep.Maintain.strata;
+            rounds = rep.Maintain.rounds;
+            derived = rep.Maintain.added;
+            skolems_suppressed = rep.Maintain.skolems_suppressed;
+            joins = rep.Maintain.joins;
+            tuples_scanned = rep.Maintain.tuples_scanned;
+            strata_skipped = rep.Maintain.skipped;
+            delta_facts = rep.Maintain.added + rep.Maintain.removed;
+          });
+      Ok rep)
+
 let query ?stats db lits = Eval.solve_body ?stats ~db ~neg:db lits
 
 let answers db (a : Atom.t) =
@@ -239,5 +272,3 @@ let answers db (a : Atom.t) =
   |> List.sort_uniq Tuple.compare
 
 let holds db a = answers db a <> []
-
-let _ = empty_report

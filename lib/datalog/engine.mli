@@ -36,7 +36,14 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  strata_skipped : int;
+      (** maintenance only: strata left untouched because no dependency
+          changed extent (0 for a full materialization) *)
+  delta_facts : int;
+      (** maintenance only: net facts added + removed by the delta *)
 }
+
+val empty_report : report
 
 val materialize :
   ?config:config -> ?report:report ref -> Program.t -> Database.t -> Database.t
@@ -59,6 +66,23 @@ val extend :
     affected strata} — deletions/additions under negation would need
     DRed-style over-deletion, which this engine does not implement;
     [Error] explains when that applies. The database is mutated. *)
+
+val maintain :
+  ?config:config ->
+  ?report:report ref ->
+  Program.t ->
+  Database.t ->
+  Maintain.delta ->
+  (Maintain.report, string) result
+(** Incremental view maintenance: absorb a batch of EDB insertions and
+    deletions into an already-materialized stratified database,
+    re-evaluating only the strata whose dependencies changed (see
+    {!Maintain}). Unlike {!extend}/{!retract} this handles stratified
+    negation and aggregation (changed nonmonotonic strata are rebuilt
+    from the maintained strata below them). The database is mutated.
+    [Error] if the program is unstratified or a delta fact is
+    non-ground. For repeated deltas keep a {!Maintain.t} handle
+    instead — this entry point re-adopts the database on every call. *)
 
 val retract :
   ?config:config ->

@@ -36,8 +36,19 @@ let add r tup =
 let remove r tup =
   if Tuple.Set.mem tup r.tuples then begin
     r.tuples <- Tuple.Set.remove tup r.tuples;
-    (* buckets hold stale entries; drop them and rebuild on demand *)
-    Hashtbl.reset r.indexes;
+    (* drop the tuple from every live index bucket in place — removal is
+       a hot path under incremental maintenance, and a full index reset
+       would make the next lookup rebuild from scratch *)
+    Hashtbl.iter
+      (fun pos idx ->
+        match List.nth_opt tup pos with
+        | Some key -> (
+          match Hashtbl.find_opt idx key with
+          | Some bucket ->
+            bucket := List.filter (fun t -> Tuple.compare t tup <> 0) !bucket
+          | None -> ())
+        | None -> ())
+      r.indexes;
     true
   end
   else false
@@ -60,6 +71,8 @@ let ensure_index r pos =
       r.tuples;
     Hashtbl.add r.indexes pos idx;
     idx
+
+let warm_index r ~pos = ignore (ensure_index r pos)
 
 let lookup r ~pos key =
   let idx = ensure_index r pos in

@@ -28,6 +28,12 @@ val lookup : t -> pos:int -> Logic.Term.t -> Tuple.t list
 (** [lookup r ~pos key] returns the tuples whose [pos]-th component
     equals [key], using (and if needed building) the index on [pos]. *)
 
+val warm_index : t -> pos:int -> unit
+(** Build the index on [pos] now if absent. Indexes are otherwise
+    created lazily by the first {!lookup} that needs them; a long-lived
+    caller (incremental maintenance) warms the join positions up front
+    so the first delta is not charged a full index build. *)
+
 val select : t -> pattern:Logic.Term.t list -> Tuple.t list
 (** Tuples matching the pattern (variables are wildcards, repeated
     variables must match equal components). Uses the most selective

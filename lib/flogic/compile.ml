@@ -13,6 +13,14 @@ let ic_class = "ic"
 
 let declared p = p ^ "_d"
 
+(* The inconsistency class compiles to its own predicate: witnesses must
+   not travel through the [isa] closure, or every denial body that reads
+   class membership under negation puts [isa_d] in a nonmonotonic cycle
+   and the whole mediated program loses stratification (and with it
+   incremental maintainability). [ic] has no subclasses, so nothing is
+   lost by keeping it outside the closure. *)
+let ic_p = declared ic_class
+
 let closed_preds = [ isa_p; sub_p; meth_sig_p; meth_val_p; class_p ]
 
 let reserved = (rel_sig_p :: closed_preds) @ List.map declared closed_preds
@@ -67,6 +75,8 @@ let head_pred_name p =
   else p
 
 let head_atoms sg = function
+  | Molecule.Isa (x, Term.Const (Term.Sym c)) when String.equal c ic_class ->
+    [ Atom.make ic_p [ x ] ]
   | Molecule.Isa (x, c) -> [ Atom.make (declared isa_p) [ x; c ] ]
   | Molecule.Sub (c1, c2) -> [ Atom.make (declared sub_p) [ c1; c2 ] ]
   | Molecule.Meth_sig (c, m, d) ->
@@ -83,6 +93,8 @@ let head_atoms sg = function
     else [ Atom.make (head_pred_name a.Atom.pred) a.Atom.args ]
 
 let body_atoms sg = function
+  | Molecule.Isa (x, Term.Const (Term.Sym c)) when String.equal c ic_class ->
+    [ Atom.make ic_p [ x ] ]
   | Molecule.Isa (x, c) -> [ Atom.make isa_p [ x; c ] ]
   | Molecule.Sub (c1, c2) -> [ Atom.make sub_p [ c1; c2 ] ]
   | Molecule.Meth_sig (c, m, d) ->

@@ -10,7 +10,7 @@
     - [rel_sig] — relation typing; relation instances live in a
       positional predicate named after the relation itself;
     - [ic] — the distinguished inconsistency class (witnesses are
-      [isa_d(w, ic)] facts).
+      [ic_d(w)] facts, see {!ic_p}).
 
     The asymmetry (heads write declared predicates, bodies read closed
     ones) implements Table 1: user rules never have to restate
@@ -23,6 +23,14 @@ val meth_val_p : string
 val class_p : string
 val rel_sig_p : string
 val ic_class : string
+
+val ic_p : string
+(** Datalog predicate holding the failure witnesses. Membership in the
+    inconsistency class compiles to this dedicated unary predicate
+    instead of travelling through the [isa] closure: denial bodies read
+    ordinary class membership under negation, and routing their heads
+    back into [isa_d] would destratify every program with an integrity
+    constraint. [ic] has no subclasses, so closure adds nothing. *)
 
 val declared : string -> string
 (** [declared "isa" = "isa_d"] etc. *)

@@ -9,9 +9,15 @@ let denial ~name ~args body =
   Molecule.rule (Molecule.Isa (witness_term ~name ~args, Term.sym Compile.ic_class)) body
 
 let ic_members db =
-  (* Witnesses are inserted as declared instances of ic; the closed isa
-     predicate includes them, but reading the declared relation keeps
-     this usable on databases materialized without the axioms too. *)
+  (* Witnesses live in the dedicated [ic_d] predicate (kept outside the
+     isa closure so denial rules do not destratify it); databases built
+     by older encodings carried them as isa facts, so those are still
+     scanned too. *)
+  let from_ic =
+    Datalog.Database.facts db Compile.ic_p
+    |> List.filter_map (fun (a : Logic.Atom.t) ->
+           match a.Logic.Atom.args with [ w ] -> Some w | _ -> None)
+  in
   let from pred =
     Datalog.Database.facts db pred
     |> List.filter_map (fun (a : Logic.Atom.t) ->
@@ -20,7 +26,7 @@ let ic_members db =
              Some w
            | _ -> None)
   in
-  from (Compile.declared Compile.isa_p) @ from Compile.isa_p
+  from_ic @ from (Compile.declared Compile.isa_p) @ from Compile.isa_p
   |> List.sort_uniq Term.compare
 
 let violations db =

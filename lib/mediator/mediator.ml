@@ -22,6 +22,21 @@ let default_config =
     inheritance = false;
   }
 
+module SSet = Set.Make (String)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  invalidated : int;
+  maintained : int;
+  rebuilt : int;
+}
+
+let empty_cache_stats =
+  { hits = 0; misses = 0; invalidated = 0; maintained = 0; rebuilt = 0 }
+
+type cache_entry = { answers : Logic.Subst.t list; reads : SSet.t }
+
 type t = {
   mutable dmap : Dmap.t;
   mutable index : Index.t;
@@ -29,6 +44,12 @@ type t = {
   mutable ivds : Molecule.rule list;
   mutable sg : Signature.t;
   mutable cache : Datalog.Database.t option;
+  mutable maint : Datalog.Maintain.t option;
+      (* incremental-maintenance handle over [cache]; [None] when the
+         materialization came through the well-founded fallback *)
+  mutable last_maintenance : Datalog.Maintain.report option;
+  qcache : (string, cache_entry) Hashtbl.t;
+  mutable cstats : cache_stats;
   mutable warnings : string list;
   mutable cfg : config;
   plugins : Cm_plugins.Plugin.registry;
@@ -42,12 +63,93 @@ let create ?(config = default_config) dmap =
     ivds = [];
     sg = Signature.empty;
     cache = None;
+    maint = None;
+    last_maintenance = None;
+    qcache = Hashtbl.create 64;
+    cstats = empty_cache_stats;
     warnings = [];
     cfg = config;
     plugins = Cm_plugins.Defaults.registry ();
   }
 
-let invalidate t = t.cache <- None
+let invalidate t =
+  let stale = Hashtbl.length t.qcache in
+  Hashtbl.reset t.qcache;
+  t.cstats <- { t.cstats with invalidated = t.cstats.invalidated + stale };
+  t.cache <- None;
+  t.maint <- None
+
+(* Drop exactly the cached answers that read a predicate whose extent a
+   maintenance pass changed. *)
+let invalidate_touched t touched =
+  let ts = SSet.of_list touched in
+  let stale =
+    Hashtbl.fold
+      (fun k (e : cache_entry) acc ->
+        if SSet.exists (fun p -> SSet.mem p ts) e.reads then k :: acc else acc)
+      t.qcache []
+  in
+  List.iter (Hashtbl.remove t.qcache) stale;
+  t.cstats <-
+    { t.cstats with invalidated = t.cstats.invalidated + List.length stale }
+
+let record_maintenance t (rep : Datalog.Maintain.report) =
+  t.last_maintenance <- Some rep;
+  t.cstats <- { t.cstats with maintained = t.cstats.maintained + 1 };
+  invalidate_touched t rep.Datalog.Maintain.touched
+
+let cache_stats t = t.cstats
+let last_maintenance t = t.last_maintenance
+
+(* Lift one declared store atom to a conceptual-level molecule, the
+   namespacing step of Figure 3's "lifting". *)
+let lift_atom ~source sg (a : Logic.Atom.t) =
+  let d = Flogic.Compile.declared in
+  match a.Logic.Atom.pred, a.Logic.Atom.args with
+  | p, [ x; c ] when p = d Flogic.Compile.isa_p ->
+    Option.map
+      (fun c -> Molecule.Isa (x, Term.sym (Namespace.qualify ~source c)))
+      (Term.as_string c)
+  | p, [ x; m; v ] when p = d Flogic.Compile.meth_val_p ->
+    Option.map (fun m -> Molecule.Meth_val (x, m, v)) (Term.as_string m)
+  | rel, args -> (
+    match Signature.attributes sg rel with
+    | Some attrs when List.length attrs = List.length args ->
+      Some
+        (Molecule.Rel_val
+           (Namespace.qualify ~source rel, List.combine attrs args))
+    | _ -> None)
+
+let source_facts src =
+  let name = Source.name src in
+  let store = Source.store src in
+  let sg = Wrapper.Store.signature store in
+  Datalog.Database.all_facts (Wrapper.Store.database store)
+  |> List.filter_map (lift_atom ~source:name sg)
+
+(* anchor rule: X : concept :- X : 'SRC.cls'. *)
+let anchor_rule ~cm_class ~concept =
+  Molecule.rule
+    (Molecule.Isa (Term.var "X", Term.sym concept))
+    [ Molecule.Pos (Molecule.Isa (Term.var "X", Term.sym cm_class)) ]
+
+(* Absorb freshly added molecule rules into a live materialization by
+   growing the maintenance handle; anything that prevents that (nothing
+   materialized, well-founded fallback, compile failure, lost
+   stratification) degrades to a full invalidation. *)
+let absorb_rules t mol_rules =
+  match t.cache, t.maint with
+  | Some _, Some h -> (
+    match
+      try Ok (Flogic.Compile.rules t.sg mol_rules)
+      with Flogic.Compile.Compile_error _ -> Error ()
+    with
+    | Error () -> invalidate t
+    | Ok dl_rules -> (
+      match Datalog.Maintain.extend_rules h dl_rules with
+      | Ok rep -> record_maintenance t rep
+      | Error _ -> invalidate t))
+  | _ -> invalidate t
 
 let lift_class _t ~source cls = Namespace.qualify ~source cls
 
@@ -75,7 +177,18 @@ let register_source t src =
                 ~cm_class:(Namespace.qualify ~source:name cls)
                 ~concept ~context ())
           (Source.anchors src);
-        invalidate t;
+        (* registration is a program delta: the source's schema rules,
+           its anchor rules and its lifted data, absorbed incrementally
+           when something is already materialized *)
+        absorb_rules t
+          (Gcm.Schema.to_rules ns_schema
+          @ List.map
+              (fun (cls, concept, _context) ->
+                anchor_rule
+                  ~cm_class:(Namespace.qualify ~source:name cls)
+                  ~concept)
+              (Source.anchors src)
+          @ List.map Molecule.fact (source_facts src));
         Ok ())
 
 let register_xml t ~format ?capabilities ~source_name doc =
@@ -95,7 +208,7 @@ let extend_dmap t axioms =
 
 let add_ivd t rules =
   t.ivds <- t.ivds @ rules;
-  invalidate t
+  absorb_rules t rules
 
 let add_ivd_text t src =
   match Flogic.Fl_parser.parse_program ~signature:t.sg src with
@@ -125,37 +238,12 @@ let plugins t = t.plugins
 let translation_warnings t = t.warnings
 
 (* ------------------------------------------------------------------ *)
-(* Lifting source data to the conceptual level *)
+(* The mediated object base *)
 
-let source_facts src =
-  let name = Source.name src in
-  let store = Source.store src in
-  let sg = Wrapper.Store.signature store in
-  let d = Flogic.Compile.declared in
-  Datalog.Database.all_facts (Wrapper.Store.database store)
-  |> List.filter_map (fun (a : Logic.Atom.t) ->
-         match a.Logic.Atom.pred, a.Logic.Atom.args with
-         | p, [ x; c ] when p = d Flogic.Compile.isa_p ->
-           Option.map
-             (fun c -> Molecule.Isa (x, Term.sym (Namespace.qualify ~source:name c)))
-             (Term.as_string c)
-         | p, [ x; m; v ] when p = d Flogic.Compile.meth_val_p ->
-           Option.map (fun m -> Molecule.Meth_val (x, m, v)) (Term.as_string m)
-         | rel, args -> (
-           match Signature.attributes sg rel with
-           | Some attrs when List.length attrs = List.length args ->
-             Some
-               (Molecule.Rel_val
-                  (Namespace.qualify ~source:name rel, List.combine attrs args))
-           | _ -> None))
-
-(* anchor rule: X : concept :- X : 'SRC.cls'. *)
 let anchor_rules t =
   List.map
     (fun (a : Index.anchor) ->
-      Molecule.rule
-        (Molecule.Isa (Term.var "X", Term.sym a.Index.concept))
-        [ Molecule.Pos (Molecule.Isa (Term.var "X", Term.sym a.Index.cm_class)) ])
+      anchor_rule ~cm_class:a.Index.cm_class ~concept:a.Index.concept)
     (Index.anchors t.index)
 
 let build_program t =
@@ -182,13 +270,89 @@ let materialize t =
   match t.cache with
   | Some db -> db
   | None ->
-    let db = Flogic.Fl_program.run (build_program t) in
+    let p = build_program t in
+    let db =
+      match Flogic.Fl_program.compile p with
+      | Error e -> invalid_arg e
+      | Ok dp -> (
+        match Datalog.Maintain.init dp (Datalog.Database.create ()) with
+        | Ok h ->
+          t.maint <- Some h;
+          Datalog.Maintain.db h
+        | Error _ ->
+          (* unstratified (default inheritance, or domain-map axioms in
+             assertion mode, entangle negation with recursion):
+             well-founded fallback, no incremental handle *)
+          t.maint <- None;
+          Flogic.Fl_program.run p)
+    in
+    t.cstats <- { t.cstats with rebuilt = t.cstats.rebuilt + 1 };
     t.cache <- Some db;
     db
 
 let query t lits =
   let db = materialize t in
-  Flogic.Fl_program.query (Flogic.Fl_program.make ~signature:t.sg []) db lits
+  let compiled = List.concat_map (Flogic.Compile.body_literals t.sg) lits in
+  let key = String.concat " & " (List.map Logic.Literal.to_string compiled) in
+  match Hashtbl.find_opt t.qcache key with
+  | Some e ->
+    t.cstats <- { t.cstats with hits = t.cstats.hits + 1 };
+    e.answers
+  | None ->
+    let answers = Datalog.Engine.query db compiled in
+    let reads =
+      List.fold_left
+        (fun acc l ->
+          List.fold_left
+            (fun acc (p, _) -> SSet.add p acc)
+            acc (Logic.Literal.predicates l))
+        SSet.empty compiled
+    in
+    t.cstats <- { t.cstats with misses = t.cstats.misses + 1 };
+    Hashtbl.replace t.qcache key { answers; reads };
+    answers
+
+(* Figure 3's data-update arrow: a source pushes observations; the
+   wrapper store is the ground truth (a later full rebuild re-reads it),
+   and a live materialization absorbs the same change as a base delta. *)
+let update_source t ~source ?(additions = []) ?(deletions = []) () =
+  match find_source t source with
+  | None ->
+    Error (Printf.sprintf "Mediator.update_source: unknown source %s" source)
+  | Some src -> (
+    let store = Source.store src in
+    let store_sg = Wrapper.Store.signature store in
+    let lift ms =
+      List.concat_map
+        (fun m ->
+          Flogic.Compile.head_atoms store_sg m
+          |> List.filter_map (lift_atom ~source store_sg)
+          |> List.concat_map (Flogic.Compile.head_atoms t.sg))
+        ms
+    in
+    match
+      try Ok (lift additions, lift deletions)
+      with Flogic.Compile.Compile_error e -> Error e
+    with
+    | Error e -> Error e
+    | Ok (added, removed) -> (
+      List.iter (fun m -> ignore (Wrapper.Store.remove_fact store m)) deletions;
+      List.iter (fun m -> Wrapper.Store.add_fact store m) additions;
+      match t.cache, t.maint with
+      | Some _, Some h -> (
+        match
+          Datalog.Maintain.apply h
+            (Datalog.Maintain.delta ~additions:added ~deletions:removed ())
+        with
+        | Ok rep ->
+          record_maintenance t rep;
+          Ok (Some rep)
+        | Error e ->
+          invalidate t;
+          Error e)
+      | _ ->
+        invalidate t;
+        Ok None))
 
 let query_text t src =
   match Flogic.Fl_parser.parse_query ~signature:t.sg src with

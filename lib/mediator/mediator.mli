@@ -42,7 +42,25 @@ val extend_dmap : t -> Dl.Concept.axiom list -> (unit, string) result
 (** Figure 3: a source refines the mediator's domain map. *)
 
 val add_ivd : t -> Flogic.Molecule.rule list -> unit
-(** Install integrated-view rules (global-as-view). *)
+(** Install integrated-view rules (global-as-view). When a
+    materialization is live, the new rules are absorbed incrementally
+    ({!Datalog.Maintain.extend_rules}) instead of invalidating it. *)
+
+val update_source :
+  t ->
+  source:string ->
+  ?additions:Flogic.Molecule.t list ->
+  ?deletions:Flogic.Molecule.t list ->
+  unit ->
+  (Datalog.Maintain.report option, string) result
+(** A source pushes a data change (Figure 3's update arrow): ground
+    declaration molecules in the {e source's} vocabulary, as accepted
+    by {!Wrapper.Store.add_fact}. The wrapper store is updated, and a
+    live materialization absorbs the lifted facts as a base delta —
+    only the strata whose predicates are affected re-evaluate, and only
+    the cached query results that read a touched predicate are dropped.
+    [Ok None] when nothing was materialized yet (the store update will
+    be picked up lazily); [Ok (Some report)] after an incremental pass. *)
 
 val add_ivd_text : t -> string -> (unit, string) result
 (** IVD in FL surface syntax, parsed with the mediator's accumulated
@@ -65,10 +83,28 @@ val translation_warnings : t -> string list
 val materialize : t -> Datalog.Database.t
 (** Pull every source's data, lift it through the anchors into the
     domain map, close it under the GCM axioms, the domain-map rules and
-    the IVDs. Cached; invalidated by registration or configuration
-    changes. *)
+    the IVDs. Cached, and kept under incremental maintenance
+    ({!Datalog.Maintain}): source registration, IVD installation and
+    {!update_source} mutate the live materialization in place instead
+    of invalidating it. Domain-map extension and configuration changes
+    still trigger a full rebuild. *)
 
 val invalidate : t -> unit
+
+type cache_stats = {
+  hits : int;          (** query answers served from the result cache *)
+  misses : int;        (** queries evaluated against the database *)
+  invalidated : int;   (** cached results dropped (precise + full) *)
+  maintained : int;    (** deltas absorbed incrementally *)
+  rebuilt : int;       (** full materializations *)
+}
+
+val cache_stats : t -> cache_stats
+
+val last_maintenance : t -> Datalog.Maintain.report option
+(** The report of the most recent incremental pass, if any — per-stratum
+    skip/propagate/recompute actions and the touched-predicate set that
+    drove result-cache invalidation. *)
 
 val query : t -> Flogic.Molecule.lit list -> Logic.Subst.t list
 val query_text : t -> string -> (Logic.Subst.t list, string) result

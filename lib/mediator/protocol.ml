@@ -4,17 +4,25 @@ module Literal = Logic.Literal
 
 type selection_msg = string * Literal.cmp * Term.t
 
+module Molecule = Flogic.Molecule
+
 type request =
   | Register of { format : string; document : Xml.t }
   | Fetch_instances of { cls : string; selections : selection_msg list }
   | Fetch_tuples of { rel : string; pattern : (string * Term.t) list }
   | Run_template of { name : string; args : (string * Term.t) list }
+  | Update_facts of {
+      source : string;
+      additions : Molecule.t list;
+      deletions : Molecule.t list;
+    }
 
 type response =
   | Registered of { source : string }
   | Objects of Wrapper.Store.obj list
   | Tuples of Datalog.Tuple.t list
   | Bindings of (string * Term.t) list list
+  | Updated of { added : int; removed : int }
   | Failed of string
 
 (* ------------------------------------------------------------------ *)
@@ -72,6 +80,85 @@ let collect f xs =
   |> Result.map List.rev
 
 (* ------------------------------------------------------------------ *)
+(* molecule codec: ground declaration molecules travel structurally,
+   one element per molecule, terms in the shared term codec *)
+
+let molecule_to_xml m =
+  let term t = Xml.leaf "term" (term_to_text t) in
+  let attr_elt (a, t) =
+    Xml.elt "attr" ~attrs:[ ("name", a) ] [ Xml.text (term_to_text t) ]
+  in
+  match m with
+  | Molecule.Isa (x, c) ->
+    Xml.elt "molecule" ~attrs:[ ("kind", "isa") ] [ term x; term c ]
+  | Molecule.Sub (c, d) ->
+    Xml.elt "molecule" ~attrs:[ ("kind", "sub") ] [ term c; term d ]
+  | Molecule.Meth_sig (c, meth, d) ->
+    Xml.elt "molecule"
+      ~attrs:[ ("kind", "meth-sig"); ("method", meth) ]
+      [ term c; term d ]
+  | Molecule.Meth_val (x, meth, v) ->
+    Xml.elt "molecule"
+      ~attrs:[ ("kind", "meth-val"); ("method", meth) ]
+      [ term x; term v ]
+  | Molecule.Rel_sig (r, fields) ->
+    Xml.elt "molecule"
+      ~attrs:[ ("kind", "rel-sig"); ("relation", r) ]
+      (List.map attr_elt fields)
+  | Molecule.Rel_val (r, fields) ->
+    Xml.elt "molecule"
+      ~attrs:[ ("kind", "rel-val"); ("relation", r) ]
+      (List.map attr_elt fields)
+  | Molecule.Pred a ->
+    Xml.elt "molecule"
+      ~attrs:[ ("kind", "pred"); ("name", a.Logic.Atom.pred) ]
+      (List.map term a.Logic.Atom.args)
+
+let molecule_of_xml e =
+  let* kind = Cm_plugins.Plugin.require_attr e "kind" in
+  let terms () =
+    collect
+      (fun te -> term_of_text (Xml.text_content te))
+      (Xml.find_children "term" e)
+  in
+  let two name k =
+    let* ts = terms () in
+    match ts with
+    | [ a; b ] -> Ok (k a b)
+    | _ -> Error (name ^ " molecule expects exactly two terms")
+  in
+  let fields () =
+    collect
+      (fun ae ->
+        let* a = Cm_plugins.Plugin.require_attr ae "name" in
+        let* t = term_of_text (Xml.text_content ae) in
+        Ok (a, t))
+      (Xml.find_children "attr" e)
+  in
+  match kind with
+  | "isa" -> two "isa" (fun x c -> Molecule.Isa (x, c))
+  | "sub" -> two "sub" (fun c d -> Molecule.Sub (c, d))
+  | "meth-sig" ->
+    let* meth = Cm_plugins.Plugin.require_attr e "method" in
+    two "meth-sig" (fun c d -> Molecule.Meth_sig (c, meth, d))
+  | "meth-val" ->
+    let* meth = Cm_plugins.Plugin.require_attr e "method" in
+    two "meth-val" (fun x v -> Molecule.Meth_val (x, meth, v))
+  | "rel-sig" ->
+    let* r = Cm_plugins.Plugin.require_attr e "relation" in
+    let* fs = fields () in
+    Ok (Molecule.Rel_sig (r, fs))
+  | "rel-val" ->
+    let* r = Cm_plugins.Plugin.require_attr e "relation" in
+    let* fs = fields () in
+    Ok (Molecule.Rel_val (r, fs))
+  | "pred" ->
+    let* name = Cm_plugins.Plugin.require_attr e "name" in
+    let* ts = terms () in
+    Ok (Molecule.Pred (Logic.Atom.make name ts))
+  | k -> Error ("unknown molecule kind " ^ k)
+
+(* ------------------------------------------------------------------ *)
 (* request codec *)
 
 let encode_request = function
@@ -97,6 +184,12 @@ let encode_request = function
          (fun (p, t) ->
            Xml.elt "arg" ~attrs:[ ("param", p) ] [ Xml.text (term_to_text t) ])
          args)
+  | Update_facts { source; additions; deletions } ->
+    Xml.elt "update-facts" ~attrs:[ ("source", source) ]
+      [
+        Xml.elt "assert" (List.map molecule_to_xml additions);
+        Xml.elt "retract" (List.map molecule_to_xml deletions);
+      ]
 
 let decode_request doc =
   match Xml.tag doc with
@@ -140,6 +233,15 @@ let decode_request doc =
         (Xml.find_children "arg" doc)
     in
     Ok (Run_template { name; args })
+  | Some "update-facts" ->
+    let* source = Cm_plugins.Plugin.require_attr doc "source" in
+    let molecules tag =
+      List.concat_map (Xml.find_children "molecule") (Xml.find_children tag doc)
+      |> collect molecule_of_xml
+    in
+    let* additions = molecules "assert" in
+    let* deletions = molecules "retract" in
+    Ok (Update_facts { source; additions; deletions })
   | _ -> Error "unknown request message"
 
 (* ------------------------------------------------------------------ *)
@@ -188,6 +290,11 @@ let encode_response = function
                     [ Xml.text (term_to_text t) ])
                 row))
          rows)
+  | Updated { added; removed } ->
+    Xml.elt "updated"
+      ~attrs:
+        [ ("added", string_of_int added); ("removed", string_of_int removed) ]
+      []
   | Failed msg -> Xml.leaf "error" msg
 
 let decode_response doc =
@@ -221,6 +328,17 @@ let decode_response doc =
         (Xml.find_children "row" doc)
     in
     Ok (Bindings rows)
+  | Some "updated" ->
+    let* added_s = Cm_plugins.Plugin.require_attr doc "added" in
+    let* removed_s = Cm_plugins.Plugin.require_attr doc "removed" in
+    let int_of name s =
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None -> Error ("updated: " ^ name ^ " is not an integer")
+    in
+    let* added = int_of "added" added_s in
+    let* removed = int_of "removed" removed_s in
+    Ok (Updated { added; removed })
   | Some "error" -> Ok (Failed (Xml.text_content doc))
   | _ -> Error "unknown response message"
 
@@ -244,6 +362,18 @@ let execute src = function
       let substs = Wrapper.Source.run_template src ~name ~args in
       Bindings (List.map Logic.Subst.bindings substs)
     with Wrapper.Source.Unsupported m -> Failed m)
+  | Update_facts { source = _; additions; deletions } -> (
+    try
+      let store = Wrapper.Source.store src in
+      let removed =
+        List.fold_left
+          (fun n m -> n + Wrapper.Store.remove_fact store m)
+          0 deletions
+      in
+      List.iter (Wrapper.Store.add_fact store) additions;
+      Updated { added = List.length additions; removed }
+    with
+    | Flogic.Compile.Compile_error m | Invalid_argument m -> Failed m)
 
 let handle src doc =
   match decode_request doc with
@@ -257,3 +387,10 @@ let call src req =
 
 let register_remote med ~source_name ?capabilities ~format doc =
   Mediator.register_xml med ~format ?capabilities ~source_name doc
+
+let update_remote med doc =
+  match decode_request doc with
+  | Error e -> Error e
+  | Ok (Update_facts { source; additions; deletions }) ->
+    Mediator.update_source med ~source ~additions ~deletions ()
+  | Ok _ -> Error "expected an update-facts message"

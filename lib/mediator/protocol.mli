@@ -13,6 +13,9 @@
     - [fetch]      — mediator → wrapper: class scan with pushed
       selections, or relation access with a binding pattern;
     - [answers]    — wrapper → mediator: objects or tuples;
+    - [update-facts] — a source pushes a data change (assert/retract
+      ground molecules), the Figure 3 update arrow that drives
+      incremental maintenance on the mediator side;
     - [error]      — either direction. *)
 
 type selection_msg = string * Logic.Literal.cmp * Logic.Term.t
@@ -22,12 +25,20 @@ type request =
   | Fetch_instances of { cls : string; selections : selection_msg list }
   | Fetch_tuples of { rel : string; pattern : (string * Logic.Term.t) list }
   | Run_template of { name : string; args : (string * Logic.Term.t) list }
+  | Update_facts of {
+      source : string;
+      additions : Flogic.Molecule.t list;
+      deletions : Flogic.Molecule.t list;
+    }
 
 type response =
   | Registered of { source : string }
   | Objects of Wrapper.Store.obj list
   | Tuples of Datalog.Tuple.t list
   | Bindings of (string * Logic.Term.t) list list
+  | Updated of { added : int; removed : int }
+      (** [added] molecules asserted; [removed] declared facts that were
+          present and are now gone *)
   | Failed of string
 
 (** {1 Codecs} *)
@@ -65,3 +76,12 @@ val register_remote :
     as a source, register it. (Same as {!Mediator.register_xml},
     re-exported here so the protocol module covers the full dialogue
     vocabulary.) *)
+
+val update_remote :
+  Mediator.t ->
+  Xmlkit.Xml.t ->
+  (Datalog.Maintain.report option, string) result
+(** Accept an [update-facts] message body on the mediator side: decode
+    it and hand the molecules to {!Mediator.update_source}, which
+    updates the named source's store and incrementally maintains the
+    live materialization. *)

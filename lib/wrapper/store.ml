@@ -43,6 +43,19 @@ let add_fact t m =
 
 let load t ms = List.iter (add_fact t) ms
 
+let remove_fact t m =
+  let atoms = Flogic.Compile.head_atoms t.sg m in
+  List.fold_left
+    (fun n a -> if Database.remove_fact t.db a then n + 1 else n)
+    0 atoms
+
+let remove_instance t id ~cls =
+  ignore (Database.remove_fact t.db (Atom.make isa_d [ id; Term.sym cls ]))
+
+let remove_value t id ~meth v =
+  ignore
+    (Database.remove_fact t.db (Atom.make meth_val_d [ id; Term.sym meth; v ]))
+
 type obj = { id : Logic.Term.t; values : (string * Logic.Term.t) list }
 
 type selection = string * Literal.cmp * Logic.Term.t

@@ -20,6 +20,14 @@ val add_fact : t -> Flogic.Molecule.t -> unit
 
 val load : t -> Flogic.Molecule.t list -> unit
 
+val remove_fact : t -> Flogic.Molecule.t -> int
+(** Delete the declared facts a ground molecule compiles to; returns how
+    many were actually present. The inverse of {!add_fact} — feeding the
+    same molecules to both leaves the store unchanged. *)
+
+val remove_instance : t -> Logic.Term.t -> cls:string -> unit
+val remove_value : t -> Logic.Term.t -> meth:string -> Logic.Term.t -> unit
+
 (** {1 Local evaluation} *)
 
 type obj = { id : Logic.Term.t; values : (string * Logic.Term.t) list }

@@ -161,8 +161,7 @@ let test_naive_equals_seminaive () =
 
 let test_seminaive_cheaper () =
   let p = Program.make_exn (tc_rules @ chain_edges 30) in
-  let rn = ref Engine.{ stratified = true; strata = 0; rounds = 0; derived = 0;
-                        skolems_suppressed = 0; joins = 0; tuples_scanned = 0 } in
+  let rn = ref Engine.empty_report in
   let rs = ref !rn in
   ignore
     (Engine.materialize
@@ -294,8 +293,7 @@ let test_skolem_bound () =
       rule (atom "p" [ Term.app "f" [ v "X" ] ]) [ Literal.pos "p" [ v "X" ] ];
     ]
   in
-  let report = ref Engine.{ stratified = true; strata = 0; rounds = 0; derived = 0;
-                            skolems_suppressed = 0; joins = 0; tuples_scanned = 0 } in
+  let report = ref Engine.empty_report in
   let db =
     Engine.materialize
       ~config:{ Engine.default_config with Engine.max_term_depth = 4 }

@@ -323,6 +323,66 @@ let test_consistency_check () =
   (* assertion-mode mediated base should carry no IC witnesses *)
   Alcotest.(check bool) "mediated base consistent" true (Mediator.consistent med)
 
+(* -------------------------------------------------------------------- *)
+(* Incremental maintenance + result cache (Figure 3's update arrow) *)
+
+let test_incremental_updates () =
+  (* IC mode with inheritance off keeps the mediated program stratified,
+     so updates flow through Maintain instead of invalidating *)
+  let config =
+    {
+      Mediator.default_config with
+      Mediator.dl_mode = Dl.Translate.Ic;
+      inheritance = false;
+    }
+  in
+  let med = fresh_mediator ~config () in
+  let q = "X : spine, X[diameter ->> D], D > 0.6" in
+  let ask () =
+    match Mediator.query_text med q with
+    | Ok answers -> List.length answers
+    | Error e -> Alcotest.fail e
+  in
+  let n0 = ask () in
+  Alcotest.(check int) "cached repeat agrees" n0 (ask ());
+  let st = Mediator.cache_stats med in
+  Alcotest.(check int) "one hit" 1 st.Mediator.hits;
+  Alcotest.(check int) "one miss" 1 st.Mediator.misses;
+  Alcotest.(check int) "one rebuild" 1 st.Mediator.rebuilt;
+  let obs =
+    [
+      Molecule.Isa (s "live_1", s "spine_measure");
+      Molecule.Meth_val (s "live_1", "diameter", Logic.Term.float 0.9);
+      Molecule.Meth_val (s "live_1", "location", s "pyramidal_cell");
+      Molecule.Meth_val (s "live_1", "species", Logic.Term.str "rat");
+    ]
+  in
+  (match Mediator.update_source med ~source:"SYNAPSE" ~additions:obs () with
+  | Ok (Some rep) ->
+    Alcotest.(check bool) "facts added" true (rep.Datalog.Maintain.added > 0);
+    Alcotest.(check bool) "touched predicates recorded" true
+      (rep.Datalog.Maintain.touched <> [])
+  | Ok None -> Alcotest.fail "update did not go through maintenance"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "new observation visible" (n0 + 1) (ask ());
+  (match Mediator.last_maintenance med with
+  | None -> Alcotest.fail "no maintenance report"
+  | Some r -> Alcotest.(check bool) "strata walked" true (r.Datalog.Maintain.strata > 0));
+  (* retract the same observation: the DRed path restores the old state *)
+  (match Mediator.update_source med ~source:"SYNAPSE" ~deletions:obs () with
+  | Ok (Some rep) ->
+    Alcotest.(check bool) "facts removed" true (rep.Datalog.Maintain.removed > 0)
+  | Ok None -> Alcotest.fail "deletion did not go through maintenance"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "retraction restores answers" n0 (ask ());
+  let st' = Mediator.cache_stats med in
+  Alcotest.(check int) "still a single full rebuild" 1 st'.Mediator.rebuilt;
+  Alcotest.(check bool) "two incremental passes" true (st'.Mediator.maintained >= 2);
+  (* unknown sources are rejected without touching anything *)
+  match Mediator.update_source med ~source:"NOWHERE" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown source accepted"
+
 let suites =
   [
     ( "mediator.namespace",
@@ -336,6 +396,7 @@ let suites =
         Alcotest.test_case "extend domain map" `Quick test_extend_dmap;
         Alcotest.test_case "register via XML" `Quick test_register_via_xml;
         Alcotest.test_case "consistency" `Quick test_consistency_check;
+        Alcotest.test_case "incremental updates" `Quick test_incremental_updates;
       ] );
     ( "mediator.selection",
       [ Alcotest.test_case "semantic index" `Quick test_source_selection ] );

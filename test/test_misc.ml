@@ -55,9 +55,7 @@ let test_engine_report () =
       t(X, Y) :- t(X, Z), e(Z, Y).
     |}).Fl_parser.rules
   in
-  let report = ref Datalog.Engine.{ stratified = true; strata = 0; rounds = 0;
-                                    derived = 0; skolems_suppressed = 0;
-                                    joins = 0; tuples_scanned = 0 } in
+  let report = ref Datalog.Engine.empty_report in
   let t = Fl_program.make rules in
   (match Fl_program.compile t with
   | Ok p ->

@@ -209,6 +209,70 @@ let prop_aggregate_reference =
                   [ gname; Term.float (float_of_int (List.fold_left ( + ) 0 vs)) ]))
         groups)
 
+(* Relation against a reference set: random interleavings of
+   add/remove/lookup/select must agree with a list model at every step.
+   Lookups force the lazy per-position indexes into existence, so the
+   removes and adds that follow them exercise the in-place index
+   maintenance (a remove used to invalidate; now it edits buckets). *)
+let prop_relation_model =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      oneof
+        [
+          map2 (fun i j -> `Add (i, j)) (int_bound 5) (int_bound 5);
+          map2 (fun i j -> `Remove (i, j)) (int_bound 5) (int_bound 5);
+          map2 (fun pos k -> `Lookup (pos, k)) (int_bound 1) (int_bound 5);
+          map2 (fun k w -> `Select (k, w)) (int_bound 5) (int_bound 2);
+        ])
+  in
+  Test.make ~name:"Relation agrees with a reference set under interleaved ops"
+    ~count:300
+    (make Gen.(list_size (int_range 1 60) gen_op))
+    (fun ops ->
+      let module R = Datalog.Relation in
+      let open Logic in
+      let tup i j = [ Term.sym (Printf.sprintf "a%d" i); Term.int j ] in
+      let r = R.create () in
+      let model = ref [] in
+      let sorted l = List.sort Datalog.Tuple.compare l in
+      let matches pattern t =
+        match Unify.matches_list ~patterns:pattern t with
+        | Some _ -> true
+        | None -> false
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Add (i, j) ->
+            let t = tup i j in
+            let fresh = not (List.mem t !model) in
+            if fresh then model := t :: !model;
+            R.add r t = fresh
+          | `Remove (i, j) ->
+            let t = tup i j in
+            let present = List.mem t !model in
+            model := List.filter (fun x -> x <> t) !model;
+            R.remove r t = present
+          | `Lookup (pos, k) ->
+            let key =
+              if pos = 0 then Term.sym (Printf.sprintf "a%d" k) else Term.int k
+            in
+            sorted (R.lookup r ~pos key)
+            = sorted (List.filter (fun t -> List.nth t pos = key) !model)
+          | `Select (k, which) ->
+            let pattern =
+              match which with
+              | 0 -> [ Term.sym (Printf.sprintf "a%d" k); Term.var "V" ]
+              | 1 -> [ Term.var "V"; Term.int k ]
+              | _ -> [ Term.var "V"; Term.var "V" ] (* repeated var: no match *)
+            in
+            sorted (R.select r ~pattern)
+            = sorted (List.filter (matches pattern) !model))
+        ops
+      && R.cardinal r = List.length !model
+      && sorted (R.to_list r) = sorted !model)
+
 let suites =
   [
     ( "properties",
@@ -222,5 +286,6 @@ let suites =
           prop_index_monotone;
           prop_el_monotone;
           prop_aggregate_reference;
+          prop_relation_model;
         ] );
   ]
