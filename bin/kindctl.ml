@@ -3,6 +3,8 @@
    Subcommands:
      run        evaluate an F-logic program file and answer its queries
      check      audit an F-logic program for integrity violations
+     lint       static analysis (kindlint) of programs or the demo
+                federation, without evaluating anything
      translate  run a CM plug-in over an XML document
      dmap       print/export the ANATOM domain map (text or Graphviz)
      classify   subsumers of a concept in the ANATOM map
@@ -203,6 +205,91 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"audit an F-logic program for integrity violations")
     Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"F-logic program(s) to lint")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo" ]
+           ~doc:"lint the Section 5 demo federation (domain map, sources, \
+                 IVDs, capabilities) instead of program files")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"exit nonzero on warnings too, and treat a negative cycle \
+                 as an error rather than relying on the well-founded \
+                 fallback")
+  in
+  let scale =
+    Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N"
+           ~doc:"rows per class for --demo")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let run files demo json strict scale seed =
+    let lint_file f =
+      match Flogic.Fl_parser.parse_program (read_file f) with
+      | Error e ->
+        [
+          Analysis.Diagnostic.make ~severity:Analysis.Diagnostic.Error
+            ~pass:"rules" ~code:"parse-error"
+            ~location:(Analysis.Diagnostic.Source f) e;
+        ]
+      | Ok parsed ->
+        Analysis.Kindlint.lint_program ~fallback_ok:(not strict)
+          (Flogic.Fl_program.make
+             ~signature:parsed.Flogic.Fl_parser.signature
+             parsed.Flogic.Fl_parser.rules)
+    in
+    let demo_diags () =
+      let med =
+        Neuro.Sources.standard_mediator { Neuro.Sources.seed; scale }
+      in
+      Mediation.Lint.federation med
+    in
+    if files = [] && not demo then begin
+      prerr_endline "lint: nothing to do; give program FILEs or --demo";
+      2
+    end
+    else begin
+      let per_file = List.map (fun f -> (f, lint_file f)) files in
+      let demo_d = if demo then demo_diags () else [] in
+      let sorted =
+        Analysis.Diagnostic.sort (List.concat_map snd per_file @ demo_d)
+      in
+      if json then print_endline (Analysis.Diagnostic.list_to_json sorted)
+      else begin
+        List.iter
+          (fun (f, ds) ->
+            Format.printf "%s:@." f;
+            Format.printf "%a@." Analysis.Diagnostic.pp_report ds)
+          per_file;
+        if demo then begin
+          Format.printf "demo federation:@.";
+          Format.printf "%a@." Analysis.Diagnostic.pp_report demo_d
+        end
+      end;
+      let bad =
+        Analysis.Diagnostic.count sorted Analysis.Diagnostic.Error
+        + if strict then Analysis.Diagnostic.count sorted Analysis.Diagnostic.Warning
+          else 0
+      in
+      if bad > 0 then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"kindlint: static analysis of F-logic programs and the demo \
+             federation — rule safety, stratification, schema conformance, \
+             capability feasibility, domain-map well-formedness")
+    Term.(const run $ files $ demo $ json $ strict $ scale $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* explain *)
@@ -558,6 +645,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_cmd; check_cmd; explain_cmd; translate_cmd; dmap_cmd;
-            classify_cmd; demo_cmd; query_cmd; maintain_cmd;
+            run_cmd; check_cmd; lint_cmd; explain_cmd; translate_cmd;
+            dmap_cmd; classify_cmd; demo_cmd; query_cmd; maintain_cmd;
           ]))

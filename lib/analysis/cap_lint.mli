@@ -1,0 +1,70 @@
+(** Pass 4 — capability feasibility.
+
+    Decides {e statically}, against each source's declared query
+    capabilities (Sec. 2 binding patterns), whether a conjunctive
+    query / IVD body in the {!Mediation.Conjunctive} fragment admits
+    any executable ordering — instead of discovering an unexecutable
+    plan as an empty answer or an [Unplannable] exception at run time.
+
+    The model mirrors the planner: a literal is {e executable} under a
+    set of bound variables when
+
+    - a class group [X : c] has at least one covering source whose
+      class is scannable (or selectable on methods already bound);
+      executing it binds [X] and its method-value variables;
+    - a relation access ['SRC.rel'[a -> T; ...]] matches a declared
+      binding pattern whose [Bound] positions are all bound (or the
+      relation is scannable); executing it binds all its field
+      variables;
+    - an [Eq] comparison with one side bound binds the other; other
+      comparisons need both sides bound;
+    - a domain-map test ([dm_isa] etc.) is always executable (its pairs
+      are enumerable) and binds both arguments.
+
+    Executability is monotone in the bound set, so a greedy fixpoint is
+    complete: if it stalls, {e no} ordering executes the remaining
+    literals, and the stalled subgoals are reported.
+
+    Codes:
+    - {b infeasible-access} (error): a relation access no ordering can
+      satisfy — e.g. a bound-argument-only relation used with a
+      variable nothing else binds ("the wrapper refuses every access");
+    - {b unscannable-class} (error): a class group whose every covering
+      source forbids scanning and whose pushable selections cannot be
+      bound;
+    - {b no-covering-source} (warning): a class/concept no registered
+      source covers — the plan executes but is vacuously empty;
+    - {b infeasible-comparison} (warning): a comparison over variables
+      nothing binds (answers are silently dropped);
+    - {b ungrouped-method} (error): [X[m ->> V]] with no class
+      constraint for [X] ({!Mediation.Conjunctive} rejects it);
+    - {b unplannable-literal} (warning): a literal outside the
+      planner's fragment (negation, aggregation, assignment).
+    - {b unused-template-param} / {b unknown-template-param}
+      (warning): a declared query template whose parameter list and
+      [$param] placeholders disagree ({!lint_templates}). *)
+
+type source_info = {
+  name : string;
+  capabilities : Wrapper.Capability.t list;
+  relations : (string * string list) list;
+      (** relation name, attribute layout (source-local names) *)
+  classes : string list;
+}
+
+val of_source : Wrapper.Source.t -> source_info
+
+val feasibility :
+  sources:source_info list ->
+  class_targets:(string -> (string * string) list) ->
+  ?label:string ->
+  Flogic.Molecule.lit list ->
+  Diagnostic.t list
+(** [class_targets c] resolves a class name occurring in [X : c] to
+    [(source, source-local class)] pairs — qualified names resolve to
+    their source, concept names through the semantic index (the
+    caller provides the mediator-shaped closure). [label] overrides
+    the rendered query in diagnostic locations. *)
+
+val lint_templates : source_info -> Diagnostic.t list
+(** Parameter hygiene of declared query templates. *)

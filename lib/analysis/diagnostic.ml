@@ -1,0 +1,132 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Rule of { index : int; text : string }
+  | Predicate of string
+  | Edge of { src : string; dst : string; label : string }
+  | Concept of string
+  | Source of string
+  | Query of string
+  | Federation
+
+type t = {
+  severity : severity;
+  pass : string;
+  code : string;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~severity ~pass ~code ~location message =
+  { severity; pass; code; location; message; hint }
+
+let severity_order = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_order a.severity) (severity_order b.severity) in
+      if c <> 0 then c
+      else
+        let c = String.compare a.pass b.pass in
+        if c <> 0 then c else String.compare a.code b.code)
+    ds
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+let count ds s = List.length (List.filter (fun d -> d.severity = s) ds)
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_location ppf = function
+  | Rule { index; text } -> Format.fprintf ppf "rule #%d `%s`" index text
+  | Predicate p -> Format.fprintf ppf "predicate %s" p
+  | Edge { src; dst; label } ->
+    Format.fprintf ppf "edge %s -%s-> %s" src label dst
+  | Concept c -> Format.fprintf ppf "concept %s" c
+  | Source s -> Format.fprintf ppf "source %s" s
+  | Query q -> Format.fprintf ppf "query `%s`" q
+  | Federation -> Format.pp_print_string ppf "federation"
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s] %a: %s" pp_severity d.severity d.code pp_location
+    d.location d.message;
+  match d.hint with
+  | Some h -> Format.fprintf ppf "@.  hint: %s" h
+  | None -> ()
+
+let pp_report ppf ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count ds Error)
+    (count ds Warning) (count ds Info)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let location_json = function
+  | Rule { index; text } ->
+    json_obj
+      [
+        ("kind", json_string "rule");
+        ("index", string_of_int index);
+        ("rule", json_string text);
+      ]
+  | Predicate p ->
+    json_obj [ ("kind", json_string "predicate"); ("predicate", json_string p) ]
+  | Edge { src; dst; label } ->
+    json_obj
+      [
+        ("kind", json_string "edge");
+        ("src", json_string src);
+        ("dst", json_string dst);
+        ("label", json_string label);
+      ]
+  | Concept c ->
+    json_obj [ ("kind", json_string "concept"); ("concept", json_string c) ]
+  | Source s ->
+    json_obj [ ("kind", json_string "source"); ("source", json_string s) ]
+  | Query q ->
+    json_obj [ ("kind", json_string "query"); ("query", json_string q) ]
+  | Federation -> json_obj [ ("kind", json_string "federation") ]
+
+let to_json d =
+  json_obj
+    ([
+       ("severity", json_string (Format.asprintf "%a" pp_severity d.severity));
+       ("pass", json_string d.pass);
+       ("code", json_string d.code);
+       ("location", location_json d.location);
+       ("message", json_string d.message);
+     ]
+    @ match d.hint with None -> [] | Some h -> [ ("hint", json_string h) ])
+
+let list_to_json ds =
+  "[" ^ String.concat ",\n " (List.map to_json (sort ds)) ^ "]"

@@ -1,0 +1,68 @@
+(** Structured diagnostics for kindlint, the federation-wide static
+    analyzer.
+
+    Every analysis pass ({!Rule_lint}, {!Strat_lint}, {!Schema_lint},
+    {!Cap_lint}, {!Dmap_lint}) reports its findings as values of this
+    one type so that callers — the [kindctl lint] CLI, the mediator's
+    registration policy, tests — can filter, render and serialize them
+    uniformly. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Rule of { index : int; text : string }
+      (** [index] is the rule's position in the linted program (0-based) *)
+  | Predicate of string
+  | Edge of { src : string; dst : string; label : string }
+      (** a domain-map or dependency-graph edge *)
+  | Concept of string
+  | Source of string
+  | Query of string  (** an IVD body / query template, rendered *)
+  | Federation
+
+type t = {
+  severity : severity;
+  pass : string;  (** ["rules"], ["stratification"], ["schema"],
+                      ["capability"] or ["domain-map"] *)
+  code : string;  (** stable machine-readable code, e.g. ["unsafe-rule"] *)
+  location : location;
+  message : string;
+  hint : string option;  (** how to fix it, when we can tell *)
+}
+
+val make :
+  ?hint:string ->
+  severity:severity ->
+  pass:string ->
+  code:string ->
+  location:location ->
+  string ->
+  t
+
+val severity_order : severity -> int
+(** [Error] < [Warning] < [Info] — for sorting worst-first. *)
+
+val sort : t list -> t list
+(** Stable sort by severity (errors first), then pass, then code. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val count : t list -> severity -> int
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp_location : Format.formatter -> location -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One human-readable block:
+    [error[unsafe-rule] rule #2 `p(X) :- q(Y).`: variable X ...] plus an
+    indented hint line when present. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics (sorted) followed by a one-line summary. *)
+
+val to_json : t -> string
+val list_to_json : t list -> string
+(** A JSON array of objects with fields [severity], [pass], [code],
+    [location] (an object with a [kind] field), [message] and [hint]
+    (absent when there is none). *)

@@ -1,0 +1,164 @@
+module Dmap = Domain_map.Dmap
+module Index = Domain_map.Index
+module D = Diagnostic
+
+let pass = "domain-map"
+
+module SM = Map.Make (String)
+
+let isa_cycle dm =
+  let links = (Dmap.isa_links dm).Dmap.definite in
+  let adj =
+    List.fold_left
+      (fun m (u, v) ->
+        SM.update u (fun vs -> Some (v :: Option.value vs ~default:[])) m)
+      SM.empty links
+  in
+  (* shortest path dst ->* src closing each edge src -> dst; BFS *)
+  let back ~src ~dst =
+    if String.equal src dst then Some [ src ]
+    else begin
+      let parent = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Queue.add dst queue;
+      Hashtbl.add parent dst dst;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun v ->
+            if (not !found) && not (Hashtbl.mem parent v) then begin
+              Hashtbl.add parent v u;
+              if String.equal v src then found := true else Queue.add v queue
+            end)
+          (Option.value (SM.find_opt u adj) ~default:[])
+      done;
+      if not !found then None
+      else begin
+        let rec walk v acc =
+          if String.equal v dst then v :: acc
+          else walk (Hashtbl.find parent v) (v :: acc)
+        in
+        Some (walk src [])
+      end
+    end
+  in
+  List.fold_left
+    (fun best (u, v) ->
+      match back ~src:u ~dst:v with
+      | None -> best
+      | Some path ->
+        (* path runs v ... u, so prefixing u closes the cycle *)
+        let cycle = u :: path in
+        (match best with
+        | Some b when List.length b <= List.length cycle -> best
+        | _ -> Some cycle))
+    None links
+
+let lint ?(anchors = []) dm =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (match Dmap.validate dm with
+  | Ok () -> ()
+  | Error e ->
+    emit
+      (D.make ~severity:D.Error ~pass ~code:"invalid-domain-map"
+         ~location:D.Federation e));
+  List.iter
+    (fun (a : Index.anchor) ->
+      if not (Dmap.mem dm a.Index.concept) then
+        emit
+          (D.make ~severity:D.Error ~pass ~code:"unknown-anchor-concept"
+             ~location:(D.Concept a.Index.concept)
+             (Printf.sprintf
+                "source %s anchors class %s at %s, which is not a concept of \
+                 the domain map"
+                a.Index.source a.Index.cm_class a.Index.concept)
+             ~hint:
+               "the anchored data can never be selected; add the concept or \
+                fix the anchor"))
+    anchors;
+  (match isa_cycle dm with
+  | None -> ()
+  | Some cycle ->
+    let src = List.hd cycle in
+    let dst = match cycle with _ :: d :: _ -> d | _ -> src in
+    emit
+      (D.make ~severity:D.Warning ~pass ~code:"isa-cycle"
+         ~location:(D.Edge { src; dst; label = "isa" })
+         (Printf.sprintf "isa edges form a cycle: %s"
+            (String.concat " -> " cycle))
+         ~hint:
+           "all concepts on the cycle collapse into one; use eqv if \
+            equivalence is intended"));
+  (* conflicting/redundant edge combinations over the same node pair *)
+  let edge_kinds = Hashtbl.create 16 in
+  let pair_key a b = if String.compare a b <= 0 then a ^ "|" ^ b else b ^ "|" ^ a in
+  List.iter
+    (fun (e : Dmap.edge) ->
+      let key = (pair_key e.Dmap.src e.Dmap.dst, e.Dmap.kind) in
+      Hashtbl.replace edge_kinds key
+        (1 + Option.value (Hashtbl.find_opt edge_kinds key) ~default:0))
+    (Dmap.edges dm);
+  let seen_pair = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Dmap.edge) ->
+      let pair = pair_key e.Dmap.src e.Dmap.dst in
+      let count kind =
+        Option.value (Hashtbl.find_opt edge_kinds (pair, kind)) ~default:0
+      in
+      if not (Hashtbl.mem seen_pair pair) then begin
+        Hashtbl.add seen_pair pair ();
+        if count e.Dmap.kind > 1 then
+          emit
+            (D.make ~severity:D.Warning ~pass ~code:"duplicate-edge"
+               ~location:
+                 (D.Edge { src = e.Dmap.src; dst = e.Dmap.dst; label = "" })
+               (Printf.sprintf "%s and %s are connected by duplicate edges \
+                                of the same kind"
+                  e.Dmap.src e.Dmap.dst));
+        if count Dmap.Eqv > 0 && count Dmap.Isa > 0 then
+          emit
+            (D.make ~severity:D.Warning ~pass ~code:"conflicting-eqv"
+               ~location:
+                 (D.Edge { src = e.Dmap.src; dst = e.Dmap.dst; label = "=" })
+               (Printf.sprintf
+                  "%s and %s are related by both eqv and isa; eqv already \
+                   implies inclusion both ways"
+                  e.Dmap.src e.Dmap.dst)
+               ~hint:"keep one of the two edges")
+      end)
+    (Dmap.edges dm);
+  List.iter
+    (fun n ->
+      match Dmap.kind_of dm n with
+      | Some (Dmap.And_node | Dmap.Or_node) ->
+        if List.length (Dmap.members dm n) = 1 then
+          emit
+            (D.make ~severity:D.Info ~pass ~code:"trivial-anon-node"
+               ~location:(D.Concept n)
+               (Printf.sprintf
+                  "anonymous node %s has a single member — it reads the same \
+                   as a plain isa edge"
+                  n))
+      | _ -> ())
+    (Dmap.nodes dm);
+  let anchored c =
+    List.exists (fun (a : Index.anchor) -> String.equal a.Index.concept c) anchors
+  in
+  List.iter
+    (fun c ->
+      if
+        Dmap.out_edges dm c = []
+        && Dmap.in_edges dm c = []
+        && not (anchored c)
+      then
+        emit
+          (D.make ~severity:D.Info ~pass ~code:"isolated-concept"
+             ~location:(D.Concept c)
+             (Printf.sprintf
+                "concept %s has no edges and no anchors; it can never select \
+                 a source"
+                c)))
+    (Dmap.concepts dm);
+  List.rev !diags

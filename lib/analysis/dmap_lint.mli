@@ -1,0 +1,34 @@
+(** Pass 5 — domain-map well-formedness.
+
+    Structural checks on a {!Domain_map.Dmap.t} (Definition 1) and on
+    the semantic-index anchors registered against it.
+
+    Codes:
+    - {b invalid-domain-map} (error): {!Domain_map.Dmap.validate}
+      rejected the graph — a dangling edge endpoint or an anonymous
+      [AND]/[OR] node without members;
+    - {b unknown-anchor-concept} (error): a semantic-index anchor whose
+      concept is not a node of the domain map — the source's data is
+      unreachable from every query;
+    - {b isa-cycle} (warning): a cycle through definite isa links
+      (anonymous nodes resolved), printed as a concept path; the
+      concepts on it are semantically equivalent, which is usually an
+      authoring mistake — say [eqv] if equivalence is intended;
+    - {b conflicting-eqv} (warning): a node pair related by both [eqv]
+      and [isa] — equivalence already implies inclusion both ways;
+    - {b duplicate-edge} (warning): the same pair connected twice by
+      edges of the same kind;
+    - {b trivial-anon-node} (info): an [AND]/[OR] node with a single
+      member — the same reading as a plain isa edge;
+    - {b isolated-concept} (info): a concept with no edges and no
+      anchors; it can never select a source. *)
+
+val isa_cycle : Domain_map.Dmap.t -> string list option
+(** A shortest cycle through definite isa links, as the list of
+    concepts on it (first element repeated at the end), or [None] if
+    the isa reading is acyclic. *)
+
+val lint :
+  ?anchors:Domain_map.Index.anchor list ->
+  Domain_map.Dmap.t ->
+  Diagnostic.t list

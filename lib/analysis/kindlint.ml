@@ -1,0 +1,144 @@
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+module Literal = Logic.Literal
+module D = Diagnostic
+
+let lint_datalog ?signature ?known_predicates ?fallback_ok p =
+  Rule_lint.lint ?signature ?known_predicates (Datalog.Program.rules p)
+  @ Strat_lint.lint ?fallback_ok p
+
+(* ------------------------------------------------------------------ *)
+(* Molecule-level occurrence counting (multi-head aware) *)
+
+let rec term_occs = function
+  | Term.Var x -> [ x ]
+  | Term.Const _ -> []
+  | Term.App (_, ts) -> List.concat_map term_occs ts
+
+let rec expr_occs = function
+  | Literal.Leaf t -> term_occs t
+  | Literal.Bin (_, e1, e2) -> expr_occs e1 @ expr_occs e2
+
+let molecule_occs = function
+  | Molecule.Isa (t1, t2)
+  | Molecule.Sub (t1, t2)
+  | Molecule.Meth_sig (t1, _, t2)
+  | Molecule.Meth_val (t1, _, t2) -> term_occs t1 @ term_occs t2
+  | Molecule.Rel_sig (_, avs) | Molecule.Rel_val (_, avs) ->
+    List.concat_map (fun (_, t) -> term_occs t) avs
+  | Molecule.Pred a -> List.concat_map term_occs a.Logic.Atom.args
+
+let lit_occs = function
+  | Molecule.Pos m | Molecule.Neg m -> molecule_occs m
+  | Molecule.Cmp (_, t1, t2) -> term_occs t1 @ term_occs t2
+  | Molecule.Assign (t, e) -> term_occs t @ expr_occs e
+  | Molecule.Agg { target; group_by; result; body; _ } ->
+    term_occs target
+    @ List.concat_map term_occs group_by
+    @ term_occs result
+    @ List.concat_map molecule_occs body
+
+let unused_diags i (r : Molecule.rule) =
+  let occurrences =
+    List.concat_map molecule_occs r.Molecule.heads
+    @ List.concat_map lit_occs r.Molecule.body
+  in
+  let count x = List.length (List.filter (String.equal x) occurrences) in
+  List.sort_uniq String.compare occurrences
+  |> List.filter_map (fun x ->
+         if String.length x > 0 && x.[0] = '_' then None
+         else if count x = 1 then
+           Some
+             (D.make ~severity:D.Warning ~pass:"rules" ~code:"unused-variable"
+                ~location:
+                  (D.Rule { index = i; text = Molecule.rule_to_string r })
+                (Printf.sprintf "variable %s occurs only once" x)
+                ~hint:
+                  (Printf.sprintf
+                     "it joins nothing and is never projected; rename it to \
+                      _%s if intentional"
+                     x))
+         else None)
+
+(* Classes and methods the program itself declares, for conformance. *)
+let declared_universe rules =
+  let classes = ref [] and methods = ref [] in
+  let add_class c = if not (List.mem c !classes) then classes := c :: !classes in
+  let const_class = function
+    | Term.Const (Term.Sym c) -> add_class c
+    | _ -> ()
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun m ->
+          match m with
+          | Molecule.Isa (_, c) -> const_class c
+          | Molecule.Sub (c1, c2) ->
+            const_class c1;
+            const_class c2
+          | Molecule.Meth_sig (c, meth, range) ->
+            const_class c;
+            const_class range;
+            if not (List.mem meth !methods) then methods := meth :: !methods
+          | _ -> ())
+        (Schema_lint.rule_molecules r))
+    rules;
+  (!classes, !methods)
+
+let lint_program ?(known_class = fun _ -> false)
+    ?(known_method = fun _ -> false) ?known_predicates ?fallback_ok
+    (p : Flogic.Fl_program.t) =
+  let classes, methods = declared_universe p.Flogic.Fl_program.rules in
+  let schema_diags =
+    Schema_lint.lint_rules ~signature:p.Flogic.Fl_program.signature
+      ~known_class:(fun c -> List.mem c classes || known_class c)
+      ~known_method:(fun m -> List.mem m methods || known_method m)
+      p.Flogic.Fl_program.rules
+  in
+  let unused =
+    List.concat
+      (List.mapi (fun i r -> unused_diags i r) p.Flogic.Fl_program.rules)
+  in
+  let compiled =
+    try
+      Ok
+        (Flogic.Compile.rules p.Flogic.Fl_program.signature
+           p.Flogic.Fl_program.rules)
+    with Flogic.Compile.Compile_error e -> Error e
+  in
+  match compiled with
+  | Error e ->
+    schema_diags @ unused
+    @ [
+        D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
+          ~location:D.Federation e;
+      ]
+  | Ok dl_rules ->
+    let rule_diags =
+      Rule_lint.lint ~signature:p.Flogic.Fl_program.signature ?known_predicates
+        ~check_unused:false dl_rules
+    in
+    let has_errors =
+      List.exists (fun (d : D.t) -> d.D.severity = D.Error) rule_diags
+    in
+    let strat_diags =
+      if has_errors then
+        (* the full program will not compile; still report cycles over
+           the rules that are individually fine *)
+        let safe =
+          List.filter (fun r -> Logic.Rule.safety_errors r = []) dl_rules
+        in
+        match Datalog.Program.make safe with
+        | Ok p -> Strat_lint.lint ?fallback_ok p
+        | Error _ -> []
+      else
+        match Flogic.Fl_program.compile p with
+        | Ok dp -> Strat_lint.lint ?fallback_ok dp
+        | Error e ->
+          [
+            D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
+              ~location:D.Federation e;
+          ]
+    in
+    schema_diags @ unused @ rule_diags @ strat_diags

@@ -1,0 +1,44 @@
+(** kindlint — whole-program entry points over the analysis passes.
+
+    The pass modules ({!Rule_lint}, {!Strat_lint}, {!Schema_lint},
+    {!Cap_lint}, {!Dmap_lint}) each check one artifact in isolation;
+    this module sequences them over the two program shapes the rest of
+    the system produces — a compiled Datalog program and an F-logic
+    program — so callers (the [kindctl lint] command, mediator
+    registration via [Mediation.Lint]) get one diagnostic list.
+
+    Everything here is {e static}: nothing is materialized, no wrapper
+    is contacted. *)
+
+val lint_datalog :
+  ?signature:Flogic.Signature.t ->
+  ?known_predicates:string list ->
+  ?fallback_ok:bool ->
+  Datalog.Program.t ->
+  Diagnostic.t list
+(** Passes 1 (rule lint) and 2 (stratification) on a compiled Datalog
+    program. [fallback_ok] (default [true]) downgrades a negative
+    cycle to a warning, matching the engine's well-founded fallback. *)
+
+val lint_program :
+  ?known_class:(string -> bool) ->
+  ?known_method:(string -> bool) ->
+  ?known_predicates:string list ->
+  ?fallback_ok:bool ->
+  Flogic.Fl_program.t ->
+  Diagnostic.t list
+(** Passes 1–3 on an F-logic program:
+
+    - schema conformance of the molecule rules against the program's
+      signature plus the classes/methods the program itself declares
+      (extend with [known_class]/[known_method] for federation-level
+      universes, e.g. domain-map concepts);
+    - rule lint on the compiled Datalog rules — except the
+      singleton-variable check, which runs on the surface molecules
+      (one multi-head molecule compiles to several Datalog rules
+      sharing a body, so compiled-level occurrence counts lie);
+    - stratification of the full program, GCM axioms included.
+
+    A molecule set {!Flogic.Compile} rejects outright yields a single
+    {b compile-error} diagnostic (plus whatever schema conformance
+    found). *)

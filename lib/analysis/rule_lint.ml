@@ -1,0 +1,252 @@
+module Rule = Logic.Rule
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Term = Logic.Term
+module D = Diagnostic
+
+let pass = "rules"
+
+let reserved_predicates =
+  Flogic.Compile.reserved
+  @ [
+      Flogic.Compile.ic_p;
+      Flogic.Gcm_axioms.default_p;
+      Flogic.Gcm_axioms.strict_sub_p;
+      "dm_isa"; "dm_poss"; "dm_role"; "dc_role"; "tc_isa"; "has_a_star";
+    ]
+
+let rule_loc i r = D.Rule { index = i; text = Rule.to_string r }
+
+(* ------------------------------------------------------------------ *)
+(* Safety *)
+
+let safety_diags i r =
+  List.map
+    (fun (e : Rule.safety_error) ->
+      match e with
+      | Rule.Unbound_var x ->
+        D.make ~severity:D.Error ~pass ~code:"unsafe-rule"
+          ~location:(rule_loc i r)
+          (Printf.sprintf "variable %s is not range-restricted" x)
+          ~hint:
+            (Printf.sprintf
+               "bind %s in a positive body literal, an equality or an \
+                assignment before using it"
+               x)
+      | Rule.Agg_unbound x ->
+        D.make ~severity:D.Error ~pass ~code:"aggregate-unbound"
+          ~location:(rule_loc i r)
+          (Printf.sprintf
+             "aggregate target/group-by variable %s is not bound by the \
+              inner conjunction"
+             x)
+      | Rule.Stuck_literal l ->
+        D.make ~severity:D.Error ~pass ~code:"stuck-literal"
+          ~location:(rule_loc i r)
+          (Printf.sprintf "literal %s can never be evaluated"
+             (Literal.to_string l)))
+    (Rule.safety_errors r)
+
+(* ------------------------------------------------------------------ *)
+(* Unused (singleton) variables *)
+
+let rec term_vars = function
+  | Term.Var x -> [ x ]
+  | Term.Const _ -> []
+  | Term.App (_, ts) -> List.concat_map term_vars ts
+
+let rec expr_vars = function
+  | Literal.Leaf t -> term_vars t
+  | Literal.Bin (_, e1, e2) -> expr_vars e1 @ expr_vars e2
+
+let literal_var_occurrences = function
+  | Literal.Pos a | Literal.Neg a ->
+    List.concat_map term_vars a.Atom.args
+  | Literal.Cmp (_, t1, t2) -> term_vars t1 @ term_vars t2
+  | Literal.Assign (t, e) -> term_vars t @ expr_vars e
+  | Literal.Agg { target; group_by; result; body; _ } ->
+    term_vars target
+    @ List.concat_map term_vars group_by
+    @ term_vars result
+    @ List.concat_map (fun a -> List.concat_map term_vars a.Atom.args) body
+
+let unused_diags i (r : Rule.t) =
+  let occurrences =
+    List.concat_map term_vars r.Rule.head.Atom.args
+    @ List.concat_map literal_var_occurrences r.Rule.body
+  in
+  let count x = List.length (List.filter (String.equal x) occurrences) in
+  List.sort_uniq String.compare occurrences
+  |> List.filter_map (fun x ->
+         if String.length x > 0 && x.[0] = '_' then None
+         else if count x = 1 then
+           Some
+             (D.make ~severity:D.Warning ~pass ~code:"unused-variable"
+                ~location:(rule_loc i r)
+                (Printf.sprintf "variable %s occurs only once" x)
+                ~hint:
+                  (Printf.sprintf
+                     "it joins nothing and is never projected; rename it to \
+                      _%s if intentional"
+                     x))
+         else None)
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate and subsumed rules *)
+
+(* One-sided subsumption check: does a substitution map [general]'s head
+   to [specific]'s head and every body literal of [general] to some body
+   literal of [specific]? Only attempted over atomic (Pos/Neg) bodies. *)
+let subsumes ~(general : Rule.t) ~(specific : Rule.t) =
+  let atomic l =
+    match l with Literal.Pos _ | Literal.Neg _ -> true | _ -> false
+  in
+  if
+    (not (List.for_all atomic general.Rule.body))
+    || not (List.for_all atomic specific.Rule.body)
+  then false
+  else
+    let general = Rule.rename_apart ~suffix:"__g" general in
+    match Atom.matches ~pattern:general.Rule.head specific.Rule.head with
+    | None -> false
+    | Some init ->
+      let rec cover s = function
+        | [] -> true
+        | l :: rest ->
+          List.exists
+            (fun l' ->
+              match l, l' with
+              | Literal.Pos a, Literal.Pos b | Literal.Neg a, Literal.Neg b
+                -> (
+                match Atom.matches ~init:s ~pattern:a b with
+                | Some s' -> cover s' rest
+                | None -> false)
+              | _ -> false)
+            specific.Rule.body
+      in
+      cover init general.Rule.body
+
+let redundancy_diags rules =
+  let arr = Array.of_list rules in
+  let out = ref [] in
+  Array.iteri
+    (fun i r ->
+      let dup = ref None and sub = ref None in
+      for j = 0 to i - 1 do
+        if !dup = None && Rule.equal arr.(j) r then dup := Some j;
+        if
+          !dup = None && !sub = None
+          && List.length arr.(j).Rule.body <= 6
+          && List.length r.Rule.body <= 6
+          && String.equal (Rule.head_pred arr.(j)) (Rule.head_pred r)
+          && (not (Rule.equal arr.(j) r))
+          && subsumes ~general:arr.(j) ~specific:r
+        then sub := Some j
+      done;
+      (match !dup with
+      | Some j ->
+        out :=
+          D.make ~severity:D.Warning ~pass ~code:"duplicate-rule"
+            ~location:(rule_loc i r)
+            (Printf.sprintf "identical to rule #%d" j)
+            ~hint:"delete one of the two copies"
+          :: !out
+      | None -> ());
+      match !sub with
+      | Some j ->
+        out :=
+          D.make ~severity:D.Warning ~pass ~code:"subsumed-rule"
+            ~location:(rule_loc i r)
+            (Printf.sprintf "subsumed by the more general rule #%d `%s`" j
+               (Rule.to_string arr.(j)))
+            ~hint:"every answer it produces is already derived; delete it"
+          :: !out
+      | None -> ())
+    arr;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Predicate use: undeclared names and arity mismatches *)
+
+module SM = Map.Make (String)
+
+let literal_atoms = function
+  | Literal.Pos a | Literal.Neg a -> [ a ]
+  | Literal.Agg { body; _ } -> body
+  | Literal.Cmp _ | Literal.Assign _ -> []
+
+let predicate_diags ?signature ?(known_predicates = []) rules =
+  let sg = Option.value signature ~default:Flogic.Signature.empty in
+  let defined =
+    List.fold_left
+      (fun acc (r : Rule.t) -> SM.add (Rule.head_pred r) () acc)
+      SM.empty rules
+  in
+  let known p =
+    SM.mem p defined
+    || Flogic.Signature.mem sg p
+    || List.mem p reserved_predicates
+    || List.mem p known_predicates
+    || Literal.is_builtin p
+  in
+  (* the first use of each predicate fixes the expected arity; a
+     signature layout overrides *)
+  let expected = ref SM.empty in
+  let reported_undeclared = Hashtbl.create 8 in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let check_arity i r (a : Atom.t) =
+    let p = a.Atom.pred and n = Atom.arity a in
+    match Flogic.Signature.arity sg p with
+    | Some k when k <> n ->
+      emit
+        (D.make ~severity:D.Error ~pass ~code:"arity-mismatch"
+           ~location:(rule_loc i r)
+           (Printf.sprintf
+              "%s used with %d argument(s) but declared with %d attribute(s) \
+               (%s)"
+              p n k
+              (String.concat ", "
+                 (Option.value (Flogic.Signature.attributes sg p) ~default:[]))))
+    | Some _ -> ()
+    | None -> (
+      match SM.find_opt p !expected with
+      | Some k when k <> n ->
+        emit
+          (D.make ~severity:D.Error ~pass ~code:"arity-mismatch"
+             ~location:(rule_loc i r)
+             (Printf.sprintf "%s used with %d argument(s), elsewhere with %d"
+                p n k))
+      | Some _ -> ()
+      | None -> expected := SM.add p n !expected)
+  in
+  List.iteri
+    (fun i (r : Rule.t) ->
+      check_arity i r r.Rule.head;
+      List.iter
+        (fun (a : Atom.t) ->
+          check_arity i r a;
+          let p = a.Atom.pred in
+          if (not (known p)) && not (Hashtbl.mem reported_undeclared p) then begin
+            Hashtbl.add reported_undeclared p ();
+            emit
+              (D.make ~severity:D.Warning ~pass ~code:"undeclared-predicate"
+                 ~location:(rule_loc i r)
+                 (Printf.sprintf
+                    "%s is read here but defined by no rule, relation \
+                     signature or reserved predicate"
+                    p)
+                 ~hint:"misspelled predicate names make goals silently empty")
+          end)
+        (List.concat_map literal_atoms r.Rule.body))
+    rules;
+  List.rev !diags
+
+let lint ?signature ?known_predicates ?(check_unused = true) rules =
+  List.concat
+    (List.mapi
+       (fun i r ->
+         safety_diags i r @ (if check_unused then unused_diags i r else []))
+       rules)
+  @ redundancy_diags rules
+  @ predicate_diags ?signature ?known_predicates rules

@@ -1,0 +1,38 @@
+(** Pass 1 — rule-level lint of a Datalog rule set.
+
+    Checks, per rule and across the set:
+    - {b unsafe-rule} / {b aggregate-unbound} / {b stuck-literal}
+      (errors): range-restriction violations, naming the offending
+      variable or literal ({!Logic.Rule.safety_errors});
+    - {b unused-variable} (warning): a variable occurring exactly once
+      in the rule (it joins nothing and projects nothing — usually a
+      typo; prefix with [_] to silence);
+    - {b duplicate-rule} (warning): a rule textually identical to an
+      earlier one;
+    - {b subsumed-rule} (warning): a rule whose answers are already
+      produced by a more general earlier rule (one-sided matching of
+      head and body literals);
+    - {b undeclared-predicate} (warning): a body predicate that no rule
+      head defines and that is neither a declared relation
+      ({!Flogic.Signature}), a reserved GCM predicate, a builtin, nor
+      listed in [known_predicates];
+    - {b arity-mismatch} (error): one predicate used at two arities, or
+      a declared relation used at an arity different from its
+      signature layout. *)
+
+val reserved_predicates : string list
+(** The GCM encoding's predicate universe ({!Flogic.Compile.reserved},
+    the inheritance predicates, the domain-map test predicates) — never
+    reported as undeclared. *)
+
+val lint :
+  ?signature:Flogic.Signature.t ->
+  ?known_predicates:string list ->
+  ?check_unused:bool ->
+  Logic.Rule.t list ->
+  Diagnostic.t list
+(** [check_unused] (default [true]) controls the singleton-variable
+    pass; turn it off when linting rules compiled from multi-head
+    F-logic molecules, where one surface rule becomes several Datalog
+    rules sharing a body and singleton occurrences are an artifact —
+    {!Kindlint.lint_program} re-runs the check at the molecule level. *)

@@ -1,0 +1,165 @@
+module Molecule = Flogic.Molecule
+module Signature = Flogic.Signature
+module Term = Logic.Term
+module D = Diagnostic
+
+let pass = "schema"
+
+(* Shared value classes: method ranges that denote literals rather than
+   schema or domain-map membership (the paper's [string], [number]). *)
+let value_classes =
+  [ "string"; "number"; "integer"; "float"; "boolean"; "symbol" ]
+
+(* Molecules of a rule, heads and bodies alike, with aggregate inner
+   bodies flattened. *)
+let rule_molecules (r : Molecule.rule) =
+  let of_lit = function
+    | Molecule.Pos m | Molecule.Neg m -> [ m ]
+    | Molecule.Agg { body; _ } -> body
+    | Molecule.Cmp _ | Molecule.Assign _ -> []
+  in
+  r.Molecule.heads @ List.concat_map of_lit r.Molecule.body
+
+let rule_loc ?source i r =
+  match source with
+  | Some s -> D.Source s
+  | None -> D.Rule { index = i; text = Molecule.rule_to_string r }
+
+let lint_rules ~signature ~known_class ~known_method ?source rules =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let reported = Hashtbl.create 8 in
+  let once key f =
+    if not (Hashtbl.mem reported key) then begin
+      Hashtbl.add reported key ();
+      f ()
+    end
+  in
+  List.iteri
+    (fun i r ->
+      let loc = rule_loc ?source i r in
+      List.iter
+        (fun m ->
+          match m with
+          | Molecule.Meth_val (_, meth, _) ->
+            if not (known_method meth) then
+              once ("m" ^ meth) (fun () ->
+                  emit
+                    (D.make ~severity:D.Warning ~pass ~code:"undeclared-method"
+                       ~location:loc
+                       (Printf.sprintf
+                          "method %s carries values but no class declares \
+                           [%s => _]"
+                          meth meth)
+                       ~hint:
+                         "declare it with a method signature so schema \
+                          conformance can be checked"))
+          | Molecule.Isa (_, Term.Const (Term.Sym c)) ->
+            (* the distinguished inconsistency class is always known *)
+            if
+              (not (String.equal c Flogic.Compile.ic_class))
+              && not (known_class c)
+            then
+              once ("c" ^ c) (fun () ->
+                  emit
+                    (D.make ~severity:D.Warning ~pass ~code:"unknown-class"
+                       ~location:loc
+                       (Printf.sprintf
+                          "%s is neither a declared class nor a domain-map \
+                           concept"
+                          c)))
+          | Molecule.Rel_val (rel, avs) -> (
+            match Signature.attributes signature rel with
+            | None ->
+              once ("r" ^ rel) (fun () ->
+                  emit
+                    (D.make ~severity:D.Error ~pass ~code:"unknown-relation"
+                       ~location:loc
+                       (Printf.sprintf
+                          "relation %s is not declared in any signature" rel)
+                       ~hint:"declare it with @relation or a Rel_sig molecule"))
+            | Some attrs ->
+              List.iter
+                (fun (a, _) ->
+                  if not (List.mem a attrs) then
+                    once ("a" ^ rel ^ "." ^ a) (fun () ->
+                        emit
+                          (D.make ~severity:D.Error ~pass
+                             ~code:"unknown-attribute" ~location:loc
+                             (Printf.sprintf
+                                "relation %s has no attribute %s (layout: %s)"
+                                rel a
+                                (String.concat ", " attrs)))))
+                avs)
+          | _ -> ())
+        (rule_molecules r))
+    rules;
+  List.rev !diags
+
+let lint ?(known_class = fun _ -> false) ?(known_method = fun _ -> false)
+    (schema : Gcm.Schema.t) =
+  let known_class c = List.mem c value_classes || known_class c in
+  let sname = schema.Gcm.Schema.name in
+  let loc = D.Source sname in
+  let validity =
+    match Gcm.Schema.validate schema with
+    | Ok () -> []
+    | Error e ->
+      [ D.make ~severity:D.Error ~pass ~code:"invalid-schema" ~location:loc e ]
+  in
+  let class_names = Gcm.Schema.class_names schema in
+  let local_class c = List.mem c class_names in
+  let local_methods =
+    List.concat_map
+      (fun (c : Gcm.Schema.class_def) -> List.map fst c.Gcm.Schema.methods)
+      schema.Gcm.Schema.classes
+  in
+  (* method signatures asserted by the schema's own rules also count as
+     declarations *)
+  let rule_declared_methods =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (function Molecule.Meth_sig (_, m, _) -> Some m | _ -> None)
+          (rule_molecules r))
+      schema.Gcm.Schema.rules
+  in
+  let method_known m =
+    List.mem m local_methods || List.mem m rule_declared_methods
+    || known_method m
+  in
+  let dangling =
+    List.concat_map
+      (fun (c : Gcm.Schema.class_def) ->
+        List.filter_map
+          (fun sup ->
+            if local_class sup || known_class sup then None
+            else
+              Some
+                (D.make ~severity:D.Info ~pass ~code:"dangling-superclass"
+                   ~location:loc
+                   (Printf.sprintf
+                      "class %s extends %s, which the schema does not define"
+                      c.Gcm.Schema.cname sup)))
+          c.Gcm.Schema.supers
+        @ List.filter_map
+            (fun (m, range) ->
+              if local_class range || known_class range then None
+              else
+                Some
+                  (D.make ~severity:D.Info ~pass ~code:"dangling-method-range"
+                     ~location:loc
+                     (Printf.sprintf
+                        "method %s.%s ranges over %s, which the schema does \
+                         not define"
+                        c.Gcm.Schema.cname m range)))
+            c.Gcm.Schema.methods)
+      schema.Gcm.Schema.classes
+  in
+  let rules_diags =
+    lint_rules
+      ~signature:(Gcm.Schema.signature schema)
+      ~known_class:(fun c -> local_class c || known_class c)
+      ~known_method:method_known ~source:sname schema.Gcm.Schema.rules
+  in
+  validity @ dangling @ rules_diags

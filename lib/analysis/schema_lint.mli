@@ -1,0 +1,46 @@
+(** Pass 3 — schema conformance.
+
+    Checks a source's conceptual model, and rule sets written against
+    it (semantic rules, IVDs), against the GCM [=>] declarations of
+    Table 1: every method value some rule asserts or reads should be
+    declared by a [C[M => D]] signature somewhere, every relation
+    access must match a [relation(R, A1=C1, ...)] layout.
+
+    Codes:
+    - {b invalid-schema} (error): {!Gcm.Schema.validate} rejected the
+      schema (duplicate classes/methods, reserved relation names, ...);
+    - {b unknown-relation} / {b unknown-attribute} (error): a
+      [R[a -> v]] molecule against a relation or attribute no signature
+      declares — registration would raise [Compile_error] at
+      materialization time;
+    - {b undeclared-method} (warning): a [X[m ->> V]] molecule whose
+      method name no class of the schema (or of the federation)
+      declares with [=>];
+    - {b unknown-class} (warning): an [X : c] molecule naming a class
+      that is neither a schema class nor known to the caller (e.g. a
+      domain-map concept);
+    - {b dangling-method-range} (info): a [=>] range naming a class
+      defined nowhere in the schema — legal (ranges may live in the
+      domain map) but worth surfacing;
+    - {b dangling-superclass} (info): same for a superclass name. *)
+
+val rule_molecules : Flogic.Molecule.rule -> Flogic.Molecule.t list
+(** Every molecule of a rule — heads, positive and negated body
+    molecules, aggregate inner bodies. *)
+
+val lint :
+  ?known_class:(string -> bool) ->
+  ?known_method:(string -> bool) ->
+  Gcm.Schema.t ->
+  Diagnostic.t list
+
+val lint_rules :
+  signature:Flogic.Signature.t ->
+  known_class:(string -> bool) ->
+  known_method:(string -> bool) ->
+  ?source:string ->
+  Flogic.Molecule.rule list ->
+  Diagnostic.t list
+(** Conformance of a molecule rule set (schema rules, IVDs) against an
+    accumulated signature and class/method universe. [source] labels
+    the diagnostics' location. *)

@@ -9,6 +9,7 @@
     - {!Xmlkit}, {!Cm_plugins} — wire format and the CM plug-in
       mechanism;
     - {!Wrapper}, {!Mediation} — sources and the mediator;
+    - {!Analysis} — kindlint, the federation-wide static analyzer;
     - {!Neuro} — the Neuroscience scenario of the paper. *)
 
 module Logic = Logic
@@ -20,5 +21,6 @@ module Domain_map = Domain_map
 module Xmlkit = Xmlkit
 module Cm_plugins = Cm_plugins
 module Wrapper = Wrapper
+module Analysis = Analysis
 module Mediation = Mediation
 module Neuro = Neuro

@@ -9,24 +9,12 @@ let denial ~name ~args body =
   Molecule.rule (Molecule.Isa (witness_term ~name ~args, Term.sym Compile.ic_class)) body
 
 let ic_members db =
-  (* Witnesses live in the dedicated [ic_d] predicate (kept outside the
-     isa closure so denial rules do not destratify it); databases built
-     by older encodings carried them as isa facts, so those are still
-     scanned too. *)
-  let from_ic =
-    Datalog.Database.facts db Compile.ic_p
-    |> List.filter_map (fun (a : Logic.Atom.t) ->
-           match a.Logic.Atom.args with [ w ] -> Some w | _ -> None)
-  in
-  let from pred =
-    Datalog.Database.facts db pred
-    |> List.filter_map (fun (a : Logic.Atom.t) ->
-           match a.Logic.Atom.args with
-           | [ w; Term.Const (Term.Sym c) ] when String.equal c Compile.ic_class ->
-             Some w
-           | _ -> None)
-  in
-  from_ic @ from (Compile.declared Compile.isa_p) @ from Compile.isa_p
+  (* Witnesses live in the dedicated [ic_d] predicate, kept outside the
+     isa closure so denial rules do not destratify it. [Compile] routes
+     every [_ : ic] head there, so it is the single source of truth. *)
+  Datalog.Database.facts db Compile.ic_p
+  |> List.filter_map (fun (a : Logic.Atom.t) ->
+         match a.Logic.Atom.args with [ w ] -> Some w | _ -> None)
   |> List.sort_uniq Term.compare
 
 let violations db =

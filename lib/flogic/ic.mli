@@ -16,9 +16,10 @@ val denial : name:string -> args:Logic.Term.t list -> Molecule.lit list -> Molec
 val witness_term : name:string -> args:Logic.Term.t list -> Logic.Term.t
 
 val violations : Datalog.Database.t -> witness list
-(** All failure witnesses in a materialized database (instances of the
-    [ic] class whose object is a function term; other [ic] members are
-    reported with empty [args]). *)
+(** All failure witnesses in a materialized database — the contents of
+    the dedicated [ic_d] predicate ({!Compile.ic_p}), which is where
+    {!Compile} routes every [_ : ic] head. Function-term witnesses keep
+    their arguments; other members are reported with empty [args]. *)
 
 val consistent : Datalog.Database.t -> bool
 (** [true] iff the [ic] class is empty. *)

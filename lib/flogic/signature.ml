@@ -38,7 +38,10 @@ let merge sg1 sg2 =
       if a1 = a2 then Some a1
       else
         invalid_arg
-          (Printf.sprintf "Signature.merge: conflicting layouts for %s" r))
+          (Printf.sprintf
+             "Signature.merge: relation %s declared with conflicting layouts \
+              (%s) vs (%s)"
+             r (String.concat "," a1) (String.concat "," a2)))
     sg1 sg2
 
 let pp ppf sg =

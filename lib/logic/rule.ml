@@ -29,7 +29,24 @@ let rename_apart ~suffix r =
 
 module SS = Set.Make (String)
 
-let check_safety r =
+type safety_error =
+  | Agg_unbound of string
+  | Unbound_var of string
+  | Stuck_literal of Literal.t
+
+let pp_safety_error head ppf = function
+  | Agg_unbound x ->
+    Format.fprintf ppf
+      "rule %s: aggregate target/group-by variable %s not bound by inner body"
+      (Atom.to_string head) x
+  | Unbound_var x ->
+    Format.fprintf ppf "rule %s: variable %s is not range-restricted"
+      (Atom.to_string head) x
+  | Stuck_literal l ->
+    Format.fprintf ppf "rule %s: literal %s can never be evaluated"
+      (Atom.to_string head) (Literal.to_string l)
+
+let safety_errors r =
   (* Fixpoint: repeatedly pick up variables bound by literals that are
      already evaluable; a literal binds once its needs are satisfied. *)
   let lits = r.body in
@@ -66,8 +83,8 @@ let check_safety r =
   in
   let bound = grow SS.empty in
   (* Aggregate inner bodies must bind their own target and group_by. *)
-  let agg_ok =
-    List.for_all
+  let agg_errors =
+    List.concat_map
       (fun l ->
         match l with
         | Literal.Agg { target; group_by; body; _ } ->
@@ -77,37 +94,40 @@ let check_safety r =
                 List.fold_left (fun acc x -> SS.add x acc) acc (Atom.vars a))
               SS.empty body
           in
-          List.for_all
-            (fun x -> SS.mem x inner)
+          List.filter_map
+            (fun x -> if SS.mem x inner then None else Some (Agg_unbound x))
             (dedup (Term.vars target @ List.concat_map Term.vars group_by))
-        | _ -> true)
+        | _ -> [])
       lits
   in
-  if not agg_ok then
-    Error
-      (Printf.sprintf
-         "rule %s: aggregate target/group-by variables not bound by inner body"
-         (Atom.to_string r.head))
-  else
-    match List.find_opt (fun x -> not (SS.mem x bound)) all_needed with
-    | Some x ->
-      Error
-        (Printf.sprintf "rule %s: variable %s is not range-restricted"
-           (Atom.to_string r.head) x)
-    | None ->
-      (* Every literal must eventually be evaluable. *)
-      let stuck =
-        List.find_opt
-          (fun l ->
-            not (List.for_all (fun x -> SS.mem x bound) (Literal.needs l)))
-          lits
-      in
-      (match stuck with
-      | Some l ->
-        Error
-          (Printf.sprintf "rule %s: literal %s can never be evaluated"
-             (Atom.to_string r.head) (Literal.to_string l))
-      | None -> Ok ())
+  let unbound =
+    List.filter_map
+      (fun x -> if SS.mem x bound then None else Some (Unbound_var x))
+      all_needed
+  in
+  (* Every literal must eventually be evaluable; only report literals
+     whose unmet needs are not already reported as unbound required
+     variables. *)
+  let stuck =
+    List.filter_map
+      (fun l ->
+        let unmet =
+          List.filter (fun x -> not (SS.mem x bound)) (Literal.needs l)
+        in
+        if unmet = [] then None
+        else if
+          List.for_all (fun x -> List.mem (Unbound_var x) unbound) unmet
+          && unbound <> []
+        then None
+        else Some (Stuck_literal l))
+      lits
+  in
+  agg_errors @ unbound @ stuck
+
+let check_safety r =
+  match safety_errors r with
+  | [] -> Ok ()
+  | e :: _ -> Error (Format.asprintf "%a" (pp_safety_error r.head) e)
 
 let body_predicates r = List.concat_map Literal.predicates r.body
 

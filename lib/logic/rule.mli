@@ -18,6 +18,21 @@ val vars : t -> string list
 val apply : Subst.t -> t -> t
 val rename_apart : suffix:string -> t -> t
 
+type safety_error =
+  | Agg_unbound of string
+      (** aggregate target/group-by variable not bound by the inner
+          conjunction *)
+  | Unbound_var of string
+      (** required variable (head, negation, comparison input) never
+          range-restricted *)
+  | Stuck_literal of Literal.t
+      (** a literal whose needs can never all be bound (and whose unmet
+          variables are not already reported as [Unbound_var]) *)
+
+val safety_errors : t -> safety_error list
+(** All range-restriction violations of the rule, for diagnostic
+    tooling; [[]] iff {!check_safety} succeeds. *)
+
 val check_safety : t -> (unit, string) result
 (** Range restriction: every variable of the head, of each negated
     literal, of comparison/assignment inputs, and every aggregate
@@ -25,7 +40,8 @@ val check_safety : t -> (unit, string) result
     equality, an assignment target, or an aggregate result, considering
     literals in any order that admits such a binding. Aggregate inner
     bodies are checked separately (target and group-by variables must be
-    bound by the inner conjunction). *)
+    bound by the inner conjunction). [Error] carries the first entry of
+    {!safety_errors}, rendered. *)
 
 val body_predicates : t -> (string * bool) list
 (** Predicates of the body with their nonmonotonic flag, for

@@ -1,0 +1,49 @@
+module A = Analysis
+module Molecule = Flogic.Molecule
+module Dmap = Domain_map.Dmap
+module Index = Domain_map.Index
+module Source = Wrapper.Source
+
+let class_targets m c =
+  let dm = Mediator.dmap m in
+  match Namespace.split c with
+  | Some (src, cls) when Mediator.find_source m src <> None -> [ (src, cls) ]
+  | _ ->
+    if Dmap.mem dm c then
+      Index.coverage dm (Mediator.index m) ~concept:c
+      |> List.map (fun (s, qcls) ->
+             match Namespace.split qcls with
+             | Some (s', cls) when String.equal s s' -> (s, cls)
+             | _ -> (s, qcls))
+    else []
+
+let source_infos m = List.map A.Cap_lint.of_source (Mediator.sources m)
+
+let query m ?label lits =
+  A.Cap_lint.feasibility ~sources:(source_infos m)
+    ~class_targets:(class_targets m) ?label lits
+
+let federation m =
+  let dm = Mediator.dmap m in
+  let known_class c = Dmap.mem dm c in
+  let anchors = Index.anchors (Mediator.index m) in
+  let infos = source_infos m in
+  let dmap_diags = A.Dmap_lint.lint ~anchors dm in
+  let schema_diags =
+    List.concat_map
+      (fun s -> A.Schema_lint.lint ~known_class (Source.schema s))
+      (Mediator.sources m)
+  in
+  let template_diags = List.concat_map A.Cap_lint.lint_templates infos in
+  let program_diags =
+    A.Kindlint.lint_program ~known_class (Mediator.program m)
+  in
+  let ivd_caps =
+    List.concat_map
+      (fun (r : Molecule.rule) ->
+        A.Cap_lint.feasibility ~sources:infos ~class_targets:(class_targets m)
+          ~label:(Molecule.rule_to_string r) r.Molecule.body)
+      (Mediator.ivds m)
+  in
+  A.Diagnostic.sort
+    (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_caps)

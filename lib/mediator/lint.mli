@@ -1,0 +1,30 @@
+(** kindlint over a whole federation.
+
+    {!Mediator.register_source} already applies the source-local checks
+    (per the {!Mediator.lint_policy}); this module runs every analysis
+    pass over the assembled mediator — the shape [kindctl lint --demo]
+    and the registration-time policy both build on:
+
+    - pass 5 on the domain map plus the semantic index's anchors;
+    - pass 3 on each source's conceptual model (domain-map concepts
+      count as known classes) and on the IVDs;
+    - passes 1–2 on the federation program ({!Mediator.program}),
+      i.e. exactly what {!Mediator.materialize} would hand the engine;
+    - pass 4 on each IVD body and each source's query templates.
+
+    Nothing is materialized and no wrapper is contacted. *)
+
+val class_targets : Mediator.t -> string -> (string * string) list
+(** Resolve a class name as the conjunctive planner would: a namespaced
+    ['SRC.cls'] to its own source, a domain-map concept to the
+    [(source, source-local class)] pairs covering it through the
+    semantic index. Unknown names resolve to []. *)
+
+val query :
+  Mediator.t -> ?label:string -> Flogic.Molecule.lit list ->
+  Analysis.Diagnostic.t list
+(** Capability feasibility (pass 4) of one conjunctive query against
+    the registered sources, without running it. *)
+
+val federation : Mediator.t -> Analysis.Diagnostic.t list
+(** All passes, sorted by severity. *)

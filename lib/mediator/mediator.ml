@@ -5,12 +5,15 @@ module Dmap = Domain_map.Dmap
 module Index = Domain_map.Index
 module Source = Wrapper.Source
 
+type lint_policy = Lint_off | Lint_warn | Lint_reject
+
 type config = {
   dl_mode : Dl.Translate.mode;
   use_semantic_index : bool;
   pushdown : bool;
   use_lub : bool;
   inheritance : bool;
+  lint : lint_policy;
 }
 
 let default_config =
@@ -20,6 +23,7 @@ let default_config =
     pushdown = true;
     use_lub = true;
     inheritance = false;
+    lint = Lint_warn;
   }
 
 module SSet = Set.Make (String)
@@ -153,6 +157,37 @@ let absorb_rules t mol_rules =
 
 let lift_class _t ~source cls = Namespace.qualify ~source cls
 
+(* Static checks applied at registration time, per the [lint] policy:
+   the source's own schema conformance, anchors into the domain map,
+   and query-template hygiene. Whole-federation analysis (IVD
+   feasibility, stratification of the combined program) lives in
+   {!Lint.federation} — it needs every source registered first. *)
+let registration_diags t src =
+  let module D = Analysis.Diagnostic in
+  let name = Source.name src in
+  let anchor_diags =
+    List.filter_map
+      (fun (cls, concept, _context) ->
+        if Dmap.mem t.dmap concept then None
+        else
+          Some
+            (D.make ~severity:D.Error ~pass:"domain-map"
+               ~code:"unknown-anchor-concept" ~location:(D.Concept concept)
+               (Printf.sprintf
+                  "source %s anchors class %s at %s, which is not a concept \
+                   of the domain map"
+                  name cls concept)
+               ~hint:
+                 "the anchored data can never be selected; extend the domain \
+                  map or fix the anchor"))
+      (Source.anchors src)
+  in
+  Analysis.Schema_lint.lint
+    ~known_class:(fun c -> Dmap.mem t.dmap c)
+    (Source.schema src)
+  @ anchor_diags
+  @ Analysis.Cap_lint.lint_templates (Analysis.Cap_lint.of_source src)
+
 let register_source t src =
   let name = Source.name src in
   if List.exists (fun s -> String.equal (Source.name s) name) t.sources then
@@ -160,7 +195,21 @@ let register_source t src =
   else
     match Gcm.Schema.validate (Source.schema src) with
     | Error e -> Error e
-    | Ok () -> (
+    | Ok () ->
+      let module D = Analysis.Diagnostic in
+      let diags =
+        if t.cfg.lint = Lint_off then [] else registration_diags t src
+      in
+      let render d = Format.asprintf "%a" D.pp d in
+      if t.cfg.lint = Lint_reject && D.errors diags <> [] then
+        Error
+          (Printf.sprintf "source %s rejected by lint:\n%s" name
+             (String.concat "\n" (List.map render (D.errors diags))))
+      else (
+      t.warnings <-
+        t.warnings
+        @ List.map render
+            (List.filter (fun (d : D.t) -> d.D.severity <> D.Info) diags);
       let ns_schema = Namespace.schema ~source:name (Source.schema src) in
       match
         try Ok (Signature.merge t.sg (Gcm.Schema.signature ns_schema))
@@ -234,6 +283,7 @@ let set_config t cfg =
   end
 
 let signature t = t.sg
+let ivds t = t.ivds
 let plugins t = t.plugins
 let translation_warnings t = t.warnings
 
@@ -265,6 +315,8 @@ let build_program t =
   in
   Flogic.Fl_program.merge dm_prog
     (Flogic.Fl_program.make ~inheritance:t.cfg.inheritance ~signature:t.sg rules)
+
+let program t = build_program t
 
 let materialize t =
   match t.cache with

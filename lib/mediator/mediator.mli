@@ -10,6 +10,11 @@
     pushdown, lub root selection) to quantify what each contributes —
     see {!Section5} and {!Baseline}. *)
 
+type lint_policy =
+  | Lint_off     (** no static checks at registration *)
+  | Lint_warn    (** diagnostics accumulate in {!translation_warnings} *)
+  | Lint_reject  (** error-severity diagnostics fail the registration *)
+
 type config = {
   dl_mode : Dl.Translate.mode;
       (** execute domain-map axioms as integrity constraints or as
@@ -18,6 +23,9 @@ type config = {
   pushdown : bool;            (** step-1/3 selection pushdown *)
   use_lub : bool;             (** step-4 lub root vs whole-map root *)
   inheritance : bool;         (** nonmonotonic default inheritance *)
+  lint : lint_policy;
+      (** kindlint at {!register_source} time: schema conformance,
+          anchor targets, template hygiene (default [Lint_warn]) *)
 }
 
 val default_config : config
@@ -75,6 +83,15 @@ val find_source : t -> string -> Wrapper.Source.t option
 val config : t -> config
 val set_config : t -> config -> unit
 val signature : t -> Flogic.Signature.t
+val ivds : t -> Flogic.Molecule.rule list
+(** Installed integrated-view rules, in installation order. *)
+
+val program : t -> Flogic.Fl_program.t
+(** The full federation program — domain-map rules, namespaced schema
+    rules, anchor rules, lifted source facts and IVDs — exactly as
+    {!materialize} would compile it, but without materializing. This is
+    what [Lint.federation] analyzes. *)
+
 val plugins : t -> Cm_plugins.Plugin.registry
 val translation_warnings : t -> string list
 
