@@ -25,6 +25,7 @@ let experiments =
     ("a3", "tabling ablation: top-down vs materialization", Exp_engine.a3);
     ("a4", "incremental maintenance vs re-materialization", Exp_engine.a4);
     ("inc", "delta-driven view maintenance vs full rebuild", Exp_incremental.run);
+    ("abs", "dead-rule pruning via abstract interpretation", Exp_absint.run);
     ("q5b", "generic federated planner vs materialize-and-query", Exp_planner.q5b);
     ("dm", "Section 4 execution modes: ICs vs assertions", Exp_modes.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

@@ -5,6 +5,8 @@
      check      audit an F-logic program for integrity violations
      lint       static analysis (kindlint) of programs or the demo
                 federation, without evaluating anything
+     provenance per derived predicate, the registered sources that can
+                transitively reach it (abstract interpretation)
      translate  run a CM plug-in over an XML document
      dmap       print/export the ANATOM domain map (text or Graphviz)
      classify   subsumers of a concept in the ANATOM map
@@ -244,6 +246,7 @@ let lint_cmd =
         ]
       | Ok parsed ->
         Analysis.Kindlint.lint_program ~fallback_ok:(not strict)
+          ~positions:parsed.Flogic.Fl_parser.rule_positions
           (Flogic.Fl_program.make
              ~signature:parsed.Flogic.Fl_parser.signature
              parsed.Flogic.Fl_parser.rules)
@@ -290,6 +293,132 @@ let lint_cmd =
              federation — rule safety, stratification, schema conformance, \
              capability feasibility, domain-map well-formedness")
     Term.(const run $ files $ demo $ json $ strict $ scale $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* provenance *)
+
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let provenance_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"F-logic program whose views to analyze (instead of --demo)")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo" ]
+           ~doc:"analyze the IVDs of the Section 5 demo federation")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
+  in
+  let srcs =
+    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"NAME"
+           ~doc:"treat NAME as a registered source (FILE mode; repeatable)")
+  in
+  let scale =
+    Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N"
+           ~doc:"rows per class for --demo")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let run file demo json srcs scale seed =
+    let analyzed =
+      if demo then begin
+        let med =
+          Neuro.Sources.standard_mediator { Neuro.Sources.seed; scale }
+        in
+        (* the walkthrough views: one per source, one composed *)
+        (match
+           Mediation.Mediator.add_ivd_text med
+             "big_spine(X) :- X : 'SYNAPSE.spine_measure', X[diameter ->> \
+              D], D > 0.5.\n\
+              spiny_signal(N) :- N : neurotransmission.\n\
+              colocated(N, X) :- spiny_signal(N), big_spine(X)."
+         with
+        | Ok () -> ()
+        | Error e -> prerr_endline e);
+        Some (Mediation.Lint.provenance med, Mediation.Mediator.ivds med)
+      end
+      else
+        match file with
+        | None -> None
+        | Some f -> (
+          match Flogic.Fl_parser.parse_program (read_file f) with
+          | Error e ->
+            prerr_endline e;
+            None
+          | Ok parsed ->
+            let rules = parsed.Flogic.Fl_parser.rules in
+            Some (Analysis.Prov_lint.analyze ~sources:srcs rules, rules))
+    in
+    match analyzed with
+    | None ->
+      prerr_endline "provenance: nothing to do; give a program FILE or --demo";
+      2
+    | Some (result, rules) ->
+      if json then begin
+        let preds =
+          List.map
+            (fun (p, ss) ->
+              Printf.sprintf "%s:[%s]" (json_str p)
+                (String.concat "," (List.map json_str ss)))
+            result.Analysis.Prov_lint.predicates
+        in
+        let rule_objs =
+          List.map2
+            (fun r ss ->
+              Printf.sprintf "{\"rule\":%s,\"sources\":[%s]}"
+                (json_str (Flogic.Molecule.rule_to_string r))
+                (String.concat "," (List.map json_str ss)))
+            rules result.Analysis.Prov_lint.rule_sources
+        in
+        Printf.printf
+          "{\"predicates\":{%s},\n \"rules\":[%s],\n \"diagnostics\":%s}\n"
+          (String.concat "," preds)
+          (String.concat ",\n  " rule_objs)
+          (Analysis.Diagnostic.list_to_json result.Analysis.Prov_lint.diags)
+      end
+      else begin
+        Printf.printf "source provenance of %d rule(s):\n" (List.length rules);
+        List.iter2
+          (fun r ss ->
+            Printf.printf "  %s\n    <- %s\n"
+              (Flogic.Molecule.rule_to_string r)
+              (if ss = [] then "(no registered source)"
+               else String.concat ", " ss))
+          rules result.Analysis.Prov_lint.rule_sources;
+        print_endline "per derived predicate:";
+        List.iter
+          (fun (p, ss) ->
+            Printf.printf "  %-24s %s\n" p
+              (if ss = [] then "(none)" else String.concat ", " ss))
+          result.Analysis.Prov_lint.predicates;
+        if result.Analysis.Prov_lint.diags <> [] then
+          Format.printf "%a"
+            Analysis.Diagnostic.pp_report result.Analysis.Prov_lint.diags
+      end;
+      if Analysis.Diagnostic.errors result.Analysis.Prov_lint.diags <> []
+      then 1
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "provenance"
+       ~doc:"which registered sources can reach each derived predicate \
+             (abstract interpretation over the view graph)")
+    Term.(const run $ file $ demo $ json $ srcs $ scale $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* explain *)
@@ -645,6 +774,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_cmd; check_cmd; lint_cmd; explain_cmd; translate_cmd;
-            dmap_cmd; classify_cmd; demo_cmd; query_cmd; maintain_cmd;
+            run_cmd; check_cmd; lint_cmd; provenance_cmd; explain_cmd;
+            translate_cmd; dmap_cmd; classify_cmd; demo_cmd; query_cmd;
+            maintain_cmd;
           ]))

@@ -1,0 +1,426 @@
+module Rule = Logic.Rule
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Term = Logic.Term
+
+exception Diverged
+
+(* ------------------------------------------------------------------ *)
+(* The generic worklist fixpoint *)
+
+module type DOMAIN = sig
+  type t
+
+  val bot : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) = struct
+  type 'r spec = {
+    heads : 'r -> string list;
+    deps : 'r -> string list;
+    transfer : (string -> D.t) -> 'r -> D.t;
+  }
+
+  let fixpoint ?(max_steps = 1_000_000) ?(init = fun _ -> D.bot) spec rules =
+    let arr = Array.of_list rules in
+    let n = Array.length arr in
+    let env : (string, D.t) Hashtbl.t = Hashtbl.create 64 in
+    let lookup p =
+      match Hashtbl.find_opt env p with Some v -> v | None -> init p
+    in
+    (* readers: predicate -> indexes of rules whose transfer reads it *)
+    let readers : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun i r ->
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt readers p with
+            | Some l -> if not (List.mem i !l) then l := i :: !l
+            | None -> Hashtbl.add readers p (ref [ i ]))
+          (spec.deps arr.(i));
+        ignore r)
+      arr;
+    let queue = Queue.create () in
+    let queued = Array.make (max n 1) false in
+    let enqueue i =
+      if n > 0 && not (queued.(i)) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    Array.iteri (fun i _ -> enqueue i) arr;
+    let steps = ref 0 in
+    while not (Queue.is_empty queue) do
+      incr steps;
+      if !steps > max_steps then raise Diverged;
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let v = spec.transfer lookup arr.(i) in
+      List.iter
+        (fun h ->
+          let old = lookup h in
+          let v' = D.join old v in
+          if not (D.equal v' old) then begin
+            Hashtbl.replace env h v';
+            match Hashtbl.find_opt readers h with
+            | Some l -> List.iter enqueue !l
+            | None -> ()
+          end)
+        (spec.heads arr.(i))
+    done;
+    lookup
+end
+
+(* ------------------------------------------------------------------ *)
+(* The value lattice: constant sets and DM-concept cones *)
+
+module TS = Set.Make (Term)
+
+type cones = {
+  members : string -> string list;
+  lub : string list -> string option;
+}
+
+type value = Vbot | Consts of TS.t | Cone of string | Vtop
+
+type ctx = { cap : int; cones : cones option }
+
+let default_cap = 32
+
+let make_ctx ?cones ?(cap = default_cap) () = { cap; cones }
+
+let value_equal a b =
+  match a, b with
+  | Vbot, Vbot | Vtop, Vtop -> true
+  | Consts s1, Consts s2 -> TS.equal s1 s2
+  | Cone c1, Cone c2 -> String.equal c1 c2
+  | _ -> false
+
+let cone_set cones c =
+  TS.of_list (List.map Term.sym (cones.members c))
+
+let syms_of_set s =
+  TS.fold
+    (fun t acc ->
+      match acc, t with
+      | Some syms, Term.Const (Term.Sym x) -> Some (x :: syms)
+      | _ -> None)
+    s (Some [])
+
+let norm_consts s = if TS.is_empty s then Vbot else Consts s
+
+(* Widen an over-cap constant set: try to cover it with a concept cone,
+   else give up to ⊤. *)
+let widen_consts ctx s =
+  if TS.cardinal s <= ctx.cap then norm_consts s
+  else
+    match ctx.cones, syms_of_set s with
+    | Some cones, Some syms -> (
+      match cones.lub syms with Some c -> Cone c | None -> Vtop)
+    | _ -> Vtop
+
+let value_join ctx a b =
+  match a, b with
+  | Vtop, _ | _, Vtop -> Vtop
+  | Vbot, x | x, Vbot -> x
+  | Consts s1, Consts s2 -> widen_consts ctx (TS.union s1 s2)
+  | (Cone c, Consts s | Consts s, Cone c) -> (
+    match ctx.cones with
+    | None -> Vtop
+    | Some cones -> (
+      let members = cone_set cones c in
+      if TS.subset s members then Cone c
+      else
+        match syms_of_set s with
+        | None -> Vtop
+        | Some syms -> (
+          match cones.lub (c :: syms) with Some l -> Cone l | None -> Vtop)))
+  | Cone c1, Cone c2 -> (
+    if String.equal c1 c2 then Cone c1
+    else
+      match ctx.cones with
+      | None -> Vtop
+      | Some cones -> (
+        match cones.lub [ c1; c2 ] with Some l -> Cone l | None -> Vtop))
+
+let value_meet ctx a b =
+  match a, b with
+  | Vbot, _ | _, Vbot -> Vbot
+  | Vtop, x | x, Vtop -> x
+  | Consts s1, Consts s2 -> norm_consts (TS.inter s1 s2)
+  | (Cone c, Consts s | Consts s, Cone c) -> (
+    match ctx.cones with
+    | None -> Consts s (* unknown cone: keep the tighter side *)
+    | Some cones -> norm_consts (TS.inter s (cone_set cones c)))
+  | Cone c1, Cone c2 -> (
+    if String.equal c1 c2 then Cone c1
+    else
+      match ctx.cones with
+      | None -> Cone c1
+      | Some cones -> norm_consts (TS.inter (cone_set cones c1) (cone_set cones c2)))
+
+let value_mem ctx t = function
+  | Vbot -> false
+  | Vtop -> true
+  | Consts s -> TS.mem t s
+  | Cone c -> (
+    match ctx.cones, t with
+    | Some cones, Term.Const (Term.Sym x) -> List.mem x (cones.members c)
+    | Some _, _ -> false
+    | None, _ -> true (* no cone oracle: assume possible *))
+
+let pp_value ppf = function
+  | Vbot -> Format.pp_print_string ppf "⊥"
+  | Vtop -> Format.pp_print_string ppf "⊤"
+  | Cone c -> Format.fprintf ppf "cone(%s)" c
+  | Consts s ->
+    Format.fprintf ppf "{%s}"
+      (String.concat ", " (List.map Term.to_string (TS.elements s)))
+
+(* ------------------------------------------------------------------ *)
+(* Per-predicate argument domains *)
+
+type pred_dom = Empty | Any | Row of value array
+
+let pred_dom_equal a b =
+  match a, b with
+  | Empty, Empty | Any, Any -> true
+  | Row r1, Row r2 ->
+    Array.length r1 = Array.length r2
+    && Array.for_all2 (fun x y -> value_equal x y) r1 r2
+  | _ -> false
+
+let row_join ctx r1 r2 =
+  if Array.length r1 <> Array.length r2 then
+    (* arity conflict (flagged separately by Rule_lint): degrade to Any *)
+    Any
+  else Row (Array.map2 (fun a b -> value_join ctx a b) r1 r2)
+
+let pred_dom_join ctx a b =
+  match a, b with
+  | Any, _ | _, Any -> Any
+  | Empty, x | x, Empty -> x
+  | Row r1, Row r2 -> row_join ctx r1 r2
+
+let column d i =
+  match d with
+  | Empty -> Vbot
+  | Any -> Vtop
+  | Row r -> if i < Array.length r then r.(i) else Vtop
+
+let pp_pred_dom ppf = function
+  | Empty -> Format.pp_print_string ppf "empty"
+  | Any -> Format.pp_print_string ppf "any"
+  | Row r ->
+    Format.fprintf ppf "(%s)"
+      (String.concat ", "
+         (Array.to_list (Array.map (Format.asprintf "%a" pp_value) r)))
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness / deadness: abstract evaluation of one rule body *)
+
+type reason =
+  | Empty_pred of string
+      (** a positive body literal reads a predicate proved unpopulatable *)
+  | Disjoint_var of { var : string; left : string; right : string }
+      (** the meet of a shared variable's argument domains is empty *)
+  | False_cmp of Literal.t  (** a comparison that can never hold *)
+  | Foreign_const of { pred : string; arg : Term.t }
+      (** a constant argument outside the predicate's column domain *)
+
+type verdict = Live | Dead of reason
+
+let describe_reason = function
+  | Empty_pred p ->
+    Printf.sprintf "body predicate %s is provably empty" p
+  | Disjoint_var { var; left; right } ->
+    Printf.sprintf
+      "the occurrences of variable %s have disjoint domains (%s vs %s)" var
+      left right
+  | False_cmp l ->
+    Printf.sprintf "comparison %s can never hold" (Literal.to_string l)
+  | Foreign_const { pred; arg } ->
+    Printf.sprintf "constant %s never appears in that column of %s"
+      (Term.to_string arg) pred
+
+(* Abstract evaluation of a rule against a predicate environment:
+   returns the abstract head row and a verdict. Negated literals and
+   aggregates are ignored (sound: ignoring a constraint can only make
+   the abstraction larger), and comparisons are only refuted when both
+   sides are ground. *)
+let eval_rule ctx lookup (r : Rule.t) =
+  let venv : (string, value * string) Hashtbl.t = Hashtbl.create 8 in
+  let dead = ref None in
+  let kill reason = if !dead = None then dead := Some reason in
+  let constrain x v desc =
+    if !dead = None then begin
+      let old, old_desc =
+        match Hashtbl.find_opt venv x with
+        | Some (v, d) -> (v, d)
+        | None -> (Vtop, "")
+      in
+      let m = value_meet ctx old v in
+      Hashtbl.replace venv x (m, if old_desc = "" then desc else old_desc);
+      match m with
+      | Vbot ->
+        kill
+          (Disjoint_var
+             {
+               var = x;
+               left = (if old_desc = "" then desc else old_desc);
+               right = desc;
+             })
+      | _ -> ()
+    end
+  in
+  let pos_atom (a : Atom.t) =
+    if not (Literal.is_builtin a.Atom.pred) then begin
+      let d = lookup a.Atom.pred in
+      match d with
+      | Empty -> kill (Empty_pred a.Atom.pred)
+      | Any | Row _ ->
+        List.iteri
+          (fun i arg ->
+            let cv = column d i in
+            match arg with
+            | Term.Var x ->
+              constrain x cv
+                (Printf.sprintf "%s/arg %d" a.Atom.pred (i + 1))
+            | Term.Const _ ->
+              if not (value_mem ctx arg cv) then
+                kill (Foreign_const { pred = a.Atom.pred; arg })
+            | Term.App _ -> ())
+          a.Atom.args
+    end
+  in
+  List.iter
+    (fun lit ->
+      if !dead = None then
+        match lit with
+        | Literal.Pos a -> pos_atom a
+        | Literal.Neg _ -> ()
+        | Literal.Cmp (Literal.Eq, t1, t2) -> (
+          match t1, t2 with
+          | Term.Var x, Term.Var y ->
+            let vx =
+              match Hashtbl.find_opt venv x with Some (v, _) -> v | None -> Vtop
+            in
+            let vy =
+              match Hashtbl.find_opt venv y with Some (v, _) -> v | None -> Vtop
+            in
+            constrain x vy (Printf.sprintf "%s = %s" x y);
+            constrain y vx (Printf.sprintf "%s = %s" x y)
+          | Term.Var x, t when Term.vars t = [] ->
+            constrain x (Consts (TS.singleton t))
+              (Printf.sprintf "%s = %s" x (Term.to_string t))
+          | t, Term.Var x when Term.vars t = [] ->
+            constrain x (Consts (TS.singleton t))
+              (Printf.sprintf "%s = %s" (Term.to_string t) x)
+          | t1, t2 when Term.vars t1 = [] && Term.vars t2 = [] -> (
+            match Literal.eval_cmp Literal.Eq t1 t2 with
+            | Some false -> kill (False_cmp lit)
+            | _ -> ())
+          | _ -> ())
+        | Literal.Cmp (op, t1, t2)
+          when Term.vars t1 = [] && Term.vars t2 = [] -> (
+          match Literal.eval_cmp op t1 t2 with
+          | Some false -> kill (False_cmp lit)
+          | _ -> ())
+        | Literal.Cmp _ -> ()
+        | Literal.Assign (Term.Var x, e) -> (
+          match Literal.eval_expr e with
+          | Some t ->
+            constrain x (Consts (TS.singleton t))
+              (Printf.sprintf "%s is %s" x (Term.to_string t))
+          | None -> ())
+        | Literal.Assign _ -> ()
+        | Literal.Agg _ -> ())
+    r.Rule.body;
+  match !dead with
+  | Some reason -> (Empty, Dead reason)
+  | None ->
+    let row =
+      Array.of_list
+        (List.map
+           (fun arg ->
+             match arg with
+             | Term.Var x -> (
+               match Hashtbl.find_opt venv x with
+               | Some (v, _) -> v
+               | None -> Vtop)
+             | Term.Const _ -> Consts (TS.singleton arg)
+             | Term.App _ -> Vtop)
+           r.Rule.head.Atom.args)
+    in
+    (Row row, Live)
+
+(* ------------------------------------------------------------------ *)
+(* The emptiness analysis: fixpoint + per-rule verdicts *)
+
+type emptiness = {
+  value_of : string -> pred_dom;
+  verdicts : verdict list;  (** aligned with the input rule list *)
+}
+
+let emptiness ?cones ?cap ?(assume_nonempty = fun _ -> false) ?edb rules =
+  let ctx = make_ctx ?cones ?cap () in
+  let module D = struct
+    type t = pred_dom
+
+    let bot = Empty
+    let equal = pred_dom_equal
+    let join = pred_dom_join ctx
+  end in
+  let module F = Make (D) in
+  (* base environment: EDB columns plus assumed-nonempty predicates *)
+  let base : (string, pred_dom) Hashtbl.t = Hashtbl.create 32 in
+  (match edb with
+  | None -> ()
+  | Some db ->
+    List.iter
+      (fun p ->
+        let d =
+          List.fold_left
+            (fun acc (a : Atom.t) ->
+              let row =
+                Row
+                  (Array.of_list
+                     (List.map (fun t -> Consts (TS.singleton t)) a.Atom.args))
+              in
+              pred_dom_join ctx acc row)
+            Empty
+            (Datalog.Database.facts db p)
+        in
+        Hashtbl.replace base p d)
+      (Datalog.Database.predicates db));
+  let init p =
+    if assume_nonempty p || Literal.is_builtin p then Any
+    else match Hashtbl.find_opt base p with Some d -> d | None -> Empty
+  in
+  let spec =
+    {
+      F.heads = (fun (r : Rule.t) -> [ Rule.head_pred r ]);
+      F.deps =
+        (fun r ->
+          List.filter_map
+            (fun (p, nonmono) -> if nonmono then None else Some p)
+            (Rule.body_predicates r));
+      F.transfer = (fun lookup r -> fst (eval_rule ctx lookup r));
+    }
+  in
+  let lookup = F.fixpoint ~init spec rules in
+  let verdicts = List.map (fun r -> snd (eval_rule ctx lookup r)) rules in
+  { value_of = lookup; verdicts }
+
+(* ------------------------------------------------------------------ *)
+(* Dead-rule pruning (the Engine/Maintain hook) *)
+
+let prune ?cones ?cap ?assume_nonempty rules db =
+  match emptiness ?cones ?cap ?assume_nonempty ~edb:db rules with
+  | { verdicts; _ } ->
+    List.filter_map
+      (fun (r, v) -> match v with Live -> Some r | Dead _ -> None)
+      (List.combine rules verdicts)
+  | exception Diverged -> rules

@@ -1,0 +1,152 @@
+(** A small abstract-interpretation framework over the predicate
+    dependency graph, and the emptiness analysis built on it.
+
+    The framework ({!Make}) computes the least fixpoint of a monotone
+    transfer function assigning each predicate a value in a join
+    semilattice: rules are processed from a worklist, the transferred
+    value is joined into every head predicate, and the rules reading a
+    changed predicate are requeued. It is generic in the rule type, so
+    the same engine drives the Datalog-level type/emptiness pass here
+    and the molecule-level provenance pass ({!Prov_lint}).
+
+    The concrete {!value} lattice abstracts one argument column:
+    bottom, a finite constant set, a domain-map {e concept cone} (every
+    isa-descendant of a concept — the paper's "semantic coordinate
+    system" turned into an abstract value), or ⊤. Constant sets that
+    outgrow [cap] are widened to the lub cone when a {!cones} oracle is
+    available, else to ⊤ — so every chain stabilises and the fixpoint
+    terminates.
+
+    Soundness contract of {!emptiness} (what makes {!prune} safe):
+    abstract extents over-approximate every concrete extent reachable
+    from the given EDB and rules, negated literals and aggregates never
+    contribute to a [Dead] verdict, and comparisons are refuted only on
+    ground terms. A [Dead] rule therefore derives nothing in the least
+    (or well-founded) model. *)
+
+exception Diverged
+(** Raised by {!Make.fixpoint} when [max_steps] is exceeded — only
+    possible with a caller-supplied domain whose join does not
+    stabilise; {!emptiness} domains always terminate. *)
+
+(** {1 The generic fixpoint} *)
+
+module type DOMAIN = sig
+  type t
+
+  val bot : t
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Must be monotone and include any widening needed for chains to
+      stabilise. *)
+end
+
+module Make (D : DOMAIN) : sig
+  type 'r spec = {
+    heads : 'r -> string list;
+        (** predicates a rule defines (several for multi-head molecule
+            rules) *)
+    deps : 'r -> string list;
+        (** predicates whose change requeues the rule *)
+    transfer : (string -> D.t) -> 'r -> D.t;
+        (** abstract value the rule contributes to each head, given the
+            current environment *)
+  }
+
+  val fixpoint :
+    ?max_steps:int -> ?init:(string -> D.t) -> 'r spec -> 'r list ->
+    string -> D.t
+  (** Least fixpoint above [init] (default: everything starts at
+      [D.bot]). Returns the stable environment as a lookup function. *)
+end
+
+(** {1 Column values} *)
+
+type cones = {
+  members : string -> string list;
+      (** isa-descendant cone of a concept, including the concept *)
+  lub : string list -> string option;
+      (** tightest common ancestor, e.g. {!Domain_map.Lub.lub_unique} *)
+}
+
+module TS : Set.S with type elt = Logic.Term.t
+(** Sets of ground terms (constant-set values). *)
+
+type value = Vbot | Consts of TS.t | Cone of string | Vtop
+
+type ctx
+
+val default_cap : int
+(** Constant-set size limit before widening (32). *)
+
+val make_ctx : ?cones:cones -> ?cap:int -> unit -> ctx
+
+val value_equal : value -> value -> bool
+val value_join : ctx -> value -> value -> value
+val value_meet : ctx -> value -> value -> value
+
+val value_mem : ctx -> Logic.Term.t -> value -> bool
+(** Membership test; conservatively [true] for cones without an
+    oracle. *)
+
+val pp_value : Format.formatter -> value -> unit
+
+(** {1 Predicate domains} *)
+
+type pred_dom =
+  | Empty
+  | Any  (** assumed populated with unknown columns (open predicates) *)
+  | Row of value array
+
+val pred_dom_equal : pred_dom -> pred_dom -> bool
+val pred_dom_join : ctx -> pred_dom -> pred_dom -> pred_dom
+
+val column : pred_dom -> int -> value
+
+val pp_pred_dom : Format.formatter -> pred_dom -> unit
+
+(** {1 Emptiness analysis} *)
+
+type reason =
+  | Empty_pred of string
+  | Disjoint_var of { var : string; left : string; right : string }
+  | False_cmp of Logic.Literal.t
+  | Foreign_const of { pred : string; arg : Logic.Term.t }
+
+type verdict = Live | Dead of reason
+
+val describe_reason : reason -> string
+
+val eval_rule :
+  ctx -> (string -> pred_dom) -> Logic.Rule.t -> pred_dom * verdict
+(** Abstract evaluation of one rule against an environment: the head
+    row it contributes and whether the body is provably
+    unsatisfiable. *)
+
+type emptiness = {
+  value_of : string -> pred_dom;
+  verdicts : verdict list;  (** aligned with the input rule list *)
+}
+
+val emptiness :
+  ?cones:cones ->
+  ?cap:int ->
+  ?assume_nonempty:(string -> bool) ->
+  ?edb:Datalog.Database.t ->
+  Logic.Rule.t list ->
+  emptiness
+(** Fixpoint over the rules (fact rules contribute their constant
+    rows). [assume_nonempty] marks open predicates — externally
+    populated relations whose extent the analysis must not reason
+    about; [edb] seeds base columns from a database. *)
+
+val prune :
+  ?cones:cones ->
+  ?cap:int ->
+  ?assume_nonempty:(string -> bool) ->
+  Logic.Rule.t list ->
+  Datalog.Database.t ->
+  Logic.Rule.t list
+(** The {!Datalog.Engine} pruning hook: the sublist of rules not proved
+    dead w.r.t. the EDB. Returns the input unchanged on {!Diverged}. *)

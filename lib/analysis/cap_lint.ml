@@ -68,7 +68,10 @@ let admits_access info ~rel ~attrs ~bound_attrs =
   let flags = List.map (fun a -> List.mem a bound_attrs) attrs in
   Capability.admits_pattern info.capabilities ~rel ~bound:flags
 
-let feasibility ~sources ~class_targets ?label lits =
+type stats = { source_subgoals : int; infeasible_subgoals : int }
+
+let feasibility_stats ~sources ~class_targets ?label lits =
+  let src_subgoals = ref 0 and infeasible = ref 0 in
   let query_text =
     match label with
     | Some l -> l
@@ -105,8 +108,10 @@ let feasibility ~sources ~class_targets ?label lits =
                ~location:loc
                (Printf.sprintf "variable %s has two class constraints" x))
         else begin
+          incr src_subgoals;
           let targets = class_targets c in
-          if targets = [] then
+          if targets = [] then begin
+            incr infeasible;
             emit
               (D.make ~severity:D.Warning ~pass ~code:"no-covering-source"
                  ~location:loc
@@ -116,7 +121,8 @@ let feasibility ~sources ~class_targets ?label lits =
                     c x c)
                  ~hint:
                    "register a source anchored at the concept, or fix the \
-                    class name");
+                    class name")
+          end;
           groups := { gvar = x; cls = c; targets; methods = [] } :: !groups
         end
       | Molecule.Pos (Molecule.Meth_val (Term.Var x, m, t)) -> (
@@ -138,8 +144,10 @@ let feasibility ~sources ~class_targets ?label lits =
         | None ->
           out_of_fragment lit
         | Some (src_name, rel) -> (
+          incr src_subgoals;
           match find_source src_name with
           | None ->
+            incr infeasible;
             emit
               (D.make ~severity:D.Error ~pass ~code:"unknown-source"
                  ~location:loc
@@ -151,6 +159,7 @@ let feasibility ~sources ~class_targets ?label lits =
             let text = Format.asprintf "%a" Molecule.pp (Molecule.Rel_val (qrel, fields)) in
             match List.assoc_opt rel info.relations with
             | None ->
+              incr infeasible;
               emit
                 (D.make ~severity:D.Error ~pass ~code:"unknown-relation"
                    ~location:loc
@@ -211,6 +220,7 @@ let feasibility ~sources ~class_targets ?label lits =
             false
           end
           else begin
+            incr infeasible;
             emit
               (D.make ~severity:D.Error ~pass ~code:"unscannable-class"
                  ~location:loc
@@ -266,6 +276,7 @@ let feasibility ~sources ~class_targets ?label lits =
   (* whatever is left admits no executable ordering *)
   List.iter
     (fun r ->
+      incr infeasible;
       let attrs =
         match List.assoc_opt r.rel r.rsource.relations with
         | Some attrs -> attrs
@@ -309,7 +320,11 @@ let feasibility ~sources ~class_targets ?label lits =
            ~hint:"the planner silently drops all answers on unevaluable \
                   comparisons"))
     !pending_cmps;
-  List.rev !diags
+  ( List.rev !diags,
+    { source_subgoals = !src_subgoals; infeasible_subgoals = !infeasible } )
+
+let feasibility ~sources ~class_targets ?label lits =
+  fst (feasibility_stats ~sources ~class_targets ?label lits)
 
 (* ------------------------------------------------------------------ *)
 (* Template hygiene *)

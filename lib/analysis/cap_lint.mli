@@ -54,6 +54,12 @@ type source_info = {
 
 val of_source : Wrapper.Source.t -> source_info
 
+type stats = { source_subgoals : int; infeasible_subgoals : int }
+(** How many subgoals of the query touch sources (class groups and
+    qualified relation accesses) and how many of those are provably
+    unanswerable (vacuous/unscannable groups, unknown or infeasible
+    accesses). *)
+
 val feasibility :
   sources:source_info list ->
   class_targets:(string -> (string * string) list) ->
@@ -65,6 +71,16 @@ val feasibility :
     their source, concept names through the semantic index (the
     caller provides the mediator-shaped closure). [label] overrides
     the rendered query in diagnostic locations. *)
+
+val feasibility_stats :
+  sources:source_info list ->
+  class_targets:(string -> (string * string) list) ->
+  ?label:string ->
+  Flogic.Molecule.lit list ->
+  Diagnostic.t list * stats
+(** {!feasibility} plus the subgoal counts — [Mediation.Lint] combines
+    them with {!Prov_lint} to flag IVDs whose every source subgoal is
+    infeasible ({b infeasible-provenance}). *)
 
 val lint_templates : source_info -> Diagnostic.t list
 (** Parameter hygiene of declared query templates. *)

@@ -1,7 +1,7 @@
 type severity = Error | Warning | Info
 
 type location =
-  | Rule of { index : int; text : string }
+  | Rule of { index : int; text : string; pos : (int * int) option }
   | Predicate of string
   | Edge of { src : string; dst : string; label : string }
   | Concept of string
@@ -42,7 +42,10 @@ let pp_severity ppf s =
     (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
 
 let pp_location ppf = function
-  | Rule { index; text } -> Format.fprintf ppf "rule #%d `%s`" index text
+  | Rule { index; text; pos = Some (line, col) } ->
+    Format.fprintf ppf "line %d:%d, rule #%d `%s`" line col index text
+  | Rule { index; text; pos = None } ->
+    Format.fprintf ppf "rule #%d `%s`" index text
   | Predicate p -> Format.fprintf ppf "predicate %s" p
   | Edge { src; dst; label } ->
     Format.fprintf ppf "edge %s -%s-> %s" src label dst
@@ -92,13 +95,18 @@ let json_obj fields =
   ^ "}"
 
 let location_json = function
-  | Rule { index; text } ->
+  | Rule { index; text; pos } ->
     json_obj
-      [
-        ("kind", json_string "rule");
-        ("index", string_of_int index);
-        ("rule", json_string text);
-      ]
+      ([
+         ("kind", json_string "rule");
+         ("index", string_of_int index);
+         ("rule", json_string text);
+       ]
+      @
+      match pos with
+      | Some (line, col) ->
+        [ ("line", string_of_int line); ("col", string_of_int col) ]
+      | None -> [])
   | Predicate p ->
     json_obj [ ("kind", json_string "predicate"); ("predicate", json_string p) ]
   | Edge { src; dst; label } ->

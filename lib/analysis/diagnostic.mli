@@ -10,8 +10,11 @@
 type severity = Error | Warning | Info
 
 type location =
-  | Rule of { index : int; text : string }
-      (** [index] is the rule's position in the linted program (0-based) *)
+  | Rule of { index : int; text : string; pos : (int * int) option }
+      (** [index] is the rule's position in the linted program
+          (0-based); [pos] the 1-based (line, column) of the rule in
+          its source file, when it was parsed from one (programmatic
+          rules carry [None]) *)
   | Predicate of string
   | Edge of { src : string; dst : string; label : string }
       (** a domain-map or dependency-graph edge *)

@@ -2,10 +2,32 @@ module Molecule = Flogic.Molecule
 module Term = Logic.Term
 module Literal = Logic.Literal
 module D = Diagnostic
+module SS = Set.Make (String)
 
-let lint_datalog ?signature ?known_predicates ?fallback_ok p =
-  Rule_lint.lint ?signature ?known_predicates (Datalog.Program.rules p)
+(* The open-world boundary for the emptiness analysis: declared
+   relations and caller-known predicates are populated externally;
+   reserved GCM predicates are open only when nothing in the program
+   defines them (a compiled program carries the axioms, which close
+   [isa] and friends over the program's own facts). *)
+let open_predicate ?signature ?(known_predicates = []) rules =
+  let sg = Option.value signature ~default:Flogic.Signature.empty in
+  let defined =
+    List.fold_left
+      (fun acc r -> SS.add (Logic.Rule.head_pred r) acc)
+      SS.empty rules
+  in
+  fun p ->
+    Flogic.Signature.mem sg p
+    || List.mem p known_predicates
+    || (List.mem p Rule_lint.reserved_predicates && not (SS.mem p defined))
+
+let lint_datalog ?signature ?known_predicates ?fallback_ok ?cones ?edb p =
+  let rules = Datalog.Program.rules p in
+  Rule_lint.lint ?signature ?known_predicates rules
   @ Strat_lint.lint ?fallback_ok p
+  @ Type_lint.lint ?cones
+      ~assume_nonempty:(open_predicate ?signature ?known_predicates rules)
+      ?edb rules
 
 (* ------------------------------------------------------------------ *)
 (* Molecule-level occurrence counting (multi-head aware) *)
@@ -38,7 +60,7 @@ let lit_occs = function
     @ term_occs result
     @ List.concat_map molecule_occs body
 
-let unused_diags i (r : Molecule.rule) =
+let unused_diags loc i (r : Molecule.rule) =
   let occurrences =
     List.concat_map molecule_occs r.Molecule.heads
     @ List.concat_map lit_occs r.Molecule.body
@@ -50,8 +72,7 @@ let unused_diags i (r : Molecule.rule) =
          else if count x = 1 then
            Some
              (D.make ~severity:D.Warning ~pass:"rules" ~code:"unused-variable"
-                ~location:
-                  (D.Rule { index = i; text = Molecule.rule_to_string r })
+                ~location:(loc i r)
                 (Printf.sprintf "variable %s occurs only once" x)
                 ~hint:
                   (Printf.sprintf
@@ -88,57 +109,112 @@ let declared_universe rules =
 
 let lint_program ?(known_class = fun _ -> false)
     ?(known_method = fun _ -> false) ?known_predicates ?fallback_ok
+    ?(positions = []) ?cones ?(sources = []) ?class_sources
     (p : Flogic.Fl_program.t) =
+  let mol_pos i = List.nth_opt positions i in
+  let mol_loc i r =
+    D.Rule { index = i; text = Molecule.rule_to_string r; pos = mol_pos i }
+  in
   let classes, methods = declared_universe p.Flogic.Fl_program.rules in
   let schema_diags =
     Schema_lint.lint_rules ~signature:p.Flogic.Fl_program.signature
       ~known_class:(fun c -> List.mem c classes || known_class c)
       ~known_method:(fun m -> List.mem m methods || known_method m)
-      p.Flogic.Fl_program.rules
+      ~loc:mol_loc p.Flogic.Fl_program.rules
   in
   let unused =
     List.concat
-      (List.mapi (fun i r -> unused_diags i r) p.Flogic.Fl_program.rules)
+      (List.mapi (fun i r -> unused_diags mol_loc i r) p.Flogic.Fl_program.rules)
+  in
+  let prov_diags =
+    (Prov_lint.analyze ~sources ?class_sources ~loc:mol_loc
+       p.Flogic.Fl_program.rules)
+      .Prov_lint.diags
   in
   let compiled =
     try
       Ok
-        (Flogic.Compile.rules p.Flogic.Fl_program.signature
+        (List.map
+           (Flogic.Compile.rule p.Flogic.Fl_program.signature)
            p.Flogic.Fl_program.rules)
     with Flogic.Compile.Compile_error e -> Error e
   in
   match compiled with
   | Error e ->
-    schema_diags @ unused
+    schema_diags @ unused @ prov_diags
     @ [
         D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
           ~location:D.Federation e;
       ]
-  | Ok dl_rules ->
+  | Ok per_molecule ->
+    let dl_rules = List.concat per_molecule in
+    (* each compiled rule inherits the source position of the molecule
+       it came from; rendered text is the join key because both the
+       stratifier and the type pass re-index rules *)
+    let pos_of_rule = Hashtbl.create 16 in
+    List.iteri
+      (fun i rs ->
+        match mol_pos i with
+        | Some p ->
+          List.iter
+            (fun r -> Hashtbl.replace pos_of_rule (Logic.Rule.to_string r) p)
+            rs
+        | None -> ())
+      per_molecule;
+    let dl_loc i r =
+      let text = Logic.Rule.to_string r in
+      D.Rule { index = i; text; pos = Hashtbl.find_opt pos_of_rule text }
+    in
     let rule_diags =
       Rule_lint.lint ~signature:p.Flogic.Fl_program.signature ?known_predicates
-        ~check_unused:false dl_rules
+        ~check_unused:false ~loc:dl_loc dl_rules
     in
     let has_errors =
       List.exists (fun (d : D.t) -> d.D.severity = D.Error) rule_diags
     in
-    let strat_diags =
+    (* The emptiness analysis wants the axioms in scope (they close
+       [isa] and friends over the program's own facts), but only the
+       user's rules are worth flagging — a program that never declares
+       relations would otherwise light up the unused axioms. *)
+    let user_rules =
+      List.fold_left
+        (fun acc r -> SS.add (Logic.Rule.to_string r) acc)
+        SS.empty dl_rules
+    in
+    let type_diags dp =
+      let rules = Datalog.Program.rules dp in
+      Type_lint.lint ?cones
+        ~assume_nonempty:
+          (open_predicate ~signature:p.Flogic.Fl_program.signature
+             ?known_predicates rules)
+        ~loc:dl_loc rules
+      |> List.filter (fun (d : D.t) ->
+             match d.D.location with
+             | D.Rule { text; _ } -> SS.mem text user_rules
+             | _ -> true)
+    in
+    let deep_diags =
       if has_errors then
-        (* the full program will not compile; still report cycles over
-           the rules that are individually fine *)
+        (* the full program will not compile; still report cycles and
+           emptiness over the rules that are individually fine, with the
+           axioms in scope *)
         let safe =
-          List.filter (fun r -> Logic.Rule.safety_errors r = []) dl_rules
+          Flogic.Gcm_axioms.core
+          @ (if p.Flogic.Fl_program.inheritance then
+               Flogic.Gcm_axioms.nonmonotonic_inheritance
+             else [])
+          @ List.filter (fun r -> Logic.Rule.safety_errors r = []) dl_rules
         in
         match Datalog.Program.make safe with
-        | Ok p -> Strat_lint.lint ?fallback_ok p
+        | Ok p -> Strat_lint.lint ?fallback_ok ~loc:dl_loc p @ type_diags p
         | Error _ -> []
       else
         match Flogic.Fl_program.compile p with
-        | Ok dp -> Strat_lint.lint ?fallback_ok dp
+        | Ok dp -> Strat_lint.lint ?fallback_ok ~loc:dl_loc dp @ type_diags dp
         | Error e ->
           [
             D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
               ~location:D.Federation e;
           ]
     in
-    schema_diags @ unused @ rule_diags @ strat_diags
+    schema_diags @ unused @ prov_diags @ rule_diags @ deep_diags

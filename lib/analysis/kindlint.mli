@@ -10,24 +10,44 @@
     Everything here is {e static}: nothing is materialized, no wrapper
     is contacted. *)
 
+val open_predicate :
+  ?signature:Flogic.Signature.t ->
+  ?known_predicates:string list ->
+  Logic.Rule.t list ->
+  string ->
+  bool
+(** The open-world boundary used for {!Type_lint}: declared relations,
+    caller-known predicates, and reserved GCM predicates that nothing
+    in [rules] defines are assumed populated externally and never cause
+    emptiness verdicts. *)
+
 val lint_datalog :
   ?signature:Flogic.Signature.t ->
   ?known_predicates:string list ->
   ?fallback_ok:bool ->
+  ?cones:Absint.cones ->
+  ?edb:Datalog.Database.t ->
   Datalog.Program.t ->
   Diagnostic.t list
-(** Passes 1 (rule lint) and 2 (stratification) on a compiled Datalog
-    program. [fallback_ok] (default [true]) downgrades a negative
-    cycle to a warning, matching the engine's well-founded fallback. *)
+(** Passes 1 (rule lint), 2 (stratification) and 6 (type/emptiness
+    inference, seeded with [edb] and widened over [cones]) on a
+    compiled Datalog program. [fallback_ok] (default [true]) downgrades
+    a negative cycle to a warning, matching the engine's well-founded
+    fallback. *)
 
 val lint_program :
   ?known_class:(string -> bool) ->
   ?known_method:(string -> bool) ->
   ?known_predicates:string list ->
   ?fallback_ok:bool ->
+  ?positions:(int * int) list ->
+  ?cones:Absint.cones ->
+  ?sources:string list ->
+  ?class_sources:(string -> string list) ->
   Flogic.Fl_program.t ->
   Diagnostic.t list
-(** Passes 1–3 on an F-logic program:
+(** Passes 1–3 plus the abstract-interpretation passes (6: type /
+    emptiness, 7: provenance) on an F-logic program:
 
     - schema conformance of the molecule rules against the program's
       signature plus the classes/methods the program itself declares
@@ -37,7 +57,18 @@ val lint_program :
       singleton-variable check, which runs on the surface molecules
       (one multi-head molecule compiles to several Datalog rules
       sharing a body, so compiled-level occurrence counts lie);
-    - stratification of the full program, GCM axioms included.
+    - stratification of the full program, GCM axioms included;
+    - type/domain inference ({!Type_lint}) over the full compiled
+      program (axioms included, so [isa] closes over the program's own
+      facts), reporting only on the user's rules;
+    - source provenance ({!Prov_lint}) over the surface molecules, with
+      [sources] the registered source names (default: none — standalone
+      programs are only flagged on qualified ['SRC.x'] references).
+
+    [positions] (from {!Flogic.Fl_parser.parsed.rule_positions}) aligns
+    1-based (line, column) pairs with the program's rules; every
+    diagnostic — including those on compiled Datalog rules, which map
+    back to their source molecule — then carries a source position.
 
     A molecule set {!Flogic.Compile} rejects outright yields a single
     {b compile-error} diagnostic (plus whatever schema conformance

@@ -1,0 +1,190 @@
+module Molecule = Flogic.Molecule
+module Term = Logic.Term
+module D = Diagnostic
+module SS = Set.Make (String)
+
+let pass = "provenance"
+
+(* mirror of Mediation.Namespace.split: 'SRC.name' *)
+let split_qualified name =
+  match String.index_opt name '.' with
+  | Some i ->
+    Some
+      ( String.sub name 0 i,
+        String.sub name (i + 1) (String.length name - i - 1) )
+  | None -> None
+
+(* The key a molecule defines or reads in the provenance graph: the
+   class of an isa molecule, the method name of a method value, the
+   relation or predicate name otherwise. *)
+let key_of = function
+  | Molecule.Pred a -> Some a.Logic.Atom.pred
+  | Molecule.Isa (_, Term.Const (Term.Sym c)) -> Some c
+  | Molecule.Meth_val (_, m, _) -> Some m
+  | Molecule.Rel_val (r, _) -> Some r
+  | Molecule.Isa _ | Molecule.Sub _ | Molecule.Meth_sig _
+  | Molecule.Rel_sig _ -> None
+
+let body_molecules (r : Molecule.rule) =
+  List.concat_map
+    (function
+      | Molecule.Pos m | Molecule.Neg m -> [ m ]
+      | Molecule.Agg { body; _ } -> body
+      | Molecule.Cmp _ | Molecule.Assign _ -> [])
+    r.Molecule.body
+
+(* ------------------------------------------------------------------ *)
+(* The provenance domain: which registered sources can reach a
+   predicate, and whether mediator-local facts can. *)
+
+module Dom = struct
+  type t = { sources : SS.t; local : bool }
+
+  let bot = { sources = SS.empty; local = false }
+
+  let equal a b = SS.equal a.sources b.sources && Bool.equal a.local b.local
+
+  let join a b =
+    { sources = SS.union a.sources b.sources; local = a.local || b.local }
+end
+
+module F = Absint.Make (Dom)
+
+type result = {
+  predicates : (string * string list) list;
+      (** derived predicate (head key) -> sorted source names *)
+  rule_sources : string list list;  (** aligned with the input rules *)
+  diags : D.t list;
+}
+
+let default_loc i r =
+  D.Rule { index = i; text = Molecule.rule_to_string r; pos = None }
+
+let analyze ?(require_sources = false) ?(loc = default_loc) ~sources
+    ?(class_sources = fun _ -> []) rules =
+  let registered = SS.of_list sources in
+  let local_preds = Rule_lint.reserved_predicates in
+  let mol_value lookup m =
+    let qualified name from_env =
+      match split_qualified name with
+      | Some (s, _) when SS.mem s registered ->
+        { Dom.sources = SS.singleton s; local = false }
+      | Some _ -> Dom.bot (* unregistered namespace, flagged below *)
+      | None -> from_env ()
+    in
+    match m with
+    | Molecule.Isa (_, Term.Const (Term.Sym c)) ->
+      qualified c (fun () ->
+          Dom.join (lookup c)
+            { Dom.sources = SS.of_list (class_sources c); local = false })
+    | Molecule.Rel_val (r, _) ->
+      qualified r (fun () -> Dom.join (lookup r) { Dom.sources = SS.empty; local = true })
+    | Molecule.Pred a ->
+      let p = a.Logic.Atom.pred in
+      qualified p (fun () ->
+          if List.mem p local_preds then
+            { Dom.sources = SS.empty; local = true }
+          else lookup p)
+    | Molecule.Meth_val (_, meth, _) -> lookup meth
+    | Molecule.Isa _ | Molecule.Sub _ | Molecule.Meth_sig _
+    | Molecule.Rel_sig _ -> Dom.bot
+  in
+  let transfer lookup (r : Molecule.rule) =
+    if r.Molecule.body = [] then { Dom.sources = SS.empty; local = true }
+    else
+      List.fold_left
+        (fun acc m -> Dom.join acc (mol_value lookup m))
+        Dom.bot (body_molecules r)
+  in
+  let spec =
+    {
+      F.heads = (fun r -> List.filter_map key_of r.Molecule.heads);
+      F.deps = (fun r -> List.filter_map key_of (body_molecules r));
+      F.transfer;
+    }
+  in
+  let lookup = F.fixpoint spec rules in
+  let rule_values = List.map (transfer lookup) rules in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iteri
+    (fun i (r : Molecule.rule) ->
+      let v = List.nth rule_values i in
+      let quals =
+        List.filter_map
+          (fun m ->
+            match key_of m with
+            | Some name -> (
+              match split_qualified name with
+              | Some (s, _) -> Some (name, s)
+              | None -> None)
+            | None -> None)
+          (body_molecules r)
+      in
+      let unknown =
+        List.sort_uniq compare
+          (List.filter (fun (_, s) -> not (SS.mem s registered)) quals)
+      in
+      List.iter
+        (fun (name, s) ->
+          emit
+            (D.make
+               ~severity:(if require_sources then D.Error else D.Warning)
+               ~pass ~code:"unknown-namespace" ~location:(loc i r)
+               (Printf.sprintf
+                  "%s names namespace %s, which is not a registered source"
+                  name s)
+               ~hint:
+                 "the qualified subgoal can never be populated; register \
+                  the source or fix the name"))
+        unknown;
+      if
+        r.Molecule.body <> []
+        && SS.is_empty v.Dom.sources
+        && (require_sources || quals <> [])
+      then
+        emit
+          (D.make ~severity:D.Warning ~pass ~code:"no-source"
+             ~location:(loc i r)
+             (Printf.sprintf "view draws from no registered source%s"
+                (if v.Dom.local then
+                   " (only mediator-local facts reach its body)"
+                 else ""))
+             ~hint:
+               "no source push can ever change this view; anchor a source \
+                at one of its body classes or drop it"))
+    rules;
+  let predicates =
+    List.concat_map (fun r -> List.filter_map key_of r.Molecule.heads) rules
+    |> List.sort_uniq String.compare
+    |> List.map (fun p -> (p, SS.elements (lookup p).Dom.sources))
+  in
+  { predicates; rule_sources = List.map (fun v -> SS.elements v.Dom.sources) rule_values; diags = List.rev !diags }
+
+(* Provenance-related diagnostics of one conjunctive query: unknown
+   namespaces among its subgoals. *)
+let query_diags ~sources ?label lits =
+  let registered = SS.of_list sources in
+  let text =
+    match label with
+    | Some l -> l
+    | None ->
+      String.concat ", "
+        (List.map (fun l -> Format.asprintf "%a" Molecule.pp_lit l) lits)
+  in
+  let r = { Molecule.heads = []; body = lits } in
+  List.filter_map
+    (fun m ->
+      match key_of m with
+      | Some name -> (
+        match split_qualified name with
+        | Some (s, _) when not (SS.mem s registered) ->
+          Some
+            (D.make ~severity:D.Error ~pass ~code:"unknown-namespace"
+               ~location:(D.Query text)
+               (Printf.sprintf
+                  "%s names namespace %s, which is not a registered source"
+                  name s))
+        | _ -> None)
+      | None -> None)
+    (body_molecules r)

@@ -1,0 +1,53 @@
+(** Pass 7 — source provenance ({!Absint} at the molecule level).
+
+    Computes, per derived predicate (class defined by an [Isa] head,
+    relation, method or plain predicate), the set of registered sources
+    whose data can transitively reach it: class constraints seed the
+    sources anchored at the class (via the caller's [class_sources],
+    backed by the semantic index at the mediator), qualified
+    ['SRC.name'] references seed their own source, and the fixpoint
+    closes the view-over-view graph. A [local] bit tracks predicates
+    reachable only from mediator-local facts.
+
+    Codes:
+    - {b unknown-namespace}: a qualified reference whose prefix is not
+      a registered source — error when [require_sources] (a federation
+      must not reference unknown namespaces), warning for standalone
+      programs;
+    - {b no-source} (warning): a rule whose body can draw from no
+      registered source. Standalone programs are only flagged when the
+      rule references at least one qualified name (a plain local
+      program is not a federation); with [require_sources], every
+      sourceless view is flagged.
+
+    The third IVD failure mode of the tentpole — sources reachable only
+    through subgoals with no feasible binding pattern — composes this
+    pass with {!Cap_lint}: see [Mediation.Lint.federation]. *)
+
+type result = {
+  predicates : (string * string list) list;
+      (** derived predicate (head key) -> sorted source names *)
+  rule_sources : string list list;  (** aligned with the input rules *)
+  diags : Diagnostic.t list;
+}
+
+val analyze :
+  ?require_sources:bool ->
+  ?loc:(int -> Flogic.Molecule.rule -> Diagnostic.location) ->
+  sources:string list ->
+  ?class_sources:(string -> string list) ->
+  Flogic.Molecule.rule list ->
+  result
+
+val query_diags :
+  sources:string list ->
+  ?label:string ->
+  Flogic.Molecule.lit list ->
+  Diagnostic.t list
+(** Unknown-namespace references among one query's subgoals. *)
+
+val split_qualified : string -> (string * string) option
+(** ['SRC.name'] -> [(SRC, name)]. *)
+
+val key_of : Flogic.Molecule.t -> string option
+(** The provenance-graph key a molecule defines or reads. *)

@@ -15,12 +15,13 @@ let reserved_predicates =
       "dm_isa"; "dm_poss"; "dm_role"; "dc_role"; "tc_isa"; "has_a_star";
     ]
 
-let rule_loc i r = D.Rule { index = i; text = Rule.to_string r }
+let default_loc i r =
+  D.Rule { index = i; text = Rule.to_string r; pos = None }
 
 (* ------------------------------------------------------------------ *)
 (* Safety *)
 
-let safety_diags i r =
+let safety_diags rule_loc i r =
   List.map
     (fun (e : Rule.safety_error) ->
       match e with
@@ -70,7 +71,7 @@ let literal_var_occurrences = function
     @ term_vars result
     @ List.concat_map (fun a -> List.concat_map term_vars a.Atom.args) body
 
-let unused_diags i (r : Rule.t) =
+let unused_diags rule_loc i (r : Rule.t) =
   let occurrences =
     List.concat_map term_vars r.Rule.head.Atom.args
     @ List.concat_map literal_var_occurrences r.Rule.body
@@ -126,16 +127,36 @@ let subsumes ~(general : Rule.t) ~(specific : Rule.t) =
       in
       cover init general.Rule.body
 
-let redundancy_diags rules =
+(* Canonical renaming for alpha-equivalence: variables are renamed to
+   V0, V1, ... in first-occurrence order (head first, then body).  Two
+   rules are equal up to variable renaming iff their canonical forms
+   are structurally equal.  The rename happens in two steps — first to
+   a namespace no user variable can collide with, then to V%d — so the
+   target names never capture a still-unrenamed source variable. *)
+let alpha_canonical (r : Rule.t) =
+  let r = Rule.rename_apart ~suffix:"\001" r in
+  let s =
+    List.fold_left
+      (fun (n, s) x ->
+        (n + 1, Logic.Subst.bind x (Term.var (Printf.sprintf "V%d" n)) s))
+      (0, Logic.Subst.empty) (Rule.vars r)
+    |> snd
+  in
+  Rule.apply s r
+
+let redundancy_diags rule_loc rules =
   let arr = Array.of_list rules in
+  let canon = Array.map alpha_canonical arr in
   let out = ref [] in
   Array.iteri
     (fun i r ->
-      let dup = ref None and sub = ref None in
+      let dup = ref None and alpha = ref None and sub = ref None in
       for j = 0 to i - 1 do
         if !dup = None && Rule.equal arr.(j) r then dup := Some j;
+        if !dup = None && !alpha = None && Rule.equal canon.(j) canon.(i)
+        then alpha := Some j;
         if
-          !dup = None && !sub = None
+          !dup = None && !alpha = None && !sub = None
           && List.length arr.(j).Rule.body <= 6
           && List.length r.Rule.body <= 6
           && String.equal (Rule.head_pred arr.(j)) (Rule.head_pred r)
@@ -143,15 +164,22 @@ let redundancy_diags rules =
           && subsumes ~general:arr.(j) ~specific:r
         then sub := Some j
       done;
-      (match !dup with
-      | Some j ->
+      (match !dup, !alpha with
+      | Some j, _ ->
         out :=
           D.make ~severity:D.Warning ~pass ~code:"duplicate-rule"
             ~location:(rule_loc i r)
             (Printf.sprintf "identical to rule #%d" j)
             ~hint:"delete one of the two copies"
           :: !out
-      | None -> ());
+      | None, Some j ->
+        out :=
+          D.make ~severity:D.Warning ~pass ~code:"duplicate-rule"
+            ~location:(rule_loc i r)
+            (Printf.sprintf "identical to rule #%d (up to variable renaming)" j)
+            ~hint:"delete one of the two copies"
+          :: !out
+      | None, None -> ());
       match !sub with
       | Some j ->
         out :=
@@ -175,7 +203,7 @@ let literal_atoms = function
   | Literal.Agg { body; _ } -> body
   | Literal.Cmp _ | Literal.Assign _ -> []
 
-let predicate_diags ?signature ?(known_predicates = []) rules =
+let predicate_diags ?signature ?(known_predicates = []) rule_loc rules =
   let sg = Option.value signature ~default:Flogic.Signature.empty in
   let defined =
     List.fold_left
@@ -242,11 +270,13 @@ let predicate_diags ?signature ?(known_predicates = []) rules =
     rules;
   List.rev !diags
 
-let lint ?signature ?known_predicates ?(check_unused = true) rules =
+let lint ?signature ?known_predicates ?(check_unused = true)
+    ?(loc = default_loc) rules =
   List.concat
     (List.mapi
        (fun i r ->
-         safety_diags i r @ (if check_unused then unused_diags i r else []))
+         safety_diags loc i r
+         @ (if check_unused then unused_diags loc i r else []))
        rules)
-  @ redundancy_diags rules
-  @ predicate_diags ?signature ?known_predicates rules
+  @ redundancy_diags loc rules
+  @ predicate_diags ?signature ?known_predicates loc rules

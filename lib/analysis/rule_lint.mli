@@ -7,8 +7,10 @@
     - {b unused-variable} (warning): a variable occurring exactly once
       in the rule (it joins nothing and projects nothing — usually a
       typo; prefix with [_] to silence);
-    - {b duplicate-rule} (warning): a rule textually identical to an
-      earlier one;
+    - {b duplicate-rule} (warning): a rule identical to an earlier one,
+      either textually or up to a renaming of its variables
+      (alpha-equivalence — canonical first-occurrence renaming of both
+      sides);
     - {b subsumed-rule} (warning): a rule whose answers are already
       produced by a more general earlier rule (one-sided matching of
       head and body literals);
@@ -29,10 +31,14 @@ val lint :
   ?signature:Flogic.Signature.t ->
   ?known_predicates:string list ->
   ?check_unused:bool ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
   Logic.Rule.t list ->
   Diagnostic.t list
 (** [check_unused] (default [true]) controls the singleton-variable
     pass; turn it off when linting rules compiled from multi-head
     F-logic molecules, where one surface rule becomes several Datalog
     rules sharing a body and singleton occurrences are an artifact —
-    {!Kindlint.lint_program} re-runs the check at the molecule level. *)
+    {!Kindlint.lint_program} re-runs the check at the molecule level.
+    [loc] maps a rule index and rule to the diagnostic location
+    (default: the rendered rule with no source position); callers that
+    parsed the rules from a file pass a locator carrying line/column. *)

@@ -23,9 +23,13 @@ let rule_molecules (r : Molecule.rule) =
 let rule_loc ?source i r =
   match source with
   | Some s -> D.Source s
-  | None -> D.Rule { index = i; text = Molecule.rule_to_string r }
+  | None ->
+    D.Rule { index = i; text = Molecule.rule_to_string r; pos = None }
 
-let lint_rules ~signature ~known_class ~known_method ?source rules =
+let lint_rules ~signature ~known_class ~known_method ?source ?loc rules =
+  let locate =
+    match loc with Some f -> f | None -> fun i r -> rule_loc ?source i r
+  in
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let reported = Hashtbl.create 8 in
@@ -37,7 +41,7 @@ let lint_rules ~signature ~known_class ~known_method ?source rules =
   in
   List.iteri
     (fun i r ->
-      let loc = rule_loc ?source i r in
+      let loc = locate i r in
       List.iter
         (fun m ->
           match m with

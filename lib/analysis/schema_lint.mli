@@ -39,8 +39,10 @@ val lint_rules :
   known_class:(string -> bool) ->
   known_method:(string -> bool) ->
   ?source:string ->
+  ?loc:(int -> Flogic.Molecule.rule -> Diagnostic.location) ->
   Flogic.Molecule.rule list ->
   Diagnostic.t list
 (** Conformance of a molecule rule set (schema rules, IVDs) against an
     accumulated signature and class/method universe. [source] labels
-    the diagnostics' location. *)
+    the diagnostics' location; a [loc] locator (taking precedence over
+    [source]) attaches per-rule positions instead. *)

@@ -73,7 +73,10 @@ let pp_cycle ppf cycle =
         e.Stratify.to_pred)
     cycle
 
-let lint ?(fallback_ok = true) p =
+let default_loc i r =
+  D.Rule { index = i; text = Rule.to_string r; pos = None }
+
+let lint ?(fallback_ok = true) ?(loc = default_loc) p =
   match negative_cycle p with
   | None -> []
   | Some cycle ->
@@ -121,7 +124,7 @@ let lint ?(fallback_ok = true) p =
              then
                [
                  D.make ~severity:D.Warning ~pass ~code:"unmaintainable-rule"
-                   ~location:(D.Rule { index = i; text = Rule.to_string r })
+                   ~location:(loc i r)
                    (Format.asprintf
                       "this rule closes the nonmonotonic cycle %a; \
                        Datalog.Maintain refuses the program, so every \

@@ -25,6 +25,12 @@ val negative_cycle : Datalog.Program.t -> Datalog.Stratify.edge list option
 val pp_cycle : Format.formatter -> Datalog.Stratify.edge list -> unit
 (** [p -¬-> q -> p]. *)
 
-val lint : ?fallback_ok:bool -> Datalog.Program.t -> Diagnostic.t list
+val lint :
+  ?fallback_ok:bool ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
+  Datalog.Program.t ->
+  Diagnostic.t list
 (** [fallback_ok] defaults to [true], matching
-    {!Datalog.Engine.default_config.allow_wellfounded_fallback}. *)
+    {!Datalog.Engine.default_config.allow_wellfounded_fallback}.
+    [loc] maps a rule index and rule to its diagnostic location
+    (default: no source position). *)

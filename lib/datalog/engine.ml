@@ -8,6 +8,7 @@ type config = {
   max_term_depth : int;
   max_rounds : int;
   allow_wellfounded_fallback : bool;
+  prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
 }
 
 let default_config =
@@ -16,6 +17,7 @@ let default_config =
     max_term_depth = 8;
     max_rounds = 100_000;
     allow_wellfounded_fallback = true;
+    prune = None;
   }
 
 exception Unstratified of string list
@@ -31,6 +33,7 @@ type report = {
   tuples_scanned : int;
   strata_skipped : int;
   delta_facts : int;
+  rules_pruned : int;
 }
 
 let empty_report =
@@ -44,6 +47,7 @@ let empty_report =
     tuples_scanned = 0;
     strata_skipped = 0;
     delta_facts = 0;
+    rules_pruned = 0;
   }
 
 let run_stratum config stats rules db =
@@ -66,6 +70,17 @@ let materialize ?(config = default_config) ?report p edb =
   let facts, p = Program.split_facts p in
   let db = Database.copy edb in
   List.iter (fun f -> ignore (Database.add_fact db f)) facts;
+  (* semantics-preserving dead-rule pruning: the hook sees the rule-only
+     program and the loaded base facts, and must return a sublist of
+     rules that derive nothing in the model (Analysis.Absint.prune). *)
+  let p, pruned =
+    match config.prune with
+    | None -> (p, 0)
+    | Some f ->
+      let rules = Program.rules p in
+      let kept = f rules db in
+      (Program.make_exn kept, List.length rules - List.length kept)
+  in
   let fill_report ~stratified ~strata ~rounds ~derived ~skolems =
     match report with
     | None -> ()
@@ -81,6 +96,7 @@ let materialize ?(config = default_config) ?report p edb =
           tuples_scanned = stats.Eval.tuples_scanned;
           strata_skipped = 0;
           delta_facts = 0;
+          rules_pruned = pruned;
         }
   in
   match Stratify.rules_by_stratum p with
@@ -261,6 +277,7 @@ let maintain ?(config = default_config) ?report p db delta =
             tuples_scanned = rep.Maintain.tuples_scanned;
             strata_skipped = rep.Maintain.skipped;
             delta_facts = rep.Maintain.added + rep.Maintain.removed;
+            rules_pruned = 0;
           });
       Ok rep)
 

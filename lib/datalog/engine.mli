@@ -18,6 +18,15 @@ type config = {
   allow_wellfounded_fallback : bool;
       (** when [false], {!materialize} raises {!Unstratified} instead of
           switching to the alternating fixpoint *)
+  prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
+      (** dead-rule pruning hook, run by {!materialize} after program
+          facts are loaded and before evaluation. The hook receives the
+          rule-only program and the base database and must return a
+          {e sublist} of rules whose omission does not change the model
+          — i.e. only drop rules proved to derive nothing
+          ({!Analysis.Absint.prune} is such a hook; the engine cannot
+          depend on the analysis library, so the wiring is inverted).
+          Pruned-rule counts land in [report.rules_pruned]. *)
 }
 
 val default_config : config
@@ -41,6 +50,9 @@ type report = {
           changed extent (0 for a full materialization) *)
   delta_facts : int;
       (** maintenance only: net facts added + removed by the delta *)
+  rules_pruned : int;
+      (** rules dropped by the [config.prune] hook before evaluation
+          (0 when no hook is set and on the maintenance path) *)
 }
 
 val empty_report : report

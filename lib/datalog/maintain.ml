@@ -95,7 +95,7 @@ let prewarm db rules =
         body_atoms)
     rules
 
-let init ?(max_term_depth = 8) ?(max_rounds = 100_000) p edb0 =
+let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?prune p edb0 =
   let facts, p' = Program.split_facts p in
   match Stratify.rules_by_stratum p' with
   | Error cycle -> Error ("Maintain.init: " ^ unstratified_msg cycle)
@@ -103,9 +103,22 @@ let init ?(max_term_depth = 8) ?(max_rounds = 100_000) p edb0 =
     let edb = Database.copy edb0 in
     List.iter (fun f -> ignore (Database.add_fact edb f)) facts;
     let db = Database.copy edb in
+    (* Dead-rule pruning applies to the initial materialization only:
+       the handle keeps the full rule set, because a later delta can
+       revive a rule that is dead w.r.t. the current base (every
+       instantiation of a revived rule contains a delta fact, so the
+       semi-naive focus joins of [apply] derive it). *)
+    let keep =
+      match prune with
+      | None -> fun _ -> true
+      | Some f ->
+        let kept = f (Program.rules p') db in
+        fun r -> List.exists (Rule.equal r) kept
+    in
     let stats = Eval.new_stats () in
     List.iter
       (fun rs ->
+        let rs = List.filter keep rs in
         if rs <> [] then
           ignore (Seminaive.run ~stats ~max_term_depth ~max_rounds ~neg:db rs db))
       strata;

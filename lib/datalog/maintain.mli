@@ -64,12 +64,21 @@ type t
 val init :
   ?max_term_depth:int ->
   ?max_rounds:int ->
+  ?prune:(Logic.Rule.t list -> Database.t -> Logic.Rule.t list) ->
   Program.t ->
   Database.t ->
   (t, string) result
 (** Materialize [p] over a copy of the EDB and return the maintenance
     handle. [Error] if the program is not stratified (maintenance has
-    no well-founded fallback — use {!Engine.materialize} for those). *)
+    no well-founded fallback — use {!Engine.materialize} for those).
+
+    [prune] is the same dead-rule hook as {!Engine.config.prune} and
+    must only drop rules that derive nothing over the given base. It
+    speeds up the {e initial} materialization only: the handle keeps
+    the full rule set, because a delta may revive a pruned rule — and
+    then every new instantiation involves a delta fact, which the
+    semi-naive focus joins (and stratum recomputation) of {!apply}
+    cover, so maintained results still equal a full rebuild. *)
 
 val of_materialized :
   ?max_term_depth:int ->

@@ -121,6 +121,26 @@ let ancestors dm c =
   :: List.filter_map (fun (a, b) -> if String.equal a c then Some b else None) isa
   |> List.sort_uniq String.compare
 
+let cones dm =
+  (* one isa closure, then per-concept cones memoized — the
+     descendant-cone oracle abstract interpretation widens with
+     (Analysis.Absint.cones) asks for the same few cones repeatedly *)
+  let isa = lazy (isa_tc dm) in
+  let cache : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  fun c ->
+    match Hashtbl.find_opt cache c with
+    | Some cone -> cone
+    | None ->
+      let cone =
+        c
+        :: List.filter_map
+             (fun (a, b) -> if String.equal b c then Some a else None)
+             (Lazy.force isa)
+        |> List.sort_uniq String.compare
+      in
+      Hashtbl.add cache c cone;
+      cone
+
 let successors pairs n =
   List.filter_map (fun (a, b) -> if String.equal a n then Some b else None) pairs
   |> List.sort_uniq String.compare

@@ -67,5 +67,12 @@ val descendants : Dmap.t -> string -> string list
 
 val ancestors : Dmap.t -> string -> string list
 
+val cones : Dmap.t -> string -> string list
+(** Memoizing variant of {!descendants}: the isa closure is computed
+    once and each concept's cone on first request. This is the
+    [members] half of the abstract-interpretation cone oracle
+    ([Analysis.Absint.cones]) — concept cones are the domain map's
+    "semantic coordinate system" used as abstract values. *)
+
 val successors : pairs -> string -> string list
 (** Direct successors in a link set; sorted. *)

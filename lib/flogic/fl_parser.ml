@@ -11,7 +11,20 @@ type parsed = {
   signature : Signature.t;
   rules : Molecule.rule list;
   queries : Molecule.lit list list;
+  rule_positions : (int * int) list;
 }
+
+(* 1-based (line, column) of byte [offset] in [src]. *)
+let line_col src offset =
+  let line = ref 1 and bol = ref 0 in
+  let n = min offset (String.length src) in
+  for i = 0 to n - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, n - !bol + 1)
 
 exception Parse_error of string * int
 
@@ -344,17 +357,26 @@ let parse_statement st =
 let parse_program ?(signature = Signature.empty) src =
   match
     let st = { toks = tokenize src; sg = signature } in
+    let offset () = match st.toks with (_, p) :: _ -> p | [] -> 0 in
     let rec go acc =
-      if peek st = EOF then List.rev acc else go (parse_statement st :: acc)
+      if peek st = EOF then List.rev acc
+      else
+        let p = offset () in
+        go ((p, parse_statement st) :: acc)
     in
     let stmts = go [] in
     let rules =
-      List.filter_map (function Rule r -> Some r | _ -> None) stmts
+      List.filter_map (function _, Rule r -> Some r | _ -> None) stmts
+    in
+    let rule_positions =
+      List.filter_map
+        (function p, Rule _ -> Some (line_col src p) | _ -> None)
+        stmts
     in
     let queries =
-      List.filter_map (function Query q -> Some q | _ -> None) stmts
+      List.filter_map (function _, Query q -> Some q | _ -> None) stmts
     in
-    { signature = st.sg; rules; queries }
+    { signature = st.sg; rules; queries; rule_positions }
   with
   | parsed -> Ok parsed
   | exception Parse_error (msg, pos) ->

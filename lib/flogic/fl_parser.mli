@@ -31,6 +31,10 @@ type parsed = {
   signature : Signature.t;  (** ambient signature plus declarations *)
   rules : Molecule.rule list;
   queries : Molecule.lit list list;
+  rule_positions : (int * int) list;
+      (** 1-based (line, column) where each rule starts, aligned with
+          [rules] — feed to {!Analysis.Kindlint.lint_program}'s
+          [positions] so diagnostics point into the source file *)
 }
 
 exception Parse_error of string * int

@@ -19,9 +19,21 @@ let class_targets m c =
 
 let source_infos m = List.map A.Cap_lint.of_source (Mediator.sources m)
 
+let source_names m = List.map Source.name (Mediator.sources m)
+
+let class_sources m c =
+  let dm = Mediator.dmap m in
+  if Dmap.mem dm c then Index.sources_at dm (Mediator.index m) ~concept:c
+  else []
+
 let query m ?label lits =
   A.Cap_lint.feasibility ~sources:(source_infos m)
     ~class_targets:(class_targets m) ?label lits
+  @ A.Prov_lint.query_diags ~sources:(source_names m) ?label lits
+
+let provenance m =
+  A.Prov_lint.analyze ~require_sources:true ~sources:(source_names m)
+    ~class_sources:(class_sources m) (Mediator.ivds m)
 
 let federation m =
   let dm = Mediator.dmap m in
@@ -35,15 +47,46 @@ let federation m =
       (Mediator.sources m)
   in
   let template_diags = List.concat_map A.Cap_lint.lint_templates infos in
-  let program_diags =
-    A.Kindlint.lint_program ~known_class (Mediator.program m)
+  let cones =
+    {
+      A.Absint.members = Domain_map.Closure.cones dm;
+      lub = (fun cs -> Domain_map.Lub.lub_unique dm cs);
+    }
   in
+  let program_diags =
+    A.Kindlint.lint_program ~known_class ~cones ~sources:(source_names m)
+      ~class_sources:(class_sources m) (Mediator.program m)
+  in
+  let ivd_prov = (provenance m).A.Prov_lint.diags in
   let ivd_caps =
     List.concat_map
       (fun (r : Molecule.rule) ->
-        A.Cap_lint.feasibility ~sources:infos ~class_targets:(class_targets m)
-          ~label:(Molecule.rule_to_string r) r.Molecule.body)
+        let label = Molecule.rule_to_string r in
+        let diags, stats =
+          A.Cap_lint.feasibility_stats ~sources:infos
+            ~class_targets:(class_targets m) ~label r.Molecule.body
+        in
+        (* pass 7 × pass 4: a view may draw from sources on paper, yet
+           every subgoal that could reach one is unanswerable *)
+        if
+          stats.A.Cap_lint.source_subgoals > 0
+          && stats.A.Cap_lint.infeasible_subgoals
+             = stats.A.Cap_lint.source_subgoals
+        then
+          diags
+          @ [
+              A.Diagnostic.make ~severity:A.Diagnostic.Warning
+                ~pass:"provenance" ~code:"infeasible-provenance"
+                ~location:(A.Diagnostic.Query label)
+                "every source-bearing subgoal of this view is infeasible; \
+                 no source data can ever reach it"
+                ~hint:
+                  "fix the capability or coverage problems reported on its \
+                   subgoals, or drop the view";
+            ]
+        else diags)
       (Mediator.ivds m)
   in
   A.Diagnostic.sort
-    (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_caps)
+    (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_prov
+   @ ivd_caps)

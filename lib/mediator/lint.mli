@@ -10,7 +10,13 @@
       count as known classes) and on the IVDs;
     - passes 1–2 on the federation program ({!Mediator.program}),
       i.e. exactly what {!Mediator.materialize} would hand the engine;
-    - pass 4 on each IVD body and each source's query templates.
+    - pass 4 on each IVD body and each source's query templates;
+    - pass 6 (type/emptiness inference, widened over the domain map's
+      concept cones) on the compiled federation program;
+    - pass 7 (source provenance) on the program and the IVDs, plus the
+      composed {b infeasible-provenance} check: a view whose every
+      source-bearing subgoal is infeasible under the declared
+      capabilities can never receive source data.
 
     Nothing is materialized and no wrapper is contacted. *)
 
@@ -23,8 +29,14 @@ val class_targets : Mediator.t -> string -> (string * string) list
 val query :
   Mediator.t -> ?label:string -> Flogic.Molecule.lit list ->
   Analysis.Diagnostic.t list
-(** Capability feasibility (pass 4) of one conjunctive query against
-    the registered sources, without running it. *)
+(** Capability feasibility (pass 4) and unknown-namespace references
+    (pass 7) of one conjunctive query against the registered sources,
+    without running it. *)
+
+val provenance : Mediator.t -> Analysis.Prov_lint.result
+(** Per-view source provenance of the installed IVDs: which registered
+    sources can transitively reach each derived predicate
+    ([kindctl provenance] renders this). *)
 
 val federation : Mediator.t -> Analysis.Diagnostic.t list
 (** All passes, sorted by severity. *)

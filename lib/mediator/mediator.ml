@@ -14,6 +14,7 @@ type config = {
   use_lub : bool;
   inheritance : bool;
   lint : lint_policy;
+  prune_dead : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     use_lub = true;
     inheritance = false;
     lint = Lint_warn;
+    prune_dead = false;
   }
 
 module SSet = Set.Make (String)
@@ -255,7 +257,30 @@ let extend_dmap t axioms =
     invalidate t;
     Ok ()
 
+(* Provenance lint of freshly added views, per the [lint] policy: a
+   federation IVD must not reference unknown namespaces, and a view no
+   registered source can reach is worth a warning (pass 7). *)
+let ivd_diags t rules =
+  if t.cfg.lint = Lint_off then []
+  else
+    (Analysis.Prov_lint.analyze ~require_sources:true
+       ~sources:(List.map Source.name t.sources)
+       ~class_sources:(fun c ->
+         if Dmap.mem t.dmap c then
+           Index.sources_at t.dmap t.index ~concept:c
+         else [])
+       rules)
+      .Analysis.Prov_lint.diags
+
 let add_ivd t rules =
+  let module D = Analysis.Diagnostic in
+  t.warnings <-
+    t.warnings
+    @ List.map
+        (Format.asprintf "%a" D.pp)
+        (List.filter
+           (fun (d : D.t) -> d.D.severity <> D.Info)
+           (ivd_diags t rules));
   t.ivds <- t.ivds @ rules;
   absorb_rules t rules
 
@@ -263,9 +288,22 @@ let add_ivd_text t src =
   match Flogic.Fl_parser.parse_program ~signature:t.sg src with
   | Error e -> Error e
   | Ok parsed ->
-    t.sg <- parsed.Flogic.Fl_parser.signature;
-    add_ivd t parsed.Flogic.Fl_parser.rules;
-    Ok ()
+    let module D = Analysis.Diagnostic in
+    let errors =
+      if t.cfg.lint = Lint_reject then
+        D.errors (ivd_diags t parsed.Flogic.Fl_parser.rules)
+      else []
+    in
+    if errors <> [] then
+      Error
+        (Printf.sprintf "view rejected by lint:\n%s"
+           (String.concat "\n"
+              (List.map (Format.asprintf "%a" D.pp) errors)))
+    else begin
+      t.sg <- parsed.Flogic.Fl_parser.signature;
+      add_ivd t parsed.Flogic.Fl_parser.rules;
+      Ok ()
+    end
 
 let dmap t = t.dmap
 let index t = t.index
@@ -318,16 +356,32 @@ let build_program t =
 
 let program t = build_program t
 
+(* Dead-rule pruning hook for the engine (pass 6 acting, not just
+   reporting): concept cones come from the domain map, and predicates
+   the program itself does not define stay open so nothing reachable
+   from a source is ever dropped. *)
+let prune_hook t rules db =
+  let cones =
+    {
+      Analysis.Absint.members = Domain_map.Closure.cones t.dmap;
+      lub = (fun cs -> Domain_map.Lub.lub_unique t.dmap cs);
+    }
+  in
+  Analysis.Absint.prune ~cones
+    ~assume_nonempty:(Analysis.Kindlint.open_predicate ~signature:t.sg rules)
+    rules db
+
 let materialize t =
   match t.cache with
   | Some db -> db
   | None ->
     let p = build_program t in
+    let prune = if t.cfg.prune_dead then Some (prune_hook t) else None in
     let db =
       match Flogic.Fl_program.compile p with
       | Error e -> invalid_arg e
       | Ok dp -> (
-        match Datalog.Maintain.init dp (Datalog.Database.create ()) with
+        match Datalog.Maintain.init ?prune dp (Datalog.Database.create ()) with
         | Ok h ->
           t.maint <- Some h;
           Datalog.Maintain.db h
@@ -336,7 +390,9 @@ let materialize t =
              assertion mode, entangle negation with recursion):
              well-founded fallback, no incremental handle *)
           t.maint <- None;
-          Flogic.Fl_program.run p)
+          Flogic.Fl_program.run
+            ~config:{ Datalog.Engine.default_config with prune }
+            p)
     in
     t.cstats <- { t.cstats with rebuilt = t.cstats.rebuilt + 1 };
     t.cache <- Some db;

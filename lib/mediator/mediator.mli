@@ -25,7 +25,13 @@ type config = {
   inheritance : bool;         (** nonmonotonic default inheritance *)
   lint : lint_policy;
       (** kindlint at {!register_source} time: schema conformance,
-          anchor targets, template hygiene (default [Lint_warn]) *)
+          anchor targets, template hygiene (default [Lint_warn]); at
+          {!add_ivd} time: source provenance of the new views *)
+  prune_dead : bool;
+      (** drop rules the abstract interpreter ({!Analysis.Absint})
+          proves can derive nothing before materializing — semantics
+          preserving; counts surface in {!Datalog.Engine.report} /
+          {!Datalog.Maintain.report} (default [false]) *)
 }
 
 val default_config : config
@@ -52,7 +58,10 @@ val extend_dmap : t -> Dl.Concept.axiom list -> (unit, string) result
 val add_ivd : t -> Flogic.Molecule.rule list -> unit
 (** Install integrated-view rules (global-as-view). When a
     materialization is live, the new rules are absorbed incrementally
-    ({!Datalog.Maintain.extend_rules}) instead of invalidating it. *)
+    ({!Datalog.Maintain.extend_rules}) instead of invalidating it.
+    Unless the lint policy is [Lint_off], the rules' source provenance
+    is checked ({!Analysis.Prov_lint}) and findings accumulate in
+    {!translation_warnings}. *)
 
 val update_source :
   t ->
@@ -72,7 +81,8 @@ val update_source :
 
 val add_ivd_text : t -> string -> (unit, string) result
 (** IVD in FL surface syntax, parsed with the mediator's accumulated
-    signature. *)
+    signature. Under [Lint_reject], error-severity provenance findings
+    (references to unregistered namespaces) fail the installation. *)
 
 (** {1 Introspection} *)
 

@@ -434,7 +434,7 @@ let test_signature_messages () =
 let test_json_output () =
   let d =
     D.make ~severity:D.Error ~pass:"rules" ~code:"unsafe-rule"
-      ~location:(D.Rule { index = 3; text = "p(X) :- q(\"a\\b\")." })
+      ~location:(D.Rule { index = 3; text = "p(X) :- q(\"a\\b\")."; pos = Some (7, 1) })
       "variable \"Y\" is not range-restricted" ~hint:"bind Y"
   in
   let j = D.to_json d in
