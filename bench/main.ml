@@ -28,6 +28,8 @@ let experiments =
     ("abs", "dead-rule pruning via abstract interpretation", Exp_absint.run);
     ("q5b", "generic federated planner vs materialize-and-query", Exp_planner.q5b);
     ("dm", "Section 4 execution modes: ICs vs assertions", Exp_modes.run);
+    ("join", "join-kernel: compiled plans vs interpreted", Exp_join.run);
+    ("join-smoke", "join-kernel regression gate vs BENCH_join.json", Exp_join.smoke);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -35,7 +37,12 @@ let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map (fun (id, _, _) -> id) experiments
+    | _ ->
+      (* the smoke gate exits non-zero on regression and needs a
+         committed reference file, so it only runs when asked for *)
+      List.filter_map
+        (fun (id, _, _) -> if id = "join-smoke" then None else Some id)
+        experiments
   in
   Printf.printf
     "KIND benchmark harness — model-based mediation with domain maps (ICDE 2001)\n";

@@ -32,8 +32,9 @@ val facts : t -> string -> Logic.Atom.t list
 val all_facts : t -> Logic.Atom.t list
 
 val copy : t -> t
-(** Snapshot: relations are copied (tuple sets are shared persistently,
-    indexes rebuilt lazily). *)
+(** Snapshot: every relation is copied with its rows and built indexes
+    cloned (see {!Relation.copy}), so the copy starts warm and
+    mutations never alias. *)
 
 val merge_into : dst:t -> t -> int
 (** Add every fact of the source database into [dst]; returns the number

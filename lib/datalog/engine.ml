@@ -8,6 +8,7 @@ type config = {
   max_term_depth : int;
   max_rounds : int;
   allow_wellfounded_fallback : bool;
+  compiled_plans : bool;
   prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
 }
 
@@ -17,6 +18,7 @@ let default_config =
     max_term_depth = 8;
     max_rounds = 100_000;
     allow_wellfounded_fallback = true;
+    compiled_plans = true;
     prune = None;
   }
 
@@ -31,6 +33,8 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  index_hits : int;
+  plan_cache_hits : int;
   strata_skipped : int;
   delta_facts : int;
   rules_pruned : int;
@@ -45,6 +49,8 @@ let empty_report =
     skolems_suppressed = 0;
     joins = 0;
     tuples_scanned = 0;
+    index_hits = 0;
+    plan_cache_hits = 0;
     strata_skipped = 0;
     delta_facts = 0;
     rules_pruned = 0;
@@ -54,8 +60,9 @@ let run_stratum config stats rules db =
   match config.strategy with
   | Seminaive ->
     let o =
-      Seminaive.run ~stats ~max_term_depth:config.max_term_depth
-        ~max_rounds:config.max_rounds ~neg:db rules db
+      Seminaive.run ~stats ~compiled:config.compiled_plans
+        ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds
+        ~neg:db rules db
     in
     (o.Seminaive.rounds, o.Seminaive.derived, o.Seminaive.skolems_suppressed)
   | Naive ->
@@ -94,6 +101,8 @@ let materialize ?(config = default_config) ?report p edb =
           skolems_suppressed = skolems;
           joins = stats.Eval.joins;
           tuples_scanned = stats.Eval.tuples_scanned;
+          index_hits = stats.Eval.index_hits;
+          plan_cache_hits = stats.Eval.plan_cache_hits;
           strata_skipped = 0;
           delta_facts = 0;
           rules_pruned = pruned;
@@ -117,8 +126,8 @@ let materialize ?(config = default_config) ?report p edb =
   | Error cycle ->
     if not config.allow_wellfounded_fallback then raise (Unstratified cycle);
     let model =
-      Wellfounded.compute ~stats ~max_term_depth:config.max_term_depth
-        ~max_rounds:config.max_rounds p db
+      Wellfounded.compute ~stats ~compiled:config.compiled_plans
+        ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds p db
     in
     let undef = Database.cardinal model.Wellfounded.undefined in
     if undef > 0 then raise (Undefined_atoms undef);
@@ -128,6 +137,11 @@ let materialize ?(config = default_config) ?report p edb =
                 - Database.cardinal db)
       ~skolems:0;
     model.Wellfounded.true_facts
+
+(* derive through the join kernel selected by [config]. *)
+let config_derive config ?stats ~db ~neg ?focus r =
+  if config.compiled_plans then Plan.derive ?stats ~db ~neg ?focus r
+  else Eval.derive ?stats ~db ~neg ?focus r
 
 let extend ?(config = default_config) p db new_facts =
   let nonmono =
@@ -173,7 +187,7 @@ let extend ?(config = default_config) p db new_facts =
                       incr added;
                       ignore (Database.add_fact next a)
                     end)
-                  (Eval.derive ~db ~neg:db ~focus:(i, delta) r))
+                  (config_derive config ~db ~neg:db ~focus:(i, delta) r))
               (Eval.positive_positions r))
           rules;
         loop (rounds + 1) next
@@ -194,7 +208,6 @@ let retract ?(config = default_config) p db facts_to_remove =
       "Engine.retract: the program has negation/aggregation; DRed here \
        supports only positive stratified programs — re-materialize instead"
   else begin
-    ignore config;
     let _, p = Program.split_facts p in
     let rules = Program.rules p in
     (* 1. over-delete: propagate deletion candidates through the rules
@@ -220,7 +233,7 @@ let retract ?(config = default_config) p db facts_to_remove =
                       ignore (Database.add_fact deleted a);
                       ignore (Database.add_fact next a)
                     end)
-                  (Eval.derive ~db ~neg:db ~focus:(i, delta) r))
+                  (config_derive config ~db ~neg:db ~focus:(i, delta) r))
               (Eval.positive_positions r))
           rules;
         overdelete next
@@ -244,7 +257,7 @@ let retract ?(config = default_config) p db facts_to_remove =
                 && (not (Database.mem explicitly_removed a))
                 && Database.add_fact db a
               then changed := true)
-            (Eval.derive ~db ~neg:db r))
+            (config_derive config ~db ~neg:db r))
         rules
     done;
     let gone =
@@ -256,7 +269,7 @@ let retract ?(config = default_config) p db facts_to_remove =
 let maintain ?(config = default_config) ?report p db delta =
   match
     Maintain.of_materialized ~max_term_depth:config.max_term_depth
-      ~max_rounds:config.max_rounds p db
+      ~max_rounds:config.max_rounds ~compiled:config.compiled_plans p db
   with
   | Error e -> Error e
   | Ok h -> (
@@ -275,6 +288,8 @@ let maintain ?(config = default_config) ?report p db delta =
             skolems_suppressed = rep.Maintain.skolems_suppressed;
             joins = rep.Maintain.joins;
             tuples_scanned = rep.Maintain.tuples_scanned;
+            index_hits = rep.Maintain.index_hits;
+            plan_cache_hits = rep.Maintain.plan_cache_hits;
             strata_skipped = rep.Maintain.skipped;
             delta_facts = rep.Maintain.added + rep.Maintain.removed;
             rules_pruned = 0;

@@ -18,6 +18,12 @@ type config = {
   allow_wellfounded_fallback : bool;
       (** when [false], {!materialize} raises {!Unstratified} instead of
           switching to the alternating fixpoint *)
+  compiled_plans : bool;
+      (** evaluate rule bodies through cached compiled plans
+          ({!Plan}; the default) instead of the interpreted
+          {!Eval.solve_body} path. Same models, same join order — the
+          interpreted path is kept as the differential-testing oracle
+          and is what [strategy = Naive] always uses. *)
   prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
       (** dead-rule pruning hook, run by {!materialize} after program
           facts are loaded and before evaluation. The hook receives the
@@ -45,6 +51,12 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  index_hits : int;
+      (** join steps answered by probing a signature index rather than
+          scanning the extent *)
+  plan_cache_hits : int;
+      (** compiled-plan lookups answered from the global plan cache
+          (0 when [config.compiled_plans] is false) *)
   strata_skipped : int;
       (** maintenance only: strata left untouched because no dependency
           changed extent (0 for a full materialization) *)

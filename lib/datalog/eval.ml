@@ -5,9 +5,22 @@ module Subst = Logic.Subst
 module Unify = Logic.Unify
 module Rule = Logic.Rule
 
-type stats = { mutable joins : int; mutable tuples_scanned : int }
+type stats = {
+  mutable joins : int;
+  mutable tuples_scanned : int;
+  mutable index_hits : int;
+  mutable plan_cache_hits : int;
+  mutable order_time : float;
+}
 
-let new_stats () = { joins = 0; tuples_scanned = 0 }
+let new_stats () =
+  {
+    joins = 0;
+    tuples_scanned = 0;
+    index_hits = 0;
+    plan_cache_hits = 0;
+    order_time = 0.0;
+  }
 
 let no_stats = new_stats ()
 
@@ -18,6 +31,8 @@ let extend_pos stats rel s (a : Atom.t) =
   let pattern = List.map (Subst.apply s) a.Atom.args in
   let candidates = Relation.select rel ~pattern in
   stats.joins <- stats.joins + 1;
+  if List.exists Term.is_ground pattern then
+    stats.index_hits <- stats.index_hits + 1;
   stats.tuples_scanned <- stats.tuples_scanned + List.length candidates;
   List.filter_map
     (fun tup -> Unify.matches_list ~init:s ~patterns:pattern tup)

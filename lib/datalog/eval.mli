@@ -12,9 +12,20 @@
 type stats = {
   mutable joins : int;       (** positive-literal extension steps *)
   mutable tuples_scanned : int;
+  mutable index_hits : int;  (** extension steps answered via an index probe *)
+  mutable plan_cache_hits : int;
+      (** compiled-plan lookups answered from the plan cache (see
+          {!Plan}; 0 on the interpreted path) *)
+  mutable order_time : float;
+      (** seconds spent ordering literals / compiling plans — on the
+          compiled path this is paid once per (rule, focus), not per
+          round *)
 }
 
 val new_stats : unit -> stats
+
+val no_stats : stats
+(** Shared sink for callers that don't collect stats. *)
 
 val solve_body :
   ?stats:stats ->
@@ -43,3 +54,14 @@ val positive_positions : Logic.Rule.t -> int list
 val eval_builtin : Logic.Atom.t -> bool
 (** Evaluate a ground structural builtin atom (predicate prefixed
     [builtin:]); raises [Invalid_argument] on unknown builtins. *)
+
+val eval_agg :
+  stats ->
+  neg:Database.t ->
+  Logic.Subst.t ->
+  Logic.Literal.agg ->
+  Logic.Subst.t list
+(** Evaluate an aggregate literal under an outer substitution: solve the
+    inner conjunction against [neg], group, fold, and return one
+    extension of the substitution per surviving group. Shared with the
+    compiled-plan kernel ({!Plan}). *)

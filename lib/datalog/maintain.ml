@@ -30,6 +30,8 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  index_hits : int;
+  plan_cache_hits : int;
   touched : string list;
   per_stratum : stratum_report list;
 }
@@ -37,12 +39,20 @@ type report = {
 type t = {
   max_term_depth : int;
   max_rounds : int;
+  compiled : bool;
   mutable rules : Rule.t list;
   mutable strata : Rule.t list list;
   mutable idb : SS.t;
   edb : Database.t;
   db : Database.t;
 }
+
+(* The derive entry used by every maintenance join: compiled plans by
+   default, the interpreted oracle when the handle was built with
+   [~compiled:false]. *)
+let derive t ?stats ~db ~neg ?focus r =
+  if t.compiled then Plan.derive ?stats ~db ~neg ?focus r
+  else Eval.derive ?stats ~db ~neg ?focus r
 
 let db t = t.db
 let edb t = t.edb
@@ -95,7 +105,8 @@ let prewarm db rules =
         body_atoms)
     rules
 
-let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?prune p edb0 =
+let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?(compiled = true) ?prune
+    p edb0 =
   let facts, p' = Program.split_facts p in
   match Stratify.rules_by_stratum p' with
   | Error cycle -> Error ("Maintain.init: " ^ unstratified_msg cycle)
@@ -120,13 +131,26 @@ let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?prune p edb0 =
       (fun rs ->
         let rs = List.filter keep rs in
         if rs <> [] then
-          ignore (Seminaive.run ~stats ~max_term_depth ~max_rounds ~neg:db rs db))
+          ignore
+            (Seminaive.run ~stats ~compiled ~max_term_depth ~max_rounds ~neg:db
+               rs db))
       strata;
     let rules = Program.rules p' in
     prewarm db rules;
-    Ok { max_term_depth; max_rounds; rules; strata; idb = idb_of rules; edb; db }
+    Ok
+      {
+        max_term_depth;
+        max_rounds;
+        compiled;
+        rules;
+        strata;
+        idb = idb_of rules;
+        edb;
+        db;
+      }
 
-let of_materialized ?(max_term_depth = 8) ?(max_rounds = 100_000) p db =
+let of_materialized ?(max_term_depth = 8) ?(max_rounds = 100_000)
+    ?(compiled = true) p db =
   let facts, p' = Program.split_facts p in
   match Stratify.rules_by_stratum p' with
   | Error cycle -> Error ("Maintain.of_materialized: " ^ unstratified_msg cycle)
@@ -143,7 +167,7 @@ let of_materialized ?(max_term_depth = 8) ?(max_rounds = 100_000) p db =
       (Database.predicates db);
     List.iter (fun f -> ignore (Database.add_fact edb f)) facts;
     prewarm db rules;
-    Ok { max_term_depth; max_rounds; rules; strata; idb; edb; db }
+    Ok { max_term_depth; max_rounds; compiled; rules; strata; idb; edb; db }
 
 let too_deep t (a : Atom.t) =
   List.exists (fun x -> Logic.Term.depth x > t.max_term_depth) a.Atom.args
@@ -183,7 +207,7 @@ let dred_stratum t stats rs ~removed_db ~explicit ~unremove ~note_removed =
                     ignore (Database.add_fact overdel a);
                     ignore (Database.add_fact next a)
                   end)
-                (Eval.derive ~stats ~db:t.db ~neg:t.db ~focus:(i, d) r))
+                (derive t ~stats ~db:t.db ~neg:t.db ~focus:(i, d) r))
             (Eval.positive_positions r))
         rs;
       over next
@@ -319,8 +343,9 @@ let run_maintenance t ~new_rules ~additions ~deletions =
                   (Database.facts t.edb h))
               heads;
             let o =
-              Seminaive.run ~stats ~max_term_depth:t.max_term_depth
-                ~max_rounds:t.max_rounds ~neg:t.db rs t.db
+              Seminaive.run ~stats ~compiled:t.compiled
+                ~max_term_depth:t.max_term_depth ~max_rounds:t.max_rounds
+                ~neg:t.db rs t.db
             in
             skolems := !skolems + o.Seminaive.skolems_suppressed;
             s_rounds := o.Seminaive.rounds;
@@ -366,7 +391,7 @@ let run_maintenance t ~new_rules ~additions ~deletions =
                       (fun a ->
                         if too_deep t a then incr skolems
                         else if Database.add_fact t.db a then note_added a)
-                      (Eval.derive ~stats ~db:t.db ~neg:t.db r))
+                      (derive t ~stats ~db:t.db ~neg:t.db r))
                 rs;
             let add_relevant =
               List.exists
@@ -391,8 +416,7 @@ let run_maintenance t ~new_rules ~additions ~deletions =
                                 ignore (Database.add_fact next a);
                                 note_added a
                               end)
-                            (Eval.derive ~stats ~db:t.db ~neg:t.db
-                               ~focus:(i, d) r))
+                            (derive t ~stats ~db:t.db ~neg:t.db ~focus:(i, d) r))
                         (Eval.positive_positions r))
                     rs;
                   prop (rounds + 1) next
@@ -428,6 +452,8 @@ let run_maintenance t ~new_rules ~additions ~deletions =
     skolems_suppressed = !skolems;
     joins = stats.Eval.joins;
     tuples_scanned = stats.Eval.tuples_scanned;
+    index_hits = stats.Eval.index_hits;
+    plan_cache_hits = stats.Eval.plan_cache_hits;
     touched = SS.elements !changed;
     per_stratum;
   }

@@ -53,6 +53,8 @@ type report = {
   skolems_suppressed : int;
   joins : int;
   tuples_scanned : int;
+  index_hits : int;       (** join steps answered via an index probe *)
+  plan_cache_hits : int;  (** compiled-plan lookups answered from cache *)
   touched : string list;
       (** predicates whose extent changed — the precise invalidation
           set for result caches layered on top *)
@@ -64,6 +66,7 @@ type t
 val init :
   ?max_term_depth:int ->
   ?max_rounds:int ->
+  ?compiled:bool ->
   ?prune:(Logic.Rule.t list -> Database.t -> Logic.Rule.t list) ->
   Program.t ->
   Database.t ->
@@ -83,6 +86,7 @@ val init :
 val of_materialized :
   ?max_term_depth:int ->
   ?max_rounds:int ->
+  ?compiled:bool ->
   Program.t ->
   Database.t ->
   (t, string) result

@@ -1,6 +1,13 @@
-(** A mutable extensional relation: a set of ground tuples of one
-    predicate, with per-argument-position hash indexes built lazily and
-    maintained incrementally. *)
+(** A mutable extensional relation: a hash set of packed ground rows
+    (see {!Tuple.Packed}) with multi-column hash indexes over
+    bound-position signatures, built lazily and maintained
+    incrementally.
+
+    Index choice is selectivity-aware: a lookup over a pattern uses the
+    index on the pattern's exact ground-position signature when it
+    exists (one probe pins every ground column), otherwise either a
+    sufficiently selective narrower index (judged by distinct-key
+    counts) or a freshly built exact one. *)
 
 type t
 
@@ -13,32 +20,69 @@ val mem : t -> Tuple.t -> bool
 
 val add : t -> Tuple.t -> bool
 (** [add r tup] inserts a ground tuple; returns [true] if it was new.
-    Raises [Invalid_argument] on non-ground tuples. *)
+    Raises [Invalid_argument] on non-ground tuples. Every live index is
+    updated in place. *)
 
 val remove : t -> Tuple.t -> bool
 (** [remove r tup] deletes a tuple; returns [true] if it was present.
-    Indexes are invalidated and rebuilt lazily on the next lookup. *)
+    Index buckets are pruned in place by physical equality on the
+    canonical stored row — no structural compares. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
 val to_list : t -> Tuple.t list
-val tuples : t -> Tuple.Set.t
+(** Sorted by {!Tuple.compare} (hash-set iteration order is not
+    stable; enumerated extents stay deterministic). *)
+
+(** {1 Packed access — the join kernel's view} *)
+
+val mem_packed : t -> Tuple.Packed.t -> bool
+val add_packed : t -> Tuple.Packed.t -> bool
+val iter_packed : (Tuple.Packed.t -> unit) -> t -> unit
+val fold_packed : (Tuple.Packed.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val lookup_key : t -> positions:int array -> int array -> Tuple.Packed.t list
+(** [lookup_key r ~positions key] returns the rows whose columns at
+    [positions] (strictly increasing) have exactly the intern ids
+    [key], using (and if needed building) the index on that
+    signature. *)
+
+val lookup_key1 : t -> pos:int -> int -> Tuple.Packed.t list
+(** Single-column [lookup_key]: probes the int-keyed table directly,
+    no key array. *)
+
+val prober1 : t -> pos:int -> int -> Tuple.Packed.t list
+(** [prober1 r ~pos] resolves (building if needed) the single-column
+    index once and returns a probe function over it. The probe stays
+    valid across interleaved [add]/[remove] — index tables are mutated
+    in place, never replaced. *)
+
+val prober : t -> positions:int array -> int array -> Tuple.Packed.t list
+(** Multi-column {!prober1}. The key array is read transiently per
+    probe and may be reused by the caller. *)
+
+(** {1 Term-level lookups} *)
 
 val lookup : t -> pos:int -> Logic.Term.t -> Tuple.t list
 (** [lookup r ~pos key] returns the tuples whose [pos]-th component
-    equals [key], using (and if needed building) the index on [pos]. *)
+    equals [key], via the single-column index on [pos]. *)
 
 val warm_index : t -> pos:int -> unit
-(** Build the index on [pos] now if absent. Indexes are otherwise
-    created lazily by the first {!lookup} that needs them; a long-lived
-    caller (incremental maintenance) warms the join positions up front
-    so the first delta is not charged a full index build. *)
+(** Build the single-column index on [pos] now if absent. Indexes are
+    otherwise created lazily by the first lookup that needs them; a
+    long-lived caller (incremental maintenance) warms the join
+    positions up front so the first delta is not charged a full index
+    build. *)
 
 val select : t -> pattern:Logic.Term.t list -> Tuple.t list
 (** Tuples matching the pattern (variables are wildcards, repeated
     variables must match equal components). Uses the most selective
-    ground position as index key when one exists. *)
+    applicable index when the pattern has ground components. *)
 
 val copy : t -> t
+(** Snapshot: rows and all built indexes are cloned, so lookups after a
+    copy keep their indexes and mutations never alias across copies. *)
+
 val of_list : Tuple.t list -> t
 val pp : Format.formatter -> t -> unit

@@ -11,10 +11,13 @@ type outcome = {
 
 val run :
   ?stats:Eval.stats ->
+  ?compiled:bool ->
   ?max_term_depth:int ->
   ?max_rounds:int ->
   neg:Database.t ->
   Logic.Rule.t list ->
   Database.t ->
   outcome
-(** Same contract as {!Naive.run}. Mutates [db]. *)
+(** Same contract as {!Naive.run}. Mutates [db]. [compiled] (default
+    [true]) derives through cached {!Plan}s; [false] keeps the
+    interpreted {!Eval.derive} path — the differential-testing oracle. *)

@@ -16,8 +16,8 @@ type stats = {
 let new_stats () = { calls = 0; answers = 0; resolutions = 0 }
 
 type table = {
-  pattern : Atom.t;               (* normalized call *)
-  mutable results : Tuple.Set.t;  (* ground argument tuples *)
+  pattern : Atom.t;            (* normalized call *)
+  results : Tuple.Hashset.t;   (* ground argument tuples *)
 }
 
 type state = {
@@ -96,15 +96,14 @@ let ensure_table state a =
   match Hashtbl.find_opt state.tables key with
   | Some t -> t
   | None ->
-    let t = { pattern = normalize a; results = Tuple.Set.empty } in
+    let t = { pattern = normalize a; results = Tuple.Hashset.create 16 } in
     Hashtbl.add state.tables key t;
     state.stats.calls <- state.stats.calls + 1;
     state.version <- state.version + 1;
     t
 
 let add_answer state table tuple =
-  if not (Tuple.Set.mem tuple table.results) then begin
-    table.results <- Tuple.Set.add tuple table.results;
+  if Tuple.Hashset.add table.results (Tuple.Packed.of_list tuple) then begin
     state.stats.answers <- state.stats.answers + 1;
     state.version <- state.version + 1
   end
@@ -117,9 +116,12 @@ let rec extend_call state s (a : Atom.t) =
      table for the instantiated call. *)
   let a' = Atom.apply s a in
   let table = ensure_table state a' in
-  Tuple.Set.fold
-    (fun tuple acc ->
-      match Unify.matches_list ~init:s ~patterns:a'.Atom.args tuple with
+  Tuple.Hashset.fold
+    (fun row acc ->
+      match
+        Unify.matches_list ~init:s ~patterns:a'.Atom.args
+          (Tuple.Packed.to_list row)
+      with
       | Some s' -> s' :: acc
       | None -> acc)
     table.results []
@@ -184,7 +186,9 @@ and solve_body state ~head_stratum s0 lits =
                   ignore (ensure_table state a');
                   run_fixpoint state ~below:head_stratum;
                   let table = ensure_table state a' in
-                  not (Tuple.Set.mem a'.Atom.args table.results)
+                  match Tuple.Packed.probe a'.Atom.args with
+                  | Some row -> not (Tuple.Hashset.mem table.results row)
+                  | None -> true
                 end
                 else not (Database.mem state.edb a'))
               ss
@@ -300,8 +304,9 @@ let make_state ?(stats = new_stats ()) ?(max_rounds = 100_000) p edb =
 let answers_for state goal =
   let table = ensure_table state goal in
   run_fixpoint state;
-  Tuple.Set.fold
-    (fun tuple acc ->
+  Tuple.Hashset.fold
+    (fun row acc ->
+      let tuple = Tuple.Packed.to_list row in
       match Unify.matches_list ~patterns:goal.Atom.args tuple with
       | Some _ -> tuple :: acc
       | None -> acc)

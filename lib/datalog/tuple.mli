@@ -1,5 +1,8 @@
 (** Ground tuples: the rows stored in extensional and intensional
-    relations. A tuple is a list of ground terms. *)
+    relations. The wire-level representation stays a list of ground
+    terms; relations store {!Packed} rows that cache one intern id per
+    column ({!Logic.Term.id}) plus a combined hash, so the join kernel
+    compares, hashes and probes rows on ints. *)
 
 type t = Logic.Term.t list
 
@@ -8,4 +11,59 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
-module Set : Set.S with type elt = t
+(** Interned array rows. Construction interns every column; raises
+    [Invalid_argument] on non-ground columns. *)
+module Packed : sig
+  type t
+
+  val of_list : Logic.Term.t list -> t
+
+  val of_array : Logic.Term.t array -> t
+
+  val of_parts : Logic.Term.t array -> int array -> t
+  (** [of_parts terms ids] — kernel fast path. [ids.(i)] must be the
+      intern id of [terms.(i)] where known, or -1 to let the
+      constructor intern it. Takes ownership of both arrays. *)
+
+  val probe : Logic.Term.t list -> t option
+  (** Like {!of_list} but without interning: [None] when some column
+      was never interned — no stored row can equal such a probe. *)
+
+  val to_list : t -> Logic.Term.t list
+  val arity : t -> int
+
+  val column : t -> int -> Logic.Term.t
+  (** O(1) positional access (raises on out-of-range). *)
+
+  val column_id : t -> int -> int
+  (** The cached intern id of a column. *)
+
+  val hash : t -> int
+  val equal : t -> t -> bool
+  (** Id-based equality: int-array comparison, no structural walk. *)
+end
+
+(** Mutable hash set of packed rows keyed by their cached id-key (the
+    replacement for the former balanced-tree [Tuple.Set]). *)
+module Hashset : sig
+  type t
+
+  val create : int -> t
+  val cardinal : t -> int
+  val is_empty : t -> bool
+  val mem : t -> Packed.t -> bool
+
+  val find : t -> Packed.t -> Packed.t option
+  (** The canonical stored row equal to the probe, if any — callers use
+      it for physical-equality bucket pruning. *)
+
+  val add : t -> Packed.t -> bool
+  (** [true] if the row was new. *)
+
+  val remove : t -> Packed.t -> bool
+  (** [true] if the row was present. *)
+
+  val iter : (Packed.t -> unit) -> t -> unit
+  val fold : (Packed.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val copy : t -> t
+end

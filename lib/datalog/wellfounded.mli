@@ -20,6 +20,7 @@ type model = {
 
 val compute :
   ?stats:Eval.stats ->
+  ?compiled:bool ->
   ?max_term_depth:int ->
   ?max_rounds:int ->
   Program.t ->

@@ -1,47 +1,62 @@
 module M = Map.Make (String)
 
-type t = Term.t M.t
+(* [ground] is true when every range term is ground. That is the
+   overwhelmingly common kernel state (pattern matching against ground
+   tuples only ever binds variables to ground terms), and it licenses
+   the O(log n) fast path in [bind]: a new ground binding cannot occur
+   in any ground range, so no re-normalization pass is needed. *)
+type t = { m : Term.t M.t; ground : bool }
 
-let empty = M.empty
-let is_empty = M.is_empty
+let empty = { m = M.empty; ground = true }
+let is_empty s = M.is_empty s.m
 
 let rec apply s t =
   match t with
-  | Term.Var x -> ( match M.find_opt x s with Some u -> u | None -> t)
+  | Term.Var x -> ( match M.find_opt x s.m with Some u -> u | None -> t)
   | Term.Const _ -> t
   | Term.App (f, args) -> Term.App (f, List.map (apply s) args)
 
-let singleton x t = M.singleton x t
+let singleton x t = { m = M.singleton x t; ground = Term.is_ground t }
 
 let bind x t s =
-  match M.find_opt x s with
+  match M.find_opt x s.m with
   | Some t' when not (Term.equal t t') ->
     invalid_arg
       (Printf.sprintf "Subst.bind: %s already bound to %s, cannot rebind to %s"
          x (Term.to_string t') (Term.to_string t))
   | Some _ -> s
   | None ->
-    (* Normalise: substitute the new binding into existing ranges so the
-       substitution stays idempotent. *)
-    let one = M.singleton x t in
-    let s' = M.map (apply one) s in
-    M.add x (apply s' t) s'
+    if s.ground && Term.is_ground t then { m = M.add x t s.m; ground = true }
+    else begin
+      (* Normalise: substitute the new binding into existing ranges so
+         the substitution stays idempotent, and resolve existing
+         bindings inside the new range (e.g. bind X->Y then Y->c must
+         leave X->c, not X->Y). *)
+      let one = { m = M.singleton x t; ground = false } in
+      let m' = M.map (apply one) s.m in
+      let s' = { m = m'; ground = false } in
+      let m'' = M.add x (apply s' t) m' in
+      { m = m''; ground = M.for_all (fun _ u -> Term.is_ground u) m'' }
+    end
 
-let find x s = M.find_opt x s
-let mem x s = M.mem x s
-let domain s = M.fold (fun x _ acc -> x :: acc) s [] |> List.rev
-let bindings s = M.bindings s
-let cardinal s = M.cardinal s
+let find x s = M.find_opt x s.m
+let mem x s = M.mem x s.m
+let domain s = M.fold (fun x _ acc -> x :: acc) s.m [] |> List.rev
+let bindings s = M.bindings s.m
+let cardinal s = M.cardinal s.m
+
+let of_map m = { m; ground = M.for_all (fun _ u -> Term.is_ground u) m }
 
 let compose s1 s2 =
-  let pushed = M.map (apply s2) s1 in
-  M.union (fun _ t _ -> Some t) pushed s2
+  let pushed = M.map (apply s2) s1.m in
+  of_map (M.union (fun _ t _ -> Some t) pushed s2.m)
 
 let restrict xs s =
   let keep = List.fold_left (fun acc x -> M.add x () acc) M.empty xs in
-  M.filter (fun x _ -> M.mem x keep) s
+  (* dropping bindings cannot un-ground the remaining ranges *)
+  { s with m = M.filter (fun x _ -> M.mem x keep) s.m }
 
-let equal s1 s2 = M.equal Term.equal s1 s2
+let equal s1 s2 = M.equal Term.equal s1.m s2.m
 
 let pp ppf s =
   let pp_binding ppf (x, t) = Format.fprintf ppf "%s := %a" x Term.pp t in
@@ -49,4 +64,4 @@ let pp ppf s =
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        pp_binding)
-    (M.bindings s)
+    (M.bindings s.m)

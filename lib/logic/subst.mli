@@ -14,7 +14,13 @@ val singleton : string -> Term.t -> t
 val bind : string -> Term.t -> t -> t
 (** [bind x t s] extends [s] with [x -> t], normalising existing
     bindings so the result stays idempotent. Raises [Invalid_argument]
-    if [x] is already bound to a different term. *)
+    if [x] is already bound to a different term.
+
+    When [t] is ground and every existing range term is ground (the
+    common case in the join kernel, which only ever matches variables
+    against ground tuples), the normalisation pass is skipped: the new
+    binding cannot occur in any range, so a plain insert is already
+    idempotent. *)
 
 val find : string -> t -> Term.t option
 val mem : string -> t -> bool

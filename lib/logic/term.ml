@@ -123,3 +123,49 @@ let rec pp ppf = function
       args
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Intern pool: every ground term gets a stable small int id, so the
+   datalog kernel can compare and hash terms in O(1) via cached ids
+   instead of walking structures. The pool lives here (not in Intern)
+   to avoid a dependency cycle; {!Intern} re-exports it together with
+   pool introspection. Ids are process-global and never recycled. *)
+
+module H = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = Hashtbl.hash
+end)
+
+let pool : int H.t = H.create 4096
+let pool_rev : t array ref = ref (Array.make 4096 (Const (Int 0)))
+let pool_next = ref 0
+
+let id t =
+  match H.find_opt pool t with
+  | Some i -> i
+  | None ->
+    if not (is_ground t) then
+      invalid_arg ("Term.id: cannot intern non-ground term " ^ to_string t);
+    let i = !pool_next in
+    incr pool_next;
+    H.add pool t i;
+    let cap = Array.length !pool_rev in
+    if i >= cap then begin
+      let bigger = Array.make (2 * cap) t in
+      Array.blit !pool_rev 0 bigger 0 cap;
+      pool_rev := bigger
+    end;
+    !pool_rev.(i) <- t;
+    i
+
+let id_opt t = if is_ground t then Some (id t) else None
+
+let find_id t = H.find_opt pool t
+
+let of_id i =
+  if i < 0 || i >= !pool_next then invalid_arg "Term.of_id: unknown id"
+  else !pool_rev.(i)
+
+let pool_size () = !pool_next

@@ -70,6 +70,34 @@ val equal_const : const -> const -> bool
 val compare_list : t list -> t list -> int
 (** Lexicographic comparison; shorter lists sort first. *)
 
+(** {1 Interning}
+
+    Every ground term can be interned into a process-global pool that
+    assigns it a stable small integer id. Two ground terms are equal iff
+    their ids are equal, so the datalog kernel compares and hashes rows
+    by cached int keys instead of structural walks. See {!Intern} for
+    pool introspection. *)
+
+val id : t -> int
+(** [id t] interns the ground term [t] (a memoized hash-consing lookup)
+    and returns its id. Raises [Invalid_argument] on non-ground terms. *)
+
+val id_opt : t -> int option
+(** [Some (id t)] when [t] is ground, [None] otherwise. *)
+
+val find_id : t -> int option
+(** The id of an already-interned term, without interning: [None] means
+    the term has never been interned (so it cannot occur in any
+    interned row). Negative membership probes use this to avoid growing
+    the pool. *)
+
+val of_id : int -> t
+(** The term interned under an id. Raises [Invalid_argument] on ids the
+    pool never issued. *)
+
+val pool_size : unit -> int
+(** Number of distinct ground terms interned so far. *)
+
 (** {1 Pretty-printing} *)
 
 val pp_const : Format.formatter -> const -> unit

@@ -65,6 +65,26 @@ let test_relation_index_after_add () =
   Alcotest.(check int) "index maintained incrementally" 2
     (List.length (Relation.lookup r ~pos:0 (s "a")))
 
+let test_relation_copy_lookup () =
+  (* Copies clone index tables: an index built on the original must
+     answer lookups on the copy, and mutations after the copy must not
+     leak across in either direction — including through a lazily
+     pending insertion log shared at copy time. *)
+  let r = Relation.create () in
+  ignore (Relation.add r [ s "a"; s "b" ]);
+  ignore (Relation.lookup r ~pos:0 (s "a"));
+  (* this row is only in the insertion log, not yet in the index *)
+  ignore (Relation.add r [ s "a"; s "c" ]);
+  let r2 = Relation.copy r in
+  Alcotest.(check int) "copy answers via cloned index" 2
+    (List.length (Relation.lookup r2 ~pos:0 (s "a")));
+  ignore (Relation.add r2 [ s "a"; s "d" ]);
+  ignore (Relation.remove r [ s "a"; s "b" ]);
+  Alcotest.(check int) "original unaffected by copy's insert" 1
+    (List.length (Relation.lookup r ~pos:0 (s "a")));
+  Alcotest.(check int) "copy unaffected by original's remove" 3
+    (List.length (Relation.lookup r2 ~pos:0 (s "a")))
+
 let test_database () =
   let db = Database.create () in
   ignore (Database.add_fact db (atom "p" [ s "a" ]));
@@ -464,6 +484,7 @@ let suites =
         Alcotest.test_case "relation basics" `Quick test_relation_basics;
         Alcotest.test_case "lookup/select" `Quick test_relation_lookup_select;
         Alcotest.test_case "incremental index" `Quick test_relation_index_after_add;
+        Alcotest.test_case "lookup after copy" `Quick test_relation_copy_lookup;
         Alcotest.test_case "database" `Quick test_database;
       ] );
     ( "datalog.stratify",

@@ -51,9 +51,10 @@ let ground_atom st (name, arity) =
 
 (* Rules for [p_i] may read EDB predicates and [p_0..p_i] positively
    (so same-layer recursion happens) and EDB predicates and strictly
-   lower [p_j] under negation — stratified by construction. Safety by
-   construction too: head and negated-literal variables are drawn from
-   the variables of the positive body literals. *)
+   lower [p_j] under negation or aggregation — stratified by
+   construction. Safety by construction too: head and negated-literal
+   variables are drawn from the variables of the positive body
+   literals (plus an aggregate's result variable). *)
 let gen_rules st =
   let var_pool = [ "A"; "B"; "C"; "D" ] in
   let nidb = 4 + Random.State.int st 3 in
@@ -74,8 +75,34 @@ let gen_rules st =
                  if Random.State.int st 100 < 20 then const st
                  else Term.var (pick st var_pool))))
     in
+    (* Sometimes a count aggregate over a strictly-lower predicate:
+       [N = count{GA [GB]; q(GA,GB)}]. The result variable feeds the
+       head / negation pool; a grouped aggregate yields one binding of
+       N per group value, an ungrouped one a single total. Aggregates
+       also exercise the compiled path's non-streaming plan shape. *)
+    let aggregates =
+      if Random.State.int st 100 < 25 then
+        let name, ar = pick st neg_pool in
+        let grouped = ar >= 2 && Random.State.int st 2 = 0 in
+        let args =
+          List.init ar (fun k ->
+              if k = 0 then Term.var "GA"
+              else if k = 1 && grouped then Term.var "GB"
+              else if Random.State.int st 100 < 30 then const st
+              else Term.var (Printf.sprintf "G%d" k))
+        in
+        [
+          Literal.count ~target:(Term.var "GA")
+            ~group_by:(if grouped then [ Term.var "GB" ] else [])
+            ~result:(Term.var "N")
+            [ Atom.make name args ];
+        ]
+      else []
+    in
     let pv =
-      List.sort_uniq compare (List.concat_map Atom.vars positives)
+      List.sort_uniq compare
+        (List.concat_map Atom.vars positives
+        @ if aggregates <> [] then [ "N" ] else [])
     in
     let bound_or_const () =
       if pv <> [] && Random.State.int st 100 < 80 then
@@ -92,7 +119,7 @@ let gen_rules st =
       (Atom.make h (List.init ha (fun _ -> bound_or_const ())))
       (List.map (fun (a : Atom.t) -> Literal.pos a.Atom.pred a.Atom.args)
          positives
-      @ negatives)
+      @ negatives @ aggregates)
   in
   let rules =
     List.concat
@@ -141,6 +168,9 @@ let check_same ctx a b =
 
 let naive_config = { Engine.default_config with strategy = Engine.Naive }
 
+let interpreted_config =
+  { Engine.default_config with Engine.compiled_plans = false }
+
 let updated_edb edb (d : Maintain.delta) =
   let e = Database.copy edb in
   List.iter (fun f -> ignore (Database.remove_fact e f)) d.Maintain.deletions;
@@ -162,6 +192,11 @@ let run_case seed =
   let full = Engine.materialize p edb in
   check_same (ctx "naive == seminaive")
     (Engine.materialize ~config:naive_config p edb)
+    full;
+  (* the compiled join kernel is a pure optimization: switching it off
+     must not change the model (the interpreted path is the oracle) *)
+  check_same (ctx "compiled == interpreted")
+    (Engine.materialize ~config:interpreted_config p edb)
     full;
   let fresh () = fail_on_error "Maintain.init" (Maintain.init p edb) in
   let h = fresh () in
@@ -247,7 +282,49 @@ let wf_report () =
   Alcotest.(check bool) "tuples_scanned counted" true
     (!rep.Engine.tuples_scanned > 0);
   Alcotest.(check bool) "derived counted" true (!rep.Engine.derived >= 1);
-  Alcotest.(check bool) "rounds counted" true (!rep.Engine.rounds > 0)
+  Alcotest.(check bool) "rounds counted" true (!rep.Engine.rounds > 0);
+  (* the alternating-fixpoint fallback also runs compiled plans, so it
+     too must be a pure optimization *)
+  check_same "wf: compiled == interpreted"
+    (Engine.materialize ~config:interpreted_config p edb)
+    db
+
+(* ------------------------------------------------------------------ *)
+(* The new kernel counters: compiled runs answer joins through the
+   plan cache and index probes; with the kernel switched off the plan
+   cache is never consulted. *)
+
+let kernel_counters () =
+  let v = Term.var and s = Term.sym in
+  let p =
+    Program.make_exn
+      (Rule.make
+         (Atom.make "tc" [ v "X"; v "Y" ])
+         [ Literal.pos "edge" [ v "X"; v "Y" ] ]
+      :: Rule.make
+           (Atom.make "tc" [ v "X"; v "Y" ])
+           [ Literal.pos "tc" [ v "X"; v "Z" ]; Literal.pos "edge" [ v "Z"; v "Y" ] ]
+      :: List.init 24 (fun k ->
+             Rule.fact
+               (Atom.make "edge"
+                  [ s (Printf.sprintf "m%d" k); s (Printf.sprintf "m%d" (k + 1)) ])))
+  in
+  (* first run warms the global plan cache, second run must hit it *)
+  ignore (Engine.materialize p (Database.create ()));
+  let rep = ref Engine.empty_report in
+  let db = Engine.materialize ~report:rep p (Database.create ()) in
+  Alcotest.(check int) "full closure" (24 * 25 / 2)
+    (List.length (Database.all_facts db) - 24);
+  Alcotest.(check bool) "compiled: plan_cache_hits > 0" true
+    (!rep.Engine.plan_cache_hits > 0);
+  Alcotest.(check bool) "compiled: index_hits > 0" true
+    (!rep.Engine.index_hits > 0);
+  let rep_i = ref Engine.empty_report in
+  ignore
+    (Engine.materialize ~config:interpreted_config ~report:rep_i p
+       (Database.create ()));
+  Alcotest.(check int) "interpreted: plan_cache_hits = 0" 0
+    !rep_i.Engine.plan_cache_hits
 
 let suites =
   [
@@ -259,5 +336,7 @@ let suites =
           `Quick differential;
         Alcotest.test_case "well-founded fallback fills the report" `Quick
           wf_report;
+        Alcotest.test_case "compiled kernel fills the plan counters" `Quick
+          kernel_counters;
       ] );
   ]

@@ -69,6 +69,36 @@ let test_subst_idempotent () =
   Alcotest.check term_testable "X normalised" (f "f" [ s "b" ])
     (Subst.apply sub (v "X"))
 
+let test_subst_ground_fast_path () =
+  (* The ground fast path in [bind] (all-ground substitution extended
+     with a ground term skips re-normalization) must be invisible once
+     non-ground bindings enter. Bind ground X via the fast path, then a
+     non-ground range mentioning X: the new range must still resolve
+     X. *)
+  let sub = Subst.bind "X" (s "a") Subst.empty in
+  let sub = Subst.bind "Y" (f "f" [ v "X"; v "Z" ]) sub in
+  Alcotest.check term_testable "new range resolved against ground bindings"
+    (f "f" [ s "a"; v "Z" ])
+    (Subst.apply sub (v "Y"));
+  (* grounding Z must normalise Y's range (slow path: sub is no longer
+     all-ground, even though the bound term is ground) *)
+  let sub = Subst.bind "Z" (s "b") sub in
+  Alcotest.check term_testable "existing range normalised"
+    (f "f" [ s "a"; s "b" ])
+    (Subst.apply sub (v "Y"));
+  (* back to an all-ground substitution: later fast-path binds must
+     keep idempotency — no range may mention the new variable *)
+  let sub = Subst.bind "W" (s "c") sub in
+  List.iter
+    (fun (x, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "range of %s is ground" x)
+        true (Term.is_ground t))
+    (Subst.bindings sub);
+  Alcotest.check term_testable "apply is idempotent"
+    (Subst.apply sub (f "g" [ v "X"; v "Y"; v "W" ]))
+    (Subst.apply sub (Subst.apply sub (f "g" [ v "X"; v "Y"; v "W" ])))
+
 let test_subst_rebind_conflict () =
   let sub = Subst.bind "X" (s "a") Subst.empty in
   (match Subst.bind "X" (s "b") sub with
@@ -305,6 +335,8 @@ let suites =
       [
         Alcotest.test_case "apply" `Quick test_subst_apply;
         Alcotest.test_case "idempotence" `Quick test_subst_idempotent;
+        Alcotest.test_case "ground fast path" `Quick
+          test_subst_ground_fast_path;
         Alcotest.test_case "rebind conflict" `Quick test_subst_rebind_conflict;
         Alcotest.test_case "compose" `Quick test_subst_compose;
         Alcotest.test_case "restrict" `Quick test_subst_restrict;
