@@ -29,6 +29,7 @@ let experiments =
     ("q5b", "generic federated planner vs materialize-and-query", Exp_planner.q5b);
     ("dm", "Section 4 execution modes: ICs vs assertions", Exp_modes.run);
     ("join", "join-kernel: compiled plans vs interpreted", Exp_join.run);
+    ("faults", "fault-injection runtime: overhead and fast-fail", Exp_faults.run);
     ("join-smoke", "join-kernel regression gate vs BENCH_join.json", Exp_join.smoke);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

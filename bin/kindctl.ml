@@ -765,6 +765,152 @@ let maintain_cmd =
              maintenance + cache statistics")
     Term.(const run $ scale $ seed $ updates $ goal $ assertion)
 
+(* ------------------------------------------------------------------ *)
+(* health: the fault-tolerance runtime over the demo federation *)
+
+let health_cmd =
+  let scale =
+    Arg.(value & opt int 20 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"SRC=KIND[:N]"
+          ~doc:
+            "inject a deterministic fault plan on a demo source (SYNAPSE, \
+             NCMIR, SENSELAB) before querying. KIND is one of: crash, \
+             timeout, flaky[:K] (K transient errors, default 2), slow[:MS], \
+             garble, truncate[:PERMILLE], stale. Repeatable.")
+  in
+  let revives =
+    Arg.(
+      value & opt_all string []
+      & info [ "revive" ] ~docv:"SRC"
+          ~doc:
+            "after the degraded query, bring SRC back through the Figure-3 \
+             re-registration path and query again. Repeatable.")
+  in
+  let goal =
+    Arg.(value & opt string "X : spine, X[diameter ->> D], D > 0.6"
+           & info [ "q"; "query" ] ~docv:"GOAL")
+  in
+  let run scale seed faults revives goal =
+    let module F = Wrapper.Fault in
+    let module M = Mediation.Mediator in
+    let module R = Mediation.Runtime in
+    let parse_fault spec =
+      match String.index_opt spec '=' with
+      | None -> Error (spec ^ ": expected SRC=KIND[:N]")
+      | Some i ->
+        let src = String.sub spec 0 i in
+        let kind = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let kind, arg =
+          match String.index_opt kind ':' with
+          | None -> (kind, None)
+          | Some j ->
+            ( String.sub kind 0 j,
+              int_of_string_opt
+                (String.sub kind (j + 1) (String.length kind - j - 1)) )
+        in
+        let script events = Ok (src, F.Script events) in
+        (match kind with
+        | "crash" -> script [ { F.at = 1; fault = F.Crash } ]
+        | "stale" -> script [ { F.at = 1; fault = F.Stale_caps } ]
+        | "flaky" ->
+          script
+            (List.init
+               (Option.value ~default:2 arg)
+               (fun i -> { F.at = i + 1; fault = F.Transient "flaky" }))
+        | "timeout" -> Ok (src, F.Always F.Timeout)
+        | "slow" -> Ok (src, F.Always (F.Delay (Option.value ~default:80 arg)))
+        | "garble" -> Ok (src, F.Always F.Garble)
+        | "truncate" ->
+          Ok (src, F.Always (F.Truncate (Option.value ~default:500 arg)))
+        | k -> Error (spec ^ ": unknown fault kind " ^ k))
+    in
+    let med = Neuro.Sources.standard_mediator { Neuro.Sources.seed; scale } in
+    let apply spec =
+      match parse_fault spec with
+      | Error e ->
+        prerr_endline e;
+        false
+      | Ok (src, plan) -> (
+        match M.set_fault_plan med ~source:src plan with
+        | Ok () -> true
+        | Error e ->
+          prerr_endline e;
+          false)
+    in
+    let pp_completeness (c : M.completeness) =
+      Printf.printf "contributed: %s\n"
+        (if c.M.contributed = [] then "(none)"
+         else String.concat ", " c.M.contributed);
+      List.iter
+        (fun (s, why) -> Printf.printf "skipped:     %s (%s)\n" s why)
+        c.M.skipped;
+      if c.M.suspect <> [] then
+        Printf.printf "suspect:     %s\n" (String.concat ", " c.M.suspect)
+    in
+    let ask label =
+      match M.query_text med goal with
+      | Error e ->
+        prerr_endline e;
+        false
+      | Ok answers ->
+        Printf.printf "%-24s %d answer(s)\n" label (List.length answers);
+        pp_completeness (M.completeness med);
+        true
+    in
+    if List.for_all apply faults then begin
+      let ok = ref (ask "query:") in
+      print_newline ();
+      Printf.printf "%-10s %-9s %6s %6s %7s %6s %9s\n" "source" "breaker"
+        "calls" "fails" "retries" "trips" "absorbed";
+      List.iter
+        (fun (name, (h : R.health)) ->
+          Printf.printf "%-10s %-9s %6d %6d %7d %6d %9d%s\n" name
+            (R.state_to_string h.R.state)
+            h.R.calls h.R.failures h.R.retries h.R.trips h.R.absorbed
+            (if h.R.quarantined then "  [quarantined]" else ""))
+        (M.health med);
+      let radius = Mediation.Lint.blast_radius med in
+      List.iter
+        (fun (s, _) ->
+          match List.assoc_opt s radius with
+          | Some (_ :: _ as preds) ->
+            Printf.printf "losing %s can deplete: %s\n" s
+              (String.concat ", " preds)
+          | _ -> ())
+        (M.completeness med).M.skipped;
+      List.iter
+        (fun src ->
+          print_newline ();
+          match M.revive_source med src with
+          | Error e ->
+            prerr_endline e;
+            ok := false
+          | Ok () ->
+            Printf.printf "revived %s\n" src;
+            ok := !ok && ask "query after revival:")
+        revives;
+      let totals = R.totals (M.runtime med) in
+      Printf.printf
+        "\nruntime: %d fetch(es), %d failure(s), %d retrie(s), %d trip(s); \
+         %d degraded quer(ies); virtual clock %d ms\n"
+        totals.R.total_calls totals.R.total_failures totals.R.total_retries
+        totals.R.total_trips (M.degraded_queries med)
+        (R.clock (M.runtime med));
+      if !ok then 0 else 1
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"query the demo federation under injected faults and report \
+             per-source breaker state, completeness and degradation")
+    Term.(const run $ scale $ seed $ faults $ revives $ goal)
+
 let () =
   let info =
     Cmd.info "kindctl" ~version:"1.0.0"
@@ -776,5 +922,5 @@ let () =
           [
             run_cmd; check_cmd; lint_cmd; provenance_cmd; explain_cmd;
             translate_cmd; dmap_cmd; classify_cmd; demo_cmd; query_cmd;
-            maintain_cmd;
+            maintain_cmd; health_cmd;
           ]))

@@ -47,20 +47,26 @@ let materialize_distributions ?spec med ~organism ~ion ~root =
   let proteins =
     List.concat_map
       (fun src_name ->
-        match Mediator.find_source med src_name with
-        | None -> []
-        | Some src -> (
-          try
-            Wrapper.Source.fetch_instances src ~cls:sp.Section5.protein_class
-              ~selections:[ (sp.Section5.ion_field, Logic.Literal.Eq, Term.sym ion) ]
-            |> List.concat_map (fun (o : Wrapper.Store.obj) ->
-                   List.filter_map
-                     (fun (m, v) ->
-                       if String.equal m sp.Section5.name_field then
-                         Term.as_string v
-                       else None)
-                     o.Wrapper.Store.values)
-          with Wrapper.Source.Unsupported _ -> []))
+        (* fetch through the fault-tolerance stack: a skipped source
+           contributes nothing rather than sinking the whole IVD *)
+        match
+          Mediator.fetch med ~source:src_name (fun src ->
+              try
+                Wrapper.Source.fetch_instances src
+                  ~cls:sp.Section5.protein_class
+                  ~selections:
+                    [ (sp.Section5.ion_field, Logic.Literal.Eq, Term.sym ion) ]
+                |> List.concat_map (fun (o : Wrapper.Store.obj) ->
+                       List.filter_map
+                         (fun (m, v) ->
+                           if String.equal m sp.Section5.name_field then
+                             Term.as_string v
+                           else None)
+                         o.Wrapper.Store.values)
+              with Wrapper.Source.Unsupported _ -> [])
+        with
+        | Ok names -> names
+        | Error _ -> [])
       sources
     |> List.sort_uniq String.compare
   in

@@ -35,6 +35,27 @@ let provenance m =
   A.Prov_lint.analyze ~require_sources:true ~sources:(source_names m)
     ~class_sources:(class_sources m) (Mediator.ivds m)
 
+let blast_radius m =
+  (* which derived predicates each source can transitively reach —
+     the static counterpart of a completeness report's [suspect] set *)
+  let result =
+    A.Prov_lint.analyze ~sources:(source_names m)
+      ~class_sources:(class_sources m)
+      (Mediator.program m).Flogic.Fl_program.rules
+  in
+  List.map
+    (fun s ->
+      let name = Source.name s in
+      let reach =
+        List.filter_map
+          (fun (p, srcs) ->
+            if List.exists (String.equal name) srcs then Some p else None)
+          result.A.Prov_lint.predicates
+        |> List.sort_uniq String.compare
+      in
+      (name, reach))
+    (Mediator.sources m)
+
 let federation m =
   let dm = Mediator.dmap m in
   let known_class c = Dmap.mem dm c in

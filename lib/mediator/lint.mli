@@ -38,5 +38,12 @@ val provenance : Mediator.t -> Analysis.Prov_lint.result
     sources can transitively reach each derived predicate
     ([kindctl provenance] renders this). *)
 
+val blast_radius : Mediator.t -> (string * string list) list
+(** Per registered source, the derived predicates it can transitively
+    reach in the federation program (pass 7's provenance inference) —
+    the static counterpart of {!Mediator.completeness}'s [suspect] set:
+    losing that source can deplete exactly these extents.
+    [kindctl health] renders this next to the live counters. *)
+
 val federation : Mediator.t -> Analysis.Diagnostic.t list
 (** All passes, sorted by severity. *)

@@ -15,6 +15,7 @@ type config = {
   inheritance : bool;
   lint : lint_policy;
   prune_dead : bool;
+  runtime : Runtime.policy;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     inheritance = false;
     lint = Lint_warn;
     prune_dead = false;
+    runtime = Runtime.default_policy;
   }
 
 module SSet = Set.Make (String)
@@ -43,6 +45,12 @@ let empty_cache_stats =
 
 type cache_entry = { answers : Logic.Subst.t list; reads : SSet.t }
 
+type completeness = {
+  contributed : string list;
+  skipped : (string * string) list;
+  suspect : string list;
+}
+
 type t = {
   mutable dmap : Dmap.t;
   mutable index : Index.t;
@@ -59,6 +67,10 @@ type t = {
   mutable warnings : string list;
   mutable cfg : config;
   plugins : Cm_plugins.Plugin.registry;
+  channels : (string, Wrapper.Fault.t) Hashtbl.t;
+  runtime : Runtime.t;
+  mutable last_completeness : completeness option;
+  mutable degraded : int;  (* queries answered while sources were skipped *)
 }
 
 let create ?(config = default_config) dmap =
@@ -76,6 +88,10 @@ let create ?(config = default_config) dmap =
     warnings = [];
     cfg = config;
     plugins = Cm_plugins.Defaults.registry ();
+    channels = Hashtbl.create 8;
+    runtime = Runtime.create ~policy:config.runtime ();
+    last_completeness = None;
+    degraded = 0;
   }
 
 let invalidate t =
@@ -159,6 +175,22 @@ let absorb_rules t mol_rules =
 
 let lift_class _t ~source cls = Namespace.qualify ~source cls
 
+(* ------------------------------------------------------------------ *)
+(* Fault channels: every query-time fetch from a registered source goes
+   through a Wrapper.Fault channel under the Runtime retry/breaker
+   policies. Reliable unless a plan is installed. *)
+
+let channel t src =
+  let name = Source.name src in
+  match Hashtbl.find_opt t.channels name with
+  | Some ch -> ch
+  | None ->
+    let ch = Wrapper.Fault.wrap src in
+    Hashtbl.replace t.channels name ch;
+    ch
+
+let find_channel t name = Hashtbl.find_opt t.channels name
+
 (* Static checks applied at registration time, per the [lint] policy:
    the source's own schema conformance, anchors into the domain map,
    and query-template hygiene. Whole-federation analysis (IVD
@@ -221,6 +253,13 @@ let register_source t src =
       | Ok sg ->
         t.sg <- sg;
         t.sources <- t.sources @ [ src ];
+        ignore (channel t src);
+        (* data arriving at registration time is fresh by definition *)
+        (match t.last_completeness with
+        | Some c ->
+          t.last_completeness <-
+            Some { c with contributed = c.contributed @ [ name ] }
+        | None -> ());
         List.iter
           (fun (cls, concept, context) ->
             t.index <-
@@ -317,6 +356,7 @@ let config t = t.cfg
 let set_config t cfg =
   if t.cfg <> cfg then begin
     t.cfg <- cfg;
+    Runtime.set_policy t.runtime cfg.runtime;
     invalidate t
   end
 
@@ -334,7 +374,7 @@ let anchor_rules t =
       anchor_rule ~cm_class:a.Index.cm_class ~concept:a.Index.concept)
     (Index.anchors t.index)
 
-let build_program t =
+let build_program_with t ~data =
   let dm_prog, warnings =
     Domain_map.To_program.program ~mode:t.cfg.dl_mode t.dmap
   in
@@ -345,7 +385,6 @@ let build_program t =
         Gcm.Schema.to_rules (Namespace.schema ~source:(Source.name src) (Source.schema src)))
       t.sources
   in
-  let data = List.concat_map source_facts t.sources in
   let rules =
     schema_rules @ anchor_rules t
     @ List.map Molecule.fact data
@@ -354,7 +393,58 @@ let build_program t =
   Flogic.Fl_program.merge dm_prog
     (Flogic.Fl_program.make ~inheritance:t.cfg.inheritance ~signature:t.sg rules)
 
+(* the fault-free program: data read straight from the stores, no
+   channels — what static analysis (Lint.federation) looks at *)
+let build_program t =
+  build_program_with t ~data:(List.concat_map source_facts t.sources)
+
 let program t = build_program t
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: pull each source's data through its fault
+   channel; sources the runtime gives up on are skipped, and the
+   materialization proceeds without them, tagged with a completeness
+   report. *)
+
+(* Prov_lint's provenance inference, turned on the skipped sources:
+   a derived predicate is suspect when some skipped source can reach
+   it — its extent may be missing answers. *)
+let suspect_predicates t ~skipped =
+  if skipped = [] then []
+  else
+    let skip = SSet.of_list (List.map fst skipped) in
+    let result =
+      Analysis.Prov_lint.analyze
+        ~sources:(List.map Source.name t.sources)
+        ~class_sources:(fun c ->
+          if Dmap.mem t.dmap c then Index.sources_at t.dmap t.index ~concept:c
+          else [])
+        (anchor_rules t @ t.ivds)
+    in
+    List.filter_map
+      (fun (p, srcs) ->
+        if List.exists (fun s -> SSet.mem s skip) srcs then Some p else None)
+      result.Analysis.Prov_lint.predicates
+    |> List.sort_uniq String.compare
+
+let gather_facts t =
+  let data, contributed, skipped =
+    List.fold_left
+      (fun (data, contributed, skipped) src ->
+        let ch = channel t src in
+        match Runtime.fetch t.runtime ch source_facts with
+        | Ok fs -> (fs :: data, Source.name src :: contributed, skipped)
+        | Error reason ->
+          (data, contributed, (Source.name src, reason) :: skipped))
+      ([], [], []) t.sources
+  in
+  let skipped = List.rev skipped in
+  ( List.concat (List.rev data),
+    {
+      contributed = List.rev contributed;
+      skipped;
+      suspect = suspect_predicates t ~skipped;
+    } )
 
 (* Dead-rule pruning hook for the engine (pass 6 acting, not just
    reporting): concept cones come from the domain map, and predicates
@@ -375,7 +465,9 @@ let materialize t =
   match t.cache with
   | Some db -> db
   | None ->
-    let p = build_program t in
+    let data, completeness = gather_facts t in
+    t.last_completeness <- Some completeness;
+    let p = build_program_with t ~data in
     let prune = if t.cfg.prune_dead then Some (prune_hook t) else None in
     let db =
       match Flogic.Fl_program.compile p with
@@ -400,6 +492,9 @@ let materialize t =
 
 let query t lits =
   let db = materialize t in
+  (match t.last_completeness with
+  | Some { skipped = _ :: _; _ } -> t.degraded <- t.degraded + 1
+  | _ -> ());
   let compiled = List.concat_map (Flogic.Compile.body_literals t.sg) lits in
   let key = String.concat " & " (List.map Logic.Literal.to_string compiled) in
   match Hashtbl.find_opt t.qcache key with
@@ -481,3 +576,87 @@ let select_sources_for_pairs t ~pairs =
   if t.cfg.use_semantic_index then
     Index.sources_for_pairs t.dmap t.index ~pairs
   else List.map Source.name t.sources
+
+(* ------------------------------------------------------------------ *)
+(* The fault-tolerance surface *)
+
+let runtime t = t.runtime
+let degraded_queries t = t.degraded
+
+let set_fault_plan t ~source plan =
+  match find_source t source with
+  | None -> Error (Printf.sprintf "Mediator.set_fault_plan: unknown source %s" source)
+  | Some src ->
+    Hashtbl.replace t.channels source (Wrapper.Fault.wrap ~plan src);
+    invalidate t;
+    Ok ()
+
+let fault_channel t source = find_channel t source
+
+let capabilities_of t source =
+  match find_source t source with
+  | None -> []
+  | Some src -> (
+    match find_channel t source with
+    | Some ch -> Wrapper.Fault.capabilities ch
+    | None -> Source.capabilities src)
+
+let fetch t ~source f =
+  match find_source t source with
+  | None -> Error (Printf.sprintf "Mediator.fetch: unknown source %s" source)
+  | Some src -> Runtime.fetch t.runtime (channel t src) f
+
+let completeness t =
+  ignore (materialize t);
+  match t.last_completeness with
+  | Some c -> c
+  | None ->
+    (* unreachable after materialize, but keep it total *)
+    { contributed = List.map Source.name t.sources; skipped = []; suspect = [] }
+
+type report = { answers : Logic.Subst.t list; completeness : completeness }
+
+let query_report t lits =
+  let answers = query t lits in
+  { answers; completeness = completeness t }
+
+let health t =
+  List.map
+    (fun src ->
+      let name = Source.name src in
+      (name, Runtime.health t.runtime name))
+    t.sources
+
+(* Figure 3 again: a quarantined source comes back by re-registering.
+   The schema and anchors are already installed, so revival re-opens a
+   pristine channel, lifts the quarantine, and replays the source's
+   current data into the live materialization as a registration delta. *)
+let revive_source t source =
+  match find_source t source with
+  | None ->
+    Error (Printf.sprintf "Mediator.revive_source: unknown source %s" source)
+  | Some src ->
+    Hashtbl.replace t.channels source (Wrapper.Fault.wrap src);
+    Runtime.revive t.runtime source;
+    let was_skipped =
+      match t.last_completeness with
+      | Some c -> List.mem_assoc source c.skipped
+      | None -> false
+    in
+    if was_skipped then begin
+      (match t.cache with
+      | Some _ -> absorb_rules t (List.map Molecule.fact (source_facts src))
+      | None -> ());
+      match t.last_completeness with
+      | Some c ->
+        let skipped = List.remove_assoc source c.skipped in
+        t.last_completeness <-
+          Some
+            {
+              contributed = c.contributed @ [ source ];
+              skipped;
+              suspect = suspect_predicates t ~skipped;
+            }
+      | None -> ()
+    end;
+    Ok ()

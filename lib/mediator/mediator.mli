@@ -32,6 +32,10 @@ type config = {
           proves can derive nothing before materializing — semantics
           preserving; counts surface in {!Datalog.Engine.report} /
           {!Datalog.Maintain.report} (default [false]) *)
+  runtime : Runtime.policy;
+      (** per-source retry-with-backoff and circuit-breaker policies
+          applied to every query-time fetch (default
+          {!Runtime.default_policy}) *)
 }
 
 val default_config : config
@@ -156,3 +160,60 @@ val select_sources_for_pairs :
 
 val lift_class : t -> source:string -> string -> string
 (** The mediator-level (namespaced) name of a source class. *)
+
+(** {1 Fault tolerance}
+
+    Every query-time fetch from a registered source runs through a
+    deterministic {!Wrapper.Fault} channel under the {!Runtime} retry
+    and circuit-breaker policies. Sources the runtime gives up on are
+    {e skipped}: {!materialize} proceeds without their data and tags
+    the result with a {!completeness} report instead of failing the
+    whole federation. *)
+
+type completeness = {
+  contributed : string list;  (** sources whose data is in the answer *)
+  skipped : (string * string) list;  (** skipped source, reason *)
+  suspect : string list;
+      (** derived predicates some skipped source can reach (by
+          {!Analysis.Prov_lint}'s provenance inference) — their extents
+          may be missing answers *)
+}
+
+val set_fault_plan :
+  t -> source:string -> Wrapper.Fault.plan -> (unit, string) result
+(** Install a fault plan on a source's channel (replacing the channel)
+    and invalidate the materialization so the next query replays the
+    fetches under the plan. *)
+
+val fault_channel : t -> string -> Wrapper.Fault.t option
+
+val capabilities_of : t -> string -> Wrapper.Capability.t list
+(** The capabilities the source's channel currently advertises — the
+    over-approximated set once a [Stale_caps] fault has fired. *)
+
+val fetch :
+  t -> source:string -> (Wrapper.Source.t -> 'a) -> ('a, string) result
+(** Run one operation against a source under the full fault-tolerance
+    stack (channel, retries, breaker). *)
+
+val completeness : t -> completeness
+(** The completeness report of the current materialization (forces
+    one). [skipped = []] means the answer is exact. *)
+
+type report = { answers : Logic.Subst.t list; completeness : completeness }
+
+val query_report : t -> Flogic.Molecule.lit list -> report
+(** {!query}, with the completeness report the partial answer carries. *)
+
+val revive_source : t -> string -> (unit, string) result
+(** The Figure-3 re-registration path for a quarantined or dead source:
+    open a pristine channel, close the breaker, and replay the source's
+    current data into the live materialization as a registration
+    delta. *)
+
+val runtime : t -> Runtime.t
+val health : t -> (string * Runtime.health) list
+(** Per-source health counters, in registration order. *)
+
+val degraded_queries : t -> int
+(** Queries answered from a materialization with skipped sources. *)

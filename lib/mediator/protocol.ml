@@ -16,6 +16,7 @@ type request =
       additions : Molecule.t list;
       deletions : Molecule.t list;
     }
+  | Ping
 
 type response =
   | Registered of { source : string }
@@ -23,6 +24,9 @@ type response =
   | Tuples of Datalog.Tuple.t list
   | Bindings of (string * Term.t) list list
   | Updated of { added : int; removed : int }
+  | Pong of { source : string }
+  | Timed_out of { source : string; after : int }
+  | Unavailable of { source : string; retry_in : int option }
   | Failed of string
 
 (* ------------------------------------------------------------------ *)
@@ -190,6 +194,7 @@ let encode_request = function
         Xml.elt "assert" (List.map molecule_to_xml additions);
         Xml.elt "retract" (List.map molecule_to_xml deletions);
       ]
+  | Ping -> Xml.elt "ping" []
 
 let decode_request doc =
   match Xml.tag doc with
@@ -242,6 +247,7 @@ let decode_request doc =
     let* additions = molecules "assert" in
     let* deletions = molecules "retract" in
     Ok (Update_facts { source; additions; deletions })
+  | Some "ping" -> Ok Ping
   | _ -> Error "unknown request message"
 
 (* ------------------------------------------------------------------ *)
@@ -295,6 +301,19 @@ let encode_response = function
       ~attrs:
         [ ("added", string_of_int added); ("removed", string_of_int removed) ]
       []
+  | Pong { source } -> Xml.elt "pong" ~attrs:[ ("source", source) ] []
+  | Timed_out { source; after } ->
+    Xml.elt "timed-out"
+      ~attrs:[ ("source", source); ("after", string_of_int after) ]
+      []
+  | Unavailable { source; retry_in } ->
+    Xml.elt "unavailable"
+      ~attrs:
+        (("source", source)
+        :: (match retry_in with
+           | Some ms -> [ ("retry-in", string_of_int ms) ]
+           | None -> []))
+      []
   | Failed msg -> Xml.leaf "error" msg
 
 let decode_response doc =
@@ -339,51 +358,119 @@ let decode_response doc =
     let* added = int_of "added" added_s in
     let* removed = int_of "removed" removed_s in
     Ok (Updated { added; removed })
+  | Some "pong" ->
+    let* source = Cm_plugins.Plugin.require_attr doc "source" in
+    Ok (Pong { source })
+  | Some "timed-out" ->
+    let* source = Cm_plugins.Plugin.require_attr doc "source" in
+    let* after_s = Cm_plugins.Plugin.require_attr doc "after" in
+    (match int_of_string_opt after_s with
+    | Some after -> Ok (Timed_out { source; after })
+    | None -> Error "timed-out: after is not an integer")
+  | Some "unavailable" ->
+    let* source = Cm_plugins.Plugin.require_attr doc "source" in
+    (match Xml.attr "retry-in" doc with
+    | None -> Ok (Unavailable { source; retry_in = None })
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some ms -> Ok (Unavailable { source; retry_in = Some ms })
+      | None -> Error "unavailable: retry-in is not an integer"))
   | Some "error" -> Ok (Failed (Xml.text_content doc))
   | _ -> Error "unknown response message"
 
 (* ------------------------------------------------------------------ *)
 (* wrapper endpoint *)
 
-type endpoint = Wrapper.Source.t
+module Fault = Wrapper.Fault
 
-let endpoint src = src
+type endpoint = Fault.t
 
-let execute src = function
+let endpoint src = Fault.wrap src
+let faulty_endpoint ch = ch
+
+(* how an injected fault shows up on the wire *)
+let fault_response ~source = function
+  | Fault.Timeout -> Timed_out { source; after = Fault.timeout_cost }
+  | Fault.Crash -> Unavailable { source; retry_in = None }
+  | Fault.Transient _ ->
+    Unavailable { source; retry_in = Some 50 }
+  | f -> Failed (Fault.fault_to_string f)
+
+let execute ch req =
+  let source = Fault.name ch in
+  let guarded f =
+    match Fault.call ch f with
+    | resp -> resp
+    | exception Wrapper.Source.Unsupported m -> Failed m
+    | exception Fault.Injected { fault; _ } -> fault_response ~source fault
+  in
+  match req with
   | Register _ -> Failed "wrappers do not accept register messages"
-  | Fetch_instances { cls; selections } -> (
-    try Objects (Wrapper.Source.fetch_instances src ~cls ~selections)
-    with Wrapper.Source.Unsupported m -> Failed m)
-  | Fetch_tuples { rel; pattern } -> (
-    try Tuples (Wrapper.Source.fetch_tuples src ~rel ~pattern)
-    with Wrapper.Source.Unsupported m -> Failed m)
-  | Run_template { name; args } -> (
-    try
-      let substs = Wrapper.Source.run_template src ~name ~args in
-      Bindings (List.map Logic.Subst.bindings substs)
-    with Wrapper.Source.Unsupported m -> Failed m)
-  | Update_facts { source = _; additions; deletions } -> (
-    try
-      let store = Wrapper.Source.store src in
-      let removed =
-        List.fold_left
-          (fun n m -> n + Wrapper.Store.remove_fact store m)
-          0 deletions
-      in
-      List.iter (Wrapper.Store.add_fact store) additions;
-      Updated { added = List.length additions; removed }
-    with
-    | Flogic.Compile.Compile_error m | Invalid_argument m -> Failed m)
+  | Ping ->
+    guarded (fun src ->
+        Wrapper.Source.ping src;
+        Pong { source })
+  | Fetch_instances { cls; selections } ->
+    guarded (fun src ->
+        Objects (Wrapper.Source.fetch_instances src ~cls ~selections))
+  | Fetch_tuples { rel; pattern } ->
+    guarded (fun src -> Tuples (Wrapper.Source.fetch_tuples src ~rel ~pattern))
+  | Run_template { name; args } ->
+    guarded (fun src ->
+        let substs = Wrapper.Source.run_template src ~name ~args in
+        Bindings (List.map Logic.Subst.bindings substs))
+  | Update_facts { source = _; additions; deletions } ->
+    guarded (fun src ->
+        try
+          let store = Wrapper.Source.store src in
+          let removed =
+            List.fold_left
+              (fun n m -> n + Wrapper.Store.remove_fact store m)
+              0 deletions
+          in
+          List.iter (Wrapper.Store.add_fact store) additions;
+          Updated { added = List.length additions; removed }
+        with Flogic.Compile.Compile_error m | Invalid_argument m -> Failed m)
 
-let handle src doc =
+let handle ch doc =
   match decode_request doc with
   | Error m -> encode_response (Failed m)
-  | Ok req -> encode_response (execute src req)
+  | Ok req -> encode_response (execute ch req)
 
-let call src req =
-  match decode_response (handle src (encode_request req)) with
+let call ch req =
+  match decode_response (handle ch (encode_request req)) with
   | Ok resp -> resp
   | Error m -> Failed ("response codec: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* the text wire: serialized payloads, where in-transit corruption can
+   happen and the receiving side may have to parse leniently *)
+
+let handle_text ch text =
+  let response =
+    match Xmlkit.Parse.parse text with
+    | Error m -> encode_response (Failed ("request parse: " ^ m))
+    | Ok doc -> handle ch doc
+  in
+  let printed = Xmlkit.Print.to_string response in
+  match Fault.consume_corruption ch with
+  | Some f -> Fault.corrupt_payload f printed
+  | None -> printed
+
+let decode_response_text text =
+  match Xmlkit.Parse.parse text with
+  | Ok doc -> Result.map (fun r -> (r, 0)) (decode_response doc)
+  | Error strict_err -> (
+    match Xmlkit.Parse.parse_lenient text with
+    | Some (doc, recoveries) -> (
+      match decode_response doc with
+      | Ok r -> Ok (r, List.length recoveries)
+      | Error _ -> Error strict_err)
+    | None -> Error strict_err)
+
+let call_text ch req =
+  decode_response_text
+    (handle_text ch (Xmlkit.Print.to_string (encode_request req)))
 
 let register_remote med ~source_name ?capabilities ~format doc =
   Mediator.register_xml med ~format ?capabilities ~source_name doc

@@ -30,6 +30,7 @@ type request =
       additions : Flogic.Molecule.t list;
       deletions : Flogic.Molecule.t list;
     }
+  | Ping  (** liveness probe (the breaker's half-open state sends it) *)
 
 type response =
   | Registered of { source : string }
@@ -39,6 +40,12 @@ type response =
   | Updated of { added : int; removed : int }
       (** [added] molecules asserted; [removed] declared facts that were
           present and are now gone *)
+  | Pong of { source : string }
+  | Timed_out of { source : string; after : int }
+      (** the wrapper gave up after [after] virtual ms *)
+  | Unavailable of { source : string; retry_in : int option }
+      (** transient outage when [retry_in] suggests a delay; a dead
+          source when [None] *)
   | Failed of string
 
 (** {1 Codecs} *)
@@ -50,18 +57,42 @@ val decode_response : Xmlkit.Xml.t -> (response, string) result
 
 (** {1 Endpoints} *)
 
-type endpoint
-(** A wrapper-side message handler around one {!Wrapper.Source.t}. *)
+type endpoint = Wrapper.Fault.t
+(** A wrapper-side message handler around one {!Wrapper.Source.t},
+    behind its fault-injection channel. *)
 
 val endpoint : Wrapper.Source.t -> endpoint
+(** A pristine ({!Wrapper.Fault.Reliable}) endpoint. *)
+
+val faulty_endpoint : Wrapper.Fault.t -> endpoint
+(** An endpoint over an existing fault channel: injected timeouts,
+    outages and crashes travel as [Timed_out]/[Unavailable] responses,
+    and scheduled payload corruption damages {!handle_text}'s output. *)
 
 val handle : endpoint -> Xmlkit.Xml.t -> Xmlkit.Xml.t
 (** Decode a request, execute it against the source, encode the
-    response ([Failed] on any error — the wire never raises). *)
+    response ([Failed] on any error — the wire never raises; injected
+    faults become [Timed_out]/[Unavailable]). *)
 
 val call : endpoint -> request -> response
 (** [handle] with the codecs applied on both ends: exactly what a
     remote client observes. *)
+
+val handle_text : endpoint -> string -> string
+(** The serialized wire: parse the request text, execute, print the
+    response — then apply any {!Wrapper.Fault.Truncate}/[Garble]
+    corruption the channel scheduled for this call. Never raises. *)
+
+val decode_response_text :
+  string -> (response * int, string) result
+(** Mediator-side receive: strict parse first, then
+    {!Xmlkit.Parse.parse_lenient} on damaged payloads. [Ok (resp, n)]
+    carries the number of recoveries the lenient parser needed ([0] on
+    a clean payload). *)
+
+val call_text : endpoint -> request -> (response * int, string) result
+(** The full serialized dialogue: encode and print the request,
+    {!handle_text}, {!decode_response_text} the answer. *)
 
 (** {1 Mediator-side convenience} *)
 

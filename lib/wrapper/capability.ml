@@ -51,6 +51,19 @@ let admits_pattern caps ~rel ~bound =
       | _ -> false)
     caps
 
+let over_advertise ~classes ~relations =
+  List.concat_map
+    (fun (cls, methods) ->
+      Scan_class cls :: (if methods = [] then [] else [ Select_class { cls; on = methods } ]))
+    classes
+  @ List.concat_map
+      (fun (rel, arity) ->
+        [
+          Scan_relation rel;
+          Bind_relation { rel; pattern = List.init arity (fun _ -> Free) };
+        ])
+      relations
+
 let find_template caps name =
   List.find_opt
     (function

@@ -42,6 +42,18 @@ val admits_pattern : t list -> rel:string -> bound:bool list -> bool
     when every [Bound] position of the declaration is bound in the
     access. [Scan_relation] admits everything. *)
 
+val over_advertise :
+  classes:(string * string list) list ->
+  relations:(string * int) list ->
+  t list
+(** The most permissive capability set a schema could honestly declare:
+    scan every class and relation, push selections on every method,
+    admit every binding pattern. What a {e stale} capability answer
+    looks like to the mediator — the source may well refuse accesses
+    this set admits ({!Source.fetch_instances} checks the real
+    capabilities), which is exactly the failure mode fault injection
+    wants to provoke. *)
+
 val find_template : t list -> string -> t option
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+type fault =
+  | Delay of int
+  | Timeout
+  | Transient of string
+  | Crash
+  | Truncate of int
+  | Garble
+  | Stale_caps
+
+type event = { at : int; fault : fault }
+
+type rates = {
+  delay : int;
+  timeout : int;
+  transient : int;
+  crash : int;
+  truncate : int;
+  garble : int;
+  stale : int;
+}
+
+let no_faults =
+  { delay = 0; timeout = 0; transient = 0; crash = 0; truncate = 0;
+    garble = 0; stale = 0 }
+
+type plan =
+  | Reliable
+  | Script of event list
+  | Always of fault
+  | Seeded of { seed : int; rates : rates }
+
+type t = {
+  src : Source.t;
+  plan : plan;
+  rng : Random.State.t option;
+  mutable calls : int;
+  mutable crashed : bool;
+  mutable stale : bool;
+  mutable clock : int;
+  mutable pending_corruption : fault option;
+  mutable log : (int * fault) list;  (* reverse call order *)
+}
+
+exception Injected of { source : string; call : int; fault : fault }
+
+let wrap ?(plan = Reliable) src =
+  let rng =
+    match plan with
+    | Seeded { seed; _ } -> Some (Random.State.make [| seed |])
+    | Reliable | Script _ | Always _ -> None
+  in
+  {
+    src;
+    plan;
+    rng;
+    calls = 0;
+    crashed = false;
+    stale = false;
+    clock = 0;
+    pending_corruption = None;
+    log = [];
+  }
+
+let source t = t.src
+let name t = Source.name t.src
+let plan t = t.plan
+let crashed t = t.crashed
+let stale t = t.stale
+let clock t = t.clock
+let calls t = t.calls
+let transcript t = List.rev t.log
+
+let timeout_cost = 100
+
+let fault_to_string = function
+  | Delay n -> Printf.sprintf "delay %dms" n
+  | Timeout -> "timeout"
+  | Transient m -> Printf.sprintf "transient: %s" m
+  | Crash -> "crash"
+  | Truncate k -> Printf.sprintf "truncate %d/1000" k
+  | Garble -> "garble"
+  | Stale_caps -> "stale-caps"
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
+
+(* one scheduled fault per call ordinal *)
+let scheduled t =
+  match t.plan with
+  | Reliable -> None
+  | Always f -> Some f
+  | Script events ->
+    Option.map (fun e -> e.fault)
+      (List.find_opt (fun e -> e.at = t.calls) events)
+  | Seeded { rates; _ } -> (
+    match t.rng with
+    | None -> None
+    | Some rng -> (
+      (* one roll against cumulative per-mille bands in a fixed order *)
+      let roll = Random.State.int rng 1000 in
+      let bands =
+        [
+          (rates.delay, `Delay); (rates.timeout, `Timeout);
+          (rates.transient, `Transient); (rates.crash, `Crash);
+          (rates.truncate, `Truncate); (rates.garble, `Garble);
+          (rates.stale, `Stale);
+        ]
+      in
+      let rec band acc = function
+        | [] -> None
+        | (w, k) :: rest -> if roll < acc + w then Some k else band (acc + w) rest
+      in
+      match band 0 bands with
+      | None -> None
+      | Some `Delay -> Some (Delay (1 + Random.State.int rng 200))
+      | Some `Timeout -> Some Timeout
+      | Some `Transient -> Some (Transient "injected")
+      | Some `Crash -> Some Crash
+      | Some `Truncate -> Some (Truncate (Random.State.int rng 1000))
+      | Some `Garble -> Some Garble
+      | Some `Stale -> Some Stale_caps))
+
+let inject t fault =
+  t.log <- (t.calls, fault) :: t.log;
+  raise (Injected { source = name t; call = t.calls; fault })
+
+let call t f =
+  t.calls <- t.calls + 1;
+  t.clock <- t.clock + 1;
+  t.pending_corruption <- None;
+  if t.crashed then inject t Crash;
+  (match scheduled t with
+  | None -> ()
+  | Some (Delay n as fl) ->
+    t.clock <- t.clock + n;
+    t.log <- (t.calls, fl) :: t.log
+  | Some Stale_caps ->
+    t.stale <- true;
+    t.log <- (t.calls, Stale_caps) :: t.log
+  | Some ((Truncate _ | Garble) as fl) ->
+    t.pending_corruption <- Some fl;
+    t.log <- (t.calls, fl) :: t.log
+  | Some Timeout ->
+    t.clock <- t.clock + timeout_cost;
+    inject t Timeout
+  | Some (Transient _ as fl) -> inject t fl
+  | Some Crash ->
+    t.crashed <- true;
+    inject t Crash);
+  f t.src
+
+let consume_corruption t =
+  let c = t.pending_corruption in
+  t.pending_corruption <- None;
+  c
+
+let capabilities t =
+  if not t.stale then Source.capabilities t.src
+  else
+    let schema = Source.schema t.src in
+    Capability.over_advertise
+      ~classes:
+        (List.map
+           (fun (cd : Gcm.Schema.class_def) ->
+             (cd.Gcm.Schema.cname, List.map fst cd.Gcm.Schema.methods))
+           schema.Gcm.Schema.classes)
+      ~relations:
+        (List.map
+           (fun (r, attrs) -> (r, List.length attrs))
+           schema.Gcm.Schema.relations)
+
+let corrupt_payload fault payload =
+  let n = String.length payload in
+  match fault with
+  | Truncate keep -> String.sub payload 0 (min n (max 1 (n * keep / 1000)))
+  | Garble ->
+    String.mapi
+      (fun i c -> if (i * 31 + n) mod 13 = 0 then '&' else c)
+      payload
+  | _ -> payload

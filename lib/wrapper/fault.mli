@@ -1,0 +1,108 @@
+(** Deterministic fault injection around a wrapped source.
+
+    A channel wraps one {!Source.t} and misbehaves according to an
+    explicit, replayable plan: every fault is scheduled either by call
+    ordinal ({!Script}, {!Always}) or by a PRNG seeded at wrap time
+    ({!Seeded}). Time is virtual — a channel keeps its own millisecond
+    clock that advances by fixed per-call costs and scheduled delays,
+    never by the wall clock — so a run with the same plan replays
+    exactly, fault for fault and tick for tick. *)
+
+type fault =
+  | Delay of int  (** answer arrives, [n] virtual ms late *)
+  | Timeout  (** the call never answers within the timeout budget *)
+  | Transient of string  (** one-shot error; a retry may succeed *)
+  | Crash  (** permanent: the channel is dead until re-wrapped *)
+  | Truncate of int
+      (** the answer payload is cut to the given per-mille of its
+          length in transit (wire-level corruption) *)
+  | Garble  (** bytes of the answer payload are mangled in transit *)
+  | Stale_caps
+      (** from now on the channel advertises over-approximated
+          capabilities that the source does not actually honor *)
+
+type event = { at : int; fault : fault }
+(** [at] is the 1-based call ordinal the fault fires on. *)
+
+type rates = {
+  delay : int;
+  timeout : int;
+  transient : int;
+  crash : int;
+  truncate : int;
+  garble : int;
+  stale : int;
+}
+(** Per-mille probabilities, drawn once per call. *)
+
+val no_faults : rates
+
+type plan =
+  | Reliable
+  | Script of event list  (** faults pinned to call ordinals *)
+  | Always of fault  (** the same fault on every call *)
+  | Seeded of { seed : int; rates : rates }
+      (** one PRNG draw per call against the per-mille rates *)
+
+type t
+(** A fault channel: one wrapped source plus its scheduled plan. *)
+
+exception Injected of { source : string; call : int; fault : fault }
+
+val wrap : ?plan:plan -> Source.t -> t
+(** Default plan is {!Reliable}: every call goes straight through at a
+    cost of one virtual millisecond. *)
+
+val source : t -> Source.t
+(** The raw source, bypassing injection (fault-free oracle access). *)
+
+val name : t -> string
+val plan : t -> plan
+
+val call : t -> (Source.t -> 'a) -> 'a
+(** Route one operation through the channel. Advances the virtual
+    clock, consults the plan for this call ordinal, and either
+
+    - answers (no fault, or {!Delay} — which only costs time, or
+      {!Stale_caps} — which latches the stale flag, or
+      {!Truncate}/{!Garble} — which succeed but leave a pending
+      corruption for the wire layer, see {!consume_corruption});
+    - raises {!Injected} ({!Timeout}, {!Transient}, {!Crash}; a crash
+      latches — every later call re-raises it).
+
+    Exceptions of the operation itself (e.g. {!Source.Unsupported})
+    pass through untouched: capability refusals are not faults. *)
+
+val capabilities : t -> Capability.t list
+(** The capabilities the channel {e advertises}: the source's real ones
+    normally, an over-approximation ({!Capability.over_advertise} of
+    the whole schema) once a {!Stale_caps} fault has fired. *)
+
+val consume_corruption : t -> fault option
+(** The {!Truncate}/{!Garble} fault scheduled for the most recent call,
+    if any — returned once and cleared. The wire layer applies it to
+    the encoded payload with {!corrupt_payload}; an in-process caller
+    treats it as a failed (retryable) fetch. *)
+
+val corrupt_payload : fault -> string -> string
+(** Deterministically damage a payload: [Truncate k] keeps the first
+    k‰ of the bytes; [Garble] mangles bytes at positions derived from
+    the payload itself. Other faults leave it unchanged. *)
+
+val crashed : t -> bool
+val stale : t -> bool
+
+val clock : t -> int
+(** Virtual milliseconds consumed by this channel so far. *)
+
+val calls : t -> int
+
+val transcript : t -> (int * fault) list
+(** Every fault that fired, with its call ordinal, in call order —
+    the replay witness: same plan, same calls ⇒ same transcript. *)
+
+val timeout_cost : int
+(** Virtual ms a timed-out call burns before failing. *)
+
+val fault_to_string : fault -> string
+val pp_fault : Format.formatter -> fault -> unit

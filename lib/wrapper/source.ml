@@ -153,30 +153,32 @@ let run_template t ~name:tpl_name ~args =
       answers)
   | Some _ -> assert false
 
+let ping t = meter_fetch t 0
+
 let served t = t.meter
 
 let reset_meter t =
   t.meter.requests <- 0;
   t.meter.tuples <- 0
 
+let facts t =
+  Datalog.Database.all_facts (Store.database t.store)
+  |> List.filter_map (fun (a : Logic.Atom.t) ->
+         let d = Flogic.Compile.declared in
+         match a.Logic.Atom.pred, a.Logic.Atom.args with
+         | p, [ x; c ] when p = d Flogic.Compile.isa_p ->
+           Option.map (fun c -> Molecule.Isa (x, Term.sym c)) (Term.as_string c)
+         | p, [ x; m; v ] when p = d Flogic.Compile.meth_val_p ->
+           Option.map (fun m -> Molecule.Meth_val (x, m, v)) (Term.as_string m)
+         | rel, args -> (
+           match Flogic.Signature.attributes (Store.signature t.store) rel with
+           | Some attrs when List.length attrs = List.length args ->
+             Some (Molecule.Rel_val (rel, List.combine attrs args))
+           | _ -> None))
+
 let export_xml t =
-  let facts =
-    Datalog.Database.all_facts (Store.database t.store)
-    |> List.filter_map (fun (a : Logic.Atom.t) ->
-           let d = Flogic.Compile.declared in
-           match a.Logic.Atom.pred, a.Logic.Atom.args with
-           | p, [ x; c ] when p = d Flogic.Compile.isa_p ->
-             Option.map (fun c -> Molecule.Isa (x, Term.sym c)) (Term.as_string c)
-           | p, [ x; m; v ] when p = d Flogic.Compile.meth_val_p ->
-             Option.map (fun m -> Molecule.Meth_val (x, m, v)) (Term.as_string m)
-           | rel, args -> (
-             match Flogic.Signature.attributes (Store.signature t.store) rel with
-             | Some attrs when List.length attrs = List.length args ->
-               Some (Molecule.Rel_val (rel, List.combine attrs args))
-             | _ -> None))
-  in
   Cm_plugins.Gcm_xml.export ~source:t.name
-    { Cm_plugins.Plugin.schema = t.schema; facts; anchors = t.anchors }
+    { Cm_plugins.Plugin.schema = t.schema; facts = facts t; anchors = t.anchors }
 
 let pp ppf t =
   Format.fprintf ppf "source %s: %d classes, %d relations, %d facts@." t.name

@@ -55,6 +55,15 @@ val run_template :
 (** Execute a declared query template against the local store. The
     template body is FL surface syntax with [$param] placeholders. *)
 
+val ping : t -> unit
+(** Liveness probe: answers nothing, counts as a served request. The
+    breaker's half-open state uses it to sound out a tripped source. *)
+
+val facts : t -> Flogic.Molecule.t list
+(** Every declared store fact as a ground molecule, in the source's own
+    (unqualified) vocabulary — what {!export_xml} ships and what the
+    mediator lifts at materialization time. *)
+
 (** {1 Metering} *)
 
 type served = { mutable requests : int; mutable tuples : int }

@@ -117,3 +117,5 @@ let classes t =
 let relations t = Signature.relations t.sg
 
 let database t = t.db
+
+let fact_count t = Datalog.Database.cardinal t.db

@@ -49,5 +49,9 @@ val tuple_count : t -> rel:string -> int
 val classes : t -> string list
 val relations : t -> string list
 
+val fact_count : t -> int
+(** Declared facts in the store — the size a completeness report quotes
+    for a skipped source. *)
+
 val database : t -> Datalog.Database.t
 (** The raw declared-fact database (shared, not a copy). *)

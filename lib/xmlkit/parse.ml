@@ -223,6 +223,273 @@ let parse src =
   | exception Error (msg, pos) ->
     Error (Printf.sprintf "XML parse error at offset %d: %s" pos msg)
 
+(* ------------------------------------------------------------------ *)
+(* Recoverable-error mode: a tolerant scanner for payloads damaged in
+   transit (truncation, garbled bytes, entity junk). Never raises;
+   every deviation from well-formedness is repaired and recorded. *)
+
+type recovery = { offset : int; reason : string }
+
+let parse_lenient src =
+  let n = String.length src in
+  let recoveries = ref [] in
+  let note offset reason = recoveries := { offset; reason } :: !recoveries in
+  let roots = ref [] in
+  let stack = ref [] in
+  (* open frames: (tag, attrs, reverse children) *)
+  let add_child node =
+    match !stack with
+    | (name, attrs, kids) :: rest ->
+      stack := (name, attrs, node :: kids) :: rest
+    | [] -> (
+      match node with
+      | Xml.Element _ -> roots := node :: !roots
+      | Xml.Text _ -> ())
+  in
+  let close_frame () =
+    match !stack with
+    | (name, attrs, kids) :: rest ->
+      stack := rest;
+      add_child (Xml.Element (name, attrs, List.rev kids))
+    | [] -> ()
+  in
+  let decode offset s =
+    (* Parse.decode_entities, made total: anything undecodable is
+       copied through literally with a note *)
+    let buf = Buffer.create (String.length s) in
+    let m = String.length s in
+    let i = ref 0 in
+    while !i < m do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | None ->
+          note (offset + !i) "unterminated entity";
+          Buffer.add_char buf '&';
+          incr i
+        | Some j -> (
+          let ent = String.sub s (!i + 1) (j - !i - 1) in
+          let put d =
+            Buffer.add_string buf d;
+            i := j + 1
+          in
+          match ent with
+          | "lt" -> put "<"
+          | "gt" -> put ">"
+          | "amp" -> put "&"
+          | "apos" -> put "'"
+          | "quot" -> put "\""
+          | _ when String.length ent > 1 && ent.[0] = '#' -> (
+            let code =
+              if ent.[1] = 'x' || ent.[1] = 'X' then
+                int_of_string_opt ("0x" ^ String.sub ent 2 (String.length ent - 2))
+              else int_of_string_opt (String.sub ent 1 (String.length ent - 1))
+            in
+            match code with
+            | Some c when c >= 0 && c < 128 -> put (String.make 1 (Char.chr c))
+            | Some c when c >= 0 && c < 0x800 ->
+              let b = Bytes.create 2 in
+              Bytes.set b 0 (Char.chr (0xC0 lor (c lsr 6)));
+              Bytes.set b 1 (Char.chr (0x80 lor (c land 0x3F)));
+              put (Bytes.to_string b)
+            | Some c when c >= 0 && c < 0x10000 ->
+              let b = Bytes.create 3 in
+              Bytes.set b 0 (Char.chr (0xE0 lor (c lsr 12)));
+              Bytes.set b 1 (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+              Bytes.set b 2 (Char.chr (0x80 lor (c land 0x3F)));
+              put (Bytes.to_string b)
+            | Some c when c >= 0 && c <= 0x10FFFF ->
+              let b = Bytes.create 4 in
+              Bytes.set b 0 (Char.chr (0xF0 lor (c lsr 18)));
+              Bytes.set b 1 (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+              Bytes.set b 2 (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+              Bytes.set b 3 (Char.chr (0x80 lor (c land 0x3F)));
+              put (Bytes.to_string b)
+            | _ ->
+              note (offset + !i) ("bad character reference &" ^ ent ^ ";");
+              Buffer.add_char buf '&';
+              incr i)
+          | _ ->
+            note (offset + !i) ("unknown entity &" ^ ent ^ ";");
+            Buffer.add_char buf '&';
+            incr i)
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let looking p s = p + String.length s <= n && String.sub src p (String.length s) = s
+  and name_end p =
+    let q = ref p in
+    while !q < n && is_name_char src.[!q] do incr q done;
+    !q
+  and ws_end p =
+    let q = ref p in
+    while
+      !q < n && (match src.[!q] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr q
+    done;
+    !q
+  in
+  let find_from p needle =
+    let len = String.length needle in
+    let rec go i = if i + len > n then None else if String.sub src i len = needle then Some i else go (i + 1) in
+    if p > n then None else go p
+  in
+  let add_text start stop =
+    if stop > start then begin
+      let txt = decode start (String.sub src start (stop - start)) in
+      if String.trim txt <> "" then add_child (Xml.Text txt)
+    end
+  in
+  (* lenient attribute list: returns (attrs, position past the tag,
+     whether the element is self-closing) *)
+  let read_attrs p0 =
+    let attrs = ref [] and p = ref p0 and closed = ref `Open and stop = ref false in
+    while not !stop do
+      p := ws_end !p;
+      if !p >= n then begin
+        note n "unterminated tag";
+        closed := `SelfClose;
+        stop := true
+      end
+      else if looking !p "/>" then begin
+        closed := `SelfClose;
+        p := !p + 2;
+        stop := true
+      end
+      else if src.[!p] = '>' then begin
+        incr p;
+        stop := true
+      end
+      else if is_name_char src.[!p] then begin
+        let ne = name_end !p in
+        let aname = String.sub src !p (ne - !p) in
+        p := ws_end ne;
+        if !p < n && src.[!p] = '=' then begin
+          p := ws_end (!p + 1);
+          if !p < n && (src.[!p] = '"' || src.[!p] = '\'') then begin
+            let quote = src.[!p] in
+            let vstart = !p + 1 in
+            match String.index_from_opt src vstart quote with
+            | Some q ->
+              attrs := (aname, decode vstart (String.sub src vstart (q - vstart))) :: !attrs;
+              p := q + 1
+            | None ->
+              note !p "unterminated attribute value";
+              attrs := (aname, decode vstart (String.sub src vstart (n - vstart))) :: !attrs;
+              p := n
+          end
+          else begin
+            (* unquoted value: up to whitespace or tag end *)
+            let vstart = !p in
+            while
+              !p < n
+              && (match src.[!p] with
+                 | ' ' | '\t' | '\n' | '\r' | '>' | '/' -> false
+                 | _ -> true)
+            do
+              incr p
+            done;
+            note vstart "unquoted attribute value";
+            attrs := (aname, decode vstart (String.sub src vstart (!p - vstart))) :: !attrs
+          end
+        end
+        else begin
+          note ne "attribute without value";
+          attrs := (aname, "") :: !attrs
+        end
+      end
+      else begin
+        note !p "garbage in tag";
+        incr p
+      end
+    done;
+    (List.rev !attrs, !p, !closed)
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    match String.index_from_opt src !pos '<' with
+    | None ->
+      add_text !pos n;
+      pos := n
+    | Some lt ->
+      add_text !pos lt;
+      if looking lt "<!--" then (
+        match find_from (lt + 4) "-->" with
+        | Some j -> pos := j + 3
+        | None ->
+          note lt "unterminated comment";
+          pos := n)
+      else if looking lt "<![CDATA[" then (
+        match find_from (lt + 9) "]]>" with
+        | Some j ->
+          add_child (Xml.Text (String.sub src (lt + 9) (j - lt - 9)));
+          pos := j + 3
+        | None ->
+          note lt "unterminated CDATA";
+          add_child (Xml.Text (String.sub src (lt + 9) (n - lt - 9)));
+          pos := n)
+      else if looking lt "</" then begin
+        let ne = name_end (lt + 2) in
+        if ne = lt + 2 then begin
+          note lt "stray '</'";
+          pos := lt + 2
+        end
+        else begin
+          let name = String.sub src (lt + 2) (ne - lt - 2) in
+          let p = ws_end ne in
+          if p < n && src.[p] = '>' then pos := p + 1
+          else begin
+            note ne "malformed closing tag";
+            pos := p
+          end;
+          if List.exists (fun (nm, _, _) -> String.equal nm name) !stack then begin
+            let rec pop () =
+              match !stack with
+              | (nm, _, _) :: _ when String.equal nm name -> close_frame ()
+              | (nm, _, _) :: _ ->
+                note lt (Printf.sprintf "auto-closing unclosed <%s>" nm);
+                close_frame ();
+                pop ()
+              | [] -> ()
+            in
+            pop ()
+          end
+          else note lt (Printf.sprintf "stray closing tag </%s>" name)
+        end
+      end
+      else if looking lt "<?" || looking lt "<!" then (
+        match String.index_from_opt src lt '>' with
+        | Some j -> pos := j + 1
+        | None ->
+          note lt "unterminated declaration";
+          pos := n)
+      else if lt + 1 < n && is_name_char src.[lt + 1] then begin
+        let ne = name_end (lt + 1) in
+        let name = String.sub src (lt + 1) (ne - lt - 1) in
+        let attrs, p, closed = read_attrs ne in
+        pos := p;
+        match closed with
+        | `SelfClose -> add_child (Xml.Element (name, attrs, []))
+        | `Open -> stack := (name, attrs, []) :: !stack
+      end
+      else begin
+        note lt "stray '<'";
+        pos := lt + 1
+      end
+  done;
+  while !stack <> [] do
+    note n "unclosed element at end of input";
+    close_frame ()
+  done;
+  match List.rev !roots with
+  | [] -> None
+  | root :: _ -> Some (root, List.rev !recoveries)
+
 let parse_fragment src =
   match
     let st = { src; pos = 0 } in

@@ -12,5 +12,20 @@ val parse : string -> (Xml.t, string) result
 
 val parse_exn : string -> Xml.t
 
+(** {1 Recoverable-error mode} *)
+
+type recovery = { offset : int; reason : string }
+(** One repair the lenient parser applied: byte [offset] in the input,
+    human-readable [reason]. *)
+
+val parse_lenient : string -> (Xml.t * recovery list) option
+(** Tolerant scan for payloads damaged in transit. Unclosed elements are
+    auto-closed, stray closing tags dropped, broken entities and
+    attribute syntax repaired, truncation at any byte tolerated — each
+    repair recorded in order. Returns the first root element found, or
+    [None] if the input contains no element at all. Never raises. On a
+    well-formed document it agrees with {!parse} and reports no
+    recoveries. *)
+
 val parse_fragment : string -> (Xml.t list, string) result
 (** Parse a sequence of top-level elements (no single-root rule). *)

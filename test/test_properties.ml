@@ -273,10 +273,19 @@ let prop_relation_model =
       && R.cardinal r = List.length !model
       && sorted (R.to_list r) = sorted !model)
 
+(* One explicit seed threads every generator here; KIND_QCHECK_SEED
+   replays a failing run exactly (the suite name carries the seed). *)
+let qcheck_seed =
+  match Sys.getenv_opt "KIND_QCHECK_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
+
 let suites =
   [
-    ( "properties",
-      List.map QCheck_alcotest.to_alcotest
+    ( Printf.sprintf "properties [seed %d]" qcheck_seed,
+      List.map
+        (QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| qcheck_seed |]))
         [
           prop_tc_transitive_superset;
           prop_dc_contains_base_and_down;

@@ -142,6 +142,92 @@ let test_register_dialogue () =
   in
   Alcotest.(check int) "data arrived" 1 (List.length answers)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-runtime messages and the faulty wire                          *)
+
+let roundtrip_response resp =
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok resp' -> resp'
+  | Error e -> Alcotest.failf "response codec failed: %s" e
+
+let test_fault_messages_roundtrip () =
+  Alcotest.(check bool) "ping" true (roundtrip_request Protocol.Ping = Protocol.Ping);
+  List.iter
+    (fun resp -> assert (roundtrip_response resp = resp))
+    [
+      Protocol.Pong { source = "LAB" };
+      Protocol.Timed_out { source = "LAB"; after = 100 };
+      Protocol.Unavailable { source = "LAB"; retry_in = Some 50 };
+      Protocol.Unavailable { source = "LAB"; retry_in = None };
+    ]
+
+let test_faulty_endpoint () =
+  let module F = Wrapper.Fault in
+  let ep =
+    Protocol.faulty_endpoint
+      (F.wrap
+         ~plan:
+           (F.Script
+              [
+                { F.at = 1; fault = F.Transient "burp" };
+                { F.at = 3; fault = F.Timeout };
+                { F.at = 4; fault = F.Crash };
+              ])
+         (sample_source ()))
+  in
+  let fetch () =
+    Protocol.call ep (Protocol.Fetch_instances { cls = "spine"; selections = [] })
+  in
+  (* call 1: the transient travels as Unavailable with a retry hint *)
+  (match fetch () with
+  | Protocol.Unavailable { source = "LAB"; retry_in = Some _ } -> ()
+  | _ -> Alcotest.fail "transient must travel as Unavailable");
+  (* call 2: clean *)
+  (match fetch () with
+  | Protocol.Objects [ _; _ ] -> ()
+  | _ -> Alcotest.fail "clean call must answer");
+  (* call 3: timeout, with the virtual cost it burned *)
+  (match Protocol.call ep Protocol.Ping with
+  | Protocol.Timed_out { source = "LAB"; after } ->
+    Alcotest.(check int) "timeout cost" F.timeout_cost after
+  | _ -> Alcotest.fail "timeout must travel as Timed_out");
+  (* call 4 and after: crashed for good *)
+  (match fetch () with
+  | Protocol.Unavailable { source = "LAB"; retry_in = None } -> ()
+  | _ -> Alcotest.fail "crash must travel as Unavailable without retry hint");
+  match Protocol.call ep Protocol.Ping with
+  | Protocol.Unavailable { source = "LAB"; retry_in = None } -> ()
+  | _ -> Alcotest.fail "a crash latches"
+
+let test_ping_pong_text () =
+  let ep = Protocol.endpoint (sample_source ()) in
+  match Protocol.call_text ep Protocol.Ping with
+  | Ok (Protocol.Pong { source = "LAB" }, 0) -> ()
+  | Ok _ -> Alcotest.fail "expected a clean pong"
+  | Error e -> Alcotest.failf "text dialogue failed: %s" e
+
+let test_corrupted_wire () =
+  let module F = Wrapper.Fault in
+  let fetch_text plan =
+    let ep = Protocol.faulty_endpoint (F.wrap ~plan (sample_source ())) in
+    Protocol.call_text ep
+      (Protocol.Fetch_instances { cls = "spine"; selections = [] })
+  in
+  (* clean channel: zero recoveries, same answer as the in-process call *)
+  (match fetch_text F.Reliable with
+  | Ok (Protocol.Objects [ _; _ ], 0) -> ()
+  | Ok _ -> Alcotest.fail "clean wire must carry both objects"
+  | Error e -> Alcotest.failf "clean wire failed: %s" e);
+  (* truncated payload: the lenient parser recovers a usable prefix —
+     never an exception, and any Ok decode reports its repairs *)
+  (match fetch_text (F.Script [ { F.at = 1; fault = F.Truncate 700 } ]) with
+  | Ok (_, n) ->
+    Alcotest.(check bool) "truncation needed repairs" true (n > 0)
+  | Error _ -> () (* an unusable prefix is a clean decode error *));
+  (* garbled payload: same totality contract *)
+  match fetch_text (F.Script [ { F.at = 1; fault = F.Garble } ]) with
+  | Ok _ | Error _ -> ()
+
 let suites =
   [
     ( "protocol",
@@ -151,5 +237,11 @@ let suites =
         Alcotest.test_case "fetch over the wire" `Quick test_fetch_over_wire;
         Alcotest.test_case "refusals travel" `Quick test_refusals_travel;
         Alcotest.test_case "register dialogue" `Quick test_register_dialogue;
+        Alcotest.test_case "fault message codecs" `Quick
+          test_fault_messages_roundtrip;
+        Alcotest.test_case "faults travel the wire" `Quick test_faulty_endpoint;
+        Alcotest.test_case "ping/pong over text" `Quick test_ping_pong_text;
+        Alcotest.test_case "corrupted payloads recover" `Quick
+          test_corrupted_wire;
       ] );
   ]

@@ -156,14 +156,87 @@ let test_fl_compile_error_surfaces () =
     Alcotest.(check bool) "mentions relation" true (contains_substring e "nope")
   | Ok _ -> Alcotest.fail "undeclared relation accepted"
 
+(* -------------------------------------------------------------------- *)
+(* Breaker transitions under a scripted outage: the golden transcript.
+   Everything below is virtual time, so the trace is exact: three
+   exhausted fetches (3 calls + 50 + 100 ms backoff = 153 ms each) trip
+   the breaker at t=459; riding out the 1000 ms cooldown lands the
+   half-open probe at t=1460; its success closes at t=1461. *)
+
+let test_breaker_golden_transcript () =
+  let module F = Wrapper.Fault in
+  let module R = Mediation.Runtime in
+  let schema =
+    Gcm.Schema.make ~name:"FRAGILE"
+      ~classes:[ Gcm.Schema.class_def "c" ~methods:[ ("m", "number") ] ]
+      ()
+  in
+  let src =
+    Wrapper.Source.make ~name:"FRAGILE" ~schema
+      ~data:[ Molecule.Isa (s "o1", s "c") ]
+      ()
+  in
+  let ch =
+    F.wrap
+      ~plan:
+        (F.Script
+           (List.init 9 (fun i -> { F.at = i + 1; fault = F.Transient "down" })))
+      src
+  in
+  let rt = R.create () in
+  let fetch () = R.fetch rt ch (fun _ -> ()) in
+  let show_state () =
+    R.state_to_string (R.health rt "FRAGILE").R.state
+  in
+  (* three exhausted fetches trip the breaker *)
+  (match fetch () with Error _ -> () | Ok () -> Alcotest.fail "fetch 1 must fail");
+  Alcotest.(check string) "still closed after one failure" "closed" (show_state ());
+  (match fetch () with Error _ -> () | Ok () -> Alcotest.fail "fetch 2 must fail");
+  (match fetch () with Error _ -> () | Ok () -> Alcotest.fail "fetch 3 must fail");
+  Alcotest.(check string) "breaker open" "open" (show_state ());
+  (* while open: fast-fail, no source contact *)
+  let calls_before = F.calls ch in
+  (match fetch () with Error _ -> () | Ok () -> Alcotest.fail "open must fail fast");
+  Alcotest.(check int) "open does not touch the source" calls_before (F.calls ch);
+  (* ride out the cooldown; the half-open probe succeeds and closes *)
+  R.advance rt 1001;
+  (match fetch () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "probe must close the breaker: %s" e);
+  Alcotest.(check string) "closed again" "closed" (show_state ());
+  let golden =
+    [ (459, "open"); (1460, "half-open"); (1461, "closed") ]
+  in
+  Alcotest.(check (list (pair int string)))
+    "golden transition transcript" golden
+    (List.map
+       (fun (t, st) -> (t, R.state_to_string st))
+       (R.transitions (R.health rt "FRAGILE")));
+  let h = R.health rt "FRAGILE" in
+  Alcotest.(check int) "9 failed calls + 1 probe" 9 h.R.failures;
+  Alcotest.(check int) "6 retries" 6 h.R.retries;
+  Alcotest.(check int) "one trip" 1 h.R.trips
+
+(* -------------------------------------------------------------------- *)
+(* One explicit seed threads every QCheck generator in this file: set
+   KIND_QCHECK_SEED to replay a failure run for run. *)
+
+let qcheck_seed =
+  match Sys.getenv_opt "KIND_QCHECK_SEED" with
+  | Some sd -> ( try int_of_string (String.trim sd) with _ -> 0)
+  | None -> 0
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) t
+
 let suites =
   [
-    ( "robustness.parsers",
+    ( Printf.sprintf "robustness.parsers [seed %d]" qcheck_seed,
       [
-        QCheck_alcotest.to_alcotest prop_parser_total;
-        QCheck_alcotest.to_alcotest prop_parser_total_chars;
-        QCheck_alcotest.to_alcotest prop_xml_parser_total;
-        QCheck_alcotest.to_alcotest prop_fl_reparse;
+        to_alcotest prop_parser_total;
+        to_alcotest prop_parser_total_chars;
+        to_alcotest prop_xml_parser_total;
+        to_alcotest prop_fl_reparse;
       ] );
     ( "robustness.engine",
       [
@@ -171,5 +244,7 @@ let suites =
         Alcotest.test_case "depth bound tight" `Quick test_depth_bound_tightness;
         Alcotest.test_case "unsafe rules rejected" `Quick test_unsafe_rule_rejected;
         Alcotest.test_case "compile errors surface" `Quick test_fl_compile_error_surfaces;
+        Alcotest.test_case "breaker golden transcript" `Quick
+          test_breaker_golden_transcript;
       ] );
   ]

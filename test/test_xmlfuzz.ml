@@ -1,0 +1,201 @@
+(* Round-trip and mutation fuzzing of the XML wire codecs:
+
+     parse (print doc) = Ok doc                    (round trip)
+     parse_lenient (print doc) = Some (doc, [])    (lenient agrees, no repairs)
+     parse / parse_lenient never raise on byte-mutated documents
+     parse_lenient is deterministic on any input
+
+   The generator produces trees in the printer's normal form — no
+   whitespace-only text, no adjacent text children — because that is
+   the fragment the compact printer round-trips by contract
+   (Print.to_string doc). Seeded via KIND_QCHECK_SEED like the other
+   QCheck suites. *)
+
+module Xml = Xmlkit.Xml
+module Parse = Xmlkit.Parse
+module Print = Xmlkit.Print
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let name_gen = QCheck.Gen.oneofl [ "a"; "b"; "tag"; "ns:x"; "data-1"; "obj" ]
+
+(* text with markup-significant characters; never whitespace-only *)
+let text_gen =
+  let open QCheck.Gen in
+  let piece =
+    oneofl [ "a"; "b "; " c"; "<"; ">"; "&"; "\""; "'"; "x;"; "1.5"; "&amp" ]
+  in
+  map
+    (fun (core, pieces) -> String.concat "" (core :: pieces))
+    (pair (oneofl [ "t"; "v" ]) (list_size (int_bound 4) piece))
+
+let attr_gen =
+  QCheck.Gen.(pair (oneofl [ "k"; "id"; "source"; "v-1" ]) text_gen)
+
+(* drop whitespace-only text and merge-adjacent-text violations so the
+   tree is in the printer's round-trippable normal form *)
+let normalize_children kids =
+  let keep (prev_text, acc) kid =
+    match kid with
+    | Xml.Text s when String.trim s = "" || prev_text -> (prev_text, acc)
+    | Xml.Text _ -> (true, kid :: acc)
+    | Xml.Element _ -> (false, kid :: acc)
+  in
+  List.rev (snd (List.fold_left keep (false, []) kids))
+
+let doc_gen =
+  let open QCheck.Gen in
+  let node =
+    fix (fun self depth ->
+        let element =
+          map3
+            (fun tag attrs kids ->
+              (* positional duplicates round-trip too, but distinct keys
+                 keep shrunk counterexamples readable *)
+              let attrs =
+                List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs
+              in
+              Xml.Element (tag, attrs, normalize_children kids))
+            name_gen
+            (list_size (int_bound 3) attr_gen)
+            (if depth = 0 then return []
+             else list_size (int_bound 3) (self (depth - 1)))
+        in
+        if depth = 0 then element
+        else frequency [ (3, element); (1, map (fun t -> Xml.Text t) text_gen) ])
+  in
+  (* the root is always an element *)
+  map
+    (function Xml.Text t -> Xml.Element ("root", [], [ Xml.Text t ]) | e -> e)
+    (node 3)
+
+let print_doc doc = Print.to_string doc
+
+let arb_doc = QCheck.make ~print:print_doc doc_gen
+
+(* ------------------------------------------------------------------ *)
+(* Byte mutations                                                      *)
+
+type mutation =
+  | Replace of int * char
+  | Insert of int * char
+  | Delete of int
+  | Truncate_at of int
+
+let apply_mutation s m =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match m with
+    | Replace (i, c) ->
+      let b = Bytes.of_string s in
+      Bytes.set b (i mod n) c;
+      Bytes.to_string b
+    | Insert (i, c) ->
+      let i = i mod (n + 1) in
+      String.sub s 0 i ^ String.make 1 c ^ String.sub s i (n - i)
+    | Delete i ->
+      let i = i mod n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | Truncate_at i -> String.sub s 0 (i mod (n + 1))
+
+let mutation_gen =
+  let open QCheck.Gen in
+  let byte =
+    oneofl [ '<'; '>'; '&'; '"'; '/'; '='; ';'; '#'; 'z'; ' '; '\000'; '\255' ]
+  in
+  oneof
+    [
+      map2 (fun i c -> Replace (i, c)) nat byte;
+      map2 (fun i c -> Insert (i, c)) nat byte;
+      map (fun i -> Delete i) nat;
+      map (fun i -> Truncate_at i) nat;
+    ]
+
+let mutated_gen =
+  QCheck.Gen.(
+    map
+      (fun (doc, muts) -> List.fold_left apply_mutation (print_doc doc) muts)
+      (pair doc_gen (list_size (int_bound 6) mutation_gen)))
+
+let arb_mutated = QCheck.make ~print:(fun s -> s) mutated_gen
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print doc) = doc" ~count:500 arb_doc
+    (fun doc ->
+      match Parse.parse (print_doc doc) with
+      | Ok doc' -> Xml.equal doc doc'
+      | Error e -> QCheck.Test.fail_reportf "strict parse failed: %s" e)
+
+let prop_lenient_agrees =
+  QCheck.Test.make ~name:"parse_lenient (print doc) = (doc, [])" ~count:500
+    arb_doc (fun doc ->
+      match Parse.parse_lenient (print_doc doc) with
+      | Some (doc', []) -> Xml.equal doc doc'
+      | Some (_, recs) ->
+        QCheck.Test.fail_reportf "lenient repaired a valid doc (%d repairs)"
+          (List.length recs)
+      | None -> QCheck.Test.fail_reportf "lenient found no element")
+
+let prop_mutation_total =
+  QCheck.Test.make ~name:"parsers total on mutated docs" ~count:1000 arb_mutated
+    (fun src ->
+      (match Parse.parse src with Ok _ | Error _ -> ());
+      match Parse.parse_lenient src with Some _ | None -> true)
+
+let prop_lenient_deterministic =
+  QCheck.Test.make ~name:"parse_lenient deterministic" ~count:300 arb_mutated
+    (fun src ->
+      let show = function
+        | None -> "None"
+        | Some (doc, recs) ->
+          Printf.sprintf "%s with %d repair(s)" (print_doc doc)
+            (List.length recs)
+      in
+      String.equal (show (Parse.parse_lenient src)) (show (Parse.parse_lenient src)))
+
+(* A lenient parse of a strictly-valid payload is available to the
+   protocol layer even after truncation: it still finds the root
+   element whenever any opening tag survives. *)
+let prop_lenient_survives_truncation =
+  QCheck.Test.make ~name:"parse_lenient survives truncation" ~count:300 arb_doc
+    (fun doc ->
+      let s = print_doc doc in
+      (* keep at least the full root opening-tag name *)
+      let root_len =
+        match doc with Xml.Element (t, _, _) -> String.length t + 1 | _ -> 2
+      in
+      let keep = max root_len (String.length s / 2) in
+      match Parse.parse_lenient (String.sub s 0 keep) with
+      | Some (Xml.Element (tag, _, _), _) ->
+        (match doc with
+        | Xml.Element (root, _, _) -> String.equal tag root
+        | Xml.Text _ -> false)
+      | Some (Xml.Text _, _) | None -> false)
+
+let qcheck_seed =
+  match Sys.getenv_opt "KIND_QCHECK_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    t
+
+let suites =
+  [
+    ( Printf.sprintf "xmlfuzz [seed %d]" qcheck_seed,
+      List.map to_alcotest
+        [
+          prop_roundtrip;
+          prop_lenient_agrees;
+          prop_mutation_total;
+          prop_lenient_deterministic;
+          prop_lenient_survives_truncation;
+        ] );
+  ]
