@@ -1,0 +1,184 @@
+(* COST — the cardinality/cost analysis as a planning oracle: run the
+   join-kernel workloads (plus one selective-join workload the greedy
+   syntactic planner orders badly) with and without
+   [Engine.config.cost_oracle], check the answers agree, and record
+   estimate-vs-actual accuracy and analysis time. Writes
+   BENCH_cost.json; [smoke] is the @cost-smoke regression gate — the
+   oracle must never be more than 1.2x slower than the greedy planner,
+   and must win on at least one workload. *)
+
+open Kind
+module Engine = Datalog.Engine
+module Card = Analysis.Card
+
+let v = Logic.Term.var
+let s = Logic.Term.sym
+
+let fact p args = Logic.Rule.fact (Logic.Atom.make p args)
+let rule h b = Logic.Rule.make h b
+let atom p args = Logic.Atom.make p args
+let pos = Logic.Literal.pos
+
+(* ------------------------------------------------------------------ *)
+(* Workload: a join whose selective literal comes last syntactically.
+   The greedy planner scores literals by boundness only, so it scans
+   [a] (the big relation) first and filters at the very end; the
+   cardinality oracle starts from [sel] (2 rows) and drives the whole
+   join through index probes. *)
+
+let sel_rules =
+  [
+    rule
+      (atom "picked" [ v "X"; v "Z" ])
+      [ pos "a" [ v "X"; v "Y" ]; pos "b" [ v "Y"; v "Z" ]; pos "sel" [ v "Z" ] ];
+  ]
+
+let sel_join ~rows =
+  let classes = 200 in
+  let fanout = 25 in
+  let a =
+    List.init rows (fun i ->
+        fact "a"
+          [ s (Printf.sprintf "x%d" i); s (Printf.sprintf "y%d" (i mod classes)) ])
+  in
+  (* every y fans out to [fanout] distinct z's: the greedy a->b->sel
+     order materializes rows*fanout intermediate tuples before the
+     filter; sel->b->a touches a handful *)
+  let b =
+    List.concat
+      (List.init classes (fun i ->
+           List.init fanout (fun j ->
+               fact "b"
+                 [
+                   s (Printf.sprintf "y%d" i);
+                   s (Printf.sprintf "z%d" ((i * fanout) + j));
+                 ])))
+  in
+  let sel = [ fact "sel" [ s "z0" ]; fact "sel" [ s "z2501" ] ] in
+  Datalog.Program.make_exn (sel_rules @ a @ b @ sel)
+
+let workloads ~full =
+  Exp_join.workloads ~full
+  @ [ ("sel-join", sel_join ~rows:(if full then 30_000 else 6_000)) ]
+
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  name : string;
+  greedy_ms : float;
+  oracle_ms : float;
+  analysis_ms : float;
+  used : int;
+  est_vs_actual : float;
+  derived : int;
+}
+
+let measure_pair (name, p) =
+  let t0 = Unix.gettimeofday () in
+  let res = Card.analyze (Datalog.Program.rules p) in
+  let oracle = Card.oracle res in
+  let analysis_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let greedy_ms, rep_g = Exp_join.measure ~config:Engine.default_config p in
+  let oracle_config =
+    { Engine.default_config with Engine.cost_oracle = Some oracle }
+  in
+  let oracle_ms, rep_o = Exp_join.measure ~config:oracle_config p in
+  if rep_g.Engine.derived <> rep_o.Engine.derived then
+    failwith
+      (Printf.sprintf
+         "cost bench: oracle and greedy plans disagree on %s (%d vs %d \
+          derived)"
+         name rep_g.Engine.derived rep_o.Engine.derived);
+  {
+    name;
+    greedy_ms;
+    oracle_ms;
+    analysis_ms;
+    used = rep_o.Engine.cost_oracle_used;
+    est_vs_actual = rep_o.Engine.est_vs_actual;
+    derived = rep_o.Engine.derived;
+  }
+
+let run () =
+  Util.header
+    "COST  cardinality analysis as planning oracle: analysis-ordered vs \
+     greedy joins";
+  let rows = List.map measure_pair (workloads ~full:true) in
+  Util.table
+    ~columns:
+      [
+        "workload"; "derived"; "greedy-ms"; "oracle-ms"; "ratio";
+        "analysis-ms"; "oracle-used"; "est/actual";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           Util.fint r.derived;
+           Util.fms r.greedy_ms;
+           Util.fms r.oracle_ms;
+           Printf.sprintf "%.2fx" (r.oracle_ms /. r.greedy_ms);
+           Util.fms r.analysis_ms;
+           Util.fint r.used;
+           Printf.sprintf "%.2f" r.est_vs_actual;
+         ])
+       rows);
+  let fields =
+    [
+      ( "experiment",
+        "\"cardinality/cost analysis: oracle-ordered joins vs greedy \
+         syntactic planner\"" );
+      ( "protocol",
+        "\"fastest of 5 repetitions per config; analysis timed once, cold; \
+         est/actual is the geometric mean over finite-estimate predicates\""
+      );
+    ]
+    @ List.concat_map
+        (fun r ->
+          let k = Exp_join.key r.name in
+          [
+            (k ^ "_greedy_ms", Printf.sprintf "%.3f" r.greedy_ms);
+            (k ^ "_oracle_ms", Printf.sprintf "%.3f" r.oracle_ms);
+            (k ^ "_ratio", Printf.sprintf "%.3f" (r.oracle_ms /. r.greedy_ms));
+            (k ^ "_analysis_ms", Printf.sprintf "%.3f" r.analysis_ms);
+            (k ^ "_oracle_used", string_of_int r.used);
+            (k ^ "_est_vs_actual", Printf.sprintf "%.3f" r.est_vs_actual);
+            (k ^ "_derived", string_of_int r.derived);
+          ])
+        rows
+  in
+  Exp_join.write_json "BENCH_cost.json" fields;
+  Util.note "wrote BENCH_cost.json"
+
+(* ------------------------------------------------------------------ *)
+(* Smoke gate (`dune build @cost-smoke`): self-contained — both
+   configurations run here and now, so no committed reference is
+   needed. The oracle must stay within 1.2x of greedy everywhere (with
+   a 1 ms floor so micro-jitter on trivial workloads cannot fail the
+   gate) and must be strictly faster on at least one workload. *)
+
+let smoke () =
+  Util.header "COST-SMOKE  oracle-ordered joins vs greedy, trimmed workloads";
+  let rows = List.map measure_pair (workloads ~full:false) in
+  let failures = ref 0 in
+  let wins = ref 0 in
+  List.iter
+    (fun r ->
+      let limit = (1.2 *. r.greedy_ms) +. 1.0 in
+      let ok = r.oracle_ms <= limit in
+      if not ok then incr failures;
+      if r.oracle_ms < r.greedy_ms then incr wins;
+      Printf.printf "  %-12s greedy %s  oracle %s  limit %s  %s\n" r.name
+        (Util.fms r.greedy_ms) (Util.fms r.oracle_ms) (Util.fms limit)
+        (if ok then "ok" else "REGRESSION"))
+    rows;
+  if !wins = 0 then begin
+    Printf.printf
+      "  the oracle won on no workload (expected at least sel-join)\n";
+    incr failures
+  end;
+  if !failures > 0 then begin
+    Printf.printf "cost-smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  Util.note "cost-smoke passed"

@@ -31,6 +31,8 @@ let experiments =
     ("join", "join-kernel: compiled plans vs interpreted", Exp_join.run);
     ("faults", "fault-injection runtime: overhead and fast-fail", Exp_faults.run);
     ("join-smoke", "join-kernel regression gate vs BENCH_join.json", Exp_join.smoke);
+    ("cost", "cardinality/cost oracle vs greedy planner", Exp_cost.run);
+    ("cost-smoke", "cost-oracle regression gate (self-contained)", Exp_cost.smoke);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -39,10 +41,12 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
     | _ ->
-      (* the smoke gate exits non-zero on regression and needs a
-         committed reference file, so it only runs when asked for *)
+      (* the smoke gates exit non-zero on regression (and join-smoke
+         needs a committed reference file), so they only run when
+         asked for *)
       List.filter_map
-        (fun (id, _, _) -> if id = "join-smoke" then None else Some id)
+        (fun (id, _, _) ->
+          if id = "join-smoke" || id = "cost-smoke" then None else Some id)
         experiments
   in
   Printf.printf

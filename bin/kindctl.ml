@@ -211,6 +211,18 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint *)
 
+(* shared by [lint] and [cost]: 0 clean, 1 strict warnings, 2 errors,
+   3 usage *)
+let lint_exits =
+  Cmd.Exit.info 0 ~doc:"no diagnostics (warnings only, without \
+                        $(b,--strict))."
+  :: Cmd.Exit.info 1 ~doc:"warning-severity diagnostics under \
+                           $(b,--strict)."
+  :: Cmd.Exit.info 2 ~doc:"reject-level (error-severity) diagnostics."
+  :: Cmd.Exit.info 3 ~doc:"usage errors: no input given, unreadable or \
+                           unparsable arguments."
+  :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+
 let lint_cmd =
   let files =
     Arg.(value & pos_all file [] & info [] ~docv:"FILE"
@@ -259,7 +271,7 @@ let lint_cmd =
     in
     if files = [] && not demo then begin
       prerr_endline "lint: nothing to do; give program FILEs or --demo";
-      2
+      3
     end
     else begin
       let per_file = List.map (fun f -> (f, lint_file f)) files in
@@ -279,19 +291,20 @@ let lint_cmd =
           Format.printf "%a@." Analysis.Diagnostic.pp_report demo_d
         end
       end;
-      let bad =
-        Analysis.Diagnostic.count sorted Analysis.Diagnostic.Error
-        + if strict then Analysis.Diagnostic.count sorted Analysis.Diagnostic.Warning
-          else 0
-      in
-      if bad > 0 then 1 else 0
+      if Analysis.Diagnostic.count sorted Analysis.Diagnostic.Error > 0 then 2
+      else if
+        strict
+        && Analysis.Diagnostic.count sorted Analysis.Diagnostic.Warning > 0
+      then 1
+      else 0
     end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"kindlint: static analysis of F-logic programs and the demo \
              federation — rule safety, stratification, schema conformance, \
-             capability feasibility, domain-map well-formedness")
+             capability feasibility, domain-map well-formedness"
+       ~exits:lint_exits)
     Term.(const run $ files $ demo $ json $ strict $ scale $ seed)
 
 (* ------------------------------------------------------------------ *)
@@ -312,6 +325,218 @@ let json_str s =
     s;
   Buffer.add_char b '"';
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* cost *)
+
+let cost_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"F-logic program(s) to analyze")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo" ]
+           ~doc:"analyze the Section 5 demo federation (with the \
+                 walkthrough views installed) instead of program files")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+           ~doc:"row budget: a rule whose estimated result exceeds N rows \
+                 (or is provably unbounded while synthesising fresh \
+                 values) gets a reject-level over-budget error")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"exit nonzero on warnings too")
+  in
+  let scale =
+    Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N"
+           ~doc:"rows per class for --demo")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let run files demo json budget strict scale seed =
+    let module C = Analysis.Cost_lint in
+    let module Card = Analysis.Card in
+    let module D = Analysis.Diagnostic in
+    let error_report ~code f e =
+      {
+        C.empty with
+        C.diags =
+          [
+            D.make ~severity:D.Error ~pass:"rules" ~code
+              ~location:(D.Source f) e;
+          ];
+      }
+    in
+    let analyze_rules p rules =
+      C.analyze ?budget
+        ~assume_nonempty:
+          (Analysis.Kindlint.open_predicate
+             ~signature:p.Flogic.Fl_program.signature rules)
+        rules
+    in
+    let report_of_file f =
+      match Flogic.Fl_parser.parse_program (read_file f) with
+      | Error e -> error_report ~code:"parse-error" f e
+      | Ok parsed -> (
+        let p =
+          Flogic.Fl_program.make
+            ~signature:parsed.Flogic.Fl_parser.signature
+            parsed.Flogic.Fl_parser.rules
+        in
+        match Flogic.Fl_program.compile p with
+        | Ok dp -> analyze_rules p (Datalog.Program.rules dp)
+        | Error e -> (
+          (* the whole program does not compile; like kindlint, still
+             analyze the rules that are individually fine, with the
+             GCM axioms in scope *)
+          match
+            List.concat_map
+              (fun r ->
+                try Flogic.Compile.rule p.Flogic.Fl_program.signature r
+                with Flogic.Compile.Compile_error _ -> [])
+              p.Flogic.Fl_program.rules
+          with
+          | exception Flogic.Compile.Compile_error e' ->
+            error_report ~code:"compile-error" f e'
+          | dl_rules -> (
+            let safe =
+              Flogic.Gcm_axioms.core
+              @ (if p.Flogic.Fl_program.inheritance then
+                   Flogic.Gcm_axioms.nonmonotonic_inheritance
+                 else [])
+              @ List.filter
+                  (fun r -> Logic.Rule.safety_errors r = [])
+                  dl_rules
+            in
+            match Datalog.Program.make safe with
+            | Error _ -> error_report ~code:"compile-error" f e
+            | Ok dp ->
+              let r = analyze_rules p (Datalog.Program.rules dp) in
+              {
+                r with
+                C.diags =
+                  (error_report ~code:"compile-error" f e).C.diags
+                  @ r.C.diags;
+              })))
+    in
+    let demo_report () =
+      let med =
+        Neuro.Sources.standard_mediator { Neuro.Sources.seed; scale }
+      in
+      (* the provenance walkthrough views, so the report has IVDs to
+         price (colocated is a genuine cross-product) *)
+      (match
+         Mediation.Mediator.add_ivd_text med
+           "big_spine(X) :- X : 'SYNAPSE.spine_measure', X[diameter ->> \
+            D], D > 0.5.\n\
+            spiny_signal(N) :- N : neurotransmission.\n\
+            colocated(N, X) :- spiny_signal(N), big_spine(X)."
+       with
+      | Ok () -> ()
+      | Error e -> prerr_endline e);
+      Mediation.Lint.cost ?budget med
+    in
+    let iv_json (i : Card.interval) =
+      Printf.sprintf "{\"lo\":%d,\"hi\":%s}" i.Card.lo
+        (match i.Card.hi with
+        | None -> "null"
+        | Some h -> string_of_int h)
+    in
+    let json_of_report (r : C.report) =
+      let preds =
+        List.map
+          (fun (p, iv) ->
+            Printf.sprintf "%s:%s" (json_str p) (iv_json iv))
+          r.C.intervals
+      in
+      let costs =
+        List.map
+          (fun ((rule : Logic.Rule.t), (c : Card.rule_cost)) ->
+            Printf.sprintf
+              "{\"rule\":%s,\"order\":[%s],\"est\":%s,\"cost\":%s,\
+               \"greedy_cost\":%s,\"cross_products\":%d,\
+               \"recursive\":%b,\"growing\":%b}"
+              (json_str (Logic.Rule.to_string rule))
+              (String.concat "," (List.map string_of_int c.Card.order))
+              (iv_json c.Card.est)
+              (match c.Card.cost with
+              | None -> "null"
+              | Some n -> string_of_int n)
+              (match c.Card.greedy_cost with
+              | None -> "null"
+              | Some n -> string_of_int n)
+              c.Card.cross_products c.Card.recursive c.Card.growing)
+          r.C.costs
+      in
+      Printf.sprintf
+        "{\"intervals\":{%s},\n \"rules\":[%s],\n \"diagnostics\":%s}"
+        (String.concat "," preds)
+        (String.concat ",\n  " costs)
+        (D.list_to_json (D.normalize r.C.diags))
+    in
+    let pp_text label (r : C.report) =
+      Format.printf "%s:@." label;
+      Format.printf "  per-predicate cardinality bounds:@.";
+      List.iter
+        (fun (p, iv) -> Format.printf "    %-28s %a@." p Card.pp_interval iv)
+        r.C.intervals;
+      if r.C.costs <> [] then Format.printf "  per-rule plans:@.";
+      List.iter
+        (fun ((rule : Logic.Rule.t), (c : Card.rule_cost)) ->
+          Format.printf "    %s@." (Logic.Rule.to_string rule);
+          Format.printf "      order [%s]  est %a%s%s%s@."
+            (String.concat " " (List.map string_of_int c.Card.order))
+            Card.pp_interval c.Card.est
+            (match (c.Card.cost, c.Card.greedy_cost) with
+            | Some o, Some g when o <> g ->
+              Printf.sprintf "  cost %d (greedy %d)" o g
+            | Some o, _ -> Printf.sprintf "  cost %d" o
+            | None, _ -> "")
+            (if c.Card.cross_products > 0 then "  [cross-product]" else "")
+            (if c.Card.growing then "  [unbounded growth]" else ""))
+        r.C.costs;
+      let ds = D.normalize r.C.diags in
+      if ds <> [] then Format.printf "%a@." D.pp_report ds
+    in
+    if files = [] && not demo then begin
+      prerr_endline "cost: nothing to do; give program FILEs or --demo";
+      3
+    end
+    else begin
+      let labeled =
+        List.map (fun f -> (f, report_of_file f)) files
+        @ (if demo then [ ("demo federation", demo_report ()) ] else [])
+      in
+      if json then
+        print_endline
+          (match labeled with
+          | [ (_, r) ] -> json_of_report r
+          | _ ->
+            Printf.sprintf "{%s}"
+              (String.concat ",\n"
+                 (List.map
+                    (fun (l, r) ->
+                      Printf.sprintf "%s:%s" (json_str l)
+                        (json_of_report r))
+                    labeled)))
+      else List.iter (fun (l, r) -> pp_text l r) labeled;
+      let all = List.concat_map (fun (_, r) -> r.C.diags) labeled in
+      if D.count all D.Error > 0 then 2
+      else if strict && D.count all D.Warning > 0 then 1
+      else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:"cardinality/cost abstract interpretation: per-predicate row \
+             bounds, per-rule join orders and estimates, and complexity \
+             hazards (cross-product joins, unbounded skolem growth, \
+             over-budget views)"
+       ~exits:lint_exits)
+    Term.(const run $ files $ demo $ json $ budget $ strict $ scale $ seed)
 
 let provenance_cmd =
   let file =
@@ -920,7 +1145,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_cmd; check_cmd; lint_cmd; provenance_cmd; explain_cmd;
+            run_cmd; check_cmd; lint_cmd; cost_cmd; provenance_cmd;
+            explain_cmd;
             translate_cmd; dmap_cmd; classify_cmd; demo_cmd; query_cmd;
             maintain_cmd; health_cmd;
           ]))

@@ -13,10 +13,13 @@ type source_info = {
   capabilities : Capability.t list;
   relations : (string * string list) list;
   classes : string list;
+  relation_counts : (string * int) list;
+  class_counts : (string * int) list;
 }
 
 let of_source src =
-  let sg = Store.signature (Source.store src) in
+  let store = Source.store src in
+  let sg = Store.signature store in
   {
     name = Source.name src;
     capabilities = Source.capabilities src;
@@ -26,6 +29,13 @@ let of_source src =
           (r, Option.value (Flogic.Signature.attributes sg r) ~default:[]))
         (Flogic.Signature.relations sg);
     classes = Gcm.Schema.class_names (Source.schema src);
+    (* registration metadata for the cardinality analysis: how many
+       tuples/objects the store holds right now — trusted caps for the
+       corresponding open predicates *)
+    relation_counts =
+      List.map (fun r -> (r, Store.tuple_count store ~rel:r)) (Store.relations store);
+    class_counts =
+      List.map (fun c -> (c, Store.object_count store ~cls:c)) (Store.classes store);
   }
 
 (* mirror of Mediation.Namespace.split: 'SRC.name' *)

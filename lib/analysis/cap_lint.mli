@@ -50,6 +50,11 @@ type source_info = {
   relations : (string * string list) list;
       (** relation name, attribute layout (source-local names) *)
   classes : string list;
+  relation_counts : (string * int) list;
+      (** tuples per relation at registration time — cardinality caps
+          for the cost analysis ({!Card}) *)
+  class_counts : (string * int) list;
+      (** objects per class at registration time *)
 }
 
 val of_source : Wrapper.Source.t -> source_info

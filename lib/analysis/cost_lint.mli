@@ -1,0 +1,56 @@
+(** Pass 8 — complexity-hazard lint over the {!Card} cardinality/cost
+    analysis.
+
+    Four codes:
+    - ["cross-product-join"] (warning): a rule whose chosen join order
+      still contains a scan sharing no bound variable with the prefix —
+      the step multiplies row counts instead of filtering.
+    - ["unbounded-growth"] (warning): the boundedness check failed — a
+      recursive rule synthesises fresh values (function symbols in the
+      head, arithmetic or aggregation on a dependency cycle), so the
+      head has no finite bound and only the engine's term-depth guard
+      terminates it.
+    - ["super-linear-blowup"] (warning): a non-recursive rule whose
+      worst-case result is more than 4x the summed size of its inputs
+      (and above a small floor) — the joins build a product.
+    - ["over-budget"] (error, only when [budget] is given): the rule's
+      estimated result exceeds the configured row budget, or has no
+      finite bound at all — the reject-level hazard the mediator's
+      registration policy uses for incoming IVDs. *)
+
+val pass : string
+(** ["cost"] *)
+
+val default_loc : int -> Logic.Rule.t -> Diagnostic.location
+
+type report = {
+  diags : Diagnostic.t list;
+  intervals : (string * Card.interval) list;
+      (** per-predicate cardinality bounds, sorted *)
+  costs : (Logic.Rule.t * Card.rule_cost) list;
+      (** per-rule orders/estimates, in input order *)
+}
+
+val empty : report
+
+val analyze :
+  ?budget:int ->
+  ?assume_nonempty:(string -> bool) ->
+  ?seed:(string -> Card.interval option) ->
+  ?edb:Datalog.Database.t ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
+  Logic.Rule.t list ->
+  report
+(** Diagnostics plus the underlying analysis (what [kindctl cost]
+    renders). Returns {!empty} on {!Absint.Diverged}. [loc] maps a rule
+    index to a source location (defaults to the rendered rule). *)
+
+val lint :
+  ?budget:int ->
+  ?assume_nonempty:(string -> bool) ->
+  ?seed:(string -> Card.interval option) ->
+  ?edb:Datalog.Database.t ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
+  Logic.Rule.t list ->
+  Diagnostic.t list
+(** Just the diagnostics — the {!Kindlint} pass entry point. *)

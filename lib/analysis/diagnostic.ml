@@ -33,6 +33,65 @@ let sort ds =
         if c <> 0 then c else String.compare a.code b.code)
     ds
 
+(* Deterministic output order, independent of pass registration: by
+   location first (so everything about one rule sits together), then
+   pass, code, severity, message. [normalize] also drops exact
+   duplicates — passes overlap (e.g. two passes may flag the same dead
+   rule) and goldens should not depend on which one ran first. *)
+let location_rank = function
+  | Rule _ -> 0
+  | Predicate _ -> 1
+  | Edge _ -> 2
+  | Concept _ -> 3
+  | Source _ -> 4
+  | Query _ -> 5
+  | Federation -> 6
+
+let location_compare a b =
+  match (a, b) with
+  | Rule r1, Rule r2 ->
+    let c = compare r1.index r2.index in
+    if c <> 0 then c
+    else
+      let c = compare r1.pos r2.pos in
+      if c <> 0 then c else String.compare r1.text r2.text
+  | Predicate p1, Predicate p2 -> String.compare p1 p2
+  | Edge e1, Edge e2 ->
+    let c = String.compare e1.src e2.src in
+    if c <> 0 then c
+    else
+      let c = String.compare e1.dst e2.dst in
+      if c <> 0 then c else String.compare e1.label e2.label
+  | Concept c1, Concept c2 -> String.compare c1 c2
+  | Source s1, Source s2 -> String.compare s1 s2
+  | Query q1, Query q2 -> String.compare q1 q2
+  | Federation, Federation -> 0
+  | a, b -> compare (location_rank a) (location_rank b)
+
+let normalize ds =
+  let cmp a b =
+    let c = location_compare a.location b.location in
+    if c <> 0 then c
+    else
+      let c = String.compare a.pass b.pass in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c
+        else
+          let c = compare (severity_order a.severity) (severity_order b.severity) in
+          if c <> 0 then c
+          else
+            let c = String.compare a.message b.message in
+            if c <> 0 then c else compare a.hint b.hint
+  in
+  let rec dedup = function
+    | a :: b :: rest when a = b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup (List.stable_sort cmp ds)
+
 let errors = List.filter (fun d -> d.severity = Error)
 let warnings = List.filter (fun d -> d.severity = Warning)
 let count ds s = List.length (List.filter (fun d -> d.severity = s) ds)

@@ -46,7 +46,15 @@ val severity_order : severity -> int
 (** [Error] < [Warning] < [Info] — for sorting worst-first. *)
 
 val sort : t list -> t list
-(** Stable sort by severity (errors first), then pass, then code. *)
+(** Stable sort by severity (errors first), then pass, then code — the
+    human-report order. *)
+
+val normalize : t list -> t list
+(** Deterministic machine order, independent of pass registration:
+    stable sort by (location, pass, code, severity, message, hint) and
+    dedup of identical diagnostics. {!Kindlint.lint_program} and the
+    {!Mediation.Lint} facade normalize before returning, so [--json]
+    goldens don't depend on which pass emitted a finding first. *)
 
 val errors : t list -> t list
 val warnings : t list -> t list

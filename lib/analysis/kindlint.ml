@@ -21,13 +21,15 @@ let open_predicate ?signature ?(known_predicates = []) rules =
     || List.mem p known_predicates
     || (List.mem p Rule_lint.reserved_predicates && not (SS.mem p defined))
 
-let lint_datalog ?signature ?known_predicates ?fallback_ok ?cones ?edb p =
+let lint_datalog ?signature ?known_predicates ?fallback_ok ?cones ?edb ?budget
+    ?seed p =
   let rules = Datalog.Program.rules p in
-  Rule_lint.lint ?signature ?known_predicates rules
-  @ Strat_lint.lint ?fallback_ok p
-  @ Type_lint.lint ?cones
-      ~assume_nonempty:(open_predicate ?signature ?known_predicates rules)
-      ?edb rules
+  let assume_nonempty = open_predicate ?signature ?known_predicates rules in
+  D.normalize
+    (Rule_lint.lint ?signature ?known_predicates rules
+    @ Strat_lint.lint ?fallback_ok p
+    @ Type_lint.lint ?cones ~assume_nonempty ?edb rules
+    @ Cost_lint.lint ?budget ~assume_nonempty ?seed ?edb rules)
 
 (* ------------------------------------------------------------------ *)
 (* Molecule-level occurrence counting (multi-head aware) *)
@@ -109,7 +111,7 @@ let declared_universe rules =
 
 let lint_program ?(known_class = fun _ -> false)
     ?(known_method = fun _ -> false) ?known_predicates ?fallback_ok
-    ?(positions = []) ?cones ?(sources = []) ?class_sources
+    ?(positions = []) ?cones ?(sources = []) ?class_sources ?budget ?seed
     (p : Flogic.Fl_program.t) =
   let mol_pos i = List.nth_opt positions i in
   let mol_loc i r =
@@ -141,11 +143,12 @@ let lint_program ?(known_class = fun _ -> false)
   in
   match compiled with
   | Error e ->
-    schema_diags @ unused @ prov_diags
-    @ [
-        D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
-          ~location:D.Federation e;
-      ]
+    D.normalize
+      (schema_diags @ unused @ prov_diags
+      @ [
+          D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
+            ~location:D.Federation e;
+        ])
   | Ok per_molecule ->
     let dl_rules = List.concat per_molecule in
     (* each compiled rule inherits the source position of the molecule
@@ -181,17 +184,34 @@ let lint_program ?(known_class = fun _ -> false)
         (fun acc r -> SS.add (Logic.Rule.to_string r) acc)
         SS.empty dl_rules
     in
+    let only_user ds =
+      List.filter
+        (fun (d : D.t) ->
+          match d.D.location with
+          | D.Rule { text; _ } -> SS.mem text user_rules
+          | _ -> true)
+        ds
+    in
     let type_diags dp =
       let rules = Datalog.Program.rules dp in
-      Type_lint.lint ?cones
-        ~assume_nonempty:
-          (open_predicate ~signature:p.Flogic.Fl_program.signature
-             ?known_predicates rules)
-        ~loc:dl_loc rules
-      |> List.filter (fun (d : D.t) ->
-             match d.D.location with
-             | D.Rule { text; _ } -> SS.mem text user_rules
-             | _ -> true)
+      only_user
+        (Type_lint.lint ?cones
+           ~assume_nonempty:
+             (open_predicate ~signature:p.Flogic.Fl_program.signature
+                ?known_predicates rules)
+           ~loc:dl_loc rules)
+    in
+    (* pass 8 — cardinality/cost hazards, same scoping as the type pass:
+       the axioms participate in the analysis but only user rules are
+       flagged *)
+    let cost_diags dp =
+      let rules = Datalog.Program.rules dp in
+      only_user
+        (Cost_lint.lint ?budget
+           ~assume_nonempty:
+             (open_predicate ~signature:p.Flogic.Fl_program.signature
+                ?known_predicates rules)
+           ?seed ~loc:dl_loc rules)
     in
     let deep_diags =
       if has_errors then
@@ -206,15 +226,19 @@ let lint_program ?(known_class = fun _ -> false)
           @ List.filter (fun r -> Logic.Rule.safety_errors r = []) dl_rules
         in
         match Datalog.Program.make safe with
-        | Ok p -> Strat_lint.lint ?fallback_ok ~loc:dl_loc p @ type_diags p
+        | Ok p ->
+          Strat_lint.lint ?fallback_ok ~loc:dl_loc p
+          @ type_diags p @ cost_diags p
         | Error _ -> []
       else
         match Flogic.Fl_program.compile p with
-        | Ok dp -> Strat_lint.lint ?fallback_ok ~loc:dl_loc dp @ type_diags dp
+        | Ok dp ->
+          Strat_lint.lint ?fallback_ok ~loc:dl_loc dp
+          @ type_diags dp @ cost_diags dp
         | Error e ->
           [
             D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"
               ~location:D.Federation e;
           ]
     in
-    schema_diags @ unused @ prov_diags @ rule_diags @ deep_diags
+    D.normalize (schema_diags @ unused @ prov_diags @ rule_diags @ deep_diags)

@@ -27,13 +27,17 @@ val lint_datalog :
   ?fallback_ok:bool ->
   ?cones:Absint.cones ->
   ?edb:Datalog.Database.t ->
+  ?budget:int ->
+  ?seed:(string -> Card.interval option) ->
   Datalog.Program.t ->
   Diagnostic.t list
-(** Passes 1 (rule lint), 2 (stratification) and 6 (type/emptiness
-    inference, seeded with [edb] and widened over [cones]) on a
-    compiled Datalog program. [fallback_ok] (default [true]) downgrades
-    a negative cycle to a warning, matching the engine's well-founded
-    fallback. *)
+(** Passes 1 (rule lint), 2 (stratification), 6 (type/emptiness
+    inference, seeded with [edb] and widened over [cones]) and 8
+    (cardinality/cost hazards, {!Cost_lint}, capped by [seed] and the
+    row [budget]) on a compiled Datalog program. [fallback_ok] (default
+    [true]) downgrades a negative cycle to a warning, matching the
+    engine's well-founded fallback. The result is
+    {!Diagnostic.normalize}d. *)
 
 val lint_program :
   ?known_class:(string -> bool) ->
@@ -44,10 +48,13 @@ val lint_program :
   ?cones:Absint.cones ->
   ?sources:string list ->
   ?class_sources:(string -> string list) ->
+  ?budget:int ->
+  ?seed:(string -> Card.interval option) ->
   Flogic.Fl_program.t ->
   Diagnostic.t list
 (** Passes 1–3 plus the abstract-interpretation passes (6: type /
-    emptiness, 7: provenance) on an F-logic program:
+    emptiness, 7: provenance, 8: cardinality/cost) on an F-logic
+    program:
 
     - schema conformance of the molecule rules against the program's
       signature plus the classes/methods the program itself declares
@@ -63,7 +70,15 @@ val lint_program :
       facts), reporting only on the user's rules;
     - source provenance ({!Prov_lint}) over the surface molecules, with
       [sources] the registered source names (default: none — standalone
-      programs are only flagged on qualified ['SRC.x'] references).
+      programs are only flagged on qualified ['SRC.x'] references);
+    - cardinality/cost hazards ({!Cost_lint}) over the full compiled
+      program, reporting only on the user's rules; [seed] caps open
+      predicates (store fact counts, cone sizes), [budget] turns
+      over-budget estimates into reject-level errors.
+
+    The result is {!Diagnostic.normalize}d: sorted by (location, pass,
+    code) with exact duplicates removed, independent of pass
+    registration order.
 
     [positions] (from {!Flogic.Fl_parser.parsed.rule_positions}) aligns
     1-based (line, column) pairs with the program's rules; every

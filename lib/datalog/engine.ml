@@ -3,6 +3,11 @@ module Subst = Logic.Subst
 
 type strategy = Naive | Seminaive
 
+type cost_oracle = {
+  order : Logic.Rule.t -> focus:int option -> int list option;
+  estimate : string -> int option;
+}
+
 type config = {
   strategy : strategy;
   max_term_depth : int;
@@ -10,6 +15,7 @@ type config = {
   allow_wellfounded_fallback : bool;
   compiled_plans : bool;
   prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
+  cost_oracle : cost_oracle option;
 }
 
 let default_config =
@@ -20,6 +26,7 @@ let default_config =
     allow_wellfounded_fallback = true;
     compiled_plans = true;
     prune = None;
+    cost_oracle = None;
   }
 
 exception Unstratified of string list
@@ -38,6 +45,8 @@ type report = {
   strata_skipped : int;
   delta_facts : int;
   rules_pruned : int;
+  cost_oracle_used : int;
+  est_vs_actual : float;
 }
 
 let empty_report =
@@ -54,7 +63,28 @@ let empty_report =
     strata_skipped = 0;
     delta_facts = 0;
     rules_pruned = 0;
+    cost_oracle_used = 0;
+    est_vs_actual = 0.0;
   }
+
+(* Geometric mean of estimate/actual over the predicates the oracle can
+   bound — the honest summary of how tight the static analysis is
+   (1.0 = exact, 10.0 = an order of magnitude over). 0.0 = no oracle
+   or nothing finite to compare. *)
+let est_vs_actual_of (o : cost_oracle) db =
+  let logs, n =
+    List.fold_left
+      (fun (acc, n) p ->
+        match o.estimate p with
+        | Some est ->
+          let actual = Database.count db p in
+          ( acc
+            +. log (float_of_int (max 1 est) /. float_of_int (max 1 actual)),
+            n + 1 )
+        | None -> (acc, n))
+      (0.0, 0) (Database.predicates db)
+  in
+  if n = 0 then 0.0 else exp (logs /. float_of_int n)
 
 let run_stratum config stats rules db =
   match config.strategy with
@@ -88,7 +118,7 @@ let materialize ?(config = default_config) ?report p edb =
       let kept = f rules db in
       (Program.make_exn kept, List.length rules - List.length kept)
   in
-  let fill_report ~stratified ~strata ~rounds ~derived ~skolems =
+  let fill_report ~stratified ~strata ~rounds ~derived ~skolems ~result =
     match report with
     | None -> ()
     | Some r ->
@@ -106,37 +136,51 @@ let materialize ?(config = default_config) ?report p edb =
           strata_skipped = 0;
           delta_facts = 0;
           rules_pruned = pruned;
+          cost_oracle_used = stats.Eval.cost_oracle_used;
+          est_vs_actual =
+            (match config.cost_oracle with
+            | None -> 0.0
+            | Some o -> est_vs_actual_of o result);
         }
   in
-  match Stratify.rules_by_stratum p with
-  | Ok strata ->
-    let rounds = ref 0 and derived = ref 0 and skolems = ref 0 in
-    List.iter
-      (fun rules ->
-        if rules <> [] then begin
-          let r, d, s = run_stratum config stats rules db in
-          rounds := !rounds + r;
-          derived := !derived + d;
-          skolems := !skolems + s
-        end)
-      strata;
-    fill_report ~stratified:true ~strata:(List.length strata) ~rounds:!rounds
-      ~derived:!derived ~skolems:!skolems;
-    db
-  | Error cycle ->
-    if not config.allow_wellfounded_fallback then raise (Unstratified cycle);
-    let model =
-      Wellfounded.compute ~stats ~compiled:config.compiled_plans
-        ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds p db
-    in
-    let undef = Database.cardinal model.Wellfounded.undefined in
-    if undef > 0 then raise (Undefined_atoms undef);
-    fill_report ~stratified:false ~strata:1
-      ~rounds:model.Wellfounded.alternations
-      ~derived:(Database.cardinal model.Wellfounded.true_facts
-                - Database.cardinal db)
-      ~skolems:0;
-    model.Wellfounded.true_facts
+  let eval () =
+    match Stratify.rules_by_stratum p with
+    | Ok strata ->
+      let rounds = ref 0 and derived = ref 0 and skolems = ref 0 in
+      List.iter
+        (fun rules ->
+          if rules <> [] then begin
+            let r, d, s = run_stratum config stats rules db in
+            rounds := !rounds + r;
+            derived := !derived + d;
+            skolems := !skolems + s
+          end)
+        strata;
+      fill_report ~stratified:true ~strata:(List.length strata)
+        ~rounds:!rounds ~derived:!derived ~skolems:!skolems ~result:db;
+      db
+    | Error cycle ->
+      if not config.allow_wellfounded_fallback then raise (Unstratified cycle);
+      let model =
+        Wellfounded.compute ~stats ~compiled:config.compiled_plans
+          ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds
+          p db
+      in
+      let undef = Database.cardinal model.Wellfounded.undefined in
+      if undef > 0 then raise (Undefined_atoms undef);
+      fill_report ~stratified:false ~strata:1
+        ~rounds:model.Wellfounded.alternations
+        ~derived:(Database.cardinal model.Wellfounded.true_facts
+                  - Database.cardinal db)
+        ~skolems:0 ~result:model.Wellfounded.true_facts;
+      model.Wellfounded.true_facts
+  in
+  (* the oracle is consulted by [Plan.lookup], which the strategies call
+     deep inside their drivers (semi-naive resolves every plan up
+     front) — so install it around the whole evaluation *)
+  match config.cost_oracle with
+  | None -> eval ()
+  | Some o -> Plan.with_oracle o.order eval
 
 (* derive through the join kernel selected by [config]. *)
 let config_derive config ?stats ~db ~neg ?focus r =
@@ -293,6 +337,8 @@ let maintain ?(config = default_config) ?report p db delta =
             strata_skipped = rep.Maintain.skipped;
             delta_facts = rep.Maintain.added + rep.Maintain.removed;
             rules_pruned = 0;
+            cost_oracle_used = 0;
+            est_vs_actual = 0.0;
           });
       Ok rep)
 

@@ -7,6 +7,20 @@
 
 type strategy = Naive | Seminaive
 
+type cost_oracle = {
+  order : Logic.Rule.t -> focus:int option -> int list option;
+      (** analysis-derived literal order for a (rule, focus) — [None]
+          declines, leaving the syntactic greedy score in charge.
+          Invalid orders (not a stepwise-evaluable permutation) are
+          rejected by {!Plan.order_ok} and fall back to greedy. *)
+  estimate : string -> int option;
+      (** static cardinality upper bound per predicate ([None] =
+          unbounded/unknown); compared against actual extents in
+          [report.est_vs_actual] *)
+}
+(** A static cost analysis feeding the planner — build one with
+    [Analysis.Card.oracle]. *)
+
 type config = {
   strategy : strategy;
   max_term_depth : int;
@@ -33,6 +47,12 @@ type config = {
           ({!Analysis.Absint.prune} is such a hook; the engine cannot
           depend on the analysis library, so the wiring is inverted).
           Pruned-rule counts land in [report.rules_pruned]. *)
+  cost_oracle : cost_oracle option;
+      (** when set, {!materialize} installs the oracle around the whole
+          evaluation ({!Plan.with_oracle}) so compiled plans use
+          analysis-derived literal orders, and the report gains
+          [cost_oracle_used] / [est_vs_actual]. Same wiring inversion
+          as [prune]: the analysis library builds the closures. *)
 }
 
 val default_config : config
@@ -65,6 +85,15 @@ type report = {
   rules_pruned : int;
       (** rules dropped by the [config.prune] hook before evaluation
           (0 when no hook is set and on the maintenance path) *)
+  cost_oracle_used : int;
+      (** plan lookups resolved with a validated oracle-supplied
+          literal order (0 without [config.cost_oracle] and on the
+          maintenance path) *)
+  est_vs_actual : float;
+      (** geometric mean of (static cardinality estimate / actual
+          extent) over the predicates the oracle bounds: 1.0 = exact,
+          10.0 = an order of magnitude over-estimated; 0.0 = no oracle
+          installed or nothing finite to compare *)
 }
 
 val empty_report : report

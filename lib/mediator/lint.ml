@@ -76,7 +76,9 @@ let federation m =
   in
   let program_diags =
     A.Kindlint.lint_program ~known_class ~cones ~sources:(source_names m)
-      ~class_sources:(class_sources m) (Mediator.program m)
+      ~class_sources:(class_sources m)
+      ?budget:(Mediator.config m).Mediator.cost_budget
+      ~seed:(Mediator.cardinality_seed m) (Mediator.program m)
   in
   let ivd_prov = (provenance m).A.Prov_lint.diags in
   let ivd_caps =
@@ -109,5 +111,37 @@ let federation m =
       (Mediator.ivds m)
   in
   A.Diagnostic.sort
-    (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_prov
-   @ ivd_caps)
+    (A.Diagnostic.normalize
+       (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_prov
+      @ ivd_caps))
+
+(* The full cost analysis of the federation program — what
+   [kindctl cost --demo] renders: per-predicate cardinality intervals,
+   per-rule orders/estimates, and the hazard diagnostics. *)
+let cost ?budget m =
+  let budget =
+    match budget with
+    | Some _ -> budget
+    | None -> (Mediator.config m).Mediator.cost_budget
+  in
+  match Flogic.Fl_program.compile (Mediator.program m) with
+  | Error e ->
+    {
+      A.Cost_lint.empty with
+      A.Cost_lint.diags =
+        [
+          A.Diagnostic.make ~severity:A.Diagnostic.Error ~pass:"rules"
+            ~code:"compile-error" ~location:A.Diagnostic.Federation e;
+        ];
+    }
+  | Ok dp ->
+    let rules = Datalog.Program.rules dp in
+    let report =
+      A.Cost_lint.analyze ?budget
+        ~assume_nonempty:
+          (A.Kindlint.open_predicate
+             ~signature:(Mediator.program m).Flogic.Fl_program.signature
+             rules)
+        ~seed:(Mediator.cardinality_seed m) rules
+    in
+    { report with A.Cost_lint.diags = A.Diagnostic.normalize report.A.Cost_lint.diags }

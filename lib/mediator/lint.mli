@@ -46,4 +46,13 @@ val blast_radius : Mediator.t -> (string * string list) list
     [kindctl health] renders this next to the live counters. *)
 
 val federation : Mediator.t -> Analysis.Diagnostic.t list
-(** All passes, sorted by severity. *)
+(** All passes — including pass 8 (cardinality/cost hazards, seeded
+    with {!Mediator.cardinality_seed} and budgeted by
+    [config.cost_budget]) — {!Analysis.Diagnostic.normalize}d (dedup +
+    deterministic order) then sorted by severity. *)
+
+val cost : ?budget:int -> Mediator.t -> Analysis.Cost_lint.report
+(** The full pass-8 analysis of the federation program: per-predicate
+    cardinality intervals, per-rule join orders and estimates, and the
+    hazard diagnostics ([kindctl cost --demo] renders this). [budget]
+    overrides [config.cost_budget]. *)

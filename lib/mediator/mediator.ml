@@ -16,6 +16,7 @@ type config = {
   lint : lint_policy;
   prune_dead : bool;
   runtime : Runtime.policy;
+  cost_budget : int option;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     lint = Lint_warn;
     prune_dead = false;
     runtime = Runtime.default_policy;
+    cost_budget = None;
   }
 
 module SSet = Set.Make (String)
@@ -311,39 +313,6 @@ let ivd_diags t rules =
        rules)
       .Analysis.Prov_lint.diags
 
-let add_ivd t rules =
-  let module D = Analysis.Diagnostic in
-  t.warnings <-
-    t.warnings
-    @ List.map
-        (Format.asprintf "%a" D.pp)
-        (List.filter
-           (fun (d : D.t) -> d.D.severity <> D.Info)
-           (ivd_diags t rules));
-  t.ivds <- t.ivds @ rules;
-  absorb_rules t rules
-
-let add_ivd_text t src =
-  match Flogic.Fl_parser.parse_program ~signature:t.sg src with
-  | Error e -> Error e
-  | Ok parsed ->
-    let module D = Analysis.Diagnostic in
-    let errors =
-      if t.cfg.lint = Lint_reject then
-        D.errors (ivd_diags t parsed.Flogic.Fl_parser.rules)
-      else []
-    in
-    if errors <> [] then
-      Error
-        (Printf.sprintf "view rejected by lint:\n%s"
-           (String.concat "\n"
-              (List.map (Format.asprintf "%a" D.pp) errors)))
-    else begin
-      t.sg <- parsed.Flogic.Fl_parser.signature;
-      add_ivd t parsed.Flogic.Fl_parser.rules;
-      Ok ()
-    end
-
 let dmap t = t.dmap
 let index t = t.index
 let sources t = t.sources
@@ -399,6 +368,110 @@ let build_program t =
   build_program_with t ~data:(List.concat_map source_facts t.sources)
 
 let program t = build_program t
+
+(* Trusted cardinality caps for the cost analysis ({!Analysis.Card}):
+   store counts for qualified source relations (the registration
+   metadata also surfaced by [Cap_lint.of_source]) and domain-map cone
+   sizes for the closure predicates — tc_isa holds exactly one pair per
+   (concept, cone member). *)
+let cardinality_seed t =
+  let module Card = Analysis.Card in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun src ->
+      let store = Source.store src in
+      let sname = Source.name src in
+      List.iter
+        (fun r ->
+          Hashtbl.replace tbl
+            (Namespace.qualify ~source:sname r)
+            (Wrapper.Store.tuple_count store ~rel:r))
+        (Wrapper.Store.relations store))
+    t.sources;
+  let concepts = Dmap.concepts t.dmap in
+  let cone_pairs =
+    List.fold_left
+      (fun acc c -> acc + List.length (Domain_map.Closure.cones t.dmap c))
+      0 concepts
+  in
+  let n = List.length concepts in
+  Hashtbl.replace tbl "dm_isa" cone_pairs;
+  Hashtbl.replace tbl "tc_isa" cone_pairs;
+  Hashtbl.replace tbl "has_a_star" (n * n);
+  fun p ->
+    Option.map
+      (fun hi -> { Card.lo = 0; hi = Some hi })
+      (Hashtbl.find_opt tbl p)
+
+(* Cost lint of candidate views, against the whole federation program:
+   a view is costed in context (its body predicates' extents come from
+   the sources and the closure), but only diagnostics on the candidate
+   rules themselves are reported. Active only when [cost_budget] is
+   configured — the budget also escalates over-budget estimates to
+   reject-level errors. *)
+let ivd_cost_diags t rules =
+  match (t.cfg.lint, t.cfg.cost_budget) with
+  | Lint_off, _ | _, None -> []
+  | _, Some budget -> (
+    let candidate = Flogic.Fl_program.add_rules (build_program t) rules in
+    match Flogic.Fl_program.compile candidate with
+    | Error _ -> [] (* surfaces as a compile error elsewhere *)
+    | Ok dp ->
+      let dl_rules = Datalog.Program.rules dp in
+      let candidate_texts =
+        try
+          List.concat_map
+            (Flogic.Compile.rule candidate.Flogic.Fl_program.signature)
+            rules
+          |> List.map Logic.Rule.to_string
+          |> SSet.of_list
+        with Flogic.Compile.Compile_error _ -> SSet.empty
+      in
+      Analysis.Cost_lint.lint ~budget
+        ~assume_nonempty:
+          (Analysis.Kindlint.open_predicate
+             ~signature:candidate.Flogic.Fl_program.signature dl_rules)
+        ~seed:(cardinality_seed t) dl_rules
+      |> List.filter (fun (d : Analysis.Diagnostic.t) ->
+             match d.Analysis.Diagnostic.location with
+             | Analysis.Diagnostic.Rule { text; _ } ->
+               SSet.mem text candidate_texts
+             | _ -> false))
+
+let add_ivd t rules =
+  let module D = Analysis.Diagnostic in
+  t.warnings <-
+    t.warnings
+    @ List.map
+        (Format.asprintf "%a" D.pp)
+        (List.filter
+           (fun (d : D.t) -> d.D.severity <> D.Info)
+           (ivd_diags t rules @ ivd_cost_diags t rules));
+  t.ivds <- t.ivds @ rules;
+  absorb_rules t rules
+
+let add_ivd_text t src =
+  match Flogic.Fl_parser.parse_program ~signature:t.sg src with
+  | Error e -> Error e
+  | Ok parsed ->
+    let module D = Analysis.Diagnostic in
+    let errors =
+      if t.cfg.lint = Lint_reject then
+        D.errors
+          (ivd_diags t parsed.Flogic.Fl_parser.rules
+          @ ivd_cost_diags t parsed.Flogic.Fl_parser.rules)
+      else []
+    in
+    if errors <> [] then
+      Error
+        (Printf.sprintf "view rejected by lint:\n%s"
+           (String.concat "\n"
+              (List.map (Format.asprintf "%a" D.pp) errors)))
+    else begin
+      t.sg <- parsed.Flogic.Fl_parser.signature;
+      add_ivd t parsed.Flogic.Fl_parser.rules;
+      Ok ()
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation: pull each source's data through its fault

@@ -36,6 +36,15 @@ type config = {
       (** per-source retry-with-backoff and circuit-breaker policies
           applied to every query-time fetch (default
           {!Runtime.default_policy}) *)
+  cost_budget : int option;
+      (** row budget for incoming IVDs: when set, {!add_ivd} /
+          {!add_ivd_text} run the cardinality analysis
+          ({!Analysis.Card}, seeded with {!cardinality_seed}) over the
+          federation program plus the candidate views, and a view whose
+          estimated result exceeds the budget (or is provably
+          unbounded) gets a reject-level [over-budget] error — which
+          [Lint_reject] turns into a refused registration (default
+          [None]: no cost policy) *)
 }
 
 val default_config : config
@@ -105,6 +114,13 @@ val program : t -> Flogic.Fl_program.t
     rules, anchor rules, lifted source facts and IVDs — exactly as
     {!materialize} would compile it, but without materializing. This is
     what [Lint.federation] analyzes. *)
+
+val cardinality_seed : t -> string -> Analysis.Card.interval option
+(** Trusted cardinality caps for the cost analysis: store tuple counts
+    for qualified ['SRC.rel'] predicates, and domain-map cone sizes for
+    the closure predicates ([tc_isa]/[dm_isa]: one pair per (concept,
+    cone member); [has_a_star]: |concepts|²). What [Lint.federation]
+    and the IVD budget check seed {!Analysis.Card.analyze} with. *)
 
 val plugins : t -> Cm_plugins.Plugin.registry
 val translation_warnings : t -> string list

@@ -1,0 +1,353 @@
+(* The cardinality/cost abstract interpretation (Analysis.Card), the
+   complexity-hazard pass (Analysis.Cost_lint), and the engine's
+   cost-oracle hook.
+
+   Soundness is also property-tested against the materialized model on
+   random programs in Test_differential; here the exact arithmetic,
+   the boundedness check, key inference, the seeded sample goldens and
+   the report counters are pinned. *)
+
+open Logic
+module Card = Analysis.Card
+module Cost_lint = Analysis.Cost_lint
+module D = Analysis.Diagnostic
+module Engine = Datalog.Engine
+module Database = Datalog.Database
+module Program = Datalog.Program
+
+let v = Term.var
+let s = Term.sym
+
+let iv lo hi = { Card.lo; hi }
+
+let check_iv ctx expected got =
+  Alcotest.(check (pair int (option int)))
+    ctx
+    (expected.Card.lo, expected.Card.hi)
+    (got.Card.lo, got.Card.hi)
+
+let edge a b = Rule.fact (Atom.make "e" [ s a; s b ])
+
+(* ------------------------------------------------------------------ *)
+(* Exact intervals on DAG programs                                     *)
+
+let dag_exact () =
+  let rules =
+    [
+      edge "a" "b";
+      edge "b" "c";
+      edge "c" "d";
+      (* copy: |p| <= |e| *)
+      Rule.make (Atom.make "p" [ v "X"; v "Y" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+      (* projection: |q| <= distinct first columns of e *)
+      Rule.make (Atom.make "q" [ v "X" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+      (* key join: Y is a lookup into e's key column, not a scan *)
+      Rule.make (Atom.make "j" [ v "X"; v "Z" ])
+        [ Literal.pos "e" [ v "X"; v "Y" ]; Literal.pos "e" [ v "Y"; v "Z" ] ];
+    ]
+  in
+  let res = Card.analyze rules in
+  check_iv "facts are exact" (iv 3 (Some 3)) (Card.card res "e");
+  check_iv "copy is bounded by the source" (iv 0 (Some 3)) (Card.card res "p");
+  check_iv "projection bounded by distinct column values" (iv 0 (Some 3))
+    (Card.card res "q");
+  (* e's first column is a key (a, b, c all distinct), so the join
+     degenerates to one probe per e-row *)
+  Alcotest.(check bool) "e col 0 is a key" true (List.mem 0 (Card.keys res "e"));
+  check_iv "key join stays linear" (iv 0 (Some 3)) (Card.card res "j");
+  Alcotest.(check bool) "nothing here is unbounded" false
+    (List.exists (fun p -> Card.unbounded res p) [ "e"; "p"; "q"; "j" ])
+
+(* Key inference survives a copy but dies on a union *)
+let key_inference () =
+  let rules =
+    [
+      edge "a" "b";
+      edge "b" "c";
+      Rule.make (Atom.make "c1" [ v "X"; v "Y" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+      Rule.make (Atom.make "u" [ v "X"; v "Y" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+      Rule.make (Atom.make "u" [ v "Y"; v "X" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+    ]
+  in
+  let res = Card.analyze rules in
+  Alcotest.(check bool) "copy keeps the key" true
+    (List.mem 0 (Card.keys res "c1"));
+  Alcotest.(check (list int)) "union loses all keys" [] (Card.keys res "u")
+
+(* ------------------------------------------------------------------ *)
+(* Recursion: widening keeps tc finite, the boundedness check fires on
+   value-synthesising recursion                                        *)
+
+let recursion () =
+  let rules =
+    [
+      edge "a" "b";
+      edge "b" "c";
+      edge "c" "d";
+      Rule.make (Atom.make "tc" [ v "X"; v "Y" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ];
+      Rule.make (Atom.make "tc" [ v "X"; v "Z" ])
+        [ Literal.pos "tc" [ v "X"; v "Y" ]; Literal.pos "e" [ v "Y"; v "Z" ] ];
+      Rule.fact (Atom.make "g" [ s "z" ]);
+      Rule.make (Atom.make "g" [ Term.app "f" [ v "X" ] ]) [ Literal.pos "g" [ v "X" ] ];
+    ]
+  in
+  let res = Card.analyze rules in
+  (* the true tc has 6 tuples; the widened bound must contain it and
+     stay finite (no fresh values are synthesised) *)
+  Alcotest.(check bool) "tc bound contains the actual closure" true
+    (Card.contains (Card.card res "tc") 6);
+  Alcotest.(check bool) "tc stays finite" false (Card.unbounded res "tc");
+  Alcotest.(check bool) "skolem growth is unbounded" true
+    (Card.unbounded res "g");
+  let growing =
+    List.exists
+      (fun (_, (c : Card.rule_cost)) -> c.Card.growing)
+      (Card.rule_costs res)
+  in
+  Alcotest.(check bool) "the growing rule is flagged" true growing
+
+(* ------------------------------------------------------------------ *)
+(* Seeds: open predicates are unbounded unless capped                  *)
+
+let seeds_and_caps () =
+  let rules =
+    [ Rule.make (Atom.make "p" [ v "X" ]) [ Literal.pos "ext" [ v "X" ] ] ]
+  in
+  let open_pred p = String.equal p "ext" in
+  let res = Card.analyze ~assume_nonempty:open_pred rules in
+  Alcotest.(check bool) "uncapped open predicate is unbounded" true
+    (Card.unbounded res "ext" && Card.unbounded res "p");
+  let seed p = if String.equal p "ext" then Some (iv 0 (Some 42)) else None in
+  let res = Card.analyze ~assume_nonempty:open_pred ~seed rules in
+  check_iv "the cap flows through" (iv 0 (Some 42)) (Card.card res "p");
+  Alcotest.(check (option int)) "estimate is oracle-shaped" (Some 42)
+    (Card.estimate res "p")
+
+(* ------------------------------------------------------------------ *)
+(* Cost model: cross products are counted, and a selective literal is
+   pulled ahead of an unbounded scan                                   *)
+
+let cost_model () =
+  let rules =
+    [
+      edge "a" "b";
+      edge "b" "c";
+      Rule.fact (Atom.make "big" [ s "x"; s "y" ]);
+      Rule.make
+        (Atom.make "cross" [ v "X"; v "U" ])
+        [ Literal.pos "e" [ v "X"; v "Y" ]; Literal.pos "big" [ v "U"; v "W" ] ];
+    ]
+  in
+  let res = Card.analyze rules in
+  let _, c =
+    List.find
+      (fun ((r : Rule.t), _) -> String.equal (Rule.head_pred r) "cross")
+      (Card.rule_costs res)
+  in
+  (* |big| = 1, so the product cannot exceed one row per e-row: the
+     hazard counter stays quiet (both sides must exceed one row) *)
+  Alcotest.(check int) "1-row scan is not a cross product" 0
+    c.Card.cross_products;
+  let rules =
+    rules @ [ Rule.fact (Atom.make "big" [ s "x2"; s "y2" ]) ]
+  in
+  let res = Card.analyze rules in
+  let _, c =
+    List.find
+      (fun ((r : Rule.t), _) -> String.equal (Rule.head_pred r) "cross")
+      (Card.rule_costs res)
+  in
+  Alcotest.(check int) "2x2 product is flagged" 1 c.Card.cross_products;
+  check_iv "product bound multiplies" (iv 0 (Some 4)) c.Card.est
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: answer-identical, reported, and validated              *)
+
+let tc_program n =
+  Program.make_exn
+    (Rule.make (Atom.make "tc" [ v "X"; v "Y" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ]
+    :: Rule.make
+         (Atom.make "tc" [ v "X"; v "Y" ])
+         [ Literal.pos "tc" [ v "X"; v "Z" ]; Literal.pos "e" [ v "Z"; v "Y" ] ]
+    :: List.init n (fun k ->
+           Rule.fact
+             (Atom.make "e"
+                [ s (Printf.sprintf "m%d" k); s (Printf.sprintf "m%d" (k + 1)) ])))
+
+let oracle_counters () =
+  let p = tc_program 16 in
+  let res = Card.analyze (Program.rules p) in
+  let config =
+    { Engine.default_config with Engine.cost_oracle = Some (Card.oracle res) }
+  in
+  let rep = ref Engine.empty_report in
+  let db = Engine.materialize ~config ~report:rep p (Database.create ()) in
+  Alcotest.(check int) "oracle run computes the full closure"
+    (16 * 17 / 2)
+    (List.length (Database.all_facts db) - 16);
+  Alcotest.(check bool) "cost_oracle_used counted" true
+    (!rep.Engine.cost_oracle_used > 0);
+  Alcotest.(check bool) "est_vs_actual filled" true
+    (!rep.Engine.est_vs_actual > 0.0);
+  (* without the oracle both counters stay at their sentinels *)
+  let rep0 = ref Engine.empty_report in
+  ignore (Engine.materialize ~report:rep0 p (Database.create ()));
+  Alcotest.(check int) "no oracle: cost_oracle_used = 0" 0
+    !rep0.Engine.cost_oracle_used;
+  Alcotest.(check (float 0.0)) "no oracle: est_vs_actual = 0" 0.0
+    !rep0.Engine.est_vs_actual
+
+let order_validation () =
+  let r =
+    Rule.make (Atom.make "p" [ v "X" ])
+      [ Literal.pos "e" [ v "X"; v "Y" ]; Literal.neg "q" [ v "X" ] ]
+  in
+  Alcotest.(check bool) "scan-then-filter is evaluable" true
+    (Datalog.Plan.order_ok r [ 0; 1 ]);
+  Alcotest.(check bool) "negation before its bindings is not" false
+    (Datalog.Plan.order_ok r [ 1; 0 ]);
+  Alcotest.(check bool) "wrong length is not" false
+    (Datalog.Plan.order_ok r [ 0 ]);
+  Alcotest.(check bool) "not a permutation is not" false
+    (Datalog.Plan.order_ok r [ 0; 0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Cost_lint: codes, budget escalation, determinism                    *)
+
+let lint_codes () =
+  let rules =
+    [
+      edge "a" "b";
+      edge "b" "c";
+      edge "c" "d";
+      Rule.make (Atom.make "cross" [ v "X"; v "U" ])
+        [ Literal.pos "e" [ v "X"; v "Y" ]; Literal.pos "e" [ v "U"; v "W" ] ];
+      Rule.fact (Atom.make "g" [ s "z" ]);
+      Rule.make (Atom.make "g" [ Term.app "f" [ v "X" ] ]) [ Literal.pos "g" [ v "X" ] ];
+    ]
+  in
+  let codes ds = List.sort_uniq compare (List.map (fun d -> d.D.code) ds) in
+  let without = Cost_lint.lint rules in
+  Alcotest.(check bool) "cross-product-join fires" true
+    (List.mem "cross-product-join" (codes without));
+  Alcotest.(check bool) "unbounded-growth fires" true
+    (List.mem "unbounded-growth" (codes without));
+  Alcotest.(check bool) "no budget, no over-budget" false
+    (List.mem "over-budget" (codes without));
+  let budgeted = Cost_lint.lint ~budget:5 rules in
+  Alcotest.(check bool) "budget escalates to over-budget" true
+    (List.mem "over-budget" (codes budgeted));
+  Alcotest.(check bool) "over-budget is an error" true
+    (List.exists
+       (fun d -> d.D.code = "over-budget" && d.D.severity = D.Error)
+       budgeted)
+
+let normalize_deterministic () =
+  let mk sev pass code msg =
+    D.make ~severity:sev ~pass ~code
+      ~location:(D.Rule { index = 1; text = "r"; pos = None })
+      msg
+  in
+  let a = mk D.Warning "cost" "cross-product-join" "m1" in
+  let b = mk D.Error "rules" "unsafe-rule" "m2" in
+  let c = mk D.Warning "cost" "unbounded-growth" "m3" in
+  let n = D.normalize [ c; a; b; a; c ] in
+  Alcotest.(check int) "duplicates removed" 3 (List.length n);
+  Alcotest.(check (list string)) "stable (location, pass, code) order"
+    (List.map (fun d -> d.D.code) (D.normalize [ b; c; a ]))
+    (List.map (fun d -> d.D.code) n)
+
+(* ------------------------------------------------------------------ *)
+(* Sample goldens: the seeded hazards in broken.flp fire through the
+   kindlint pipeline; the clean sample stays silent                    *)
+
+let read_sample name =
+  let candidates =
+    [
+      Filename.concat "../samples" name;
+      Filename.concat "samples" name;
+      Filename.concat "../../samples" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.failf "sample %s not found from %s" name (Sys.getcwd ())
+  | Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+
+let lint_sample ?budget name =
+  let parsed = Flogic.Fl_parser.parse_program_exn (read_sample name) in
+  let program =
+    Flogic.Fl_program.make ~signature:parsed.Flogic.Fl_parser.signature
+      parsed.Flogic.Fl_parser.rules
+  in
+  Analysis.Kindlint.lint_program ?budget
+    ~positions:parsed.Flogic.Fl_parser.rule_positions program
+
+let cost_codes = [ "cross-product-join"; "unbounded-growth" ]
+
+let broken_goldens () =
+  let diags = lint_sample "broken.flp" in
+  let codes = List.sort_uniq compare (List.map (fun d -> d.D.code) diags) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "broken.flp trips %s" c)
+        true (List.mem c codes))
+    cost_codes;
+  let hits code =
+    List.filter_map
+      (fun d ->
+        match (d.D.code = code, d.D.location) with
+        | true, D.Rule { text; _ } -> Some text
+        | _ -> None)
+      diags
+  in
+  Alcotest.(check bool) "hoard is the cross product" true
+    (List.exists
+       (fun t -> List.mem "hoard" (String.split_on_char '(' t))
+       (hits "cross-product-join"));
+  Alcotest.(check bool) "grown is the unbounded recursion" true
+    (List.exists
+       (fun t -> List.mem "grown" (String.split_on_char '(' t))
+       (hits "unbounded-growth"));
+  (* a small budget escalates the seeded blowups to reject level *)
+  let budgeted = lint_sample ~budget:50 "broken.flp" in
+  Alcotest.(check bool) "--budget escalates broken.flp" true
+    (List.exists
+       (fun d -> d.D.code = "over-budget" && d.D.severity = D.Error)
+       budgeted)
+
+let clean_goldens () =
+  let diags = lint_sample "spines.flp" in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "spines.flp has no %s" c)
+        false
+        (List.exists (fun d -> d.D.code = c) diags))
+    ("over-budget" :: cost_codes)
+
+let suites =
+  [
+    ( "cost",
+      [
+        Alcotest.test_case "exact intervals on DAG programs" `Quick dag_exact;
+        Alcotest.test_case "key inference" `Quick key_inference;
+        Alcotest.test_case "widening vs the boundedness check" `Quick recursion;
+        Alcotest.test_case "open predicates and seeded caps" `Quick
+          seeds_and_caps;
+        Alcotest.test_case "cross products in the cost model" `Quick cost_model;
+        Alcotest.test_case "oracle fills the report counters" `Quick
+          oracle_counters;
+        Alcotest.test_case "forced orders are validated" `Quick order_validation;
+        Alcotest.test_case "lint codes and budget escalation" `Quick lint_codes;
+        Alcotest.test_case "normalize is deterministic" `Quick
+          normalize_deterministic;
+        Alcotest.test_case "broken.flp cost goldens" `Quick broken_goldens;
+        Alcotest.test_case "spines.flp stays cost-clean" `Quick clean_goldens;
+      ] );
+  ]

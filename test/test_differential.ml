@@ -232,6 +232,33 @@ let run_case seed =
   check_same (ctx "extend_rules == whole program") (Maintain.db h2) full;
   ignore (fail_on_error "apply after extend" (Maintain.apply h2 d));
   check_same (ctx "delta after extend == re-materialize") (Maintain.db h2) full';
+  (* the static cardinality analysis is sound on the initial model:
+     every predicate's actual extent lies in its inferred interval —
+     and the analysis-guided join planner is answer-invisible *)
+  let res = Analysis.Card.analyze ~edb rules in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Atom.t) ->
+      Hashtbl.replace counts a.Atom.pred
+        (1 + Option.value (Hashtbl.find_opt counts a.Atom.pred) ~default:0))
+    (Database.all_facts full);
+  Hashtbl.iter
+    (fun pred n ->
+      let iv = Analysis.Card.card res pred in
+      if not (Analysis.Card.contains iv n) then
+        Alcotest.failf "seed %d: %s has %d tuples, outside inferred %s" seed
+          pred n
+          (Format.asprintf "%a" Analysis.Card.pp_interval iv))
+    counts;
+  let oracle_config =
+    {
+      Engine.default_config with
+      Engine.cost_oracle = Some (Analysis.Card.oracle res);
+    }
+  in
+  check_same (ctx "cost-oracle plans == greedy plans")
+    (Engine.materialize ~config:oracle_config p edb)
+    full;
   (* top-down spot check: tabled answers on one derived predicate *)
   try
     let name, ar = List.nth idb (seed mod List.length idb) in
