@@ -33,6 +33,8 @@ let experiments =
     ("join-smoke", "join-kernel regression gate vs BENCH_join.json", Exp_join.smoke);
     ("cost", "cardinality/cost oracle vs greedy planner", Exp_cost.run);
     ("cost-smoke", "cost-oracle regression gate (self-contained)", Exp_cost.smoke);
+    ("contain", "semantic minimization: minimized vs original programs", Exp_contain.run);
+    ("contain-smoke", "minimization regression gate (self-contained)", Exp_contain.smoke);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -46,7 +48,9 @@ let () =
          asked for *)
       List.filter_map
         (fun (id, _, _) ->
-          if id = "join-smoke" || id = "cost-smoke" then None else Some id)
+          if id = "join-smoke" || id = "cost-smoke" || id = "contain-smoke"
+          then None
+          else Some id)
         experiments
   in
   Printf.printf

@@ -236,6 +236,12 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
   in
+  let sarif =
+    Arg.(value & flag & info [ "sarif" ]
+           ~doc:"SARIF 2.1.0 output (one run, rule ids $(i,pass/code)) — \
+                 what CI uploads as a code-scanning artifact; takes \
+                 precedence over $(b,--json)")
+  in
   let strict =
     Arg.(value & flag & info [ "strict" ]
            ~doc:"exit nonzero on warnings too, and treat a negative cycle \
@@ -247,7 +253,7 @@ let lint_cmd =
            ~doc:"rows per class for --demo")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
-  let run files demo json strict scale seed =
+  let run files demo json sarif strict scale seed =
     let lint_file f =
       match Flogic.Fl_parser.parse_program (read_file f) with
       | Error e ->
@@ -279,7 +285,12 @@ let lint_cmd =
       let sorted =
         Analysis.Diagnostic.sort (List.concat_map snd per_file @ demo_d)
       in
-      if json then print_endline (Analysis.Diagnostic.list_to_json sorted)
+      if sarif then
+        print_endline
+          (Analysis.Diagnostic.list_to_sarif
+             (List.map (fun (f, ds) -> (Some f, ds)) per_file
+             @ if demo then [ (None, demo_d) ] else []))
+      else if json then print_endline (Analysis.Diagnostic.list_to_json sorted)
       else begin
         List.iter
           (fun (f, ds) ->
@@ -305,7 +316,7 @@ let lint_cmd =
              federation — rule safety, stratification, schema conformance, \
              capability feasibility, domain-map well-formedness"
        ~exits:lint_exits)
-    Term.(const run $ files $ demo $ json $ strict $ scale $ seed)
+    Term.(const run $ files $ demo $ json $ sarif $ strict $ scale $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* provenance *)
@@ -325,6 +336,152 @@ let json_str s =
     s;
   Buffer.add_char b '"';
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* contain *)
+
+let contain_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"F-logic program(s) to analyze")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
+  in
+  let run files json =
+    let module C = Analysis.Contain in
+    let module T = Analysis.Terminate in
+    if files = [] then begin
+      prerr_endline "contain: nothing to do; give program FILEs";
+      3
+    end
+    else begin
+      let failed = ref false in
+      let analyze f =
+        match Flogic.Fl_parser.parse_program (read_file f) with
+        | Error e ->
+          failed := true;
+          (f, Error e)
+        | Ok parsed -> (
+          let p =
+            Flogic.Fl_program.make
+              ~signature:parsed.Flogic.Fl_parser.signature
+              parsed.Flogic.Fl_parser.rules
+          in
+          match
+            try
+              Ok
+                ( (match Flogic.Fl_program.compile p with
+                  | Ok dp -> Datalog.Program.rules dp
+                  | Error e -> raise (Flogic.Compile.Compile_error e)),
+                  List.concat_map
+                    (Flogic.Compile.rule p.Flogic.Fl_program.signature)
+                    p.Flogic.Fl_program.rules )
+            with Flogic.Compile.Compile_error e -> Error e
+          with
+          | Error e ->
+            failed := true;
+            (f, Error e)
+          | Ok (all, user_rules) ->
+            let ctx = C.make_ctx ~rules:all () in
+            let per_rule =
+              List.map
+                (fun r ->
+                  let mini = C.minimize_rule ctx r in
+                  ( r,
+                    C.unsatisfiable ctx r,
+                    C.implied_atoms ctx r,
+                    if Logic.Rule.equal mini r then None else Some mini ))
+                user_rules
+            in
+            (f, Ok (per_rule, T.analyze all)))
+      in
+      let reports = List.map analyze files in
+      let term_json = function
+        | T.Safe { refined } ->
+          Printf.sprintf "{\"safe\":true,\"refined\":%b,\"cycle\":null}"
+            refined
+        | T.Unsafe cyc ->
+          Printf.sprintf "{\"safe\":false,\"refined\":false,\"cycle\":%s}"
+            (json_str (T.cycle_to_string cyc))
+      in
+      if json then begin
+        let file_json (f, res) =
+          match res with
+          | Error e ->
+            Printf.sprintf "{\"file\":%s,\"error\":%s}" (json_str f)
+              (json_str e)
+          | Ok (per_rule, verdict) ->
+            let rule_json (r, unsat, implied, mini) =
+              Printf.sprintf
+                "{\"rule\":%s,\"unsatisfiable\":%s,\"implied\":[%s],\
+                 \"minimized\":%s}"
+                (json_str (Logic.Rule.to_string r))
+                (match unsat with
+                | None -> "null"
+                | Some reason -> json_str reason)
+                (String.concat ","
+                   (List.map
+                      (fun a -> json_str (Logic.Atom.to_string a))
+                      implied))
+                (match mini with
+                | None -> "null"
+                | Some m -> json_str (Logic.Rule.to_string m))
+            in
+            Printf.sprintf
+              "{\"file\":%s,\"rules\":[%s],\"termination\":%s}" (json_str f)
+              (String.concat ",\n  " (List.map rule_json per_rule))
+              (term_json verdict)
+        in
+        Printf.printf "[%s]\n"
+          (String.concat ",\n " (List.map file_json reports))
+      end
+      else
+        List.iter
+          (fun (f, res) ->
+            Format.printf "%s:@." f;
+            match res with
+            | Error e -> Format.printf "  error: %s@." e
+            | Ok (per_rule, verdict) ->
+              List.iter
+                (fun (r, unsat, implied, mini) ->
+                  Format.printf "  %s@." (Logic.Rule.to_string r);
+                  (match unsat with
+                  | Some reason ->
+                    Format.printf "    unsatisfiable: %s@." reason
+                  | None -> ());
+                  List.iter
+                    (fun a ->
+                      Format.printf "    implied atom: %s@."
+                        (Logic.Atom.to_string a))
+                    implied;
+                  match mini with
+                  | Some m ->
+                    Format.printf "    minimized: %s@."
+                      (Logic.Rule.to_string m)
+                  | None -> ())
+                per_rule;
+              (match verdict with
+              | T.Safe { refined = false } ->
+                Format.printf "  termination: safe (weakly acyclic)@."
+              | T.Safe { refined = true } ->
+                Format.printf
+                  "  termination: safe (super-weak-acyclicity refinement)@."
+              | T.Unsafe cyc ->
+                Format.printf "  termination: possible nontermination — %s@."
+                  (T.cycle_to_string cyc)))
+          reports;
+      if !failed then 2 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "contain"
+       ~doc:"semantic containment analysis: per-rule satisfiability, \
+             implied body atoms and the minimized rule (Chandra–Merlin \
+             containment modulo the GCM axioms), plus the skolem-safety \
+             termination verdict"
+       ~exits:lint_exits)
+    Term.(const run $ files $ json)
 
 (* ------------------------------------------------------------------ *)
 (* cost *)
@@ -1145,7 +1302,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_cmd; check_cmd; lint_cmd; cost_cmd; provenance_cmd;
+            run_cmd; check_cmd; lint_cmd; contain_cmd; cost_cmd;
+            provenance_cmd;
             explain_cmd;
             translate_cmd; dmap_cmd; classify_cmd; demo_cmd; query_cmd;
             maintain_cmd; health_cmd;

@@ -1,0 +1,22 @@
+(** Lint pass 9 ("contain"): semantic redundancy and contradiction via
+    conjunctive-query containment modulo the domain map ({!Contain}).
+
+    Codes: [unsatisfiable-body] (the rule can never fire),
+    [implied-atom] (a body atom is entailed by the rest of the body —
+    pure join overhead), [rule-implied-by-rule] (another rule already
+    produces every answer). All are warnings: redundant or dead rules
+    are correct, just wasteful. Syntactic duplicates stay with
+    {!Rule_lint}'s [duplicate-rule]; under [gcm] the GCM axioms and
+    closed-predicate heads are skipped. *)
+
+val pass : string
+
+val lint :
+  ?dm:Domain_map.Dmap.t ->
+  ?disjoint:(string * string) list ->
+  ?gcm:bool ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
+  Logic.Rule.t list ->
+  Diagnostic.t list
+(** [loc] maps a rule (with its index in the input list) to a
+    diagnostic location; defaults to the rendered rule text. *)

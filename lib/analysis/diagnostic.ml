@@ -197,3 +197,105 @@ let to_json d =
 
 let list_to_json ds =
   "[" ^ String.concat ",\n " (List.map to_json (sort ds)) ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 — one run, one result per diagnostic, rules collected
+   as pass/code reportingDescriptors so CI annotation tools can group
+   findings. Results carry the file URI of the group they were linted
+   from (None for programmatic rule sets -> no physical location). *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let sarif_rule_id d = d.pass ^ "/" ^ d.code
+
+let sarif_result uri d =
+  let physical =
+    match (uri, d.location) with
+    | Some uri, Rule { pos; _ } ->
+      let region =
+        match pos with
+        | Some (line, col) ->
+          [
+            ( "region",
+              json_obj
+                [
+                  ("startLine", string_of_int line);
+                  ("startColumn", string_of_int col);
+                ] );
+          ]
+        | None -> []
+      in
+      [
+        ( "locations",
+          "["
+          ^ json_obj
+              [
+                ( "physicalLocation",
+                  json_obj
+                    ([
+                       ( "artifactLocation",
+                         json_obj [ ("uri", json_string uri) ] );
+                     ]
+                    @ region) );
+              ]
+          ^ "]" );
+      ]
+    | _ -> []
+  in
+  json_obj
+    ([
+       ("ruleId", json_string (sarif_rule_id d));
+       ("level", json_string (sarif_level d.severity));
+       ( "message",
+         json_obj
+           [
+             ( "text",
+               json_string
+                 (Format.asprintf "%a: %s%s" pp_location d.location d.message
+                    (match d.hint with
+                    | Some h -> " (hint: " ^ h ^ ")"
+                    | None -> "")) );
+           ] );
+     ]
+    @ physical)
+
+let list_to_sarif groups =
+  let all = List.concat_map snd groups in
+  let rules =
+    List.sort_uniq String.compare (List.map sarif_rule_id all)
+    |> List.map (fun id -> json_obj [ ("id", json_string id) ])
+  in
+  let results =
+    List.concat_map
+      (fun (uri, ds) -> List.map (sarif_result uri) (sort ds))
+      groups
+  in
+  json_obj
+    [
+      ( "$schema",
+        json_string
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", json_string "2.1.0");
+      ( "runs",
+        "["
+        ^ json_obj
+            [
+              ( "tool",
+                json_obj
+                  [
+                    ( "driver",
+                      json_obj
+                        [
+                          ("name", json_string "kindlint");
+                          ("informationUri", json_string "");
+                          ("rules", "[" ^ String.concat "," rules ^ "]");
+                        ] );
+                  ] );
+              ("results", "[" ^ String.concat ",\n " results ^ "]");
+            ]
+        ^ "]" );
+    ]

@@ -77,3 +77,11 @@ val list_to_json : t list -> string
 (** A JSON array of objects with fields [severity], [pass], [code],
     [location] (an object with a [kind] field), [message] and [hint]
     (absent when there is none). *)
+
+val list_to_sarif : (string option * t list) list -> string
+(** SARIF 2.1.0 log with a single [kindlint] run: one result per
+    diagnostic, [ruleId] = ["pass/code"], severity mapped to
+    [error]/[warning]/[note]. Each group carries the URI of the file
+    its diagnostics were linted from ([None] — e.g. [--demo] — omits
+    physical locations); rule source positions become
+    [startLine]/[startColumn] regions. *)

@@ -22,14 +22,16 @@ let open_predicate ?signature ?(known_predicates = []) rules =
     || (List.mem p Rule_lint.reserved_predicates && not (SS.mem p defined))
 
 let lint_datalog ?signature ?known_predicates ?fallback_ok ?cones ?edb ?budget
-    ?seed p =
+    ?seed ?dm ?(gcm = true) p =
   let rules = Datalog.Program.rules p in
   let assume_nonempty = open_predicate ?signature ?known_predicates rules in
   D.normalize
     (Rule_lint.lint ?signature ?known_predicates rules
     @ Strat_lint.lint ?fallback_ok p
     @ Type_lint.lint ?cones ~assume_nonempty ?edb rules
-    @ Cost_lint.lint ?budget ~assume_nonempty ?seed ?edb rules)
+    @ Cost_lint.lint ?budget ~assume_nonempty ?seed ?edb rules
+    @ Contain_lint.lint ?dm ~gcm rules
+    @ Term_lint.lint ?dm ~gcm rules)
 
 (* ------------------------------------------------------------------ *)
 (* Molecule-level occurrence counting (multi-head aware) *)
@@ -111,7 +113,7 @@ let declared_universe rules =
 
 let lint_program ?(known_class = fun _ -> false)
     ?(known_method = fun _ -> false) ?known_predicates ?fallback_ok
-    ?(positions = []) ?cones ?(sources = []) ?class_sources ?budget ?seed
+    ?(positions = []) ?cones ?(sources = []) ?class_sources ?budget ?seed ?dm
     (p : Flogic.Fl_program.t) =
   let mol_pos i = List.nth_opt positions i in
   let mol_loc i r =
@@ -213,6 +215,15 @@ let lint_program ?(known_class = fun _ -> false)
                 ?known_predicates rules)
            ?seed ~loc:dl_loc rules)
     in
+    (* passes 9 and 10 — semantic containment and skolem-safety; the
+       axioms stay in scope (the chase and the position graph model
+       them) but only user rules are flagged *)
+    let contain_diags dp =
+      let rules = Datalog.Program.rules dp in
+      only_user
+        (Contain_lint.lint ?dm ~loc:dl_loc rules
+        @ Term_lint.lint ?dm ~loc:dl_loc rules)
+    in
     let deep_diags =
       if has_errors then
         (* the full program will not compile; still report cycles and
@@ -228,13 +239,13 @@ let lint_program ?(known_class = fun _ -> false)
         match Datalog.Program.make safe with
         | Ok p ->
           Strat_lint.lint ?fallback_ok ~loc:dl_loc p
-          @ type_diags p @ cost_diags p
+          @ type_diags p @ cost_diags p @ contain_diags p
         | Error _ -> []
       else
         match Flogic.Fl_program.compile p with
         | Ok dp ->
           Strat_lint.lint ?fallback_ok ~loc:dl_loc dp
-          @ type_diags dp @ cost_diags dp
+          @ type_diags dp @ cost_diags dp @ contain_diags dp
         | Error e ->
           [
             D.make ~severity:D.Error ~pass:"rules" ~code:"compile-error"

@@ -29,15 +29,18 @@ val lint_datalog :
   ?edb:Datalog.Database.t ->
   ?budget:int ->
   ?seed:(string -> Card.interval option) ->
+  ?dm:Domain_map.Dmap.t ->
+  ?gcm:bool ->
   Datalog.Program.t ->
   Diagnostic.t list
 (** Passes 1 (rule lint), 2 (stratification), 6 (type/emptiness
-    inference, seeded with [edb] and widened over [cones]) and 8
+    inference, seeded with [edb] and widened over [cones]), 8
     (cardinality/cost hazards, {!Cost_lint}, capped by [seed] and the
-    row [budget]) on a compiled Datalog program. [fallback_ok] (default
-    [true]) downgrades a negative cycle to a warning, matching the
-    engine's well-founded fallback. The result is
-    {!Diagnostic.normalize}d. *)
+    row [budget]), 9 (semantic containment, {!Contain_lint}, modulo the
+    optional domain map [dm]) and 10 (skolem-safety, {!Term_lint}) on a
+    compiled Datalog program. [fallback_ok] (default [true]) downgrades
+    a negative cycle to a warning, matching the engine's well-founded
+    fallback. The result is {!Diagnostic.normalize}d. *)
 
 val lint_program :
   ?known_class:(string -> bool) ->
@@ -50,6 +53,7 @@ val lint_program :
   ?class_sources:(string -> string list) ->
   ?budget:int ->
   ?seed:(string -> Card.interval option) ->
+  ?dm:Domain_map.Dmap.t ->
   Flogic.Fl_program.t ->
   Diagnostic.t list
 (** Passes 1–3 plus the abstract-interpretation passes (6: type /
@@ -74,7 +78,11 @@ val lint_program :
     - cardinality/cost hazards ({!Cost_lint}) over the full compiled
       program, reporting only on the user's rules; [seed] caps open
       predicates (store fact counts, cone sizes), [budget] turns
-      over-budget estimates into reject-level errors.
+      over-budget estimates into reject-level errors;
+    - semantic containment ({!Contain_lint}, pass 9) and skolem-safety
+      ({!Term_lint}, pass 10) over the full compiled program, reporting
+      only on the user's rules; [dm] widens the containment chase and
+      the termination sub-hierarchy with the federation domain map.
 
     The result is {!Diagnostic.normalize}d: sorted by (location, pass,
     code) with exact duplicates removed, independent of pass

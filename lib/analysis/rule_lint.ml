@@ -144,27 +144,25 @@ let alpha_canonical (r : Rule.t) =
   in
   Rule.apply s r
 
+(* Semantic subsumption between distinct rules now lives in
+   {!Contain_lint} ([rule-implied-by-rule], containment modulo the
+   domain map); this pass keeps only the syntactic duplicate check so
+   the two never report the same pair. {!subsumes} stays exported as
+   the differential oracle: whatever it catches, containment must
+   catch too (test_contain). *)
 let redundancy_diags rule_loc rules =
   let arr = Array.of_list rules in
   let canon = Array.map alpha_canonical arr in
   let out = ref [] in
   Array.iteri
     (fun i r ->
-      let dup = ref None and alpha = ref None and sub = ref None in
+      let dup = ref None and alpha = ref None in
       for j = 0 to i - 1 do
         if !dup = None && Rule.equal arr.(j) r then dup := Some j;
         if !dup = None && !alpha = None && Rule.equal canon.(j) canon.(i)
-        then alpha := Some j;
-        if
-          !dup = None && !alpha = None && !sub = None
-          && List.length arr.(j).Rule.body <= 6
-          && List.length r.Rule.body <= 6
-          && String.equal (Rule.head_pred arr.(j)) (Rule.head_pred r)
-          && (not (Rule.equal arr.(j) r))
-          && subsumes ~general:arr.(j) ~specific:r
-        then sub := Some j
+        then alpha := Some j
       done;
-      (match !dup, !alpha with
+      match !dup, !alpha with
       | Some j, _ ->
         out :=
           D.make ~severity:D.Warning ~pass ~code:"duplicate-rule"
@@ -179,17 +177,7 @@ let redundancy_diags rule_loc rules =
             (Printf.sprintf "identical to rule #%d (up to variable renaming)" j)
             ~hint:"delete one of the two copies"
           :: !out
-      | None, None -> ());
-      match !sub with
-      | Some j ->
-        out :=
-          D.make ~severity:D.Warning ~pass ~code:"subsumed-rule"
-            ~location:(rule_loc i r)
-            (Printf.sprintf "subsumed by the more general rule #%d `%s`" j
-               (Rule.to_string arr.(j)))
-            ~hint:"every answer it produces is already derived; delete it"
-          :: !out
-      | None -> ())
+      | None, None -> ())
     arr;
   List.rev !out
 

@@ -11,9 +11,6 @@
       either textually or up to a renaming of its variables
       (alpha-equivalence — canonical first-occurrence renaming of both
       sides);
-    - {b subsumed-rule} (warning): a rule whose answers are already
-      produced by a more general earlier rule (one-sided matching of
-      head and body literals);
     - {b undeclared-predicate} (warning): a body predicate that no rule
       head defines and that is neither a declared relation
       ({!Flogic.Signature}), a reserved GCM predicate, a builtin, nor
@@ -26,6 +23,20 @@ val reserved_predicates : string list
 (** The GCM encoding's predicate universe ({!Flogic.Compile.reserved},
     the inheritance predicates, the domain-map test predicates) — never
     reported as undeclared. *)
+
+val subsumes : general:Logic.Rule.t -> specific:Logic.Rule.t -> bool
+(** One-sided syntactic subsumption: a substitution maps [general]'s
+    head onto [specific]'s head and each of its body literals onto some
+    body literal of [specific] (atomic bodies only). No longer emitted
+    as a diagnostic — {!Contain_lint}'s semantic [rule-implied-by-rule]
+    supersedes it — but kept as the differential oracle: syntactic
+    subsumption must imply containment. *)
+
+val alpha_canonical : Logic.Rule.t -> Logic.Rule.t
+(** Canonical variable renaming (V0, V1, ... in first-occurrence
+    order); two rules are alpha-equivalent iff their canonical forms
+    are {!Logic.Rule.equal}. Shared with {!Contain_lint} to keep
+    alpha-duplicates out of the containment pass. *)
 
 val lint :
   ?signature:Flogic.Signature.t ->

@@ -1,0 +1,48 @@
+(* Lint pass 10, "termination": skolem-safety of the rule set.
+
+   One [possible-nontermination] warning when {!Terminate} cannot
+   prove the bottom-up fixpoint finite — the diagnostic carries the
+   offending position cycle and the functors on it. A warning, not an
+   error: the engine's [max_term_depth] guard still terminates the
+   materialization (counting suppressions in the report), but the
+   result is then depth-truncated rather than the actual least model. *)
+
+module Rule = Logic.Rule
+module D = Diagnostic
+
+let pass = "termination"
+
+let default_loc i r = D.Rule { index = i; text = Rule.to_string r; pos = None }
+
+let lint ?dm ?(gcm = true) ?(loc = default_loc) rules =
+  let extra_sub =
+    match dm with
+    | None -> []
+    | Some d -> Domain_map.Closure.isa_tc d
+  in
+  match Terminate.analyze ~gcm ~extra_sub rules with
+  | Terminate.Safe _ -> []
+  | Terminate.Unsafe cycle ->
+    let location =
+      match cycle.Terminate.rules with
+      | i :: _ when i < List.length rules -> loc i (List.nth rules i)
+      | _ -> D.Federation
+    in
+    [
+      D.make ~severity:D.Warning ~pass ~code:"possible-nontermination"
+        ~location
+        (Printf.sprintf
+           "value-inventing recursion: position dependency cycle %s passes \
+            through a function symbol, so the fixpoint may grow terms \
+            forever%s"
+           (Terminate.cycle_to_string cycle)
+           (match cycle.Terminate.rules with
+           | [] | [ _ ] -> ""
+           | rs ->
+             Printf.sprintf " (rules %s)"
+               (String.concat ", " (List.map string_of_int rs))))
+        ~hint:
+          "only max_term_depth truncation terminates this; break the cycle \
+           with a guard (builtin:not_functor_prefix / builtin:is_const) or \
+           remove the constructor from the recursive case";
+    ]

@@ -1,0 +1,15 @@
+(** Lint pass 10 ("termination"): skolem-safety via {!Terminate}.
+
+    Emits at most one [possible-nontermination] warning naming the
+    position-dependency cycle and its functors. [dm] contributes the
+    domain map's isa closure as static subsumption pairs (assertion
+    rules route values along those edges). *)
+
+val pass : string
+
+val lint :
+  ?dm:Domain_map.Dmap.t ->
+  ?gcm:bool ->
+  ?loc:(int -> Logic.Rule.t -> Diagnostic.location) ->
+  Logic.Rule.t list ->
+  Diagnostic.t list

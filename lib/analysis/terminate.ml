@@ -1,0 +1,595 @@
+(* Skolem-safety: does the bottom-up fixpoint terminate despite value
+   invention?
+
+   Assertion-mode domain-map edges and DL translations place function
+   terms (skolem placeholders like [f_C_r_D(X)]) in rule heads, so the
+   Herbrand base is infinite and the usual "finitely many facts"
+   argument fails. The classical criterion is *weak acyclicity* of the
+   position dependency graph: nodes are predicate argument positions;
+   a variable flowing from a body position to a head position adds an
+   ordinary edge, and a variable flowing *into a function term* adds a
+   special edge labeled with its innermost wrapping functor. If no
+   cycle passes through a special edge, every derived term has bounded
+   depth and the fixpoint is finite.
+
+   Two refinements adapt the textbook construction to this engine:
+
+   - GCM-aware position specialization. The closure axiom
+     [isa(X,C2) :- isa(X,C1), sub(C1,C2)] read naively collapses every
+     class into one [isa] position and flags any recursive assertion
+     program. When every [isa]-head carries a constant class (checked;
+     violations fall back to the generic graph), the instance position
+     is split per class ([isa@c]) and the propagation axiom is modeled
+     exactly by static edges [isa@c -> isa@d] for the
+     statically-derivable subsumption pairs. The
+     {!Flogic.Gcm_axioms.core} rules themselves are skipped (their
+     flows are modeled: declared/closed predicates are canonicalized
+     to one name, reflexivity/transitivity/classhood contribute the
+     fixed ordinary edges below).
+
+   - A super-weak-acyclicity-style refinement on the functor graph.
+     When a special cycle exists, termination can still hold if the
+     invented values never feed a growing *chain* of functors: build
+     the graph over function symbols with an edge [f -> k] whenever a
+     position receiving f-terms reaches a position feeding a k-special
+     edge — following only ordinary flows whose variable is not
+     guarded against f-prefixed terms ([builtin:is_const] /
+     [builtin:not_functor_prefix] guards, the idiom the DL translation
+     uses to stop skolem chains) — plus a static edge [g -> f] for
+     each nesting [f(..g(..)..)] in a head. If that graph is acyclic,
+     functor nesting depth is bounded and the program is accepted.
+
+   Arithmetic ([Y is X+1]) and aggregate results are treated as
+   pseudo-functors (["<arith>"], ["<agg>"]) so counting loops are
+   flagged too; stratification already rules out aggregate recursion,
+   so ["<agg>"] edges never close a cycle in accepted programs. *)
+
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Rule = Logic.Rule
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+let isa_p = Flogic.Compile.isa_p
+let sub_p = Flogic.Compile.sub_p
+let meth_sig_p = Flogic.Compile.meth_sig_p
+let class_p = Flogic.Compile.class_p
+
+let arith_f = "<arith>"
+let agg_f = "<agg>"
+
+type guard = Gconst | Gnot_prefix of string
+
+type edge = {
+  src : string;
+  dst : string;
+  func : string option; (* [Some f]: special edge, innermost functor [f] *)
+  guards : guard list; (* guards on the flowing variable *)
+  rule : int; (* original rule index; -1 for axiom-modeled edges *)
+}
+
+type cycle = {
+  positions : string list; (* the position cycle, first = last omitted *)
+  functors : string list; (* functors of the special edges on it *)
+  rules : int list; (* contributing rule indices, sorted *)
+}
+
+type verdict = Safe of { refined : bool } | Unsafe of cycle
+
+(* ------------------------------------------------------------------ *)
+
+let canonical =
+  let tbl =
+    List.map
+      (fun p -> (Flogic.Compile.declared p, p))
+      [ isa_p; sub_p; meth_sig_p; Flogic.Compile.meth_val_p; class_p ]
+  in
+  fun p -> Option.value (List.assoc_opt p tbl) ~default:p
+
+let canon_atom (a : Atom.t) = { a with Atom.pred = canonical a.Atom.pred }
+
+let canon_rule (r : Rule.t) =
+  {
+    Rule.head = canon_atom r.Rule.head;
+    body =
+      List.map
+        (function
+          | Literal.Pos a -> Literal.Pos (canon_atom a)
+          | Literal.Neg a -> Literal.Neg (canon_atom a)
+          | l -> l)
+        r.Rule.body;
+  }
+
+let is_sym = function Term.Const (Term.Sym _) -> true | _ -> false
+let sym_of = function Term.Const (Term.Sym s) -> Some s | _ -> None
+
+(* positions are strings: "pred#i", or "isa@c" for the class-split
+   instance position *)
+let gpos p j = Printf.sprintf "%s#%d" p j
+let cpos c = isa_p ^ "@" ^ c
+
+(* ------------------------------------------------------------------ *)
+(* Head-term variable flows: each variable with its innermost wrapping
+   functor (None at top level), plus direct (inner, outer) functor
+   nestings for the static functor-graph edges. *)
+
+let head_var_flows t =
+  let flows = ref [] and nest = ref [] in
+  let rec go wrapper t =
+    match t with
+    | Term.Var x -> flows := (x, wrapper) :: !flows
+    | Term.Const _ -> ()
+    | Term.App (f, args) ->
+      (match wrapper with Some w -> nest := (f, w) :: !nest | None -> ());
+      List.iter (go (Some f)) args
+  in
+  go None t;
+  (!flows, !nest)
+
+let rec expr_vars = function
+  | Literal.Leaf t -> Term.vars t
+  | Literal.Bin (_, a, b) -> expr_vars a @ expr_vars b
+
+(* ------------------------------------------------------------------ *)
+
+let union_find m x =
+  match SM.find_opt x m with Some s -> s | None -> SS.empty
+
+let add_src m x node =
+  SM.update x
+    (function None -> Some (SS.singleton node) | Some s -> Some (SS.add node s))
+    m
+
+(* source position nodes contributed by one argument position of a
+   positive body atom *)
+let arg_nodes ~specialized ~classes p j args =
+  if specialized && String.equal p isa_p then
+    if j = 0 then
+      match List.nth_opt args 1 with
+      | Some (Term.Const (Term.Sym c)) -> [ cpos c ]
+      | _ -> List.map cpos (SS.elements classes)
+    else [] (* class position: values drawn from the finite class set *)
+  else [ gpos p j ]
+
+let atom_sources ~specialized ~classes (a : Atom.t) m =
+  List.fold_left
+    (fun (m, j) t ->
+      let nodes = arg_nodes ~specialized ~classes a.Atom.pred j a.Atom.args in
+      let m =
+        List.fold_left
+          (fun m x -> List.fold_left (fun m n -> add_src m x n) m nodes)
+          m (Term.vars t)
+      in
+      (m, j + 1))
+    (m, 0) a.Atom.args
+  |> fst
+
+let analyze ?(gcm = true) ?(extra_sub = []) (rules : Rule.t list) =
+  let indexed = List.mapi (fun i r -> (i, r)) rules in
+  let user =
+    if gcm then
+      List.filter
+        (fun (_, r) ->
+          not (List.exists (Rule.equal r) Flogic.Gcm_axioms.core))
+        indexed
+    else indexed
+  in
+  let user =
+    List.map (fun (i, r) -> (i, canon_rule (Contain.resolve_eqs r))) user
+  in
+  (* class-safety: every isa head names its class, every sub head is a
+     ground symbol pair — otherwise the class-split graph could miss
+     flows and we fall back to generic positions *)
+  let head_ok (r : Rule.t) =
+    let h = r.Rule.head in
+    if String.equal h.Atom.pred isa_p then
+      match h.Atom.args with [ _; c ] -> is_sym c | _ -> false
+    else if String.equal h.Atom.pred sub_p then
+      List.for_all is_sym h.Atom.args
+    else true
+  in
+  let specialized = gcm && List.for_all (fun (_, r) -> head_ok r) user in
+  (* the statically-derivable subsumption pairs (over-approximation:
+     conditional sub heads count unconditionally) and the class
+     universe *)
+  let harvested =
+    List.filter_map
+      (fun (_, (r : Rule.t)) ->
+        let h = r.Rule.head in
+        if String.equal h.Atom.pred sub_p then
+          match h.Atom.args with
+          | [ c; d ] -> (
+            match (sym_of c, sym_of d) with
+            | Some c, Some d when not (String.equal c d) -> Some (c, d)
+            | _ -> None)
+          | _ -> None
+        else None)
+      user
+  in
+  let static_sub = Domain_map.Closure.tc (harvested @ extra_sub) in
+  let classes =
+    let add_atom acc (a : Atom.t) =
+      if String.equal a.Atom.pred isa_p then
+        match a.Atom.args with
+        | [ _; c ] -> (
+          match sym_of c with Some c -> SS.add c acc | None -> acc)
+        | _ -> acc
+      else if
+        String.equal a.Atom.pred sub_p || String.equal a.Atom.pred class_p
+      then
+        List.fold_left
+          (fun acc t ->
+            match sym_of t with Some c -> SS.add c acc | None -> acc)
+          acc a.Atom.args
+      else acc
+    in
+    List.fold_left
+      (fun acc (_, (r : Rule.t)) ->
+        let acc = add_atom acc r.Rule.head in
+        List.fold_left
+          (fun acc l ->
+            match l with
+            | Literal.Pos a | Literal.Neg a -> add_atom acc a
+            | _ -> acc)
+          acc r.Rule.body)
+      SS.empty user
+    |> fun s ->
+    List.fold_left (fun s (c, d) -> SS.add c (SS.add d s)) s static_sub
+  in
+  let edges = ref [] in
+  let nestings = ref [] in
+  let add_edge src dst func guards rule =
+    edges := { src; dst; func; guards; rule } :: !edges
+  in
+  (* per-rule variable flows *)
+  List.iter
+    (fun (i, (r : Rule.t)) ->
+      let srcs = ref SM.empty in
+      let guards = ref SM.empty in
+      let add_guard x g =
+        guards :=
+          SM.update x
+            (function None -> Some [ g ] | Some gs -> Some (g :: gs))
+            !guards
+      in
+      let agg_vars = ref SS.empty and arith_vars = ref SS.empty in
+      List.iter
+        (function
+          | Literal.Pos a when not (Literal.is_builtin a.Atom.pred) ->
+            srcs := atom_sources ~specialized ~classes a !srcs
+          | Literal.Pos { Atom.pred; args } -> (
+            (* structural builtins act as guards on skolem flows *)
+            match (pred, args) with
+            | "builtin:is_const", [ Term.Var x ] -> add_guard x Gconst
+            | "builtin:not_functor_prefix", [ Term.Var x; p ] -> (
+              match Term.as_string p with
+              | Some pfx -> add_guard x (Gnot_prefix pfx)
+              | None -> ())
+            | _ -> ())
+          | Literal.Agg a ->
+            List.iter
+              (fun inner -> srcs := atom_sources ~specialized ~classes inner !srcs)
+              a.Literal.body
+          | _ -> ())
+        r.Rule.body;
+      (* assignment chains: result variables carry arithmetic growth *)
+      let assigns =
+        List.filter_map
+          (function
+            | Literal.Assign (Term.Var v, e) -> Some (v, expr_vars e)
+            | _ -> None)
+          r.Rule.body
+      in
+      List.iter
+        (fun _ ->
+          List.iter
+            (fun (v, ys) ->
+              arith_vars := SS.add v !arith_vars;
+              List.iter
+                (fun y ->
+                  srcs :=
+                    SS.fold (fun n m -> add_src m v n) (union_find !srcs y)
+                      !srcs)
+                ys)
+            assigns)
+        assigns;
+      (* aggregate results *)
+      List.iter
+        (function
+          | Literal.Agg a -> (
+            match a.Literal.result with
+            | Term.Var v ->
+              agg_vars := SS.add v !agg_vars;
+              List.iter
+                (fun y ->
+                  srcs :=
+                    SS.fold (fun n m -> add_src m v n) (union_find !srcs y)
+                      !srcs)
+                (Term.vars a.Literal.target
+                @ List.concat_map Term.vars a.Literal.group_by)
+            | _ -> ())
+          | _ -> ())
+        r.Rule.body;
+      (* head flows *)
+      let h = r.Rule.head in
+      List.iteri
+        (fun j t ->
+          let dsts = arg_nodes ~specialized ~classes h.Atom.pred j h.Atom.args in
+          let flows, nests = head_var_flows t in
+          nestings := nests @ !nestings;
+          List.iter
+            (fun (x, wrapper) ->
+              let pseudo =
+                if SS.mem x !arith_vars then Some arith_f
+                else if SS.mem x !agg_vars then Some agg_f
+                else None
+              in
+              let func =
+                match wrapper with Some f -> Some f | None -> pseudo
+              in
+              (match (pseudo, wrapper) with
+              | Some p, Some f -> nestings := (p, f) :: !nestings
+              | _ -> ());
+              let gs =
+                Option.value (SM.find_opt x !guards) ~default:[]
+              in
+              SS.iter
+                (fun s -> List.iter (fun d -> add_edge s d func gs i) dsts)
+                (union_find !srcs x))
+            flows)
+        h.Atom.args)
+    user;
+  (* modeled flows of the skipped GCM axioms *)
+  if gcm then begin
+    if specialized then
+      List.iter
+        (fun (c, d) -> add_edge (cpos c) (cpos d) None [] (-1))
+        static_sub
+    else begin
+      add_edge (gpos isa_p 0) (gpos isa_p 0) None [] (-1);
+      add_edge (gpos sub_p 1) (gpos isa_p 1) None [] (-1);
+      add_edge (gpos isa_p 1) (gpos class_p 0) None [] (-1)
+    end;
+    List.iter
+      (fun (s, d) -> add_edge s d None [] (-1))
+      [
+        (gpos class_p 0, gpos sub_p 0); (* sub reflexivity *)
+        (gpos class_p 0, gpos sub_p 1);
+        (gpos sub_p 0, gpos class_p 0); (* classhood *)
+        (gpos sub_p 1, gpos class_p 0);
+        (gpos meth_sig_p 0, gpos class_p 0);
+        (gpos sub_p 0, gpos meth_sig_p 0) (* signature inheritance *);
+      ]
+  end;
+  let edges = !edges in
+  (* --------------------------------------------------------------- *)
+  (* weak acyclicity: no special edge inside a strongly connected
+     component *)
+  let nodes =
+    List.fold_left (fun s e -> SS.add e.src (SS.add e.dst s)) SS.empty edges
+  in
+  let succs =
+    List.fold_left
+      (fun m e ->
+        SM.update e.src
+          (function None -> Some [ e ] | Some es -> Some (e :: es))
+          m)
+      SM.empty edges
+  in
+  let succ_edges n = Option.value (SM.find_opt n succs) ~default:[] in
+  (* Tarjan *)
+  let comp = Hashtbl.create 64 in
+  let index = Hashtbl.create 64 in
+  let low = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 and comp_counter = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun e ->
+        let w = e.dst in
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succ_edges v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let id = !comp_counter in
+      incr comp_counter;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          Hashtbl.replace comp w id;
+          if not (String.equal w v) then pop ()
+      in
+      pop ()
+    end
+  in
+  SS.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  let same_scc a b =
+    match (Hashtbl.find_opt comp a, Hashtbl.find_opt comp b) with
+    | Some x, Some y -> x = y
+    | _ -> false
+  in
+  let violations =
+    List.filter (fun e -> e.func <> None && same_scc e.src e.dst) edges
+  in
+  if violations = [] then Safe { refined = false }
+  else begin
+    (* ------------------------------------------------------------- *)
+    (* functor-graph refinement *)
+    let special = List.filter (fun e -> e.func <> None) edges in
+    let functors =
+      List.fold_left
+        (fun s e -> match e.func with Some f -> SS.add f s | None -> s)
+        SS.empty special
+      |> fun s ->
+      List.fold_left (fun s (g, f) -> SS.add g (SS.add f s)) s !nestings
+    in
+    let blocks g f =
+      if String.equal f arith_f || String.equal f agg_f then false
+      else
+        match g with
+        | Gconst -> true
+        | Gnot_prefix p ->
+          String.length p <= String.length f
+          && String.equal (String.sub f 0 (String.length p)) p
+    in
+    (* positions reachable from f-term destinations along ordinary
+       edges whose variable may carry an f-term *)
+    let reach_from f starts =
+      let seen = ref (SS.of_list starts) in
+      let frontier = ref starts in
+      while !frontier <> [] do
+        let next =
+          List.concat_map
+            (fun n ->
+              List.filter_map
+                (fun e ->
+                  if
+                    e.func = None
+                    && (not (List.exists (fun g -> blocks g f) e.guards))
+                    && not (SS.mem e.dst !seen)
+                  then Some e.dst
+                  else None)
+                (succ_edges n))
+            !frontier
+        in
+        List.iter (fun n -> seen := SS.add n !seen) next;
+        frontier := next
+      done;
+      !seen
+    in
+    (* an f-term feeds the creation of a k-term iff it reaches the
+       source position of some k-special edge AND survives that edge's
+       own guards on the flowing variable (an [is_const]-guarded rule
+       never consumes a function term, whatever reaches it) *)
+    let feeds f k r =
+      List.exists
+        (fun e ->
+          e.func = Some k
+          && SS.mem e.src r
+          && not (List.exists (fun g -> blocks g f) e.guards))
+        special
+    in
+    let fedges =
+      SS.fold
+        (fun f acc ->
+          let dests =
+            List.filter_map
+              (fun e -> if e.func = Some f then Some e.dst else None)
+              special
+          in
+          if dests = [] then acc
+          else
+            let r = reach_from f dests in
+            SS.fold
+              (fun k acc -> if feeds f k r then (f, k) :: acc else acc)
+              functors acc)
+        functors []
+      @ !nestings
+    in
+    (* cycle in the functor graph? *)
+    let fsucc f =
+      List.filter_map
+        (fun (a, b) -> if String.equal a f then Some b else None)
+        fedges
+    in
+    let cyclic =
+      let color = Hashtbl.create 8 in
+      let rec visit f =
+        match Hashtbl.find_opt color f with
+        | Some 1 -> true (* grey: back edge *)
+        | Some _ -> false
+        | None ->
+          Hashtbl.replace color f 1;
+          let c = List.exists visit (fsucc f) in
+          Hashtbl.replace color f 2;
+          c
+      in
+      SS.exists visit functors
+    in
+    if not cyclic then Safe { refined = true }
+    else begin
+      (* diagnostic: shortest cycle through the first violating special
+         edge, found by BFS from its destination back to its source
+         inside the component *)
+      let e0 = List.hd violations in
+      let parent = Hashtbl.create 16 in
+      let seen = ref (SS.singleton e0.dst) in
+      let frontier = ref [ e0.dst ] in
+      let found = ref (String.equal e0.dst e0.src) in
+      while (not !found) && !frontier <> [] do
+        let next =
+          List.concat_map
+            (fun n ->
+              List.filter_map
+                (fun e ->
+                  if
+                    same_scc e.dst e0.src
+                    && not (SS.mem e.dst !seen)
+                  then begin
+                    Hashtbl.replace parent e.dst (n, e);
+                    Some e.dst
+                  end
+                  else None)
+                (succ_edges n))
+            !frontier
+        in
+        List.iter (fun n -> seen := SS.add n !seen) next;
+        if List.exists (String.equal e0.src) next then found := true;
+        frontier := next
+      done;
+      let rec path n acc edges_acc =
+        if String.equal n e0.dst then (n :: acc, edges_acc)
+        else
+          match Hashtbl.find_opt parent n with
+          | Some (p, e) -> path p (n :: acc) (e :: edges_acc)
+          | None -> (n :: acc, edges_acc)
+      in
+      let back, path_edges =
+        if String.equal e0.dst e0.src then ([ e0.dst ], [])
+        else path e0.src [] []
+      in
+      let positions = e0.src :: (if back = [ e0.src ] then [] else back) in
+      let positions =
+        (* drop a trailing repeat of the start *)
+        match List.rev positions with
+        | last :: _ when String.equal last e0.src && List.length positions > 1
+          ->
+          List.rev (List.tl (List.rev positions))
+        | _ -> positions
+      in
+      let cyc_edges = e0 :: path_edges in
+      let functors =
+        List.filter_map (fun e -> e.func) cyc_edges
+        |> List.sort_uniq String.compare
+      in
+      let rules =
+        List.filter_map
+          (fun e -> if e.rule >= 0 then Some e.rule else None)
+          cyc_edges
+        |> List.sort_uniq compare
+      in
+      Unsafe { positions; functors; rules }
+    end
+  end
+
+let cycle_to_string c =
+  Printf.sprintf "%s -> %s [functors: %s]"
+    (String.concat " -> " c.positions)
+    (match c.positions with p :: _ -> p | [] -> "")
+    (String.concat ", " c.functors)

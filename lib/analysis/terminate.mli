@@ -1,0 +1,48 @@
+(** Skolem-safety: termination of the bottom-up fixpoint under value
+    invention, via weak acyclicity of the position dependency graph
+    with a functor-graph refinement in the spirit of super-weak
+    acyclicity.
+
+    Positions are rendered ["pred#i"], with the [isa] instance
+    position split per class (["isa@neuron"]) when every [isa]-head
+    names its class — the split models the GCM propagation axiom
+    [isa(X,C2) :- isa(X,C1), sub(C1,C2)] by static edges instead of
+    collapsing all classes into one recursive position. The
+    {!Flogic.Gcm_axioms.core} rules are recognised and modeled rather
+    than traversed. Arithmetic assignment and aggregate results are
+    treated as pseudo-functors [<arith>]/[<agg>].
+
+    The verdict is sound for acceptance: [Safe _] implies every
+    derivation chain adds bounded term depth, so materialization
+    reaches a fixpoint without relying on the engine's
+    [max_term_depth] suppression. [Unsafe _] is conservative — the
+    program {e may} still terminate. *)
+
+type cycle = {
+  positions : string list;
+      (** the offending position cycle, in order (first node not
+          repeated at the end) *)
+  functors : string list; (** functors of the special edges on it *)
+  rules : int list;
+      (** indices (into the analyzed rule list) of the rules whose
+          flows contribute cycle edges; axiom-modeled edges carry no
+          index *)
+}
+
+type verdict =
+  | Safe of { refined : bool }
+      (** [refined = true]: weak acyclicity failed but the functor
+          graph is acyclic *)
+  | Unsafe of cycle
+
+val analyze :
+  ?gcm:bool ->
+  ?extra_sub:(string * string) list ->
+  Logic.Rule.t list ->
+  verdict
+(** [gcm] (default true) enables GCM axiom recognition/modeling;
+    pass [false] for plain Datalog rule sets. [extra_sub] adds
+    subsumption pairs the rules themselves don't state (the domain
+    map's isa closure). *)
+
+val cycle_to_string : cycle -> string

@@ -15,6 +15,7 @@ type config = {
   allow_wellfounded_fallback : bool;
   compiled_plans : bool;
   prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
+  minimize : (Logic.Rule.t list -> Logic.Rule.t list) option;
   cost_oracle : cost_oracle option;
 }
 
@@ -26,6 +27,7 @@ let default_config =
     allow_wellfounded_fallback = true;
     compiled_plans = true;
     prune = None;
+    minimize = None;
     cost_oracle = None;
   }
 
@@ -45,6 +47,7 @@ type report = {
   strata_skipped : int;
   delta_facts : int;
   rules_pruned : int;
+  atoms_minimized : int;
   cost_oracle_used : int;
   est_vs_actual : float;
 }
@@ -63,6 +66,7 @@ let empty_report =
     strata_skipped = 0;
     delta_facts = 0;
     rules_pruned = 0;
+    atoms_minimized = 0;
     cost_oracle_used = 0;
     est_vs_actual = 0.0;
   }
@@ -118,6 +122,19 @@ let materialize ?(config = default_config) ?report p edb =
       let kept = f rules db in
       (Program.make_exn kept, List.length rules - List.length kept)
   in
+  (* semantic minimization: the hook (Analysis.Contain.minimize — same
+     wiring inversion as [prune]) may drop body atoms that are implied
+     by the rest of their rule's body, but must preserve the model. *)
+  let p, minimized =
+    match config.minimize with
+    | None -> (p, 0)
+    | Some f ->
+      let rules = Program.rules p in
+      let before = List.fold_left (fun n r -> n + List.length r.Logic.Rule.body) 0 rules in
+      let kept = f rules in
+      let after = List.fold_left (fun n r -> n + List.length r.Logic.Rule.body) 0 kept in
+      (Program.make_exn kept, max 0 (before - after))
+  in
   let fill_report ~stratified ~strata ~rounds ~derived ~skolems ~result =
     match report with
     | None -> ()
@@ -136,6 +153,7 @@ let materialize ?(config = default_config) ?report p edb =
           strata_skipped = 0;
           delta_facts = 0;
           rules_pruned = pruned;
+          atoms_minimized = minimized;
           cost_oracle_used = stats.Eval.cost_oracle_used;
           est_vs_actual =
             (match config.cost_oracle with
@@ -337,6 +355,7 @@ let maintain ?(config = default_config) ?report p db delta =
             strata_skipped = rep.Maintain.skipped;
             delta_facts = rep.Maintain.added + rep.Maintain.removed;
             rules_pruned = 0;
+            atoms_minimized = 0;
             cost_oracle_used = 0;
             est_vs_actual = 0.0;
           });

@@ -47,6 +47,14 @@ type config = {
           ({!Analysis.Absint.prune} is such a hook; the engine cannot
           depend on the analysis library, so the wiring is inverted).
           Pruned-rule counts land in [report.rules_pruned]. *)
+  minimize : (Logic.Rule.t list -> Logic.Rule.t list) option;
+      (** semantic rule minimization hook, run by {!materialize} after
+          [prune] and before evaluation. The hook may rewrite each rule
+          to an equivalent one with fewer body atoms — dropping joins
+          that containment analysis proves implied by the rest of the
+          body ([Analysis.Contain.minimize] is such a hook; same wiring
+          inversion as [prune]). It must preserve the model exactly.
+          Dropped-atom counts land in [report.atoms_minimized]. *)
   cost_oracle : cost_oracle option;
       (** when set, {!materialize} installs the oracle around the whole
           evaluation ({!Plan.with_oracle}) so compiled plans use
@@ -85,6 +93,10 @@ type report = {
   rules_pruned : int;
       (** rules dropped by the [config.prune] hook before evaluation
           (0 when no hook is set and on the maintenance path) *)
+  atoms_minimized : int;
+      (** body atoms dropped by the [config.minimize] hook before
+          evaluation (0 when no hook is set and on the maintenance
+          path) *)
   cost_oracle_used : int;
       (** plan lookups resolved with a validated oracle-supplied
           literal order (0 without [config.cost_oracle] and on the

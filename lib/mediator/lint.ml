@@ -78,7 +78,47 @@ let federation m =
     A.Kindlint.lint_program ~known_class ~cones ~sources:(source_names m)
       ~class_sources:(class_sources m)
       ?budget:(Mediator.config m).Mediator.cost_budget
-      ~seed:(Mediator.cardinality_seed m) (Mediator.program m)
+      ~seed:(Mediator.cardinality_seed m) ~dm (Mediator.program m)
+  in
+  (* pass 9 across the installed views: a view contained in the views
+     installed before it (modulo the domain map) adds no answers *)
+  let ivd_redundant =
+    let ivds = Mediator.ivds m in
+    if List.length ivds < 2 then []
+    else
+      match
+        try
+          Ok
+            (List.map
+               (fun r -> (r, Flogic.Compile.rule (Mediator.signature m) r))
+               ivds)
+        with Flogic.Compile.Compile_error _ -> Error ()
+      with
+      | Error () -> [] (* surfaces as a compile error elsewhere *)
+      | Ok compiled ->
+        let ctx = A.Contain.make_ctx ~dm () in
+        List.concat
+          (List.mapi
+             (fun i (r, cand) ->
+               let against =
+                 List.concat
+                   (List.filteri (fun j _ -> j < i) (List.map snd compiled))
+               in
+               if
+                 against <> [] && cand <> []
+                 && A.Contain.redundant_view ctx ~against cand
+               then
+                 [
+                   A.Diagnostic.make ~severity:A.Diagnostic.Warning
+                     ~pass:"contain" ~code:"redundant-ivd"
+                     ~location:
+                       (A.Diagnostic.Query (Molecule.rule_to_string r))
+                     "this view is contained in the views installed before \
+                      it; it adds no answers"
+                     ~hint:"drop the view or generalize it";
+                 ]
+               else [])
+             compiled)
   in
   let ivd_prov = (provenance m).A.Prov_lint.diags in
   let ivd_caps =
@@ -112,8 +152,8 @@ let federation m =
   in
   A.Diagnostic.sort
     (A.Diagnostic.normalize
-       (dmap_diags @ schema_diags @ template_diags @ program_diags @ ivd_prov
-      @ ivd_caps))
+       (dmap_diags @ schema_diags @ template_diags @ program_diags
+      @ ivd_redundant @ ivd_prov @ ivd_caps))
 
 (* The full cost analysis of the federation program — what
    [kindctl cost --demo] renders: per-predicate cardinality intervals,

@@ -16,7 +16,11 @@
     - pass 7 (source provenance) on the program and the IVDs, plus the
       composed {b infeasible-provenance} check: a view whose every
       source-bearing subgoal is infeasible under the declared
-      capabilities can never receive source data.
+      capabilities can never receive source data;
+    - passes 9–10 (semantic containment and skolem-safety, widened over
+      the domain map) on the compiled federation program, plus the
+      cross-view {b redundant-ivd} check: a view contained (modulo the
+      domain map) in the views installed before it adds no answers.
 
     Nothing is materialized and no wrapper is contacted. *)
 

@@ -15,6 +15,7 @@ type config = {
   inheritance : bool;
   lint : lint_policy;
   prune_dead : bool;
+  minimize : bool;
   runtime : Runtime.policy;
   cost_budget : int option;
 }
@@ -28,6 +29,7 @@ let default_config =
     inheritance = false;
     lint = Lint_warn;
     prune_dead = false;
+    minimize = false;
     runtime = Runtime.default_policy;
     cost_budget = None;
   }
@@ -438,6 +440,35 @@ let ivd_cost_diags t rules =
                SSet.mem text candidate_texts
              | _ -> false))
 
+(* Pass 9 at the registration boundary: a candidate view whose every
+   compiled rule is contained (modulo the domain map) in some
+   already-installed view with the same head adds no answers. *)
+let ivd_contain_diags t rules =
+  if t.cfg.lint = Lint_off || t.ivds = [] || rules = [] then []
+  else
+    let module D = Analysis.Diagnostic in
+    match
+      try Ok (Flogic.Compile.rules t.sg rules, Flogic.Compile.rules t.sg t.ivds)
+      with Flogic.Compile.Compile_error _ -> Error ()
+    with
+    | Error () -> [] (* surfaces as a compile error elsewhere *)
+    | Ok (cand, against) ->
+      let ctx = Analysis.Contain.make_ctx ~dm:t.dmap () in
+      if cand <> [] && Analysis.Contain.redundant_view ctx ~against cand then
+        [
+          D.make ~severity:D.Warning ~pass:"contain" ~code:"redundant-ivd"
+            ~location:D.Federation
+            (Printf.sprintf
+               "view (%d rule%s) is contained in the already-installed views \
+                and adds no answers"
+               (List.length rules)
+               (if List.length rules = 1 then "" else "s"))
+            ~hint:
+              "every answer the view can produce is already derived; drop it \
+               or generalize it";
+        ]
+      else []
+
 let add_ivd t rules =
   let module D = Analysis.Diagnostic in
   t.warnings <-
@@ -446,7 +477,8 @@ let add_ivd t rules =
         (Format.asprintf "%a" D.pp)
         (List.filter
            (fun (d : D.t) -> d.D.severity <> D.Info)
-           (ivd_diags t rules @ ivd_cost_diags t rules));
+           (ivd_diags t rules @ ivd_cost_diags t rules
+           @ ivd_contain_diags t rules));
   t.ivds <- t.ivds @ rules;
   absorb_rules t rules
 
@@ -534,6 +566,17 @@ let prune_hook t rules db =
     ~assume_nonempty:(Analysis.Kindlint.open_predicate ~signature:t.sg rules)
     rules db
 
+(* Semantic minimization hook for the engine (pass 9 acting): the
+   containment context is built from the domain map ONLY — program
+   [sub] facts may come from sources, and a deletion could retract
+   them, whereas the domain map is a mediator-level invariant no base
+   delta can break. That makes the minimized rules equivalent over
+   every database the handle can evolve into, which is what
+   [Maintain.init ?minimize] requires. *)
+let minimize_hook t =
+  let ctx = Analysis.Contain.make_ctx ~dm:t.dmap () in
+  Analysis.Contain.minimize ctx
+
 let materialize t =
   match t.cache with
   | Some db -> db
@@ -542,11 +585,15 @@ let materialize t =
     t.last_completeness <- Some completeness;
     let p = build_program_with t ~data in
     let prune = if t.cfg.prune_dead then Some (prune_hook t) else None in
+    let minimize = if t.cfg.minimize then Some (minimize_hook t) else None in
     let db =
       match Flogic.Fl_program.compile p with
       | Error e -> invalid_arg e
       | Ok dp -> (
-        match Datalog.Maintain.init ?prune dp (Datalog.Database.create ()) with
+        match
+          Datalog.Maintain.init ?prune ?minimize dp
+            (Datalog.Database.create ())
+        with
         | Ok h ->
           t.maint <- Some h;
           Datalog.Maintain.db h
@@ -556,7 +603,7 @@ let materialize t =
              well-founded fallback, no incremental handle *)
           t.maint <- None;
           Flogic.Fl_program.run
-            ~config:{ Datalog.Engine.default_config with prune }
+            ~config:{ Datalog.Engine.default_config with prune; minimize }
             p)
     in
     t.cstats <- { t.cstats with rebuilt = t.cstats.rebuilt + 1 };

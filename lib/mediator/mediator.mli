@@ -32,6 +32,14 @@ type config = {
           proves can derive nothing before materializing — semantics
           preserving; counts surface in {!Datalog.Engine.report} /
           {!Datalog.Maintain.report} (default [false]) *)
+  minimize : bool;
+      (** semantically minimize rule bodies before materializing:
+          containment analysis modulo the domain map
+          ({!Analysis.Contain.minimize}) drops body atoms implied by
+          the rest of their rule — equivalence preserving for every
+          database the maintenance handle can evolve into, because the
+          context is built from the domain map only, never from
+          retractable source facts (default [false]) *)
   runtime : Runtime.policy;
       (** per-source retry-with-backoff and circuit-breaker policies
           applied to every query-time fetch (default
@@ -73,8 +81,10 @@ val add_ivd : t -> Flogic.Molecule.rule list -> unit
     materialization is live, the new rules are absorbed incrementally
     ({!Datalog.Maintain.extend_rules}) instead of invalidating it.
     Unless the lint policy is [Lint_off], the rules' source provenance
-    is checked ({!Analysis.Prov_lint}) and findings accumulate in
-    {!translation_warnings}. *)
+    is checked ({!Analysis.Prov_lint}), a candidate view contained in
+    the already-installed views (modulo the domain map,
+    {!Analysis.Contain.redundant_view}) gets a [redundant-ivd]
+    warning, and findings accumulate in {!translation_warnings}. *)
 
 val update_source :
   t ->

@@ -222,20 +222,36 @@ let test_arity_mismatch () =
       (contains d.D.message "whole")
   | _ -> Alcotest.fail "expected exactly one arity-mismatch"
 
+(* Rule_lint's capped syntactic subsumption is retired: the semantic
+   containment pass (Contain_lint) owns the verdict now. The syntactic
+   check survives only as [Rule_lint.subsumes], kept as a differential
+   oracle — whatever it catches, containment must catch too. *)
 let test_subsumed_rule () =
-  let ds =
-    A.Rule_lint.lint
-      [
-        Rule.make (Atom.make "p" [ v "X" ]) [ Literal.pos "e" [ v "X" ] ];
-        Rule.make
-          (Atom.make "p" [ v "X" ])
-          [ Literal.pos "e" [ v "X" ]; Literal.pos "f" [ v "X" ] ];
-        Rule.make (Atom.make "e" [ s "a" ]) [];
-        Rule.make (Atom.make "f" [ s "a" ]) [];
-      ]
+  let general =
+    Rule.make (Atom.make "p" [ v "X" ]) [ Literal.pos "e" [ v "X" ] ]
   in
-  Alcotest.(check int) "one subsumed rule" 1
-    (List.length (with_code "subsumed-rule" ds))
+  let specific =
+    Rule.make
+      (Atom.make "p" [ v "X" ])
+      [ Literal.pos "e" [ v "X" ]; Literal.pos "f" [ v "X" ] ]
+  in
+  let rules =
+    [
+      general;
+      specific;
+      Rule.make (Atom.make "e" [ s "a" ]) [];
+      Rule.make (Atom.make "f" [ s "a" ]) [];
+    ]
+  in
+  Alcotest.(check int) "rule_lint no longer flags subsumption" 0
+    (List.length (with_code "subsumed-rule" (A.Rule_lint.lint rules)));
+  Alcotest.(check int) "containment pass flags it instead" 1
+    (List.length (with_code "rule-implied-by-rule" (A.Contain_lint.lint rules)));
+  (* differential: the retired syntactic oracle implies the semantic one *)
+  Alcotest.(check bool) "syntactic subsumption still holds" true
+    (A.Rule_lint.subsumes ~general ~specific);
+  Alcotest.(check bool) "semantic containment agrees" true
+    (A.Contain.contained A.Contain.empty_ctx specific general)
 
 let test_dmap_lint_cycle () =
   let dm = Domain_map.Dmap.empty in

@@ -1,0 +1,623 @@
+(* Semantic containment & termination analysis (passes 9 and 10):
+
+   - directed Chandra–Merlin verdicts, the chase modulo the domain map,
+     satisfiability and greedy minimization;
+   - the four seeded diagnostics in samples/broken.flp fire through the
+     kindlint pipeline, and spines.flp stays clean;
+   - randomized soundness differentials (deterministic: case [i] uses
+     seed [base*10_000 + i] with [base] from KIND_QCHECK_SEED,
+     case counts overridable via KIND_QCHECK_CASES):
+       (a) contained(q1, q2) implies eval(q1) ⊆ eval(q2) on random
+           databases, and the retired syntactic subsumption oracle
+           implies the semantic verdict;
+       (b) engine/maintenance minimization is answer-invisible under
+           naive, semi-naive and incremental evaluation;
+       (c) every random program the termination analysis accepts
+           reaches its fixpoint without the term-depth guard firing;
+   - the mediator warns about a redundant IVD at installation;
+   - the SARIF rendering carries the new rule ids. *)
+
+open Logic
+module A = Analysis
+module C = Analysis.Contain
+module T = Analysis.Terminate
+module D = Analysis.Diagnostic
+module Engine = Datalog.Engine
+module Maintain = Datalog.Maintain
+module Database = Datalog.Database
+module Program = Datalog.Program
+
+let v = Term.var
+let s = Term.sym
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some x -> ( try int_of_string (String.trim x) with _ -> default)
+  | None -> default
+
+let cases = max 200 (env_int "KIND_QCHECK_CASES" 220)
+let base_seed = env_int "KIND_QCHECK_SEED" 0
+
+let with_code code ds = List.filter (fun (d : D.t) -> d.D.code = code) ds
+
+(* naive substring test — diagnostics are short *)
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Directed containment verdicts *)
+
+let rule h b = Rule.make h b
+
+let test_directed () =
+  let general = rule (Atom.make "p" [ v "X" ]) [ Literal.pos "e" [ v "X" ] ] in
+  let specific =
+    rule
+      (Atom.make "p" [ v "X" ])
+      [ Literal.pos "e" [ v "X" ]; Literal.pos "f" [ v "X" ] ]
+  in
+  Alcotest.(check bool) "specific ⊑ general" true
+    (C.contained C.empty_ctx specific general);
+  Alcotest.(check bool) "general ⋢ specific" false
+    (C.contained C.empty_ctx general specific);
+  (* alpha-renaming is invisible *)
+  let r1 =
+    rule (Atom.make "p" [ v "X" ]) [ Literal.pos "e" [ v "X"; v "Y" ] ]
+  in
+  let r2 =
+    rule (Atom.make "p" [ v "A" ]) [ Literal.pos "e" [ v "A"; v "B" ] ]
+  in
+  Alcotest.(check bool) "alpha-equivalent rules" true (C.equivalent C.empty_ctx r1 r2);
+  (* a proper homomorphism: two joined scans fold onto one *)
+  let fold1 =
+    rule
+      (Atom.make "p" [ v "X" ])
+      [ Literal.pos "e" [ v "X"; v "Y" ]; Literal.pos "e" [ v "X"; v "Z" ] ]
+  in
+  Alcotest.(check bool) "folding hom r1 ⊑ r2 and back" true
+    (C.equivalent C.empty_ctx fold1 r1);
+  (* numeric entailment: D > 0.5 entails D > 0.4, not conversely *)
+  let narrow =
+    rule
+      (Atom.make "p" [ v "X" ])
+      [
+        Literal.pos "m" [ v "X"; v "D" ];
+        Literal.cmp Literal.Gt (v "D") (Term.float 0.5);
+      ]
+  in
+  let wide =
+    rule
+      (Atom.make "p" [ v "X" ])
+      [
+        Literal.pos "m" [ v "X"; v "D" ];
+        Literal.cmp Literal.Gt (v "D") (Term.float 0.4);
+      ]
+  in
+  Alcotest.(check bool) "interval entailment" true
+    (C.contained C.empty_ctx narrow wide);
+  Alcotest.(check bool) "no reverse entailment" false
+    (C.contained C.empty_ctx wide narrow)
+
+let test_chase_modulo_dm () =
+  let dm = Domain_map.Dmap.isa Domain_map.Dmap.empty "spine" "component" in
+  let ctx = C.make_ctx ~dm () in
+  let r =
+    rule
+      (Atom.make "q" [ v "X" ])
+      [
+        Literal.pos "isa" [ v "X"; s "spine" ];
+        Literal.pos "isa" [ v "X"; s "component" ];
+      ]
+  in
+  (match C.implied_atoms ctx r with
+  | [ a ] ->
+    Alcotest.(check string) "the up-propagated membership is implied"
+      "isa(X, component)" (Atom.to_string a)
+  | other ->
+    Alcotest.failf "expected one implied atom, got %d" (List.length other));
+  let m = C.minimize_rule ctx r in
+  Alcotest.(check int) "minimized to one atom" 1 (List.length m.Rule.body);
+  Alcotest.(check bool) "minimized rule is equivalent" true
+    (C.equivalent ctx m r);
+  (* without the domain map nothing is implied *)
+  Alcotest.(check int) "no dm, no implication" 0
+    (List.length (C.implied_atoms C.empty_ctx r))
+
+let test_unsatisfiable () =
+  let contradiction =
+    rule
+      (Atom.make "q" [ v "X" ])
+      [
+        Literal.pos "m" [ v "X"; v "D" ];
+        Literal.cmp Literal.Gt (v "D") (Term.float 1.0);
+        Literal.cmp Literal.Lt (v "D") (Term.float 0.2);
+      ]
+  in
+  Alcotest.(check bool) "empty interval detected" true
+    (C.unsatisfiable C.empty_ctx contradiction <> None);
+  let disjoint_ctx = C.make_ctx ~disjoint:[ ("axon", "dendrite") ] () in
+  let both =
+    rule
+      (Atom.make "q" [ v "X" ])
+      [
+        Literal.pos "isa" [ v "X"; s "axon" ];
+        Literal.pos "isa" [ v "X"; s "dendrite" ];
+      ]
+  in
+  Alcotest.(check bool) "disjoint membership detected" true
+    (C.unsatisfiable disjoint_ctx both <> None);
+  let fine =
+    rule (Atom.make "q" [ v "X" ]) [ Literal.pos "isa" [ v "X"; s "axon" ] ]
+  in
+  Alcotest.(check bool) "satisfiable rule passes" true
+    (C.unsatisfiable disjoint_ctx fine = None)
+
+(* ------------------------------------------------------------------ *)
+(* Directed termination verdicts *)
+
+let test_terminate_directed () =
+  let vat_cycle =
+    [
+      rule (Atom.make "brim" [ v "X" ]) [ Literal.pos "vat" [ v "X" ] ];
+      rule
+        (Atom.make "vat" [ Term.app "g" [ v "X" ] ])
+        [ Literal.pos "brim" [ v "X" ] ];
+    ]
+  in
+  (match T.analyze vat_cycle with
+  | T.Unsafe cyc ->
+    let msg = T.cycle_to_string cyc in
+    Alcotest.(check bool) "cycle names the position" true
+      (List.exists
+         (fun p -> String.length p >= 4 && String.sub p 0 4 = "vat#")
+         cyc.T.positions);
+    Alcotest.(check bool) "cycle names the functor" true
+      (List.mem "g" cyc.T.functors);
+    Alcotest.(check bool) "cycle renders" true (String.length msg > 0)
+  | T.Safe _ -> Alcotest.fail "the vat/brim functor cycle must be unsafe");
+  (* the same cycle behind an is_const guard cannot re-consume its own
+     skolems: the super-weak refinement accepts it *)
+  let guarded =
+    [
+      rule (Atom.make "brim" [ v "X" ]) [ Literal.pos "vat" [ v "X" ] ];
+      rule
+        (Atom.make "vat" [ Term.app "g" [ v "X" ] ])
+        [
+          Literal.pos "brim" [ v "X" ];
+          Literal.pos "builtin:is_const" [ v "X" ];
+        ];
+    ]
+  in
+  (match T.analyze guarded with
+  | T.Safe { refined } ->
+    Alcotest.(check bool) "accepted by the refinement" true refined
+  | T.Unsafe _ -> Alcotest.fail "the guarded cycle is safe");
+  (* a functor off every cycle is harmless *)
+  let acyclic =
+    [
+      rule
+        (Atom.make "wrap" [ Term.app "f" [ v "X" ] ])
+        [ Literal.pos "base" [ v "X" ] ];
+      rule (Atom.make "top" [ v "X" ]) [ Literal.pos "wrap" [ v "X" ] ];
+    ]
+  in
+  match T.analyze acyclic with
+  | T.Safe _ -> ()
+  | T.Unsafe _ -> Alcotest.fail "acyclic functor flow is safe"
+
+(* ------------------------------------------------------------------ *)
+(* Sample goldens through the kindlint pipeline *)
+
+let read_sample name =
+  let candidates =
+    [
+      Filename.concat "../samples" name;
+      Filename.concat "samples" name;
+      Filename.concat "../../samples" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.failf "sample %s not found from %s" name (Sys.getcwd ())
+  | Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+
+let lint_sample name =
+  let parsed = Flogic.Fl_parser.parse_program_exn (read_sample name) in
+  A.Kindlint.lint_program
+    ~positions:parsed.Flogic.Fl_parser.rule_positions
+    (Flogic.Fl_program.make ~signature:parsed.Flogic.Fl_parser.signature
+       parsed.Flogic.Fl_parser.rules)
+
+let contain_codes =
+  [
+    "unsatisfiable-body"; "implied-atom"; "rule-implied-by-rule";
+    "possible-nontermination";
+  ]
+
+let broken_goldens () =
+  let diags = lint_sample "broken.flp" in
+  let hits code =
+    List.filter_map
+      (fun (d : D.t) ->
+        match (d.D.code = code, d.D.location) with
+        | true, D.Rule { text; _ } -> Some text
+        | true, _ -> Some ""
+        | _ -> None)
+      diags
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "broken.flp trips %s" c)
+        true
+        (hits c <> []))
+    contain_codes;
+  let mentions code frag = List.exists (fun t -> contains_sub t frag) (hits code) in
+  Alcotest.(check bool) "impossible is the unsatisfiable rule" true
+    (mentions "unsatisfiable-body" "impossible");
+  Alcotest.(check bool) "verbose carries the implied atom" true
+    (mentions "implied-atom" "verbose");
+  Alcotest.(check bool) "roomy is the implied rule" true
+    (mentions "rule-implied-by-rule" "roomy")
+
+let clean_goldens () =
+  let diags = lint_sample "spines.flp" in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "spines.flp has no %s" c)
+        false
+        (List.exists (fun (d : D.t) -> d.D.code = c) diags))
+    ("redundant-ivd" :: contain_codes)
+
+(* ------------------------------------------------------------------ *)
+(* (a) containment vs brute-force evaluation *)
+
+let edb_preds = [ ("e0", 2); ("e1", 2); ("e2", 1) ]
+let const st = s (Printf.sprintf "k%d" (Random.State.int st 4))
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let gen_cq st =
+  let var_pool = [ "A"; "B"; "C" ] in
+  let body =
+    List.init
+      (1 + Random.State.int st 3)
+      (fun _ ->
+        let name, ar = pick st edb_preds in
+        Literal.pos name
+          (List.init ar (fun _ ->
+               if Random.State.int st 100 < 15 then const st
+               else v (pick st var_pool))))
+  in
+  let bvars =
+    List.sort_uniq compare (List.concat_map Literal.vars body)
+  in
+  let head_arg =
+    if bvars <> [] && Random.State.int st 100 < 85 then v (pick st bvars)
+    else const st
+  in
+  rule (Atom.make "q" [ head_arg ]) body
+
+(* a rule guaranteed to be contained in [r]: same head, superset body *)
+let specialize st (r : Rule.t) =
+  let extra =
+    let name, ar = pick st edb_preds in
+    Literal.pos name
+      (List.init ar (fun _ ->
+           if Random.State.int st 100 < 50 then const st else v "A"))
+  in
+  Rule.make r.Rule.head (r.Rule.body @ [ extra ])
+
+let gen_db st =
+  Database.of_facts
+    (List.concat_map
+       (fun (name, ar) ->
+         List.init
+           (4 + Random.State.int st 8)
+           (fun _ -> Atom.make name (List.init ar (fun _ -> const st))))
+       edb_preds)
+
+let eval_rule db (r : Rule.t) =
+  Engine.query db r.Rule.body
+  |> List.map (fun su -> List.map (Subst.apply su) r.Rule.head.Atom.args)
+  |> List.sort_uniq compare
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let containment_vs_eval () =
+  let positives = ref 0 in
+  for i = 0 to cases - 1 do
+    let st = Random.State.make [| (base_seed * 10_000) + i |] in
+    let r1 =
+      if Random.State.int st 100 < 40 then
+        let r2 = gen_cq st in
+        specialize st r2
+      else gen_cq st
+    in
+    let r2 = gen_cq st in
+    let pairs = [ (r1, r2); (r2, r1) ] in
+    List.iter
+      (fun (a, b) ->
+        let c = C.contained C.empty_ctx a b in
+        if c then incr positives;
+        (* the retired syntactic oracle implies the semantic verdict *)
+        if A.Rule_lint.subsumes ~general:b ~specific:a && not c then
+          Alcotest.failf "seed %d: subsumes holds but contained refuses\n%s\n%s"
+            i (Rule.to_string a) (Rule.to_string b);
+        if c then
+          for k = 0 to 2 do
+            let db = gen_db (Random.State.make [| (i * 31) + k |]) in
+            if not (subset (eval_rule db a) (eval_rule db b)) then
+              Alcotest.failf
+                "seed %d: contained but answers escape\n%s\n%s" i
+                (Rule.to_string a) (Rule.to_string b)
+          done)
+      pairs
+  done;
+  Alcotest.(check bool) "containment fires on the generated pairs" true
+    (!positives > 0)
+
+(* ------------------------------------------------------------------ *)
+(* (b) minimization is answer-invisible under every engine *)
+
+let gen_program st =
+  let idb = [ ("p0", 1); ("p1", 1) ] in
+  let rule_for i (h, _) =
+    let pos_pool = edb_preds @ List.filteri (fun j _ -> j <= i) idb in
+    let var_pool = [ "A"; "B"; "C" ] in
+    let body =
+      List.init
+        (2 + Random.State.int st 2)
+        (fun _ ->
+          let name, ar = pick st pos_pool in
+          Literal.pos name
+            (List.init ar (fun _ ->
+                 if Random.State.int st 100 < 15 then const st
+                 else v (pick st var_pool))))
+    in
+    (* seed redundancy: re-scan an atom with one variable made fresh,
+       so containment has something real to remove *)
+    let body =
+      if Random.State.int st 100 < 60 then
+        match body with
+        | Literal.Pos a :: _ ->
+          let widened =
+            Atom.make a.Atom.pred
+              (List.mapi
+                 (fun k t -> if k = 0 then t else v "W")
+                 a.Atom.args)
+          in
+          body @ [ Literal.Pos widened ]
+        | _ -> body
+      else body
+    in
+    let bvars = List.sort_uniq compare (List.concat_map Literal.vars body) in
+    let head_arg =
+      if bvars <> [] then v (List.hd bvars) else const st
+    in
+    Rule.make (Atom.make h [ head_arg ]) body
+  in
+  List.concat
+    (List.mapi
+       (fun i p -> List.init (1 + Random.State.int st 2) (fun _ -> rule_for i p))
+       idb)
+
+let facts_str db =
+  List.sort compare (List.map Atom.to_string (Database.all_facts db))
+
+let minimize_invisible () =
+  let shrunk = ref 0 in
+  for i = 0 to cases - 1 do
+    let st = Random.State.make [| (base_seed * 10_000) + i |] in
+    let rules = gen_program st in
+    let p = Program.make_exn rules in
+    let edb = gen_db st in
+    let ctx = C.make_ctx ~rules () in
+    let hook = C.minimize ctx in
+    let body_atoms rs =
+      List.fold_left (fun n (r : Rule.t) -> n + List.length r.Rule.body) 0 rs
+    in
+    if body_atoms (hook rules) < body_atoms rules then incr shrunk;
+    let full = Engine.materialize p edb in
+    let check what db =
+      if facts_str db <> facts_str full then
+        Alcotest.failf "seed %d: %s changed the model" i what
+    in
+    let rep = ref Engine.empty_report in
+    check "semi-naive minimize"
+      (Engine.materialize
+         ~config:{ Engine.default_config with minimize = Some hook }
+         ~report:rep p edb);
+    if body_atoms (hook rules) < body_atoms rules then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: atoms_minimized counted" i)
+        true
+        (!rep.Engine.atoms_minimized > 0);
+    check "naive minimize"
+      (Engine.materialize
+         ~config:
+           {
+             Engine.default_config with
+             strategy = Engine.Naive;
+             minimize = Some hook;
+           }
+         p edb);
+    match Maintain.init ~minimize:hook p edb with
+    | Error e -> Alcotest.failf "seed %d: Maintain.init: %s" i e
+    | Ok h ->
+      check "maintain minimize" (Maintain.db h);
+      (* the minimized rules stay correct under deltas *)
+      let extra =
+        List.init 3 (fun k ->
+            Atom.make "e2" [ s (Printf.sprintf "k%d" k) ])
+      in
+      (match Maintain.apply h (Maintain.delta ~additions:extra ()) with
+      | Error e -> Alcotest.failf "seed %d: apply: %s" i e
+      | Ok _ -> ());
+      let edb' = Database.copy edb in
+      List.iter (fun f -> ignore (Database.add_fact edb' f)) extra;
+      if facts_str (Maintain.db h) <> facts_str (Engine.materialize p edb')
+      then Alcotest.failf "seed %d: minimized delta diverged" i
+  done;
+  Alcotest.(check bool) "minimization fires on the generated programs" true
+    (!shrunk > 0)
+
+(* ------------------------------------------------------------------ *)
+(* (c) termination-accepted programs reach their fixpoint *)
+
+let gen_term_program st =
+  let n = 4 in
+  let pred i = Printf.sprintf "t%d" i in
+  let wrap st t =
+    if Random.State.int st 100 < 35 then
+      Term.app (pick st [ "f"; "g" ]) [ t ]
+    else t
+  in
+  let rules =
+    List.init
+      (3 + Random.State.int st 4)
+      (fun _ ->
+        let i = Random.State.int st n in
+        let j = Random.State.int st n in
+        (* forward edges may invent values; back edges close cycles and
+           sometimes (the interesting, unsafe case) carry a functor *)
+        let head_t =
+          if j >= i then wrap st (v "X")
+          else if Random.State.int st 100 < 20 then
+            Term.app "f" [ v "X" ]
+          else v "X"
+        in
+        rule (Atom.make (pred j) [ head_t ]) [ Literal.pos (pred i) [ v "X" ] ])
+  in
+  rule (Atom.make (pred 0) [ v "X" ]) [ Literal.pos "seed" [ v "X" ] ] :: rules
+
+let termination_sound () =
+  let safe_n = ref 0 and unsafe_n = ref 0 in
+  for i = 0 to cases - 1 do
+    let st = Random.State.make [| (base_seed * 10_000) + i |] in
+    let rules = gen_term_program st in
+    match T.analyze rules with
+    | T.Unsafe _ -> incr unsafe_n
+    | T.Safe _ ->
+      incr safe_n;
+      let p = Program.make_exn rules in
+      let edb =
+        Database.of_facts
+          (List.init 4 (fun k -> Atom.make "seed" [ s (Printf.sprintf "k%d" k) ]))
+      in
+      let rep = ref Engine.empty_report in
+      let config = { Engine.default_config with max_term_depth = 48 } in
+      ignore (Engine.materialize ~config ~report:rep p edb);
+      if !rep.Engine.skolems_suppressed > 0 then
+        Alcotest.failf
+          "seed %d: accepted program hit the term-depth guard\n%s" i
+          (String.concat "\n" (List.map Rule.to_string rules))
+  done;
+  Alcotest.(check bool) "the analysis accepts some programs" true (!safe_n > 0);
+  Alcotest.(check bool) "the analysis rejects some programs" true
+    (!unsafe_n > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Mediator: redundant IVDs warned about at installation *)
+
+let redundant_ivd () =
+  let dm = Domain_map.Dmap.isa Domain_map.Dmap.empty "spine" "component" in
+  let med = Mediation.Mediator.create dm in
+  (match Mediation.Mediator.add_ivd_text med "v(X) :- X : spine." with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first view: %s" e);
+  (match
+     Mediation.Mediator.add_ivd_text med
+       "v(X) :- X : spine, X : component."
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "second view: %s" e);
+  let warned frag =
+    List.exists
+      (fun w -> contains_sub w frag)
+      (Mediation.Mediator.translation_warnings med)
+  in
+  Alcotest.(check bool) "redundant-ivd warned" true (warned "redundant-ivd");
+  (* the federation lint reports it too, against the earlier views *)
+  let diags = Mediation.Lint.federation med in
+  Alcotest.(check bool) "federation flags redundant-ivd" true
+    (with_code "redundant-ivd" diags <> [])
+
+(* a genuinely new view stays silent *)
+let non_redundant_ivd () =
+  let dm = Domain_map.Dmap.isa Domain_map.Dmap.empty "spine" "component" in
+  let med = Mediation.Mediator.create dm in
+  (match Mediation.Mediator.add_ivd_text med "v(X) :- X : spine." with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first view: %s" e);
+  (match Mediation.Mediator.add_ivd_text med "w(X) :- X : component." with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "second view: %s" e);
+  let warned =
+    List.exists
+      (fun w -> contains_sub w "redundant-ivd")
+      (Mediation.Mediator.translation_warnings med)
+  in
+  Alcotest.(check bool) "independent views stay silent" false warned
+
+(* ------------------------------------------------------------------ *)
+(* SARIF rendering carries the new passes *)
+
+let sarif_render () =
+  let d1 =
+    D.make ~severity:D.Warning ~pass:"contain" ~code:"unsatisfiable-body"
+      ~location:
+        (D.Rule { index = 0; text = "q(X) :- e(X)."; pos = Some (3, 1) })
+      "never fires"
+  in
+  let d2 =
+    D.make ~severity:D.Error ~pass:"termination" ~code:"possible-nontermination"
+      ~location:D.Federation "cycle"
+  in
+  let out = D.list_to_sarif [ (Some "samples/broken.flp", [ d1; d2 ]) ] in
+  let has frag = contains_sub out frag in
+  Alcotest.(check bool) "sarif version" true (has "\"2.1.0\"");
+  Alcotest.(check bool) "contain rule id" true
+    (has "contain/unsatisfiable-body");
+  Alcotest.(check bool) "termination rule id" true
+    (has "termination/possible-nontermination");
+  Alcotest.(check bool) "error level" true (has "\"level\":\"error\"");
+  Alcotest.(check bool) "location uri" true (has "samples/broken.flp");
+  Alcotest.(check bool) "start line" true (has "\"startLine\":3")
+
+let suites =
+  [
+    ( "contain",
+      [
+        Alcotest.test_case "directed containment verdicts" `Quick test_directed;
+        Alcotest.test_case "chase modulo the domain map" `Quick
+          test_chase_modulo_dm;
+        Alcotest.test_case "unsatisfiable bodies" `Quick test_unsatisfiable;
+        Alcotest.test_case "directed termination verdicts" `Quick
+          test_terminate_directed;
+        Alcotest.test_case "broken.flp containment goldens" `Quick
+          broken_goldens;
+        Alcotest.test_case "spines.flp stays contain-clean" `Quick
+          clean_goldens;
+        Alcotest.test_case
+          (Printf.sprintf "%d random pairs: contained ⟹ answers subset" cases)
+          `Quick containment_vs_eval;
+        Alcotest.test_case
+          (Printf.sprintf "%d random programs: minimization invisible" cases)
+          `Quick minimize_invisible;
+        Alcotest.test_case
+          (Printf.sprintf "%d random programs: accepted ⟹ fixpoint" cases)
+          `Quick termination_sound;
+        Alcotest.test_case "mediator warns on redundant IVD" `Quick
+          redundant_ivd;
+        Alcotest.test_case "independent IVDs stay silent" `Quick
+          non_redundant_ivd;
+        Alcotest.test_case "SARIF rendering" `Quick sarif_render;
+      ] );
+  ]
