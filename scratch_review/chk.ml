@@ -1,0 +1,30 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+module Literal = Logic.Literal
+module Rule = Logic.Rule
+
+let v = Term.var
+let r h b = Rule.make h b
+let a p args = Atom.make p args
+let p name args = Literal.pos name args
+
+let () =
+  let ctx = Analysis.Contain.empty_ctx in
+  (* q1: h(C,D) :- meth_sig(C, m, D). *)
+  let q1 =
+    r (a "h" [ v "C"; v "D" ]) [ p "meth_sig" [ v "C"; Term.sym "m"; v "D" ] ]
+  in
+  (* q2: h(C,D) :- meth_sig(C, m, D), class(D). *)
+  let q2 =
+    r (a "h" [ v "C"; v "D" ])
+      [ p "meth_sig" [ v "C"; Term.sym "m"; v "D" ]; p "class" [ v "D" ] ]
+  in
+  Printf.printf "contained q1 q2 = %b\n" (Analysis.Contain.contained ctx q1 q2);
+  (* ground truth: database with meth_sig_d(c,m,d) closed under GCM axioms *)
+  let facts = [ r (a "meth_sig_d" [ Term.sym "c"; Term.sym "m"; Term.sym "d" ]) [] ] in
+  let prog = Datalog.Program.make_exn (facts @ Flogic.Gcm_axioms.core @ [q1]) in
+  let db = Datalog.Engine.materialize prog (Datalog.Database.create ()) in
+  let q1_ans = List.filter (fun (at : Atom.t) -> at.Atom.pred = "h") (Datalog.Database.all_facts db) in
+  List.iter (fun (at : Atom.t) -> Printf.printf "q1 answer: %s\n" (Atom.to_string at)) q1_ans;
+  let has_class_d = Datalog.Database.mem db (a "class" [ Term.sym "d" ]) in
+  Printf.printf "class(d) in model = %b\n" has_class_d
