@@ -1,0 +1,324 @@
+(* PAR — multicore evaluation: domain-parallel semi-naive joins and
+   the concurrent federation gather. Measures the same materialization
+   at 1, 2 and 4 worker domains (plus the gather's virtual clock under
+   injected delays, which is core-independent), checks that every
+   domain count derives the identical database, writes
+   BENCH_parallel.json, and doubles as the @par-smoke regression gate
+   (see [smoke]).
+
+   Honesty note: wall-clock speedup needs physical cores. The JSON
+   records [cores] (Domain.recommended_domain_count) next to every
+   series, and the smoke gate only enforces the 4-domain speedup
+   threshold when the machine actually has 4 cores to run it on — the
+   1-domain no-regression bound and the cross-domain-count equality
+   checks hold everywhere. *)
+
+open Kind
+module Engine = Datalog.Engine
+module Database = Datalog.Database
+
+let v = Logic.Term.var
+let s = Logic.Term.sym
+let fact p args = Logic.Rule.fact (Logic.Atom.make p args)
+let rule h b = Logic.Rule.make h b
+let atom p args = Logic.Atom.make p args
+let pos = Logic.Literal.pos
+
+(* ------------------------------------------------------------------ *)
+(* Workload 1: deep AND wide transitive closure. exp_join's tc-deep is
+   a single chain — a 1-tuple delta per round, which is the worst case
+   for partitioning (nothing to fan out). Parallel evaluation needs
+   per-round deltas wider than Parexec.min_rows, so this variant is a
+   layered graph: [layers] layers of [width] nodes, each node wired to
+   [fan] nodes of the next layer. The delta in round r holds all pairs
+   at distance r — O(width^2) rows per round once paths saturate —
+   while the recursion is still [layers] deep. *)
+
+let tc_rules =
+  [
+    rule (atom "tc" [ v "X"; v "Y" ]) [ pos "edge" [ v "X"; v "Y" ] ];
+    rule
+      (atom "tc" [ v "X"; v "Y" ])
+      [ pos "tc" [ v "X"; v "Z" ]; pos "edge" [ v "Z"; v "Y" ] ];
+  ]
+
+let tc_wide ~layers ~width ~fan =
+  let node l j = s (Printf.sprintf "n%d_%d" l j) in
+  let edges = ref [] in
+  for l = 0 to layers - 2 do
+    for j = 0 to width - 1 do
+      for k = 0 to fan - 1 do
+        edges := fact "edge" [ node l j; node (l + 1) ((j + k) mod width) ] :: !edges
+      done
+    done
+  done;
+  Datalog.Program.make_exn (tc_rules @ !edges)
+
+(* Workload 2: the domain-map closure from the join bench (isa tree +
+   has_a cross edges under the Section 4 tc / has_a_star axioms) — a
+   branching workload whose deltas are naturally wide. *)
+let dm_closure = Exp_join.dm_closure
+
+(* ------------------------------------------------------------------ *)
+
+let measure ?(reps = 5) ~config p =
+  let rep = ref Engine.empty_report in
+  let samples =
+    List.init reps (fun _ ->
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Engine.materialize ~config ~report:rep p (Database.create ()));
+        (Unix.gettimeofday () -. t0) *. 1000.)
+    |> List.sort compare
+  in
+  (List.hd samples, !rep)
+
+let config_for d = { Engine.default_config with Engine.domains = d }
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* Measure one workload across the domain counts and fail loudly if
+   any count disagrees with sequential on what it derived — the bench
+   doubles as a coarse end-to-end differential. *)
+let sweep ?reps (name, p) =
+  let series =
+    List.map
+      (fun d ->
+        let ms, rep = measure ?reps ~config:(config_for d) p in
+        (d, ms, rep))
+      domain_counts
+  in
+  let _, _, seq = List.hd series in
+  List.iter
+    (fun (d, _, rep) ->
+      if
+        rep.Engine.derived <> seq.Engine.derived
+        || rep.Engine.rounds <> seq.Engine.rounds
+      then
+        failwith
+          (Printf.sprintf
+             "par bench: %s diverges at %d domains (%d facts / %d rounds vs \
+              %d / %d sequential)"
+             name d rep.Engine.derived rep.Engine.rounds seq.Engine.derived
+             seq.Engine.rounds))
+    series;
+  (name, series)
+
+(* ------------------------------------------------------------------ *)
+(* Workload 3: the federation gather. Three demo sources, each under an
+   [Always (Delay 30)] plan, so a fetch costs 31 virtual ms (1 ms call
+   + 30 ms delay). A sequential gather pays the sum on the runtime
+   clock; the concurrent gather starts all fetches at the same virtual
+   instant and pays the max — a deterministic, core-independent
+   signature of the concurrency, reported next to the wall time. *)
+
+let delay_ms = 30
+
+let gather_mediator ~domains ~scale =
+  let config = { Mediation.Mediator.default_config with domains } in
+  let med = Neuro.Sources.standard_mediator ~config { Neuro.Sources.seed = 7; scale } in
+  List.iter
+    (fun src ->
+      match
+        Mediation.Mediator.set_fault_plan med
+          ~source:(Wrapper.Source.name src)
+          (Wrapper.Fault.Always (Wrapper.Fault.Delay delay_ms))
+      with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    (Mediation.Mediator.sources med);
+  med
+
+let measure_gather ?(reps = 3) ~domains ~scale () =
+  let samples =
+    List.init reps (fun _ ->
+        let med = gather_mediator ~domains ~scale in
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        let db = Mediation.Mediator.materialize med in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        let clock = Mediation.Runtime.clock (Mediation.Mediator.runtime med) in
+        let comp = Mediation.Mediator.completeness med in
+        (ms, clock, List.length comp.Mediation.Mediator.contributed,
+         Database.cardinal db))
+    |> List.sort compare
+  in
+  List.hd samples
+
+(* ------------------------------------------------------------------ *)
+
+let cores = Domain.recommended_domain_count ()
+
+let workloads ~full =
+  if full then
+    [
+      ("tc-deep", tc_wide ~layers:48 ~width:24 ~fan:2);
+      ("dm-closure", dm_closure ~fanout:2 ~depth:12);
+    ]
+  else
+    [
+      ("tc-deep", tc_wide ~layers:24 ~width:20 ~fan:2);
+      ("dm-closure", dm_closure ~fanout:3 ~depth:5);
+    ]
+
+let key = Exp_join.key
+
+let run () =
+  Util.header
+    (Printf.sprintf
+       "PAR  Domain-parallel semi-naive joins + concurrent gather (%d core%s)"
+       cores (if cores = 1 then "" else "s"));
+  let results = List.map (sweep ?reps:None) (workloads ~full:true) in
+  Util.table
+    ~columns:
+      [ "workload"; "derived"; "rounds"; "batches@4"; "1d-ms"; "2d-ms";
+        "4d-ms"; "speedup@4" ]
+    (List.map
+       (fun (name, series) ->
+         let ms_at d = let _, ms, _ = List.find (fun (d', _, _) -> d' = d) series in ms in
+         let _, _, rep4 = List.find (fun (d, _, _) -> d = 4) series in
+         let _, _, rep1 = List.hd series in
+         [
+           name;
+           Util.fint rep1.Engine.derived;
+           Util.fint rep1.Engine.rounds;
+           Util.fint rep4.Engine.parallel_batches;
+           Util.fms (ms_at 1);
+           Util.fms (ms_at 2);
+           Util.fms (ms_at 4);
+           Printf.sprintf "%.2fx" (ms_at 1 /. ms_at 4);
+         ])
+       results);
+  let gather =
+    List.map
+      (fun d -> (d, measure_gather ~domains:d ~scale:120 ()))
+      domain_counts
+  in
+  Util.table
+    ~columns:[ "gather"; "wall-ms"; "virtual-clock-ms"; "contributed"; "facts" ]
+    (List.map
+       (fun (d, (ms, clock, contributed, facts)) ->
+         [
+           Printf.sprintf "%d domain%s" d (if d = 1 then "" else "s");
+           Util.fms ms;
+           Util.fint clock;
+           Util.fint contributed;
+           Util.fint facts;
+         ])
+       gather);
+  let _, (_, clock1, _, facts1) = List.find (fun (d, _) -> d = 1) gather in
+  List.iter
+    (fun (d, (_, _, _, facts)) ->
+      if facts <> facts1 then
+        failwith
+          (Printf.sprintf
+             "par bench: gather at %d domains materialized %d facts vs %d \
+              sequential"
+             d facts facts1))
+    gather;
+  let fields =
+    [
+      ( "experiment",
+        "\"domain-parallel semi-naive joins + concurrent federation gather\"" );
+      ("cores", string_of_int cores);
+      ( "note",
+        "\"wall-clock speedups require physical cores; the virtual-clock \
+         series is core-independent (sequential gather pays the sum of \
+         per-source delays, concurrent pays the max)\"" );
+    ]
+    @ List.concat_map
+        (fun (name, series) ->
+          let k = key name in
+          let ms_at d = let _, ms, _ = List.find (fun (d', _, _) -> d' = d) series in ms in
+          let _, _, rep4 = List.find (fun (d, _, _) -> d = 4) series in
+          let _, _, rep1 = List.hd series in
+          List.map
+            (fun (d, ms, _) -> (Printf.sprintf "%s_%dd_ms" k d, Printf.sprintf "%.3f" ms))
+            series
+          @ [
+              (k ^ "_speedup_4d", Printf.sprintf "%.2f" (ms_at 1 /. ms_at 4));
+              (k ^ "_derived", string_of_int rep1.Engine.derived);
+              (k ^ "_parallel_batches_4d", string_of_int rep4.Engine.parallel_batches);
+            ])
+        results
+    @ List.concat_map
+        (fun (d, (ms, clock, _, _)) ->
+          [
+            (Printf.sprintf "gather_%dd_wall_ms" d, Printf.sprintf "%.3f" ms);
+            (Printf.sprintf "gather_%dd_clock_ms" d, string_of_int clock);
+          ])
+        gather
+    @ [ ("gather_clock_speedup_4d",
+         Printf.sprintf "%.2f" (float_of_int clock1 /. float_of_int
+           (let _, (_, c, _, _) = List.find (fun (d, _) -> d = 4) gather in c))) ]
+  in
+  Exp_join.write_json "BENCH_parallel.json" fields;
+  Util.note "wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
+(* @par-smoke: the regression gate, self-contained (no committed
+   reference). Four checks:
+
+   1. differential — 1, 2 and 4 domains derive identical databases
+      (facts and rounds) on both engine workloads; enforced everywhere;
+   2. coverage — at 4 domains the tc workload actually fans out
+      (parallel_batches > 0), so the gate cannot silently pass by
+      never entering the parallel path; enforced everywhere;
+   3. no 1-domain regression — explicit domains=1 stays within 1.05x
+      (+1 ms noise floor) of the default sequential config: a bug that
+      spun up pool machinery at one domain shows up here; enforced
+      everywhere;
+   4. speedup — tc-deep at 4 domains is >= 1.5x faster than at 1;
+      enforced only when the machine has >= 4 cores (CI does), because
+      on fewer cores the extra domains can only time-share. The gather
+      virtual-clock check stands in for it elsewhere: concurrent must
+      beat sequential on the (core-independent) virtual clock. *)
+
+let smoke () =
+  Util.header
+    (Printf.sprintf "PAR-SMOKE  parallel gate (%d core%s available)" cores
+       (if cores = 1 then "" else "s"));
+  let failures = ref 0 in
+  let check name ok detail =
+    Printf.printf "  %-34s %s%s\n" name (if ok then "ok" else "FAIL")
+      (if detail = "" then "" else "  (" ^ detail ^ ")");
+    if not ok then incr failures
+  in
+  let full = cores >= 4 in
+  List.iter
+    (fun (name, p) ->
+      match sweep ~reps:3 (name, p) with
+      | _, series ->
+        let ms_at d = let _, ms, _ = List.find (fun (d', _, _) -> d' = d) series in ms in
+        let _, _, rep4 = List.find (fun (d, _, _) -> d = 4) series in
+        check (name ^ ": 1/2/4-domain differential") true "";
+        if name = "tc-deep" then
+          check "tc-deep: fans out at 4 domains"
+            (rep4.Engine.parallel_batches > 0)
+            (Printf.sprintf "%d batches" rep4.Engine.parallel_batches);
+        let default_ms, _ = measure ~reps:3 ~config:Engine.default_config p in
+        check (name ^ ": no 1-domain regression")
+          (ms_at 1 <= (1.05 *. default_ms) +. 1.0)
+          (Printf.sprintf "%.2f ms vs %.2f ms default" (ms_at 1) default_ms);
+        if full && name = "tc-deep" then
+          check "tc-deep: >=1.5x at 4 domains"
+            (ms_at 1 /. ms_at 4 >= 1.5)
+            (Printf.sprintf "%.2fx" (ms_at 1 /. ms_at 4))
+        else if name = "tc-deep" then
+          Printf.printf
+            "  %-34s skipped (%d core%s < 4; differential + clock checks \
+             still gate)\n"
+            "tc-deep: >=1.5x at 4 domains" cores (if cores = 1 then "" else "s")
+      | exception Failure msg -> check (name ^ ": differential") false msg)
+    (workloads ~full);
+  let _, clock1, contrib1, facts1 = measure_gather ~reps:1 ~domains:1 ~scale:40 () in
+  let _, clock4, contrib4, facts4 = measure_gather ~reps:1 ~domains:4 ~scale:40 () in
+  check "gather: same facts + completeness"
+    (facts1 = facts4 && contrib1 = contrib4)
+    (Printf.sprintf "%d/%d facts, %d/%d contributed" facts1 facts4 contrib1
+       contrib4);
+  check "gather: concurrent clock beats sum"
+    (clock4 < clock1)
+    (Printf.sprintf "%d ms vs %d ms sequential" clock4 clock1);
+  if !failures > 0 then exit 1;
+  Util.note "par-smoke: parallel evaluation gates hold"

@@ -23,6 +23,22 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --domains N: the single parallelism hook for every layer. Setting
+   the pool default overrides KIND_DOMAINS, and every component whose
+   config leaves domains at 0 (engine, maintenance handle, mediator
+   gather) resolves its worker count through [Pool.env_domains]. *)
+let domains_t =
+  let doc =
+    "Worker domains for parallel evaluation: semi-naive joins, \
+     maintenance propagation and the federation gather all fan out \
+     across $(docv) domains. Overrides $(b,KIND_DOMAINS); 1 forces \
+     sequential evaluation (the default when neither is given)."
+  in
+  let set = function Some n -> Pool.set_default_domains n | None -> () in
+  Term.(
+    const set
+    $ Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc))
+
 let pp_answers lits answers =
   let vars =
     List.concat_map
@@ -125,7 +141,7 @@ let run_cmd =
         goals;
       0
   in
-  let run file query engine =
+  let run () file query engine =
     match Flogic.Fl_parser.parse_program (read_file file) with
     | Error e ->
       prerr_endline e;
@@ -171,7 +187,7 @@ let run_cmd =
           0)
   in
   Cmd.v (Cmd.info "run" ~doc:"evaluate an F-logic program and answer its queries")
-    Term.(const run $ file $ query $ engine)
+    Term.(const run $ domains_t $ file $ query $ engine)
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -180,7 +196,7 @@ let check_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"F-logic program")
   in
-  let run file =
+  let run () file =
     match Flogic.Fl_parser.parse_program (read_file file) with
     | Error e ->
       prerr_endline e;
@@ -206,7 +222,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"audit an F-logic program for integrity violations")
-    Term.(const run $ file)
+    Term.(const run $ domains_t $ file)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)
@@ -969,7 +985,7 @@ let query_cmd =
   let scale =
     Arg.(value & opt int 50 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
   in
-  let run goal scale =
+  let run () goal scale =
     let med =
       Neuro.Sources.standard_mediator { Neuro.Sources.seed = 42; scale }
     in
@@ -990,7 +1006,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"plan and run a federated conjunctive query over the demo sources")
-    Term.(const run $ goal $ scale)
+    Term.(const run $ domains_t $ goal $ scale)
 
 (* ------------------------------------------------------------------ *)
 (* demo *)
@@ -1003,7 +1019,7 @@ let demo_cmd =
   let no_index = Arg.(value & flag & info [ "no-index" ] ~doc:"disable the semantic index") in
   let no_push = Arg.(value & flag & info [ "no-pushdown" ] ~doc:"disable selection pushdown") in
   let no_lub = Arg.(value & flag & info [ "no-lub" ] ~doc:"use the whole-map root") in
-  let run scale seed no_index no_push no_lub =
+  let run () scale seed no_index no_push no_lub =
     let config =
       {
         Mediation.Mediator.default_config with
@@ -1028,7 +1044,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"the Section 5 calcium-binding-protein walk-through")
-    Term.(const run $ scale $ seed $ no_index $ no_push $ no_lub)
+    Term.(const run $ domains_t $ scale $ seed $ no_index $ no_push $ no_lub)
 
 (* ------------------------------------------------------------------ *)
 (* maintain: a live update stream against the materialized mediator *)
@@ -1056,7 +1072,7 @@ let maintain_cmd =
                  inheritance off) keeps the materialization stratified \
                  and maintainable")
   in
-  let run scale seed updates goal assertion =
+  let run () scale seed updates goal assertion =
     let config =
       if assertion then Mediation.Mediator.default_config
       else
@@ -1145,7 +1161,7 @@ let maintain_cmd =
     (Cmd.info "maintain"
        ~doc:"stream source updates into a live materialization and report \
              maintenance + cache statistics")
-    Term.(const run $ scale $ seed $ updates $ goal $ assertion)
+    Term.(const run $ domains_t $ scale $ seed $ updates $ goal $ assertion)
 
 (* ------------------------------------------------------------------ *)
 (* health: the fault-tolerance runtime over the demo federation *)
@@ -1177,7 +1193,7 @@ let health_cmd =
     Arg.(value & opt string "X : spine, X[diameter ->> D], D > 0.6"
            & info [ "q"; "query" ] ~docv:"GOAL")
   in
-  let run scale seed faults revives goal =
+  let run () scale seed faults revives goal =
     let module F = Wrapper.Fault in
     let module M = Mediation.Mediator in
     let module R = Mediation.Runtime in
@@ -1291,7 +1307,7 @@ let health_cmd =
     (Cmd.info "health"
        ~doc:"query the demo federation under injected faults and report \
              per-source breaker state, completeness and degradation")
-    Term.(const run $ scale $ seed $ faults $ revives $ goal)
+    Term.(const run $ domains_t $ scale $ seed $ faults $ revives $ goal)
 
 let () =
   let info =

@@ -24,3 +24,4 @@ module Wrapper = Wrapper
 module Analysis = Analysis
 module Mediation = Mediation
 module Neuro = Neuro
+module Pool = Pool

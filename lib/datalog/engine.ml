@@ -17,6 +17,7 @@ type config = {
   prune : (Logic.Rule.t list -> Database.t -> Logic.Rule.t list) option;
   minimize : (Logic.Rule.t list -> Logic.Rule.t list) option;
   cost_oracle : cost_oracle option;
+  domains : int;
 }
 
 let default_config =
@@ -29,7 +30,17 @@ let default_config =
     prune = None;
     minimize = None;
     cost_oracle = None;
+    domains = 0;
   }
+
+let effective_domains config =
+  if config.domains > 0 then min config.domains 64 else Pool.env_domains ()
+
+(* Parallel evaluation needs the compiled-plan kernel (the interpreted
+   path shares no partitionable delta representation), so the pool is
+   only engaged when both are on. *)
+let pool_of config =
+  if config.compiled_plans then Pool.get (effective_domains config) else None
 
 exception Unstratified of string list
 exception Undefined_atoms of int
@@ -50,6 +61,8 @@ type report = {
   atoms_minimized : int;
   cost_oracle_used : int;
   est_vs_actual : float;
+  domains_used : int;
+  parallel_batches : int;
 }
 
 let empty_report =
@@ -69,6 +82,8 @@ let empty_report =
     atoms_minimized = 0;
     cost_oracle_used = 0;
     est_vs_actual = 0.0;
+    domains_used = 1;
+    parallel_batches = 0;
   }
 
 (* Geometric mean of estimate/actual over the predicates the oracle can
@@ -90,11 +105,11 @@ let est_vs_actual_of (o : cost_oracle) db =
   in
   if n = 0 then 0.0 else exp (logs /. float_of_int n)
 
-let run_stratum config stats rules db =
+let run_stratum config ?pool stats rules db =
   match config.strategy with
   | Seminaive ->
     let o =
-      Seminaive.run ~stats ~compiled:config.compiled_plans
+      Seminaive.run ~stats ?pool ~compiled:config.compiled_plans
         ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds
         ~neg:db rules db
     in
@@ -108,6 +123,7 @@ let run_stratum config stats rules db =
 
 let materialize ?(config = default_config) ?report p edb =
   let stats = Eval.new_stats () in
+  let pool = pool_of config in
   let facts, p = Program.split_facts p in
   let db = Database.copy edb in
   List.iter (fun f -> ignore (Database.add_fact db f)) facts;
@@ -146,19 +162,22 @@ let materialize ?(config = default_config) ?report p edb =
           rounds;
           derived;
           skolems_suppressed = skolems;
-          joins = stats.Eval.joins;
-          tuples_scanned = stats.Eval.tuples_scanned;
-          index_hits = stats.Eval.index_hits;
-          plan_cache_hits = stats.Eval.plan_cache_hits;
+          joins = Atomic.get stats.Eval.joins;
+          tuples_scanned = Atomic.get stats.Eval.tuples_scanned;
+          index_hits = Atomic.get stats.Eval.index_hits;
+          plan_cache_hits = Atomic.get stats.Eval.plan_cache_hits;
           strata_skipped = 0;
           delta_facts = 0;
           rules_pruned = pruned;
           atoms_minimized = minimized;
-          cost_oracle_used = stats.Eval.cost_oracle_used;
+          cost_oracle_used = Atomic.get stats.Eval.cost_oracle_used;
           est_vs_actual =
             (match config.cost_oracle with
             | None -> 0.0
             | Some o -> est_vs_actual_of o result);
+          domains_used =
+            (match pool with Some p -> Pool.size p | None -> 1);
+          parallel_batches = Atomic.get stats.Eval.parallel_batches;
         }
   in
   let eval () =
@@ -168,7 +187,7 @@ let materialize ?(config = default_config) ?report p edb =
       List.iter
         (fun rules ->
           if rules <> [] then begin
-            let r, d, s = run_stratum config stats rules db in
+            let r, d, s = run_stratum config ?pool stats rules db in
             rounds := !rounds + r;
             derived := !derived + d;
             skolems := !skolems + s
@@ -180,7 +199,7 @@ let materialize ?(config = default_config) ?report p edb =
     | Error cycle ->
       if not config.allow_wellfounded_fallback then raise (Unstratified cycle);
       let model =
-        Wellfounded.compute ~stats ~compiled:config.compiled_plans
+        Wellfounded.compute ~stats ?pool ~compiled:config.compiled_plans
           ~max_term_depth:config.max_term_depth ~max_rounds:config.max_rounds
           p db
       in
@@ -329,8 +348,9 @@ let retract ?(config = default_config) p db facts_to_remove =
   end
 
 let maintain ?(config = default_config) ?report p db delta =
+  let pool = pool_of config in
   match
-    Maintain.of_materialized ~max_term_depth:config.max_term_depth
+    Maintain.of_materialized ?pool ~max_term_depth:config.max_term_depth
       ~max_rounds:config.max_rounds ~compiled:config.compiled_plans p db
   with
   | Error e -> Error e
@@ -358,6 +378,9 @@ let maintain ?(config = default_config) ?report p db delta =
             atoms_minimized = 0;
             cost_oracle_used = 0;
             est_vs_actual = 0.0;
+            domains_used =
+              (match pool with Some p -> Pool.size p | None -> 1);
+            parallel_batches = rep.Maintain.parallel_batches;
           });
       Ok rep)
 

@@ -1,0 +1,94 @@
+(* Partitioned-parallel execution of one compiled delta plan.
+
+   The unit of parallelism is deliberately small: a single (rule,
+   focus) execution against one round's delta rows. The driver
+   (Seminaive / Maintain) still absorbs results into the model
+   sequentially, in rule order, exactly where the sequential path
+   would — so the parallel evaluation is equivalent round for round:
+
+   - during a fan-out nothing mutates the database: every index the
+     plan probes is built and caught up first ([Plan.warm]), plans
+     containing aggregates never get here ([Plan.parallel_safe]), and
+     self-reading plans are buffered on the sequential path too
+     ([Plan.reads_own_head]), so a buffered execution against a fixed
+     database is a pure function of (plan, delta rows);
+   - each delta row is processed by exactly one worker, and a row's
+     emissions depend only on the database and that row — so the
+     emitted multiset equals the sequential one, partitioning be
+     damned, and with it [derived], [skolems_suppressed], [rounds] and
+     the scan counters (all order-independent sums);
+   - workers return per-partition buffers that are merged in partition
+     order on the coordinating domain before absorption.
+
+   Hence domains=1 and domains=N produce identical databases and
+   identical report counters; only [parallel_batches]/[domains_used]
+   record that the pool was used. See DESIGN.md §13. *)
+
+module Packed = Tuple.Packed
+
+let default_min_rows =
+  match Sys.getenv_opt "KIND_PAR_MIN_ROWS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 16)
+  | None -> 16
+
+let min_rows = ref default_min_rows
+
+let eligible ~pool plan delta_rows =
+  match pool with
+  | None -> None
+  | Some p ->
+    if
+      Plan.parallel_safe plan
+      && List.compare_length_with delta_rows !min_rows >= 0
+    then Some p
+    else None
+
+(* Hash-partition the delta by the plan's first bound column (falling
+   back to whole-row hashing), preserving relative row order inside
+   each partition. Intern ids are process-run-specific, so *which*
+   partition a row lands in is not stable across processes — but no
+   observable result depends on the assignment, only on each row being
+   processed exactly once. *)
+let partition ~k ~col rows =
+  let buckets = Array.make k [] in
+  let put b row = buckets.(b) <- row :: buckets.(b) in
+  List.iter
+    (fun row ->
+      let h =
+        match col with
+        | Some c when Packed.arity row > c ->
+          let id = Packed.column_id row c in
+          if id >= 0 then id else Packed.hash row
+        | _ -> Packed.hash row
+      in
+      put (h land max_int mod k) row)
+    rows;
+  Array.map List.rev buckets
+
+let run_delta ?stats ~pool ~max_term_depth ~db ~neg plan ~delta_rows =
+  Plan.warm ~db plan;
+  (match stats with
+  | Some s -> Eval.bump s.Eval.parallel_batches 1
+  | None -> ());
+  let parts =
+    partition ~k:(Pool.size pool) ~col:(Plan.partition_column plan) delta_rows
+    |> Array.to_list
+    |> List.filter (fun rows -> rows <> [])
+  in
+  match parts with
+  | [] -> ([], 0)
+  | [ rows ] -> Plan.run_rows ?stats ~max_term_depth ~db ~neg ~delta_rows:rows plan
+  | parts ->
+    let outs =
+      Pool.run_list pool
+        (List.map
+           (fun rows () ->
+             Plan.run_rows ?stats ~max_term_depth ~db ~neg ~delta_rows:rows
+               plan)
+           parts)
+    in
+    ( List.concat_map fst outs,
+      List.fold_left (fun n (_, s) -> n + s) 0 outs )

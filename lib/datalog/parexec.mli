@@ -1,0 +1,38 @@
+(** Partitioned-parallel execution of one compiled delta plan.
+
+    The parallelism unit is a single (rule, focus) execution of one
+    round's delta rows: the rows are hash-partitioned by the plan's
+    first bound delta column ({!Plan.partition_column}), each partition
+    runs {!Plan.run_rows} on a pool lane against the {e unchanged}
+    database, and the per-partition buffers are merged in partition
+    order before the driver absorbs them — sequentially, in rule
+    order, exactly like the sequential path. Results and report
+    counters are bit-identical to sequential evaluation (the
+    determinism argument lives in DESIGN.md §13). *)
+
+val min_rows : int ref
+(** Deltas shorter than this run sequentially — fanning out a handful
+    of rows costs more than it buys. Initialized from
+    [KIND_PAR_MIN_ROWS] (default 16); tests lower it to force parallel
+    coverage on small programs. *)
+
+val eligible :
+  pool:Pool.t option -> Plan.t -> Tuple.Packed.t list -> Pool.t option
+(** The pool to fan out on, iff there is one, the plan is
+    {!Plan.parallel_safe}, and the delta reaches {!min_rows}. *)
+
+val run_delta :
+  ?stats:Eval.stats ->
+  pool:Pool.t ->
+  max_term_depth:int ->
+  db:Database.t ->
+  neg:Database.t ->
+  Plan.t ->
+  delta_rows:Tuple.Packed.t list ->
+  Tuple.Packed.t list * int
+(** Parallel {!Plan.run_rows}: warms the plan's indexes
+    ({!Plan.warm}), bumps [stats.parallel_batches], partitions
+    [delta_rows] across the pool and returns the merged (rows,
+    suppressed) exactly as the sequential call would. The caller must
+    not mutate [db]/[neg] during the call and should only pass plans
+    cleared by {!eligible}. *)

@@ -75,6 +75,12 @@ val warm_index : t -> pos:int -> unit
     positions up front so the first delta is not charged a full index
     build. *)
 
+val warm_exact : t -> positions:int array -> unit
+(** Build {e and catch up} the index on exactly [positions]. After this
+    call, probes through {!prober}/{!prober1} are read-only until the
+    relation is next mutated — the property the parallel executor
+    relies on to share a relation across domains ({!Parexec}). *)
+
 val select : t -> pattern:Logic.Term.t list -> Tuple.t list
 (** Tuples matching the pattern (variables are wildcards, repeated
     variables must match equal components). Uses the most selective

@@ -11,6 +11,7 @@ type outcome = {
 
 val run :
   ?stats:Eval.stats ->
+  ?pool:Pool.t ->
   ?compiled:bool ->
   ?max_term_depth:int ->
   ?max_rounds:int ->
@@ -20,4 +21,7 @@ val run :
   outcome
 (** Same contract as {!Naive.run}. Mutates [db]. [compiled] (default
     [true]) derives through cached {!Plan}s; [false] keeps the
-    interpreted {!Eval.derive} path — the differential-testing oracle. *)
+    interpreted {!Eval.derive} path — the differential-testing oracle.
+    [pool] fans each round's big-enough delta batches out across a
+    domain pool ({!Parexec}; compiled path only) — results and outcome
+    counters are identical with and without it. *)

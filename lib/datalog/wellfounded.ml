@@ -9,10 +9,11 @@ type model = {
    I, so Γ∘Γ is monotone increasing and the even iterates converge to
    the set of well-founded-true facts while the odd iterates converge to
    the non-false facts. *)
-let gamma ?stats ?compiled ?max_term_depth ?max_rounds rules edb i =
+let gamma ?stats ?pool ?compiled ?max_term_depth ?max_rounds rules edb i =
   let db = Database.copy edb in
   ignore
-    (Seminaive.run ?stats ?compiled ?max_term_depth ?max_rounds ~neg:i rules db);
+    (Seminaive.run ?stats ?pool ?compiled ?max_term_depth ?max_rounds ~neg:i
+       rules db);
   db
 
 let db_subset a b =
@@ -20,12 +21,12 @@ let db_subset a b =
 
 let db_equal a b = Database.cardinal a = Database.cardinal b && db_subset a b
 
-let compute ?stats ?compiled ?max_term_depth ?max_rounds p edb =
+let compute ?stats ?pool ?compiled ?max_term_depth ?max_rounds p edb =
   let rules = Program.rules p in
   let alternations = ref 0 in
   let step i =
     incr alternations;
-    gamma ?stats ?compiled ?max_term_depth ?max_rounds rules edb i
+    gamma ?stats ?pool ?compiled ?max_term_depth ?max_rounds rules edb i
   in
   (* A_0 = ∅ (so Γ(A_0) is the maximal candidate). *)
   let rec iterate under over =

@@ -98,6 +98,15 @@ val of_id : int -> t
 val pool_size : unit -> int
 (** Number of distinct ground terms interned so far. *)
 
+val enter_parallel : unit -> unit
+(** Enter parallel mode: until the matching {!exit_parallel}, every
+    pool access ({!id}, {!find_id}, {!of_id}) synchronizes on a mutex
+    so concurrent domains may intern safely. Outside parallel mode the
+    pool is lock-free (single [Atomic.get] per access). Calls nest. *)
+
+val exit_parallel : unit -> unit
+(** Leave parallel mode (must pair with an {!enter_parallel}). *)
+
 (** {1 Pretty-printing} *)
 
 val pp_const : Format.formatter -> const -> unit

@@ -70,25 +70,40 @@ let health t name =
 let sources t = !(t.order)
 let transitions h = List.rev h.transitions
 
-let transition t h s =
+let transition_at stamp h s =
   if h.state <> s then begin
     h.state <- s;
-    h.transitions <- (t.clock, s) :: h.transitions
+    h.transitions <- (stamp, s) :: h.transitions
   end
 
-let trip t h ~until =
+let transition t h s = transition_at t.clock h s
+
+let trip_at stamp h ~until =
   h.trips <- h.trips + 1;
   h.open_until <- until;
-  transition t h Open
+  transition_at stamp h Open
 
-let fetch t ch f =
+(* The fetch state machine against a caller-owned clock. [now] starts
+   at the caller's notion of "when this fetch begins" and is advanced
+   by the channel's virtual elapsed time and by backoff delays; the
+   caller decides how a batch of fetches composes into the runtime's
+   global clock (sequential gather: each fetch starts where the last
+   ended; concurrent gather: all fetches start together and the global
+   clock advances by the slowest — see Mediator.gather_facts).
+
+   Under a concurrent gather each task must target a distinct source:
+   the health record and the fault channel are per-source mutable
+   state, exclusive to the one task fetching that source, and the
+   caller pre-creates health records so [health]'s lazy Hashtbl insert
+   never runs off the coordinating domain. *)
+let fetch_at t ~now ch f =
   let h = health t (Fault.name ch) in
   h.calls <- h.calls + 1;
   if h.quarantined then Error "quarantined after crash; awaiting re-registration"
   else begin
     (* an elapsed cooldown lets one probe through *)
     (match h.state with
-    | Open when t.clock >= h.open_until -> transition t h Half_open
+    | Open when !now >= h.open_until -> transition_at !now h Half_open
     | _ -> ());
     match h.state with
     | Open ->
@@ -99,9 +114,9 @@ let fetch t ch f =
       let attempts = if probing then 1 else t.policy.retry.attempts in
       let give_up reason =
         h.consecutive <- h.consecutive + 1;
-        if probing then trip t h ~until:(t.clock + t.policy.breaker.cooldown)
+        if probing then trip_at !now h ~until:(!now + t.policy.breaker.cooldown)
         else if h.consecutive >= t.policy.breaker.trip_after then
-          trip t h ~until:(t.clock + t.policy.breaker.cooldown);
+          trip_at !now h ~until:(!now + t.policy.breaker.cooldown);
         Error reason
       in
       let rec attempt n backed_off =
@@ -117,30 +132,36 @@ let fetch t ch f =
           | exception Fault.Injected { fault; _ } ->
             Error (`Fail (Fault.fault_to_string fault))
         in
-        t.clock <- t.clock + (Fault.clock ch - before);
+        now := !now + (Fault.clock ch - before);
         match outcome with
         | Ok v ->
           if n > 1 then h.absorbed <- h.absorbed + 1;
           h.consecutive <- 0;
-          if probing then transition t h Closed;
+          if probing then transition_at !now h Closed;
           Ok v
         | Error `Crash ->
           h.failures <- h.failures + 1;
           h.quarantined <- true;
-          trip t h ~until:max_int;
+          trip_at !now h ~until:max_int;
           Error "crashed; quarantined until re-registration"
         | Error (`Fail reason) ->
           h.failures <- h.failures + 1;
           let delay = t.policy.retry.backoff * (1 lsl (n - 1)) in
           if n < attempts && backed_off + delay <= t.policy.retry.budget then begin
             h.retries <- h.retries + 1;
-            t.clock <- t.clock + delay;
+            now := !now + delay;
             attempt (n + 1) (backed_off + delay)
           end
           else give_up reason
       in
       attempt 1 0
   end
+
+let fetch t ch f =
+  let now = ref t.clock in
+  let r = fetch_at t ~now ch f in
+  t.clock <- !now;
+  r
 
 let revive t name =
   let h = health t name in

@@ -190,6 +190,28 @@ let run_case seed =
   in
   (* strategies agree on the initial model *)
   let full = Engine.materialize p edb in
+  (* counter sanity for the Atomic.t stats: two identical runs must
+     report identical counters (a leaked shared counter would
+     accumulate across runs), and the parallel-only counters must stay
+     at their sequential values without a pool *)
+  let counted () =
+    let rep = ref Engine.empty_report in
+    ignore (Engine.materialize ~report:rep p edb);
+    !rep
+  in
+  let r1 = counted () and r2 = counted () in
+  Alcotest.(check (list int))
+    (ctx "counters deterministic across runs")
+    [ r1.Engine.derived; r1.Engine.joins; r1.Engine.tuples_scanned;
+      r1.Engine.index_hits; r1.Engine.rounds ]
+    [ r2.Engine.derived; r2.Engine.joins; r2.Engine.tuples_scanned;
+      r2.Engine.index_hits; r2.Engine.rounds ];
+  if Kind.Pool.env_domains () <= 1 then begin
+    Alcotest.(check int) (ctx "sequential: domains_used = 1") 1
+      r1.Engine.domains_used;
+    Alcotest.(check int) (ctx "sequential: parallel_batches = 0") 0
+      r1.Engine.parallel_batches
+  end;
   check_same (ctx "naive == seminaive")
     (Engine.materialize ~config:naive_config p edb)
     full;
