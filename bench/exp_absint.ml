@@ -64,16 +64,7 @@ let dead_block =
       if i mod 2 = 0 then rule head (join @ [ pos "never" [ v "Y" ] ])
       else rule head (join @ [ pos "flag" [ s "ghost" ] ]))
 
-let json_field oc last (k, value) =
-  Printf.fprintf oc "  \"%s\": %s%s\n" k value (if last then "" else ",")
-
-let write_json path fields =
-  let oc = open_out path in
-  output_string oc "{\n";
-  let n = List.length fields in
-  List.iteri (fun i f -> json_field oc (i = n - 1) f) fields;
-  output_string oc "}\n";
-  close_out oc
+let write_json = Util.write_json
 
 let read_sample name =
   let path = Filename.concat "samples" name in

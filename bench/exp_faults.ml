@@ -34,16 +34,7 @@ let ms_materialize ?(reps = 5) med =
       M.invalidate med;
       ignore (M.materialize med))
 
-let write_json path fields =
-  let oc = open_out path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (k, value) ->
-      Printf.fprintf oc "  \"%s\": %s%s\n" k value
-        (if i = List.length fields - 1 then "" else ","))
-    fields;
-  output_string oc "}\n";
-  close_out oc
+let write_json = Util.write_json
 
 let run () =
   Util.header "FT   Fault-injection runtime: overhead, absorption, fast-fail";

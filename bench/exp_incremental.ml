@@ -70,18 +70,7 @@ let timed ?(reps = 3) setup f =
   in
   List.nth samples (reps / 2)
 
-let json_escape s = s (* keys/values here are plain identifiers *)
-
-let write_json path fields =
-  let oc = open_out path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (k, value) ->
-      Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape k) value
-        (if i = List.length fields - 1 then "" else ","))
-    fields;
-  output_string oc "}\n";
-  close_out oc
+let write_json = Util.write_json
 
 let run () =
   Util.header

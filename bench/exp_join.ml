@@ -176,16 +176,7 @@ let workloads ~full =
       ("ivd-join", ivd_join ~objects:800);
     ]
 
-let write_json path fields =
-  let oc = open_out path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (k, value) ->
-      Printf.fprintf oc "  \"%s\": %s%s\n" k value
-        (if i = List.length fields - 1 then "" else ","))
-    fields;
-  output_string oc "}\n";
-  close_out oc
+let write_json = Util.write_json
 
 let key name = String.map (fun c -> if c = '-' then '_' else c) name
 

@@ -37,6 +37,8 @@ let experiments =
     ("contain-smoke", "minimization regression gate (self-contained)", Exp_contain.smoke);
     ("par", "domain-parallel joins + concurrent gather at 1/2/4 domains", Exp_parallel.run);
     ("par-smoke", "parallel-evaluation gate (self-contained, core-aware)", Exp_parallel.smoke);
+    ("recovery", "crash recovery: checkpoint + WAL replay vs cold rebuild", Exp_recovery.run);
+    ("recovery-smoke", "recovery gate: replay beats cold rebuild (self-contained)", Exp_recovery.smoke);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -51,7 +53,7 @@ let () =
       List.filter_map
         (fun (id, _, _) ->
           if id = "join-smoke" || id = "cost-smoke" || id = "contain-smoke"
-             || id = "par-smoke"
+             || id = "par-smoke" || id = "recovery-smoke"
           then None
           else Some id)
         experiments

@@ -12,7 +12,10 @@
      classify   subsumers of a concept in the ANATOM map
      demo       the Section 5 walk-through, with ablation switches
      maintain   stream source updates against a live materialization and
-                report incremental-maintenance and result-cache stats *)
+                report incremental-maintenance and result-cache stats
+     checkpoint write a durable checkpoint of the demo federation
+     recover    rebuild the demo federation from checkpoint + WAL
+     wal-status inspect a durability directory *)
 
 open Kind
 open Cmdliner
@@ -1309,6 +1312,186 @@ let health_cmd =
              per-source breaker state, completeness and degradation")
     Term.(const run $ domains_t $ scale $ seed $ faults $ revives $ goal)
 
+(* ------------------------------------------------------------------ *)
+(* checkpoint / recover / wal-status: the durability surface over the
+   demo federation. The store directory comes from --dir or the
+   KIND_DURABLE_DIR environment variable. *)
+
+let dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "durability directory (checkpoint, write-ahead log and \
+           federation state). Defaults to $(b,KIND_DURABLE_DIR).")
+
+let demo_scale = Arg.(value & opt int 20 & info [ "scale" ] ~docv:"N" ~doc:"rows per class")
+let demo_seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N")
+
+let checkpoint_cmd =
+  let updates =
+    Arg.(value & opt int 0 & info [ "updates" ] ~docv:"K"
+           ~doc:"source updates to stream (and log to the WAL) after the \
+                 checkpoint, so a later $(b,recover) has a suffix to replay")
+  in
+  let run () dir scale seed updates =
+    let med =
+      Neuro.Sources.standard_mediator
+        ~config:
+          {
+            Mediation.Mediator.default_config with
+            Mediation.Mediator.dl_mode = Dl.Translate.Ic;
+            inheritance = false;
+            durability =
+              Option.map
+                (fun dir -> Datalog.Engine.durability ~dir ())
+                dir;
+          }
+        { Neuro.Sources.seed; scale }
+    in
+    match Mediation.Mediator.checkpoint ?dir med with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok bytes ->
+      Printf.printf "checkpoint written (%d bytes)\n" bytes;
+      let ok = ref true in
+      for k = 1 to updates do
+        let id = Logic.Term.sym (Printf.sprintf "ckpt_spine_%d" k) in
+        match
+          Mediation.Mediator.update_source med ~source:"SYNAPSE"
+            ~additions:
+              [
+                Flogic.Molecule.Isa (id, Logic.Term.sym "spine_measure");
+                Flogic.Molecule.Meth_val (id, "diameter", Logic.Term.float 0.7);
+              ]
+            ()
+        with
+        | Ok _ -> ()
+        | Error e ->
+          prerr_endline e;
+          ok := false
+      done;
+      if updates > 0 then
+        Printf.printf "streamed %d update(s) into the write-ahead log\n" updates;
+      if !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"materialize the demo federation and write a durable checkpoint \
+             (engine snapshot + federation state, WAL compacted)")
+    Term.(const run $ domains_t $ dir_t $ demo_scale $ demo_seed $ updates)
+
+let recover_cmd =
+  let goal =
+    Arg.(value & opt string "X : spine, X[diameter ->> D], D > 0.6"
+           & info [ "q"; "query" ] ~docv:"GOAL"
+             ~doc:"query answered from the recovered materialization")
+  in
+  let run () dir scale seed goal =
+    (* the topology is re-registered from the same generator parameters;
+       recover then adopts the checkpointed database instead of
+       gathering from the sources *)
+    let med =
+      Neuro.Sources.standard_mediator
+        ~config:
+          {
+            Mediation.Mediator.default_config with
+            Mediation.Mediator.dl_mode = Dl.Translate.Ic;
+            inheritance = false;
+          }
+        { Neuro.Sources.seed; scale }
+    in
+    match Mediation.Mediator.recover ?dir med with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok false ->
+      print_endline "no checkpoint found (cold-start: run kindctl checkpoint first)";
+      1
+    | Ok true -> (
+      print_endline "recovered from checkpoint + WAL";
+      let s = Mediation.Mediator.cache_stats med in
+      Printf.printf "rebuilds since creation: %d (0 = no cold rebuild ran)\n"
+        s.Mediation.Mediator.rebuilt;
+      match Mediation.Mediator.query_text med goal with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok answers ->
+        Printf.printf "%-24s %d answer(s)\n" "query after recovery:"
+          (List.length answers);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"rebuild the demo federation from a durable checkpoint and its \
+             WAL suffix, then answer a query")
+    Term.(const run $ domains_t $ dir_t $ demo_scale $ demo_seed $ goal)
+
+let wal_status_cmd =
+  let run () dir =
+    let dir =
+      match dir with
+      | Some d -> Some d
+      | None -> (
+        match Sys.getenv_opt "KIND_DURABLE_DIR" with
+        | Some d when d <> "" -> Some d
+        | _ -> None)
+    in
+    match dir with
+    | None ->
+      prerr_endline "wal-status: pass --dir or set KIND_DURABLE_DIR";
+      1
+    | Some dir ->
+      let fs = Codec.real_fs ~root:dir in
+      let ckpt = Datalog.Engine.checkpoint_file in
+      let wal = Datalog.Engine.wal_file in
+      (match Datalog.Snapshot.read fs ~path:ckpt with
+      | Error e -> Printf.printf "checkpoint: unreadable (%s)\n" e
+      | Ok None -> print_endline "checkpoint: absent"
+      | Ok (Some snap) ->
+        Printf.printf "checkpoint: %d bytes, %d facts (%d base)\n"
+          (fs.Codec.size ckpt)
+          (Datalog.Database.cardinal snap.Datalog.Snapshot.db)
+          (Datalog.Database.cardinal snap.Datalog.Snapshot.edb));
+      (match Datalog.Wal.replay fs ~path:wal with
+      | Error e -> Printf.printf "wal: unreadable (%s)\n" e
+      | Ok (entries, tail) ->
+        Printf.printf "wal: %d bytes, %d batch(es)%s\n" (fs.Codec.size wal)
+          (List.length entries)
+          (match tail with
+          | Codec.Clean -> ""
+          | Codec.Torn { at; reason } ->
+            Printf.sprintf ", torn tail at byte %d (%s) — dropped" at reason));
+      (match Mediation.Durable.load fs with
+      | Error e -> Printf.printf "federation: unreadable (%s)\n" e
+      | Ok None -> print_endline "federation: absent"
+      | Ok (Some st) ->
+        Printf.printf
+          "federation: clock %d ms, %d degraded quer(ies), %d source(s)\n"
+          st.Mediation.Durable.clock st.Mediation.Durable.degraded
+          (List.length st.Mediation.Durable.sources);
+        List.iter
+          (fun (s : Mediation.Durable.source_state) ->
+            Printf.printf "  %-10s %-9s %d call(s), %d failure(s)%s%s\n"
+              s.Mediation.Durable.name
+              (Mediation.Runtime.state_to_string s.Mediation.Durable.state)
+              s.Mediation.Durable.calls s.Mediation.Durable.failures
+              (if s.Mediation.Durable.quarantined then "  [quarantined]"
+               else "")
+              (if s.Mediation.Durable.channel_stale then "  [stale caps]"
+               else ""))
+          st.Mediation.Durable.sources);
+      0
+  in
+  Cmd.v
+    (Cmd.info "wal-status"
+       ~doc:"inspect a durability directory: checkpoint size, WAL batches \
+             and torn-tail state, federation breaker ledger")
+    Term.(const run $ domains_t $ dir_t)
+
 let () =
   let info =
     Cmd.info "kindctl" ~version:"1.0.0"
@@ -1323,4 +1506,5 @@ let () =
             explain_cmd;
             translate_cmd; dmap_cmd; classify_cmd; demo_cmd; query_cmd;
             maintain_cmd; health_cmd;
+            checkpoint_cmd; recover_cmd; wal_status_cmd;
           ]))

@@ -1,0 +1,280 @@
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3 / zlib polynomial), table-driven.                *)
+
+(* Slicing-by-8: eight derived tables let the hot loop fold eight
+   input bytes per iteration with two word loads, computing the exact
+   same CRC-32 as the classic one-byte table walk (checkpoint images
+   run to megabytes, and every recovery checksums all of them). *)
+let crc_tables =
+  lazy
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+             else c := !c lsr 1
+           done;
+           !c)
+     in
+     let ts = Array.make 8 t0 in
+     for k = 1 to 7 do
+       ts.(k) <-
+         Array.map (fun c -> t0.(c land 0xFF) lxor (c lsr 8)) ts.(k - 1)
+     done;
+     ts)
+
+let crc32 s =
+  let ts = Lazy.force crc_tables in
+  let t0 = ts.(0) and t1 = ts.(1) and t2 = ts.(2) and t3 = ts.(3) in
+  let t4 = ts.(4) and t5 = ts.(5) and t6 = ts.(6) and t7 = ts.(7) in
+  let len = String.length s in
+  let c = ref 0xFFFFFFFF in
+  let pos = ref 0 in
+  while !pos + 8 <= len do
+    let lo =
+      !c lxor (Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF)
+    in
+    let hi = Int32.to_int (String.get_int32_le s (!pos + 4)) land 0xFFFFFFFF in
+    c :=
+      t7.(lo land 0xFF)
+      lxor t6.((lo lsr 8) land 0xFF)
+      lxor t5.((lo lsr 16) land 0xFF)
+      lxor t4.(lo lsr 24)
+      lxor t3.(hi land 0xFF)
+      lxor t2.((hi lsr 8) land 0xFF)
+      lxor t1.((hi lsr 16) land 0xFF)
+      lxor t0.(hi lsr 24);
+    pos := !pos + 8
+  done;
+  for i = !pos to len - 1 do
+    c := t0.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding: little-endian fixed-width scalars over Buffer.    *)
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+  let u32 b n =
+    if n < 0 || n > 0xFFFFFFFF then
+      invalid_arg (Printf.sprintf "Codec.Enc.u32: %d out of range" n);
+    Buffer.add_char b (Char.chr (n land 0xFF));
+    Buffer.add_char b (Char.chr ((n lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr ((n lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((n lsr 24) land 0xFF))
+
+  let i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+  let f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let contents = Buffer.contents
+end
+
+module Dec = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let of_string data = { data; pos = 0 }
+
+  let take d n what =
+    if d.pos + n > String.length d.data then
+      raise (Corrupt (Printf.sprintf "short read: %s at byte %d" what d.pos));
+    let off = d.pos in
+    d.pos <- d.pos + n;
+    off
+
+  let u8 d =
+    let off = take d 1 "u8" in
+    Char.code d.data.[off]
+
+  let u32 d =
+    let off = take d 4 "u32" in
+    Int32.to_int (String.get_int32_le d.data off) land 0xFFFFFFFF
+
+  let i64 d =
+    let off = take d 8 "i64" in
+    Int64.to_int (String.get_int64_le d.data off)
+
+  let f64 d =
+    let off = take d 8 "f64" in
+    Int64.float_of_bits (String.get_int64_le d.data off)
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Corrupt (Printf.sprintf "bad bool byte %d" n))
+
+  let str d =
+    let n = u32 d in
+    let off = take d n "string body" in
+    String.sub d.data off n
+
+  let at_end d = d.pos = String.length d.data
+end
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+
+type frame = { kind : int; payload : string }
+
+type tail = Clean | Torn of { at : int; reason : string }
+
+let frame_header_len = 9 (* u32 len + u32 crc + u8 kind *)
+let max_payload = 1 lsl 30
+
+let encode_frame { kind; payload } =
+  let b = Enc.create () in
+  Enc.u32 b (String.length payload);
+  Enc.u32 b (crc32 (String.make 1 (Char.chr (kind land 0xFF)) ^ payload));
+  Enc.u8 b kind;
+  Buffer.add_string b payload;
+  Enc.contents b
+
+let magic_len = 8
+
+let file_header ~magic =
+  if String.length magic <> magic_len then
+    invalid_arg "Codec.file_header: magic must be 8 bytes";
+  let b = Enc.create () in
+  Buffer.add_string b magic;
+  Enc.u32 b format_version;
+  Enc.contents b
+
+let header_len = magic_len + 4
+
+let decode_file ~magic s =
+  if String.length magic <> magic_len then
+    invalid_arg "Codec.decode_file: magic must be 8 bytes";
+  let len = String.length s in
+  if len < header_len then
+    (* torn during file creation: nothing durable yet *)
+    if String.length s <= magic_len && String.sub magic 0 (min len magic_len) = s
+       || len > magic_len && String.sub s 0 magic_len = magic
+    then Ok ([], Torn { at = 0; reason = "truncated header" })
+    else if s = "" then Ok ([], Torn { at = 0; reason = "empty file" })
+    else Error "bad magic"
+  else if String.sub s 0 magic_len <> magic then Error "bad magic"
+  else
+    let d = Dec.of_string (String.sub s magic_len 4) in
+    let version = Dec.u32 d in
+    if version <> format_version then
+      Error
+        (Printf.sprintf "format version %d, this build reads %d" version
+           format_version)
+    else begin
+      let frames = ref [] in
+      let rec loop off =
+        if off = len then (List.rev !frames, Clean)
+        else if len - off < frame_header_len then
+          (List.rev !frames, Torn { at = off; reason = "truncated frame header" })
+        else
+          let d = Dec.of_string (String.sub s off frame_header_len) in
+          let plen = Dec.u32 d in
+          let crc = Dec.u32 d in
+          let kind = Dec.u8 d in
+          if plen > max_payload then
+            ( List.rev !frames,
+              Torn { at = off; reason = "implausible frame length" } )
+          else if plen > len - off - frame_header_len then
+            (List.rev !frames, Torn { at = off; reason = "truncated frame body" })
+          else
+            let payload = String.sub s (off + frame_header_len) plen in
+            if crc32 (String.make 1 (Char.chr kind) ^ payload) <> crc then
+              (List.rev !frames, Torn { at = off; reason = "checksum mismatch" })
+            else begin
+              frames := { kind; payload } :: !frames;
+              loop (off + frame_header_len + plen)
+            end
+      in
+      Ok (loop header_len)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem abstraction                                              *)
+
+type sink = {
+  write : string -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+type fs = {
+  read : string -> string option;
+  sink : append:bool -> string -> sink;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  exists : string -> bool;
+  size : string -> int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let real_fs ~root =
+  mkdir_p root;
+  let p name = Filename.concat root name in
+  {
+    read =
+      (fun name -> if Sys.file_exists (p name) then Some (read_whole (p name)) else None);
+    sink =
+      (fun ~append name ->
+        let flags =
+          [ Unix.O_WRONLY; Unix.O_CREAT ]
+          @ if append then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ]
+        in
+        let fd = Unix.openfile (p name) flags 0o644 in
+        {
+          write = (fun s -> write_all fd s);
+          flush = (fun () -> Unix.fsync fd);
+          close = (fun () -> Unix.close fd);
+        });
+    rename = (fun a b -> Sys.rename (p a) (p b));
+    remove = (fun name -> if Sys.file_exists (p name) then Sys.remove (p name));
+    exists = (fun name -> Sys.file_exists (p name));
+    size =
+      (fun name ->
+        if Sys.file_exists (p name) then (Unix.stat (p name)).Unix.st_size
+        else 0);
+  }
+
+let write_file_atomic fs ~path data =
+  let tmp = path ^ ".tmp" in
+  let s = fs.sink ~append:false tmp in
+  (try
+     s.write data;
+     s.flush ()
+   with e ->
+     s.close ();
+     raise e);
+  s.close ();
+  fs.rename tmp path

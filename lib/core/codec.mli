@@ -1,0 +1,112 @@
+(** Versioned, CRC32-checksummed, length-prefixed binary frames — the
+    durability substrate shared by the engine checkpoint
+    ({!Datalog.Snapshot}), the write-ahead log ({!Datalog.Wal}) and the
+    federation state file ({!Mediation.Durable}).
+
+    A durable file is [magic ^ version ^ frame*]. Each frame is
+
+    {v [u32 payload-len][u32 crc][u8 kind][payload] v}
+
+    (little-endian fixed-width integers) where the CRC covers the kind
+    byte and the payload. The reader is torn-tail tolerant: a truncated
+    or corrupted {e final} frame is detected by the length prefix or the
+    checksum and dropped — it is reported as a {!tail}, never mis-parsed
+    as data. Everything before the first bad frame is trusted; nothing
+    after it is (a frame boundary cannot be re-synchronized past a
+    corruption).
+
+    Writers go through a {!sink} and files through a {!fs} record so the
+    crash-point harness ({!Wrapper.Crashpoint}) can substitute a
+    write-truncating sandbox for the real filesystem. *)
+
+val format_version : int
+(** Bumped on any incompatible frame or payload change; {!decode_file}
+    rejects files written by another version. *)
+
+val crc32 : string -> int
+(** CRC-32 (the IEEE 802.3 polynomial, as in zip/png), in [0, 2^32). *)
+
+(** {1 Payload encoding helpers} *)
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int -> unit
+  val f64 : t -> float -> unit
+  val bool : t -> bool -> unit
+  val str : t -> string -> unit
+  (** Length-prefixed (u32) byte string. *)
+
+  val contents : t -> string
+end
+
+module Dec : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised by every reader on a short or malformed payload. A
+      CRC-valid frame should never trigger it; if one does, the file
+      was written by incompatible code — callers map it to an error,
+      not a torn tail. *)
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int
+  val f64 : t -> float
+  val bool : t -> bool
+  val str : t -> string
+  val at_end : t -> bool
+end
+
+(** {1 Frames} *)
+
+type frame = { kind : int; payload : string }
+
+type tail =
+  | Clean
+  | Torn of { at : int; reason : string }
+      (** The file ends in garbage starting at byte [at]: a partially
+          written (torn) or corrupted final frame, dropped by the
+          reader. *)
+
+val encode_frame : frame -> string
+val file_header : magic:string -> string
+(** [magic] must be exactly 8 bytes. *)
+
+val decode_file : magic:string -> string -> (frame list * tail, string) result
+(** Every complete, checksum-valid frame in prefix order, plus what the
+    tail looked like. [Error] only on a {e structural} mismatch that no
+    crash can produce — wrong magic or a version from different code. A
+    file shorter than its header (torn during creation) is
+    [Ok ([], Torn _)]. *)
+
+(** {1 Filesystem abstraction} *)
+
+type sink = {
+  write : string -> unit;
+  flush : unit -> unit;  (** barrier: fsync, or the sandbox equivalent *)
+  close : unit -> unit;
+}
+
+type fs = {
+  read : string -> string option;  (** whole file; [None] when absent *)
+  sink : append:bool -> string -> sink;
+  rename : string -> string -> unit;  (** atomic replace *)
+  remove : string -> unit;  (** no-op when absent *)
+  exists : string -> bool;
+  size : string -> int;  (** 0 when absent *)
+}
+(** Paths are names relative to the store's root directory. *)
+
+val real_fs : root:string -> fs
+(** The actual filesystem under directory [root] (created, with its
+    parents, on first use); [flush] is [Unix.fsync]. *)
+
+val write_file_atomic : fs -> path:string -> string -> unit
+(** Write-to-temp, fsync, rename: after a crash at any point the file
+    holds either its previous content or the new content, never a
+    mixture. The temp file is [path ^ ".tmp"]. *)

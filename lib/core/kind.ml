@@ -25,3 +25,4 @@ module Analysis = Analysis
 module Mediation = Mediation
 module Neuro = Neuro
 module Pool = Pool
+module Codec = Codec

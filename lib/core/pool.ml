@@ -1,8 +1,9 @@
 (* A small fixed-size domain pool for data-parallel evaluation.
 
    Design constraints (DESIGN.md §13):
-   - zero dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
-     [Condition], [Atomic]);
+   - no dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
+     [Condition], [Atomic]) and [Unix] (the wall-clock deadline of the
+     bounded shutdown);
    - deterministic result order: [run_list] returns results in
      submission order regardless of which worker ran which task;
    - exception propagation: the first (by submission index) exception
@@ -24,6 +25,7 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   busy : bool Atomic.t; (* a batch is in flight: nested calls run inline *)
+  live : int Atomic.t; (* workers that have not exited their loop yet *)
 }
 
 let size t = t.size
@@ -42,7 +44,10 @@ let worker_loop t =
       loop ()
     end
   in
-  loop ()
+  (* the decrement must run even if a task escapes with an exception:
+     the bounded shutdown below keys off [live], and a worker that died
+     raising would otherwise count as running forever *)
+  Fun.protect ~finally:(fun () -> Atomic.decr t.live) loop
 
 let create size =
   let size = max 1 size in
@@ -56,21 +61,60 @@ let create size =
       stop = false;
       workers = [];
       busy = Atomic.make false;
+      live = Atomic.make 0;
     }
   in
-  if size > 1 then
+  if size > 1 then begin
+    Atomic.set t.live (size - 1);
     t.workers <-
-      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  end;
   t
 
-let shutdown t =
+let shutdown ?deadline t =
   if t.workers <> [] then begin
     Mutex.lock t.mu;
     t.stop <- true;
     Condition.broadcast t.work;
     Mutex.unlock t.mu;
-    List.iter Domain.join t.workers;
-    t.workers <- []
+    match deadline with
+    | None ->
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    | Some secs ->
+      (* bounded join: a worker wedged in a task (or dead of an
+         exception that wedged its batch) must not hang process exit.
+         Wait for every loop to confirm exit, then join — joins are
+         then immediate — or give up at the deadline and report the
+         stragglers instead of blocking on them. *)
+      let until = Unix.gettimeofday () +. secs in
+      let rec wait () =
+        if Atomic.get t.live <= 0 then begin
+          (* every loop has exited, so these joins return immediately;
+             a worker that died raising re-raises here — report it
+             instead of blowing up process exit *)
+          let died = ref 0 in
+          List.iter
+            (fun d -> try Domain.join d with _ -> incr died)
+            t.workers;
+          t.workers <- [];
+          if !died > 0 then
+            Printf.eprintf
+              "Pool.shutdown: %d worker domain(s) exited with an uncaught \
+               exception\n%!"
+              !died
+        end
+        else if Unix.gettimeofday () >= until then
+          Printf.eprintf
+            "Pool.shutdown: %d worker domain(s) still running %.1fs after \
+             stop; abandoning them (not joined)\n%!"
+            (Atomic.get t.live) secs
+        else begin
+          ignore (Unix.select [] [] [] 0.001);
+          wait ()
+        end
+      in
+      wait ()
   end
 
 (* [run_list] executes the thunks across the pool (the caller's domain
@@ -181,4 +225,7 @@ let get n =
       Some p
 
 let () =
-  at_exit (fun () -> match !shared with Some p -> shutdown p | None -> ())
+  (* bounded: a wedged worker (or one that died raising mid-batch) must
+     not turn process exit into a hang *)
+  at_exit (fun () ->
+      match !shared with Some p -> shutdown ~deadline:2.0 p | None -> ())

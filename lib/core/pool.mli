@@ -28,8 +28,14 @@ val run_list : t -> (unit -> 'a) list -> 'a list
     {!Logic.Term.enter_parallel}/[exit_parallel] so term interning is
     safe inside tasks. *)
 
-val shutdown : t -> unit
-(** Stop and join the worker domains. Idempotent. *)
+val shutdown : ?deadline:float -> t -> unit
+(** Stop and join the worker domains. Idempotent. With [?deadline]
+    (seconds) the join is bounded: workers are given that long to exit
+    their loops, and any still running — wedged in a task, or dead of
+    an exception that stranded their batch — are reported to stderr
+    and abandoned instead of blocking the caller; a later [shutdown]
+    without a deadline can still join them. The process-exit hook
+    joins the shared pool with a 2 s deadline. *)
 
 val env_domains : unit -> int
 (** The default domain count: the value set by {!set_default_domains}

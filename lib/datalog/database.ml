@@ -14,6 +14,17 @@ let relation db pred =
 
 let relation_opt db pred = Hashtbl.find_opt db pred
 
+(* bulk-load entry: like [relation], but a relation created here is
+   sized for [hint] rows up front, so a loader that knows the row
+   count (the snapshot reader) skips the doubling-resize cascade *)
+let relation_hint db pred ~hint =
+  match Hashtbl.find_opt db pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create ~hint:(max 16 hint) () in
+    Hashtbl.add db pred r;
+    r
+
 let add_tuple db pred tup = Relation.add (relation db pred) tup
 
 let add_fact db (a : Atom.t) = add_tuple db a.Atom.pred a.Atom.args
@@ -58,6 +69,22 @@ let merge_into ~dst src =
         (fun tup acc -> if add_tuple dst p tup then acc + 1 else acc)
         r acc)
     src 0
+
+let equal a b =
+  let preds =
+    List.sort_uniq String.compare (predicates a @ predicates b)
+  in
+  List.for_all
+    (fun p ->
+      count a p = count b p
+      &&
+      match (relation_opt a p, relation_opt b p) with
+      | None, _ | _, None -> true (* equal counts, so both empty *)
+      | Some ra, Some rb ->
+        List.equal
+          (fun x y -> Tuple.compare x y = 0)
+          (Relation.to_list ra) (Relation.to_list rb))
+    preds
 
 let of_facts fs =
   let db = create () in

@@ -10,6 +10,12 @@ val relation : t -> string -> Relation.t
 val relation_opt : t -> string -> Relation.t option
 (** The relation if the predicate has ever been touched. *)
 
+val relation_hint : t -> string -> hint:int -> Relation.t
+(** Like {!relation}, but a relation created by this call is sized for
+    [hint] rows up front — the bulk-load entry for readers that know
+    the row count (the snapshot loader), avoiding the doubling-resize
+    cascade of [hint] successive inserts. *)
+
 val add_fact : t -> Logic.Atom.t -> bool
 (** Insert a ground atom; [true] if new. Raises [Invalid_argument] on
     non-ground atoms. *)
@@ -35,6 +41,12 @@ val copy : t -> t
 (** Snapshot: every relation is copied with its rows and built indexes
     cloned (see {!Relation.copy}), so the copy starts warm and
     mutations never alias. *)
+
+val equal : t -> t -> bool
+(** Extensional equality: the same facts under every predicate
+    (predicates that exist but hold no tuples are ignored, so a
+    database that merely {e touched} a relation equals one that never
+    did). Deterministic via {!Relation.to_list}'s sorted enumeration. *)
 
 val merge_into : dst:t -> t -> int
 (** Add every fact of the source database into [dst]; returns the number

@@ -8,6 +8,14 @@ type cost_oracle = {
   estimate : string -> int option;
 }
 
+type durability = { fs : Codec.fs; wal_max_bytes : int }
+
+let checkpoint_file = "checkpoint.kind"
+let wal_file = "wal.kind"
+
+let durability ?(wal_max_bytes = 1_000_000) ~dir () =
+  { fs = Codec.real_fs ~root:dir; wal_max_bytes }
+
 type config = {
   strategy : strategy;
   max_term_depth : int;
@@ -18,6 +26,7 @@ type config = {
   minimize : (Logic.Rule.t list -> Logic.Rule.t list) option;
   cost_oracle : cost_oracle option;
   domains : int;
+  durability : durability option;
 }
 
 let default_config =
@@ -31,7 +40,22 @@ let default_config =
     minimize = None;
     cost_oracle = None;
     domains = 0;
+    durability = None;
   }
+
+(* KIND_DURABLE_DIR makes every stratified materialization checkpoint
+   and every maintenance batch write-ahead-log into the named directory
+   — how `dune runtest` exercises durability without per-test wiring. *)
+let env_durability =
+  lazy
+    (match Sys.getenv_opt "KIND_DURABLE_DIR" with
+    | None | Some "" -> None
+    | Some dir -> Some (durability ~dir ()))
+
+let effective_durability config =
+  match config.durability with
+  | Some d -> Some d
+  | None -> Lazy.force env_durability
 
 let effective_domains config =
   if config.domains > 0 then min config.domains 64 else Pool.env_domains ()
@@ -63,6 +87,9 @@ type report = {
   est_vs_actual : float;
   domains_used : int;
   parallel_batches : int;
+  checkpoint_ms : float;
+  recovery_ms : float;
+  wal_bytes : int;
 }
 
 let empty_report =
@@ -84,6 +111,9 @@ let empty_report =
     est_vs_actual = 0.0;
     domains_used = 1;
     parallel_batches = 0;
+    checkpoint_ms = 0.0;
+    recovery_ms = 0.0;
+    wal_bytes = 0;
   }
 
 (* Geometric mean of estimate/actual over the predicates the oracle can
@@ -124,9 +154,13 @@ let run_stratum config ?pool stats rules db =
 let materialize ?(config = default_config) ?report p edb =
   let stats = Eval.new_stats () in
   let pool = pool_of config in
+  let durable = effective_durability config in
   let facts, p = Program.split_facts p in
   let db = Database.copy edb in
   List.iter (fun f -> ignore (Database.add_fact db f)) facts;
+  (* the base-fact database a checkpoint must carry so recovery can
+     re-adopt the materialization for incremental maintenance *)
+  let base = match durable with Some _ -> Some (Database.copy db) | None -> None in
   (* semantics-preserving dead-rule pruning: the hook sees the rule-only
      program and the loaded base facts, and must return a sublist of
      rules that derive nothing in the model (Analysis.Absint.prune). *)
@@ -151,7 +185,8 @@ let materialize ?(config = default_config) ?report p edb =
       let after = List.fold_left (fun n r -> n + List.length r.Logic.Rule.body) 0 kept in
       (Program.make_exn kept, max 0 (before - after))
   in
-  let fill_report ~stratified ~strata ~rounds ~derived ~skolems ~result =
+  let fill_report ~checkpoint_ms ~wal_bytes ~stratified ~strata
+      ~rounds ~derived ~skolems ~result =
     match report with
     | None -> ()
     | Some r ->
@@ -178,6 +213,9 @@ let materialize ?(config = default_config) ?report p edb =
           domains_used =
             (match pool with Some p -> Pool.size p | None -> 1);
           parallel_batches = Atomic.get stats.Eval.parallel_batches;
+          checkpoint_ms;
+          recovery_ms = 0.0;
+          wal_bytes;
         }
   in
   let eval () =
@@ -193,7 +231,31 @@ let materialize ?(config = default_config) ?report p edb =
             skolems := !skolems + s
           end)
         strata;
-      fill_report ~stratified:true ~strata:(List.length strata)
+      let checkpoint_ms, wal_bytes =
+        match (durable, base) with
+        | Some d, Some base ->
+          let t0 = Unix.gettimeofday () in
+          ignore
+            (Snapshot.write d.fs ~path:checkpoint_file
+               {
+                 Snapshot.db;
+                 edb = base;
+                 counters =
+                   [
+                     ("strata", float_of_int (List.length strata));
+                     ("rounds", float_of_int !rounds);
+                     ("derived", float_of_int !derived);
+                     ("skolems_suppressed", float_of_int !skolems);
+                   ];
+               });
+          (* a fresh checkpoint subsumes every logged batch *)
+          Wal.reset d.fs ~path:wal_file;
+          ( (Unix.gettimeofday () -. t0) *. 1000.0,
+            d.fs.Codec.size wal_file )
+        | _ -> (0.0, 0)
+      in
+      fill_report ~checkpoint_ms ~wal_bytes ~stratified:true
+        ~strata:(List.length strata)
         ~rounds:!rounds ~derived:!derived ~skolems:!skolems ~result:db;
       db
     | Error cycle ->
@@ -205,7 +267,7 @@ let materialize ?(config = default_config) ?report p edb =
       in
       let undef = Database.cardinal model.Wellfounded.undefined in
       if undef > 0 then raise (Undefined_atoms undef);
-      fill_report ~stratified:false ~strata:1
+      fill_report ~checkpoint_ms:0.0 ~wal_bytes:0 ~stratified:false ~strata:1
         ~rounds:model.Wellfounded.alternations
         ~derived:(Database.cardinal model.Wellfounded.true_facts
                   - Database.cardinal db)
@@ -355,9 +417,56 @@ let maintain ?(config = default_config) ?report p db delta =
   with
   | Error e -> Error e
   | Ok h -> (
+    let durable = effective_durability config in
+    (* Write-ahead: the batch frame is durable (fsync'd) before any of
+       it is applied, so a crash mid-maintenance recovers to either the
+       pre-batch state (append torn) or the post-batch state (append
+       complete, batch replayed). Only a batch [apply] will accept is
+       logged — a non-ground fact fails validation without mutating,
+       and must not poison recovery. *)
+    let wal =
+      match durable with
+      | Some d
+        when List.for_all Atom.is_ground
+               (delta.Maintain.additions @ delta.Maintain.deletions) ->
+        let w = Wal.open_log d.fs ~path:wal_file in
+        Wal.append w
+          {
+            Wal.additions = delta.Maintain.additions;
+            deletions = delta.Maintain.deletions;
+          };
+        Some w
+      | _ -> None
+    in
+    let finish r =
+      (match wal with Some w -> Wal.close w | None -> ());
+      r
+    in
     match Maintain.apply h delta with
-    | Error e -> Error e
+    | Error e -> finish (Error e)
     | Ok rep ->
+      let checkpoint_ms, wal_bytes =
+        match (durable, wal) with
+        | Some d, Some w ->
+          let bytes = Wal.bytes w in
+          Wal.close w;
+          if bytes > d.wal_max_bytes then begin
+            (* rotation: checkpoint the maintained state, then compact
+               the log. A crash between the two replays the whole log
+               over the fresh checkpoint — batch replay is idempotent
+               under set semantics, so that still lands on the
+               post-batch database. *)
+            let t0 = Unix.gettimeofday () in
+            ignore
+              (Snapshot.write d.fs ~path:checkpoint_file
+                 { Snapshot.db; edb = Maintain.edb h; counters = [] });
+            Wal.reset d.fs ~path:wal_file;
+            ( (Unix.gettimeofday () -. t0) *. 1000.0,
+              d.fs.Codec.size wal_file )
+          end
+          else (0.0, bytes)
+        | _ -> (0.0, 0)
+      in
       (match report with
       | None -> ()
       | Some r ->
@@ -381,8 +490,83 @@ let maintain ?(config = default_config) ?report p db delta =
             domains_used =
               (match pool with Some p -> Pool.size p | None -> 1);
             parallel_batches = rep.Maintain.parallel_batches;
+            checkpoint_ms;
+            recovery_ms = 0.0;
+            wal_bytes;
           });
       Ok rep)
+
+let recover ?(config = default_config) ?report p =
+  match effective_durability config with
+  | None ->
+    Error
+      "Engine.recover: no durability configured (set config.durability or \
+       KIND_DURABLE_DIR)"
+  | Some d -> (
+    let t0 = Unix.gettimeofday () in
+    match Snapshot.read d.fs ~path:checkpoint_file with
+    | Error e -> Error ("Engine.recover: " ^ e)
+    | Ok None -> Ok None
+    | Ok (Some snap) -> (
+      match Wal.replay d.fs ~path:wal_file with
+      | Error e -> Error ("Engine.recover: " ^ e)
+      | Ok (entries, _tail) -> (
+        (* a torn tail is a batch whose append barrier never completed:
+           it was not applied before the crash, so dropping it is the
+           pre-batch state — exactly what atomicity promises *)
+        let db = snap.Snapshot.db in
+        let delta_facts = ref 0 in
+        (* the model is a function of the final base database, so the
+           whole log suffix replays as ONE coalesced maintenance batch
+           — one propagation pass instead of one per entry; an empty
+           net delta skips maintenance (and its prewarm copy) entirely *)
+        let net = Wal.coalesce entries in
+        let replay_all () =
+          if net.Wal.additions = [] && net.Wal.deletions = [] then Ok ()
+          else
+            match
+              Maintain.of_materialized ?pool:(pool_of config)
+                ~max_term_depth:config.max_term_depth
+                ~max_rounds:config.max_rounds
+                ~compiled:config.compiled_plans ~edb:snap.Snapshot.edb
+                ~prewarm:false p db
+            with
+            | Error e -> Error ("Engine.recover: " ^ e)
+            | Ok h -> (
+              match
+                Maintain.apply h
+                  (Maintain.delta ~additions:net.Wal.additions
+                     ~deletions:net.Wal.deletions ())
+              with
+              | Error err -> Error ("Engine.recover: " ^ err)
+              | Ok rep ->
+                delta_facts := rep.Maintain.added + rep.Maintain.removed;
+                Ok ())
+        in
+        match replay_all () with
+        | Error e -> Error e
+        | Ok () ->
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          (match report with
+          | None -> ()
+          | Some r ->
+            let geti k =
+              match List.assoc_opt k snap.Snapshot.counters with
+              | Some v -> int_of_float v
+              | None -> 0
+            in
+            r :=
+              {
+                empty_report with
+                strata = geti "strata";
+                rounds = geti "rounds";
+                derived = geti "derived";
+                skolems_suppressed = geti "skolems_suppressed";
+                delta_facts = !delta_facts;
+                recovery_ms = ms;
+                wal_bytes = d.fs.Codec.size wal_file;
+              });
+          Ok (Some db))))
 
 let query ?stats db lits = Eval.solve_body ?stats ~db ~neg:db lits
 

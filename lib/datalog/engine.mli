@@ -21,6 +21,29 @@ type cost_oracle = {
 (** A static cost analysis feeding the planner — build one with
     [Analysis.Card.oracle]. *)
 
+type durability = {
+  fs : Codec.fs;  (** where checkpoint and WAL live (see {!Codec.real_fs}) *)
+  wal_max_bytes : int;
+      (** rotation threshold: after a maintenance batch pushes the WAL
+          past this size, the maintained state is checkpointed and the
+          log compacted to a bare header *)
+}
+(** Durability configuration: a checkpoint file plus a write-ahead log
+    of maintenance batches, both under one {!Codec.fs}. See DESIGN.md
+    §14 for the atomicity argument. *)
+
+val durability : ?wal_max_bytes:int -> dir:string -> unit -> durability
+(** Durability rooted at directory [dir] (created on demand).
+    [wal_max_bytes] defaults to 1_000_000. *)
+
+val checkpoint_file : string
+(** ["checkpoint.kind"] — path of the snapshot, relative to the
+    durability [fs] root. *)
+
+val wal_file : string
+(** ["wal.kind"] — path of the write-ahead log, relative to the
+    durability [fs] root. *)
+
 type config = {
   strategy : strategy;
   max_term_depth : int;
@@ -71,6 +94,16 @@ type config = {
           [domains_used] / [parallel_batches] differ. Requires
           [compiled_plans]; the interpreted path is always
           sequential. *)
+  durability : durability option;
+      (** when set, {!materialize} writes a checkpoint of the stratified
+          result (and compacts the WAL), {!maintain} appends each batch
+          to the WAL {e before} applying it (fsync'd — crash recovery
+          lands on exactly the pre- or post-batch database), and
+          {!recover} rebuilds the materialization from checkpoint +
+          log suffix. [None] (the default) falls back to the
+          [KIND_DURABLE_DIR] environment variable, read once; unset
+          means durability off. The well-founded fallback path never
+          checkpoints (snapshots encode two-valued databases only). *)
 }
 
 val default_config : config
@@ -123,6 +156,14 @@ type report = {
       (** delta batches fanned out across the pool (0 = everything ran
           sequentially, e.g. deltas below the {!Parexec.min_rows}
           threshold) *)
+  checkpoint_ms : float;
+      (** wall time spent writing a checkpoint this call (0.0 when
+          durability is off or nothing was checkpointed) *)
+  recovery_ms : float;
+      (** {!recover} only: wall time for snapshot read + WAL replay *)
+  wal_bytes : int;
+      (** size of the write-ahead log after this call (0 when
+          durability is off) *)
 }
 
 val empty_report : report
@@ -164,7 +205,28 @@ val maintain :
     from the maintained strata below them). The database is mutated.
     [Error] if the program is unstratified or a delta fact is
     non-ground. For repeated deltas keep a {!Maintain.t} handle
-    instead — this entry point re-adopts the database on every call. *)
+    instead — this entry point re-adopts the database on every call.
+
+    With durability configured, the batch is appended to the WAL and
+    fsync'd {e before} it is applied (write-ahead), and the log is
+    rotated into a fresh checkpoint once it exceeds
+    [durability.wal_max_bytes]. *)
+
+val recover :
+  ?config:config ->
+  ?report:report ref ->
+  Program.t ->
+  (Database.t option, string) result
+(** Rebuild the materialization of [p] from the configured durability
+    directory: read the checkpoint, then replay the WAL suffix through
+    incremental maintenance (cost proportional to the log, not the
+    database). [Ok None] when no checkpoint exists (cold-start — call
+    {!materialize}). A torn WAL tail is dropped: by the write-ahead
+    ordering it belongs to a batch that was never applied. [Error] if
+    no durability is configured, a file is unreadable mid-stream, or
+    [p] no longer stratifies over the snapshot. The report's
+    [recovery_ms] / [wal_bytes] fields are filled; [strata] / [rounds] /
+    [derived] echo the checkpoint's saved counters. *)
 
 val retract :
   ?config:config ->

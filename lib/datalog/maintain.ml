@@ -73,7 +73,7 @@ let unstratified_msg cycle =
    head (goal-directed re-derivation in DRed). Bulk materialization
    rarely binds every such position, so without this the first delta
    pays for building an index over the whole extent. *)
-let prewarm db rules =
+let warm_indexes db rules =
   List.iter
     (fun (r : Rule.t) ->
       let body_atoms =
@@ -147,7 +147,7 @@ let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?(compiled = true) ?pool
                ~neg:db rs db))
       strata;
     let rules = Program.rules p' in
-    prewarm db rules;
+    warm_indexes db rules;
     Ok
       {
         max_term_depth;
@@ -162,23 +162,34 @@ let init ?(max_term_depth = 8) ?(max_rounds = 100_000) ?(compiled = true) ?pool
       }
 
 let of_materialized ?(max_term_depth = 8) ?(max_rounds = 100_000)
-    ?(compiled = true) ?pool p db =
+    ?(compiled = true) ?pool ?edb:edb0 ?(prewarm = true) p db =
   let facts, p' = Program.split_facts p in
   match Stratify.rules_by_stratum p' with
   | Error cycle -> Error ("Maintain.of_materialized: " ^ unstratified_msg cycle)
   | Ok strata ->
     let rules = Program.rules p' in
     let idb = idb_of rules in
-    let edb = Database.create () in
-    List.iter
-      (fun pred ->
-        if not (SS.mem pred idb) then
-          List.iter
-            (fun f -> ignore (Database.add_fact edb f))
-            (Database.facts db pred))
-      (Database.predicates db);
+    (* With an explicit base database (a checkpoint's): adopt it as-is.
+       Without one, reconstruct the base from the non-IDB extents —
+       sound only when base facts never share a predicate with a rule
+       head, which recovery cannot assume (the mediator asserts source
+       data on predicates its anchor rules also derive into). *)
+    let edb =
+      match edb0 with
+      | Some e -> Database.copy e
+      | None ->
+        let edb = Database.create () in
+        List.iter
+          (fun pred ->
+            if not (SS.mem pred idb) then
+              List.iter
+                (fun f -> ignore (Database.add_fact edb f))
+                (Database.facts db pred))
+          (Database.predicates db);
+        edb
+    in
     List.iter (fun f -> ignore (Database.add_fact edb f)) facts;
-    prewarm db rules;
+    if prewarm then warm_indexes db rules;
     Ok
       { max_term_depth; max_rounds; compiled; pool; rules; strata; idb; edb; db }
 
@@ -551,7 +562,7 @@ let extend_rules t ?(delta = { additions = []; deletions = [] }) new_rules =
           t.rules <- rules;
           t.strata <- strata;
           t.idb <- idb;
-          prewarm t.db new_rules;
+          warm_indexes t.db new_rules;
           Ok
             (run_maintenance t ~new_rules ~additions:delta.additions
                ~deletions:delta.deletions)))

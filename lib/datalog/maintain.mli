@@ -108,15 +108,24 @@ val of_materialized :
   ?max_rounds:int ->
   ?compiled:bool ->
   ?pool:Pool.t ->
+  ?edb:Database.t ->
+  ?prewarm:bool ->
   Program.t ->
   Database.t ->
   (t, string) result
 (** Adopt an existing materialization of [p] (as produced by
     {!Engine.materialize}) without recomputing it; the database is
-    maintained in place. The base facts are reconstructed as the
-    extents of non-IDB predicates plus the ground facts of [p] itself —
-    external EDB facts for predicates that also head rules are not
-    representable here; use {!init} when you have them. *)
+    maintained in place. With [?edb] (a checkpoint's base database,
+    {!Snapshot}) the base facts are exactly those, copied. Without it
+    they are reconstructed as the extents of non-IDB predicates plus
+    the ground facts of [p] itself — external EDB facts for predicates
+    that also head rules are not representable that way; use {!init} or
+    pass [?edb] when you have them.
+
+    [?prewarm] (default [true]) eagerly builds every join index the
+    maintenance passes could need. Pass [false] when the handle will
+    absorb one delta and be dropped — recovery replay — so only the
+    indexes that delta actually probes get built, lazily. *)
 
 val apply : t -> delta -> (report, string) result
 (** Absorb a batch of base-fact changes. Deletions are applied before

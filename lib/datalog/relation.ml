@@ -108,6 +108,13 @@ let add_packed r p =
   end
   else false
 
+let load_packed r p =
+  Tuple.Hashset.add_new r.rows p;
+  if r.indexes <> [] then begin
+    r.log <- p :: r.log;
+    r.nlog <- r.nlog + 1
+  end
+
 let add r tup =
   if not (Tuple.is_ground tup) then
     invalid_arg

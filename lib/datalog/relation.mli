@@ -38,7 +38,15 @@ val to_list : t -> Tuple.t list
 (** {1 Packed access — the join kernel's view} *)
 
 val mem_packed : t -> Tuple.Packed.t -> bool
+
 val add_packed : t -> Tuple.Packed.t -> bool
+
+val load_packed : t -> Tuple.Packed.t -> unit
+(** [add_packed] minus the membership walk: only for bulk loads whose
+    caller guarantees the row is absent (the snapshot reader filling a
+    fresh relation from a deduplicated frame). Built indexes are kept
+    in sync exactly as by {!add_packed}. *)
+
 val iter_packed : (Tuple.Packed.t -> unit) -> t -> unit
 val fold_packed : (Tuple.Packed.t -> 'a -> 'a) -> t -> 'a -> 'a
 

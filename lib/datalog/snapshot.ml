@@ -1,0 +1,243 @@
+module Term = Logic.Term
+
+type t = {
+  db : Database.t;
+  edb : Database.t;
+  counters : (string * float) list;
+}
+
+let magic = "KINDSNP1"
+
+(* frame kinds *)
+let k_terms = 1
+let k_db_rel = 2
+let k_edb_rel = 3
+let k_counters = 4
+let k_end = 255
+
+(* term-record tags *)
+let t_sym = 0
+let t_str = 1
+let t_int = 2
+let t_float = 3
+let t_bool = 4
+let t_app = 5
+let t_var = 6
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+(* The file-local term table: every distinct term gets one record,
+   children before parents, and tuples refer to records by index. Ids
+   are file-local by construction — nothing about the process intern
+   pool leaks into the image. *)
+module TT = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type table = { ids : int TT.t; enc : Codec.Enc.t; mutable next : int }
+
+let rec intern table (t : Term.t) =
+  match TT.find_opt table.ids t with
+  | Some i -> i
+  | None ->
+    let record tag fill =
+      Codec.Enc.u8 table.enc tag;
+      fill ();
+      let i = table.next in
+      table.next <- i + 1;
+      TT.add table.ids t i;
+      i
+    in
+    let e = table.enc in
+    (match t with
+    | Term.Const (Term.Sym s) -> record t_sym (fun () -> Codec.Enc.str e s)
+    | Term.Const (Term.Str s) -> record t_str (fun () -> Codec.Enc.str e s)
+    | Term.Const (Term.Int n) -> record t_int (fun () -> Codec.Enc.i64 e n)
+    | Term.Const (Term.Float x) -> record t_float (fun () -> Codec.Enc.f64 e x)
+    | Term.Const (Term.Bool b) -> record t_bool (fun () -> Codec.Enc.bool e b)
+    | Term.Var x -> record t_var (fun () -> Codec.Enc.str e x)
+    | Term.App (f, args) ->
+      (* children first: their records must precede this one, so the
+         loader can resolve indices in a single pass *)
+      let arg_ids = List.map (intern table) args in
+      record t_app (fun () ->
+          Codec.Enc.str e f;
+          Codec.Enc.u32 e (List.length arg_ids);
+          List.iter (Codec.Enc.u32 e) arg_ids))
+
+let encode_relations table db kind =
+  List.filter_map
+    (fun pred ->
+      match Database.relation_opt db pred with
+      | None -> None
+      | Some rel ->
+        let tuples = Relation.to_list rel in
+        let e = Codec.Enc.create () in
+        Codec.Enc.str e pred;
+        Codec.Enc.u32 e (List.length tuples);
+        List.iter
+          (fun tup ->
+            Codec.Enc.u32 e (List.length tup);
+            List.iter (fun t -> Codec.Enc.u32 e (intern table t)) tup)
+          tuples;
+        Some { Codec.kind; payload = Codec.Enc.contents e })
+    (Database.predicates db)
+
+let encode snap =
+  let table = { ids = TT.create 1024; enc = Codec.Enc.create (); next = 0 } in
+  let db_frames = encode_relations table snap.db k_db_rel in
+  let edb_frames = encode_relations table snap.edb k_edb_rel in
+  let terms_frame =
+    let e = Codec.Enc.create () in
+    Codec.Enc.u32 e table.next;
+    Codec.Enc.str e (Codec.Enc.contents table.enc);
+    { Codec.kind = k_terms; payload = Codec.Enc.contents e }
+  in
+  let counters_frame =
+    let e = Codec.Enc.create () in
+    Codec.Enc.u32 e (List.length snap.counters);
+    List.iter
+      (fun (k, v) ->
+        Codec.Enc.str e k;
+        Codec.Enc.f64 e v)
+      snap.counters;
+    { Codec.kind = k_counters; payload = Codec.Enc.contents e }
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Codec.file_header ~magic);
+  List.iter
+    (fun f -> Buffer.add_string buf (Codec.encode_frame f))
+    ((terms_frame :: db_frames) @ edb_frames
+    @ [ counters_frame; { Codec.kind = k_end; payload = "" } ]);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+(* Returns the term table plus the process intern id of every ground
+   entry (-1 for the non-ground ones, which no stored tuple may
+   reference): resolving ids once per {e table entry} instead of once
+   per tuple column keeps the per-tuple work free of the intern pool's
+   mutex — the table is small (distinct terms), the tuple volume is
+   not. *)
+let decode_terms payload =
+  let d = Codec.Dec.of_string payload in
+  let n = Codec.Dec.u32 d in
+  let body = Codec.Dec.of_string (Codec.Dec.str d) in
+  let terms = Array.make (max n 1) (Term.sym "") in
+  for i = 0 to n - 1 do
+    let tag = Codec.Dec.u8 body in
+    let t =
+      if tag = t_sym then Term.sym (Codec.Dec.str body)
+      else if tag = t_str then Term.str (Codec.Dec.str body)
+      else if tag = t_int then Term.int (Codec.Dec.i64 body)
+      else if tag = t_float then Term.float (Codec.Dec.f64 body)
+      else if tag = t_bool then Term.bool (Codec.Dec.bool body)
+      else if tag = t_var then Term.var (Codec.Dec.str body)
+      else if tag = t_app then begin
+        let f = Codec.Dec.str body in
+        let argc = Codec.Dec.u32 body in
+        if argc = 0 then raise (Codec.Dec.Corrupt "term table: nullary app");
+        let args =
+          List.init argc (fun _ ->
+              let j = Codec.Dec.u32 body in
+              if j >= i then
+                raise (Codec.Dec.Corrupt "term table: forward reference");
+              terms.(j))
+        in
+        Term.app f args
+      end
+      else raise (Codec.Dec.Corrupt (Printf.sprintf "term tag %d" tag))
+    in
+    terms.(i) <- t
+  done;
+  let ids =
+    Array.map (fun t -> if Term.is_ground t then Term.id t else -1) terms
+  in
+  (terms, ids)
+
+(* Bulk load: rows go in packed ([Relation.add_packed]) with their
+   intern ids taken from the table, into a relation pre-sized to the
+   frame's row count — no per-tuple groundness walk, no per-column
+   intern lookup, no hash-set resizes. *)
+let decode_relation (terms, tids) payload db =
+  let d = Codec.Dec.of_string payload in
+  let pred = Codec.Dec.str d in
+  let count = Codec.Dec.u32 d in
+  (* sized creation also makes an empty relation round-trip as present *)
+  let rel = Database.relation_hint db pred ~hint:count in
+  (* the encoder writes each predicate once, from a set — rows are
+     distinct, so a fresh relation can skip the membership walk; a
+     repeated frame for one predicate (not something the encoder
+     emits) falls back to checked inserts *)
+  let insert =
+    if Relation.is_empty rel then Relation.load_packed
+    else fun rel p -> ignore (Relation.add_packed rel p)
+  in
+  let n = Array.length terms in
+  for _ = 1 to count do
+    let arity = Codec.Dec.u32 d in
+    let row = Array.make arity (Term.sym "") in
+    let ids = Array.make arity 0 in
+    for i = 0 to arity - 1 do
+      let j = Codec.Dec.u32 d in
+      if j >= n then raise (Codec.Dec.Corrupt "tuple: term index out of range");
+      if tids.(j) < 0 then
+        raise (Codec.Dec.Corrupt "tuple: non-ground component");
+      row.(i) <- terms.(j);
+      ids.(i) <- tids.(j)
+    done;
+    insert rel (Tuple.Packed.of_parts row ids)
+  done
+
+let decode s =
+  match Codec.decode_file ~magic s with
+  | Error e -> Error ("checkpoint: " ^ e)
+  | Ok (_, Codec.Torn { at; reason }) ->
+    (* a checkpoint is replaced atomically, so any tear means the file
+       as a whole cannot be trusted — there is no meaningful prefix *)
+    Error (Printf.sprintf "checkpoint: torn at byte %d (%s)" at reason)
+  | Ok (frames, Codec.Clean) -> (
+    match List.rev frames with
+    | { Codec.kind; _ } :: _ when kind <> k_end ->
+      Error "checkpoint: missing end marker"
+    | [] -> Error "checkpoint: empty"
+    | _ -> (
+      try
+        let terms = ref ([||], [||]) in
+        let db = Database.create () in
+        let edb = Database.create () in
+        let counters = ref [] in
+        List.iter
+          (fun { Codec.kind; payload } ->
+            if kind = k_terms then terms := decode_terms payload
+            else if kind = k_db_rel then decode_relation !terms payload db
+            else if kind = k_edb_rel then decode_relation !terms payload edb
+            else if kind = k_counters then begin
+              let d = Codec.Dec.of_string payload in
+              let n = Codec.Dec.u32 d in
+              counters :=
+                List.init n (fun _ ->
+                    let k = Codec.Dec.str d in
+                    (k, Codec.Dec.f64 d))
+            end
+            else if kind = k_end then ()
+            else () (* unknown frame kinds are skipped, for evolvability *))
+          frames;
+        Ok { db; edb; counters = !counters }
+      with Codec.Dec.Corrupt msg -> Error ("checkpoint: " ^ msg)))
+
+let write fs ~path snap =
+  let image = encode snap in
+  Codec.write_file_atomic fs ~path image;
+  String.length image
+
+let read fs ~path =
+  match fs.Codec.read path with
+  | None -> Ok None
+  | Some s -> (
+    match decode s with Ok snap -> Ok (Some snap) | Error e -> Error e)

@@ -1,0 +1,40 @@
+(** Engine checkpoint: serialize a materialized {!Database.t} (plus the
+    base-fact database a maintenance handle needs, and the report
+    counters of the materialization that produced it) into a
+    {!Codec}-framed file, and read it back.
+
+    Ground terms are written once each into a file-local term table
+    (structural encoding, children before parents) and tuples reference
+    table indices — process-global intern ids ({!Logic.Term}) are never
+    written, so a snapshot loads correctly into a process whose intern
+    pool assigned different ids: the table is simply re-interned on
+    load.
+
+    The differential guarantee, exercised by [test/test_recovery.ml]:
+    for every database [db], [restore (checkpoint db)] satisfies
+    {!Database.equal} against [db]. *)
+
+type t = {
+  db : Database.t;  (** the materialized model (EDB + IDB) *)
+  edb : Database.t;  (** the base facts, for re-adopting maintenance *)
+  counters : (string * float) list;
+      (** report counters of the checkpointed materialization *)
+}
+
+val magic : string
+
+val encode : t -> string
+(** The complete file image, header included. *)
+
+val decode : string -> (t, string) result
+(** [Error] on a wrong magic/version, a torn or corrupted frame
+    anywhere (a checkpoint is written atomically, so an incomplete one
+    is invalid as a whole — unlike a WAL there is no trustworthy
+    prefix), or a missing end-marker frame. *)
+
+val write : Codec.fs -> path:string -> t -> int
+(** Atomic replace ({!Codec.write_file_atomic}); returns the encoded
+    size in bytes. *)
+
+val read : Codec.fs -> path:string -> (t option, string) result
+(** [Ok None] when no checkpoint file exists. *)

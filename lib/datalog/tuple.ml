@@ -99,6 +99,10 @@ module Hashset = struct
       H.add s p p;
       true
 
+  (* No walk at all: the caller guarantees [p] is absent (bulk load of
+     an already-deduplicated row set). *)
+  let add_new s p = H.add s p p
+
   let remove s p =
     if H.mem s p then begin
       H.remove s p;

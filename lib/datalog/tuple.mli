@@ -60,6 +60,11 @@ module Hashset : sig
   val add : t -> Packed.t -> bool
   (** [true] if the row was new. *)
 
+  val add_new : t -> Packed.t -> unit
+  (** Insert without the membership walk — only for bulk loads whose
+      caller guarantees the row is absent (a deduplicated checkpoint
+      frame). Inserting a duplicate breaks the set invariant. *)
+
   val remove : t -> Packed.t -> bool
   (** [true] if the row was present. *)
 

@@ -1,0 +1,179 @@
+module Term = Logic.Term
+module Atom = Logic.Atom
+
+type entry = { additions : Atom.t list; deletions : Atom.t list }
+
+let magic = "KINDWAL1"
+let k_batch = 1
+
+(* term tags — WAL batches are small, so terms are encoded inline and
+   recursively rather than through a table like the checkpoint's *)
+let t_sym = 0
+let t_str = 1
+let t_int = 2
+let t_float = 3
+let t_bool = 4
+let t_app = 5
+let t_var = 6
+
+let rec enc_term e (t : Term.t) =
+  match t with
+  | Term.Const (Term.Sym s) ->
+    Codec.Enc.u8 e t_sym;
+    Codec.Enc.str e s
+  | Term.Const (Term.Str s) ->
+    Codec.Enc.u8 e t_str;
+    Codec.Enc.str e s
+  | Term.Const (Term.Int n) ->
+    Codec.Enc.u8 e t_int;
+    Codec.Enc.i64 e n
+  | Term.Const (Term.Float x) ->
+    Codec.Enc.u8 e t_float;
+    Codec.Enc.f64 e x
+  | Term.Const (Term.Bool b) ->
+    Codec.Enc.u8 e t_bool;
+    Codec.Enc.bool e b
+  | Term.Var x ->
+    Codec.Enc.u8 e t_var;
+    Codec.Enc.str e x
+  | Term.App (f, args) ->
+    Codec.Enc.u8 e t_app;
+    Codec.Enc.str e f;
+    Codec.Enc.u32 e (List.length args);
+    List.iter (enc_term e) args
+
+let rec dec_term d =
+  let tag = Codec.Dec.u8 d in
+  if tag = t_sym then Term.sym (Codec.Dec.str d)
+  else if tag = t_str then Term.str (Codec.Dec.str d)
+  else if tag = t_int then Term.int (Codec.Dec.i64 d)
+  else if tag = t_float then Term.float (Codec.Dec.f64 d)
+  else if tag = t_bool then Term.bool (Codec.Dec.bool d)
+  else if tag = t_var then Term.var (Codec.Dec.str d)
+  else if tag = t_app then begin
+    let f = Codec.Dec.str d in
+    let argc = Codec.Dec.u32 d in
+    if argc = 0 then raise (Codec.Dec.Corrupt "wal: nullary app");
+    Term.app f (List.init argc (fun _ -> dec_term d))
+  end
+  else raise (Codec.Dec.Corrupt (Printf.sprintf "wal: term tag %d" tag))
+
+let enc_atom e (a : Atom.t) =
+  Codec.Enc.str e a.Atom.pred;
+  Codec.Enc.u32 e (List.length a.Atom.args);
+  List.iter (enc_term e) a.Atom.args
+
+let dec_atom d =
+  let pred = Codec.Dec.str d in
+  let argc = Codec.Dec.u32 d in
+  Atom.make pred (List.init argc (fun _ -> dec_term d))
+
+let encode_entry { additions; deletions } =
+  let e = Codec.Enc.create () in
+  Codec.Enc.u32 e (List.length additions);
+  List.iter (enc_atom e) additions;
+  Codec.Enc.u32 e (List.length deletions);
+  List.iter (enc_atom e) deletions;
+  Codec.encode_frame { Codec.kind = k_batch; payload = Codec.Enc.contents e }
+
+let decode_entry payload =
+  let d = Codec.Dec.of_string payload in
+  let n_add = Codec.Dec.u32 d in
+  let additions = List.init n_add (fun _ -> dec_atom d) in
+  let n_del = Codec.Dec.u32 d in
+  let deletions = List.init n_del (fun _ -> dec_atom d) in
+  { additions; deletions }
+
+(* ------------------------------------------------------------------ *)
+(* The append handle                                                   *)
+
+type t = {
+  fs : Codec.fs;
+  path : string;
+  mutable sink : Codec.sink option;
+  mutable bytes : int;
+}
+
+let header_bytes = String.length (Codec.file_header ~magic)
+
+let open_log fs ~path =
+  let size = fs.Codec.size path in
+  if size < header_bytes then begin
+    (* absent, or torn during creation: (re)write a bare header *)
+    Codec.write_file_atomic fs ~path (Codec.file_header ~magic);
+    { fs; path; sink = None; bytes = header_bytes }
+  end
+  else { fs; path; sink = None; bytes = size }
+
+let sink_of t =
+  match t.sink with
+  | Some s -> s
+  | None ->
+    let s = t.fs.Codec.sink ~append:true t.path in
+    t.sink <- Some s;
+    s
+
+let append t entry =
+  let image = encode_entry entry in
+  let s = sink_of t in
+  s.Codec.write image;
+  s.Codec.flush ();
+  t.bytes <- t.bytes + String.length image
+
+let bytes t = t.bytes
+
+let close t =
+  match t.sink with
+  | Some s ->
+    s.Codec.close ();
+    t.sink <- None
+  | None -> ()
+
+let replay fs ~path =
+  match fs.Codec.read path with
+  | None -> Ok ([], Codec.Clean)
+  | Some s -> (
+    match Codec.decode_file ~magic s with
+    | Error e -> Error ("wal: " ^ e)
+    | Ok (frames, tail) -> (
+      try
+        Ok
+          ( List.filter_map
+              (fun { Codec.kind; payload } ->
+                if kind = k_batch then Some (decode_entry payload) else None)
+              frames,
+            tail )
+      with Codec.Dec.Corrupt msg -> Error ("wal: " ^ msg)))
+
+let reset fs ~path =
+  Codec.write_file_atomic fs ~path (Codec.file_header ~magic)
+
+(* The materialized model is a function of the final base database, so
+   a log suffix can be replayed as ONE maintenance batch instead of one
+   per entry: for every fact the chronologically last operation wins.
+   Result order follows first appearance, so coalescing is
+   deterministic. Within a single entry deletions apply before
+   additions ({!Maintain.apply}: a fact listed on both sides ends up
+   present) — deletions are recorded first here so the addition
+   overwrites, matching what entry-by-entry replay produces. *)
+let coalesce entries =
+  let last = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter (fun a -> Hashtbl.replace last a false) e.deletions;
+      List.iter (fun a -> Hashtbl.replace last a true) e.additions)
+    entries;
+  let seen = Hashtbl.create 64 in
+  let adds = ref [] and dels = ref [] in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem seen a) then begin
+            Hashtbl.add seen a ();
+            if Hashtbl.find last a then adds := a :: !adds
+            else dels := a :: !dels
+          end)
+        (e.additions @ e.deletions))
+    entries;
+  { additions = List.rev !adds; deletions = List.rev !dels }

@@ -1,0 +1,56 @@
+(** Append-only write-ahead log of {!Maintain} batches.
+
+    One {!Codec} frame per batch (insertions and deletions, predicate +
+    tuple payloads encoded structurally), flushed — fsync'd on the real
+    filesystem — before the batch is applied to the database. Recovery
+    replays the surviving entries through the incremental-maintenance
+    path, so its cost is proportional to the log suffix since the last
+    checkpoint, not to the database.
+
+    The reader tolerates a torn tail: a batch whose frame was cut or
+    corrupted by a crash is dropped (the crash happened before the
+    append's barrier completed, so the batch was never applied
+    durably), and everything before it is replayed. *)
+
+type entry = { additions : Logic.Atom.t list; deletions : Logic.Atom.t list }
+
+type t
+(** An open log, positioned for appending. *)
+
+val magic : string
+
+val open_log : Codec.fs -> path:string -> t
+(** Open for appending, creating the file (header only) if missing or
+    shorter than a header. *)
+
+val append : t -> entry -> unit
+(** Encode, write, flush. When [append] returns, the batch is durable. *)
+
+val bytes : t -> int
+(** Current log size in bytes (header included). *)
+
+val close : t -> unit
+
+val replay : Codec.fs -> path:string -> (entry list * Codec.tail, string) result
+(** Every complete batch in append order; a missing file is
+    [Ok ([], Clean)]. [Error] only on wrong magic/version or an
+    undecodable checksum-valid payload. *)
+
+val reset : Codec.fs -> path:string -> unit
+(** Truncate the log to a bare header, atomically — the compaction step
+    after a fresh checkpoint has made its entries redundant. *)
+
+val encode_entry : entry -> string
+(** The frame image of one batch (exposed for size accounting and
+    tests). *)
+
+val coalesce : entry list -> entry
+(** Net effect of a log suffix as a single batch: for every fact the
+    chronologically last operation wins (within one entry deletions
+    apply before additions, as {!Maintain.apply} does, so a fact on
+    both sides of one entry counts as added). Sound because the
+    materialized model is a
+    function of the final base database alone — replaying the
+    coalesced batch through maintenance lands on the same model as
+    replaying the entries one by one, at the cost of one propagation
+    pass instead of one per entry. *)

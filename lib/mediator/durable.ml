@@ -1,0 +1,293 @@
+module Fault = Wrapper.Fault
+
+type source_state = {
+  name : string;
+  state : Runtime.state;
+  open_until : int;
+  consecutive : int;
+  calls : int;
+  failures : int;
+  retries : int;
+  trips : int;
+  absorbed : int;
+  quarantined : bool;
+  transitions : (int * Runtime.state) list;
+  plan : Fault.plan;
+  channel_calls : int;
+  channel_crashed : bool;
+  channel_stale : bool;
+  channel_clock : int;
+  capabilities : string list;
+}
+
+type state = {
+  clock : int;
+  degraded : int;
+  completeness : (string list * (string * string) list * string list) option;
+  sources : source_state list;
+}
+
+let magic = "KINDFED1"
+let federation_file = "federation.kind"
+
+(* frame kinds *)
+let k_runtime = 1
+let k_source = 2
+let k_end = 255
+
+let breaker_tag = function
+  | Runtime.Closed -> 0
+  | Runtime.Open -> 1
+  | Runtime.Half_open -> 2
+
+let breaker_of_tag = function
+  | 0 -> Runtime.Closed
+  | 1 -> Runtime.Open
+  | 2 -> Runtime.Half_open
+  | n -> raise (Codec.Dec.Corrupt (Printf.sprintf "federation: breaker tag %d" n))
+
+let enc_fault e (f : Fault.fault) =
+  match f with
+  | Fault.Delay n ->
+    Codec.Enc.u8 e 0;
+    Codec.Enc.i64 e n
+  | Fault.Timeout -> Codec.Enc.u8 e 1
+  | Fault.Transient m ->
+    Codec.Enc.u8 e 2;
+    Codec.Enc.str e m
+  | Fault.Crash -> Codec.Enc.u8 e 3
+  | Fault.Truncate k ->
+    Codec.Enc.u8 e 4;
+    Codec.Enc.i64 e k
+  | Fault.Garble -> Codec.Enc.u8 e 5
+  | Fault.Stale_caps -> Codec.Enc.u8 e 6
+
+let dec_fault d : Fault.fault =
+  match Codec.Dec.u8 d with
+  | 0 -> Fault.Delay (Codec.Dec.i64 d)
+  | 1 -> Fault.Timeout
+  | 2 -> Fault.Transient (Codec.Dec.str d)
+  | 3 -> Fault.Crash
+  | 4 -> Fault.Truncate (Codec.Dec.i64 d)
+  | 5 -> Fault.Garble
+  | 6 -> Fault.Stale_caps
+  | n -> raise (Codec.Dec.Corrupt (Printf.sprintf "federation: fault tag %d" n))
+
+let enc_plan e (p : Fault.plan) =
+  match p with
+  | Fault.Reliable -> Codec.Enc.u8 e 0
+  | Fault.Script events ->
+    Codec.Enc.u8 e 1;
+    Codec.Enc.u32 e (List.length events);
+    List.iter
+      (fun (ev : Fault.event) ->
+        Codec.Enc.u32 e ev.Fault.at;
+        enc_fault e ev.Fault.fault)
+      events
+  | Fault.Always f ->
+    Codec.Enc.u8 e 2;
+    enc_fault e f
+  | Fault.Seeded { seed; rates } ->
+    Codec.Enc.u8 e 3;
+    Codec.Enc.i64 e seed;
+    Codec.Enc.u32 e rates.Fault.delay;
+    Codec.Enc.u32 e rates.Fault.timeout;
+    Codec.Enc.u32 e rates.Fault.transient;
+    Codec.Enc.u32 e rates.Fault.crash;
+    Codec.Enc.u32 e rates.Fault.truncate;
+    Codec.Enc.u32 e rates.Fault.garble;
+    Codec.Enc.u32 e rates.Fault.stale
+
+let dec_plan d : Fault.plan =
+  match Codec.Dec.u8 d with
+  | 0 -> Fault.Reliable
+  | 1 ->
+    let n = Codec.Dec.u32 d in
+    Fault.Script
+      (List.init n (fun _ ->
+           let at = Codec.Dec.u32 d in
+           let fault = dec_fault d in
+           { Fault.at; fault }))
+  | 2 -> Fault.Always (dec_fault d)
+  | 3 ->
+    let seed = Codec.Dec.i64 d in
+    let delay = Codec.Dec.u32 d in
+    let timeout = Codec.Dec.u32 d in
+    let transient = Codec.Dec.u32 d in
+    let crash = Codec.Dec.u32 d in
+    let truncate = Codec.Dec.u32 d in
+    let garble = Codec.Dec.u32 d in
+    let stale = Codec.Dec.u32 d in
+    Fault.Seeded
+      { seed;
+        rates =
+          { Fault.delay; timeout; transient; crash; truncate; garble; stale } }
+  | n -> raise (Codec.Dec.Corrupt (Printf.sprintf "federation: plan tag %d" n))
+
+let enc_str_list e l =
+  Codec.Enc.u32 e (List.length l);
+  List.iter (Codec.Enc.str e) l
+
+let dec_str_list d =
+  let n = Codec.Dec.u32 d in
+  List.init n (fun _ -> Codec.Dec.str d)
+
+let encode_source (s : source_state) =
+  let e = Codec.Enc.create () in
+  Codec.Enc.str e s.name;
+  Codec.Enc.u8 e (breaker_tag s.state);
+  Codec.Enc.i64 e s.open_until;
+  Codec.Enc.u32 e s.consecutive;
+  Codec.Enc.u32 e s.calls;
+  Codec.Enc.u32 e s.failures;
+  Codec.Enc.u32 e s.retries;
+  Codec.Enc.u32 e s.trips;
+  Codec.Enc.u32 e s.absorbed;
+  Codec.Enc.bool e s.quarantined;
+  Codec.Enc.u32 e (List.length s.transitions);
+  List.iter
+    (fun (at, st) ->
+      Codec.Enc.i64 e at;
+      Codec.Enc.u8 e (breaker_tag st))
+    s.transitions;
+  enc_plan e s.plan;
+  Codec.Enc.u32 e s.channel_calls;
+  Codec.Enc.bool e s.channel_crashed;
+  Codec.Enc.bool e s.channel_stale;
+  Codec.Enc.i64 e s.channel_clock;
+  enc_str_list e s.capabilities;
+  Codec.encode_frame { Codec.kind = k_source; payload = Codec.Enc.contents e }
+
+let decode_source payload =
+  let d = Codec.Dec.of_string payload in
+  let name = Codec.Dec.str d in
+  let state = breaker_of_tag (Codec.Dec.u8 d) in
+  let open_until = Codec.Dec.i64 d in
+  let consecutive = Codec.Dec.u32 d in
+  let calls = Codec.Dec.u32 d in
+  let failures = Codec.Dec.u32 d in
+  let retries = Codec.Dec.u32 d in
+  let trips = Codec.Dec.u32 d in
+  let absorbed = Codec.Dec.u32 d in
+  let quarantined = Codec.Dec.bool d in
+  let n_tr = Codec.Dec.u32 d in
+  let transitions =
+    List.init n_tr (fun _ ->
+        let at = Codec.Dec.i64 d in
+        let st = breaker_of_tag (Codec.Dec.u8 d) in
+        (at, st))
+  in
+  let plan = dec_plan d in
+  let channel_calls = Codec.Dec.u32 d in
+  let channel_crashed = Codec.Dec.bool d in
+  let channel_stale = Codec.Dec.bool d in
+  let channel_clock = Codec.Dec.i64 d in
+  let capabilities = dec_str_list d in
+  {
+    name;
+    state;
+    open_until;
+    consecutive;
+    calls;
+    failures;
+    retries;
+    trips;
+    absorbed;
+    quarantined;
+    transitions;
+    plan;
+    channel_calls;
+    channel_crashed;
+    channel_stale;
+    channel_clock;
+    capabilities;
+  }
+
+let encode (st : state) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Codec.file_header ~magic);
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e st.clock;
+  Codec.Enc.u32 e st.degraded;
+  (match st.completeness with
+  | None -> Codec.Enc.bool e false
+  | Some (contributed, skipped, suspect) ->
+    Codec.Enc.bool e true;
+    enc_str_list e contributed;
+    Codec.Enc.u32 e (List.length skipped);
+    List.iter
+      (fun (n, r) ->
+        Codec.Enc.str e n;
+        Codec.Enc.str e r)
+      skipped;
+    enc_str_list e suspect);
+  Buffer.add_string b
+    (Codec.encode_frame
+       { Codec.kind = k_runtime; payload = Codec.Enc.contents e });
+  List.iter (fun s -> Buffer.add_string b (encode_source s)) st.sources;
+  Buffer.add_string b
+    (Codec.encode_frame { Codec.kind = k_end; payload = "" });
+  Buffer.contents b
+
+let decode s =
+  match Codec.decode_file ~magic s with
+  | Error e -> Error ("federation: " ^ e)
+  | Ok (_, Codec.Torn { at; reason }) ->
+    (* written only via atomic replace: any tear means the file never
+       completed and there is no trustworthy prefix *)
+    Error (Printf.sprintf "federation: torn at byte %d (%s)" at reason)
+  | Ok (frames, Codec.Clean) -> (
+    try
+      let clock = ref 0
+      and degraded = ref 0
+      and completeness = ref None
+      and sources = ref []
+      and ended = ref false in
+      List.iter
+        (fun { Codec.kind; payload } ->
+          if kind = k_runtime then begin
+            let d = Codec.Dec.of_string payload in
+            clock := Codec.Dec.i64 d;
+            degraded := Codec.Dec.u32 d;
+            if Codec.Dec.bool d then begin
+              let contributed = dec_str_list d in
+              let n = Codec.Dec.u32 d in
+              let skipped =
+                List.init n (fun _ ->
+                    let name = Codec.Dec.str d in
+                    let reason = Codec.Dec.str d in
+                    (name, reason))
+              in
+              let suspect = dec_str_list d in
+              completeness := Some (contributed, skipped, suspect)
+            end
+          end
+          else if kind = k_source then
+            sources := decode_source payload :: !sources
+          else if kind = k_end then ended := true)
+        frames;
+      if not !ended then Error "federation: missing end marker"
+      else
+        Ok
+          {
+            clock = !clock;
+            degraded = !degraded;
+            completeness = !completeness;
+            sources = List.rev !sources;
+          }
+    with Codec.Dec.Corrupt msg -> Error msg)
+
+let save fs st = Codec.write_file_atomic fs ~path:federation_file (encode st)
+
+let load fs =
+  match fs.Codec.read federation_file with
+  | None -> Ok None
+  | Some s -> (
+    match decode s with
+    | Ok st -> Ok (Some st)
+    | Error e ->
+      (* distinguish "never completed" from "structurally wrong": a torn
+         creation behaves like absence *)
+      if String.length s < String.length (Codec.file_header ~magic) then
+        Ok None
+      else Error e)

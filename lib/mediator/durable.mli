@@ -1,0 +1,64 @@
+(** Persistent federation runtime state.
+
+    The engine checkpoint ({!Datalog.Snapshot}) preserves the mediated
+    object base; this module preserves the {e federation} half of a
+    mediator: per-source breaker status and health counters, fault-plan
+    and channel positions (so a {!Wrapper.Fault.Seeded} PRNG resumes
+    mid-stream), the virtual clock, the advertised-capability cache,
+    and the degraded-query ledger. Together they let
+    {!Mediator.recover} rebuild a live federation that continues
+    exactly where the crashed process stopped — an open breaker is
+    still open and resumes half-open probing when its cooldown lapses
+    on the restored clock.
+
+    Serialized with {!Codec} frames (one frame per source), so the file
+    shares the torn-tail story of the checkpoint: it is only ever
+    written whole through {!Codec.write_file_atomic}, and any tear
+    means "no state", never partial state. *)
+
+type source_state = {
+  name : string;
+  state : Runtime.state;
+  open_until : int;
+  consecutive : int;
+  calls : int;
+  failures : int;
+  retries : int;
+  trips : int;
+  absorbed : int;
+  quarantined : bool;
+  transitions : (int * Runtime.state) list;  (** chronological *)
+  plan : Wrapper.Fault.plan;
+  channel_calls : int;
+  channel_crashed : bool;
+  channel_stale : bool;
+  channel_clock : int;
+  capabilities : string list;
+      (** the capabilities the channel advertised at checkpoint time,
+          rendered — a ledger for [kindctl wal-status]-style inspection;
+          live capabilities are recomputed from the source on recovery *)
+}
+
+type state = {
+  clock : int;  (** the runtime's virtual clock *)
+  degraded : int;  (** queries answered while sources were skipped *)
+  completeness :
+    (string list * (string * string) list * string list) option;
+      (** last completeness report: contributed, skipped (with
+          reasons), suspect predicates *)
+  sources : source_state list;  (** registration order *)
+}
+
+val federation_file : string
+(** ["federation.kind"] — path relative to the durability [fs] root. *)
+
+val encode : state -> string
+val decode : string -> (state, string) result
+
+val save : Codec.fs -> state -> unit
+(** Atomic write to {!federation_file}. *)
+
+val load : Codec.fs -> (state option, string) result
+(** [Ok None] when the file is absent or torn during creation (the
+    atomic write protocol means a tear can only be a never-completed
+    first write). *)

@@ -19,6 +19,7 @@ type config = {
   runtime : Runtime.policy;
   cost_budget : int option;
   domains : int;
+  durability : Datalog.Engine.durability option;
 }
 
 let default_config =
@@ -34,7 +35,14 @@ let default_config =
     runtime = Runtime.default_policy;
     cost_budget = None;
     domains = 0;
+    durability = None;
   }
+
+let env_durability =
+  lazy
+    (match Sys.getenv_opt "KIND_DURABLE_DIR" with
+    | Some dir when dir <> "" -> Some (Datalog.Engine.durability ~dir ())
+    | _ -> None)
 
 module SSet = Set.Make (String)
 
@@ -129,6 +137,16 @@ let record_maintenance t (rep : Datalog.Maintain.report) =
 let cache_stats t = t.cstats
 let last_maintenance t = t.last_maintenance
 
+let effective_durability t =
+  match t.cfg.durability with
+  | Some _ as d -> d
+  | None -> Lazy.force env_durability
+
+let durable_of ?dir t =
+  match dir with
+  | Some dir -> Some (Datalog.Engine.durability ~dir ())
+  | None -> effective_durability t
+
 (* Lift one declared store atom to a conceptual-level molecule, the
    namespacing step of Figure 3's "lifting". *)
 let lift_atom ~source sg (a : Logic.Atom.t) =
@@ -196,6 +214,68 @@ let channel t src =
     ch
 
 let find_channel t name = Hashtbl.find_opt t.channels name
+
+(* ------------------------------------------------------------------ *)
+(* Durability: the engine half (checkpoint + WAL) goes through
+   Datalog.Snapshot/Wal; the federation half (breakers, channels,
+   clocks, ledger) through Durable. *)
+
+let federation_state t =
+  let sources =
+    List.map
+      (fun src ->
+        let name = Source.name src in
+        let h = Runtime.health t.runtime name in
+        let ch = channel t src in
+        {
+          Durable.name;
+          state = h.Runtime.state;
+          open_until = h.Runtime.open_until;
+          consecutive = h.Runtime.consecutive;
+          calls = h.Runtime.calls;
+          failures = h.Runtime.failures;
+          retries = h.Runtime.retries;
+          trips = h.Runtime.trips;
+          absorbed = h.Runtime.absorbed;
+          quarantined = h.Runtime.quarantined;
+          transitions = Runtime.transitions h;
+          plan = Wrapper.Fault.plan ch;
+          channel_calls = Wrapper.Fault.calls ch;
+          channel_crashed = Wrapper.Fault.crashed ch;
+          channel_stale = Wrapper.Fault.stale ch;
+          channel_clock = Wrapper.Fault.clock ch;
+          capabilities =
+            List.map
+              (Format.asprintf "%a" Wrapper.Capability.pp)
+              (Wrapper.Fault.capabilities ch);
+        })
+      t.sources
+  in
+  {
+    Durable.clock = Runtime.clock t.runtime;
+    degraded = t.degraded;
+    completeness =
+      Option.map
+        (fun c -> (c.contributed, c.skipped, c.suspect))
+        t.last_completeness;
+    sources;
+  }
+
+(* checkpoint the maintained materialization + federation state, and
+   compact the WAL (a fresh checkpoint subsumes every logged batch) *)
+let write_checkpoint t (d : Datalog.Engine.durability) h =
+  let bytes =
+    Datalog.Snapshot.write d.Datalog.Engine.fs
+      ~path:Datalog.Engine.checkpoint_file
+      {
+        Datalog.Snapshot.db = Datalog.Maintain.db h;
+        edb = Datalog.Maintain.edb h;
+        counters = [];
+      }
+  in
+  Datalog.Wal.reset d.Datalog.Engine.fs ~path:Datalog.Engine.wal_file;
+  Durable.save d.Datalog.Engine.fs (federation_state t);
+  bytes
 
 (* Static checks applied at registration time, per the [lint] policy:
    the source's own schema conformance, anchors into the domain map,
@@ -662,6 +742,13 @@ let materialize t =
     in
     t.cstats <- { t.cstats with rebuilt = t.cstats.rebuilt + 1 };
     t.cache <- Some db;
+    (* auto-checkpoint a fresh maintained materialization; the
+       well-founded fallback is not checkpointed (snapshots encode
+       two-valued databases, and there is no maintenance handle to
+       replay a WAL through) *)
+    (match (effective_durability t, t.maint) with
+    | Some d, Some h -> ignore (write_checkpoint t d h)
+    | _ -> ());
     db
 
 let query t lits =
@@ -717,14 +804,40 @@ let update_source t ~source ?(additions = []) ?(deletions = []) () =
       List.iter (fun m -> Wrapper.Store.add_fact store m) additions;
       match t.cache, t.maint with
       | Some _, Some h -> (
+        (* write-ahead: the lifted batch is fsync'd to the WAL before
+           it is applied, so recovery replays exactly the batches that
+           made it into the materialization (a torn last append belongs
+           to a batch that was never applied). Only a batch [apply]
+           will accept is logged — non-ground facts fail validation
+           without mutating and must not poison replay. *)
+        let wal =
+          match effective_durability t with
+          | Some d when List.for_all Logic.Atom.is_ground (added @ removed) ->
+            let w =
+              Datalog.Wal.open_log d.Datalog.Engine.fs
+                ~path:Datalog.Engine.wal_file
+            in
+            Datalog.Wal.append w
+              { Datalog.Wal.additions = added; deletions = removed };
+            Some (d, w)
+          | _ -> None
+        in
         match
           Datalog.Maintain.apply h
             (Datalog.Maintain.delta ~additions:added ~deletions:removed ())
         with
         | Ok rep ->
+          (match wal with
+          | Some (d, w) ->
+            let bytes = Datalog.Wal.bytes w in
+            Datalog.Wal.close w;
+            if bytes > d.Datalog.Engine.wal_max_bytes then
+              ignore (write_checkpoint t d h)
+          | None -> ());
           record_maintenance t rep;
           Ok (Some rep)
         | Error e ->
+          (match wal with Some (_, w) -> Datalog.Wal.close w | None -> ());
           invalidate t;
           Error e)
       | _ ->
@@ -818,6 +931,32 @@ let revive_source t source =
       | None -> false
     in
     if was_skipped then begin
+      (* answers cached while this source was skipped may be missing
+         its tuples even when absorbing its data leaves their read
+         extents unchanged (e.g. another source already proved the same
+         facts) — drop everything the revived source can reach, plus
+         its own namespaced predicates *)
+      let reachable = suspect_predicates t ~skipped:[ (source, "revived") ] in
+      let prefix = source ^ "." in
+      let is_stale (e : cache_entry) =
+        SSet.exists
+          (fun p ->
+            List.mem p reachable
+            || String.length p > String.length prefix
+               && String.sub p 0 (String.length prefix) = prefix)
+          e.reads
+      in
+      let stale =
+        Hashtbl.fold
+          (fun k e acc -> if is_stale e then k :: acc else acc)
+          t.qcache []
+      in
+      List.iter (Hashtbl.remove t.qcache) stale;
+      t.cstats <-
+        {
+          t.cstats with
+          invalidated = t.cstats.invalidated + List.length stale;
+        };
       (match t.cache with
       | Some _ -> absorb_rules t (List.map Molecule.fact (source_facts src))
       | None -> ());
@@ -834,3 +973,133 @@ let revive_source t source =
       | None -> ()
     end;
     Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Durable checkpoint / recovery *)
+
+let checkpoint ?dir t =
+  match durable_of ?dir t with
+  | None ->
+    Error
+      "Mediator.checkpoint: no durability configured (set \
+       config.durability, pass ~dir, or KIND_DURABLE_DIR)"
+  | Some d -> (
+    ignore (materialize t);
+    match t.maint with
+    | None ->
+      Error
+        "Mediator.checkpoint: the materialization came through the \
+         well-founded fallback (snapshots encode two-valued databases \
+         only)"
+    | Some h -> Ok (write_checkpoint t d h))
+
+let restore_federation t (st : Durable.state) =
+  Runtime.advance t.runtime (st.Durable.clock - Runtime.clock t.runtime);
+  t.degraded <- st.Durable.degraded;
+  t.last_completeness <-
+    Option.map
+      (fun (contributed, skipped, suspect) -> { contributed; skipped; suspect })
+      st.Durable.completeness;
+  List.iter
+    (fun (s : Durable.source_state) ->
+      match find_source t s.Durable.name with
+      | None ->
+        t.warnings <-
+          t.warnings
+          @ [
+              Printf.sprintf
+                "recover: federation state names source %s, which is not \
+                 re-registered; its breaker state was dropped"
+                s.Durable.name;
+            ]
+      | Some src ->
+        let h = Runtime.health t.runtime s.Durable.name in
+        h.Runtime.state <- s.Durable.state;
+        h.Runtime.open_until <- s.Durable.open_until;
+        h.Runtime.consecutive <- s.Durable.consecutive;
+        h.Runtime.calls <- s.Durable.calls;
+        h.Runtime.failures <- s.Durable.failures;
+        h.Runtime.retries <- s.Durable.retries;
+        h.Runtime.trips <- s.Durable.trips;
+        h.Runtime.absorbed <- s.Durable.absorbed;
+        h.Runtime.quarantined <- s.Durable.quarantined;
+        h.Runtime.transitions <- List.rev s.Durable.transitions;
+        Hashtbl.replace t.channels s.Durable.name
+          (Wrapper.Fault.restore ~plan:s.Durable.plan
+             ~calls:s.Durable.channel_calls ~crashed:s.Durable.channel_crashed
+             ~stale:s.Durable.channel_stale ~clock:s.Durable.channel_clock src))
+    st.Durable.sources
+
+let recover ?dir t =
+  match durable_of ?dir t with
+  | None ->
+    Error
+      "Mediator.recover: no durability configured (set config.durability, \
+       pass ~dir, or KIND_DURABLE_DIR)"
+  | Some d -> (
+    match
+      Datalog.Snapshot.read d.Datalog.Engine.fs
+        ~path:Datalog.Engine.checkpoint_file
+    with
+    | Error e -> Error ("Mediator.recover: " ^ e)
+    | Ok None -> Ok false
+    | Ok (Some snap) -> (
+      (* the program is rebuilt from the re-registered federation
+         topology; the checkpoint's base database carries the lifted
+         source data, so no gather runs *)
+      let p = build_program_with t ~data:[] in
+      match Flogic.Fl_program.compile p with
+      | Error e -> Error ("Mediator.recover: " ^ e)
+      | Ok dp -> (
+        match
+          Datalog.Maintain.of_materialized
+            ?pool:(Pool.get (effective_domains t))
+            ~edb:snap.Datalog.Snapshot.edb dp snap.Datalog.Snapshot.db
+        with
+        | Error e -> Error ("Mediator.recover: " ^ e)
+        | Ok h -> (
+          match
+            Datalog.Wal.replay d.Datalog.Engine.fs
+              ~path:Datalog.Engine.wal_file
+          with
+          | Error e -> Error ("Mediator.recover: " ^ e)
+          | Ok (entries, _tail) -> (
+            (* a torn tail is a batch whose append never completed: it
+               was not applied pre-crash, so dropping it is the
+               pre-batch state *)
+            (* the model is a function of the final base database, so
+               the suffix replays as ONE coalesced batch — one
+               propagation pass instead of one per entry *)
+            let net = Datalog.Wal.coalesce entries in
+            let replayed =
+              if
+                net.Datalog.Wal.additions = []
+                && net.Datalog.Wal.deletions = []
+              then Ok ()
+              else
+                match
+                  Datalog.Maintain.apply h
+                    (Datalog.Maintain.delta
+                       ~additions:net.Datalog.Wal.additions
+                       ~deletions:net.Datalog.Wal.deletions ())
+                with
+                | Ok rep ->
+                  t.last_maintenance <- Some rep;
+                  Ok ()
+                | Error err -> Error ("Mediator.recover: replay: " ^ err)
+            in
+            match replayed with
+            | Error e -> Error e
+            | Ok () ->
+              t.maint <- Some h;
+              t.cache <- Some (Datalog.Maintain.db h);
+              Hashtbl.reset t.qcache;
+              (* the federation half: breakers resume where they were —
+                 an open breaker stays open and goes half-open when its
+                 cooldown lapses on the restored clock; recovery must
+                 NOT revive anything *)
+              (match Durable.load d.Datalog.Engine.fs with
+              | Error e -> t.warnings <- t.warnings @ [ "recover: " ^ e ]
+              | Ok None -> ()
+              | Ok (Some st) -> restore_federation t st);
+              Ok true)))))

@@ -63,6 +63,15 @@ type config = {
           pool ({!Datalog.Engine.config.domains}). [0] (the default)
           defers to the [KIND_DOMAINS] environment variable /
           [kindctl --domains]; [1] forces sequential. *)
+  durability : Datalog.Engine.durability option;
+      (** when set, {!materialize} auto-checkpoints a freshly maintained
+          materialization (engine snapshot + federation state, WAL
+          compacted), {!update_source} appends each lifted batch to the
+          WAL {e before} applying it and rotates the log past
+          [wal_max_bytes], and {!recover} rebuilds the live federation.
+          [None] (the default) falls back to the [KIND_DURABLE_DIR]
+          environment variable; unset means durability off. The
+          well-founded fallback never checkpoints. *)
 }
 
 val default_config : config
@@ -253,3 +262,35 @@ val health : t -> (string * Runtime.health) list
 
 val degraded_queries : t -> int
 (** Queries answered from a materialization with skipped sources. *)
+
+(** {1 Durability}
+
+    The engine half of the state (the mediated object base and its base
+    facts) lives in a {!Datalog.Snapshot} checkpoint plus a
+    {!Datalog.Wal} of maintenance batches; the federation half
+    (per-source breaker status and health counters, fault-channel
+    positions, the virtual clock, the degraded-query ledger) in a
+    {!Durable} state file. All three are written through the durability
+    {!Codec.fs}, so the crash-point harness ({!Wrapper.Crashpoint}) can
+    kill a write mid-frame. See DESIGN.md §14. *)
+
+val checkpoint : ?dir:string -> t -> (int, string) result
+(** Write a full checkpoint — engine snapshot, federation state, WAL
+    compacted — to the configured durability store ([?dir] overrides
+    it). Forces a materialization. Returns the snapshot size in bytes.
+    [Error] when no durability is configured or the materialization
+    came through the well-founded fallback. *)
+
+val recover : ?dir:string -> t -> (bool, string) result
+(** Rebuild the live federation from the durability store: read the
+    checkpoint, adopt it under incremental maintenance (the program is
+    recompiled from the {e re-registered} topology — register the same
+    sources and IVDs first), replay the WAL suffix, and restore the
+    federation runtime — breaker states and counters, fault channels
+    resuming mid-plan ({!Wrapper.Fault.restore}), the virtual clock,
+    the last completeness report and the degraded-query ledger. An open
+    breaker stays open and resumes half-open probing when its cooldown
+    lapses on the restored clock; recovery never revives. [Ok false]
+    when no checkpoint exists (cold-start — call {!materialize}).
+    Federation state naming a source that was not re-registered is
+    dropped with a warning in {!translation_warnings}. *)

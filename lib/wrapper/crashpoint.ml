@@ -1,0 +1,157 @@
+exception Crashed
+
+type mode = Keep_torn | Drop_unsynced
+
+type file = { mutable durable : string; mutable pending : string }
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  mutable armed : bool;
+  mutable budget : int;
+  mutable mode : mode;
+  mutable ticks : int;
+  mutable crashed : bool;
+}
+
+let create () =
+  {
+    files = Hashtbl.create 7;
+    armed = false;
+    budget = max_int;
+    mode = Keep_torn;
+    ticks = 0;
+    crashed = false;
+  }
+
+let arm t ~budget ~mode =
+  t.armed <- true;
+  t.budget <- budget;
+  t.mode <- mode;
+  t.ticks <- 0;
+  t.crashed <- false
+
+let disarm t =
+  t.armed <- false;
+  t.ticks <- 0;
+  t.crashed <- false
+
+let ticks t = t.ticks
+let crashed t = t.crashed
+
+(* charge [n] ticks; return how many fit in the budget (the partial
+   effect), raising afterwards if the budget ran out *)
+let charge t n =
+  if t.crashed then raise Crashed;
+  if not t.armed then begin
+    t.ticks <- t.ticks + n;
+    n
+  end
+  else begin
+    let room = t.budget - t.ticks in
+    if n <= room then begin
+      t.ticks <- t.ticks + n;
+      n
+    end
+    else begin
+      t.ticks <- t.budget;
+      t.crashed <- true;
+      max 0 room
+    end
+  end
+
+let file_of t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> f
+  | None ->
+    let f = { durable = ""; pending = "" } in
+    Hashtbl.replace t.files path f;
+    f
+
+(* the view a restarted process would see *)
+let view t f =
+  match t.mode with
+  | Keep_torn -> f.durable ^ f.pending
+  | Drop_unsynced -> f.durable
+
+let settle t =
+  Hashtbl.iter
+    (fun _ f ->
+      f.durable <- view t f;
+      f.pending <- "")
+    t.files;
+  t.crashed <- false;
+  t.armed <- false
+
+let dump t =
+  Hashtbl.fold (fun path f acc -> (path, f.durable ^ f.pending) :: acc)
+    t.files []
+  |> List.sort compare
+
+let fs t : Codec.fs =
+  let read path =
+    match Hashtbl.find_opt t.files path with
+    | None -> None
+    | Some f ->
+      let s = f.durable ^ f.pending in
+      if s = "" then None else Some s
+  in
+  let sink ~append path =
+    if t.crashed then raise Crashed;
+    let f = file_of t path in
+    if not append then begin
+      f.durable <- "";
+      f.pending <- ""
+    end;
+    let closed = ref false in
+    {
+      Codec.write =
+        (fun s ->
+          if !closed then invalid_arg "Crashpoint: write after close";
+          let n = String.length s in
+          let wrote = charge t n in
+          f.pending <- f.pending ^ String.sub s 0 wrote;
+          if wrote < n then raise Crashed);
+      flush =
+        (fun () ->
+          let ok = charge t 1 in
+          if ok = 1 then begin
+            f.durable <- f.durable ^ f.pending;
+            f.pending <- ""
+          end;
+          if t.crashed then raise Crashed);
+      close = (fun () -> closed := true);
+    }
+  in
+  let rename src dst =
+    if t.crashed then raise Crashed;
+    let ok = charge t 1 in
+    if ok = 1 then begin
+      (match Hashtbl.find_opt t.files src with
+      | None -> ()
+      | Some f ->
+        (* rename is atomic: the destination flips to the source's
+           current full image in one tick *)
+        Hashtbl.replace t.files dst
+          { durable = f.durable ^ f.pending; pending = "" };
+        Hashtbl.remove t.files src)
+    end;
+    if t.crashed then raise Crashed
+  in
+  let remove path =
+    if t.crashed then raise Crashed;
+    let ok = charge t 1 in
+    if ok = 1 then Hashtbl.remove t.files path;
+    if t.crashed then raise Crashed
+  in
+  {
+    Codec.read;
+    sink;
+    rename;
+    remove;
+    exists = (fun path -> Hashtbl.mem t.files path);
+    size =
+      (fun path ->
+        match Hashtbl.find_opt t.files path with
+        | None -> 0
+        | Some f -> String.length f.durable + String.length f.pending);
+  }

@@ -119,6 +119,25 @@ let scheduled t =
       | Some `Garble -> Some Garble
       | Some `Stale -> Some Stale_caps))
 
+let restore ?plan ?(calls = 0) ?(crashed = false) ?(stale = false)
+    ?(clock = 0) src =
+  let t = wrap ?plan src in
+  (* fast-forward: a Seeded plan's future draws depend only on how many
+     calls have consumed the stream, so replaying [calls] ordinals of
+     [scheduled] puts the PRNG exactly where the crashed process left
+     it. Script/Always/Reliable are ordinal-indexed and need no state
+     beyond the counter. *)
+  for _ = 1 to calls do
+    t.calls <- t.calls + 1;
+    ignore (scheduled t)
+  done;
+  t.crashed <- crashed;
+  t.stale <- stale;
+  t.clock <- clock;
+  (* the transcript restarts empty: it witnesses this process's run *)
+  t.log <- [];
+  t
+
 let inject t fault =
   t.log <- (t.calls, fault) :: t.log;
   raise (Injected { source = name t; call = t.calls; fault })

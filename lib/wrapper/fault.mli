@@ -53,6 +53,23 @@ val wrap : ?plan:plan -> Source.t -> t
 (** Default plan is {!Reliable}: every call goes straight through at a
     cost of one virtual millisecond. *)
 
+val restore :
+  ?plan:plan ->
+  ?calls:int ->
+  ?crashed:bool ->
+  ?stale:bool ->
+  ?clock:int ->
+  Source.t ->
+  t
+(** Re-wrap a source as a channel resuming mid-history — used by
+    durable recovery ({!Mediator.recover}) to rebuild fault channels
+    after a process restart. [calls] ordinals are replayed against the
+    plan so a {!Seeded} PRNG lands exactly where it was (same plan +
+    same total call count ⇒ same future faults as an uninterrupted
+    run); the latched [crashed]/[stale] flags and the virtual [clock]
+    are set directly. The transcript restarts empty — it only
+    witnesses faults fired in this process. *)
+
 val source : t -> Source.t
 (** The raw source, bypassing injection (fault-free oracle access). *)
 

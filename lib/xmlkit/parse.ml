@@ -230,6 +230,21 @@ let parse src =
 
 type recovery = { offset : int; reason : string }
 
+(* [recovery.offset] is a BYTE offset into the damaged payload;
+   anything that renders it in a Diagnostic-style line:col location
+   must translate it, or offsets past the first newline drift (byte 40
+   of a 3-line payload is not column 40). *)
+let line_col_of_offset src offset =
+  let n = min (max 0 offset) (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to n - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, n - !bol + 1)
+
 let parse_lenient src =
   let n = String.length src in
   let recoveries = ref [] in

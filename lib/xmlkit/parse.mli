@@ -18,6 +18,15 @@ type recovery = { offset : int; reason : string }
 (** One repair the lenient parser applied: byte [offset] in the input,
     human-readable [reason]. *)
 
+val line_col_of_offset : string -> int -> int * int
+(** [line_col_of_offset src offset] is the 1-based (line, column) of
+    byte [offset] in [src]. {!recovery.offset} (like {!Error}'s offset)
+    is a byte offset into the damaged payload — rendering it directly
+    in a line:col location (e.g. {!Analysis.Diagnostic}) drifts as soon
+    as the payload spans more than one line; translate it with this.
+    An offset past the end of [src] maps to the position just past the
+    last byte. *)
+
 val parse_lenient : string -> (Xml.t * recovery list) option
 (** Tolerant scan for payloads damaged in transit. Unclosed elements are
     auto-closed, stray closing tags dropped, broken entities and

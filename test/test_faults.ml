@@ -330,6 +330,52 @@ let test_revival () =
   Alcotest.(check bool) "lifetime trip count survives revival" true
     (h.Runtime.trips >= 1)
 
+(* Directed: reviving a source mid-degradation must invalidate the
+   cached answers whose completeness report listed it under [skipped] —
+   a degraded answer cached before the revival must never be served
+   after it. A cached entry that reads none of the revived source's
+   reachable predicates survives. *)
+let test_revival_cache_invalidation () =
+  let oracle = fixed_federation () in
+  let f = fixed_federation () in
+  let victim = List.hd f.names in
+  let lits = List.assoc "thing" goals in
+  let want = answers oracle.med lits in
+  (match
+     Mediator.set_fault_plan f.med ~source:victim
+       (Fault.Script [ { Fault.at = 1; fault = Fault.Crash } ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let degraded = answers f.med lits in
+  Alcotest.(check bool) "degraded misses the victim's tuples" true
+    (degraded <> want && subset degraded want);
+  (* an unrelated entry: no predicate reads at all, so no skipped
+     source can reach it — it must survive the revival *)
+  let tautology = [ Molecule.Cmp (Logic.Literal.Gt, Term.float 3.0, Term.float 2.0) ] in
+  ignore (answers f.med tautology);
+  let s0 = Mediator.cache_stats f.med in
+  ignore (answers f.med lits);
+  let s1 = Mediator.cache_stats f.med in
+  Alcotest.(check bool) "degraded answer was being served from cache" true
+    (s1.Mediator.hits > s0.Mediator.hits);
+  (match Mediator.revive_source f.med victim with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "revive: %s" e);
+  let s2 = Mediator.cache_stats f.med in
+  Alcotest.(check bool) "revival invalidated the degraded entries" true
+    (s2.Mediator.invalidated > s1.Mediator.invalidated);
+  (* the regression this guards: without the invalidation the next
+     query is a cache hit on the stale degraded subset *)
+  Alcotest.(check (list string)) "post-revival answers are complete" want
+    (answers f.med lits);
+  (* the read-free entry is still a hit *)
+  let s3 = Mediator.cache_stats f.med in
+  ignore (answers f.med tautology);
+  let s4 = Mediator.cache_stats f.med in
+  Alcotest.(check bool) "unrelated cached entry survived the revival" true
+    (s4.Mediator.hits > s3.Mediator.hits)
+
 (* Directed: wire corruption is retryable, not fatal — and a persistent
    corrupter is skipped with a corruption reason. *)
 let test_corruption_failure () =
@@ -411,6 +457,8 @@ let suites =
           `Quick fault_matrix;
         Alcotest.test_case "crash, quarantine, Figure-3 revival" `Quick
           test_revival;
+        Alcotest.test_case "revival invalidates degraded cached answers" `Quick
+          test_revival_cache_invalidation;
         Alcotest.test_case "persistent corruption skips the source" `Quick
           test_corruption_failure;
         Alcotest.test_case "transient corruption is absorbed by a retry" `Quick

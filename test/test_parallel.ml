@@ -238,6 +238,49 @@ let gather_delay () =
   Alcotest.(check bool) "concurrent clock <= sequential clock" true
     (R.clock (M.runtime par) <= R.clock (M.runtime seq))
 
+(* Directed: [Pool.shutdown ?deadline] must return even when a worker
+   is wedged in a task at shutdown time — the at_exit join used to
+   deadlock when a worker raised (or never finished) during the final
+   drain. A private pool runs a batch whose tasks spin on a release
+   flag; the bounded shutdown must come back promptly with the workers
+   still spinning, and after release an unbounded shutdown still joins
+   them cleanly. *)
+let pool_bounded_shutdown () =
+  let p = Kind.Pool.create 3 in
+  let release = Atomic.make false in
+  let started = Atomic.make 0 in
+  let submitted = Atomic.make false in
+  (* run the batch from a separate domain: run_list blocks until the
+     batch drains, which only happens after [release] *)
+  let runner =
+    Domain.spawn (fun () ->
+        Atomic.set submitted true;
+        Kind.Pool.run_list p
+          (List.init 3 (fun _ () ->
+               Atomic.incr started;
+               while not (Atomic.get release) do
+                 Domain.cpu_relax ()
+               done)))
+  in
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  (* two lanes are provably wedged inside tasks; the bounded shutdown
+     must give up on them instead of hanging *)
+  let t0 = Unix.gettimeofday () in
+  Kind.Pool.shutdown ~deadline:0.2 p;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded shutdown returned in %.2fs" elapsed)
+    true (elapsed < 2.0);
+  Alcotest.(check bool) "tasks were still running when it returned" true
+    (Atomic.get submitted);
+  (* unwedge: the batch drains, the stop flag set above ends the worker
+     loops, and an undeadlined shutdown can still join them *)
+  Atomic.set release true;
+  ignore (Domain.join runner : unit list);
+  Kind.Pool.shutdown p
+
 let suites =
   [
     ( "parallel",
@@ -254,5 +297,7 @@ let suites =
            transcripts, health)"
           `Quick
           (forcing_fanout gather_delay);
+        Alcotest.test_case "bounded shutdown abandons wedged workers" `Quick
+          pool_bounded_shutdown;
       ] );
   ]

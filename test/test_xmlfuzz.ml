@@ -177,6 +177,43 @@ let prop_lenient_survives_truncation =
         | Xml.Text _ -> false)
       | Some (Xml.Text _, _) | None -> false)
 
+(* Regression: recovery offsets are BYTE offsets into the damaged
+   payload; rendered as line:col they must go through
+   [line_col_of_offset], which anchors columns at the latest newline
+   before the offset instead of drifting across lines. *)
+let test_line_col_of_offset () =
+  (* the unknown entity sits on line 3, column 6 *)
+  let payload = "<a>\n  <b>ok</b>\n  ln3&bogus;\n</a>\n" in
+  (match Parse.parse_lenient payload with
+  | None -> Alcotest.fail "lenient found no element"
+  | Some (_, recoveries) -> (
+    match
+      List.find_opt
+        (fun (r : Parse.recovery) ->
+          r.Parse.reason = "unknown entity &bogus;")
+        recoveries
+    with
+    | None ->
+      Alcotest.failf "no unknown-entity recovery among %d repair(s)"
+        (List.length recoveries)
+    | Some r ->
+      Alcotest.(check char)
+        "offset points at the '&' byte" '&' payload.[r.Parse.offset];
+      let line, col = Parse.line_col_of_offset payload r.Parse.offset in
+      Alcotest.(check (pair int int))
+        "line:col of the repair" (3, 6) (line, col);
+      (* the drift this guards against: the raw byte offset is NOT a
+         valid column on any line once the payload is multi-line *)
+      Alcotest.(check bool) "byte offset would drift as a column" true
+        (r.Parse.offset <> col)));
+  (* boundary behavior: offsets clamp to just past the last byte *)
+  Alcotest.(check (pair int int))
+    "offset 0" (1, 1)
+    (Parse.line_col_of_offset payload 0);
+  Alcotest.(check (pair int int))
+    "offset past the end clamps" (5, 1)
+    (Parse.line_col_of_offset payload (String.length payload + 10))
+
 let qcheck_seed =
   match Sys.getenv_opt "KIND_QCHECK_SEED" with
   | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
@@ -197,5 +234,9 @@ let suites =
           prop_mutation_total;
           prop_lenient_deterministic;
           prop_lenient_survives_truncation;
+        ]
+      @ [
+          Alcotest.test_case "recovery offsets map to line:col" `Quick
+            test_line_col_of_offset;
         ] );
   ]
