@@ -1448,23 +1448,35 @@ let wal_status_cmd =
       let fs = Codec.real_fs ~root:dir in
       let ckpt = Datalog.Engine.checkpoint_file in
       let wal = Datalog.Engine.wal_file in
+      let ckpt_gen = ref None in
       (match Datalog.Snapshot.read fs ~path:ckpt with
       | Error e -> Printf.printf "checkpoint: unreadable (%s)\n" e
       | Ok None -> print_endline "checkpoint: absent"
       | Ok (Some snap) ->
-        Printf.printf "checkpoint: %d bytes, %d facts (%d base)\n"
+        (match
+           List.assoc_opt "generation" snap.Datalog.Snapshot.counters
+         with
+        | Some g -> ckpt_gen := Some (int_of_float g)
+        | None -> ());
+        Printf.printf "checkpoint: %d bytes, %d facts (%d base), generation %d\n"
           (fs.Codec.size ckpt)
           (Datalog.Database.cardinal snap.Datalog.Snapshot.db)
-          (Datalog.Database.cardinal snap.Datalog.Snapshot.edb));
+          (Datalog.Database.cardinal snap.Datalog.Snapshot.edb)
+          (match !ckpt_gen with Some g -> g | None -> 0));
       (match Datalog.Wal.replay fs ~path:wal with
       | Error e -> Printf.printf "wal: unreadable (%s)\n" e
-      | Ok (entries, tail) ->
-        Printf.printf "wal: %d bytes, %d batch(es)%s\n" (fs.Codec.size wal)
-          (List.length entries)
+      | Ok (gen, entries, tail) ->
+        Printf.printf "wal: %d bytes, %d batch(es), generation %d%s%s\n"
+          (fs.Codec.size wal) (List.length entries) gen
           (match tail with
           | Codec.Clean -> ""
           | Codec.Torn { at; reason } ->
-            Printf.sprintf ", torn tail at byte %d (%s) — dropped" at reason));
+            Printf.sprintf ", torn tail at byte %d (%s) — dropped" at reason)
+          (match !ckpt_gen with
+          | Some g when g <> gen ->
+            " — STALE: generation mismatch with checkpoint, ignored on \
+             recovery"
+          | _ -> ""));
       (match Mediation.Durable.load fs with
       | Error e -> Printf.printf "federation: unreadable (%s)\n" e
       | Ok None -> print_endline "federation: absent"

@@ -240,6 +240,18 @@ let write_all fd s =
   in
   go 0
 
+(* Durability of directory *entries* (a rename, a newly created file)
+   requires fsyncing the parent directory — file-data fsync alone does
+   not order the metadata on many filesystems. Some platforms refuse
+   fsync on a directory fd (EINVAL/EBADF); there the entry durability
+   falls back to whatever the filesystem's rename semantics give. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
 let real_fs ~root =
   mkdir_p root;
   let p name = Filename.concat root name in
@@ -252,13 +264,24 @@ let real_fs ~root =
           [ Unix.O_WRONLY; Unix.O_CREAT ]
           @ if append then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ]
         in
+        let existed = Sys.file_exists (p name) in
         let fd = Unix.openfile (p name) flags 0o644 in
+        (* a file the open just created has no durable directory entry
+           yet; make it one before any fsync'd data is acknowledged *)
+        if not existed then fsync_dir root;
         {
           write = (fun s -> write_all fd s);
           flush = (fun () -> Unix.fsync fd);
           close = (fun () -> Unix.close fd);
         });
-    rename = (fun a b -> Sys.rename (p a) (p b));
+    rename =
+      (fun a b ->
+        Sys.rename (p a) (p b);
+        (* the rename must be durable before callers act on it — e.g.
+           Wal.reset after a checkpoint: if the truncation survived a
+           crash but the checkpoint rename did not, acknowledged
+           batches would be lost *)
+        fsync_dir root);
     remove = (fun name -> if Sys.file_exists (p name) then Sys.remove (p name));
     exists = (fun name -> Sys.file_exists (p name));
     size =

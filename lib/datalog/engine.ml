@@ -235,6 +235,12 @@ let materialize ?(config = default_config) ?report p edb =
         match (durable, base) with
         | Some d, Some base ->
           let t0 = Unix.gettimeofday () in
+          (* the checkpoint and the log reset that follows carry a
+             fresh generation: a crash between the two leaves the old
+             log stamped with the old generation, which recovery
+             detects and discards instead of replaying stale deltas
+             over a materialization they never touched *)
+          let gen = Wal.generation d.fs ~path:wal_file + 1 in
           ignore
             (Snapshot.write d.fs ~path:checkpoint_file
                {
@@ -242,6 +248,7 @@ let materialize ?(config = default_config) ?report p edb =
                  edb = base;
                  counters =
                    [
+                     ("generation", float_of_int gen);
                      ("strata", float_of_int (List.length strata));
                      ("rounds", float_of_int !rounds);
                      ("derived", float_of_int !derived);
@@ -249,7 +256,7 @@ let materialize ?(config = default_config) ?report p edb =
                    ];
                });
           (* a fresh checkpoint subsumes every logged batch *)
-          Wal.reset d.fs ~path:wal_file;
+          Wal.reset d.fs ~path:wal_file ~gen;
           ( (Unix.gettimeofday () -. t0) *. 1000.0,
             d.fs.Codec.size wal_file )
         | _ -> (0.0, 0)
@@ -438,12 +445,14 @@ let maintain ?(config = default_config) ?report p db delta =
         Some w
       | _ -> None
     in
-    let finish r =
-      (match wal with Some w -> Wal.close w | None -> ());
-      r
-    in
+    (* the sink must not leak even when [apply] raises (e.g. max_rounds
+       exceeded deep in maintenance); [Wal.close] is idempotent, so the
+       rotation path's early close composes with the finalizer *)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Wal.close wal)
+    @@ fun () ->
     match Maintain.apply h delta with
-    | Error e -> finish (Error e)
+    | Error e -> Error e
     | Ok rep ->
       let checkpoint_ms, wal_bytes =
         match (durable, wal) with
@@ -451,16 +460,21 @@ let maintain ?(config = default_config) ?report p db delta =
           let bytes = Wal.bytes w in
           Wal.close w;
           if bytes > d.wal_max_bytes then begin
-            (* rotation: checkpoint the maintained state, then compact
-               the log. A crash between the two replays the whole log
-               over the fresh checkpoint — batch replay is idempotent
-               under set semantics, so that still lands on the
-               post-batch database. *)
+            (* rotation: checkpoint the maintained state under a fresh
+               generation, then compact the log. A crash between the
+               two leaves the old-generation log paired with the new
+               checkpoint — recovery sees the mismatch and uses the
+               checkpoint alone, which already includes this batch. *)
             let t0 = Unix.gettimeofday () in
+            let gen = Wal.gen w + 1 in
             ignore
               (Snapshot.write d.fs ~path:checkpoint_file
-                 { Snapshot.db; edb = Maintain.edb h; counters = [] });
-            Wal.reset d.fs ~path:wal_file;
+                 {
+                   Snapshot.db;
+                   edb = Maintain.edb h;
+                   counters = [ ("generation", float_of_int gen) ];
+                 });
+            Wal.reset d.fs ~path:wal_file ~gen;
             ( (Unix.gettimeofday () -. t0) *. 1000.0,
               d.fs.Codec.size wal_file )
           end
@@ -510,10 +524,28 @@ let recover ?(config = default_config) ?report p =
     | Ok (Some snap) -> (
       match Wal.replay d.fs ~path:wal_file with
       | Error e -> Error ("Engine.recover: " ^ e)
-      | Ok (entries, _tail) -> (
+      | Ok (wal_gen, entries, _tail) -> (
         (* a torn tail is a batch whose append barrier never completed:
            it was not applied before the crash, so dropping it is the
            pre-batch state — exactly what atomicity promises *)
+        let ckpt_gen =
+          match List.assoc_opt "generation" snap.Snapshot.counters with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        (* a generation mismatch means the crash fell between a
+           checkpoint write and its log reset: the surviving entries
+           belong to the previous checkpoint (materialize: superseded;
+           rotation: already included), so the checkpoint alone is the
+           recovered state — and the pairing is repaired on disk so
+           later appends land in a log recovery will trust *)
+        let entries =
+          if wal_gen = ckpt_gen then entries
+          else begin
+            Wal.reset d.fs ~path:wal_file ~gen:ckpt_gen;
+            []
+          end
+        in
         let db = snap.Snapshot.db in
         let delta_facts = ref 0 in
         (* the model is a function of the final base database, so the

@@ -170,14 +170,12 @@ let decode_relation (terms, tids) payload db =
   let count = Codec.Dec.u32 d in
   (* sized creation also makes an empty relation round-trip as present *)
   let rel = Database.relation_hint db pred ~hint:count in
-  (* the encoder writes each predicate once, from a set — rows are
-     distinct, so a fresh relation can skip the membership walk; a
-     repeated frame for one predicate (not something the encoder
-     emits) falls back to checked inserts *)
-  let insert =
-    if Relation.is_empty rel then Relation.load_packed
-    else fun rel p -> ignore (Relation.add_packed rel p)
-  in
+  (* the encoder writes each predicate once, from a set, so rows are
+     distinct in any file it produced — but the CRC only detects
+     accidental corruption, so a crafted or buggy writer could still
+     present duplicates. Inserts stay membership-checked and a
+     duplicate is rejected as corruption rather than silently breaking
+     the set invariant (cardinality, removal). *)
   let n = Array.length terms in
   for _ = 1 to count do
     let arity = Codec.Dec.u32 d in
@@ -191,7 +189,8 @@ let decode_relation (terms, tids) payload db =
       row.(i) <- terms.(j);
       ids.(i) <- tids.(j)
     done;
-    insert rel (Tuple.Packed.of_parts row ids)
+    if not (Relation.add_packed rel (Tuple.Packed.of_parts row ids)) then
+      raise (Codec.Dec.Corrupt ("duplicate row in relation " ^ pred))
   done
 
 let decode s =

@@ -5,6 +5,7 @@ type entry = { additions : Atom.t list; deletions : Atom.t list }
 
 let magic = "KINDWAL1"
 let k_batch = 1
+let k_gen = 2
 
 (* term tags — WAL batches are small, so terms are encoded inline and
    recursively rather than through a table like the checkpoint's *)
@@ -85,11 +86,36 @@ let decode_entry payload =
   { additions; deletions }
 
 (* ------------------------------------------------------------------ *)
+(* The generation frame                                                *)
+
+(* The checkpoint and the log it may replay are paired by a generation
+   number: {!reset} stamps the log with the generation of the
+   checkpoint that subsumed it, and recovery replays entries only when
+   the two match. A crash between a checkpoint write and the log reset
+   leaves a mismatched pair — the fingerprint that the surviving log
+   belongs to the {e previous} checkpoint and must not be replayed over
+   the new one. *)
+
+let gen_frame gen =
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e gen;
+  Codec.encode_frame { Codec.kind = k_gen; payload = Codec.Enc.contents e }
+
+(* last one wins; a log without a generation frame reads as 0, which a
+   stamped checkpoint (generation >= 1) never pairs with *)
+let gen_of_frames frames =
+  List.fold_left
+    (fun acc { Codec.kind; payload } ->
+      if kind = k_gen then Codec.Dec.i64 (Codec.Dec.of_string payload) else acc)
+    0 frames
+
+(* ------------------------------------------------------------------ *)
 (* The append handle                                                   *)
 
 type t = {
   fs : Codec.fs;
   path : string;
+  gen : int;
   mutable sink : Codec.sink option;
   mutable bytes : int;
 }
@@ -97,13 +123,36 @@ type t = {
 let header_bytes = String.length (Codec.file_header ~magic)
 
 let open_log fs ~path =
-  let size = fs.Codec.size path in
-  if size < header_bytes then begin
-    (* absent, or torn during creation: (re)write a bare header *)
+  let create () =
     Codec.write_file_atomic fs ~path (Codec.file_header ~magic);
-    { fs; path; sink = None; bytes = header_bytes }
-  end
-  else { fs; path; sink = None; bytes = size }
+    { fs; path; gen = 0; sink = None; bytes = header_bytes }
+  in
+  match fs.Codec.read path with
+  | None -> create ()
+  | Some s when String.length s < header_bytes ->
+    (* torn during creation: nothing durable yet *)
+    create ()
+  | Some s -> (
+    match Codec.decode_file ~magic s with
+    | Error e -> failwith (Printf.sprintf "Wal.open_log: %s: %s" path e)
+    | Ok (frames, tail) -> (
+      let gen =
+        try gen_of_frames frames
+        with Codec.Dec.Corrupt m ->
+          failwith (Printf.sprintf "Wal.open_log: %s: %s" path m)
+      in
+      match tail with
+      | Codec.Clean ->
+        { fs; path; gen; sink = None; bytes = String.length s }
+      | Codec.Torn { at; _ } ->
+        (* Repair the tear BEFORE accepting appends. The torn bytes are
+           a batch whose append barrier never completed, so dropping
+           them is the pre-batch state; but appending BEHIND them would
+           strand every subsequent fsync'd batch past a tear the reader
+           stops at — a second crash would then "recover" to a state
+           missing acknowledged batches. *)
+        Codec.write_file_atomic fs ~path (String.sub s 0 at);
+        { fs; path; gen; sink = None; bytes = at }))
 
 let sink_of t =
   match t.sink with
@@ -121,6 +170,7 @@ let append t entry =
   t.bytes <- t.bytes + String.length image
 
 let bytes t = t.bytes
+let gen t = t.gen
 
 let close t =
   match t.sink with
@@ -131,22 +181,31 @@ let close t =
 
 let replay fs ~path =
   match fs.Codec.read path with
-  | None -> Ok ([], Codec.Clean)
+  | None -> Ok (0, [], Codec.Clean)
   | Some s -> (
     match Codec.decode_file ~magic s with
     | Error e -> Error ("wal: " ^ e)
     | Ok (frames, tail) -> (
       try
         Ok
-          ( List.filter_map
+          ( gen_of_frames frames,
+            List.filter_map
               (fun { Codec.kind; payload } ->
                 if kind = k_batch then Some (decode_entry payload) else None)
               frames,
             tail )
       with Codec.Dec.Corrupt msg -> Error ("wal: " ^ msg)))
 
-let reset fs ~path =
-  Codec.write_file_atomic fs ~path (Codec.file_header ~magic)
+let generation fs ~path =
+  match fs.Codec.read path with
+  | None -> 0
+  | Some s -> (
+    match Codec.decode_file ~magic s with
+    | Error _ -> 0
+    | Ok (frames, _) -> ( try gen_of_frames frames with Codec.Dec.Corrupt _ -> 0))
+
+let reset fs ~path ~gen =
+  Codec.write_file_atomic fs ~path (Codec.file_header ~magic ^ gen_frame gen)
 
 (* The materialized model is a function of the final base database, so
    a log suffix can be replayed as ONE maintenance batch instead of one

@@ -10,7 +10,17 @@
     The reader tolerates a torn tail: a batch whose frame was cut or
     corrupted by a crash is dropped (the crash happened before the
     append's barrier completed, so the batch was never applied
-    durably), and everything before it is replayed. *)
+    durably), and everything before it is replayed. {!open_log} repairs
+    such a tear — atomically rewriting the file to its last valid
+    frame boundary — before accepting appends, so a batch fsync'd after
+    a crash-recovery is never stranded behind torn bytes.
+
+    The log is paired with the checkpoint that subsumes it by a
+    {e generation} number: {!reset} stamps it, {!replay} reports it, and
+    recovery replays entries only when the log's generation matches the
+    checkpoint's — a mismatch is the fingerprint of a crash between a
+    checkpoint write and the log reset, where the surviving entries
+    belong to the previous checkpoint and must be discarded. *)
 
 type entry = { additions : Logic.Atom.t list; deletions : Logic.Atom.t list }
 
@@ -21,7 +31,9 @@ val magic : string
 
 val open_log : Codec.fs -> path:string -> t
 (** Open for appending, creating the file (header only) if missing or
-    shorter than a header. *)
+    shorter than a header, and repairing a torn tail (atomic rewrite to
+    the last valid frame boundary) left by a crash mid-append. Raises
+    [Failure] on a file with the wrong magic or format version. *)
 
 val append : t -> entry -> unit
 (** Encode, write, flush. When [append] returns, the batch is durable. *)
@@ -29,16 +41,25 @@ val append : t -> entry -> unit
 val bytes : t -> int
 (** Current log size in bytes (header included). *)
 
+val gen : t -> int
+(** The open log's generation (0 for a log never stamped by {!reset}). *)
+
 val close : t -> unit
 
-val replay : Codec.fs -> path:string -> (entry list * Codec.tail, string) result
-(** Every complete batch in append order; a missing file is
-    [Ok ([], Clean)]. [Error] only on wrong magic/version or an
-    undecodable checksum-valid payload. *)
+val replay :
+  Codec.fs -> path:string -> (int * entry list * Codec.tail, string) result
+(** The log's generation plus every complete batch in append order; a
+    missing file is [Ok (0, [], Clean)]. [Error] only on wrong
+    magic/version or an undecodable checksum-valid payload. *)
 
-val reset : Codec.fs -> path:string -> unit
-(** Truncate the log to a bare header, atomically — the compaction step
-    after a fresh checkpoint has made its entries redundant. *)
+val generation : Codec.fs -> path:string -> int
+(** The generation stamped on the log at [path]; 0 when the file is
+    absent, unreadable, or was never stamped. *)
+
+val reset : Codec.fs -> path:string -> gen:int -> unit
+(** Truncate the log to a header plus a generation stamp, atomically —
+    the compaction step after the generation-[gen] checkpoint has made
+    its entries redundant. *)
 
 val encode_entry : entry -> string
 (** The frame image of one batch (exposed for size accounting and

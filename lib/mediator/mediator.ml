@@ -262,18 +262,25 @@ let federation_state t =
   }
 
 (* checkpoint the maintained materialization + federation state, and
-   compact the WAL (a fresh checkpoint subsumes every logged batch) *)
+   compact the WAL (a fresh checkpoint subsumes every logged batch).
+   Checkpoint and reset carry a fresh generation so a crash between the
+   two leaves a detectably stale log instead of one recovery would
+   replay over a state it never belonged to. *)
 let write_checkpoint t (d : Datalog.Engine.durability) h =
+  let gen =
+    Datalog.Wal.generation d.Datalog.Engine.fs ~path:Datalog.Engine.wal_file
+    + 1
+  in
   let bytes =
     Datalog.Snapshot.write d.Datalog.Engine.fs
       ~path:Datalog.Engine.checkpoint_file
       {
         Datalog.Snapshot.db = Datalog.Maintain.db h;
         edb = Datalog.Maintain.edb h;
-        counters = [];
+        counters = [ ("generation", float_of_int gen) ];
       }
   in
-  Datalog.Wal.reset d.Datalog.Engine.fs ~path:Datalog.Engine.wal_file;
+  Datalog.Wal.reset d.Datalog.Engine.fs ~path:Datalog.Engine.wal_file ~gen;
   Durable.save d.Datalog.Engine.fs (federation_state t);
   bytes
 
@@ -822,6 +829,15 @@ let update_source t ~source ?(additions = []) ?(deletions = []) () =
             Some (d, w)
           | _ -> None
         in
+        (* close the sink even when [apply] raises mid-maintenance;
+           [Wal.close] is idempotent, so the rotation path's early
+           close composes with the finalizer *)
+        Fun.protect
+          ~finally:(fun () ->
+            match wal with
+            | Some (_, w) -> Datalog.Wal.close w
+            | None -> ())
+        @@ fun () ->
         match
           Datalog.Maintain.apply h
             (Datalog.Maintain.delta ~additions:added ~deletions:removed ())
@@ -837,7 +853,6 @@ let update_source t ~source ?(additions = []) ?(deletions = []) () =
           record_maintenance t rep;
           Ok (Some rep)
         | Error e ->
-          (match wal with Some (_, w) -> Datalog.Wal.close w | None -> ());
           invalidate t;
           Error e)
       | _ ->
@@ -1063,10 +1078,29 @@ let recover ?dir t =
               ~path:Datalog.Engine.wal_file
           with
           | Error e -> Error ("Mediator.recover: " ^ e)
-          | Ok (entries, _tail) -> (
+          | Ok (wal_gen, entries, _tail) -> (
             (* a torn tail is a batch whose append never completed: it
                was not applied pre-crash, so dropping it is the
                pre-batch state *)
+            let ckpt_gen =
+              match
+                List.assoc_opt "generation" snap.Datalog.Snapshot.counters
+              with
+              | Some v -> int_of_float v
+              | None -> 0
+            in
+            (* mismatched generations: the crash fell between a
+               checkpoint write and its log reset, so the surviving
+               entries belong to the previous checkpoint — use the
+               checkpoint alone and repair the pairing on disk *)
+            let entries =
+              if wal_gen = ckpt_gen then entries
+              else begin
+                Datalog.Wal.reset d.Datalog.Engine.fs
+                  ~path:Datalog.Engine.wal_file ~gen:ckpt_gen;
+                []
+              end
+            in
             (* the model is a function of the final base database, so
                the suffix replays as ONE coalesced batch — one
                propagation pass instead of one per entry *)

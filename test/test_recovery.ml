@@ -189,7 +189,26 @@ let run_case seed =
             let got = canon db in
             if not (List.mem (Some got) allowed) then
               Alcotest.fail
-                (label "a state that is neither pre- nor post-crash-phase"))
+                (label "a state that is neither pre- nor post-crash-phase");
+            (* double crash: a batch acknowledged AFTER recovery must
+               survive a second recovery — regression for appends
+               stranded behind a torn tail, and for a stale log paired
+               with a newer checkpoint *)
+            let config = config_over (Crashpoint.fs cp) w.wal_max in
+            (match
+               Engine.maintain ~config tc_program db
+                 { Maintain.additions = [ edge "zz" "n0" ]; deletions = [] }
+             with
+            | Error e -> Alcotest.fail (label ("post-recovery maintain: " ^ e))
+            | Ok _ -> ());
+            let after = canon db in
+            (match Engine.recover ~config tc_program with
+            | Ok (Some db2) ->
+              Alcotest.(check string)
+                (label "second recovery keeps the post-recovery batch")
+                after (canon db2)
+            | Ok None -> Alcotest.fail (label "checkpoint vanished")
+            | Error e -> Alcotest.fail (label ("second recovery: " ^ e))))
         [ Crashpoint.Keep_torn; Crashpoint.Drop_unsynced ])
     budgets
 
@@ -289,13 +308,13 @@ let test_wal_roundtrip_and_torn () =
     | None -> Alcotest.fail "log vanished"
   in
   (match Wal.replay fs ~path:"wal.kind" with
-  | Ok (got, Codec.Clean) ->
+  | Ok (_, got, Codec.Clean) ->
     Alcotest.(check int) "all entries back" (List.length entries)
       (List.length got);
     List.iter2
       (fun a b -> Alcotest.(check bool) "entry roundtrips" true (entries_equal a b))
       entries got
-  | Ok (_, Codec.Torn _) -> Alcotest.fail "clean log read as torn"
+  | Ok (_, _, Codec.Torn _) -> Alcotest.fail "clean log read as torn"
   | Error e -> Alcotest.fail e);
   (* every truncation point: replay never raises, never invents an
      entry, and keeps every complete prefix entry *)
@@ -307,7 +326,7 @@ let test_wal_roundtrip_and_torn () =
     sink.Codec.flush ();
     sink.Codec.close ();
     match Wal.replay (Crashpoint.fs tcp) ~path:"wal.kind" with
-    | Ok (got, tail) ->
+    | Ok (_, got, tail) ->
       let n = List.length got in
       Alcotest.(check bool)
         (Printf.sprintf "prefix at %d: %d entries, monotone" l n)
@@ -324,6 +343,88 @@ let test_wal_roundtrip_and_torn () =
       (* only the header itself is load-bearing *)
       if l >= header then Alcotest.failf "replay at %d: %s" l e
   done
+
+(* Double-crash regression: a crash mid-append leaves a torn tail;
+   open_log must repair it (atomic rewrite to the last frame boundary)
+   before appending, or every acknowledged post-recovery batch would
+   sit unreachable behind the tear on the NEXT recovery. *)
+let test_wal_torn_tail_then_append () =
+  let e1 = { Wal.additions = [ edge "a" "b" ]; deletions = [] } in
+  let e2 = { Wal.additions = [ edge "b" "c" ]; deletions = [] } in
+  let e3 = { Wal.additions = [ edge "c" "d" ]; deletions = [ edge "a" "b" ] } in
+  let cp = Crashpoint.create () in
+  let fs = Crashpoint.fs cp in
+  let w = Wal.open_log fs ~path:"wal.kind" in
+  Wal.append w e1;
+  Wal.append w e2;
+  Wal.close w;
+  Crashpoint.settle cp;
+  let img =
+    match fs.Codec.read "wal.kind" with
+    | Some img -> img
+    | None -> Alcotest.fail "log vanished"
+  in
+  (* tear e2's frame: what a crash mid-append leaves on disk *)
+  let sink = fs.Codec.sink ~append:false "wal.kind" in
+  sink.Codec.write (String.sub img 0 (String.length img - 3));
+  sink.Codec.flush ();
+  sink.Codec.close ();
+  let w = Wal.open_log fs ~path:"wal.kind" in
+  Wal.append w e3;
+  Wal.close w;
+  Crashpoint.settle cp;
+  match Wal.replay fs ~path:"wal.kind" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, got, tail) ->
+    Alcotest.(check bool) "post-repair log reads clean" true
+      (tail = Codec.Clean);
+    Alcotest.(check int) "torn entry dropped, appended entry kept" 2
+      (List.length got);
+    Alcotest.(check bool) "surviving prefix + new entry" true
+      (entries_equal (List.nth got 0) e1 && entries_equal (List.nth got 1) e3)
+
+(* Generation pairing: a crash between materialize's checkpoint write
+   and its WAL reset must not replay the previous incarnation's log
+   over the fresh materialization. *)
+let test_engine_recover_stale_wal () =
+  let cp = Crashpoint.create () in
+  let fs = Crashpoint.fs cp in
+  let config = config_over fs 1_000_000 in
+  let db =
+    Engine.materialize ~config tc_program (Database.of_facts [ edge "a" "b" ])
+  in
+  (match
+     Engine.maintain ~config tc_program db
+       { Maintain.additions = [ edge "b" "c" ]; deletions = [] }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* second materialization from a different base, crashed between
+     Snapshot.write and Wal.reset: exactly the on-disk state such a
+     crash leaves — a bumped-generation checkpoint over the old WAL *)
+  let edb2 = Database.of_facts [ edge "x" "y" ] in
+  let fresh = Engine.materialize tc_program edb2 in
+  let gen = Wal.generation fs ~path:Engine.wal_file + 1 in
+  ignore
+    (Snapshot.write fs ~path:Engine.checkpoint_file
+       {
+         Snapshot.db = Database.copy fresh;
+         edb = edb2;
+         counters = [ ("generation", float_of_int gen) ];
+       });
+  (match Engine.recover ~config tc_program with
+  | Ok (Some db') ->
+    Alcotest.(check string)
+      "stale WAL ignored: recovery is the fresh materialization"
+      (canon fresh) (canon db')
+  | Ok None -> Alcotest.fail "checkpoint lost"
+  | Error e -> Alcotest.fail e);
+  (* recovery repaired the pairing: the log is stamped with the
+     checkpoint's generation and holds no stale entries *)
+  match Wal.replay fs ~path:Engine.wal_file with
+  | Ok (g, [], _) -> Alcotest.(check int) "log re-stamped" gen g
+  | Ok (_, _ :: _, _) -> Alcotest.fail "stale entries survived recovery"
+  | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
 (* Engine.recover: directed                                            *)
@@ -553,6 +654,10 @@ let suites =
           test_snapshot_truncation_total;
         Alcotest.test_case "wal roundtrip + torn tails" `Quick
           test_wal_roundtrip_and_torn;
+        Alcotest.test_case "wal torn tail repaired before append" `Quick
+          test_wal_torn_tail_then_append;
+        Alcotest.test_case "stale WAL discarded by generation pairing" `Quick
+          test_engine_recover_stale_wal;
         Alcotest.test_case "engine recover (directed)" `Quick
           test_engine_recover_directed;
         Alcotest.test_case "engine recover across rotation" `Quick
